@@ -1,0 +1,28 @@
+//! # fc-align — read overlap detection for the Focus assembler
+//!
+//! Implements the paper's §II-B alignment stage:
+//!
+//! * [`suffix`] — a suffix array over a concatenated read subset
+//!   (prefix-doubling construction in the spirit of Larsson–Sadakane, the
+//!   paper's ref. \[14\]), with pattern-interval lookup,
+//! * [`nw`] — banded Needleman–Wunsch global alignment used to verify
+//!   candidate overlaps,
+//! * [`overlap`] — the overlap record vocabulary (suffix–prefix dovetails and
+//!   containments, with alignment length and identity),
+//! * [`pairwise`] — the subset-pair overlapper: k-mer seeding through the
+//!   suffix array, diagonal voting, banded verification, thresholding on
+//!   minimum overlap length and identity,
+//! * [`minimizer`] — a minimizer (minimum-hash window) index, the modern
+//!   hash-based alternative to the suffix array, provided for comparison.
+
+pub mod minimizer;
+pub mod nw;
+pub mod overlap;
+pub mod pairwise;
+pub mod suffix;
+
+pub use minimizer::{minimizers, MinimizerIndex};
+pub use nw::{band_for_error_rate, banded_global, AlignmentSummary, NwConfig};
+pub use overlap::{Overlap, OverlapKind};
+pub use pairwise::{OverlapConfig, Overlapper, PairStats};
+pub use suffix::SuffixArray;

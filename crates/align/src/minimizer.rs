@@ -1,0 +1,231 @@
+//! Minimizer-based seeding — the hash-index alternative to the suffix array.
+//!
+//! The paper's aligner uses a suffix array (§II-B); most newer overlappers
+//! (minimap-style) instead index *minimizers*: the minimum-hash k-mer of
+//! every w-long window. The index is smaller by ~w× and lookups are O(1),
+//! at the cost of probabilistic seeding. This module provides that
+//! alternative so the two can be compared (see the `micro_align` bench);
+//! the pipeline's default remains the paper-faithful suffix array.
+
+use fc_seq::{DnaString, ReadId};
+use std::collections::HashMap;
+
+/// Multiplicative hash decorrelating packed k-mer values from sequence
+/// content (otherwise poly-A would always win the window minimum).
+#[inline]
+fn splohash(kmer: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut z = kmer.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The `(position, packed k-mer)` minimizers of a sequence: for every
+/// window of `w` consecutive k-mers, the one with the smallest hash
+/// (leftmost on ties). Consecutive duplicate selections are emitted once.
+pub fn minimizers(seq: &DnaString, k: usize, w: usize) -> Vec<(u32, u64)> {
+    assert!((1..=32).contains(&k), "k must be in 1..=32");
+    assert!(w >= 1, "w must be >= 1");
+    let kmers: Vec<(usize, u64)> = seq.kmers(k).collect();
+    if kmers.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<(u32, u64)> = Vec::new();
+    let n = kmers.len();
+    for win_start in 0..n.saturating_sub(w - 1).max(1) {
+        let win = &kmers[win_start..(win_start + w).min(n)];
+        let &(pos, kmer) = win
+            .iter()
+            .min_by_key(|&&(pos, km)| (splohash(km), pos))
+            .expect("window is non-empty");
+        if out.last() != Some(&(pos as u32, kmer)) {
+            out.push((pos as u32, kmer));
+        }
+    }
+    out
+}
+
+/// A minimizer index over a read subset.
+#[derive(Debug, Clone)]
+pub struct MinimizerIndex {
+    k: usize,
+    w: usize,
+    map: HashMap<u64, Vec<(ReadId, u32)>>,
+    indexed_reads: usize,
+}
+
+impl MinimizerIndex {
+    /// Indexes `reads` with k-mer length `k` and window `w`.
+    pub fn build(reads: &[(ReadId, &DnaString)], k: usize, w: usize) -> MinimizerIndex {
+        let mut map: HashMap<u64, Vec<(ReadId, u32)>> = HashMap::new();
+        for &(id, seq) in reads {
+            for (pos, kmer) in minimizers(seq, k, w) {
+                map.entry(kmer).or_default().push((id, pos));
+            }
+        }
+        MinimizerIndex { k, w, map, indexed_reads: reads.len() }
+    }
+
+    /// K-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Window length.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Number of indexed reads.
+    pub fn read_count(&self) -> usize {
+        self.indexed_reads
+    }
+
+    /// Total stored minimizer postings.
+    pub fn posting_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Occurrences of a packed k-mer (empty for non-minimizers).
+    pub fn lookup(&self, kmer: u64) -> &[(ReadId, u32)] {
+        self.map.get(&kmer).map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidate mates of `query`: reads sharing at least `min_shared`
+    /// minimizers, with the most-voted diagonal per mate, as
+    /// `(read, diagonal, votes)`. The same shape the suffix-array seeding
+    /// produces, so downstream verification is identical.
+    pub fn candidates(
+        &self,
+        query_id: ReadId,
+        query: &DnaString,
+        min_shared: usize,
+    ) -> Vec<(ReadId, i64, u32)> {
+        let mut votes: HashMap<(ReadId, i64), u32> = HashMap::new();
+        for (q_pos, kmer) in minimizers(query, self.k, self.w) {
+            for &(r, r_pos) in self.lookup(kmer) {
+                if r == query_id {
+                    continue;
+                }
+                *votes.entry((r, q_pos as i64 - r_pos as i64)).or_insert(0) += 1;
+            }
+        }
+        let mut best: HashMap<ReadId, (i64, u32)> = HashMap::new();
+        for ((r, diag), count) in votes {
+            match best.get(&r) {
+                Some(&(_, c)) if c >= count => {}
+                _ => {
+                    best.insert(r, (diag, count));
+                }
+            }
+        }
+        let mut out: Vec<(ReadId, i64, u32)> = best
+            .into_iter()
+            .filter(|&(_, (_, c))| c as usize >= min_shared)
+            .map(|(r, (d, c))| (r, d, c))
+            .collect();
+        out.sort_unstable_by_key(|&(r, d, _)| (r, d));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::Base;
+
+    fn genome(len: usize, seed: u64) -> DnaString {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Base::from_code((state >> 5) as u8 & 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn minimizers_are_a_subset_of_kmers_and_cover_windows() {
+        let seq = genome(500, 1);
+        let (k, w) = (15, 10);
+        let mins = minimizers(&seq, k, w);
+        assert!(!mins.is_empty());
+        // Every minimizer is a real k-mer of the sequence at its position.
+        for &(pos, kmer) in &mins {
+            assert_eq!(seq.kmer_u64(pos as usize, k), Some(kmer));
+        }
+        // Density ~ 2/(w+1): allow generous bounds.
+        let n_kmers = seq.len() - k + 1;
+        assert!(mins.len() * (w + 1) >= n_kmers, "too sparse: {}", mins.len());
+        assert!(mins.len() * 2 <= n_kmers, "too dense: {}", mins.len());
+        // Consecutive selections are strictly increasing in position.
+        for pair in mins.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn identical_windows_pick_identical_minimizers() {
+        // Overlapping reads share interior minimizers — the property that
+        // makes minimizer seeding find overlaps.
+        let g = genome(300, 2);
+        let a = g.slice(0, 200);
+        let b = g.slice(100, 300);
+        let (k, w) = (15, 8);
+        let mins_a: std::collections::HashSet<u64> =
+            minimizers(&a, k, w).into_iter().map(|(_, m)| m).collect();
+        let shared = minimizers(&b, k, w)
+            .into_iter()
+            .filter(|(pos, m)| (*pos as usize) < 100 - k && mins_a.contains(m))
+            .count();
+        assert!(shared >= 5, "overlapping reads share only {shared} minimizers");
+    }
+
+    #[test]
+    fn candidates_report_correct_diagonal() {
+        let g = genome(400, 3);
+        let r0 = g.slice(0, 200);
+        let r1 = g.slice(120, 320);
+        let index = MinimizerIndex::build(&[(ReadId(1), &r1)], 15, 8);
+        let candidates = index.candidates(ReadId(0), &r0, 2);
+        assert_eq!(candidates.len(), 1);
+        let (r, diag, votes) = candidates[0];
+        assert_eq!(r, ReadId(1));
+        assert_eq!(diag, 120, "diagonal should equal the genomic offset");
+        assert!(votes >= 2);
+    }
+
+    #[test]
+    fn no_candidates_for_unrelated_reads() {
+        let a = genome(200, 4);
+        let b = genome(200, 999);
+        let index = MinimizerIndex::build(&[(ReadId(1), &b)], 15, 8);
+        assert!(index.candidates(ReadId(0), &a, 2).is_empty());
+    }
+
+    #[test]
+    fn index_is_much_smaller_than_full_kmer_set() {
+        let g = genome(5_000, 5);
+        let reads: Vec<DnaString> = (0..40).map(|i| g.slice(i * 100, i * 100 + 1000.min(g.len() - i * 100))).collect();
+        let entries: Vec<(ReadId, &DnaString)> =
+            reads.iter().enumerate().map(|(i, s)| (ReadId(i as u32), s)).collect();
+        let index = MinimizerIndex::build(&entries, 15, 10);
+        let total_kmers: usize = reads.iter().map(|r| r.len().saturating_sub(14)).sum();
+        assert!(
+            index.posting_count() * 3 < total_kmers,
+            "index not sparse: {} postings vs {} k-mers",
+            index.posting_count(),
+            total_kmers
+        );
+    }
+
+    #[test]
+    fn self_matches_are_skipped() {
+        let g = genome(200, 6);
+        let index = MinimizerIndex::build(&[(ReadId(0), &g)], 15, 8);
+        assert!(index.candidates(ReadId(0), &g, 1).is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Banded Needleman–Wunsch global alignment.
+//!
+//! Candidate overlaps suggested by k-mer seeding are verified with a banded
+//! global alignment of the two overlapping regions (paper §II-B). The band is
+//! centred on the main diagonal because the seeding stage already aligned the
+//! regions' starting coordinates; its width only needs to absorb indel drift.
+
+use fc_seq::DnaString;
+
+/// Scoring and banding parameters for the aligner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NwConfig {
+    /// Score added per matching column.
+    pub match_score: i32,
+    /// Score added per mismatching column (should be negative).
+    pub mismatch_score: i32,
+    /// Score added per gap column (should be negative).
+    pub gap_score: i32,
+    /// Half-width of the band around the main diagonal, in cells.
+    pub band: usize,
+}
+
+impl Default for NwConfig {
+    fn default() -> NwConfig {
+        NwConfig { match_score: 1, mismatch_score: -2, gap_score: -3, band: 8 }
+    }
+}
+
+/// Outcome of a banded global alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentSummary {
+    /// Total alignment score.
+    pub score: i32,
+    /// Number of alignment columns (matches + mismatches + gaps).
+    pub columns: u32,
+    /// Number of matching columns.
+    pub matches: u32,
+}
+
+impl AlignmentSummary {
+    /// Fraction of columns that match, in `[0, 1]`. Zero columns yield 0.
+    pub fn identity(&self) -> f64 {
+        if self.columns == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.columns as f64
+        }
+    }
+}
+
+/// Suggests a band half-width for aligning `len` bases at indel rate
+/// `error_rate`, with a floor of 4 cells and 4-sigma style headroom.
+pub fn band_for_error_rate(len: usize, error_rate: f64) -> usize {
+    let expected = len as f64 * error_rate;
+    (4.0 * expected.sqrt()).ceil().max(4.0) as usize
+}
+
+/// Globally aligns `a[a_start..a_end]` against `b[b_start..b_end]` within a
+/// band, returning the score/column/match summary, or `None` when the length
+/// difference exceeds the band (the global path would leave the band).
+pub fn banded_global(
+    a: &DnaString,
+    a_range: (usize, usize),
+    b: &DnaString,
+    b_range: (usize, usize),
+    config: &NwConfig,
+) -> Option<AlignmentSummary> {
+    let (a_start, a_end) = a_range;
+    let (b_start, b_end) = b_range;
+    assert!(a_start <= a_end && a_end <= a.len(), "a range out of bounds");
+    assert!(b_start <= b_end && b_end <= b.len(), "b range out of bounds");
+    let n = a_end - a_start; // rows
+    let m = b_end - b_start; // columns
+    let band = config.band;
+    if n.abs_diff(m) > band {
+        return None;
+    }
+
+    const NEG: i32 = i32::MIN / 4;
+    // Row-banded DP: row i covers columns j in [i-band, i+band] ∩ [0, m].
+    let width = 2 * band + 1;
+    let mut prev = vec![NEG; width + 2];
+    let mut cur = vec![NEG; width + 2];
+    // Backtrack counts are carried alongside scores so no full matrix is kept:
+    // (columns, matches) for the best path reaching each cell.
+    let mut prev_cm = vec![(0u32, 0u32); width + 2];
+    let mut cur_cm = vec![(0u32, 0u32); width + 2];
+
+    // Maps column j of row i to a slot in the band buffer.
+    let slot = |i: usize, j: usize| -> usize { j + band - i };
+
+    // Row 0: leading gaps in `a`.
+    for j in 0..=m.min(band) {
+        prev[slot(0, j)] = config.gap_score * j as i32;
+        prev_cm[slot(0, j)] = (j as u32, 0);
+    }
+
+    for i in 1..=n {
+        cur.fill(NEG);
+        let j_lo = i.saturating_sub(band);
+        let j_hi = (i + band).min(m);
+        for j in j_lo..=j_hi {
+            let s = slot(i, j);
+            let mut best = NEG;
+            let mut best_cm = (0u32, 0u32);
+            // Diagonal (match/mismatch) — prev row, same slot offset shifts by 0.
+            if j >= 1 && j - 1 + band >= i - 1 && j - 1 <= i - 1 + band {
+                let ps = slot(i - 1, j - 1);
+                if prev[ps] > NEG {
+                    let is_match = a.get(a_start + i - 1) == b.get(b_start + j - 1);
+                    let sc = prev[ps]
+                        + if is_match { config.match_score } else { config.mismatch_score };
+                    if sc > best {
+                        best = sc;
+                        let (c, mt) = prev_cm[ps];
+                        best_cm = (c + 1, mt + u32::from(is_match));
+                    }
+                }
+            }
+            // Up (gap in b): cell (i-1, j).
+            if j + band >= i - 1 && j <= i - 1 + band {
+                let ps = slot(i - 1, j);
+                if prev[ps] > NEG {
+                    let sc = prev[ps] + config.gap_score;
+                    if sc > best {
+                        best = sc;
+                        let (c, mt) = prev_cm[ps];
+                        best_cm = (c + 1, mt);
+                    }
+                }
+            }
+            // Left (gap in a): cell (i, j-1).
+            if j >= 1 && j > j_lo {
+                let ps = slot(i, j - 1);
+                if cur[ps] > NEG {
+                    let sc = cur[ps] + config.gap_score;
+                    if sc > best {
+                        best = sc;
+                        let (c, mt) = cur_cm[ps];
+                        best_cm = (c + 1, mt);
+                    }
+                }
+            }
+            cur[s] = best;
+            cur_cm[s] = best_cm;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut prev_cm, &mut cur_cm);
+    }
+
+    let s = slot(n, m);
+    if m + band < n || m > n + band || prev[s] <= NEG {
+        return None;
+    }
+    let (columns, matches) = prev_cm[s];
+    Some(AlignmentSummary { score: prev[s], columns, matches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: full (unbanded) Needleman–Wunsch with the
+    /// same (columns, matches) bookkeeping.
+    pub(crate) fn full_global(
+        a: &DnaString,
+        b: &DnaString,
+        config: &NwConfig,
+    ) -> AlignmentSummary {
+        let n = a.len();
+        let m = b.len();
+        let mut score = vec![vec![0i32; m + 1]; n + 1];
+        let mut cm = vec![vec![(0u32, 0u32); m + 1]; n + 1];
+        for j in 1..=m {
+            score[0][j] = config.gap_score * j as i32;
+            cm[0][j] = (j as u32, 0);
+        }
+        for i in 1..=n {
+            score[i][0] = config.gap_score * i as i32;
+            cm[i][0] = (i as u32, 0);
+            for j in 1..=m {
+                let is_match = a.get(i - 1) == b.get(j - 1);
+                let diag = score[i - 1][j - 1]
+                    + if is_match { config.match_score } else { config.mismatch_score };
+                let up = score[i - 1][j] + config.gap_score;
+                let left = score[i][j - 1] + config.gap_score;
+                // Same tie preference as the banded version: diag, up, left.
+                if diag >= up && diag >= left {
+                    score[i][j] = diag;
+                    let (c, mt) = cm[i - 1][j - 1];
+                    cm[i][j] = (c + 1, mt + u32::from(is_match));
+                } else if up >= left {
+                    score[i][j] = up;
+                    let (c, mt) = cm[i - 1][j];
+                    cm[i][j] = (c + 1, mt);
+                } else {
+                    score[i][j] = left;
+                    let (c, mt) = cm[i][j - 1];
+                    cm[i][j] = (c + 1, mt);
+                }
+            }
+        }
+        AlignmentSummary { score: score[n][m], columns: cm[n][m].0, matches: cm[n][m].1 }
+    }
+
+    fn summary(a: &str, b: &str, band: usize) -> Option<AlignmentSummary> {
+        let a: DnaString = a.parse().unwrap();
+        let b: DnaString = b.parse().unwrap();
+        let config = NwConfig { band, ..NwConfig::default() };
+        banded_global(&a, (0, a.len()), &b, (0, b.len()), &config)
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let s = summary("ACGTACGT", "ACGTACGT", 4).unwrap();
+        assert_eq!(s.score, 8);
+        assert_eq!(s.columns, 8);
+        assert_eq!(s.matches, 8);
+        assert!((s.identity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_mismatch_counted() {
+        let s = summary("ACGTACGT", "ACGAACGT", 4).unwrap();
+        assert_eq!(s.matches, 7);
+        assert_eq!(s.columns, 8);
+        assert_eq!(s.score, 7 - 2);
+    }
+
+    #[test]
+    fn single_indel_counted() {
+        let s = summary("ACGTACGT", "ACGACGT", 4).unwrap();
+        assert_eq!(s.columns, 8);
+        assert_eq!(s.matches, 7);
+        assert_eq!(s.score, 7 - 3);
+    }
+
+    #[test]
+    fn length_difference_beyond_band_rejected() {
+        assert!(summary("ACGTACGTACGT", "AC", 4).is_none());
+    }
+
+    #[test]
+    fn banded_matches_full_when_band_covers_matrix() {
+        let cases = [
+            ("ACGTACGTAC", "ACGTACGTAC"),
+            ("ACGTACGTAC", "ACGTTCGTAC"),
+            ("ACGTACGTAC", "ACGACGTAC"),
+            ("AAAACCCC", "AAACCCCC"),
+            ("ACGT", "TGCA"),
+        ];
+        for (a, b) in cases {
+            let ad: DnaString = a.parse().unwrap();
+            let bd: DnaString = b.parse().unwrap();
+            let config = NwConfig { band: ad.len().max(bd.len()), ..NwConfig::default() };
+            let banded =
+                banded_global(&ad, (0, ad.len()), &bd, (0, bd.len()), &config).unwrap();
+            let full = full_global(&ad, &bd, &config);
+            assert_eq!(banded.score, full.score, "{a} vs {b}");
+            assert_eq!(banded.columns, full.columns, "{a} vs {b}");
+            assert_eq!(banded.matches, full.matches, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_ranges() {
+        let a: DnaString = "ACGT".parse().unwrap();
+        let s = banded_global(&a, (0, 0), &a, (0, 0), &NwConfig::default()).unwrap();
+        assert_eq!(s.columns, 0);
+        assert_eq!(s.score, 0);
+        assert_eq!(s.identity(), 0.0);
+    }
+
+    #[test]
+    fn subrange_alignment() {
+        let a: DnaString = "TTTTACGTACGT".parse().unwrap();
+        let b: DnaString = "ACGTACGTTTTT".parse().unwrap();
+        let s = banded_global(&a, (4, 12), &b, (0, 8), &NwConfig::default()).unwrap();
+        assert_eq!(s.matches, 8);
+        assert_eq!(s.columns, 8);
+    }
+
+    #[test]
+    fn band_for_error_rate_has_floor() {
+        assert_eq!(band_for_error_rate(10, 0.0), 4);
+        assert!(band_for_error_rate(10_000, 0.02) > 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::full_global;
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dna_strategy(max_len: usize) -> impl Strategy<Value = DnaString> {
+        proptest::collection::vec(0u8..4, 0..max_len)
+            .prop_map(|codes| codes.into_iter().map(fc_seq::Base::from_code).collect())
+    }
+
+    proptest! {
+        /// With a band at least as wide as both sequences, banded NW must be
+        /// exactly the classic full-matrix NW.
+        #[test]
+        fn banded_equals_full_with_wide_band(a in dna_strategy(24), b in dna_strategy(24)) {
+            let config = NwConfig { band: a.len().max(b.len()).max(1), ..NwConfig::default() };
+            let banded = banded_global(&a, (0, a.len()), &b, (0, b.len()), &config).unwrap();
+            let full = full_global(&a, &b, &config);
+            prop_assert_eq!(banded.score, full.score);
+            prop_assert_eq!(banded.columns, full.columns);
+            prop_assert_eq!(banded.matches, full.matches);
+        }
+
+        /// Aligning a sequence against itself scores perfectly.
+        #[test]
+        fn self_alignment_is_perfect(a in dna_strategy(32)) {
+            let config = NwConfig::default();
+            let s = banded_global(&a, (0, a.len()), &a, (0, a.len()), &config).unwrap();
+            prop_assert_eq!(s.matches as usize, a.len());
+            prop_assert_eq!(s.columns as usize, a.len());
+        }
+
+        /// Matches can never exceed columns, and identity is within [0, 1].
+        #[test]
+        fn summary_invariants(a in dna_strategy(20), b in dna_strategy(20)) {
+            let config = NwConfig { band: 20, ..NwConfig::default() };
+            if let Some(s) = banded_global(&a, (0, a.len()), &b, (0, b.len()), &config) {
+                prop_assert!(s.matches <= s.columns);
+                prop_assert!(s.columns as usize >= a.len().max(b.len()));
+                prop_assert!((0.0..=1.0).contains(&s.identity()));
+            }
+        }
+    }
+}

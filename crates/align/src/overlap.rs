@@ -1,0 +1,85 @@
+//! Overlap records: the edges-to-be of the overlap graph.
+
+use fc_seq::ReadId;
+
+/// How two reads overlap (paper §II-B: prefix/suffix dovetails and
+/// containments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverlapKind {
+    /// The suffix of `a` aligns to the prefix of `b`; reading `a` then `b`
+    /// walks left-to-right along the target sequence.
+    SuffixPrefix,
+    /// `b` is entirely contained within `a`.
+    ContainsB,
+    /// `a` is entirely contained within `b`.
+    ContainedInB,
+}
+
+/// A verified overlap between two reads.
+///
+/// `a` and `b` are store read ids (each strand is its own read). For
+/// [`OverlapKind::SuffixPrefix`], `shift` is how far `b`'s start lies to the
+/// right of `a`'s start on the common layout — i.e. the number of `a` bases
+/// that precede the overlap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overlap {
+    /// First read.
+    pub a: ReadId,
+    /// Second read.
+    pub b: ReadId,
+    /// Geometry of the overlap.
+    pub kind: OverlapKind,
+    /// Offset of `b`'s first base relative to `a`'s first base (≥ 0 for
+    /// dovetails; for containments, the offset of the inner read within the
+    /// outer one).
+    pub shift: u32,
+    /// Alignment length in columns (the paper stores this as the edge
+    /// weight).
+    pub len: u32,
+    /// Alignment identity in `[0, 1]`.
+    pub identity: f64,
+}
+
+impl Overlap {
+    /// For a dovetail overlap, the directed edge it induces in the overlap
+    /// graph: `(source, target)` where the suffix of `source` matches the
+    /// prefix of `target`. Containments induce no edge (they are removed in
+    /// graph simplification, paper §V-B).
+    pub fn edge(&self) -> Option<(ReadId, ReadId)> {
+        match self.kind {
+            OverlapKind::SuffixPrefix => Some((self.a, self.b)),
+            _ => None,
+        }
+    }
+
+    /// The contained read, if this is a containment overlap.
+    pub fn contained(&self) -> Option<ReadId> {
+        match self.kind {
+            OverlapKind::ContainsB => Some(self.b),
+            OverlapKind::ContainedInB => Some(self.a),
+            OverlapKind::SuffixPrefix => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlap(kind: OverlapKind) -> Overlap {
+        Overlap { a: ReadId(1), b: ReadId(2), kind, shift: 3, len: 50, identity: 0.95 }
+    }
+
+    #[test]
+    fn dovetail_edge_direction() {
+        assert_eq!(overlap(OverlapKind::SuffixPrefix).edge(), Some((ReadId(1), ReadId(2))));
+        assert_eq!(overlap(OverlapKind::ContainsB).edge(), None);
+    }
+
+    #[test]
+    fn contained_read_identified() {
+        assert_eq!(overlap(OverlapKind::ContainsB).contained(), Some(ReadId(2)));
+        assert_eq!(overlap(OverlapKind::ContainedInB).contained(), Some(ReadId(1)));
+        assert_eq!(overlap(OverlapKind::SuffixPrefix).contained(), None);
+    }
+}

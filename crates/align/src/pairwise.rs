@@ -1,0 +1,504 @@
+//! The subset-pair overlapper (paper §II-B).
+//!
+//! Each reference read subset is indexed by a suffix array; every query read
+//! is decomposed into k-mers that are looked up in the index. Reference reads
+//! collecting enough k-mer hits on a consistent diagonal become candidates
+//! and are verified with banded Needleman–Wunsch. Overlaps that meet the
+//! minimum length and identity thresholds are recorded.
+
+use crate::nw::{banded_global, NwConfig};
+use crate::overlap::{Overlap, OverlapKind};
+use crate::suffix::SuffixArray;
+use fc_seq::{ReadId, ReadStore};
+use std::collections::HashMap;
+
+/// Parameters of the overlap stage. The paper's evaluation uses a minimum
+/// overlap length of 50 bp and minimum identity of 90 % (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapConfig {
+    /// Seed k-mer length.
+    pub k: usize,
+    /// Distance between sampled seed positions on the query read.
+    pub seed_step: usize,
+    /// Minimum k-mer hits on one diagonal cluster before a candidate is
+    /// aligned (the paper's "number of k-mer hits greater than a specified
+    /// threshold").
+    pub min_kmer_hits: usize,
+    /// Minimum verified alignment length (columns) for an overlap.
+    pub min_overlap_len: usize,
+    /// Minimum verified alignment identity for an overlap.
+    pub min_identity: f64,
+    /// Aligner scoring/banding.
+    pub nw: NwConfig,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> OverlapConfig {
+        OverlapConfig {
+            k: 15,
+            seed_step: 3,
+            min_kmer_hits: 2,
+            min_overlap_len: 50,
+            min_identity: 0.90,
+            nw: NwConfig::default(),
+        }
+    }
+}
+
+impl OverlapConfig {
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 || self.k > 32 {
+            return Err(format!("k must be in 1..=32, got {}", self.k));
+        }
+        if self.seed_step == 0 {
+            return Err("seed_step must be > 0".to_string());
+        }
+        if self.min_kmer_hits == 0 {
+            return Err("min_kmer_hits must be > 0".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.min_identity) {
+            return Err(format!("min_identity must be in [0,1], got {}", self.min_identity));
+        }
+        Ok(())
+    }
+}
+
+/// Work counters for one subset-pair comparison. These feed the simulated
+/// cluster's cost model (fc-dist) and the micro benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Query k-mer lookups performed.
+    pub kmer_lookups: u64,
+    /// Total suffix-array hits returned.
+    pub kmer_hits: u64,
+    /// Candidate pairs that reached the aligner.
+    pub candidates: u64,
+    /// Approximate DP cells computed by the aligner.
+    pub nw_cells: u64,
+    /// Overlaps that passed the thresholds.
+    pub overlaps: u64,
+}
+
+impl PairStats {
+    /// Accumulates another pair's counters into this one.
+    pub fn merge(&mut self, other: &PairStats) {
+        self.kmer_lookups += other.kmer_lookups;
+        self.kmer_hits += other.kmer_hits;
+        self.candidates += other.candidates;
+        self.nw_cells += other.nw_cells;
+        self.overlaps += other.overlaps;
+    }
+}
+
+/// Pairwise read overlapper over a preprocessed [`ReadStore`].
+pub struct Overlapper<'a> {
+    store: &'a ReadStore,
+    config: OverlapConfig,
+}
+
+impl<'a> Overlapper<'a> {
+    /// Creates an overlapper; fails on invalid configuration.
+    pub fn new(store: &'a ReadStore, config: OverlapConfig) -> Result<Overlapper<'a>, String> {
+        config.validate()?;
+        Ok(Overlapper { store, config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OverlapConfig {
+        &self.config
+    }
+
+    /// Builds the suffix-array index for one reference subset.
+    pub fn index_subset(&self, reference: &[ReadId]) -> SuffixArray {
+        let entries: Vec<_> =
+            reference.iter().map(|&id| (id, &self.store.get(id).seq)).collect();
+        SuffixArray::build(&entries)
+    }
+
+    /// Finds overlaps between `query` reads and an indexed reference subset.
+    ///
+    /// When `dedup_self` is true (self subset pairs), only pairs with
+    /// `query id < reference id` are evaluated so each unordered pair is
+    /// considered once across the whole run.
+    pub fn overlap_pair(
+        &self,
+        query: &[ReadId],
+        index: &SuffixArray,
+        dedup_self: bool,
+    ) -> (Vec<Overlap>, PairStats) {
+        let mut overlaps = Vec::new();
+        let mut stats = PairStats::default();
+        for &q in query {
+            self.overlap_one(q, index, dedup_self, &mut overlaps, &mut stats);
+        }
+        (overlaps, stats)
+    }
+
+    /// Runs the full all-subset-pairs overlap computation, mirroring the
+    /// paper's parallel read alignment: subsets are compared pairwise
+    /// (including each subset against itself) and results concatenated.
+    /// Returns the overlaps plus the per-pair stats in `(i, j, stats)` form.
+    pub fn overlap_all(
+        &self,
+        subsets: &[Vec<ReadId>],
+    ) -> (Vec<Overlap>, Vec<(usize, usize, PairStats)>) {
+        let mut all = Vec::new();
+        let mut pair_stats = Vec::new();
+        for (j, reference) in subsets.iter().enumerate() {
+            let index = self.index_subset(reference);
+            for (i, query) in subsets.iter().enumerate().take(j + 1) {
+                let (mut found, stats) = self.overlap_pair(query, &index, i == j);
+                all.append(&mut found);
+                pair_stats.push((i, j, stats));
+            }
+        }
+        (all, pair_stats)
+    }
+
+    fn overlap_one(
+        &self,
+        q: ReadId,
+        index: &SuffixArray,
+        dedup_self: bool,
+        out: &mut Vec<Overlap>,
+        stats: &mut PairStats,
+    ) {
+        let k = self.config.k;
+        let query_seq = &self.store.get(q).seq;
+        if query_seq.len() < k {
+            return;
+        }
+        // Vote per (reference read, diagonal).
+        let mut votes: HashMap<(ReadId, i64), u32> = HashMap::new();
+        let mut pos = 0usize;
+        while pos + k <= query_seq.len() {
+            if let Some(kmer) = query_seq.kmer_u64(pos, k) {
+                stats.kmer_lookups += 1;
+                for (r, r_off) in index.find_kmer(kmer, k) {
+                    stats.kmer_hits += 1;
+                    if r == q {
+                        continue;
+                    }
+                    if dedup_self && r.0 <= q.0 {
+                        continue;
+                    }
+                    // Never overlap a read with its own reverse complement:
+                    // those pairs are artifacts of the RC augmentation.
+                    if self.store.mate(q) == Some(r) {
+                        continue;
+                    }
+                    let diag = pos as i64 - r_off as i64;
+                    *votes.entry((r, diag)).or_insert(0) += 1;
+                }
+            }
+            pos += self.config.seed_step;
+        }
+
+        // Cluster diagonals per reference read within the NW band.
+        let mut per_read: HashMap<ReadId, Vec<(i64, u32)>> = HashMap::new();
+        for ((r, diag), count) in votes {
+            per_read.entry(r).or_default().push((diag, count));
+        }
+        let mut candidates: Vec<(ReadId, i64)> = Vec::new();
+        for (r, mut diags) in per_read {
+            diags.sort_unstable();
+            let band = self.config.nw.band as i64;
+            let mut best_votes = 0u32;
+            let mut best_diag = 0i64;
+            let mut lo = 0usize;
+            let mut window_votes = 0u32;
+            let mut window_weighted = 0i64;
+            for hi in 0..diags.len() {
+                window_votes += diags[hi].1;
+                window_weighted += diags[hi].0 * diags[hi].1 as i64;
+                while diags[hi].0 - diags[lo].0 > band {
+                    window_votes -= diags[lo].1;
+                    window_weighted -= diags[lo].0 * diags[lo].1 as i64;
+                    lo += 1;
+                }
+                if window_votes > best_votes {
+                    best_votes = window_votes;
+                    best_diag = window_weighted / window_votes as i64;
+                }
+            }
+            if best_votes as usize >= self.config.min_kmer_hits {
+                candidates.push((r, best_diag));
+            }
+        }
+        // Deterministic evaluation order regardless of hash-map iteration.
+        candidates.sort_unstable_by_key(|&(r, d)| (r, d));
+
+        for (r, diag) in candidates {
+            stats.candidates += 1;
+            if let Some(overlap) = self.verify(q, r, diag, stats) {
+                stats.overlaps += 1;
+                out.push(overlap);
+            }
+        }
+    }
+
+    /// Verifies a candidate with banded NW and classifies its geometry.
+    fn verify(
+        &self,
+        q: ReadId,
+        r: ReadId,
+        diag: i64,
+        stats: &mut PairStats,
+    ) -> Option<Overlap> {
+        let qs = &self.store.get(q).seq;
+        let rs = &self.store.get(r).seq;
+        let (len_q, len_r) = (qs.len() as i64, rs.len() as i64);
+
+        // Geometry from the diagonal: r's origin sits `diag` bases right of
+        // q's origin when diag >= 0.
+        let (a, b, shift, kind, a_range, b_range) = if diag >= 0 {
+            let d = diag;
+            let ov_q = len_q - d; // q bases expected inside the overlap
+            if ov_q <= 0 {
+                return None;
+            }
+            if len_r <= ov_q {
+                // r fully inside q.
+                (
+                    q,
+                    r,
+                    d as u32,
+                    OverlapKind::ContainsB,
+                    (d as usize, (d + len_r).min(len_q) as usize),
+                    (0usize, len_r as usize),
+                )
+            } else {
+                (
+                    q,
+                    r,
+                    d as u32,
+                    OverlapKind::SuffixPrefix,
+                    (d as usize, len_q as usize),
+                    (0usize, ov_q as usize),
+                )
+            }
+        } else {
+            let e = -diag;
+            let ov_r = len_r - e; // r bases expected inside the overlap
+            if ov_r <= 0 {
+                return None;
+            }
+            if len_q <= ov_r {
+                // q fully inside r.
+                (
+                    q,
+                    r,
+                    e as u32,
+                    OverlapKind::ContainedInB,
+                    (0usize, len_q as usize),
+                    (e as usize, (e + len_q).min(len_r) as usize),
+                )
+            } else {
+                // Dovetail with r first: suffix of r matches prefix of q.
+                (
+                    r,
+                    q,
+                    e as u32,
+                    OverlapKind::SuffixPrefix,
+                    (e as usize, len_r as usize),
+                    (0usize, ov_r as usize),
+                )
+            }
+        };
+
+        let (a_seq, b_seq) = (&self.store.get(a).seq, &self.store.get(b).seq);
+        let rows = a_range.1 - a_range.0;
+        stats.nw_cells += (rows as u64) * (2 * self.config.nw.band as u64 + 1);
+        let summary = banded_global(a_seq, a_range, b_seq, b_range, &self.config.nw)?;
+        if (summary.columns as usize) < self.config.min_overlap_len
+            || summary.identity() < self.config.min_identity
+        {
+            return None;
+        }
+        Some(Overlap {
+            a,
+            b,
+            kind,
+            shift,
+            len: summary.columns,
+            identity: summary.identity(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::{DnaString, Read};
+    use rand_like::SimpleRng;
+
+    /// Minimal deterministic RNG for test-genome generation (avoids pulling
+    /// `rand` into this crate just for tests).
+    mod rand_like {
+        pub struct SimpleRng(u64);
+        impl SimpleRng {
+            pub fn new(seed: u64) -> SimpleRng {
+                SimpleRng(seed.max(1))
+            }
+            pub fn next(&mut self) -> u64 {
+                // xorshift64*
+                let mut x = self.0;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.0 = x;
+                x.wrapping_mul(0x2545F4914F6CDD1D)
+            }
+        }
+    }
+
+    fn random_genome(len: usize, seed: u64) -> DnaString {
+        let mut rng = SimpleRng::new(seed);
+        (0..len).map(|_| fc_seq::Base::from_code((rng.next() % 4) as u8)).collect()
+    }
+
+    /// Tiles `genome` with reads of `read_len` every `stride` bases.
+    fn tiled_store(genome: &DnaString, read_len: usize, stride: usize) -> ReadStore {
+        let mut reads = Vec::new();
+        let mut start = 0;
+        while start + read_len <= genome.len() {
+            reads.push(Read::new(format!("r{start}"), genome.slice(start, start + read_len)));
+            start += stride;
+        }
+        // No trimming needed (FASTA reads), but preprocess adds the RCs.
+        ReadStore::preprocess(&reads, &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() })
+            .unwrap()
+    }
+
+    fn test_config() -> OverlapConfig {
+        OverlapConfig { min_overlap_len: 30, ..OverlapConfig::default() }
+    }
+
+    #[test]
+    fn finds_dovetails_along_a_tiling() {
+        let genome = random_genome(600, 7);
+        let store = tiled_store(&genome, 100, 50);
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let subsets = store.split_subsets(1);
+        let (overlaps, _) = overlapper.overlap_all(&subsets);
+        assert!(!overlaps.is_empty());
+        // Consecutive forward reads overlap by 50 bp: read i (node 2i) and
+        // read i+1 (node 2(i+1)) must produce a SuffixPrefix overlap.
+        let n_forward = store.len() / 2;
+        for i in 0..n_forward - 1 {
+            let a = ReadId(2 * i as u32);
+            let b = ReadId(2 * (i + 1) as u32);
+            let found = overlaps.iter().any(|o| {
+                o.kind == OverlapKind::SuffixPrefix
+                    && ((o.a == a && o.b == b) || (o.a == b && o.b == a))
+            });
+            assert!(found, "missing dovetail between forward reads {i} and {}", i + 1);
+        }
+        // Every reported dovetail must meet the thresholds.
+        for o in &overlaps {
+            assert!(o.len >= 30);
+            assert!(o.identity >= 0.90);
+        }
+    }
+
+    #[test]
+    fn detects_containment() {
+        let genome = random_genome(200, 11);
+        let long = Read::new("long", genome.slice(0, 150));
+        let short = Read::new("short", genome.slice(30, 110));
+        let store = ReadStore::preprocess(
+            &[long, short],
+            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+        )
+        .unwrap();
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let (overlaps, _) = overlapper.overlap_all(&store.split_subsets(1));
+        let containment = overlaps
+            .iter()
+            .find(|o| o.contained().is_some())
+            .expect("containment overlap not found");
+        // The short read (source index 1 -> stored ids 2,3) is contained.
+        let inner = containment.contained().unwrap();
+        assert!(inner.0 >= 2, "the short read should be the contained one: {containment:?}");
+    }
+
+    #[test]
+    fn no_overlaps_between_unrelated_sequences() {
+        let a = random_genome(120, 21);
+        let b = random_genome(120, 9999);
+        let store = ReadStore::preprocess(
+            &[Read::new("a", a), Read::new("b", b)],
+            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+        )
+        .unwrap();
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let (overlaps, _) = overlapper.overlap_all(&store.split_subsets(1));
+        assert!(overlaps.is_empty(), "spurious overlaps: {overlaps:?}");
+    }
+
+    #[test]
+    fn subset_split_finds_same_overlaps_as_single_subset() {
+        let genome = random_genome(800, 5);
+        let store = tiled_store(&genome, 100, 40);
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let (mut one, _) = overlapper.overlap_all(&store.split_subsets(1));
+        let (mut four, _) = overlapper.overlap_all(&store.split_subsets(4));
+        let key = |o: &Overlap| (o.a.0, o.b.0, o.shift, o.len);
+        one.sort_by_key(key);
+        four.sort_by_key(key);
+        let one_keys: Vec<_> = one.iter().map(key).collect();
+        let four_keys: Vec<_> = four.iter().map(key).collect();
+        assert_eq!(one_keys, four_keys);
+    }
+
+    #[test]
+    fn tolerates_substitution_errors() {
+        let genome = random_genome(300, 13);
+        let mut read_a = genome.slice(0, 120);
+        let read_b = genome.slice(60, 180);
+        // Two substitutions inside the 60 bp overlap: identity 58/60 > 0.9.
+        read_a.set(70, read_a.get(70).complement());
+        read_a.set(90, read_a.get(90).complement());
+        let store = ReadStore::preprocess(
+            &[Read::new("a", read_a), Read::new("b", read_b)],
+            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+        )
+        .unwrap();
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let (overlaps, _) = overlapper.overlap_all(&store.split_subsets(1));
+        assert!(
+            overlaps.iter().any(|o| o.kind == OverlapKind::SuffixPrefix && o.identity < 1.0),
+            "imperfect dovetail not found: {overlaps:?}"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(OverlapConfig { k: 0, ..Default::default() }.validate().is_err());
+        assert!(OverlapConfig { k: 33, ..Default::default() }.validate().is_err());
+        assert!(OverlapConfig { seed_step: 0, ..Default::default() }.validate().is_err());
+        assert!(OverlapConfig { min_identity: 1.5, ..Default::default() }.validate().is_err());
+        assert!(OverlapConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn never_pairs_a_read_with_its_own_rc() {
+        // A palindromic-ish sequence would otherwise match its RC.
+        let genome: DnaString = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT".parse().unwrap();
+        let store = ReadStore::preprocess(
+            &[Read::new("p", genome)],
+            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+        )
+        .unwrap();
+        let overlapper = Overlapper::new(&store, OverlapConfig {
+            min_overlap_len: 10,
+            ..test_config()
+        })
+        .unwrap();
+        let (overlaps, _) = overlapper.overlap_all(&store.split_subsets(1));
+        for o in &overlaps {
+            assert_ne!(store.mate(o.a), Some(o.b), "read paired with its own RC: {o:?}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Suffix array over a concatenated read subset.
+//!
+//! The paper indexes each reference read subset with a suffix array (§II-B,
+//! citing Larsson & Sadakane's "Faster Suffix Sorting"). We build the array
+//! with prefix doubling over integer ranks — the same rank-refinement idea as
+//! Larsson–Sadakane, implemented with comparison sorts for clarity — giving
+//! `O(n log n)` rank rounds at `O(n log n)` each. Reads are concatenated with
+//! a separator symbol smaller than every base so no match can span two reads.
+
+use fc_seq::{DnaString, ReadId};
+
+/// Byte used between concatenated reads. Must sort below all base codes.
+const SEPARATOR: u8 = 0;
+
+/// Base codes are shifted by this amount so the separator stays unique.
+const BASE_SHIFT: u8 = 1;
+
+/// A suffix array over the concatenation of a set of reads, with the mapping
+/// back from text positions to `(read, offset)` pairs.
+#[derive(Debug, Clone)]
+pub struct SuffixArray {
+    /// Concatenated text: shifted base codes with separators between reads.
+    text: Vec<u8>,
+    /// Sorted suffix start positions.
+    sa: Vec<u32>,
+    /// Start offset of each read within `text` (parallel to `ids`).
+    read_starts: Vec<u32>,
+    /// The reads, in concatenation order.
+    ids: Vec<ReadId>,
+}
+
+impl SuffixArray {
+    /// Builds the index over `reads` (id + sequence pairs).
+    pub fn build(reads: &[(ReadId, &DnaString)]) -> SuffixArray {
+        let total: usize = reads.iter().map(|(_, s)| s.len() + 1).sum();
+        let mut text = Vec::with_capacity(total);
+        let mut read_starts = Vec::with_capacity(reads.len());
+        let mut ids = Vec::with_capacity(reads.len());
+        for (id, seq) in reads {
+            read_starts.push(text.len() as u32);
+            ids.push(*id);
+            for b in seq.iter() {
+                text.push(b.code() + BASE_SHIFT);
+            }
+            text.push(SEPARATOR);
+        }
+        let sa = build_suffix_array(&text);
+        SuffixArray { text, sa, read_starts, ids }
+    }
+
+    /// Number of indexed reads.
+    pub fn read_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Length of the concatenated text (including separators).
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// The sorted suffix positions (exposed for tests and diagnostics).
+    pub fn positions(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// Finds every occurrence of the packed k-mer `kmer` (as produced by
+    /// [`DnaString::kmer_u64`]) and reports each as `(read id, offset within
+    /// that read)`.
+    pub fn find_kmer(&self, kmer: u64, k: usize) -> Vec<(ReadId, u32)> {
+        let mut pattern = Vec::with_capacity(k);
+        for i in 0..k {
+            pattern.push((((kmer >> (2 * i)) & 0b11) as u8) + BASE_SHIFT);
+        }
+        self.find(&pattern)
+    }
+
+    /// Finds every occurrence of an arbitrary shifted-code pattern.
+    fn find(&self, pattern: &[u8]) -> Vec<(ReadId, u32)> {
+        let (lo, hi) = self.interval(pattern);
+        self.sa[lo..hi]
+            .iter()
+            .map(|&pos| self.locate(pos))
+            .collect()
+    }
+
+    /// Binary-searches the half-open suffix-array interval of suffixes that
+    /// start with `pattern`.
+    fn interval(&self, pattern: &[u8]) -> (usize, usize) {
+        use std::cmp::Ordering;
+        // Compares a suffix against the pattern by the pattern's length: a
+        // suffix that is a proper prefix of the pattern sorts before it.
+        let cmp = |pos: u32| -> Ordering {
+            let suffix = &self.text[pos as usize..];
+            let n = suffix.len().min(pattern.len());
+            match suffix[..n].cmp(&pattern[..n]) {
+                Ordering::Equal if suffix.len() < pattern.len() => Ordering::Less,
+                o => o,
+            }
+        };
+        let lo = self.sa.partition_point(|&pos| cmp(pos) == Ordering::Less);
+        let hi = lo + self.sa[lo..].partition_point(|&pos| cmp(pos) == Ordering::Equal);
+        (lo, hi)
+    }
+
+    /// Maps a text position to `(read id, offset within read)`.
+    fn locate(&self, pos: u32) -> (ReadId, u32) {
+        let idx = match self.read_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (self.ids[idx], pos - self.read_starts[idx])
+    }
+}
+
+/// Prefix-doubling suffix array construction.
+///
+/// Ranks start from single symbols and double the compared prefix length each
+/// round until all ranks are distinct.
+fn build_suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = text.iter().map(|&c| c as u32).collect();
+    let mut next_rank = vec![0u32; n];
+    let mut len = 1usize;
+
+    // Key of suffix i when comparing by 2*len symbols: (rank[i], rank[i+len]).
+    let key = |rank: &[u32], i: u32, len: usize| -> (u32, u32) {
+        let second = rank.get(i as usize + len).map_or(0, |&r| r + 1);
+        (rank[i as usize], second)
+    };
+
+    loop {
+        sa.sort_unstable_by_key(|&i| key(&rank, i, len));
+        next_rank[sa[0] as usize] = 0;
+        let mut distinct = 1u32;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            if key(&rank, cur, len) != key(&rank, prev, len) {
+                distinct += 1;
+            }
+            next_rank[cur as usize] = distinct - 1;
+        }
+        std::mem::swap(&mut rank, &mut next_rank);
+        if distinct as usize == n {
+            break;
+        }
+        len *= 2;
+    }
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::DnaString;
+
+    fn naive_suffix_array(text: &[u8]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    #[test]
+    fn doubling_matches_naive_on_fixed_strings() {
+        for text in [
+            b"banana".to_vec(),
+            b"aaaaaa".to_vec(),
+            b"abcabcabc".to_vec(),
+            vec![3, 1, 2, 0, 3, 1, 2, 0],
+            vec![1],
+        ] {
+            assert_eq!(build_suffix_array(&text), naive_suffix_array(&text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(build_suffix_array(&[]).is_empty());
+    }
+
+    fn index_of(seqs: &[&str]) -> (SuffixArray, Vec<DnaString>) {
+        let parsed: Vec<DnaString> = seqs.iter().map(|s| s.parse().unwrap()).collect();
+        let refs: Vec<(ReadId, &DnaString)> =
+            parsed.iter().enumerate().map(|(i, s)| (ReadId(i as u32), s)).collect();
+        (SuffixArray::build(&refs), parsed)
+    }
+
+    #[test]
+    fn find_kmer_reports_all_occurrences() {
+        let (idx, seqs) = index_of(&["ACGTACGT", "TTACGTT"]);
+        let k = 4;
+        let kmer = seqs[0].kmer_u64(0, k).unwrap(); // ACGT
+        let mut hits = idx.find_kmer(kmer, k);
+        hits.sort();
+        assert_eq!(
+            hits,
+            vec![(ReadId(0), 0), (ReadId(0), 4), (ReadId(1), 2)]
+        );
+    }
+
+    #[test]
+    fn no_match_across_read_boundary() {
+        // "AC" ends read 0 and "GT" begins read 1; the 4-mer ACGT must not hit.
+        let (idx, _) = index_of(&["AAAC", "GTTT"]);
+        let pattern: DnaString = "ACGT".parse().unwrap();
+        let hits = idx.find_kmer(pattern.kmer_u64(0, 4).unwrap(), 4);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn missing_pattern_returns_empty() {
+        let (idx, _) = index_of(&["AAAA", "CCCC"]);
+        let pattern: DnaString = "GGGG".parse().unwrap();
+        assert!(idx.find_kmer(pattern.kmer_u64(0, 4).unwrap(), 4).is_empty());
+    }
+
+    #[test]
+    fn locate_maps_offsets_correctly() {
+        let (idx, seqs) = index_of(&["ACGGT", "CGGTA"]);
+        let kmer = seqs[0].kmer_u64(1, 3).unwrap(); // CGG
+        let mut hits = idx.find_kmer(kmer, 3);
+        hits.sort();
+        assert_eq!(hits, vec![(ReadId(0), 1), (ReadId(1), 0)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for graph coarsening: heavy-edge matching,
+//! contraction, and full multilevel-set construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_graph::coarsen::{contract, heavy_edge_matching};
+use fc_graph::{CoarsenConfig, LevelGraph, MultilevelSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A noisy linear graph: the shape of real overlap graphs (a path plus
+/// shortcut edges from high coverage).
+fn overlap_like_graph(n: usize, seed: u64) -> LevelGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = LevelGraph::with_nodes(n);
+    for i in 0..n - 1 {
+        g.add_edge(i as u32, (i + 1) as u32, rng.gen_range(40..90));
+        if i + 2 < n {
+            g.add_edge(i as u32, (i + 2) as u32, rng.gen_range(5..40));
+        }
+    }
+    g
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let g = overlap_like_graph(20_000, 1);
+    c.bench_function("heavy_edge_matching_20k", |b| {
+        b.iter(|| heavy_edge_matching(black_box(&g), 7))
+    });
+}
+
+fn bench_contract(c: &mut Criterion) {
+    let g = overlap_like_graph(20_000, 1);
+    let mate = heavy_edge_matching(&g, 7);
+    c.bench_function("contract_20k", |b| b.iter(|| contract(black_box(&g), black_box(&mate))));
+}
+
+fn bench_multilevel(c: &mut Criterion) {
+    let g = overlap_like_graph(20_000, 1);
+    c.bench_function("multilevel_build_20k_10_levels", |b| {
+        b.iter(|| MultilevelSet::build(black_box(g.clone()), &CoarsenConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matching, bench_contract, bench_multilevel
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks splitting the partitioning cost into its
+//! stages: greedy growing, KL refinement, k-way refinement, full pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_graph::{CoarsenConfig, LevelGraph, MultilevelSet};
+use fc_partition::kl::KlConfig;
+use fc_partition::kway::KwayConfig;
+use fc_partition::{
+    greedy_grow, kl_refine, kway_refine, partition_graph_set, LocalGraph, PartitionConfig,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn overlap_like_graph(n: usize, seed: u64) -> LevelGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = LevelGraph::with_nodes(n);
+    for i in 0..n - 1 {
+        g.add_edge(i as u32, (i + 1) as u32, rng.gen_range(40..90));
+        if i + 2 < n {
+            g.add_edge(i as u32, (i + 2) as u32, rng.gen_range(5..40));
+        }
+    }
+    g
+}
+
+fn local_of(g: &LevelGraph) -> LocalGraph {
+    let nodes: Vec<u32> = (0..g.node_count() as u32).collect();
+    LocalGraph::extract(g, &nodes)
+}
+
+fn bench_grow(c: &mut Criterion) {
+    let local = local_of(&overlap_like_graph(5000, 1));
+    c.bench_function("greedy_grow_5k", |b| {
+        b.iter(|| {
+            let mut work = 0;
+            greedy_grow(black_box(&local), 9, &mut work)
+        })
+    });
+}
+
+fn bench_kl(c: &mut Criterion) {
+    let local = local_of(&overlap_like_graph(5000, 1));
+    let mut work = 0;
+    let side0 = greedy_grow(&local, 9, &mut work);
+    c.bench_function("kl_refine_5k", |b| {
+        b.iter(|| {
+            let mut side = side0.clone();
+            let mut work = 0;
+            kl_refine(black_box(&local), &mut side, &KlConfig::default(), &mut work)
+        })
+    });
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let g = overlap_like_graph(5000, 1);
+    let parts0: Vec<u32> = (0..5000).map(|i| ((i * 16) / 5000) as u32).collect();
+    c.bench_function("kway_refine_5k_16parts", |b| {
+        b.iter(|| {
+            let mut parts = parts0.clone();
+            let mut work = 0;
+            kway_refine(black_box(&g), &mut parts, 16, &KwayConfig::default(), &mut work)
+        })
+    });
+}
+
+fn bench_full(c: &mut Criterion) {
+    let set =
+        MultilevelSet::build(overlap_like_graph(10_000, 1), &CoarsenConfig::default()).set;
+    c.bench_function("partition_graph_set_10k_k16", |b| {
+        b.iter(|| partition_graph_set(black_box(&set), &PartitionConfig::new(16, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grow, bench_kl, bench_kway, bench_full
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table I — data-set characteristics.
+//!
+//! Paper: three SRA gut-microbiome runs (~5 Gbases each, 100 bp reads).
+//! Here: the three simulated analogues D1–D3 (DESIGN.md §2), whose size is
+//! controlled by `FOCUS_BENCH_SCALE`.
+
+use fc_bench::{bench_scale, print_table_header};
+
+fn main() {
+    let scale = bench_scale();
+    let datasets = fc_sim::paper_datasets(scale).expect("data sets generate");
+
+    print_table_header(
+        &format!("Table I: data set characteristics (scale {scale})"),
+        &["set", "seed", "genera", "phyla", "reads", "read_len", "Mbases"],
+        9,
+    );
+    for d in &datasets {
+        println!(
+            "{:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9.3}",
+            d.name,
+            d.seed,
+            d.taxonomy.genus_count(),
+            d.taxonomy.phyla.len(),
+            d.reads.len(),
+            d.read_len(),
+            d.total_bases() as f64 / 1e6,
+        );
+    }
+    println!(
+        "\n(paper: SRR513170 5.02 Gb, SRR513441 4.93 Gb, SRR061581 4.97 Gb; all 100 bp reads)"
+    );
+}

@@ -1,0 +1,153 @@
+//! Shared experiment setup: data sets, pipeline preparation, schedulers.
+
+use fc_dist::cluster::{schedule_phases, CostModel};
+use fc_partition::recursive::{TaskKind, TaskRecord};
+use fc_sim::{paper_datasets, Dataset};
+use focus_core::{FocusAssembler, FocusConfig, Prepared};
+
+/// The three paper-analogue data sets with their prepared (partition-
+/// independent) pipeline artifacts.
+pub struct ExperimentContext {
+    /// D1–D3.
+    pub datasets: Vec<Dataset>,
+    /// Stages 1–5 output per data set.
+    pub prepared: Vec<Prepared>,
+    /// The assembler used.
+    pub assembler: FocusAssembler,
+}
+
+/// Reads `FOCUS_BENCH_SCALE` (default 1.0).
+pub fn bench_scale() -> f64 {
+    std::env::var("FOCUS_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// The standard pipeline configuration used by all experiments.
+pub fn standard_config() -> FocusConfig {
+    let mut config = FocusConfig::default();
+    // 100 bp reads with quality tails: permissive-but-real thresholds.
+    config.trim.min_read_len = 40;
+    config.overlap.min_overlap_len = 50;
+    config.overlap.min_identity = 0.90;
+    config
+}
+
+/// Generates D1–D3 at `scale` and runs pipeline stages 1–5 on each.
+pub fn prepare_context(scale: f64) -> ExperimentContext {
+    let datasets = paper_datasets(scale).expect("paper data sets generate");
+    let assembler = FocusAssembler::new(standard_config()).expect("standard config is valid");
+    let prepared = datasets
+        .iter()
+        .map(|d| assembler.prepare(&d.reads).expect("preparation succeeds"))
+        .collect();
+    ExperimentContext { datasets, prepared, assembler }
+}
+
+/// Converts a partitioner task log into barrier-separated phases for the
+/// simulated cluster (paper §IV-C): one phase per recursive-bisection step
+/// (2^i concurrent tasks at step i), then one phase holding the per-level
+/// k-way refinement tasks (levels are independent).
+pub fn partition_phases(tasks: &[TaskRecord]) -> Vec<Vec<u64>> {
+    let mut bisect_steps: Vec<Vec<u64>> = Vec::new();
+    let mut kway: Vec<u64> = Vec::new();
+    for t in tasks {
+        match t.kind {
+            TaskKind::Bisect { step, .. } => {
+                while bisect_steps.len() <= step {
+                    bisect_steps.push(Vec::new());
+                }
+                bisect_steps[step].push(t.work);
+            }
+            TaskKind::KwayLevel { .. } => kway.push(t.work),
+        }
+    }
+    if !kway.is_empty() {
+        bisect_steps.push(kway);
+    }
+    bisect_steps
+}
+
+/// Virtual runtime of replaying `tasks` on `ranks` simulated processors.
+pub fn partition_runtime(tasks: &[TaskRecord], ranks: usize) -> f64 {
+    schedule_phases(&partition_phases(tasks), ranks, CostModel::default())
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_sd(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_partition::recursive::{TaskKind, TaskRecord};
+
+    fn task(step: usize, work: u64) -> TaskRecord {
+        TaskRecord { kind: TaskKind::Bisect { step, part: 0 }, work }
+    }
+
+    #[test]
+    fn phases_group_by_step_then_kway() {
+        let tasks = vec![
+            task(0, 100),
+            task(1, 40),
+            task(1, 60),
+            TaskRecord { kind: TaskKind::KwayLevel { level: 0 }, work: 10 },
+            TaskRecord { kind: TaskKind::KwayLevel { level: 1 }, work: 20 },
+        ];
+        let phases = partition_phases(&tasks);
+        assert_eq!(phases, vec![vec![100], vec![40, 60], vec![10, 20]]);
+    }
+
+    #[test]
+    fn runtime_monotone_in_ranks() {
+        let tasks = vec![task(0, 100), task(1, 50), task(1, 70)];
+        let t1 = partition_runtime(&tasks, 1);
+        let t2 = partition_runtime(&tasks, 2);
+        let t4 = partition_runtime(&tasks, 4);
+        assert!(t1 >= t2);
+        assert!(t2 >= t4);
+        // Serial = sum of works.
+        assert_eq!(t1, 220.0);
+        // Two ranks: step0 = 100, step1 = max(50,70).
+        assert_eq!(t2, 170.0);
+        assert_eq!(t2, t4); // parallelism exhausted at 2 tasks/phase
+    }
+
+    #[test]
+    fn mean_sd_basics() {
+        let (m, s) = mean_sd(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_sd(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bench_scale_default() {
+        // Unless the variable is set in the test environment, the default
+        // applies.
+        if std::env::var("FOCUS_BENCH_SCALE").is_err() {
+            assert_eq!(bench_scale(), 1.0);
+        }
+    }
+
+    #[test]
+    fn tiny_context_prepares() {
+        let ctx = prepare_context(0.01);
+        assert_eq!(ctx.datasets.len(), 3);
+        assert_eq!(ctx.prepared.len(), 3);
+        for p in &ctx.prepared {
+            assert!(!p.store.is_empty());
+            assert!(p.hybrid.node_count() > 0);
+        }
+    }
+}

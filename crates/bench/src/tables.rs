@@ -1,0 +1,40 @@
+//! Small helpers for printing paper-style tables to stdout.
+
+/// Prints a header row of column names with a fixed width.
+pub fn print_table_header(title: &str, columns: &[&str], width: usize) {
+    println!("\n=== {title} ===");
+    let row: Vec<String> = columns.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join(" "));
+    print_rule(columns.len(), width);
+}
+
+/// Prints a horizontal rule matching `columns` columns of `width`.
+pub fn print_rule(columns: usize, width: usize) {
+    println!("{}", vec!["-".repeat(width); columns].join(" "));
+}
+
+/// Formats a float with sensible precision for table cells.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(42.25), "42.2");
+        assert_eq!(fmt_f64(1.23456), "1.235");
+    }
+}

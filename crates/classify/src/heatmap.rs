@@ -1,0 +1,100 @@
+//! Text and CSV rendering of the genus × partition heat map (Fig. 7).
+
+use crate::distribution::GenusDistribution;
+use std::fmt::Write as _;
+
+/// Shade ramp from empty to full (fractions 0 → 1).
+const SHADES: &[char] = &[' ', '·', '░', '▒', '▓', '█'];
+
+/// Renders the distribution as a fixed-width text heat map, one row per
+/// genus, one column per partition, darker = larger read fraction — the
+/// terminal analogue of the paper's Fig. 7.
+pub fn render_text(dist: &GenusDistribution) -> String {
+    let k = dist.partition_count();
+    let name_w = dist.genera.iter().map(String::len).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    // Header.
+    let _ = write!(out, "{:name_w$} |", "");
+    for p in 0..k {
+        let _ = write!(out, "{:>3}", p + 1);
+    }
+    let _ = writeln!(out, " | reads");
+    let _ = writeln!(out, "{}-+{}-+------", "-".repeat(name_w), "-".repeat(3 * k));
+    for (g, name) in dist.genera.iter().enumerate() {
+        let _ = write!(out, "{name:name_w$} |");
+        let max = dist.concentration(g).max(f64::EPSILON);
+        for p in 0..k {
+            let f = dist.fractions[g][p];
+            // Shade relative to the row maximum, as heat-map rows are read.
+            let level = ((f / max) * (SHADES.len() - 1) as f64).round() as usize;
+            let _ = write!(out, "  {}", SHADES[level.min(SHADES.len() - 1)]);
+        }
+        let _ = writeln!(out, " | {}", dist.genus_counts[g]);
+    }
+    let _ = writeln!(out, "(unclassified reads: {})", dist.unclassified);
+    out
+}
+
+/// Renders the distribution as CSV: `genus,partition_1,…,partition_k,reads`.
+pub fn render_csv(dist: &GenusDistribution) -> String {
+    let k = dist.partition_count();
+    let mut out = String::from("genus");
+    for p in 0..k {
+        let _ = write!(out, ",partition_{}", p + 1);
+    }
+    out.push_str(",classified_reads\n");
+    for (g, name) in dist.genera.iter().enumerate() {
+        let _ = write!(out, "{name}");
+        for p in 0..k {
+            let _ = write!(out, ",{:.4}", dist.fractions[g][p]);
+        }
+        let _ = writeln!(out, ",{}", dist.genus_counts[g]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GenusDistribution {
+        GenusDistribution {
+            genera: vec!["Bacteroides".to_string(), "Roseburia".to_string()],
+            fractions: vec![vec![0.75, 0.25], vec![0.1, 0.9]],
+            genus_counts: vec![40, 10],
+            unclassified: 3,
+        }
+    }
+
+    #[test]
+    fn text_render_has_all_rows_and_counts() {
+        let text = render_text(&sample());
+        assert!(text.contains("Bacteroides"));
+        assert!(text.contains("Roseburia"));
+        assert!(text.contains("| 40"));
+        assert!(text.contains("unclassified reads: 3"));
+        // Row maxima render as the darkest shade.
+        assert!(text.contains('█'));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = render_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "genus,partition_1,partition_2,classified_reads");
+        assert_eq!(lines[1], "Bacteroides,0.7500,0.2500,40");
+        assert_eq!(lines[2], "Roseburia,0.1000,0.9000,10");
+    }
+
+    #[test]
+    fn empty_distribution_renders() {
+        let dist = GenusDistribution {
+            genera: vec![],
+            fractions: vec![],
+            genus_counts: vec![],
+            unclassified: 0,
+        };
+        assert!(render_text(&dist).contains("unclassified"));
+        assert!(render_csv(&dist).starts_with("genus"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # fc-classify — read classification and community-structure analysis
+//! (paper §VI-E, Fig. 7)
+//!
+//! The paper aligns reads against the HMP gut reference database with BWA
+//! and assigns each read the genus of its best hit, then studies how genera
+//! distribute over graph partitions. Here the reference database is the
+//! simulated taxonomy's genus genomes and the aligner is a k-mer best-hit
+//! classifier ([`classifier`]) — equivalent for the purpose of producing
+//! best-hit genus labels (see DESIGN.md §2).
+//!
+//! [`distribution`] builds the genus × partition read-fraction matrix of
+//! Fig. 7 and the within/cross-phylum co-clustering summary; [`heatmap`]
+//! renders the matrix as text/CSV.
+
+pub mod accuracy;
+pub mod classifier;
+pub mod distribution;
+pub mod heatmap;
+
+pub use accuracy::ClassifierAccuracy;
+pub use classifier::KmerClassifier;
+pub use distribution::{GenusDistribution, PhylumCoclustering};
+pub use heatmap::{render_csv, render_text};

@@ -1,0 +1,264 @@
+//! The simulated cluster: virtual rank clocks, cost model, scheduling.
+
+/// Converts abstract work and message counts into virtual time.
+///
+/// Units are arbitrary ("virtual microseconds"); every experiment reports
+/// ratios (speedup) or relative comparisons, so only the *relative*
+/// magnitudes matter. The defaults reflect the regime the paper measures
+/// in: per-partition graph work takes seconds while a message takes
+/// microseconds, so one work unit (an edge relaxation / gain evaluation /
+/// base comparison) costs 1 unit and a message only a few units of latency.
+/// Experiments that want to study communication pressure can raise
+/// `msg_latency` explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Virtual time per abstract work unit.
+    pub per_work_unit: f64,
+    /// Virtual time per message (latency).
+    pub msg_latency: f64,
+    /// Virtual time per transferred byte (inverse bandwidth).
+    pub msg_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel { per_work_unit: 1.0, msg_latency: 5.0, msg_per_byte: 0.002 }
+    }
+}
+
+/// Timing of one parallel phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTiming {
+    /// Virtual makespan of the phase (time from phase start to last rank
+    /// finishing, including message costs).
+    pub makespan: f64,
+    /// Sum of all ranks' busy time (serial-equivalent work).
+    pub total_work_time: f64,
+    /// Number of scheduled tasks.
+    pub tasks: usize,
+}
+
+impl PhaseTiming {
+    /// Parallel efficiency: serial time / (ranks × makespan) is not derivable
+    /// without rank count, so this exposes the speedup vs. serial execution.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            1.0
+        } else {
+            self.total_work_time / self.makespan
+        }
+    }
+}
+
+/// A deterministic simulated cluster of `ranks` workers.
+///
+/// Tasks are list-scheduled in submission order onto the least-loaded rank —
+/// the same greedy assignment an MPI master handing out partitions performs.
+/// `barrier` synchronises all clocks, modelling a collective.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    clocks: Vec<f64>,
+    cost: CostModel,
+    messages: u64,
+    bytes: u64,
+}
+
+impl SimCluster {
+    /// Creates a cluster with `ranks` workers (≥ 1) and a cost model.
+    pub fn new(ranks: usize, cost: CostModel) -> SimCluster {
+        assert!(ranks >= 1, "cluster needs at least one rank");
+        SimCluster { clocks: vec![0.0; ranks], cost, messages: 0, bytes: 0 }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Total messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Current virtual time (the furthest rank clock).
+    pub fn now(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Synchronises all ranks to the current virtual time (a collective).
+    pub fn barrier(&mut self) {
+        let now = self.now();
+        for c in &mut self.clocks {
+            *c = now;
+        }
+    }
+
+    /// Runs one parallel phase: `work[i]` abstract work units per task,
+    /// list-scheduled in order onto the least-loaded rank. A barrier is
+    /// implied before the phase starts. Returns the phase timing.
+    pub fn run_phase(&mut self, work: &[u64]) -> PhaseTiming {
+        self.barrier();
+        let start = self.now();
+        for &w in work {
+            let rank = self.least_loaded();
+            self.clocks[rank] += w as f64 * self.cost.per_work_unit;
+        }
+        let makespan = self.now() - start;
+        let total: f64 = work.iter().map(|&w| w as f64 * self.cost.per_work_unit).sum();
+        PhaseTiming { makespan, total_work_time: total, tasks: work.len() }
+    }
+
+    /// Charges a message of `bytes` payload from `from`; the receiving side
+    /// is the master (rank 0 convention), whose clock also advances.
+    pub fn send_to_master(&mut self, from: usize, bytes: u64) {
+        assert!(from < self.clocks.len());
+        let cost = self.cost.msg_latency + bytes as f64 * self.cost.msg_per_byte;
+        self.clocks[from] += cost;
+        // The master cannot finish receiving before the sender finished
+        // sending.
+        self.clocks[0] = f64::max(self.clocks[0] + cost, self.clocks[from]);
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    /// Charges serial master-side work (e.g. applying recorded removals).
+    pub fn master_work(&mut self, work: u64) {
+        self.clocks[0] += work as f64 * self.cost.per_work_unit;
+    }
+
+    /// Charges a tree-structured gather of one payload per rank to the
+    /// master (how MPI implements `MPI_Gatherv`): every rank pays one
+    /// message latency plus its payload; the master pays `⌈log2(ranks)⌉`
+    /// latencies plus the total payload, and cannot finish before the
+    /// slowest sender.
+    pub fn gather_to_master(&mut self, payloads: &[u64]) {
+        assert_eq!(payloads.len(), self.clocks.len(), "one payload per rank");
+        let mut slowest_sender: f64 = 0.0;
+        let mut total_bytes = 0u64;
+        for (rank, &bytes) in payloads.iter().enumerate() {
+            let cost = self.cost.msg_latency + bytes as f64 * self.cost.msg_per_byte;
+            self.clocks[rank] += cost;
+            slowest_sender = slowest_sender.max(self.clocks[rank]);
+            total_bytes += bytes;
+            self.messages += 1;
+            self.bytes += bytes;
+        }
+        let depth = (self.clocks.len().max(2) as f64).log2().ceil();
+        let master_cost =
+            depth * self.cost.msg_latency + total_bytes as f64 * self.cost.msg_per_byte;
+        self.clocks[0] = f64::max(self.clocks[0] + master_cost, slowest_sender);
+    }
+
+    fn least_loaded(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &c) in self.clocks.iter().enumerate().skip(1) {
+            if c < self.clocks[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// List-schedules a sequence of barrier-separated phases (each a slice of
+/// task works) onto `ranks` processors and returns the total virtual
+/// makespan. Used to replay the partitioner's task log (Fig. 4/5).
+pub fn schedule_phases(phases: &[Vec<u64>], ranks: usize, cost: CostModel) -> f64 {
+    let mut cluster = SimCluster::new(ranks, cost);
+    for phase in phases {
+        cluster.run_phase(phase);
+    }
+    cluster.barrier();
+    cluster.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_cost() -> CostModel {
+        CostModel { per_work_unit: 1.0, msg_latency: 0.0, msg_per_byte: 0.0 }
+    }
+
+    #[test]
+    fn single_rank_serialises_everything() {
+        let mut c = SimCluster::new(1, flat_cost());
+        let t = c.run_phase(&[10, 20, 30]);
+        assert_eq!(t.makespan, 60.0);
+        assert_eq!(t.total_work_time, 60.0);
+        assert_eq!(c.now(), 60.0);
+    }
+
+    #[test]
+    fn equal_tasks_split_perfectly() {
+        let mut c = SimCluster::new(4, flat_cost());
+        let t = c.run_phase(&[10; 8]);
+        assert_eq!(t.makespan, 20.0);
+        assert!((t.speedup_vs_serial() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounded_by_longest_task() {
+        let mut c = SimCluster::new(8, flat_cost());
+        let t = c.run_phase(&[100, 1, 1, 1]);
+        assert_eq!(t.makespan, 100.0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut c = SimCluster::new(2, flat_cost());
+        c.run_phase(&[10]);
+        c.barrier();
+        let t = c.run_phase(&[5]);
+        assert_eq!(t.makespan, 5.0);
+        assert_eq!(c.now(), 15.0);
+    }
+
+    #[test]
+    fn messages_charge_latency_and_bandwidth() {
+        let cost = CostModel { per_work_unit: 1.0, msg_latency: 100.0, msg_per_byte: 0.5 };
+        let mut c = SimCluster::new(2, cost);
+        c.send_to_master(1, 200);
+        assert_eq!(c.messages(), 1);
+        assert_eq!(c.bytes(), 200);
+        assert_eq!(c.now(), 200.0); // 100 + 200*0.5
+    }
+
+    #[test]
+    fn more_ranks_never_slower() {
+        let phases = vec![vec![7, 13, 4, 9, 22, 5, 16, 8]];
+        let mut last = f64::INFINITY;
+        for ranks in 1..=8 {
+            let t = schedule_phases(&phases, ranks, flat_cost());
+            assert!(t <= last + 1e-9, "ranks {ranks} slower: {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn speedup_saturates_at_task_parallelism() {
+        // 4 equal tasks: speedup caps at 4 regardless of rank count.
+        let phases = vec![vec![50; 4]];
+        let t1 = schedule_phases(&phases, 1, flat_cost());
+        let t4 = schedule_phases(&phases, 4, flat_cost());
+        let t16 = schedule_phases(&phases, 16, flat_cost());
+        assert_eq!(t1 / t4, 4.0);
+        assert_eq!(t4, t16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = SimCluster::new(0, CostModel::default());
+    }
+}

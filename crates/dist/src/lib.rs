@@ -1,0 +1,38 @@
+//! # fc-dist — simulated distributed runtime and distributed graph
+//! algorithms (paper §V)
+//!
+//! The paper runs Focus on an MPI cluster (Crane, 452 nodes). This
+//! environment has one physical core, so the distributed substrate is a
+//! **deterministic simulated cluster** (see DESIGN.md §2): rank code is the
+//! real algorithm, executed rank by rank; every rank carries a virtual clock
+//! charged per unit of algorithmic work, and messages are charged
+//! latency + bandwidth. Parallel phase times are makespans over the virtual
+//! clocks, which preserves exactly what the paper's Figs. 4–6 measure — how
+//! work distributes over ranks and where speedup saturates — while being
+//! reproducible.
+//!
+//! * [`cluster`] — virtual clocks, cost model, list scheduling, message
+//!   accounting,
+//! * [`transitive`] — distributed transitive edge reduction (§V-A, Myers),
+//! * [`simplify`] — containment removal and false-positive edge removal
+//!   (§V-B),
+//! * [`errors`] — dead-end trimming and bubble popping (§V-C, Velvet-style),
+//! * [`traverse`] — per-partition maximal-path extraction and master-side
+//!   sub-path joining (§V-D),
+//! * [`driver`] — the full distributed pipeline over a partitioned hybrid
+//!   graph, with per-phase virtual timings,
+//! * [`variants`] — distributed variant detection, the extension the
+//!   paper's discussion (§VI-D) proposes as future work.
+
+pub mod cluster;
+pub mod driver;
+pub mod errors;
+pub mod simplify;
+pub mod transitive;
+pub mod traverse;
+pub mod variants;
+
+pub use cluster::{CostModel, PhaseTiming, SimCluster};
+pub use driver::{DistributedConfig, DistributedHybrid, DistributedReport};
+pub use traverse::AssemblyPath;
+pub use variants::{detect_variants, Variant, VariantConfig};

@@ -1,0 +1,135 @@
+//! Assembler configuration and error type.
+
+use fc_align::OverlapConfig;
+use fc_dist::DistributedConfig;
+use fc_graph::{CoarsenConfig, LayoutConfig};
+use fc_seq::TrimConfig;
+use std::fmt;
+
+/// Full configuration of the Focus pipeline, one field per stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FocusConfig {
+    /// Read preprocessing (§II-A).
+    pub trim: TrimConfig,
+    /// Number of read subsets for the parallel aligner (§II-A/B).
+    pub subsets: usize,
+    /// Overlap detection thresholds (§II-B).
+    pub overlap: OverlapConfig,
+    /// Multilevel coarsening (§II-C).
+    pub coarsen: CoarsenConfig,
+    /// Cluster contiguity test for best representatives (§II-D).
+    pub layout: LayoutConfig,
+    /// Number of graph partitions (must be a power of two).
+    pub partitions: usize,
+    /// Seed for the partitioner's randomised choices.
+    pub partition_seed: u64,
+    /// Distributed trimming/traversal knobs (§V).
+    pub dist: DistributedConfig,
+    /// Build contig sequences by per-column majority consensus (error
+    /// correcting) instead of first-wins merging. Lengths and all Table III
+    /// statistics are identical either way; only base-level content
+    /// differs.
+    pub consensus: bool,
+    /// Emit only the lexicographically canonical strand of each contig
+    /// (exact reverse-complement duplicates are dropped). The read set is
+    /// strand-augmented (§II-A), so assemblies naturally produce each contig
+    /// on both strands; the paper reports raw counts, so this defaults off.
+    pub dedup_rc: bool,
+}
+
+impl Default for FocusConfig {
+    fn default() -> FocusConfig {
+        FocusConfig {
+            trim: TrimConfig::default(),
+            subsets: 4,
+            overlap: OverlapConfig::default(),
+            coarsen: CoarsenConfig::default(),
+            layout: LayoutConfig::default(),
+            partitions: 16,
+            partition_seed: 0xF0C05,
+            dist: DistributedConfig::default(),
+            consensus: true,
+            dedup_rc: false,
+        }
+    }
+}
+
+impl FocusConfig {
+    /// Validates cross-stage parameter sanity.
+    pub fn validate(&self) -> Result<(), FocusError> {
+        self.trim.validate().map_err(FocusError::Config)?;
+        self.overlap.validate().map_err(FocusError::Config)?;
+        if self.subsets == 0 {
+            return Err(FocusError::Config("subsets must be > 0".to_string()));
+        }
+        if self.partitions == 0 || !self.partitions.is_power_of_two() {
+            return Err(FocusError::Config(format!(
+                "partitions must be a positive power of two, got {}",
+                self.partitions
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the assembler pipeline.
+#[derive(Debug)]
+pub enum FocusError {
+    /// Invalid configuration.
+    Config(String),
+    /// A pipeline stage failed.
+    Stage {
+        /// Stage name (e.g. `"preprocess"`).
+        stage: &'static str,
+        /// Underlying message.
+        message: String,
+    },
+    /// The input read set produced no usable data (e.g. everything trimmed
+    /// away).
+    EmptyInput,
+}
+
+impl fmt::Display for FocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FocusError::Config(m) => write!(f, "invalid configuration: {m}"),
+            FocusError::Stage { stage, message } => write!(f, "stage {stage} failed: {message}"),
+            FocusError::EmptyInput => write!(f, "no usable reads after preprocessing"),
+        }
+    }
+}
+
+impl std::error::Error for FocusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        FocusConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_partitions() {
+        let mut c = FocusConfig { partitions: 12, ..Default::default() };
+        assert!(c.validate().is_err());
+        c.partitions = 0;
+        assert!(c.validate().is_err());
+        c.partitions = 32;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_subsets() {
+        let c = FocusConfig { subsets: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FocusError::Stage { stage: "alignment", message: "boom".to_string() };
+        assert_eq!(e.to_string(), "stage alignment failed: boom");
+        assert!(FocusError::EmptyInput.to_string().contains("no usable reads"));
+    }
+}

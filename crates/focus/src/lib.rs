@@ -1,0 +1,21 @@
+//! # focus-core — the Focus assembler pipeline
+//!
+//! The end-to-end assembler of the paper (§II): read preprocessing →
+//! parallel overlap alignment → overlap graph → multilevel coarsening →
+//! hybrid graph set → partitioning → distributed trimming → distributed
+//! traversal → contig construction.
+//!
+//! The crate stitches the substrates together behind one entry point,
+//! [`FocusAssembler`], and exposes the intermediate artifacts
+//! ([`Prepared`]) so experiments can sweep partition counts without
+//! recomputing alignment and coarsening.
+
+pub mod config;
+pub mod eval;
+pub mod pipeline;
+pub mod stats;
+
+pub use config::{FocusConfig, FocusError};
+pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
+pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};
+pub use stats::AssemblyStats;

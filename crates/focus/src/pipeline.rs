@@ -1,0 +1,278 @@
+//! The six-stage Focus pipeline (paper §II).
+
+use crate::config::{FocusConfig, FocusError};
+use crate::stats::AssemblyStats;
+use fc_align::{Overlap, Overlapper, PairStats};
+use fc_dist::{AssemblyPath, DistributedHybrid, DistributedReport};
+use fc_graph::{HybridSet, MultilevelSet, NodeId, OverlapGraph};
+use fc_partition::{partition_graph_set, PartitionConfig, PartitionResult};
+use fc_seq::{DnaString, Read, ReadStore};
+
+/// The Focus assembler. Construct with a validated [`FocusConfig`], then
+/// either [`assemble`](FocusAssembler::assemble) in one call or
+/// [`prepare`](FocusAssembler::prepare) once and sweep partition counts with
+/// [`assemble_prepared`](FocusAssembler::assemble_prepared).
+#[derive(Debug, Clone)]
+pub struct FocusAssembler {
+    config: FocusConfig,
+}
+
+/// The partition-independent intermediate artifacts (stages 1–5): the
+/// preprocessed store, the verified overlaps, the level-0 overlap graph, the
+/// multilevel graph set, and the hybrid graph set.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Preprocessed, strand-augmented reads.
+    pub store: ReadStore,
+    /// Verified overlap records.
+    pub overlaps: Vec<Overlap>,
+    /// Per-subset-pair alignment work statistics.
+    pub pair_stats: Vec<(usize, usize, PairStats)>,
+    /// Level-0 overlap graph.
+    pub graph: OverlapGraph,
+    /// Multilevel graph set `{G0 … Gn}`.
+    pub multilevel: MultilevelSet,
+    /// Hybrid graph set `{G'0 … G'n}`.
+    pub hybrid: HybridSet,
+}
+
+/// A complete assembly outcome.
+#[derive(Debug, Clone)]
+pub struct AssemblyResult {
+    /// The assembled contigs.
+    pub contigs: Vec<DnaString>,
+    /// Contig statistics (Table III).
+    pub stats: AssemblyStats,
+    /// Partitioning outcome on the hybrid set.
+    pub partition: PartitionResult,
+    /// Distributed-stage report (timings, removal counts, paths).
+    pub report: DistributedReport,
+}
+
+impl FocusAssembler {
+    /// Creates an assembler after validating `config`.
+    pub fn new(config: FocusConfig) -> Result<FocusAssembler, FocusError> {
+        config.validate()?;
+        Ok(FocusAssembler { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FocusConfig {
+        &self.config
+    }
+
+    /// Runs stages 1–5: preprocessing, parallel alignment, overlap graph,
+    /// multilevel coarsening, hybrid-set construction.
+    pub fn prepare(&self, reads: &[Read]) -> Result<Prepared, FocusError> {
+        let store = ReadStore::preprocess(reads, &self.config.trim)
+            .map_err(|m| FocusError::Stage { stage: "preprocess", message: m })?;
+        if store.is_empty() {
+            return Err(FocusError::EmptyInput);
+        }
+        let overlapper = Overlapper::new(&store, self.config.overlap)
+            .map_err(|m| FocusError::Stage { stage: "alignment", message: m })?;
+        let subsets = store.split_subsets(self.config.subsets);
+        let (overlaps, pair_stats) = overlapper.overlap_all(&subsets);
+
+        let graph = OverlapGraph::build(&store, &overlaps);
+        let multilevel = MultilevelSet::build(graph.undirected.clone(), &self.config.coarsen);
+        let hybrid = HybridSet::build(&multilevel, &graph, &store, &self.config.layout);
+        Ok(Prepared { store, overlaps, pair_stats, graph, multilevel, hybrid })
+    }
+
+    /// Runs stage 6 (partitioning + distributed trimming/traversal + contig
+    /// construction) on prepared artifacts with `k` partitions.
+    pub fn assemble_prepared(
+        &self,
+        prepared: &Prepared,
+        k: usize,
+    ) -> Result<AssemblyResult, FocusError> {
+        let partition = partition_graph_set(
+            &prepared.hybrid.set,
+            &PartitionConfig::new(k, self.config.partition_seed),
+        )
+        .map_err(|m| FocusError::Stage { stage: "partition", message: m })?;
+
+        let parts = partition.finest().to_vec();
+        let mut dh = if self.config.consensus {
+            DistributedHybrid::with_consensus(&prepared.hybrid, &prepared.store, parts, k)
+        } else {
+            DistributedHybrid::new(&prepared.hybrid, &prepared.store, parts, k)
+        }
+        .map_err(|m| FocusError::Stage { stage: "distribute", message: m })?;
+        let report = dh.run(&self.config.dist);
+
+        let mut contigs: Vec<DnaString> = report
+            .paths
+            .iter()
+            .map(|p| path_contig(&dh, p))
+            .collect();
+        if self.config.dedup_rc {
+            contigs = dedup_reverse_complements(contigs);
+        }
+        let stats = AssemblyStats::from_contigs(&contigs);
+        Ok(AssemblyResult { contigs, stats, partition, report })
+    }
+
+    /// The full pipeline with the configured partition count.
+    pub fn assemble(&self, reads: &[Read]) -> Result<AssemblyResult, FocusError> {
+        let prepared = self.prepare(reads)?;
+        self.assemble_prepared(&prepared, self.config.partitions)
+    }
+}
+
+/// Merges the contigs along a maximal path into one sequence using the
+/// hybrid edges' contig-level shifts (first-wins merging, as within
+/// clusters).
+fn path_contig(dh: &DistributedHybrid, path: &AssemblyPath) -> DnaString {
+    let first: NodeId = path.nodes[0];
+    let mut seq = dh.contig(first).clone();
+    let mut covered_to = seq.len() as i64;
+    let mut offset = 0i64;
+    for w in path.nodes.windows(2) {
+        let edge = dh
+            .graph
+            .edge(w[0], w[1])
+            .expect("consecutive path nodes are connected");
+        offset += edge.shift as i64;
+        let next = dh.contig(w[1]);
+        let from = (covered_to - offset).max(0);
+        if from < next.len() as i64 {
+            seq.extend_from(&next.slice(from as usize, next.len()));
+            covered_to = covered_to.max(offset + next.len() as i64);
+        }
+    }
+    seq
+}
+
+/// Keeps one representative per exact reverse-complement pair: a contig is
+/// kept when it is lexicographically no greater than its reverse complement
+/// (ties, i.e. palindromes, are kept once).
+fn dedup_reverse_complements(contigs: Vec<DnaString>) -> Vec<DnaString> {
+    use std::collections::HashSet;
+    let mut canonical_seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut out = Vec::with_capacity(contigs.len() / 2 + 1);
+    for contig in contigs {
+        let fwd = contig.to_ascii();
+        let rc = contig.reverse_complement().to_ascii();
+        let canonical = if fwd <= rc { fwd } else { rc };
+        if canonical_seen.insert(canonical) {
+            out.push(contig);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::Base;
+
+    fn genome(len: usize, seed: u64) -> DnaString {
+        // Small deterministic generator (xorshift) to avoid a rand dep here.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Base::from_code((state >> 5) as u8 & 3)
+            })
+            .collect()
+    }
+
+    /// Error-free tiling reads over a genome, as FASTA-style reads.
+    fn tiled_reads(genome: &DnaString, read_len: usize, stride: usize) -> Vec<Read> {
+        let mut reads = Vec::new();
+        let mut start = 0;
+        while start + read_len <= genome.len() {
+            reads.push(Read::new(format!("r{start}"), genome.slice(start, start + read_len)));
+            start += stride;
+        }
+        reads
+    }
+
+    fn quick_config(k: usize) -> FocusConfig {
+        let mut c = FocusConfig { partitions: k, ..Default::default() };
+        c.trim.min_read_len = 30;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    #[test]
+    fn assembles_single_genome_into_covering_contigs() {
+        let g = genome(3000, 7);
+        let reads = tiled_reads(&g, 100, 40);
+        let assembler = FocusAssembler::new(quick_config(4)).unwrap();
+        let result = assembler.assemble(&reads).unwrap();
+        assert!(!result.contigs.is_empty());
+        // The longest contig should recover a large fraction of the genome
+        // (both strands assemble, so expect ~genome length).
+        assert!(
+            result.stats.max_contig as f64 >= 0.9 * g.len() as f64,
+            "max contig {} too short for genome {}",
+            result.stats.max_contig,
+            g.len()
+        );
+        // The assembly is strand-duplicated: total ≈ 2× genome.
+        assert!(result.stats.total_bases >= g.len());
+    }
+
+    #[test]
+    fn dedup_rc_halves_strand_duplicates() {
+        let g = genome(2000, 21);
+        let reads = tiled_reads(&g, 100, 40);
+        let mut config = quick_config(4);
+        let plain = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        config.dedup_rc = true;
+        let deduped = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        assert!(deduped.stats.num_contigs <= plain.stats.num_contigs);
+    }
+
+    #[test]
+    fn partition_count_preserves_contig_stats() {
+        // Table III's property: assembly quality is partition-invariant.
+        let g = genome(2500, 3);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(2)).unwrap();
+        let prepared = assembler.prepare(&reads).unwrap();
+        let r2 = assembler.assemble_prepared(&prepared, 2).unwrap();
+        let r8 = assembler.assemble_prepared(&prepared, 8).unwrap();
+        assert_eq!(r2.stats.max_contig, r8.stats.max_contig);
+        assert_eq!(r2.stats.total_bases, r8.stats.total_bases);
+        // Contig sets must be identical after joining.
+        let mut a: Vec<String> = r2.contigs.iter().map(|c| c.to_string()).collect();
+        let mut b: Vec<String> = r8.contigs.iter().map(|c| c.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let assembler = FocusAssembler::new(quick_config(2)).unwrap();
+        assert!(matches!(assembler.assemble(&[]), Err(FocusError::EmptyInput)));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let c = FocusConfig { partitions: 3, ..Default::default() };
+        assert!(FocusAssembler::new(c).is_err());
+    }
+
+    #[test]
+    fn dedup_reverse_complements_unit() {
+        let a: DnaString = "ACGTT".parse().unwrap();
+        let rc = a.reverse_complement();
+        let out = dedup_reverse_complements(vec![a.clone(), rc]);
+        assert_eq!(out.len(), 1);
+        // Palindrome kept once.
+        let p: DnaString = "ACGT".parse().unwrap();
+        let out = dedup_reverse_complements(vec![p.clone(), p.clone()]);
+        assert_eq!(out.len(), 1);
+        // Distinct contigs all kept.
+        let b: DnaString = "AAAAC".parse().unwrap();
+        let out = dedup_reverse_complements(vec![a, b]);
+        assert_eq!(out.len(), 2);
+    }
+}

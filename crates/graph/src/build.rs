@@ -1,0 +1,147 @@
+//! Building the level-0 overlap graph `G0` from verified overlaps.
+
+use crate::digraph::{DiEdge, DiGraph};
+use crate::level::{LevelGraph, NodeId};
+use fc_align::{Overlap, OverlapKind};
+use fc_seq::{ReadId, ReadStore};
+
+/// The level-0 overlap graph in both views the assembler needs.
+///
+/// Node ids coincide with store read ids (each strand is its own node,
+/// paper §II-A/C). The undirected view carries alignment lengths as edge
+/// weights and is what coarsening/partitioning consume; the directed view
+/// drives simplification and traversal. Containment relations are kept
+/// separately: the simplification stage (§V-B) removes contained reads.
+#[derive(Debug, Clone)]
+pub struct OverlapGraph {
+    /// Undirected weighted view (edge weight = alignment length).
+    pub undirected: LevelGraph,
+    /// Directed dovetail view.
+    pub directed: DiGraph,
+    /// `(outer, inner)` containment pairs discovered during alignment.
+    pub containments: Vec<(NodeId, NodeId)>,
+}
+
+impl OverlapGraph {
+    /// Builds `G0` over all reads of `store` from `overlaps`.
+    pub fn build(store: &ReadStore, overlaps: &[Overlap]) -> OverlapGraph {
+        let n = store.len();
+        let mut undirected = LevelGraph::with_nodes(n);
+        let mut directed = DiGraph::with_nodes(n);
+        let mut containments = Vec::new();
+
+        for o in overlaps {
+            match o.kind {
+                OverlapKind::SuffixPrefix => {
+                    let (from, to) = (o.a.0, o.b.0);
+                    directed.add_edge(
+                        from,
+                        DiEdge { to, len: o.len, identity: o.identity, shift: o.shift },
+                    );
+                }
+                OverlapKind::ContainsB => containments.push((o.a.0, o.b.0)),
+                OverlapKind::ContainedInB => containments.push((o.b.0, o.a.0)),
+            }
+        }
+        // Undirected weights come from the deduplicated directed edges so a
+        // dovetail discovered twice (once per strand pairing) is not double
+        // counted.
+        for v in 0..n as NodeId {
+            for e in directed.out_edges(v) {
+                if v < e.to || directed.edge(e.to, v).is_none() {
+                    undirected.add_edge(v, e.to, e.len as u64);
+                }
+            }
+        }
+        OverlapGraph { undirected, directed, containments }
+    }
+
+    /// Node count (= store read count).
+    pub fn node_count(&self) -> usize {
+        self.undirected.node_count()
+    }
+
+    /// Ids of nodes contained in another read (deduplicated).
+    pub fn contained_nodes(&self) -> Vec<NodeId> {
+        let mut inner: Vec<NodeId> = self.containments.iter().map(|&(_, i)| i).collect();
+        inner.sort_unstable();
+        inner.dedup();
+        inner
+    }
+
+    /// The read id a node represents (identity mapping at level 0).
+    pub fn read_of(&self, v: NodeId) -> ReadId {
+        ReadId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::Read;
+
+    fn store(n: usize) -> ReadStore {
+        let reads: Vec<Read> = (0..n)
+            .map(|i| Read::new(format!("r{i}"), "ACGTACGTACGTACGT".parse().unwrap()))
+            .collect();
+        ReadStore::from_reads(reads)
+    }
+
+    fn dovetail(a: u32, b: u32, len: u32) -> Overlap {
+        Overlap {
+            a: ReadId(a),
+            b: ReadId(b),
+            kind: OverlapKind::SuffixPrefix,
+            shift: 4,
+            len,
+            identity: 0.95,
+        }
+    }
+
+    #[test]
+    fn builds_both_views() {
+        let store = store(4);
+        let overlaps = vec![
+            dovetail(0, 1, 50),
+            dovetail(1, 2, 60),
+            Overlap {
+                a: ReadId(3),
+                b: ReadId(2),
+                kind: OverlapKind::ContainedInB,
+                shift: 2,
+                len: 40,
+                identity: 0.99,
+            },
+        ];
+        let g = OverlapGraph::build(&store, &overlaps);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.directed.edge_count(), 2);
+        assert_eq!(g.undirected.edge_count(), 2);
+        assert_eq!(g.undirected.edge_weight(0, 1), Some(50));
+        assert_eq!(g.containments, vec![(2, 3)]);
+        assert_eq!(g.contained_nodes(), vec![3]);
+        g.undirected.check_invariants().unwrap();
+        g.directed.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn antiparallel_dovetails_not_double_counted() {
+        // Both directions present (0->1 and 1->0, e.g. via RC symmetry):
+        // the undirected view must carry one edge with the single length.
+        let store = store(2);
+        let overlaps = vec![dovetail(0, 1, 50), dovetail(1, 0, 50)];
+        let g = OverlapGraph::build(&store, &overlaps);
+        assert_eq!(g.directed.edge_count(), 2);
+        assert_eq!(g.undirected.edge_count(), 1);
+        assert_eq!(g.undirected.edge_weight(0, 1), Some(50));
+    }
+
+    #[test]
+    fn empty_overlaps_give_edgeless_graph() {
+        let g = OverlapGraph::build(&store(3), &[]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.undirected.edge_count(), 0);
+        assert_eq!(g.directed.edge_count(), 0);
+        assert!(g.contained_nodes().is_empty());
+    }
+}

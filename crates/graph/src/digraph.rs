@@ -1,0 +1,253 @@
+//! Directed overlap graphs for assembly traversal.
+
+use crate::level::NodeId;
+
+/// A directed overlap edge: the suffix of the source aligns to the prefix of
+/// the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiEdge {
+    /// Target node.
+    pub to: NodeId,
+    /// Alignment length in columns (edge weight, paper §II-C).
+    pub len: u32,
+    /// Alignment identity in `[0, 1]`.
+    pub identity: f64,
+    /// Offset of the target's first base relative to the source's first base
+    /// on the common layout.
+    pub shift: u32,
+}
+
+/// A directed graph with both out- and in-adjacency, supporting the removals
+/// the distributed simplification stage performs (§V).
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    out: Vec<Vec<DiEdge>>,
+    inc: Vec<Vec<NodeId>>,
+    removed_nodes: Vec<bool>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn with_nodes(n: usize) -> DiGraph {
+        DiGraph { out: vec![Vec::new(); n], inc: vec![Vec::new(); n], removed_nodes: vec![false; n] }
+    }
+
+    /// Number of nodes ever created (including removed ones).
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of live (not removed) nodes.
+    pub fn live_node_count(&self) -> usize {
+        self.removed_nodes.iter().filter(|&&r| !r).count()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a directed edge. Duplicate edges (same endpoints) keep the one
+    /// with the greater alignment length.
+    pub fn add_edge(&mut self, from: NodeId, edge: DiEdge) {
+        if from == edge.to {
+            return;
+        }
+        if let Some(existing) = self.out[from as usize].iter_mut().find(|e| e.to == edge.to) {
+            if edge.len > existing.len {
+                *existing = edge;
+            }
+            return;
+        }
+        self.out[from as usize].push(edge);
+        self.inc[edge.to as usize].push(from);
+    }
+
+    /// Out-edges of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[DiEdge] {
+        &self.out[v as usize]
+    }
+
+    /// Sources of in-edges of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.inc[v as usize]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out[v as usize].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inc[v as usize].len()
+    }
+
+    /// True if `v` has been removed.
+    pub fn is_removed(&self, v: NodeId) -> bool {
+        self.removed_nodes[v as usize]
+    }
+
+    /// Live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.out.len() as NodeId).filter(move |&v| !self.removed_nodes[v as usize])
+    }
+
+    /// Removes the directed edge `from -> to`; returns whether it existed.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        let out = &mut self.out[from as usize];
+        let before = out.len();
+        out.retain(|e| e.to != to);
+        if out.len() == before {
+            return false;
+        }
+        self.inc[to as usize].retain(|&s| s != from);
+        true
+    }
+
+    /// Removes a node and all its incident edges.
+    pub fn remove_node(&mut self, v: NodeId) {
+        if self.removed_nodes[v as usize] {
+            return;
+        }
+        let outs: Vec<NodeId> = self.out[v as usize].iter().map(|e| e.to).collect();
+        for t in outs {
+            self.inc[t as usize].retain(|&s| s != v);
+        }
+        let ins: Vec<NodeId> = self.inc[v as usize].clone();
+        for s in ins {
+            self.out[s as usize].retain(|e| e.to != v);
+        }
+        self.out[v as usize].clear();
+        self.inc[v as usize].clear();
+        self.removed_nodes[v as usize] = true;
+    }
+
+    /// The edge `from -> to`, if present.
+    pub fn edge(&self, from: NodeId, to: NodeId) -> Option<&DiEdge> {
+        self.out[from as usize].iter().find(|e| e.to == to)
+    }
+
+    /// Checks out/in adjacency consistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (v, edges) in self.out.iter().enumerate() {
+            for e in edges {
+                if !self.inc[e.to as usize].contains(&(v as NodeId)) {
+                    return Err(format!("missing in-edge record {v}->{}", e.to));
+                }
+                if self.removed_nodes[v] || self.removed_nodes[e.to as usize] {
+                    return Err(format!("edge touches removed node: {v}->{}", e.to));
+                }
+            }
+        }
+        for (v, sources) in self.inc.iter().enumerate() {
+            for &s in sources {
+                if !self.out[s as usize].iter().any(|e| e.to as usize == v) {
+                    return Err(format!("missing out-edge record {s}->{v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the graph (restricted to live nodes) is reachable from `from`
+    /// to `to` along directed edges. Used by transitive-reduction tests.
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        let mut seen = vec![false; self.out.len()];
+        let mut stack = vec![from];
+        seen[from as usize] = true;
+        while let Some(v) = stack.pop() {
+            if v == to {
+                return true;
+            }
+            for e in self.out_edges(v) {
+                if !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(to: NodeId, len: u32) -> DiEdge {
+        DiEdge { to, len, identity: 1.0, shift: 10 }
+    }
+
+    fn path_graph() -> DiGraph {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, edge(1, 50));
+        g.add_edge(1, edge(2, 60));
+        g.add_edge(2, edge(3, 70));
+        g
+    }
+
+    #[test]
+    fn adjacency_bookkeeping() {
+        let g = path_graph();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.in_neighbors(2), &[1]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_edge_keeps_longer() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, edge(1, 50));
+        g.add_edge(0, edge(1, 80));
+        g.add_edge(0, edge(1, 60));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(0, 1).unwrap().len, 80);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = DiGraph::with_nodes(1);
+        g.add_edge(0, edge(0, 50));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = path_graph();
+        assert!(g.remove_edge(1, 2));
+        assert!(!g.remove_edge(1, 2));
+        assert_eq!(g.out_degree(1), 0);
+        assert_eq!(g.in_degree(2), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_node_detaches_everything() {
+        let mut g = path_graph();
+        g.remove_node(1);
+        assert!(g.is_removed(1));
+        assert_eq!(g.live_node_count(), 3);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.in_degree(2), 0);
+        g.check_invariants().unwrap();
+        // Idempotent.
+        g.remove_node(1);
+        assert_eq!(g.live_node_count(), 3);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = path_graph();
+        assert!(g.is_reachable(0, 3));
+        assert!(!g.is_reachable(3, 0));
+        let mut g2 = g.clone();
+        g2.remove_edge(1, 2);
+        assert!(!g2.is_reachable(0, 3));
+    }
+}

@@ -1,0 +1,398 @@
+//! Read-cluster layout and the contiguity test.
+//!
+//! A node of a coarse graph represents a cluster of reads. The hybrid graph
+//! (paper §II-D) keeps a coarse node only if its cluster "assembles into a
+//! contiguous contig". We operationalise that test by laying the cluster
+//! out: dovetail edges carry relative offsets (`shift`), so a BFS over the
+//! cluster's induced directed subgraph assigns each read a coordinate. The
+//! cluster is contiguous iff
+//!
+//! 1. the induced subgraph is connected,
+//! 2. every edge agrees with the assigned coordinates (within a small indel
+//!    tolerance — disagreement means the cluster conflates repeat copies),
+//! 3. the reads tile an interval without gaps.
+//!
+//! The same layout orders the reads for contig-sequence construction.
+
+use crate::digraph::DiGraph;
+use crate::level::NodeId;
+use fc_seq::{DnaString, ReadId, ReadStore};
+use std::collections::HashMap;
+
+/// Parameters of the layout/contiguity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutConfig {
+    /// Maximum disagreement (bases) between an edge's shift and the layout
+    /// coordinates before the cluster is declared non-contiguous.
+    pub offset_tolerance: i64,
+    /// Two cluster reads whose layout intervals overlap by at least this
+    /// many bases must be linked by a verified overlap (a dovetail edge or
+    /// a recorded containment); otherwise the cluster stacked different
+    /// sequences at the same place — distinct alleles or repeat copies —
+    /// and is not contiguous. The default demands linkage only for
+    /// near-complete co-location (≥ 95 of 100 bp reads): that is the
+    /// signature of an allele stack, while partial co-location without an
+    /// edge routinely happens to honest clusters when one read's end grazes
+    /// a diverged neighborhood.
+    pub min_unlinked_overlap: i64,
+    /// Number of unlinked co-located pairs tolerated before the cluster is
+    /// declared non-contiguous. The default of 0 is strict — any stacked
+    /// pair without a verified overlap splits the cluster — because
+    /// tolerance lets allele mixtures assemble piecewise: small conflated
+    /// clusters absorb one or two unlinked pairs each and then merge.
+    /// Raise only for data whose aligner misses overlaps at a known rate.
+    pub max_unlinked_pairs: usize,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> LayoutConfig {
+        LayoutConfig { offset_tolerance: 4, min_unlinked_overlap: 95, max_unlinked_pairs: 0 }
+    }
+}
+
+/// A successful layout: cluster reads with coordinates, sorted by offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterLayout {
+    /// `(node, offset)` pairs sorted by offset (ties by node id).
+    pub order: Vec<(NodeId, i64)>,
+}
+
+impl ClusterLayout {
+    /// Number of reads in the layout.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the layout is empty (never produced by [`layout_cluster`]).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Builds the contig sequence by per-column majority vote over all
+    /// reads covering each position — the error-correcting construction a
+    /// production assembler uses. Ties resolve to the smallest base code
+    /// for determinism. Costs one pass over every read base.
+    pub fn consensus_sequence(&self, store: &ReadStore) -> DnaString {
+        let Some(&(_, base_off)) = self.order.first() else {
+            return DnaString::new();
+        };
+        let span = self
+            .order
+            .iter()
+            .map(|&(v, o)| (o - base_off) + store.get(ReadId(v)).len() as i64)
+            .max()
+            .unwrap_or(0)
+            .max(0) as usize;
+        let mut counts = vec![[0u32; 4]; span];
+        for &(v, o) in &self.order {
+            let rel = (o - base_off) as usize;
+            let seq = &store.get(ReadId(v)).seq;
+            for (i, b) in seq.iter().enumerate() {
+                counts[rel + i][b.code() as usize] += 1;
+            }
+        }
+        counts
+            .iter()
+            .map(|column| {
+                let mut best = 0usize;
+                for c in 1..4 {
+                    if column[c] > column[best] {
+                        best = c;
+                    }
+                }
+                fc_seq::Base::from_code(best as u8)
+            })
+            .collect()
+    }
+
+    /// Builds the contig sequence for this layout: reads are merged in
+    /// coordinate order, each read contributing the bases past the current
+    /// contig end (first-wins merging; with ≥ 90 % identity overlaps the
+    /// differences are single bases and do not affect contig metrics).
+    pub fn contig_sequence(&self, store: &ReadStore) -> DnaString {
+        let mut contig = DnaString::new();
+        let base = self.order.first().map_or(0, |&(_, o)| o);
+        let mut covered_to: i64 = 0; // exclusive end, relative to base
+        for &(node, offset) in &self.order {
+            let read = &store.get(ReadId(node)).seq;
+            let rel = offset - base;
+            let read_end = rel + read.len() as i64;
+            if read_end <= covered_to {
+                continue; // contained within what we already emitted
+            }
+            let from = (covered_to - rel).max(0) as usize;
+            contig.extend_from(&read.slice(from, read.len()));
+            covered_to = read_end;
+        }
+        contig
+    }
+}
+
+/// Lays out the cluster `nodes` over the directed overlap graph `g`.
+///
+/// Returns the layout if the cluster is contiguous per the module rules,
+/// `None` otherwise. `read_len` lookups come from `store`. `containments`
+/// holds `(outer, inner)` read pairs whose overlap was verified as a
+/// containment (such pairs are linked even without a dovetail edge).
+pub fn layout_cluster(
+    nodes: &[NodeId],
+    g: &DiGraph,
+    containments: &HashMap<(NodeId, NodeId), ()>,
+    store: &ReadStore,
+    config: &LayoutConfig,
+) -> Option<ClusterLayout> {
+    if nodes.is_empty() {
+        return None;
+    }
+    if nodes.len() == 1 {
+        return Some(ClusterLayout { order: vec![(nodes[0], 0)] });
+    }
+    let in_cluster: HashMap<NodeId, ()> = nodes.iter().map(|&v| (v, ())).collect();
+    let mut offset: HashMap<NodeId, i64> = HashMap::with_capacity(nodes.len());
+
+    // BFS from the first node, walking dovetail edges in both directions.
+    let start = nodes[0];
+    offset.insert(start, 0);
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        let v_off = offset[&v];
+        for e in g.out_edges(v) {
+            if !in_cluster.contains_key(&e.to) {
+                continue;
+            }
+            let proposed = v_off + e.shift as i64;
+            match offset.get(&e.to) {
+                Some(&existing) => {
+                    if (existing - proposed).abs() > config.offset_tolerance {
+                        return None; // inconsistent layout (repeat conflation)
+                    }
+                }
+                None => {
+                    offset.insert(e.to, proposed);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        for &u in g.in_neighbors(v) {
+            if !in_cluster.contains_key(&u) {
+                continue;
+            }
+            let shift = g.edge(u, v).expect("in-neighbor implies edge").shift as i64;
+            let proposed = v_off - shift;
+            match offset.get(&u) {
+                Some(&existing) => {
+                    if (existing - proposed).abs() > config.offset_tolerance {
+                        return None;
+                    }
+                }
+                None => {
+                    offset.insert(u, proposed);
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    if offset.len() != nodes.len() {
+        return None; // induced subgraph disconnected
+    }
+
+    let mut order: Vec<(NodeId, i64)> = offset.into_iter().collect();
+    order.sort_unstable_by_key(|&(v, o)| (o, v));
+
+    // Tiling check: every read must start at or before the current end.
+    let mut covered_to = order[0].1 + store.get(ReadId(order[0].0)).len() as i64;
+    for &(v, o) in &order[1..] {
+        if o > covered_to {
+            return None; // gap in coverage
+        }
+        covered_to = covered_to.max(o + store.get(ReadId(v)).len() as i64);
+    }
+
+    // Linkage check: co-located reads must carry a verified overlap.
+    // Two reads may legitimately share coordinates without an edge when
+    // their overlap is short (below the aligner's threshold); beyond
+    // `min_unlinked_overlap`, a missing link means the cluster stacked
+    // different sequences at the same place (alleles, repeat copies).
+    let linked = |a: NodeId, b: NodeId| -> bool {
+        g.edge(a, b).is_some()
+            || g.edge(b, a).is_some()
+            || containments.contains_key(&(a, b))
+            || containments.contains_key(&(b, a))
+    };
+    let mut unlinked_pairs = 0usize;
+    let mut colocated_pairs = 0usize;
+    for (i, &(v, ov)) in order.iter().enumerate() {
+        let v_end = ov + store.get(ReadId(v)).len() as i64;
+        for &(u, ou) in &order[i + 1..] {
+            if v_end - ou < config.min_unlinked_overlap {
+                break; // later reads start even further right
+            }
+            let u_end = ou + store.get(ReadId(u)).len() as i64;
+            let shared = v_end.min(u_end) - ou;
+            if shared >= config.min_unlinked_overlap {
+                colocated_pairs += 1;
+                if !linked(v, u) {
+                    unlinked_pairs += 1;
+                }
+            }
+        }
+    }
+    // A fixed absolute tolerance: isolated alignment misses are rare even in
+    // deep clusters, while an allele stack leaves unlinked pairs in
+    // proportion to its coverage — far above any small constant.
+    let _ = colocated_pairs;
+    if unlinked_pairs > config.max_unlinked_pairs {
+        return None;
+    }
+    Some(ClusterLayout { order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiEdge;
+    use fc_seq::Read;
+
+    /// Store of `n` reads tiling `genome` every `stride` bases (no RCs, so
+    /// node ids equal tile indices).
+    fn tiling(genome: &DnaString, read_len: usize, stride: usize) -> (ReadStore, DiGraph) {
+        let mut reads = Vec::new();
+        let mut start = 0;
+        while start + read_len <= genome.len() {
+            reads.push(Read::new(format!("r{start}"), genome.slice(start, start + read_len)));
+            start += stride;
+        }
+        let n = reads.len();
+        let store = ReadStore::from_reads(reads);
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(
+                i as NodeId,
+                DiEdge {
+                    to: (i + 1) as NodeId,
+                    len: (read_len - stride) as u32,
+                    identity: 1.0,
+                    shift: stride as u32,
+                },
+            );
+        }
+        (store, g)
+    }
+
+    fn genome(len: usize) -> DnaString {
+        // Deterministic pseudo-random content.
+        (0..len)
+            .map(|i| fc_seq::Base::from_code(((i * 2654435761usize) >> 8) as u8 & 3))
+            .collect()
+    }
+
+    #[test]
+    fn linear_tiling_is_contiguous_and_reconstructs_genome() {
+        let g = genome(300);
+        let (store, di) = tiling(&g, 100, 50);
+        let nodes: Vec<NodeId> = (0..store.len() as NodeId).collect();
+        let layout = layout_cluster(&nodes, &di, &HashMap::new(), &store, &LayoutConfig::default())
+            .expect("tiling must be contiguous");
+        assert_eq!(layout.len(), store.len());
+        let contig = layout.contig_sequence(&store);
+        // Tiles cover positions 0..(last_start + 100).
+        let expected = g.slice(0, 100 + 50 * (store.len() - 1));
+        assert_eq!(contig, expected);
+    }
+
+    #[test]
+    fn single_node_cluster_is_trivially_contiguous() {
+        let g = genome(120);
+        let (store, di) = tiling(&g, 100, 10);
+        let layout = layout_cluster(&[1], &di, &HashMap::new(), &store, &LayoutConfig::default()).unwrap();
+        assert_eq!(layout.order, vec![(1, 0)]);
+        assert_eq!(layout.contig_sequence(&store), store.get(ReadId(1)).seq);
+    }
+
+    #[test]
+    fn disconnected_cluster_rejected() {
+        let g = genome(500);
+        let (store, di) = tiling(&g, 100, 50);
+        // Nodes 0 and 4 are not connected within the cluster {0, 4}.
+        assert!(layout_cluster(&[0, 4], &di, &HashMap::new(), &store, &LayoutConfig::default()).is_none());
+    }
+
+    #[test]
+    fn gap_in_tiling_rejected() {
+        let g = genome(500);
+        let (store, mut di) = tiling(&g, 100, 50);
+        // Connect 0 -> 4 with a bogus long-range edge (shift 300 creates a
+        // consistent offset but a coverage gap between read 0 end (100) and
+        // read 4 start (300)).
+        di.add_edge(0, DiEdge { to: 4, len: 10, identity: 1.0, shift: 300 });
+        assert!(layout_cluster(&[0, 4], &di, &HashMap::new(), &store, &LayoutConfig::default()).is_none());
+    }
+
+    #[test]
+    fn inconsistent_offsets_rejected() {
+        let g = genome(300);
+        let (store, mut di) = tiling(&g, 100, 50);
+        // A conflicting edge claims node 2 is only 10 bases right of node 0,
+        // but via node 1 it is 100 bases right.
+        di.add_edge(0, DiEdge { to: 2, len: 90, identity: 1.0, shift: 10 });
+        assert!(layout_cluster(&[0, 1, 2], &di, &HashMap::new(), &store, &LayoutConfig::default()).is_none());
+    }
+
+    #[test]
+    fn small_offset_disagreement_tolerated() {
+        let g = genome(300);
+        let (store, mut di) = tiling(&g, 100, 50);
+        // Claims shift 102 where the layout says 100 — within tolerance 4.
+        di.add_edge(0, DiEdge { to: 2, len: 90, identity: 1.0, shift: 102 });
+        let layout = layout_cluster(&[0, 1, 2], &di, &HashMap::new(), &store, &LayoutConfig::default());
+        assert!(layout.is_some());
+    }
+
+    #[test]
+    fn consensus_outvotes_single_read_errors() {
+        let g = genome(200);
+        // Three reads covering [0,100), [0,100), [50,150): corrupt one base
+        // in the first read; the column has 2:1 votes for the truth.
+        let mut r0 = g.slice(0, 100);
+        r0.set(70, r0.get(70).complement());
+        let r1 = g.slice(0, 100);
+        let r2 = g.slice(50, 150);
+        let store = ReadStore::from_reads(vec![
+            Read::new("r0", r0),
+            Read::new("r1", r1),
+            Read::new("r2", r2),
+        ]);
+        let layout = ClusterLayout { order: vec![(0, 0), (1, 0), (2, 50)] };
+        let consensus = layout.consensus_sequence(&store);
+        assert_eq!(consensus, g.slice(0, 150));
+        // First-wins would have kept the error.
+        assert_ne!(layout.contig_sequence(&store), g.slice(0, 150));
+    }
+
+    #[test]
+    fn consensus_has_same_span_as_first_wins() {
+        let g = genome(300);
+        let (store, di) = tiling(&g, 100, 40);
+        let nodes: Vec<NodeId> = (0..store.len() as NodeId).collect();
+        let layout = layout_cluster(&nodes, &di, &HashMap::new(), &store, &LayoutConfig::default())
+            .expect("tiling is contiguous");
+        assert_eq!(
+            layout.consensus_sequence(&store).len(),
+            layout.contig_sequence(&store).len()
+        );
+        // Error-free input: both constructions agree exactly.
+        assert_eq!(layout.consensus_sequence(&store), layout.contig_sequence(&store));
+    }
+
+    #[test]
+    fn contained_read_does_not_break_contig() {
+        let g = genome(200);
+        let long = Read::new("long", g.slice(0, 150));
+        let inner = Read::new("inner", g.slice(20, 120));
+        let store = ReadStore::from_reads(vec![long, inner]);
+        let mut di = DiGraph::with_nodes(2);
+        di.add_edge(0, DiEdge { to: 1, len: 100, identity: 1.0, shift: 20 });
+        let layout = layout_cluster(&[0, 1], &di, &HashMap::new(), &store, &LayoutConfig::default()).unwrap();
+        assert_eq!(layout.contig_sequence(&store), g.slice(0, 150));
+    }
+}

@@ -1,0 +1,327 @@
+//! Undirected weighted level graphs and graph sets.
+//!
+//! Every level of the multilevel set `{G0 … Gn}` and of the hybrid set
+//! `{G'0 … G'n}` is a [`LevelGraph`]: an undirected graph whose node weights
+//! count represented reads and whose edge weights are accumulated alignment
+//! lengths (paper §II-C). A [`GraphSet`] bundles the levels with the
+//! fine→coarse node maps used by partition projection (§IV-C).
+
+/// Index of a node within one level graph.
+pub type NodeId = u32;
+
+/// An undirected weighted graph stored as symmetric adjacency lists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelGraph {
+    /// `adj[v]` holds `(neighbor, edge weight)` pairs; every edge appears in
+    /// both endpoint lists with the same weight.
+    adj: Vec<Vec<(NodeId, u64)>>,
+    /// Node weights (number of reads represented).
+    node_weight: Vec<u64>,
+}
+
+impl LevelGraph {
+    /// Creates a graph with `n` nodes of weight 1 and no edges.
+    pub fn with_nodes(n: usize) -> LevelGraph {
+        LevelGraph { adj: vec![Vec::new(); n], node_weight: vec![1; n] }
+    }
+
+    /// Creates a graph with explicit node weights and no edges.
+    pub fn with_node_weights(weights: Vec<u64>) -> LevelGraph {
+        LevelGraph { adj: vec![Vec::new(); weights.len()], node_weight: weights }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Weight of node `v`.
+    #[inline]
+    pub fn node_weight(&self, v: NodeId) -> u64 {
+        self.node_weight[v as usize]
+    }
+
+    /// Sum of all node weights.
+    pub fn total_node_weight(&self) -> u64 {
+        self.node_weight.iter().sum()
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adj.iter().flatten().map(|&(_, w)| w).sum::<u64>() / 2
+    }
+
+    /// Neighbors of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, u64)] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Adds an undirected edge, accumulating weight if it already exists.
+    /// Self-loops are ignored (coarsening folds them into node weight).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: u64) {
+        if u == v {
+            return;
+        }
+        debug_assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+        match self.adj[u as usize].iter_mut().find(|(n, _)| *n == v) {
+            Some(slot) => {
+                slot.1 += w;
+                let back = self.adj[v as usize]
+                    .iter_mut()
+                    .find(|(n, _)| *n == u)
+                    .expect("symmetric edge missing");
+                back.1 += w;
+            }
+            None => {
+                self.adj[u as usize].push((v, w));
+                self.adj[v as usize].push((u, w));
+            }
+        }
+    }
+
+    /// Weight of the edge `(u, v)`, or `None` if absent.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<u64> {
+        self.adj[u as usize].iter().find(|(n, _)| *n == v).map(|&(_, w)| w)
+    }
+
+    /// Iterates every undirected edge once as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&(v, _)| (u as NodeId) < v)
+                .map(move |&(v, w)| (u as NodeId, v, w))
+        })
+    }
+
+    /// Checks structural invariants (symmetry, no self-loops, weights > 0);
+    /// used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &(v, w) in nbrs {
+                if v as usize == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if !seen.insert(v) {
+                    return Err(format!("duplicate edge {u}-{v}"));
+                }
+                if w == 0 {
+                    return Err(format!("zero-weight edge {u}-{v}"));
+                }
+                let back = self.adj[v as usize].iter().find(|(n, _)| *n as usize == u);
+                match back {
+                    Some(&(_, bw)) if bw == w => {}
+                    Some(_) => return Err(format!("asymmetric weight on {u}-{v}")),
+                    None => return Err(format!("missing back edge {v}-{u}")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Connected components as a label per node (labels are 0-based and
+    /// dense).
+    pub fn components(&self) -> Vec<u32> {
+        let n = self.node_count();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if label[start] != u32::MAX {
+                continue;
+            }
+            stack.push(start as NodeId);
+            label[start] = next;
+            while let Some(v) = stack.pop() {
+                for &(u, _) in self.neighbors(v) {
+                    if label[u as usize] == u32::MAX {
+                        label[u as usize] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        label
+    }
+}
+
+/// A hierarchy of level graphs with fine→coarse node maps.
+///
+/// `levels[0]` is the finest graph; `fine_to_coarse[i][v]` is the node of
+/// `levels[i + 1]` that `v` of `levels[i]` merges into. Both the multilevel
+/// set (§II-C) and the hybrid set (§II-D) are `GraphSet`s, so the
+/// partitioner (fc-partition) treats them uniformly.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSet {
+    /// Graphs from finest (`levels[0]`) to coarsest.
+    pub levels: Vec<LevelGraph>,
+    /// `fine_to_coarse[i]` maps nodes of `levels[i]` to nodes of
+    /// `levels[i + 1]`; length is `levels.len() - 1`.
+    pub fine_to_coarse: Vec<Vec<NodeId>>,
+}
+
+impl GraphSet {
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The finest graph.
+    pub fn finest(&self) -> &LevelGraph {
+        &self.levels[0]
+    }
+
+    /// The coarsest graph.
+    pub fn coarsest(&self) -> &LevelGraph {
+        self.levels.last().expect("graph set has at least one level")
+    }
+
+    /// Maps a node of `levels[level]` to its ancestor at `target_level`
+    /// (≥ `level`).
+    pub fn ancestor(&self, level: usize, node: NodeId, target_level: usize) -> NodeId {
+        assert!(target_level >= level && target_level < self.levels.len());
+        let mut v = node;
+        for maps in &self.fine_to_coarse[level..target_level] {
+            v = maps[v as usize];
+        }
+        v
+    }
+
+    /// Checks cross-level invariants: map lengths, weight conservation, and
+    /// that edge weight + folded self-loop weight is conserved level to
+    /// level (merging can only fold weight inwards, never lose it to
+    /// nothing).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.fine_to_coarse.len() + 1 != self.levels.len() {
+            return Err("map count must be level count - 1".to_string());
+        }
+        for (i, map) in self.fine_to_coarse.iter().enumerate() {
+            let fine = &self.levels[i];
+            let coarse = &self.levels[i + 1];
+            if map.len() != fine.node_count() {
+                return Err(format!("map {i} length mismatch"));
+            }
+            if map.iter().any(|&c| c as usize >= coarse.node_count()) {
+                return Err(format!("map {i} points past coarse graph"));
+            }
+            // Node weight conservation per coarse node.
+            let mut acc = vec![0u64; coarse.node_count()];
+            for (v, &c) in map.iter().enumerate() {
+                acc[c as usize] += fine.node_weight(v as NodeId);
+            }
+            for (c, &w) in acc.iter().enumerate() {
+                if w != coarse.node_weight(c as NodeId) {
+                    return Err(format!(
+                        "level {}: node {c} weight {} != accumulated {w}",
+                        i + 1,
+                        coarse.node_weight(c as NodeId)
+                    ));
+                }
+            }
+            fine.check_invariants()?;
+            coarse.check_invariants()?;
+            if coarse.total_edge_weight() > fine.total_edge_weight() {
+                return Err(format!("level {} gained edge weight", i + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> LevelGraph {
+        let mut g = LevelGraph::with_nodes(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 7);
+        g.add_edge(2, 0, 11);
+        g
+    }
+
+    #[test]
+    fn edge_accounting() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.total_edge_weight(), 23);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(1, 0), Some(5));
+        assert_eq!(g.edge_weight(0, 0), None);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = LevelGraph::with_nodes(2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(1, 0, 4);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = LevelGraph::with_nodes(2);
+        g.add_edge(0, 0, 9);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|&(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn components_labelling() {
+        let mut g = LevelGraph::with_nodes(5);
+        g.add_edge(0, 1, 1);
+        g.add_edge(3, 4, 1);
+        let labels = g.components();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[2], labels[3]);
+    }
+
+    #[test]
+    fn graph_set_ancestor_walks_maps() {
+        let g0 = LevelGraph::with_nodes(4);
+        let g1 = LevelGraph::with_node_weights(vec![2, 2]);
+        let g2 = LevelGraph::with_node_weights(vec![4]);
+        let set = GraphSet {
+            levels: vec![g0, g1, g2],
+            fine_to_coarse: vec![vec![0, 0, 1, 1], vec![0, 0]],
+        };
+        assert_eq!(set.ancestor(0, 3, 2), 0);
+        assert_eq!(set.ancestor(0, 3, 1), 1);
+        assert_eq!(set.ancestor(1, 1, 1), 1);
+        set.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn graph_set_invariants_catch_weight_mismatch() {
+        let g0 = LevelGraph::with_nodes(2);
+        let g1 = LevelGraph::with_node_weights(vec![3]); // should be 2
+        let set = GraphSet { levels: vec![g0, g1], fine_to_coarse: vec![vec![0, 0]] };
+        assert!(set.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # fc-graph — assembly graphs for the Focus reproduction
+//!
+//! The paper's graph-theoretic core (§II-C/D, §III):
+//!
+//! * [`level`] — the undirected weighted graph type used at every level of
+//!   the multilevel and hybrid graph sets (node weight = reads represented,
+//!   edge weight = alignment length),
+//! * [`digraph`] — the directed overlap graph used by assembly traversal,
+//! * [`build`] — constructing the level-0 overlap graph `G0` from verified
+//!   overlaps,
+//! * [`coarsen`] — heavy-edge matching and node merging producing the
+//!   multilevel graph set `G = {G0 … Gn}` (Karypis–Kumar),
+//! * [`layout`] — read-cluster layout and the contiguity test behind "best
+//!   representative" selection (does this cluster assemble into one contig?),
+//! * [`hybrid`] — best-representative selection across levels and the hybrid
+//!   graph set `G' = {G'0 … G'n}`, the paper's vehicle for injecting
+//!   biological knowledge into partitioning.
+
+pub mod build;
+pub mod coarsen;
+pub mod digraph;
+pub mod export;
+pub mod hybrid;
+pub mod layout;
+pub mod level;
+
+pub use build::OverlapGraph;
+pub use coarsen::{CoarsenConfig, MultilevelSet};
+pub use digraph::{DiEdge, DiGraph};
+pub use export::{digraph_to_dot, digraph_to_gfa, level_graph_to_dot};
+pub use hybrid::{HybridSet, Representative};
+pub use layout::{ClusterLayout, LayoutConfig};
+pub use level::{GraphSet, LevelGraph, NodeId};

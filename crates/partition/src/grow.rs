@@ -1,0 +1,229 @@
+//! Greedy graph growing — the initial bisection (paper §IV-A).
+//!
+//! Two partitions are grown alternately from random seeds. Unassigned nodes
+//! on the growing partition's horizon sit in a gain priority queue (gain =
+//! weight into the partition minus weight to everything else). Growth of a
+//! side stops when its accumulated edge weight exceeds 1.03× the other
+//! side's (the paper's 3 % edge-weight balance bound); the whole process
+//! stops once either side holds half the node weight, and leftovers go to
+//! the lighter side.
+
+use crate::local::LocalGraph;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The paper's 3 % balance bound on partition edge weight during growth.
+pub const EDGE_WEIGHT_BALANCE: f64 = 1.03;
+
+/// Grows an initial bisection of `local`. Returns `side[v]` (false = P1,
+/// true = P2) and adds the work performed (edge relaxations + queue pops) to
+/// `work`.
+///
+/// Deterministic in `seed`. Handles disconnected subgraphs by reseeding when
+/// a horizon empties.
+pub fn greedy_grow(local: &LocalGraph, seed: u64, work: &mut u64) -> Vec<bool> {
+    let n = local.len();
+    let mut side = vec![false; n];
+    if n == 0 {
+        return side;
+    }
+    if n == 1 {
+        return side;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total_nw: u64 = local.total_node_weight();
+
+    // Assignment state: 0 = unassigned, 1 = P1, 2 = P2.
+    let mut assigned = vec![0u8; n];
+    let mut unassigned = n;
+    // Accumulated edge weight into each side per unassigned node.
+    let mut into = vec![[0u64; 2]; n];
+    // Lazy max-heaps of (gain, node) per side.
+    let mut heaps: [BinaryHeap<(i64, Reverse<u32>)>; 2] =
+        [BinaryHeap::new(), BinaryHeap::new()];
+    let (mut nw, mut ew) = ([0u64; 2], [0u64; 2]);
+
+    let gain = |into_s: u64, wdeg: u64| -> i64 { 2 * into_s as i64 - wdeg as i64 };
+
+    // Assigns `v` to side `s` (0 or 1) and relaxes its neighbors.
+    macro_rules! assign {
+        ($v:expr, $s:expr) => {{
+            let v = $v;
+            let s = $s;
+            assigned[v as usize] = s as u8 + 1;
+            unassigned -= 1;
+            nw[s] += local.node_w[v as usize];
+            ew[s] += local.weighted_degree(v);
+            for &(u, w) in &local.adj[v as usize] {
+                *work += 1;
+                if assigned[u as usize] == 0 {
+                    into[u as usize][s] += w;
+                    let g = gain(into[u as usize][s], local.weighted_degree(u));
+                    heaps[s].push((g, Reverse(u)));
+                }
+            }
+        }};
+    }
+
+    // Which side is currently growing.
+    let mut growing = 0usize;
+    while unassigned > 0 && nw[0] < total_nw.div_ceil(2) && nw[1] < total_nw.div_ceil(2) {
+        // Respect the edge-weight balance bound by switching sides.
+        if (ew[growing] as f64) > EDGE_WEIGHT_BALANCE * ew[1 - growing] as f64 {
+            growing = 1 - growing;
+        }
+        // Pop the best valid horizon node for the growing side.
+        let mut chosen: Option<u32> = None;
+        while let Some((g, Reverse(v))) = heaps[growing].pop() {
+            *work += 1;
+            if assigned[v as usize] != 0 {
+                continue; // stale: already assigned
+            }
+            let current = gain(into[v as usize][growing], local.weighted_degree(v));
+            if g != current {
+                continue; // stale: gain changed since push
+            }
+            chosen = Some(v);
+            break;
+        }
+        let v = match chosen {
+            Some(v) => v,
+            None => {
+                // Empty horizon (new side or disconnected piece): random seed.
+                let mut pick = rng.gen_range(0..unassigned);
+                let mut found = 0u32;
+                for (u, &a) in assigned.iter().enumerate() {
+                    if a == 0 {
+                        if pick == 0 {
+                            found = u as u32;
+                            break;
+                        }
+                        pick -= 1;
+                    }
+                }
+                found
+            }
+        };
+        assign!(v, growing);
+    }
+
+    // Leftovers go to the lighter side.
+    for (v, a) in assigned.iter_mut().enumerate() {
+        if *a == 0 {
+            let s = usize::from(nw[1] < nw[0]);
+            *a = s as u8 + 1;
+            nw[s] += local.node_w[v];
+        }
+    }
+    for (s, &a) in side.iter_mut().zip(&assigned) {
+        *s = a == 2;
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_graph::LevelGraph;
+
+    fn local_path(n: usize) -> LocalGraph {
+        let mut g = LevelGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, (i + 1) as u32, 10);
+        }
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        LocalGraph::extract(&g, &nodes)
+    }
+
+    fn side_weights(local: &LocalGraph, side: &[bool]) -> (u64, u64) {
+        let mut w = (0u64, 0u64);
+        for (v, &s) in side.iter().enumerate() {
+            if s {
+                w.1 += local.node_w[v];
+            } else {
+                w.0 += local.node_w[v];
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn bisection_is_node_balanced() {
+        let local = local_path(100);
+        let mut work = 0;
+        let side = greedy_grow(&local, 7, &mut work);
+        let (w0, w1) = side_weights(&local, &side);
+        assert_eq!(w0 + w1, 100);
+        assert!(w0.abs_diff(w1) <= 2, "imbalanced: {w0} vs {w1}");
+        assert!(work > 0);
+    }
+
+    #[test]
+    fn path_graph_gets_a_small_cut() {
+        // A good grower should cut a path in O(1) places, not scatter it.
+        let local = local_path(200);
+        let mut work = 0;
+        let side = greedy_grow(&local, 3, &mut work);
+        let cut = local.cut(&side);
+        // Perfect = 10 (one edge); anything below 10 edges' worth is sane.
+        assert!(cut <= 60, "cut too high for a path: {cut}");
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut g = LevelGraph::with_nodes(40);
+        for c in 0..4 {
+            for i in 0..9 {
+                g.add_edge((c * 10 + i) as u32, (c * 10 + i + 1) as u32, 5);
+            }
+        }
+        let nodes: Vec<u32> = (0..40).collect();
+        let local = LocalGraph::extract(&g, &nodes);
+        let mut work = 0;
+        let side = greedy_grow(&local, 11, &mut work);
+        let (w0, w1) = side_weights(&local, &side);
+        assert!(w0.abs_diff(w1) <= 2, "imbalanced: {w0} vs {w1}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut work = 0;
+        let empty = LocalGraph { nodes: vec![], adj: vec![], node_w: vec![] };
+        assert!(greedy_grow(&empty, 1, &mut work).is_empty());
+        let single = local_path(2);
+        let side = greedy_grow(&single, 1, &mut work);
+        assert_eq!(side.len(), 2);
+        // Two nodes must be split one per side.
+        assert_ne!(side[0], side[1]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let local = local_path(64);
+        let mut w1 = 0;
+        let mut w2 = 0;
+        assert_eq!(greedy_grow(&local, 9, &mut w1), greedy_grow(&local, 9, &mut w2));
+    }
+
+    #[test]
+    fn respects_node_weights() {
+        // One heavy node (weight 50) + 50 light nodes in a path.
+        let mut g = LevelGraph::with_node_weights(
+            std::iter::once(50u64).chain(std::iter::repeat_n(1, 50)).collect(),
+        );
+        for i in 0..50 {
+            g.add_edge(i as u32, (i + 1) as u32, 3);
+        }
+        let nodes: Vec<u32> = (0..51).collect();
+        let local = LocalGraph::extract(&g, &nodes);
+        let mut work = 0;
+        let side = greedy_grow(&local, 5, &mut work);
+        let (w0, w1) = side_weights(&local, &side);
+        // Total 100; the heavy node forces its side to ~50.
+        assert!(w0.abs_diff(w1) <= 51, "degenerate split: {w0} vs {w1}");
+        assert_eq!(w0 + w1, 100);
+    }
+}

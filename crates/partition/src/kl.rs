@@ -1,0 +1,313 @@
+//! Kernighan–Lin bisection refinement (paper §IV-B).
+//!
+//! Each pass swaps node pairs between the two sides in order of decreasing
+//! gain, locking swapped nodes, then undoes everything after the maximal
+//! partial gain sum. Pair selection follows the paper's `O(n² log n)`
+//! scheme: both sides are kept sorted by D value and pairs are examined in
+//! decreasing `D_a + D_b` order (diagonal scanning, after Dutt); the scan
+//! stops as soon as `D_a + D_b ≤ g_max`, since a pair's gain
+//! `D_a + D_b − 2·w(a,b)` can never beat that bound. A pass also terminates
+//! early after fifty consecutive swaps without improving the best partial
+//! sum (the paper's §IV-B speed-up).
+
+use crate::local::LocalGraph;
+use std::collections::HashMap;
+
+/// Tuning knobs of the refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KlConfig {
+    /// Consecutive non-improving swaps before a pass gives up (paper: 50).
+    pub max_bad_moves: usize,
+    /// Safety cap on passes (the paper iterates until no improvement).
+    pub max_passes: usize,
+}
+
+impl Default for KlConfig {
+    fn default() -> KlConfig {
+        KlConfig { max_bad_moves: 50, max_passes: 16 }
+    }
+}
+
+/// Refines a bisection in place. Returns the total cut improvement across
+/// all passes (≥ 0: a pass that cannot improve is fully undone). Work
+/// counters accumulate into `work`.
+pub fn kl_refine(local: &LocalGraph, side: &mut [bool], config: &KlConfig, work: &mut u64) -> u64 {
+    let mut total_gain = 0u64;
+    for _ in 0..config.max_passes {
+        let pass_gain = kl_pass(local, side, config, work);
+        if pass_gain == 0 {
+            break;
+        }
+        total_gain += pass_gain;
+    }
+    total_gain
+}
+
+/// One KL pass. Returns the applied (positive) gain, 0 if no improvement.
+fn kl_pass(local: &LocalGraph, side: &mut [bool], config: &KlConfig, work: &mut u64) -> u64 {
+    let n = local.len();
+    if n < 2 {
+        return 0;
+    }
+    // D value: external minus internal weight.
+    let mut d = vec![0i64; n];
+    for v in 0..n {
+        for &(u, w) in &local.adj[v] {
+            *work += 1;
+            if side[v] != side[u as usize] {
+                d[v] += w as i64;
+            } else {
+                d[v] -= w as i64;
+            }
+        }
+    }
+
+    let mut locked = vec![false; n];
+    let mut swaps: Vec<(u32, u32, i64)> = Vec::new();
+    let mut cum = 0i64;
+    let mut best_cum = 0i64;
+    let mut best_index = 0usize; // number of swaps kept
+    let mut bad_moves = 0usize;
+
+    loop {
+        // Sorted unlocked nodes per side, descending D (ties by id for
+        // determinism).
+        let mut a_nodes: Vec<u32> =
+            (0..n as u32).filter(|&v| !locked[v as usize] && !side[v as usize]).collect();
+        let mut b_nodes: Vec<u32> =
+            (0..n as u32).filter(|&v| !locked[v as usize] && side[v as usize]).collect();
+        if a_nodes.is_empty() || b_nodes.is_empty() {
+            break;
+        }
+        *work += (a_nodes.len() + b_nodes.len()) as u64;
+        a_nodes.sort_unstable_by_key(|&v| (std::cmp::Reverse(d[v as usize]), v));
+        b_nodes.sort_unstable_by_key(|&v| (std::cmp::Reverse(d[v as usize]), v));
+
+        // Diagonal scan for the best pair.
+        let mut gmax: Option<i64> = None;
+        let mut best_pair = (0u32, 0u32);
+        'outer: for &a in &a_nodes {
+            let upper_best = d[a as usize] + d[b_nodes[0] as usize];
+            if let Some(g) = gmax {
+                if upper_best <= g {
+                    break 'outer; // no later row can beat gmax
+                }
+            }
+            // Neighbor weights of `a` for O(1) w(a, b) lookups in this row.
+            let wa: HashMap<u32, u64> = local.adj[a as usize].iter().copied().collect();
+            for &b in &b_nodes {
+                *work += 1;
+                let bound = d[a as usize] + d[b as usize];
+                if let Some(g) = gmax {
+                    if bound <= g {
+                        break; // rest of the row is dominated
+                    }
+                }
+                let w_ab = wa.get(&b).copied().unwrap_or(0) as i64;
+                let gain = bound - 2 * w_ab;
+                if gmax.is_none_or(|g| gain > g) {
+                    gmax = Some(gain);
+                    best_pair = (a, b);
+                }
+            }
+        }
+        let Some(gain) = gmax else { break };
+        let (a, b) = best_pair;
+
+        // Swap, lock, update D values of unlocked neighbors.
+        side[a as usize] = true;
+        side[b as usize] = false;
+        locked[a as usize] = true;
+        locked[b as usize] = true;
+        for &(u, w) in &local.adj[a as usize] {
+            *work += 1;
+            if locked[u as usize] {
+                continue;
+            }
+            // `a` moved from A to B: nodes still in A see a leave (+2w),
+            // nodes in B see a arrive (-2w).
+            if !side[u as usize] {
+                d[u as usize] += 2 * w as i64;
+            } else {
+                d[u as usize] -= 2 * w as i64;
+            }
+        }
+        for &(u, w) in &local.adj[b as usize] {
+            *work += 1;
+            if locked[u as usize] {
+                continue;
+            }
+            if side[u as usize] {
+                d[u as usize] += 2 * w as i64;
+            } else {
+                d[u as usize] -= 2 * w as i64;
+            }
+        }
+
+        cum += gain;
+        swaps.push((a, b, gain));
+        if cum > best_cum {
+            best_cum = cum;
+            best_index = swaps.len();
+            bad_moves = 0;
+        } else {
+            bad_moves += 1;
+            if bad_moves >= config.max_bad_moves {
+                break;
+            }
+        }
+    }
+
+    // Undo swaps past the best prefix (all of them if best_cum == 0).
+    for &(a, b, _) in swaps[best_index..].iter().rev() {
+        side[a as usize] = false;
+        side[b as usize] = true;
+    }
+    best_cum.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_graph::LevelGraph;
+
+    fn extract_all(g: &LevelGraph) -> LocalGraph {
+        let nodes: Vec<u32> = (0..g.node_count() as u32).collect();
+        LocalGraph::extract(g, &nodes)
+    }
+
+    /// Two 5-cliques joined by a single light edge: the optimal bisection
+    /// separates the cliques.
+    fn two_cliques() -> LocalGraph {
+        let mut g = LevelGraph::with_nodes(10);
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    g.add_edge(base + i, base + j, 10);
+                }
+            }
+        }
+        g.add_edge(0, 5, 1);
+        extract_all(&g)
+    }
+
+    #[test]
+    fn recovers_clique_structure_from_bad_start() {
+        let local = two_cliques();
+        // Worst start: alternate sides across the cliques.
+        let mut side: Vec<bool> = (0..10).map(|v| v % 2 == 0).collect();
+        let before = local.cut(&side);
+        let mut work = 0;
+        let gain = kl_refine(&local, &mut side, &KlConfig::default(), &mut work);
+        let after = local.cut(&side);
+        assert_eq!(before - gain, after, "reported gain inconsistent with cut");
+        assert_eq!(after, 1, "KL should find the single-edge cut, got {after}");
+        // The cliques must be whole.
+        assert!((1..5).all(|v| side[v] == side[0]));
+        assert!((6..10).all(|v| side[v] == side[5]));
+        assert_ne!(side[0], side[5]);
+    }
+
+    #[test]
+    fn never_worsens_the_cut() {
+        let local = two_cliques();
+        let mut side: Vec<bool> = (0..10).map(|v| v >= 5).collect(); // already optimal
+        let before = local.cut(&side);
+        let mut work = 0;
+        let gain = kl_refine(&local, &mut side, &KlConfig::default(), &mut work);
+        assert_eq!(gain, 0);
+        assert_eq!(local.cut(&side), before);
+    }
+
+    #[test]
+    fn balance_is_preserved_by_pairwise_swaps() {
+        let local = two_cliques();
+        let mut side: Vec<bool> = (0..10).map(|v| v % 2 == 0).collect();
+        let count_true = side.iter().filter(|&&s| s).count();
+        let mut work = 0;
+        kl_refine(&local, &mut side, &KlConfig::default(), &mut work);
+        assert_eq!(side.iter().filter(|&&s| s).count(), count_true);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        let empty = LocalGraph { nodes: vec![], adj: vec![], node_w: vec![] };
+        let mut side: Vec<bool> = vec![];
+        let mut work = 0;
+        assert_eq!(kl_refine(&empty, &mut side, &KlConfig::default(), &mut work), 0);
+
+        let mut g = LevelGraph::with_nodes(1);
+        g.add_edge(0, 0, 5); // ignored self-loop
+        let local = extract_all(&g);
+        let mut side = vec![false];
+        assert_eq!(kl_refine(&local, &mut side, &KlConfig::default(), &mut work), 0);
+    }
+
+    #[test]
+    fn bad_move_cutoff_terminates_and_stays_consistent() {
+        // A cross-matching start is heavily improvable (pairing both
+        // endpoints of two cut edges removes both); a tiny bad-move budget
+        // must still terminate with gain == cut delta.
+        let mut g = LevelGraph::with_nodes(40);
+        for i in 0..20u32 {
+            g.add_edge(i, i + 20, 1); // perfect matching across sides
+        }
+        let local = extract_all(&g);
+        let mut side: Vec<bool> = (0..40).map(|v| v >= 20).collect();
+        let before = local.cut(&side);
+        let mut work = 0;
+        let config = KlConfig { max_bad_moves: 3, ..Default::default() };
+        let gain = kl_refine(&local, &mut side, &config, &mut work);
+        let after = local.cut(&side);
+        assert_eq!(before - gain, after);
+        assert!(after < before, "cross-matching should be improvable");
+        // Side cardinality preserved by pairwise swaps.
+        assert_eq!(side.iter().filter(|&&s| s).count(), 20);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fc_graph::LevelGraph;
+    use proptest::prelude::*;
+
+    fn arb_case() -> impl Strategy<Value = (LocalGraph, Vec<bool>)> {
+        (4usize..24, proptest::collection::vec((0usize..24, 0usize..24, 1u64..50), 1..80))
+            .prop_flat_map(|(n, raw)| {
+                let mut g = LevelGraph::with_nodes(n);
+                for (u, v, w) in raw {
+                    let (u, v) = (u % n, v % n);
+                    if u != v {
+                        g.add_edge(u as u32, v as u32, w);
+                    }
+                }
+                let nodes: Vec<u32> = (0..n as u32).collect();
+                let local = LocalGraph::extract(&g, &nodes);
+                (Just(local), proptest::collection::vec(any::<bool>(), n))
+            })
+    }
+
+    proptest! {
+        /// KL must never increase the cut, and the reported gain must match
+        /// the observed cut delta exactly.
+        #[test]
+        fn kl_gain_matches_cut_delta((local, mut side) in arb_case()) {
+            let before = local.cut(&side);
+            let mut work = 0;
+            let gain = kl_refine(&local, &mut side, &KlConfig::default(), &mut work);
+            let after = local.cut(&side);
+            prop_assert!(after <= before);
+            prop_assert_eq!(before - after, gain);
+        }
+
+        /// Side cardinalities are invariant under KL (pairwise swaps only).
+        #[test]
+        fn kl_preserves_cardinality((local, mut side) in arb_case()) {
+            let ones = side.iter().filter(|&&s| s).count();
+            let mut work = 0;
+            kl_refine(&local, &mut side, &KlConfig::default(), &mut work);
+            prop_assert_eq!(side.iter().filter(|&&s| s).count(), ones);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Global k-way Kernighan–Lin refinement (paper §IV-D, after Karypis &
+//! Kumar's multilevel k-way scheme).
+//!
+//! Boundary nodes are examined in order of decreasing gain; a node moves to
+//! the neighboring partition with maximal external weight, provided the
+//! balance bound allows it. Moves are logged with partial gain sums; after a
+//! pass, moves past the maximal partial sum are undone. A pass also stops
+//! after fifty consecutive non-improving moves. Passes repeat until no
+//! improvement remains.
+
+use crate::metrics::edge_cut;
+use fc_graph::LevelGraph;
+
+/// Tuning knobs of the k-way refinement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KwayConfig {
+    /// Consecutive non-improving moves before a pass gives up (paper: 50).
+    pub max_bad_moves: usize,
+    /// Safety cap on passes.
+    pub max_passes: usize,
+    /// Balance bound: a move into `Pj` is rejected when
+    /// `weight(Pj) ≥ balance · weight(Pi)` (paper: 1.03).
+    pub balance: f64,
+}
+
+impl Default for KwayConfig {
+    fn default() -> KwayConfig {
+        KwayConfig { max_bad_moves: 50, max_passes: 8, balance: 1.03 }
+    }
+}
+
+/// Refines a k-partition in place; returns the total cut improvement.
+pub fn kway_refine(
+    g: &LevelGraph,
+    parts: &mut [u32],
+    k: usize,
+    config: &KwayConfig,
+    work: &mut u64,
+) -> u64 {
+    if k < 2 || g.node_count() < 2 {
+        return 0;
+    }
+    let before = edge_cut(g, parts);
+    for _ in 0..config.max_passes {
+        if kway_pass(g, parts, k, config, work) == 0 {
+            break;
+        }
+    }
+    before - edge_cut(g, parts)
+}
+
+/// One pass; returns the applied (positive) gain.
+fn kway_pass(
+    g: &LevelGraph,
+    parts: &mut [u32],
+    k: usize,
+    config: &KwayConfig,
+    work: &mut u64,
+) -> u64 {
+    let n = g.node_count();
+    let mut part_weight = vec![0u64; k];
+    for v in 0..n {
+        part_weight[parts[v] as usize] += g.node_weight(v as u32);
+    }
+    let mut locked = vec![false; n];
+    let mut moves: Vec<(u32, u32, u32, i64)> = Vec::new(); // (node, from, to, gain)
+    let mut cum = 0i64;
+    let mut best_cum = 0i64;
+    let mut best_index = 0usize;
+    let mut bad_moves = 0usize;
+
+    loop {
+        // Best admissible move over all unlocked boundary nodes.
+        let mut best: Option<(i64, u32, u32)> = None; // (gain, node, target)
+        let mut ext = vec![0i64; k]; // reused scratch: external weight per part
+        for v in 0..n as u32 {
+            if locked[v as usize] {
+                continue;
+            }
+            let pi = parts[v as usize];
+            let mut internal = 0i64;
+            let mut touched: Vec<u32> = Vec::new();
+            for &(u, w) in g.neighbors(v) {
+                *work += 1;
+                let pu = parts[u as usize];
+                if pu == pi {
+                    internal += w as i64;
+                } else {
+                    if ext[pu as usize] == 0 {
+                        touched.push(pu);
+                    }
+                    ext[pu as usize] += w as i64;
+                }
+            }
+            // Only boundary nodes (E_v > 0) are candidates. A node never
+            // leaves a partition it is the last member of — emptying a
+            // partition is never what refinement means.
+            let would_empty = part_weight[pi as usize] == g.node_weight(v);
+            for &pj in &touched {
+                let admissible = !would_empty
+                    && (part_weight[pj as usize] as f64)
+                        < config.balance * part_weight[pi as usize] as f64;
+                if admissible {
+                    let gain = ext[pj as usize] - internal;
+                    let better = match best {
+                        None => true,
+                        Some((bg, bv, _)) => gain > bg || (gain == bg && v < bv),
+                    };
+                    if better {
+                        best = Some((gain, v, pj));
+                    }
+                }
+            }
+            for &pj in &touched {
+                ext[pj as usize] = 0;
+            }
+        }
+        let Some((gain, v, pj)) = best else { break };
+        let pi = parts[v as usize];
+        parts[v as usize] = pj;
+        locked[v as usize] = true;
+        let w_v = g.node_weight(v);
+        part_weight[pi as usize] -= w_v;
+        part_weight[pj as usize] += w_v;
+        cum += gain;
+        moves.push((v, pi, pj, gain));
+        if cum > best_cum {
+            best_cum = cum;
+            best_index = moves.len();
+            bad_moves = 0;
+        } else {
+            bad_moves += 1;
+            if bad_moves >= config.max_bad_moves {
+                break;
+            }
+        }
+    }
+
+    // Undo everything past the best prefix.
+    for &(v, from, _to, _) in moves[best_index..].iter().rev() {
+        parts[v as usize] = from;
+    }
+    best_cum.max(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{partition_balance, validate_partition};
+
+    /// Three 4-cliques chained by single light edges.
+    fn three_cliques() -> LevelGraph {
+        let mut g = LevelGraph::with_nodes(12);
+        for base in [0u32, 4, 8] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    g.add_edge(base + i, base + j, 10);
+                }
+            }
+        }
+        g.add_edge(3, 4, 1);
+        g.add_edge(7, 8, 1);
+        g
+    }
+
+    #[test]
+    fn repairs_misassigned_clique_members() {
+        let g = three_cliques();
+        // Swap one node between cliques 0 and 1 (balance preserved).
+        let mut parts: Vec<u32> = (0..12).map(|v| (v / 4) as u32).collect();
+        parts[0] = 1;
+        parts[4] = 0;
+        let before = edge_cut(&g, &parts);
+        let mut work = 0;
+        let gain = kway_refine(&g, &mut parts, 3, &KwayConfig::default(), &mut work);
+        let after = edge_cut(&g, &parts);
+        assert_eq!(before - after, gain);
+        assert_eq!(after, 2, "expected the two bridge edges only, got {after}");
+        validate_partition(&g, &parts, 3).unwrap();
+    }
+
+    #[test]
+    fn no_improvement_leaves_partition_unchanged() {
+        let g = three_cliques();
+        let mut parts: Vec<u32> = (0..12).map(|v| (v / 4) as u32).collect();
+        let snapshot = parts.clone();
+        let mut work = 0;
+        let gain = kway_refine(&g, &mut parts, 3, &KwayConfig::default(), &mut work);
+        assert_eq!(gain, 0);
+        assert_eq!(parts, snapshot);
+    }
+
+    #[test]
+    fn respects_balance_bound_and_never_empties() {
+        // Two nodes, one edge: any move would merge the partitions (gain 10)
+        // but would empty one of them — both moves must be blocked.
+        let mut g = LevelGraph::with_nodes(2);
+        g.add_edge(0, 1, 10);
+        let mut parts = vec![0u32, 1];
+        let mut work = 0;
+        let gain = kway_refine(&g, &mut parts, 2, &KwayConfig::default(), &mut work);
+        assert_eq!(gain, 0);
+        assert_eq!(parts, vec![0, 1]);
+
+        // Heavy target: node 0 (w=1) next to a clique of weight 12 in P1;
+        // the 1.03 bound must block 0's move into P1. P0 has a second node
+        // so the no-emptying rule is not what blocks.
+        let mut g2 = LevelGraph::with_node_weights(vec![1, 4, 4, 4, 1]);
+        for (u, v, w) in [(0u32, 1u32, 2u64), (1, 2, 9), (2, 3, 9), (1, 3, 9), (0, 4, 1)] {
+            g2.add_edge(u, v, w);
+        }
+        let mut parts = vec![0u32, 1, 1, 1, 0];
+        let mut work = 0;
+        kway_refine(&g2, &mut parts, 2, &KwayConfig::default(), &mut work);
+        // weight(P1)=12 ≥ 1.03·weight(P0)=2.06: node 0 must stay in P0.
+        assert_eq!(parts[0], 0);
+    }
+
+    #[test]
+    fn k_one_is_a_noop() {
+        let g = three_cliques();
+        let mut parts = vec![0u32; 12];
+        let mut work = 0;
+        assert_eq!(kway_refine(&g, &mut parts, 1, &KwayConfig::default(), &mut work), 0);
+    }
+
+    #[test]
+    fn balance_never_explodes() {
+        let g = three_cliques();
+        let mut parts: Vec<u32> = (0..12).map(|v| (v % 3) as u32).collect(); // scrambled
+        let mut work = 0;
+        kway_refine(&g, &mut parts, 3, &KwayConfig::default(), &mut work);
+        let balance = partition_balance(&g, &parts, 3);
+        assert!(balance <= 2.0, "balance exploded: {balance}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_case() -> impl Strategy<Value = (LevelGraph, Vec<u32>, usize)> {
+        (3usize..20, 2usize..5, proptest::collection::vec((0usize..20, 0usize..20, 1u64..30), 1..60))
+            .prop_flat_map(|(n, k, raw)| {
+                let mut g = LevelGraph::with_nodes(n);
+                for (u, v, w) in raw {
+                    let (u, v) = (u % n, v % n);
+                    if u != v {
+                        g.add_edge(u as u32, v as u32, w);
+                    }
+                }
+                (Just(g), proptest::collection::vec(0u32..k as u32, n), Just(k))
+            })
+    }
+
+    proptest! {
+        /// k-way refinement never worsens the cut, reports the exact delta,
+        /// and keeps assignments in range.
+        #[test]
+        fn kway_never_worsens((g, mut parts, k) in arb_case()) {
+            let before = edge_cut(&g, &parts);
+            let mut work = 0;
+            let gain = kway_refine(&g, &mut parts, k, &KwayConfig::default(), &mut work);
+            let after = edge_cut(&g, &parts);
+            prop_assert!(after <= before);
+            prop_assert_eq!(before - after, gain);
+            prop_assert!(parts.iter().all(|&p| (p as usize) < k));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # fc-partition — multilevel graph partitioning (paper §IV)
+//!
+//! Partitions a [`fc_graph::GraphSet`] — either the multilevel set (the
+//! "naïve" baseline) or the hybrid set (biological knowledge injected) —
+//! into `k = 2^i` parts by recursive bisection:
+//!
+//! * [`local`] — dense induced-subgraph extraction used by all algorithms,
+//! * [`grow`] — greedy graph growing for the initial bisection (§IV-A):
+//!   gain-priority growth, alternating sides, 3 % edge-weight balance bound,
+//! * [`kl`] — Kernighan–Lin bisection refinement (§IV-B): D values, dual
+//!   sorted queues with diagonal scanning, fifty-swap early stop, undo to
+//!   the best partial sum,
+//! * [`recursive`] — multilevel recursive bisection with projection and
+//!   per-level refinement (§IV-C), recording the task tree whose natural
+//!   parallelism fc-dist schedules (Fig. 4),
+//! * [`kway`] — global k-way Kernighan–Lin boundary refinement (§IV-D),
+//! * [`metrics`] — edge cut, balance and validity checks (Table II).
+
+pub mod grow;
+pub mod kl;
+pub mod kway;
+pub mod local;
+pub mod metrics;
+pub mod recursive;
+
+pub use grow::greedy_grow;
+pub use kl::kl_refine;
+pub use kway::kway_refine;
+pub use local::LocalGraph;
+pub use metrics::{edge_cut, partition_balance, validate_partition};
+pub use recursive::{partition_graph_set, PartitionConfig, PartitionResult, TaskRecord};

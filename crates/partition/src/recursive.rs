@@ -1,0 +1,435 @@
+//! Multilevel recursive bisection (paper §IV-C) and the full partitioning
+//! pipeline.
+//!
+//! The coarsest graph is bisected with greedy growing + KL; the bisection is
+//! projected level by level towards the finest graph, KL-refining after each
+//! projection. Each produced partition is recursively bisected the same way
+//! until `k = 2^i` partitions exist, then every level receives a global
+//! k-way KL refinement.
+//!
+//! The recursion has natural task parallelism: step `i` bisects `2^i`
+//! partitions independently, and the final k-way refinement treats each
+//! level independently. Every task's abstract work is recorded in
+//! [`TaskRecord`]s so the simulated cluster (fc-dist) can schedule them onto
+//! `p` processors and reproduce the paper's Fig. 4 speedup curve.
+
+use crate::grow::greedy_grow;
+use crate::kl::{kl_refine, KlConfig};
+use crate::kway::{kway_refine, KwayConfig};
+use crate::local::LocalGraph;
+use crate::metrics::validate_partition;
+use fc_graph::{GraphSet, NodeId};
+
+/// Partitioning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of partitions; must be a power of two (recursive bisection,
+    /// paper §IV).
+    pub k: usize,
+    /// Seed for greedy growing's random choices.
+    pub seed: u64,
+    /// KL bisection-refinement knobs.
+    pub kl: KlConfig,
+    /// Global k-way refinement knobs.
+    pub kway: KwayConfig,
+    /// Whether to run the final per-level k-way refinement.
+    pub run_kway: bool,
+}
+
+impl PartitionConfig {
+    /// Standard configuration for `k` partitions.
+    pub fn new(k: usize, seed: u64) -> PartitionConfig {
+        PartitionConfig {
+            k,
+            seed,
+            kl: KlConfig::default(),
+            kway: KwayConfig::default(),
+            run_kway: true,
+        }
+    }
+
+    /// Validates that `k` is a positive power of two.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 || !self.k.is_power_of_two() {
+            return Err(format!("k must be a positive power of two, got {}", self.k));
+        }
+        Ok(())
+    }
+}
+
+/// What a recorded task did (for the simulated-cluster scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Bisection of one partition through all levels, at recursion `step`.
+    Bisect {
+        /// Recursion step (0-based); step `i` has `2^i` such tasks.
+        step: usize,
+        /// The partition id that was split.
+        part: u32,
+    },
+    /// Global k-way refinement of one level.
+    KwayLevel {
+        /// The refined level.
+        level: usize,
+    },
+}
+
+/// One schedulable unit of partitioning work with its measured cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// What the task was.
+    pub kind: TaskKind,
+    /// Abstract work units consumed (edge relaxations, gain evaluations …).
+    pub work: u64,
+}
+
+/// The outcome of partitioning a graph set.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// Number of partitions.
+    pub k: usize,
+    /// Partition assignment per level (same indexing as `set.levels`).
+    pub parts_per_level: Vec<Vec<u32>>,
+    /// Task log for scheduling simulations.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl PartitionResult {
+    /// Assignment on the finest level.
+    pub fn finest(&self) -> &[u32] {
+        &self.parts_per_level[0]
+    }
+
+    /// Total work across all tasks.
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+}
+
+/// Partitions `set` into `config.k` parts by multilevel recursive bisection
+/// with per-level KL refinement and optional global k-way refinement.
+pub fn partition_graph_set(
+    set: &GraphSet,
+    config: &PartitionConfig,
+) -> Result<PartitionResult, String> {
+    config.validate()?;
+    let mut parts: Vec<Vec<u32>> =
+        set.levels.iter().map(|g| vec![0u32; g.node_count()]).collect();
+    let mut tasks = Vec::new();
+
+    let steps = config.k.trailing_zeros() as usize;
+    for step in 0..steps {
+        for p in 0..(1u32 << step) {
+            let mut work = 0u64;
+            let p_new = p + (1 << step);
+            bisect_partition(
+                set,
+                &mut parts,
+                p,
+                p_new,
+                config,
+                config.seed.wrapping_add(((step as u64) << 32) | p as u64),
+                &mut work,
+            );
+            tasks.push(TaskRecord { kind: TaskKind::Bisect { step, part: p }, work });
+        }
+    }
+
+    // Recursive bisection cannot split a partition that holds a single
+    // (possibly heavy) node, which strands the sibling id empty. Repair by
+    // donating half of the node-richest partition's nodes to each empty id
+    // — the granularity fix a master process applies before handing
+    // partitions to workers.
+    for (level_graph, assignment) in set.levels.iter().zip(parts.iter_mut()) {
+        repair_empty_partitions(level_graph, assignment, config.k);
+    }
+
+    if config.run_kway && config.k > 1 {
+        for (level, (level_graph, assignment)) in
+            set.levels.iter().zip(parts.iter_mut()).enumerate()
+        {
+            let mut work = 0u64;
+            kway_refine(level_graph, assignment, config.k, &config.kway, &mut work);
+            tasks.push(TaskRecord { kind: TaskKind::KwayLevel { level }, work });
+        }
+    }
+
+    // The finest level must be a complete k-partition. Coarser levels may
+    // legitimately miss partitions whose creating bisection happened below
+    // them (a coarse partition with a single node cannot be split there), so
+    // they are only range-checked.
+    validate_partition(&set.levels[0], &parts[0], config.k).map_err(|e| format!("level 0: {e}"))?;
+    for (level, assignment) in parts.iter().enumerate().skip(1) {
+        if assignment.iter().any(|&p| p as usize >= config.k) {
+            return Err(format!("level {level}: assignment out of range"));
+        }
+    }
+    Ok(PartitionResult { k: config.k, parts_per_level: parts, tasks })
+}
+
+/// Fills empty partition ids (when the graph has enough nodes) by moving a
+/// connected half of the node-richest partition into each empty id.
+fn repair_empty_partitions(g: &fc_graph::LevelGraph, parts: &mut [u32], k: usize) {
+    let n = g.node_count();
+    if n < k {
+        return;
+    }
+    loop {
+        let mut counts = vec![0usize; k];
+        for &p in parts.iter() {
+            counts[p as usize] += 1;
+        }
+        let Some(empty) = counts.iter().position(|&c| c == 0) else { break };
+        let Some(donor) = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= 2)
+            .max_by_key(|&(_, &c)| c)
+            .map(|(p, _)| p as u32)
+        else {
+            break;
+        };
+        let donor_nodes: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| parts[v as usize] == donor)
+            .collect();
+        // Gather a connected half via BFS over donor-internal edges.
+        let take = donor_nodes.len() / 2;
+        let mut taken = Vec::with_capacity(take);
+        let mut in_donor = std::collections::HashSet::new();
+        in_donor.extend(donor_nodes.iter().copied());
+        let mut visited = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([donor_nodes[0]]);
+        visited.insert(donor_nodes[0]);
+        while let Some(v) = queue.pop_front() {
+            if taken.len() >= take {
+                break;
+            }
+            taken.push(v);
+            for &(u, _) in g.neighbors(v) {
+                if in_donor.contains(&u) && visited.insert(u) {
+                    queue.push_back(u);
+                }
+            }
+            // Disconnected donor: continue from any unvisited donor node.
+            if queue.is_empty() && taken.len() < take {
+                if let Some(&next) =
+                    donor_nodes.iter().find(|&&u| !visited.contains(&u))
+                {
+                    visited.insert(next);
+                    queue.push_back(next);
+                }
+            }
+        }
+        for v in taken {
+            parts[v as usize] = empty as u32;
+        }
+    }
+}
+
+/// Splits partition `p` into `p` and `p_new` across all levels: bisect the
+/// coarsest level's induced subgraph, then project and KL-refine downwards.
+fn bisect_partition(
+    set: &GraphSet,
+    parts: &mut [Vec<u32>],
+    p: u32,
+    p_new: u32,
+    config: &PartitionConfig,
+    seed: u64,
+    work: &mut u64,
+) {
+    let n_levels = set.level_count();
+    // Find the coarsest level where this partition has at least two nodes.
+    let mut top = n_levels - 1;
+    loop {
+        let count = parts[top].iter().filter(|&&q| q == p).count();
+        if count >= 2 || top == 0 {
+            break;
+        }
+        top -= 1;
+    }
+
+    // Initial bisection at `top`.
+    {
+        let nodes: Vec<NodeId> = (0..set.levels[top].node_count() as NodeId)
+            .filter(|&v| parts[top][v as usize] == p)
+            .collect();
+        if nodes.len() < 2 {
+            return; // nothing to split (degenerate, e.g. k > nodes)
+        }
+        let local = LocalGraph::extract(&set.levels[top], &nodes);
+        let mut side = greedy_grow(&local, seed, work);
+        kl_refine(&local, &mut side, &config.kl, work);
+        for (li, &v) in nodes.iter().enumerate() {
+            parts[top][v as usize] = if side[li] { p_new } else { p };
+        }
+    }
+
+    // Project and refine downwards.
+    for level in (0..top).rev() {
+        let map = &set.fine_to_coarse[level];
+        let graph = &set.levels[level];
+        let nodes: Vec<NodeId> = (0..graph.node_count() as NodeId)
+            .filter(|&v| parts[level][v as usize] == p)
+            .collect();
+        let local = LocalGraph::extract(graph, &nodes);
+        let mut side = vec![false; nodes.len()];
+        let mut side_weight = [0u64, 0u64];
+        let mut drifters: Vec<usize> = Vec::new();
+        for (li, &v) in nodes.iter().enumerate() {
+            let a = parts[level + 1][map[v as usize] as usize];
+            if a == p || a == p_new {
+                side[li] = a == p_new;
+                side_weight[usize::from(a == p_new)] += graph.node_weight(v);
+            } else {
+                // The ancestor drifted to another partition during an
+                // earlier refinement; balance these rather than piling them
+                // onto `p`.
+                drifters.push(li);
+            }
+        }
+        for li in drifters {
+            let s = usize::from(side_weight[1] < side_weight[0]);
+            side[li] = s == 1;
+            side_weight[s] += graph.node_weight(nodes[li]);
+        }
+        // Guard against a degenerate or badly lopsided projection.
+        let total = side_weight[0] + side_weight[1];
+        if total > 0 && side_weight[0].max(side_weight[1]) * 4 > total * 3 {
+            side = greedy_grow(&local, seed ^ 0x9E3779B9, work);
+        }
+        kl_refine(&local, &mut side, &config.kl, work);
+        for (li, &v) in nodes.iter().enumerate() {
+            parts[level][v as usize] = if side[li] { p_new } else { p };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edge_cut, partition_balance};
+    use fc_graph::{CoarsenConfig, LevelGraph, MultilevelSet};
+
+    /// A long weighted path — the archetype of a "linear DNA" overlap graph.
+    fn path_set(n: usize) -> GraphSet {
+        let mut g = LevelGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, (i + 1) as u32, 50);
+        }
+        MultilevelSet::build(g, &CoarsenConfig { min_nodes: 16, ..Default::default() }).set
+    }
+
+    #[test]
+    fn partitions_all_levels_consistently() {
+        let set = path_set(512);
+        let result = partition_graph_set(&set, &PartitionConfig::new(8, 42)).unwrap();
+        assert_eq!(result.k, 8);
+        assert_eq!(result.parts_per_level.len(), set.level_count());
+        validate_partition(set.finest(), result.finest(), 8).unwrap();
+        for assignment in &result.parts_per_level {
+            assert!(assignment.iter().all(|&p| p < 8));
+        }
+    }
+
+    #[test]
+    fn path_cut_is_near_optimal() {
+        let set = path_set(512);
+        let result = partition_graph_set(&set, &PartitionConfig::new(8, 1)).unwrap();
+        let cut = edge_cut(set.finest(), result.finest());
+        // Optimal is 7 cut edges × 50 = 350; allow some slack.
+        assert!(cut <= 3 * 350, "cut {cut} too far from optimal 350");
+        let balance = partition_balance(set.finest(), result.finest(), 8);
+        assert!(balance < 1.4, "balance {balance} too loose");
+    }
+
+    #[test]
+    fn task_log_matches_recursion_shape() {
+        let set = path_set(256);
+        let result = partition_graph_set(&set, &PartitionConfig::new(16, 5)).unwrap();
+        // 1 + 2 + 4 + 8 bisection tasks.
+        let bisects: Vec<_> = result
+            .tasks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TaskKind::Bisect { step, .. } => Some(step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bisects.len(), 15);
+        for step in 0..4 {
+            assert_eq!(bisects.iter().filter(|&&s| s == step).count(), 1 << step);
+        }
+        // One k-way task per level.
+        let kway_count = result
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::KwayLevel { .. }))
+            .count();
+        assert_eq!(kway_count, set.level_count());
+        assert!(result.total_work() > 0);
+    }
+
+    #[test]
+    fn k_equal_one_yields_single_partition() {
+        let set = path_set(64);
+        let result = partition_graph_set(&set, &PartitionConfig::new(1, 3)).unwrap();
+        assert!(result.finest().iter().all(|&p| p == 0));
+        assert!(result.tasks.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let set = path_set(64);
+        assert!(partition_graph_set(&set, &PartitionConfig::new(6, 3)).is_err());
+        assert!(partition_graph_set(&set, &PartitionConfig::new(0, 3)).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let set = path_set(128);
+        let a = partition_graph_set(&set, &PartitionConfig::new(4, 9)).unwrap();
+        let b = partition_graph_set(&set, &PartitionConfig::new(4, 9)).unwrap();
+        assert_eq!(a.parts_per_level, b.parts_per_level);
+        let c = partition_graph_set(&set, &PartitionConfig::new(4, 10)).unwrap();
+        // Different seed may legitimately give the same partition on such a
+        // regular graph, but the result must still be valid.
+        validate_partition(set.finest(), c.finest(), 4).unwrap();
+    }
+
+    #[test]
+    fn works_without_kway_refinement() {
+        let set = path_set(128);
+        let mut config = PartitionConfig::new(4, 2);
+        config.run_kway = false;
+        let result = partition_graph_set(&set, &config).unwrap();
+        assert!(result
+            .tasks
+            .iter()
+            .all(|t| matches!(t.kind, TaskKind::Bisect { .. })));
+        validate_partition(set.finest(), result.finest(), 4).unwrap();
+    }
+
+    #[test]
+    fn single_level_set_is_supported() {
+        // A graph too small/irregular to coarsen still partitions.
+        let mut g = LevelGraph::with_nodes(32);
+        for i in 0..31 {
+            g.add_edge(i as u32, (i + 1) as u32, 5);
+        }
+        let set = GraphSet { levels: vec![g], fine_to_coarse: vec![] };
+        let result = partition_graph_set(&set, &PartitionConfig::new(4, 7)).unwrap();
+        validate_partition(set.finest(), result.finest(), 4).unwrap();
+    }
+
+    #[test]
+    fn kway_never_worsens_final_cut() {
+        let set = path_set(256);
+        let mut without = PartitionConfig::new(8, 13);
+        without.run_kway = false;
+        let base = partition_graph_set(&set, &without).unwrap();
+        let with = partition_graph_set(&set, &PartitionConfig::new(8, 13)).unwrap();
+        let cut_without = edge_cut(set.finest(), base.finest());
+        let cut_with = edge_cut(set.finest(), with.finest());
+        assert!(cut_with <= cut_without, "k-way made things worse: {cut_with} > {cut_without}");
+    }
+}

@@ -1,0 +1,293 @@
+//! 2-bit packed DNA sequences.
+
+use crate::alphabet::Base;
+use crate::error::SeqError;
+use std::fmt;
+use std::str::FromStr;
+
+const BASES_PER_WORD: usize = 32;
+
+/// A DNA sequence packed at two bits per base (32 bases per `u64` word).
+///
+/// ```
+/// use fc_seq::DnaString;
+/// let s: DnaString = "ACGTT".parse().unwrap();
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.reverse_complement().to_string(), "AACGT");
+/// assert_eq!(s.slice(1, 4).to_string(), "CGT");
+/// ```
+///
+/// `DnaString` is the workhorse sequence type of the assembler: genomes,
+/// reads and contigs are all stored in this representation. Besides the 4x
+/// memory saving over byte strings, the packed form makes
+/// [`reverse_complement`](DnaString::reverse_complement) and k-mer extraction
+/// cheap, which matters because the paper's preprocessing step doubles the
+/// read set with reverse complements (§II-A).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DnaString {
+    /// Creates an empty sequence.
+    pub fn new() -> DnaString {
+        DnaString::default()
+    }
+
+    /// Creates an empty sequence with room for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> DnaString {
+        DnaString {
+            words: Vec::with_capacity(capacity.div_ceil(BASES_PER_WORD)),
+            len: 0,
+        }
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the sequence contains no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a base.
+    #[inline]
+    pub fn push(&mut self, base: Base) {
+        let (word, shift) = (self.len / BASES_PER_WORD, (self.len % BASES_PER_WORD) * 2);
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= (base.code() as u64) << shift;
+        self.len += 1;
+    }
+
+    /// Base at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        let word = self.words[i / BASES_PER_WORD];
+        Base::from_code(((word >> ((i % BASES_PER_WORD) * 2)) & 0b11) as u8)
+    }
+
+    /// Overwrites the base at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, base: Base) {
+        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        let shift = (i % BASES_PER_WORD) * 2;
+        let word = &mut self.words[i / BASES_PER_WORD];
+        *word = (*word & !(0b11 << shift)) | ((base.code() as u64) << shift);
+    }
+
+    /// Iterates over all bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Copies the bases in `range` into a new sequence.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> DnaString {
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds");
+        let mut out = DnaString::with_capacity(end - start);
+        for i in start..end {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// The reverse complement of this sequence.
+    pub fn reverse_complement(&self) -> DnaString {
+        let mut out = DnaString::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push(self.get(i).complement());
+        }
+        out
+    }
+
+    /// Appends all bases of `other`.
+    pub fn extend_from(&mut self, other: &DnaString) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Packs the k-mer starting at `pos` into the low `2k` bits of a `u64`
+    /// (first base in the lowest bits). Returns `None` if the k-mer would run
+    /// off the end or `k` exceeds 32.
+    #[inline]
+    pub fn kmer_u64(&self, pos: usize, k: usize) -> Option<u64> {
+        if k == 0 || k > 32 || pos + k > self.len {
+            return None;
+        }
+        let mut packed = 0u64;
+        for i in 0..k {
+            packed |= (self.get(pos + i).code() as u64) << (2 * i);
+        }
+        Some(packed)
+    }
+
+    /// Iterates over all `(position, packed k-mer)` pairs of the sequence.
+    pub fn kmers(&self, k: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let end = if k == 0 || k > 32 || k > self.len { 0 } else { self.len - k + 1 };
+        (0..end).map(move |pos| (pos, self.kmer_u64(pos, k).expect("in-bounds k-mer")))
+    }
+
+    /// Decodes to an ASCII byte string (`A`/`C`/`G`/`T`).
+    pub fn to_ascii(&self) -> Vec<u8> {
+        self.iter().map(Base::to_ascii).collect()
+    }
+
+    /// Number of positions at which `self` and `other` differ, comparing the
+    /// first `min(len, other.len)` bases plus the length difference.
+    pub fn hamming_distance(&self, other: &DnaString) -> usize {
+        let shared = self.len.min(other.len);
+        let mismatches = (0..shared).filter(|&i| self.get(i) != other.get(i)).count();
+        mismatches + self.len.abs_diff(other.len)
+    }
+}
+
+impl FromStr for DnaString {
+    type Err = SeqError;
+
+    fn from_str(s: &str) -> Result<DnaString, SeqError> {
+        let mut out = DnaString::with_capacity(s.len());
+        for (i, c) in s.bytes().enumerate() {
+            match Base::from_ascii(c) {
+                Some(b) => out.push(b),
+                None => return Err(SeqError::InvalidBase { position: i, byte: c }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for DnaString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DnaString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 60 {
+            write!(f, "DnaString(\"{self}\")")
+        } else {
+            write!(f, "DnaString(len={}, \"{}…\")", self.len, self.slice(0, 60))
+        }
+    }
+}
+
+impl FromIterator<Base> for DnaString {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaString {
+        let mut out = DnaString::new();
+        for b in iter {
+            out.push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_across_word_boundary() {
+        let mut s = DnaString::new();
+        let pattern = [Base::A, Base::C, Base::G, Base::T];
+        for i in 0..100 {
+            s.push(pattern[i % 4]);
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100 {
+            assert_eq!(s.get(i), pattern[i % 4], "position {i}");
+        }
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let text = "ACGTTGCAACGT";
+        let s: DnaString = text.parse().unwrap();
+        assert_eq!(s.to_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_ambiguity_codes() {
+        let err = "ACGNT".parse::<DnaString>().unwrap_err();
+        match err {
+            SeqError::InvalidBase { position, byte } => {
+                assert_eq!(position, 3);
+                assert_eq!(byte, b'N');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_complement_known_value() {
+        let s: DnaString = "AACGTT".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "AACGTT");
+        let s: DnaString = "ACGT".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "ACGT");
+        let s: DnaString = "AAAC".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "GTTT");
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut s: DnaString = "AAAA".parse().unwrap();
+        s.set(2, Base::G);
+        assert_eq!(s.to_string(), "AAGA");
+    }
+
+    #[test]
+    fn slice_bounds_and_content() {
+        let s: DnaString = "ACGTACGT".parse().unwrap();
+        assert_eq!(s.slice(2, 6).to_string(), "GTAC");
+        assert_eq!(s.slice(0, 0).len(), 0);
+        assert_eq!(s.slice(8, 8).len(), 0);
+    }
+
+    #[test]
+    fn kmer_packing_matches_manual() {
+        let s: DnaString = "ACGT".parse().unwrap();
+        // A=0 at bits 0-1, C=1 at bits 2-3, G=2 at bits 4-5, T=3 at bits 6-7.
+        assert_eq!(s.kmer_u64(0, 4), Some(0b11_10_01_00));
+        assert_eq!(s.kmer_u64(1, 4), None);
+        assert_eq!(s.kmer_u64(0, 33), None);
+    }
+
+    #[test]
+    fn kmers_iterator_counts() {
+        let s: DnaString = "ACGTAC".parse().unwrap();
+        assert_eq!(s.kmers(3).count(), 4);
+        assert_eq!(s.kmers(6).count(), 1);
+        assert_eq!(s.kmers(7).count(), 0);
+        assert_eq!(s.kmers(0).count(), 0);
+    }
+
+    #[test]
+    fn hamming_distance_counts_mismatches_and_length_gap() {
+        let a: DnaString = "ACGT".parse().unwrap();
+        let b: DnaString = "ACCT".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 1);
+        let c: DnaString = "ACGTAA".parse().unwrap();
+        assert_eq!(a.hamming_distance(&c), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+}

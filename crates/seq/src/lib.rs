@@ -1,0 +1,32 @@
+//! # fc-seq — sequence substrate for the Focus assembler
+//!
+//! This crate provides the DNA-sequence foundation used by every other crate
+//! in the workspace:
+//!
+//! * [`Base`] and [`DnaString`] — a 2-bit packed DNA sequence type with
+//!   reverse-complement, slicing and k-mer iteration,
+//! * [`QualityScores`] — Phred quality values with FASTQ encoding,
+//! * [`Read`] and [`ReadStore`] — sequencing reads and the container the
+//!   assembler operates on, including reverse-complement augmentation and
+//!   subset splitting (paper §II-A),
+//! * FASTA/FASTQ parsing and writing ([`fasta`], [`fastq`]),
+//! * read trimming ([`trim`]) — fixed 5'/3' trimming and the paper's
+//!   sliding-window 3' quality trimming.
+
+pub mod alphabet;
+pub mod dna;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod quality;
+pub mod read;
+pub mod store;
+pub mod trim;
+
+pub use alphabet::Base;
+pub use dna::DnaString;
+pub use error::SeqError;
+pub use quality::QualityScores;
+pub use read::{Read, ReadId};
+pub use store::{Orientation, ReadStore};
+pub use trim::TrimConfig;

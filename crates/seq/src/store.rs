@@ -1,0 +1,279 @@
+//! The read store: preprocessing output and the substrate the overlap graph
+//! is built over (paper §II-A).
+
+use crate::read::{Read, ReadId};
+use crate::trim::{trim_read, TrimConfig};
+
+/// Strand of a stored read relative to its source read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The read as sequenced.
+    Forward,
+    /// The generated reverse complement (paper §II-A adds one per read).
+    ReverseComplement,
+}
+
+/// A container of preprocessed reads.
+///
+/// After [`ReadStore::preprocess`], the store holds each surviving input read
+/// immediately followed by its reverse complement, so forward reads occupy
+/// even indices and their reverse complements the following odd index. Read
+/// ids are dense and become overlap-graph node ids downstream.
+#[derive(Debug, Clone, Default)]
+pub struct ReadStore {
+    reads: Vec<Read>,
+    /// `true` when the store is forward/RC interleaved (built by `preprocess`
+    /// or `from_reads_with_rc`).
+    rc_paired: bool,
+    /// Index of the source read (pre-trimming) each stored read came from.
+    source: Vec<u32>,
+}
+
+impl ReadStore {
+    /// Wraps reads as-is, without reverse complements.
+    pub fn from_reads(reads: Vec<Read>) -> ReadStore {
+        let source = (0..reads.len() as u32).collect();
+        ReadStore { reads, rc_paired: false, source }
+    }
+
+    /// Runs the §II-A preprocessing pipeline: trim every read with `config`,
+    /// drop reads shorter than `config.min_read_len`, then append the reverse
+    /// complement of each survivor directly after it.
+    pub fn preprocess(input: &[Read], config: &TrimConfig) -> Result<ReadStore, String> {
+        config.validate()?;
+        let mut reads = Vec::with_capacity(input.len() * 2);
+        let mut source = Vec::with_capacity(input.len() * 2);
+        for (i, read) in input.iter().enumerate() {
+            let trimmed = trim_read(read, config);
+            if trimmed.len() < config.min_read_len.max(1) {
+                continue;
+            }
+            let rc = trimmed.reverse_complement();
+            reads.push(trimmed);
+            source.push(i as u32);
+            reads.push(rc);
+            source.push(i as u32);
+        }
+        Ok(ReadStore { reads, rc_paired: true, source })
+    }
+
+    /// Number of stored reads (forward + reverse complements).
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// True if the store holds no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Number of *source* reads that survived preprocessing (half of
+    /// [`len`](ReadStore::len) for an RC-paired store).
+    pub fn source_read_count(&self) -> usize {
+        if self.rc_paired {
+            self.reads.len() / 2
+        } else {
+            self.reads.len()
+        }
+    }
+
+    /// The read with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn get(&self, id: ReadId) -> &Read {
+        &self.reads[id.index()]
+    }
+
+    /// All stored reads in id order.
+    pub fn reads(&self) -> &[Read] {
+        &self.reads
+    }
+
+    /// All read ids.
+    pub fn ids(&self) -> impl Iterator<Item = ReadId> + 'static {
+        (0..self.reads.len() as u32).map(ReadId)
+    }
+
+    /// Orientation of a stored read. Meaningful only for RC-paired stores;
+    /// plain stores report everything as forward.
+    pub fn orientation(&self, id: ReadId) -> Orientation {
+        if self.rc_paired && id.0 % 2 == 1 {
+            Orientation::ReverseComplement
+        } else {
+            Orientation::Forward
+        }
+    }
+
+    /// For an RC-paired store, the id of the other strand of the same source
+    /// read; `None` for plain stores.
+    pub fn mate(&self, id: ReadId) -> Option<ReadId> {
+        if self.rc_paired {
+            Some(ReadId(id.0 ^ 1))
+        } else {
+            None
+        }
+    }
+
+    /// Index of the original input read a stored read was derived from.
+    pub fn source_index(&self, id: ReadId) -> usize {
+        self.source[id.index()] as usize
+    }
+
+    /// Total number of stored bases.
+    pub fn total_bases(&self) -> usize {
+        self.reads.iter().map(Read::len).sum()
+    }
+
+    /// Splits the id space into `n` contiguous subsets of near-equal size for
+    /// the parallel aligner (paper §II-A/B). Subset sizes differ by at most
+    /// one; empty subsets are produced only when `n > len`.
+    pub fn split_subsets(&self, n: usize) -> Vec<Vec<ReadId>> {
+        assert!(n > 0, "subset count must be positive");
+        let len = self.reads.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut out = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for s in 0..n {
+            let size = base + usize::from(s < extra);
+            out.push((next..next + size as u32).map(ReadId).collect());
+            next += size as u32;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::QualityScores;
+
+    fn input_reads() -> Vec<Read> {
+        let mk = |name: &str, seq: &str, q: u8| {
+            let seq: crate::DnaString = seq.parse().unwrap();
+            let qual = QualityScores::from_phred(vec![q; seq.len()]);
+            Read::with_quality(name, seq, qual)
+        };
+        vec![
+            mk("good1", "ACGTACGTAC", 35),
+            mk("bad", "ACGTACGTAC", 2),
+            mk("good2", "TTTTACGTAC", 35),
+        ]
+    }
+
+    fn config() -> TrimConfig {
+        TrimConfig { window_len: 4, step: 1, min_quality: 20.0, min_read_len: 5, ..TrimConfig::default() }
+    }
+
+    #[test]
+    fn preprocess_drops_bad_and_pairs_rc() {
+        let store = ReadStore::preprocess(&input_reads(), &config()).unwrap();
+        assert_eq!(store.source_read_count(), 2);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.orientation(ReadId(0)), Orientation::Forward);
+        assert_eq!(store.orientation(ReadId(1)), Orientation::ReverseComplement);
+        assert_eq!(store.mate(ReadId(0)), Some(ReadId(1)));
+        assert_eq!(store.mate(ReadId(3)), Some(ReadId(2)));
+        assert_eq!(
+            store.get(ReadId(1)).seq.to_string(),
+            store.get(ReadId(0)).seq.reverse_complement().to_string()
+        );
+        // Source tracking skips the dropped read.
+        assert_eq!(store.source_index(ReadId(2)), 2);
+    }
+
+    #[test]
+    fn plain_store_has_no_mates() {
+        let store = ReadStore::from_reads(input_reads());
+        assert_eq!(store.mate(ReadId(0)), None);
+        assert_eq!(store.orientation(ReadId(1)), Orientation::Forward);
+        assert_eq!(store.source_read_count(), 3);
+    }
+
+    #[test]
+    fn split_subsets_cover_all_ids_disjointly() {
+        let store = ReadStore::preprocess(&input_reads(), &config()).unwrap();
+        for n in 1..=6 {
+            let subsets = store.split_subsets(n);
+            assert_eq!(subsets.len(), n);
+            let mut all: Vec<u32> = subsets.iter().flatten().map(|id| id.0).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..store.len() as u32).collect::<Vec<_>>(), "n={n}");
+            let sizes: Vec<usize> = subsets.iter().map(Vec::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "n={n} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn total_bases_sums_reads() {
+        let store = ReadStore::from_reads(input_reads());
+        assert_eq!(store.total_bases(), 30);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::quality::QualityScores;
+    use proptest::prelude::*;
+
+    fn arb_reads() -> impl Strategy<Value = Vec<Read>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 10u8..40), 1..80),
+            0..12,
+        )
+        .prop_map(|reads| {
+            reads
+                .into_iter()
+                .enumerate()
+                .map(|(i, pairs)| {
+                    let seq: crate::DnaString =
+                        pairs.iter().map(|&(b, _)| crate::Base::from_code(b)).collect();
+                    let quals =
+                        QualityScores::from_phred(pairs.iter().map(|&(_, q)| q).collect());
+                    Read::with_quality(format!("r{i}"), seq, quals)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Preprocessing invariants: even/odd strand pairing, RC mates are
+        /// exact reverse complements, sources are monotone.
+        #[test]
+        fn preprocess_invariants(reads in arb_reads()) {
+            let config = TrimConfig { min_read_len: 1, ..TrimConfig::default() };
+            let store = ReadStore::preprocess(&reads, &config).unwrap();
+            prop_assert_eq!(store.len() % 2, 0);
+            let mut last_source = 0usize;
+            for i in (0..store.len()).step_by(2) {
+                let fwd = ReadId(i as u32);
+                let rc = ReadId(i as u32 + 1);
+                prop_assert_eq!(store.mate(fwd), Some(rc));
+                prop_assert_eq!(
+                    store.get(rc).seq.to_string(),
+                    store.get(fwd).seq.reverse_complement().to_string()
+                );
+                let src = store.source_index(fwd);
+                prop_assert_eq!(store.source_index(rc), src);
+                prop_assert!(src >= last_source);
+                last_source = src;
+            }
+        }
+
+        /// Subset splitting is a disjoint near-even cover for any n.
+        #[test]
+        fn subsets_cover(reads in arb_reads(), n in 1usize..9) {
+            let store = ReadStore::from_reads(reads);
+            let subsets = store.split_subsets(n);
+            let mut all: Vec<u32> = subsets.iter().flatten().map(|id| id.0).collect();
+            all.sort_unstable();
+            let expect: Vec<u32> = (0..store.len() as u32).collect();
+            prop_assert_eq!(all, expect);
+            let sizes: Vec<usize> = subsets.iter().map(Vec::len).collect();
+            prop_assert!(sizes.iter().max().unwrap_or(&0) - sizes.iter().min().unwrap_or(&0) <= 1);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Read trimming (paper §II-A).
+//!
+//! Two trimming stages run on every read before alignment:
+//!
+//! 1. **Fixed trimming** removes a user-specified number of bases from the 5'
+//!    and 3' ends (tags/adaptors).
+//! 2. **Quality trimming** slides a window of length `window_len` from the 3'
+//!    end towards the 5' end in steps of `step`; at each position the mean
+//!    Phred score of the window is computed. The first time the mean exceeds
+//!    `min_quality`, everything from the right end of that window to the 3'
+//!    end of the read is cut off. If no window qualifies, the whole read is
+//!    discarded (trimmed to zero length).
+
+use crate::read::Read;
+
+/// Parameters for the two-stage trimming of §II-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrimConfig {
+    /// Bases removed unconditionally from the 5' end.
+    pub trim_5prime: usize,
+    /// Bases removed unconditionally from the 3' end.
+    pub trim_3prime: usize,
+    /// Sliding-window length `l`.
+    pub window_len: usize,
+    /// Window step size `k` (towards the 5' end).
+    pub step: usize,
+    /// Minimum mean Phred score `q` for a window to stop the trimming scan.
+    pub min_quality: f64,
+    /// Reads shorter than this after trimming are dropped by the store.
+    pub min_read_len: usize,
+}
+
+impl Default for TrimConfig {
+    fn default() -> TrimConfig {
+        TrimConfig {
+            trim_5prime: 0,
+            trim_3prime: 0,
+            window_len: 10,
+            step: 1,
+            min_quality: 20.0,
+            min_read_len: 40,
+        }
+    }
+}
+
+impl TrimConfig {
+    /// Validates parameter sanity (non-zero window and step).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_len == 0 {
+            return Err("window_len must be > 0".to_string());
+        }
+        if self.step == 0 {
+            return Err("step must be > 0".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Applies fixed 5'/3' trimming followed by sliding-window quality trimming.
+///
+/// Reads without quality scores (FASTA input) only receive the fixed
+/// trimming. Returns the trimmed read; the caller decides whether the result
+/// is long enough to keep (see [`TrimConfig::min_read_len`]).
+pub fn trim_read(read: &Read, config: &TrimConfig) -> Read {
+    let len = read.len();
+    let start = config.trim_5prime.min(len);
+    let end = len.saturating_sub(config.trim_3prime).max(start);
+
+    let mut seq = read.seq.slice(start, end);
+    let mut qual = read.qual.clone().map(|mut q| {
+        q.truncate(end);
+        q.drop_prefix(start);
+        q
+    });
+
+    if let Some(q) = &qual {
+        let keep = quality_keep_len(q.as_slice(), config);
+        seq = seq.slice(0, keep);
+        if let Some(q) = &mut qual {
+            q.truncate(keep);
+        }
+    }
+
+    Read { name: read.name.clone(), seq, qual }
+}
+
+/// Returns how many 5'-side bases survive the sliding-window scan.
+///
+/// Windows are anchored at the 3' end and move towards the 5' end in `step`
+/// increments. The first window whose mean quality exceeds `min_quality`
+/// determines the cut: the read keeps bases `0..right_end_of_window`.
+fn quality_keep_len(scores: &[u8], config: &TrimConfig) -> usize {
+    let n = scores.len();
+    if n < config.window_len {
+        // Too short for a full window: keep iff the whole read qualifies.
+        let sum: u32 = scores.iter().map(|&q| q as u32).sum();
+        if n > 0 && sum as f64 / n as f64 > config.min_quality {
+            return n;
+        }
+        return 0;
+    }
+    let mut window_end = n;
+    loop {
+        let window_start = window_end - config.window_len;
+        let sum: u32 = scores[window_start..window_end].iter().map(|&q| q as u32).sum();
+        let mean = sum as f64 / config.window_len as f64;
+        if mean > config.min_quality {
+            return window_end;
+        }
+        if window_start < config.step {
+            // The next slide would run past the 5' end: no window qualified.
+            return 0;
+        }
+        window_end -= config.step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::QualityScores;
+
+    fn read_with_quals(seq: &str, quals: Vec<u8>) -> Read {
+        Read::with_quality("r", seq.parse().unwrap(), QualityScores::from_phred(quals))
+    }
+
+    #[test]
+    fn fixed_trim_both_ends() {
+        let read = Read::new("r", "AACCGGTT".parse().unwrap());
+        let config = TrimConfig { trim_5prime: 2, trim_3prime: 3, ..TrimConfig::default() };
+        let out = trim_read(&read, &config);
+        assert_eq!(out.seq.to_string(), "CCG");
+    }
+
+    #[test]
+    fn fixed_trim_larger_than_read_empties_it() {
+        let read = Read::new("r", "ACGT".parse().unwrap());
+        let config = TrimConfig { trim_5prime: 3, trim_3prime: 3, ..TrimConfig::default() };
+        assert!(trim_read(&read, &config).is_empty());
+    }
+
+    #[test]
+    fn quality_trim_cuts_low_quality_tail() {
+        // 6 good bases (q=30) then 4 bad ones (q=2); window 4, step 1, q>20.
+        let read = read_with_quals("ACGTACGTAC", vec![30, 30, 30, 30, 30, 30, 2, 2, 2, 2]);
+        let config = TrimConfig {
+            window_len: 4,
+            step: 1,
+            min_quality: 20.0,
+            ..TrimConfig::default()
+        };
+        let out = trim_read(&read, &config);
+        // The first (rightmost) window whose mean exceeds 20 is scores[3..7]
+        // = (30+30+30+2)/4 = 23 -> keep 0..7.
+        assert_eq!(out.len(), 7);
+        assert_eq!(out.qual.unwrap().len(), 7);
+    }
+
+    #[test]
+    fn quality_trim_keeps_whole_good_read() {
+        let read = read_with_quals("ACGTACGT", vec![35; 8]);
+        let config = TrimConfig { window_len: 4, step: 2, min_quality: 20.0, ..TrimConfig::default() };
+        assert_eq!(trim_read(&read, &config).len(), 8);
+    }
+
+    #[test]
+    fn quality_trim_discards_hopeless_read() {
+        let read = read_with_quals("ACGTACGT", vec![2; 8]);
+        let config = TrimConfig { window_len: 4, step: 1, min_quality: 20.0, ..TrimConfig::default() };
+        assert!(trim_read(&read, &config).is_empty());
+    }
+
+    #[test]
+    fn short_read_handled_without_full_window() {
+        let good = read_with_quals("ACG", vec![30, 30, 30]);
+        let bad = read_with_quals("ACG", vec![2, 2, 2]);
+        let config = TrimConfig { window_len: 10, step: 1, min_quality: 20.0, ..TrimConfig::default() };
+        assert_eq!(trim_read(&good, &config).len(), 3);
+        assert!(trim_read(&bad, &config).is_empty());
+    }
+
+    #[test]
+    fn fasta_read_only_gets_fixed_trim() {
+        let read = Read::new("r", "AACCGGTT".parse().unwrap());
+        let config = TrimConfig { trim_5prime: 1, ..TrimConfig::default() };
+        assert_eq!(trim_read(&read, &config).seq.to_string(), "ACCGGTT");
+    }
+
+    #[test]
+    fn validate_rejects_zero_window_or_step() {
+        assert!(TrimConfig { window_len: 0, ..TrimConfig::default() }.validate().is_err());
+        assert!(TrimConfig { step: 0, ..TrimConfig::default() }.validate().is_err());
+        assert!(TrimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn step_larger_than_one_respected() {
+        // 12 scores: last 6 bad, first 6 good. window 4, step 3.
+        let read = read_with_quals("ACGTACGTACGT", vec![30, 30, 30, 30, 30, 30, 2, 2, 2, 2, 2, 2]);
+        let config = TrimConfig { window_len: 4, step: 3, min_quality: 20.0, ..TrimConfig::default() };
+        let out = trim_read(&read, &config);
+        // Windows end at 12 (mean 2), 9 (mean (30+2+2+2)/4=9), 6 (mean 30) -> keep 6.
+        assert_eq!(out.len(), 6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::quality::QualityScores;
+    use proptest::prelude::*;
+
+    fn arb_read() -> impl Strategy<Value = Read> {
+        proptest::collection::vec((0u8..4, 0u8..42), 0..150).prop_map(|pairs| {
+            let seq: crate::DnaString =
+                pairs.iter().map(|&(b, _)| crate::Base::from_code(b)).collect();
+            let quals = QualityScores::from_phred(pairs.iter().map(|&(_, q)| q).collect());
+            Read::with_quality("p", seq, quals)
+        })
+    }
+
+    fn arb_config() -> impl Strategy<Value = TrimConfig> {
+        (0usize..20, 0usize..20, 1usize..15, 1usize..6, 0.0f64..40.0).prop_map(
+            |(t5, t3, window_len, step, min_quality)| TrimConfig {
+                trim_5prime: t5,
+                trim_3prime: t3,
+                window_len,
+                step,
+                min_quality,
+                min_read_len: 0,
+            },
+        )
+    }
+
+    proptest! {
+        /// Trimming never grows a read and keeps quality aligned with
+        /// sequence.
+        #[test]
+        fn trim_shrinks_and_stays_aligned(read in arb_read(), config in arb_config()) {
+            let out = trim_read(&read, &config);
+            prop_assert!(out.len() <= read.len());
+            if let Some(q) = &out.qual {
+                prop_assert_eq!(q.len(), out.len());
+            }
+            // The surviving sequence is a contiguous slice of the original.
+            if !out.is_empty() {
+                let start = config.trim_5prime.min(read.len());
+                for i in 0..out.len() {
+                    prop_assert_eq!(out.seq.get(i), read.seq.get(start + i));
+                }
+            }
+        }
+
+        /// Trimming is idempotent for pure quality trimming (no fixed
+        /// trim): re-trimming the output changes nothing, because the
+        /// surviving window already passed the threshold.
+        #[test]
+        fn quality_trim_idempotent(read in arb_read(), config in arb_config()) {
+            let config = TrimConfig { trim_5prime: 0, trim_3prime: 0, ..config };
+            let once = trim_read(&read, &config);
+            let twice = trim_read(&once, &config);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! File-based pipeline: write simulated reads to FASTQ, read them back,
+//! assemble, and write the contigs as FASTA — the shape of a real workflow.
+//!
+//! ```text
+//! cargo run --release --example fastq_pipeline [-- /tmp/workdir]
+//! ```
+
+use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::seq::{fasta, fastq, Read};
+use focus_assembler::sim::single_genome_dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir)?;
+    let reads_path = dir.join("focus_example_reads.fastq");
+    let contigs_path = dir.join("focus_example_contigs.fasta");
+
+    // 1. Simulate and write FASTQ (with real quality strings).
+    let dataset = single_genome_dataset(10_000, 10.0, 3)?;
+    fastq::write(BufWriter::new(File::create(&reads_path)?), &dataset.reads, 30)?;
+    println!("wrote {} reads to {}", dataset.reads.len(), reads_path.display());
+
+    // 2. Read the FASTQ back — the assembler consumes plain `Read`s, so any
+    //    FASTQ source works the same way.
+    let reads: Vec<Read> = fastq::parse(BufReader::new(File::open(&reads_path)?))?;
+    assert_eq!(reads.len(), dataset.reads.len());
+
+    // 3. Assemble with quality trimming enabled (the simulated reads carry
+    //    degraded 3' tails for the trimmer to remove).
+    let mut config = FocusConfig::default();
+    config.trim.window_len = 10;
+    config.trim.min_quality = 15.0;
+    config.dedup_rc = true;
+    let assembler = FocusAssembler::new(config)?;
+    let result = assembler.assemble(&reads)?;
+    println!(
+        "assembled {} contigs (N50 {} bp, max {} bp)",
+        result.stats.num_contigs, result.stats.n50, result.stats.max_contig
+    );
+
+    // 4. Write contigs as FASTA.
+    let contig_reads: Vec<Read> = result
+        .contigs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Read::new(format!("contig_{i} len={}", c.len()), c.clone()))
+        .collect();
+    fasta::write(BufWriter::new(File::create(&contigs_path)?), &contig_reads, 70)?;
+    println!("wrote contigs to {}", contigs_path.display());
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate reads from a single genome and assemble them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::sim::single_genome_dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate a 20 kb genome sequenced at 12x with 100 bp reads.
+    let dataset = single_genome_dataset(20_000, 12.0, 42)?;
+    println!(
+        "simulated {} reads ({} bases) from a {} bp genome",
+        dataset.reads.len(),
+        dataset.total_bases(),
+        dataset.taxonomy.genera[0].genome.len()
+    );
+
+    // 2. Configure the assembler: defaults plus canonical-strand output.
+    let config = FocusConfig { partitions: 8, dedup_rc: true, ..Default::default() };
+    let assembler = FocusAssembler::new(config)?;
+
+    // 3. Assemble.
+    let result = assembler.assemble(&dataset.reads)?;
+
+    // 4. Inspect the outcome.
+    println!("\nassembly of {} contigs:", result.stats.num_contigs);
+    println!("  N50        : {} bp", result.stats.n50);
+    println!("  max contig : {} bp", result.stats.max_contig);
+    println!("  total      : {} bp", result.stats.total_bases);
+    println!(
+        "  trimming removed {} transitive edges, {} contained contigs, {} error nodes",
+        result.report.transitive_removed,
+        result.report.contained_removed,
+        result.report.error_nodes_removed
+    );
+
+    let mut lengths: Vec<usize> = result.contigs.iter().map(|c| c.len()).collect();
+    lengths.sort_unstable_by(|a, b| b.cmp(a));
+    println!("  five longest contigs: {:?}", &lengths[..lengths.len().min(5)]);
+    Ok(())
+}

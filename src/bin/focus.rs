@@ -1,0 +1,335 @@
+//! `focus` — command-line front end for the Focus assembler.
+//!
+//! ```text
+//! focus assemble --input reads.fastq --output contigs.fasta [options]
+//! focus simulate --genome-len 20000 --coverage 10 --output reads.fastq
+//! ```
+//!
+//! Run `focus help` for the full option list.
+
+use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::seq::{fasta, fastq, Read};
+use focus_assembler::sim::single_genome_dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+const HELP: &str = "\
+focus — parallel NGS assembly on distributed overlap graphs
+
+USAGE:
+    focus assemble --input <reads.{fasta,fastq}> --output <contigs.fasta> [options]
+    focus simulate --output <reads.fastq> [options]
+    focus stats    --input <contigs.fasta>
+    focus graph    --input <reads.{fasta,fastq}> --output <graph.{gfa,dot}> [options]
+    focus variants --input <reads.{fasta,fastq}> [options]
+    focus classify --input <reads.{fasta,fastq}> --references <refs.fasta>
+    focus help
+
+ASSEMBLE OPTIONS:
+    --input <path>         input reads (format by extension: .fasta/.fa/.fastq/.fq)
+    --output <path>        output contig FASTA
+    --partitions <k>       graph partitions, power of two        [default: 16]
+    --min-overlap <bp>     minimum overlap length                [default: 50]
+    --min-identity <f>     minimum overlap identity in [0,1]     [default: 0.90]
+    --min-read-len <bp>    drop reads shorter than this          [default: 40]
+    --min-quality <q>      sliding-window quality threshold      [default: 20]
+    --subsets <n>          read subsets for pairwise alignment   [default: 4]
+    --seed <u64>           partitioning seed                     [default: 985093]
+    --keep-both-strands    emit both strands of every contig
+
+SIMULATE OPTIONS:
+    --output <path>        output FASTQ
+    --genome-len <bp>      genome length                         [default: 20000]
+    --coverage <x>         read coverage                         [default: 10]
+    --seed <u64>           simulation seed                       [default: 42]
+
+GRAPH OPTIONS (assemble options also apply):
+    --output <path>        .gfa emits GFA v1, .dot emits Graphviz
+    --with-sequences       include contig sequences in GFA segments
+
+VARIANTS OPTIONS (assemble options also apply):
+    --min-support <n>      minimum read support per branch       [default: 2]
+
+CLASSIFY OPTIONS:
+    --references <path>    reference FASTA, one record per taxon
+    --kmer <k>             classification k-mer length           [default: 21]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("assemble") => assemble(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("graph") => graph(&args[1..]),
+        Some("variants") => variants(&args[1..]),
+        Some("classify") => classify(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `focus help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--key value` / `--flag` parser.
+struct Options {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?
+                .to_string();
+            let takes_value =
+                !matches!(key.as_str(), "keep-both-strands" | "with-sequences");
+            if takes_value {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?
+                    .clone();
+                pairs.push((key, Some(value)));
+                i += 2;
+            } else {
+                pairs.push((key, None));
+                i += 1;
+            }
+        }
+        Ok(Options { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn read_input(path: &str) -> Result<Vec<Read>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let lower = path.to_ascii_lowercase();
+    let parsed = if lower.ends_with(".fastq") || lower.ends_with(".fq") {
+        fastq::parse(reader)
+    } else if lower.ends_with(".fasta") || lower.ends_with(".fa") || lower.ends_with(".fna") {
+        fasta::parse(reader)
+    } else {
+        return Err(format!("{path}: unknown extension (expected .fasta/.fa/.fastq/.fq)"));
+    };
+    parsed.map_err(|e| format!("{path}: {e}"))
+}
+
+fn assemble(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let input = opts.require("input")?.to_string();
+    let output = opts.require("output")?.to_string();
+
+    let config = build_config(&opts)?;
+    let reads = read_input(&input)?;
+    eprintln!("read {} reads from {input}", reads.len());
+
+    let assembler = FocusAssembler::new(config).map_err(|e| e.to_string())?;
+    let result = assembler.assemble(&reads).map_err(|e| e.to_string())?;
+    eprintln!(
+        "assembled {} contigs | N50 {} bp | max {} bp | total {} bp",
+        result.stats.num_contigs,
+        result.stats.n50,
+        result.stats.max_contig,
+        result.stats.total_bases
+    );
+
+    let contig_reads: Vec<Read> = result
+        .contigs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Read::new(format!("contig_{i} len={}", c.len()), c.clone()))
+        .collect();
+    let out = File::create(&output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    fasta::write(BufWriter::new(out), &contig_reads, 70).map_err(|e| e.to_string())?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let output = opts.require("output")?.to_string();
+    let genome_len = opts.get_parsed("genome-len", 20_000usize)?;
+    let coverage = opts.get_parsed("coverage", 10.0f64)?;
+    let seed = opts.get_parsed("seed", 42u64)?;
+
+    let dataset = single_genome_dataset(genome_len, coverage, seed)?;
+    let out = File::create(&output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    fastq::write(BufWriter::new(out), &dataset.reads, 30).map_err(|e| e.to_string())?;
+    eprintln!(
+        "simulated {} reads ({}x of {} bp) -> {output}",
+        dataset.reads.len(),
+        coverage,
+        genome_len
+    );
+    Ok(())
+}
+
+fn build_config(opts: &Options) -> Result<FocusConfig, String> {
+    let mut config = FocusConfig {
+        partitions: opts.get_parsed("partitions", 16usize)?,
+        subsets: opts.get_parsed("subsets", 4usize)?,
+        partition_seed: opts.get_parsed("seed", 985_093u64)?,
+        dedup_rc: !opts.flag("keep-both-strands"),
+        ..Default::default()
+    };
+    config.overlap.min_overlap_len = opts.get_parsed("min-overlap", 50usize)?;
+    config.overlap.min_identity = opts.get_parsed("min-identity", 0.90f64)?;
+    config.trim.min_read_len = opts.get_parsed("min-read-len", 40usize)?;
+    config.trim.min_quality = opts.get_parsed("min-quality", 20.0f64)?;
+    Ok(config)
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    let input = opts.require("input")?.to_string();
+    let reads = read_input(&input)?;
+    let lengths: Vec<usize> = reads.iter().map(Read::len).collect();
+    let s = focus_assembler::focus::AssemblyStats::from_lengths(&lengths);
+    println!("sequences : {}", s.num_contigs);
+    println!("total bp  : {}", s.total_bases);
+    println!("N50       : {}", s.n50);
+    println!("longest   : {}", s.max_contig);
+    println!("mean      : {:.1}", s.mean_len);
+    Ok(())
+}
+
+fn graph(args: &[String]) -> Result<(), String> {
+    use focus_assembler::graph::{digraph_to_dot, digraph_to_gfa};
+    let opts = Options::parse(args)?;
+    let input = opts.require("input")?.to_string();
+    let output = opts.require("output")?.to_string();
+    let config = build_config(&opts)?;
+    let reads = read_input(&input)?;
+    let assembler = FocusAssembler::new(config).map_err(|e| e.to_string())?;
+    let prepared = assembler.prepare(&reads).map_err(|e| e.to_string())?;
+    eprintln!(
+        "overlap graph: {} nodes / {} edges -> hybrid graph: {} nodes / {} edges",
+        prepared.graph.undirected.node_count(),
+        prepared.graph.undirected.edge_count(),
+        prepared.hybrid.node_count(),
+        prepared.hybrid.directed.edge_count()
+    );
+    let text = if output.to_ascii_lowercase().ends_with(".dot") {
+        digraph_to_dot(&prepared.hybrid.directed, None)
+    } else {
+        let with_seq = opts.flag("with-sequences");
+        digraph_to_gfa(&prepared.hybrid.directed, |v| {
+            with_seq.then(|| prepared.hybrid.contig(v, &prepared.store).to_string())
+        })
+    };
+    std::fs::write(&output, text).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn variants(args: &[String]) -> Result<(), String> {
+    use focus_assembler::dist::cluster::{CostModel, SimCluster};
+    use focus_assembler::dist::variants::{detect_variants, VariantConfig};
+    use focus_assembler::partition::{partition_graph_set, PartitionConfig};
+    let opts = Options::parse(args)?;
+    let input = opts.require("input")?.to_string();
+    let config = build_config(&opts)?;
+    let k = config.partitions;
+    let reads = read_input(&input)?;
+    let assembler = FocusAssembler::new(config).map_err(|e| e.to_string())?;
+    let prepared = assembler.prepare(&reads).map_err(|e| e.to_string())?;
+    let partition =
+        partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(k, 3))
+            .map_err(|e| e.to_string())?;
+    let support: Vec<u64> =
+        prepared.hybrid.clusters.iter().map(|c| c.len() as u64).collect();
+    let variant_config = VariantConfig {
+        min_branch_support: opts.get_parsed("min-support", 2u64)?,
+        ..Default::default()
+    };
+    let mut cluster = SimCluster::new(k, CostModel::default());
+    let found = detect_variants(
+        &prepared.hybrid.directed,
+        partition.finest(),
+        k,
+        &support,
+        &variant_config,
+        &mut cluster,
+    );
+    println!("site\topens\tcloses\tmajor_support\tminor_support\tratio");
+    for (i, v) in found.iter().enumerate() {
+        println!(
+            "{i}\t{}\t{}\t{}\t{}\t{:.3}",
+            v.opens_at,
+            v.closes_at,
+            v.major_support,
+            v.minor_support,
+            v.support_ratio()
+        );
+    }
+    eprintln!("{} candidate variant sites", found.len());
+    Ok(())
+}
+
+fn classify(args: &[String]) -> Result<(), String> {
+    use focus_assembler::classify::KmerClassifier;
+    let opts = Options::parse(args)?;
+    let input = opts.require("input")?.to_string();
+    let refs_path = opts.require("references")?.to_string();
+    let k = opts.get_parsed("kmer", 21usize)?;
+
+    let references = read_input(&refs_path)?;
+    if references.is_empty() {
+        return Err(format!("{refs_path}: no reference records"));
+    }
+    let genomes: Vec<_> = references.iter().map(|r| r.seq.clone()).collect();
+    let classifier = KmerClassifier::build(&genomes, k)?;
+
+    let reads = read_input(&input)?;
+    let labels = classifier.classify_all(&reads);
+    let mut counts = vec![0u64; references.len()];
+    let mut unclassified = 0u64;
+    for label in &labels {
+        match label {
+            Some(g) => counts[*g as usize] += 1,
+            None => unclassified += 1,
+        }
+    }
+    println!("reference\treads\tfraction");
+    let total = reads.len().max(1) as f64;
+    for (reference, &count) in references.iter().zip(&counts) {
+        println!("{}\t{count}\t{:.4}", reference.name, count as f64 / total);
+    }
+    println!("(unclassified)\t{unclassified}\t{:.4}", unclassified as f64 / total);
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Cross-crate invariant tests on realistic pipeline artifacts.
+
+use focus_assembler::dist::traverse::check_path_cover;
+use focus_assembler::dist::{DistributedConfig, DistributedHybrid};
+use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::partition::{
+    edge_cut, partition_balance, partition_graph_set, validate_partition, PartitionConfig,
+};
+use focus_assembler::sim::{generate_dataset, DatasetConfig};
+
+fn prepared() -> (focus_assembler::sim::Dataset, focus_assembler::focus::Prepared) {
+    // Denser than `test_scale`: ~15x coverage keeps the overlap graph
+    // connected, which is what balance/cut invariants assume.
+    let mut config = DatasetConfig::test_scale();
+    config.total_reads = 1800;
+    let dataset = generate_dataset("inv", &config, 13).unwrap();
+    let assembler = FocusAssembler::new(FocusConfig::default()).unwrap();
+    let prepared = assembler.prepare(&dataset.reads).unwrap();
+    (dataset, prepared)
+}
+
+#[test]
+fn graph_sets_satisfy_structural_invariants() {
+    let (_, p) = prepared();
+    p.graph.undirected.check_invariants().unwrap();
+    p.graph.directed.check_invariants().unwrap();
+    p.multilevel.set.check_invariants().unwrap();
+    p.hybrid.set.check_invariants().unwrap();
+    // The hybrid graph is a compression: never more nodes than G0.
+    assert!(p.hybrid.node_count() <= p.graph.undirected.node_count());
+    // Node weight (reads represented) is conserved by the hybrid mapping.
+    assert_eq!(
+        p.hybrid.set.finest().total_node_weight() as usize,
+        p.store.len()
+    );
+}
+
+#[test]
+fn hybrid_partition_projection_is_consistent() {
+    let (_, p) = prepared();
+    for k in [2usize, 4, 8] {
+        let result = partition_graph_set(&p.hybrid.set, &PartitionConfig::new(k, 3)).unwrap();
+        validate_partition(p.hybrid.set.finest(), result.finest(), k).unwrap();
+        let read_parts = p.hybrid.project_partition_to_reads(result.finest());
+        assert_eq!(read_parts.len(), p.store.len());
+        // Every read in a cluster inherits its representative's partition.
+        for (node, &rep) in p.hybrid.rep_of_node.iter().enumerate() {
+            assert_eq!(read_parts[node], result.finest()[rep as usize]);
+        }
+        // Partition ids stay in range after projection.
+        assert!(read_parts.iter().all(|&q| (q as usize) < k));
+    }
+}
+
+#[test]
+fn partition_balance_and_cut_are_sane_across_k() {
+    let (_, p) = prepared();
+    let total_weight = p.graph.undirected.total_edge_weight();
+    for k in [2usize, 4, 8, 16] {
+        let result = partition_graph_set(&p.hybrid.set, &PartitionConfig::new(k, 9)).unwrap();
+        let read_parts = p.hybrid.project_partition_to_reads(result.finest());
+        let cut = edge_cut(&p.graph.undirected, &read_parts);
+        assert!(
+            cut <= total_weight / 10,
+            "k={k}: cut {cut} is more than 10% of total weight {total_weight}"
+        );
+        let balance = partition_balance(p.hybrid.set.finest(), result.finest(), k);
+        // Hybrid nodes are indivisible read clusters, so the achievable
+        // balance is floored by the heaviest node vs the ideal share.
+        let finest = p.hybrid.set.finest();
+        let heaviest = (0..finest.node_count() as u32)
+            .map(|v| finest.node_weight(v))
+            .max()
+            .unwrap_or(1) as f64;
+        let ideal = finest.total_node_weight() as f64 / k as f64;
+        let allowed = 2.0f64.max(1.2 * (heaviest / ideal + 1.0));
+        assert!(balance <= allowed, "k={k}: balance {balance} > allowed {allowed}");
+    }
+}
+
+#[test]
+fn distributed_stage_preserves_node_cover_for_every_k() {
+    let (_, p) = prepared();
+    for k in [1usize, 2, 8] {
+        let partition =
+            partition_graph_set(&p.hybrid.set, &PartitionConfig::new(k, 5)).unwrap();
+        let mut dh =
+            DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), k)
+                .unwrap();
+        let report = dh.run(&DistributedConfig::default());
+        check_path_cover(&dh.graph, &report.paths).unwrap();
+        // Trimming can only remove; live nodes never exceed the input.
+        assert!(dh.graph.live_node_count() <= p.hybrid.node_count());
+    }
+}
+
+#[test]
+fn assembly_stats_are_partition_invariant_on_metagenome() {
+    // The Table III property on a noisy metagenome, as an invariant.
+    let (_, p) = prepared();
+    let assembler = FocusAssembler::new(FocusConfig::default()).unwrap();
+    let baseline = assembler.assemble_prepared(&p, 2).unwrap();
+    for k in [4usize, 16] {
+        let result = assembler.assemble_prepared(&p, k).unwrap();
+        assert_eq!(result.stats.num_contigs, baseline.stats.num_contigs, "k={k}");
+        assert_eq!(result.stats.n50, baseline.stats.n50, "k={k}");
+        assert_eq!(result.stats.max_contig, baseline.stats.max_contig, "k={k}");
+    }
+}
+
+#[test]
+fn overlap_edge_weights_match_alignment_lengths() {
+    let (_, p) = prepared();
+    // Every undirected G0 edge weight must trace back to at least one
+    // recorded overlap of that length or a sum of parallel ones.
+    let min_len = 50u64;
+    for (u, v, w) in p.graph.undirected.edges() {
+        assert!(w >= min_len, "edge {u}-{v} weight {w} below the overlap threshold");
+    }
+    // Directed edges carry identity within the configured bounds.
+    for v in p.graph.directed.live_nodes() {
+        for e in p.graph.directed.out_edges(v) {
+            assert!(e.identity >= 0.90 - 1e-9, "edge identity {} too low", e.identity);
+            assert!(e.len >= 50);
+        }
+    }
+}
