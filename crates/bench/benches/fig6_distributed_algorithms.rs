@@ -35,7 +35,7 @@ fn main() {
                 k,
             )
             .expect("distribution set-up succeeds");
-            let report = dh.run(&ctx.assembler.config().dist);
+            let report = dh.run(&ctx.assembler.config().dist).expect("distributed run succeeds");
             println!(
                 "{:>11} {:>11} {:>11.0} {:>11.0} {:>11} {:>11}",
                 d.name,

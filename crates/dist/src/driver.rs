@@ -3,12 +3,17 @@
 //! Runs, in order: transitive reduction, containment/false-edge removal,
 //! dead-end trimming, bubble popping (together "graph trimming", Fig. 6),
 //! then maximal-path traversal with master-side joining. Each phase executes
-//! every partition's worker, charges the simulated cluster with the worker
-//! works and result messages, and lets the master apply the recorded
-//! mutations.
+//! every partition's worker through the fault-tolerant
+//! [`recovery`](crate::recovery) engine: worker scans are charged to the
+//! simulated cluster under the run's [`FaultPlan`], results are gathered
+//! with retry/backoff, lost scans are re-executed on survivors, and the
+//! master applies the recorded mutations.
 
 use crate::cluster::{CostModel, PhaseTiming, SimCluster};
+use crate::error::DistError;
 use crate::errors::{self, ErrorRemovalConfig};
+use crate::fault::{FaultPlan, FaultReport, PhaseId, RetryPolicy};
+use crate::recovery::execute_phase;
 use crate::simplify;
 use crate::transitive;
 use crate::traverse::{self, AssemblyPath};
@@ -16,15 +21,16 @@ use fc_graph::{DiGraph, HybridSet, NodeId};
 use fc_seq::{DnaString, ReadStore};
 
 /// Configuration of the distributed stage.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DistributedConfig {
     /// Virtual-time cost model.
     pub cost: CostModel,
     /// Dead-end/bubble limits.
     pub errors: ErrorRemovalConfig,
+    /// Retransmission, backoff, timeout and speculation policy used when a
+    /// [`FaultPlan`] is in effect (and harmless otherwise).
+    pub retry: RetryPolicy,
 }
-
 
 /// Per-phase and aggregate outcome of the distributed stage.
 #[derive(Debug, Clone)]
@@ -45,10 +51,13 @@ pub struct DistributedReport {
     pub false_edges_removed: usize,
     /// Dead-end/bubble nodes removed.
     pub error_nodes_removed: usize,
-    /// Messages exchanged with the master.
+    /// Messages exchanged with the master (retransmissions included).
     pub messages: u64,
-    /// Message payload bytes.
+    /// Message payload bytes (retransmissions included).
     pub bytes: u64,
+    /// What the fault layer observed: crashes, retries, retransmitted
+    /// bytes, speculative re-executions, recovery overhead, degraded flag.
+    pub fault: FaultReport,
 }
 
 /// A partitioned hybrid graph ready for the distributed algorithms.
@@ -71,7 +80,12 @@ impl DistributedHybrid {
     /// assignment and the read store. Contigs are built with first-wins
     /// merging; use [`DistributedHybrid::with_consensus`] for per-column
     /// majority consensus.
-    pub fn new(hybrid: &HybridSet, store: &ReadStore, parts: Vec<u32>, k: usize) -> Result<DistributedHybrid, String> {
+    pub fn new(
+        hybrid: &HybridSet,
+        store: &ReadStore,
+        parts: Vec<u32>,
+        k: usize,
+    ) -> Result<DistributedHybrid, DistError> {
         DistributedHybrid::build(hybrid, store, parts, k, false)
     }
 
@@ -82,20 +96,28 @@ impl DistributedHybrid {
         store: &ReadStore,
         parts: Vec<u32>,
         k: usize,
-    ) -> Result<DistributedHybrid, String> {
+    ) -> Result<DistributedHybrid, DistError> {
         DistributedHybrid::build(hybrid, store, parts, k, true)
     }
 
-    fn build(hybrid: &HybridSet, store: &ReadStore, parts: Vec<u32>, k: usize, consensus: bool) -> Result<DistributedHybrid, String> {
+    fn build(
+        hybrid: &HybridSet,
+        store: &ReadStore,
+        parts: Vec<u32>,
+        k: usize,
+        consensus: bool,
+    ) -> Result<DistributedHybrid, DistError> {
         if parts.len() != hybrid.node_count() {
-            return Err(format!(
-                "partition length {} != hybrid node count {}",
-                parts.len(),
-                hybrid.node_count()
-            ));
+            return Err(DistError::PartitionLengthMismatch {
+                got: parts.len(),
+                expected: hybrid.node_count(),
+            });
         }
-        if k == 0 || parts.iter().any(|&p| p as usize >= k) {
-            return Err("partition ids out of range".to_string());
+        if k == 0 {
+            return Err(DistError::NoRanks);
+        }
+        if let Some(&bad) = parts.iter().find(|&&p| p as usize >= k) {
+            return Err(DistError::PartitionIdOutOfRange { id: bad, k });
         }
         let contigs: Vec<DnaString> = (0..hybrid.node_count() as NodeId)
             .map(|v| {
@@ -125,48 +147,57 @@ impl DistributedHybrid {
         &self.contigs[v as usize]
     }
 
-    /// Runs the full distributed pipeline. The graph is mutated in place;
-    /// the report carries timings and the final paths.
-    pub fn run(&mut self, config: &DistributedConfig) -> DistributedReport {
-        let mut cluster = SimCluster::new(self.k, config.cost);
+    /// Runs the full distributed pipeline on a perfect cluster. The graph
+    /// is mutated in place; the report carries timings and the final paths.
+    pub fn run(&mut self, config: &DistributedConfig) -> Result<DistributedReport, DistError> {
+        self.run_with_faults(config, FaultPlan::none())
+    }
+
+    /// Runs the full distributed pipeline under a fault-injection plan.
+    ///
+    /// Failures are handled per phase: crashed (or presumed-dead) ranks'
+    /// partitions are re-scanned on survivors, message drops are
+    /// retransmitted with exponential backoff, and stragglers are
+    /// speculatively re-executed — see [`crate::recovery`]. Because every
+    /// worker scan is pure over the current graph, the final paths of any
+    /// recoverable run are **identical** to the fault-free run's; only the
+    /// virtual timings and the [`FaultReport`] differ.
+    pub fn run_with_faults(
+        &mut self,
+        config: &DistributedConfig,
+        plan: FaultPlan,
+    ) -> Result<DistributedReport, DistError> {
+        let mut cluster = SimCluster::with_faults(self.k, config.cost, plan, config.retry)?;
         let mut phases = Vec::new();
 
         // --- Phase 1: transitive reduction (§V-A). ---
         let lists = self.partition_nodes();
-        let mut records = Vec::new();
-        let mut works = Vec::with_capacity(self.k);
-        for nodes in &lists {
-            let mut w = 0;
-            let r = transitive::worker_scan(&self.graph, nodes, &mut w);
-            works.push(w);
-            records.push(r);
-        }
-        let timing = cluster.run_phase(&works);
-        let payloads: Vec<u64> = records.iter().map(|r| 8 * r.len() as u64).collect();
-        cluster.gather_to_master(&payloads);
+        let run = execute_phase(
+            &mut cluster,
+            PhaseId::TransitiveReduction,
+            self.k,
+            |p, w| transitive::worker_scan(&self.graph, &lists[p], w),
+            |r| 8 * r.len() as u64,
+        )?;
         let mut master_w = 0;
-        let transitive_removed =
-            transitive::master_remove(&mut self.graph, records.into_iter().flatten(), &mut master_w);
+        let transitive_removed = transitive::master_remove(
+            &mut self.graph,
+            run.results.into_iter().flatten(),
+            &mut master_w,
+        );
         cluster.master_work(master_w);
-        phases.push(("transitive_reduction", timing));
+        phases.push((PhaseId::TransitiveReduction.name(), run.timing));
 
         // --- Phase 2: containment + false-positive edges (§V-B). ---
         let lists = self.partition_nodes();
-        let mut node_recs = Vec::new();
-        let mut edge_recs = Vec::new();
-        let mut works = Vec::with_capacity(self.k);
-        for nodes in &lists {
-            let mut w = 0;
-            let (dn, de) = simplify::worker_scan(&self.graph, nodes, &self.contigs, &mut w);
-            works.push(w);
-            node_recs.push(dn);
-            edge_recs.push(de);
-        }
-        let timing = cluster.run_phase(&works);
-        let payloads: Vec<u64> = (0..self.k)
-            .map(|rank| 8 * (node_recs[rank].len() + 2 * edge_recs[rank].len()) as u64)
-            .collect();
-        cluster.gather_to_master(&payloads);
+        let run = execute_phase(
+            &mut cluster,
+            PhaseId::ContainmentRemoval,
+            self.k,
+            |p, w| simplify::worker_scan(&self.graph, &lists[p], &self.contigs, w),
+            |(dn, de)| 8 * (dn.len() + 2 * de.len()) as u64,
+        )?;
+        let (node_recs, edge_recs): (Vec<_>, Vec<_>) = run.results.into_iter().unzip();
         let mut master_w = 0;
         let (contained_removed, false_edges_removed) = simplify::master_apply(
             &mut self.graph,
@@ -175,66 +206,65 @@ impl DistributedHybrid {
             &mut master_w,
         );
         cluster.master_work(master_w);
-        phases.push(("containment_removal", timing));
+        phases.push((PhaseId::ContainmentRemoval.name(), run.timing));
 
         // --- Phase 3: dead ends + bubbles (§V-C). ---
         let lists = self.partition_nodes();
-        let mut error_recs = Vec::new();
-        let mut works = Vec::with_capacity(self.k);
-        for nodes in &lists {
-            let mut w = 0;
-            let mut rec = errors::worker_dead_ends(&self.graph, nodes, &config.errors, &mut w);
-            rec.extend(errors::worker_bubbles(
-                &self.graph,
-                nodes,
-                &self.support,
-                &config.errors,
-                &mut w,
-            ));
-            works.push(w);
-            error_recs.push(rec);
-        }
-        let timing = cluster.run_phase(&works);
-        let payloads: Vec<u64> = error_recs.iter().map(|r| 4 * r.len() as u64).collect();
-        cluster.gather_to_master(&payloads);
+        let run = execute_phase(
+            &mut cluster,
+            PhaseId::ErrorRemoval,
+            self.k,
+            |p, w| {
+                let mut rec = errors::worker_dead_ends(&self.graph, &lists[p], &config.errors, w);
+                rec.extend(errors::worker_bubbles(
+                    &self.graph,
+                    &lists[p],
+                    &self.support,
+                    &config.errors,
+                    w,
+                ));
+                rec
+            },
+            |r| 4 * r.len() as u64,
+        )?;
         let mut master_w = 0;
-        let error_nodes_removed =
-            errors::master_remove(&mut self.graph, error_recs.into_iter().flatten(), &mut master_w);
+        let error_nodes_removed = errors::master_remove(
+            &mut self.graph,
+            run.results.into_iter().flatten(),
+            &mut master_w,
+        );
         cluster.master_work(master_w);
-        phases.push(("error_removal", timing));
+        phases.push((PhaseId::ErrorRemoval.name(), run.timing));
 
         cluster.barrier();
         let trimming_time = cluster.now();
 
         // --- Phase 4: traversal (§V-D). ---
-        let mut sub_paths = Vec::new();
-        let mut works = Vec::with_capacity(self.k);
-        for rank in 0..self.k {
-            let mut w = 0;
-            let paths = traverse::worker_paths(&self.graph, &self.parts, rank as u32, &mut w);
-            works.push(w);
-            sub_paths.push(paths);
-        }
-        let timing = cluster.run_phase(&works);
-        let payloads: Vec<u64> = sub_paths
-            .iter()
-            .map(|p| p.iter().map(|q| 4 * q.len() as u64 + 8).sum())
-            .collect();
-        cluster.gather_to_master(&payloads);
+        let run = execute_phase(
+            &mut cluster,
+            PhaseId::Traversal,
+            self.k,
+            |p, w| traverse::worker_paths(&self.graph, &self.parts, p as u32, w),
+            |paths| paths.iter().map(|q| 4 * q.len() as u64 + 8).sum(),
+        )?;
         let mut master_w = 0;
         let paths = traverse::master_join(
             &self.graph,
-            sub_paths.into_iter().flatten().collect(),
+            run.results.into_iter().flatten().collect(),
             &mut master_w,
         );
         cluster.master_work(master_w);
-        phases.push(("traversal", timing));
+        phases.push((PhaseId::Traversal.name(), run.timing));
         cluster.barrier();
         let traversal_time = cluster.now() - trimming_time;
 
-        debug_assert_eq!(traverse::check_path_cover(&self.graph, &paths), Ok(()));
+        // Structural post-condition (previously a debug assertion that
+        // vanished in release builds): the paths must cover every live node
+        // exactly once, fault or no fault.
+        traverse::check_path_cover(&self.graph, &paths)
+            .map_err(DistError::PathCoverViolation)?;
 
-        DistributedReport {
+        Ok(DistributedReport {
             phases,
             trimming_time,
             traversal_time,
@@ -245,7 +275,8 @@ impl DistributedHybrid {
             error_nodes_removed,
             messages: cluster.messages(),
             bytes: cluster.bytes(),
-        }
+            fault: cluster.fault_report().clone(),
+        })
     }
 }
 
@@ -299,27 +330,44 @@ mod tests {
         (0..n).map(|i| (i % k) as u32).collect()
     }
 
+    fn sorted_cover(report: &DistributedReport) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> =
+            report.paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
     #[test]
     fn pipeline_runs_and_covers_all_live_nodes() {
         let (store, hs) = hybrid_case(40);
         let k = 4;
         let parts = round_robin_parts(hs.node_count(), k);
         let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
-        let report = dh.run(&DistributedConfig::default());
+        let report = dh.run(&DistributedConfig::default()).unwrap();
         traverse::check_path_cover(&dh.graph, &report.paths).unwrap();
         assert!(report.trimming_time > 0.0);
         assert!(report.traversal_time > 0.0);
         assert!(report.messages >= 4 * k as u64);
         assert_eq!(report.phases.len(), 4);
+        assert_eq!(report.fault, FaultReport::default());
     }
 
     #[test]
-    fn rejects_bad_partition_input() {
+    fn rejects_bad_partition_input_with_typed_errors() {
         let (store, hs) = hybrid_case(20);
         let n = hs.node_count();
-        assert!(DistributedHybrid::new(&hs, &store, vec![0; n + 1], 2).is_err());
-        assert!(DistributedHybrid::new(&hs, &store, vec![5; n], 2).is_err());
-        assert!(DistributedHybrid::new(&hs, &store, vec![0; n], 0).is_err());
+        assert!(matches!(
+            DistributedHybrid::new(&hs, &store, vec![0; n + 1], 2),
+            Err(DistError::PartitionLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            DistributedHybrid::new(&hs, &store, vec![5; n], 2),
+            Err(DistError::PartitionIdOutOfRange { id: 5, k: 2 })
+        ));
+        assert!(matches!(
+            DistributedHybrid::new(&hs, &store, vec![0; n], 0),
+            Err(DistError::NoRanks)
+        ));
     }
 
     #[test]
@@ -329,11 +377,8 @@ mod tests {
         for k in [1usize, 2, 4] {
             let parts = round_robin_parts(hs.node_count(), k);
             let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
-            let report = dh.run(&DistributedConfig::default());
-            let mut nodes: Vec<NodeId> =
-                report.paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
-            nodes.sort_unstable();
-            covers.push(nodes);
+            let report = dh.run(&DistributedConfig::default()).unwrap();
+            covers.push(sorted_cover(&report));
         }
         assert_eq!(covers[0], covers[1]);
         assert_eq!(covers[1], covers[2]);
@@ -349,7 +394,7 @@ mod tests {
         let block: Vec<u32> = (0..n).map(|i| ((i * k) / n).min(k - 1) as u32).collect();
         let run = |parts: Vec<u32>| {
             let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
-            dh.run(&DistributedConfig::default()).paths.len()
+            dh.run(&DistributedConfig::default()).unwrap().paths.len()
         };
         // Both must cover the same nodes; the block partition cannot yield
         // more final paths than the scattered one after master joining
@@ -357,5 +402,102 @@ mod tests {
         // real difference is message volume; assert the invariant that
         // path counts match).
         assert_eq!(run(scattered), run(block));
+    }
+
+    #[test]
+    fn single_crash_in_every_phase_preserves_paths_exactly() {
+        let (store, hs) = hybrid_case(50);
+        let k = 4;
+        let parts = round_robin_parts(hs.node_count(), k);
+        let clean_report = DistributedHybrid::new(&hs, &store, parts.clone(), k)
+            .unwrap()
+            .run(&DistributedConfig::default())
+            .unwrap();
+        for phase in PhaseId::ALL {
+            for rank in 0..k {
+                let mut dh =
+                    DistributedHybrid::new(&hs, &store, parts.clone(), k).unwrap();
+                let report = dh
+                    .run_with_faults(
+                        &DistributedConfig::default(),
+                        FaultPlan::single_crash(phase, rank),
+                    )
+                    .unwrap();
+                traverse::check_path_cover(&dh.graph, &report.paths).unwrap();
+                // Not just the cover: the paths themselves are identical.
+                assert_eq!(
+                    report.paths, clean_report.paths,
+                    "crash of rank {rank} in {} changed the result",
+                    phase.name()
+                );
+                assert_eq!(report.fault.crashes, 1);
+                assert!(report.fault.degraded);
+                assert!(report.fault.recovery_time > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn message_drops_are_retried_and_counted() {
+        let (store, hs) = hybrid_case(40);
+        let k = 2;
+        let parts = round_robin_parts(hs.node_count(), k);
+        let mut dh = DistributedHybrid::new(&hs, &store, parts.clone(), k).unwrap();
+        let clean = dh.run(&DistributedConfig::default()).unwrap();
+        let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
+        let report = dh
+            .run_with_faults(
+                &DistributedConfig::default(),
+                FaultPlan::message_drops(PhaseId::TransitiveReduction, 1, 2),
+            )
+            .unwrap();
+        assert_eq!(report.fault.retries, 2);
+        assert!(report.fault.retransmitted_bytes > 0 || report.bytes == clean.bytes);
+        assert_eq!(report.fault.crashes, 0);
+        assert!(!report.fault.degraded);
+        assert_eq!(report.paths, clean.paths);
+        assert_eq!(report.messages, clean.messages + 2);
+    }
+
+    #[test]
+    fn crashing_the_only_rank_is_unrecoverable() {
+        let (store, hs) = hybrid_case(30);
+        let parts = vec![0u32; hs.node_count()];
+        let mut dh = DistributedHybrid::new(&hs, &store, parts, 1).unwrap();
+        let err = dh
+            .run_with_faults(
+                &DistributedConfig::default(),
+                FaultPlan::single_crash(PhaseId::ContainmentRemoval, 0),
+            )
+            .unwrap_err();
+        assert_eq!(err, DistError::NoSurvivors { phase: PhaseId::ContainmentRemoval });
+    }
+
+    #[test]
+    fn faulty_run_charges_more_virtual_time_than_clean_run() {
+        let (store, hs) = hybrid_case(60);
+        let k = 4;
+        let parts = round_robin_parts(hs.node_count(), k);
+        let mut dh = DistributedHybrid::new(&hs, &store, parts.clone(), k).unwrap();
+        let clean = dh.run(&DistributedConfig::default()).unwrap();
+        let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
+        let faulty = dh
+            .run_with_faults(
+                &DistributedConfig::default(),
+                FaultPlan::single_crash(PhaseId::ErrorRemoval, 2),
+            )
+            .unwrap();
+        let total = |r: &DistributedReport| r.trimming_time + r.traversal_time;
+        // Recovery can hide behind the master's serial time in the makespan,
+        // but it can never make the run faster, and its own cost is always
+        // visible in the report.
+        assert!(
+            total(&faulty) >= total(&clean),
+            "recovery must not speed the run up: {} vs {}",
+            total(&faulty),
+            total(&clean)
+        );
+        assert!(faulty.fault.recovery_time > 0.0);
+        assert!(faulty.fault.degraded);
     }
 }

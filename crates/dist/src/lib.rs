@@ -12,7 +12,12 @@
 //! reproducible.
 //!
 //! * [`cluster`] — virtual clocks, cost model, list scheduling, message
-//!   accounting,
+//!   accounting, fault consumption (crashes, drops, delays, stragglers),
+//! * [`fault`] — deterministic fault-injection plans and the retry/backoff
+//!   policy (seeded, reproducible),
+//! * [`error`] — typed errors of the distributed stage,
+//! * [`recovery`] — phase-level recovery: reassign dead ranks' partitions
+//!   and re-invoke the pure worker scans on survivors,
 //! * [`transitive`] — distributed transitive edge reduction (§V-A, Myers),
 //! * [`simplify`] — containment removal and false-positive edge removal
 //!   (§V-B),
@@ -20,13 +25,16 @@
 //! * [`traverse`] — per-partition maximal-path extraction and master-side
 //!   sub-path joining (§V-D),
 //! * [`driver`] — the full distributed pipeline over a partitioned hybrid
-//!   graph, with per-phase virtual timings,
+//!   graph, with per-phase virtual timings and a fault report,
 //! * [`variants`] — distributed variant detection, the extension the
 //!   paper's discussion (§VI-D) proposes as future work.
 
 pub mod cluster;
 pub mod driver;
+pub mod error;
 pub mod errors;
+pub mod fault;
+pub mod recovery;
 pub mod simplify;
 pub mod transitive;
 pub mod traverse;
@@ -34,5 +42,7 @@ pub mod variants;
 
 pub use cluster::{CostModel, PhaseTiming, SimCluster};
 pub use driver::{DistributedConfig, DistributedHybrid, DistributedReport};
+pub use error::DistError;
+pub use fault::{FaultKind, FaultPlan, FaultRates, FaultReport, PhaseId, RetryPolicy};
 pub use traverse::AssemblyPath;
 pub use variants::{detect_variants, Variant, VariantConfig};

@@ -320,7 +320,7 @@ mod tests {
     fn distributed_scan_deduplicates_cross_partition_sites() {
         let (g, support) = balanced_bubble();
         let parts = vec![0u32, 1, 0, 1, 1];
-        let mut cluster = SimCluster::new(2, CostModel::default());
+        let mut cluster = SimCluster::new(2, CostModel::default()).unwrap();
         let variants =
             detect_variants(&g, &parts, 2, &support, &VariantConfig::default(), &mut cluster);
         assert_eq!(variants.len(), 1, "cross-partition bubble must dedup: {variants:?}");
@@ -352,7 +352,7 @@ mod tests {
     fn graph_is_not_mutated() {
         let (g, support) = balanced_bubble();
         let before_edges = g.edge_count();
-        let mut cluster = SimCluster::new(1, CostModel::default());
+        let mut cluster = SimCluster::new(1, CostModel::default()).unwrap();
         let parts = vec![0u32; 5];
         detect_variants(&g, &parts, 1, &support, &VariantConfig::default(), &mut cluster);
         assert_eq!(g.edge_count(), before_edges);

@@ -1,10 +1,23 @@
 //! Assembler configuration and error type.
 
 use fc_align::OverlapConfig;
-use fc_dist::DistributedConfig;
+use fc_dist::{DistError, DistributedConfig, FaultRates};
 use fc_graph::{CoarsenConfig, LayoutConfig};
 use fc_seq::TrimConfig;
 use std::fmt;
+
+/// Deterministic fault injection for the distributed stage. When set on
+/// [`FocusConfig::fault`], a seeded [`FaultPlan`](fc_dist::FaultPlan) is
+/// generated for each distributed run: same seed and rates ⇒ the identical
+/// schedule of crashes, drops, delays and stragglers, and therefore a
+/// bit-identical [`FaultReport`](fc_dist::FaultReport).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Seed of the injection schedule.
+    pub seed: u64,
+    /// Per-(phase, rank) fault probabilities and magnitudes.
+    pub rates: FaultRates,
+}
 
 /// Full configuration of the Focus pipeline, one field per stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +38,9 @@ pub struct FocusConfig {
     pub partition_seed: u64,
     /// Distributed trimming/traversal knobs (§V).
     pub dist: DistributedConfig,
+    /// Optional deterministic fault injection for the distributed stage.
+    /// `None` (the default) runs a perfect cluster.
+    pub fault: Option<FaultInjection>,
     /// Build contig sequences by per-column majority consensus (error
     /// correcting) instead of first-wins merging. Lengths and all Table III
     /// statistics are identical either way; only base-level content
@@ -48,6 +64,7 @@ impl Default for FocusConfig {
             partitions: 16,
             partition_seed: 0xF0C05,
             dist: DistributedConfig::default(),
+            fault: None,
             consensus: true,
             dedup_rc: false,
         }
@@ -68,6 +85,16 @@ impl FocusConfig {
                 self.partitions
             )));
         }
+        self.dist
+            .retry
+            .validate()
+            .map_err(|m| FocusError::Config(format!("retry policy: {m}")))?;
+        if let Some(fault) = &self.fault {
+            fault
+                .rates
+                .validate()
+                .map_err(|m| FocusError::Config(format!("fault rates: {m}")))?;
+        }
         Ok(())
     }
 }
@@ -87,6 +114,9 @@ pub enum FocusError {
     /// The input read set produced no usable data (e.g. everything trimmed
     /// away).
     EmptyInput,
+    /// The distributed stage failed with a typed error (unrecoverable
+    /// cluster loss, invalid partition input, violated post-condition, …).
+    Dist(DistError),
 }
 
 impl fmt::Display for FocusError {
@@ -95,11 +125,25 @@ impl fmt::Display for FocusError {
             FocusError::Config(m) => write!(f, "invalid configuration: {m}"),
             FocusError::Stage { stage, message } => write!(f, "stage {stage} failed: {message}"),
             FocusError::EmptyInput => write!(f, "no usable reads after preprocessing"),
+            FocusError::Dist(e) => write!(f, "distributed stage failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for FocusError {}
+impl std::error::Error for FocusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FocusError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for FocusError {
+    fn from(e: DistError) -> FocusError {
+        FocusError::Dist(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -124,6 +168,26 @@ mod tests {
     fn rejects_zero_subsets() {
         let c = FocusConfig { subsets: 0, ..Default::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_fault_injection_and_retry_policy() {
+        let mut c = FocusConfig {
+            fault: Some(FaultInjection { seed: 1, rates: FaultRates { crash: 1.5, ..Default::default() } }),
+            ..Default::default()
+        };
+        assert!(matches!(c.validate(), Err(FocusError::Config(m)) if m.contains("fault rates")));
+        c.fault = Some(FaultInjection { seed: 1, rates: FaultRates::default() });
+        assert!(c.validate().is_ok());
+        c.dist.retry.max_attempts = 0;
+        assert!(matches!(c.validate(), Err(FocusError::Config(m)) if m.contains("retry policy")));
+    }
+
+    #[test]
+    fn dist_error_converts_and_chains() {
+        let e: FocusError = DistError::NoRanks.into();
+        assert!(e.to_string().contains("distributed stage failed"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

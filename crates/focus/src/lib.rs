@@ -15,7 +15,7 @@ pub mod eval;
 pub mod pipeline;
 pub mod stats;
 
-pub use config::{FocusConfig, FocusError};
+pub use config::{FaultInjection, FocusConfig, FocusError};
 pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};
 pub use stats::AssemblyStats;

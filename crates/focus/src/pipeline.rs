@@ -3,7 +3,7 @@
 use crate::config::{FocusConfig, FocusError};
 use crate::stats::AssemblyStats;
 use fc_align::{Overlap, Overlapper, PairStats};
-use fc_dist::{AssemblyPath, DistributedHybrid, DistributedReport};
+use fc_dist::{AssemblyPath, DistributedHybrid, DistributedReport, FaultPlan};
 use fc_graph::{HybridSet, MultilevelSet, NodeId, OverlapGraph};
 use fc_partition::{partition_graph_set, PartitionConfig, PartitionResult};
 use fc_seq::{DnaString, Read, ReadStore};
@@ -98,9 +98,12 @@ impl FocusAssembler {
             DistributedHybrid::with_consensus(&prepared.hybrid, &prepared.store, parts, k)
         } else {
             DistributedHybrid::new(&prepared.hybrid, &prepared.store, parts, k)
-        }
-        .map_err(|m| FocusError::Stage { stage: "distribute", message: m })?;
-        let report = dh.run(&self.config.dist);
+        }?;
+        let plan = match &self.config.fault {
+            Some(inj) => FaultPlan::random(inj.seed, k, &inj.rates),
+            None => FaultPlan::none(),
+        };
+        let report = dh.run_with_faults(&self.config.dist, plan)?;
 
         let mut contigs: Vec<DnaString> = report
             .paths
@@ -246,6 +249,30 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_injected_assembly_reproduces_clean_contigs() {
+        use crate::config::FaultInjection;
+        use fc_dist::FaultRates;
+        let g = genome(2500, 11);
+        let reads = tiled_reads(&g, 100, 50);
+        let clean = FocusAssembler::new(quick_config(4)).unwrap().assemble(&reads).unwrap();
+        let mut config = quick_config(4);
+        config.fault = Some(FaultInjection {
+            seed: 42,
+            rates: FaultRates { crash: 0.2, drop: 0.3, ..Default::default() },
+        });
+        let faulty = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        let norm = |r: &AssemblyResult| {
+            let mut v: Vec<String> = r.contigs.iter().map(|c| c.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&clean), norm(&faulty), "faults must not change the assembly");
+        // Same seed ⇒ bit-identical fault report.
+        let again = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        assert_eq!(faulty.report.fault, again.report.fault);
     }
 
     #[test]

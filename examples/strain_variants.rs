@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Distributed variant scan (read-only; one worker per partition).
     let support: Vec<u64> =
         prepared.hybrid.clusters.iter().map(|c| c.len() as u64).collect();
-    let mut cluster = SimCluster::new(k, CostModel::default());
+    let mut cluster = SimCluster::new(k, CostModel::default())?;
     let variants = detect_variants(
         &prepared.hybrid.directed,
         partition.finest(),

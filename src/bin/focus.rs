@@ -277,7 +277,7 @@ fn variants(args: &[String]) -> Result<(), String> {
         min_branch_support: opts.get_parsed("min-support", 2u64)?,
         ..Default::default()
     };
-    let mut cluster = SimCluster::new(k, CostModel::default());
+    let mut cluster = SimCluster::new(k, CostModel::default()).map_err(|e| e.to_string())?;
     let found = detect_variants(
         &prepared.hybrid.directed,
         partition.finest(),

@@ -1,7 +1,9 @@
 //! Cross-crate invariant tests on realistic pipeline artifacts.
 
 use focus_assembler::dist::traverse::check_path_cover;
-use focus_assembler::dist::{DistributedConfig, DistributedHybrid};
+use focus_assembler::dist::{
+    DistributedConfig, DistributedHybrid, FaultPlan, FaultRates, PhaseId,
+};
 use focus_assembler::focus::{FocusAssembler, FocusConfig};
 use focus_assembler::partition::{
     edge_cut, partition_balance, partition_graph_set, validate_partition, PartitionConfig,
@@ -87,7 +89,7 @@ fn distributed_stage_preserves_node_cover_for_every_k() {
         let mut dh =
             DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), k)
                 .unwrap();
-        let report = dh.run(&DistributedConfig::default());
+        let report = dh.run(&DistributedConfig::default()).unwrap();
         check_path_cover(&dh.graph, &report.paths).unwrap();
         // Trimming can only remove; live nodes never exceed the input.
         assert!(dh.graph.live_node_count() <= p.hybrid.node_count());
@@ -122,6 +124,91 @@ fn overlap_edge_weights_match_alignment_lengths() {
         for e in p.graph.directed.out_edges(v) {
             assert!(e.identity >= 0.90 - 1e-9, "edge identity {} too low", e.identity);
             assert!(e.len >= 50);
+        }
+    }
+}
+
+// ---- Fault-tolerance invariants (proptest) --------------------------------
+//
+// The shared fixture is expensive (a full prepare over 1800 reads), so it is
+// built once and each proptest case clones the ready-to-run
+// `DistributedHybrid`.
+
+mod fault_invariants {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    const K: usize = 4;
+
+    struct Fixture {
+        dh: DistributedHybrid,
+        clean_paths: Vec<focus_assembler::dist::AssemblyPath>,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let (_, p) = prepared();
+            let partition =
+                partition_graph_set(&p.hybrid.set, &PartitionConfig::new(K, 5)).unwrap();
+            let dh =
+                DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), K)
+                    .unwrap();
+            let clean_paths =
+                dh.clone().run(&DistributedConfig::default()).unwrap().paths;
+            Fixture { dh, clean_paths }
+        })
+    }
+
+    fn sorted_cover(paths: &[focus_assembler::dist::AssemblyPath]) -> Vec<u32> {
+        let mut nodes: Vec<u32> =
+            paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Same fault seed ⇒ bit-identical paths and fault counters.
+        #[test]
+        fn same_fault_seed_reproduces_report_exactly(seed in any::<u64>()) {
+            let fx = fixture();
+            let rates = FaultRates { crash: 0.1, drop: 0.25, delay: 0.2, straggle: 0.2, ..Default::default() };
+            let run = |_: ()| {
+                fx.dh.clone().run_with_faults(
+                    &DistributedConfig::default(),
+                    FaultPlan::random(seed, K, &rates),
+                )
+            };
+            match (run(()), run(())) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.paths, b.paths);
+                    prop_assert_eq!(a.fault, b.fault);
+                    prop_assert_eq!(a.messages, b.messages);
+                    prop_assert_eq!(a.bytes, b.bytes);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+            }
+        }
+
+        /// A single rank crash in any phase never changes the final path
+        /// node cover (and in fact not the paths themselves).
+        #[test]
+        fn single_crash_preserves_path_cover(
+            phase_ix in 0usize..PhaseId::ALL.len(),
+            rank in 0usize..K,
+        ) {
+            let fx = fixture();
+            let plan = FaultPlan::single_crash(PhaseId::ALL[phase_ix], rank);
+            let mut dh = fx.dh.clone();
+            let report = dh.run_with_faults(&DistributedConfig::default(), plan).unwrap();
+            check_path_cover(&dh.graph, &report.paths).unwrap();
+            prop_assert_eq!(sorted_cover(&report.paths), sorted_cover(&fx.clean_paths));
+            prop_assert_eq!(&report.paths, &fx.clean_paths);
+            prop_assert_eq!(report.fault.crashes, 1);
         }
     }
 }
