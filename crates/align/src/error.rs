@@ -1,0 +1,27 @@
+//! Error type for the alignment stage.
+
+use std::fmt;
+
+/// Errors produced while configuring or running the overlap stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// An invalid overlap-stage parameter (see [`crate::OverlapConfig`]).
+    Config {
+        /// Offending parameter name (e.g. `k`).
+        parameter: &'static str,
+        /// What went wrong, including the offending value.
+        message: String,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::Config { parameter, message } => {
+                write!(f, "invalid {parameter}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}

@@ -15,12 +15,14 @@
 //! * [`minimizer`] — a minimizer (minimum-hash window) index, the modern
 //!   hash-based alternative to the suffix array, provided for comparison.
 
+pub mod error;
 pub mod minimizer;
 pub mod nw;
 pub mod overlap;
 pub mod pairwise;
 pub mod suffix;
 
+pub use error::AlignError;
 pub use minimizer::{minimizers, MinimizerIndex};
 pub use nw::{band_for_error_rate, banded_global, AlignmentSummary, NwConfig};
 pub use overlap::{Overlap, OverlapKind};

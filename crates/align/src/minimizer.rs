@@ -35,10 +35,9 @@ pub fn minimizers(seq: &DnaString, k: usize, w: usize) -> Vec<(u32, u64)> {
     let n = kmers.len();
     for win_start in 0..n.saturating_sub(w - 1).max(1) {
         let win = &kmers[win_start..(win_start + w).min(n)];
-        let &(pos, kmer) = win
-            .iter()
-            .min_by_key(|&&(pos, km)| (splohash(km), pos))
-            .expect("window is non-empty");
+        let Some(&(pos, kmer)) = win.iter().min_by_key(|&&(pos, km)| (splohash(km), pos)) else {
+            continue;
+        };
         if out.last() != Some(&(pos as u32, kmer)) {
             out.push((pos as u32, kmer));
         }
@@ -64,7 +63,12 @@ impl MinimizerIndex {
                 map.entry(kmer).or_default().push((id, pos));
             }
         }
-        MinimizerIndex { k, w, map, indexed_reads: reads.len() }
+        MinimizerIndex {
+            k,
+            w,
+            map,
+            indexed_reads: reads.len(),
+        }
     }
 
     /// K-mer length.
@@ -159,7 +163,11 @@ mod tests {
         }
         // Density ~ 2/(w+1): allow generous bounds.
         let n_kmers = seq.len() - k + 1;
-        assert!(mins.len() * (w + 1) >= n_kmers, "too sparse: {}", mins.len());
+        assert!(
+            mins.len() * (w + 1) >= n_kmers,
+            "too sparse: {}",
+            mins.len()
+        );
         assert!(mins.len() * 2 <= n_kmers, "too dense: {}", mins.len());
         // Consecutive selections are strictly increasing in position.
         for pair in mins.windows(2) {
@@ -181,7 +189,10 @@ mod tests {
             .into_iter()
             .filter(|(pos, m)| (*pos as usize) < 100 - k && mins_a.contains(m))
             .count();
-        assert!(shared >= 5, "overlapping reads share only {shared} minimizers");
+        assert!(
+            shared >= 5,
+            "overlapping reads share only {shared} minimizers"
+        );
     }
 
     #[test]
@@ -209,9 +220,14 @@ mod tests {
     #[test]
     fn index_is_much_smaller_than_full_kmer_set() {
         let g = genome(5_000, 5);
-        let reads: Vec<DnaString> = (0..40).map(|i| g.slice(i * 100, i * 100 + 1000.min(g.len() - i * 100))).collect();
-        let entries: Vec<(ReadId, &DnaString)> =
-            reads.iter().enumerate().map(|(i, s)| (ReadId(i as u32), s)).collect();
+        let reads: Vec<DnaString> = (0..40)
+            .map(|i| g.slice(i * 100, i * 100 + 1000.min(g.len() - i * 100)))
+            .collect();
+        let entries: Vec<(ReadId, &DnaString)> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ReadId(i as u32), s))
+            .collect();
         let index = MinimizerIndex::build(&entries, 15, 10);
         let total_kmers: usize = reads.iter().map(|r| r.len().saturating_sub(14)).sum();
         assert!(

@@ -22,7 +22,12 @@ pub struct NwConfig {
 
 impl Default for NwConfig {
     fn default() -> NwConfig {
-        NwConfig { match_score: 1, mismatch_score: -2, gap_score: -3, band: 8 }
+        NwConfig {
+            match_score: 1,
+            mismatch_score: -2,
+            gap_score: -3,
+            band: 8,
+        }
     }
 }
 
@@ -67,8 +72,14 @@ pub fn banded_global(
 ) -> Option<AlignmentSummary> {
     let (a_start, a_end) = a_range;
     let (b_start, b_end) = b_range;
-    assert!(a_start <= a_end && a_end <= a.len(), "a range out of bounds");
-    assert!(b_start <= b_end && b_end <= b.len(), "b range out of bounds");
+    assert!(
+        a_start <= a_end && a_end <= a.len(),
+        "a range out of bounds"
+    );
+    assert!(
+        b_start <= b_end && b_end <= b.len(),
+        "b range out of bounds"
+    );
     let n = a_end - a_start; // rows
     let m = b_end - b_start; // columns
     let band = config.band;
@@ -109,7 +120,11 @@ pub fn banded_global(
                 if prev[ps] > NEG {
                     let is_match = a.get(a_start + i - 1) == b.get(b_start + j - 1);
                     let sc = prev[ps]
-                        + if is_match { config.match_score } else { config.mismatch_score };
+                        + if is_match {
+                            config.match_score
+                        } else {
+                            config.mismatch_score
+                        };
                     if sc > best {
                         best = sc;
                         let (c, mt) = prev_cm[ps];
@@ -153,7 +168,11 @@ pub fn banded_global(
         return None;
     }
     let (columns, matches) = prev_cm[s];
-    Some(AlignmentSummary { score: prev[s], columns, matches })
+    Some(AlignmentSummary {
+        score: prev[s],
+        columns,
+        matches,
+    })
 }
 
 #[cfg(test)]
@@ -162,11 +181,7 @@ mod tests {
 
     /// Reference implementation: full (unbanded) Needleman–Wunsch with the
     /// same (columns, matches) bookkeeping.
-    pub(crate) fn full_global(
-        a: &DnaString,
-        b: &DnaString,
-        config: &NwConfig,
-    ) -> AlignmentSummary {
+    pub(crate) fn full_global(a: &DnaString, b: &DnaString, config: &NwConfig) -> AlignmentSummary {
         let n = a.len();
         let m = b.len();
         let mut score = vec![vec![0i32; m + 1]; n + 1];
@@ -181,7 +196,11 @@ mod tests {
             for j in 1..=m {
                 let is_match = a.get(i - 1) == b.get(j - 1);
                 let diag = score[i - 1][j - 1]
-                    + if is_match { config.match_score } else { config.mismatch_score };
+                    + if is_match {
+                        config.match_score
+                    } else {
+                        config.mismatch_score
+                    };
                 let up = score[i - 1][j] + config.gap_score;
                 let left = score[i][j - 1] + config.gap_score;
                 // Same tie preference as the banded version: diag, up, left.
@@ -200,13 +219,20 @@ mod tests {
                 }
             }
         }
-        AlignmentSummary { score: score[n][m], columns: cm[n][m].0, matches: cm[n][m].1 }
+        AlignmentSummary {
+            score: score[n][m],
+            columns: cm[n][m].0,
+            matches: cm[n][m].1,
+        }
     }
 
     fn summary(a: &str, b: &str, band: usize) -> Option<AlignmentSummary> {
         let a: DnaString = a.parse().unwrap();
         let b: DnaString = b.parse().unwrap();
-        let config = NwConfig { band, ..NwConfig::default() };
+        let config = NwConfig {
+            band,
+            ..NwConfig::default()
+        };
         banded_global(&a, (0, a.len()), &b, (0, b.len()), &config)
     }
 
@@ -252,9 +278,11 @@ mod tests {
         for (a, b) in cases {
             let ad: DnaString = a.parse().unwrap();
             let bd: DnaString = b.parse().unwrap();
-            let config = NwConfig { band: ad.len().max(bd.len()), ..NwConfig::default() };
-            let banded =
-                banded_global(&ad, (0, ad.len()), &bd, (0, bd.len()), &config).unwrap();
+            let config = NwConfig {
+                band: ad.len().max(bd.len()),
+                ..NwConfig::default()
+            };
+            let banded = banded_global(&ad, (0, ad.len()), &bd, (0, bd.len()), &config).unwrap();
             let full = full_global(&ad, &bd, &config);
             assert_eq!(banded.score, full.score, "{a} vs {b}");
             assert_eq!(banded.columns, full.columns, "{a} vs {b}");

@@ -67,19 +67,32 @@ mod tests {
     use super::*;
 
     fn overlap(kind: OverlapKind) -> Overlap {
-        Overlap { a: ReadId(1), b: ReadId(2), kind, shift: 3, len: 50, identity: 0.95 }
+        Overlap {
+            a: ReadId(1),
+            b: ReadId(2),
+            kind,
+            shift: 3,
+            len: 50,
+            identity: 0.95,
+        }
     }
 
     #[test]
     fn dovetail_edge_direction() {
-        assert_eq!(overlap(OverlapKind::SuffixPrefix).edge(), Some((ReadId(1), ReadId(2))));
+        assert_eq!(
+            overlap(OverlapKind::SuffixPrefix).edge(),
+            Some((ReadId(1), ReadId(2)))
+        );
         assert_eq!(overlap(OverlapKind::ContainsB).edge(), None);
     }
 
     #[test]
     fn contained_read_identified() {
         assert_eq!(overlap(OverlapKind::ContainsB).contained(), Some(ReadId(2)));
-        assert_eq!(overlap(OverlapKind::ContainedInB).contained(), Some(ReadId(1)));
+        assert_eq!(
+            overlap(OverlapKind::ContainedInB).contained(),
+            Some(ReadId(1))
+        );
         assert_eq!(overlap(OverlapKind::SuffixPrefix).contained(), None);
     }
 }

@@ -6,6 +6,7 @@
 //! and are verified with banded Needleman–Wunsch. Overlaps that meet the
 //! minimum length and identity thresholds are recorded.
 
+use crate::error::AlignError;
 use crate::nw::{banded_global, NwConfig};
 use crate::overlap::{Overlap, OverlapKind};
 use crate::suffix::SuffixArray;
@@ -47,18 +48,30 @@ impl Default for OverlapConfig {
 
 impl OverlapConfig {
     /// Validates parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), AlignError> {
         if self.k == 0 || self.k > 32 {
-            return Err(format!("k must be in 1..=32, got {}", self.k));
+            return Err(AlignError::Config {
+                parameter: "k",
+                message: format!("must be in 1..=32, got {}", self.k),
+            });
         }
         if self.seed_step == 0 {
-            return Err("seed_step must be > 0".to_string());
+            return Err(AlignError::Config {
+                parameter: "seed_step",
+                message: "must be > 0".to_string(),
+            });
         }
         if self.min_kmer_hits == 0 {
-            return Err("min_kmer_hits must be > 0".to_string());
+            return Err(AlignError::Config {
+                parameter: "min_kmer_hits",
+                message: "must be > 0".to_string(),
+            });
         }
         if !(0.0..=1.0).contains(&self.min_identity) {
-            return Err(format!("min_identity must be in [0,1], got {}", self.min_identity));
+            return Err(AlignError::Config {
+                parameter: "min_identity",
+                message: format!("must be in [0,1], got {}", self.min_identity),
+            });
         }
         Ok(())
     }
@@ -99,7 +112,7 @@ pub struct Overlapper<'a> {
 
 impl<'a> Overlapper<'a> {
     /// Creates an overlapper; fails on invalid configuration.
-    pub fn new(store: &'a ReadStore, config: OverlapConfig) -> Result<Overlapper<'a>, String> {
+    pub fn new(store: &'a ReadStore, config: OverlapConfig) -> Result<Overlapper<'a>, AlignError> {
         config.validate()?;
         Ok(Overlapper { store, config })
     }
@@ -111,8 +124,10 @@ impl<'a> Overlapper<'a> {
 
     /// Builds the suffix-array index for one reference subset.
     pub fn index_subset(&self, reference: &[ReadId]) -> SuffixArray {
-        let entries: Vec<_> =
-            reference.iter().map(|&id| (id, &self.store.get(id).seq)).collect();
+        let entries: Vec<_> = reference
+            .iter()
+            .map(|&id| (id, &self.store.get(id).seq))
+            .collect();
         SuffixArray::build(&entries)
     }
 
@@ -239,13 +254,7 @@ impl<'a> Overlapper<'a> {
     }
 
     /// Verifies a candidate with banded NW and classifies its geometry.
-    fn verify(
-        &self,
-        q: ReadId,
-        r: ReadId,
-        diag: i64,
-        stats: &mut PairStats,
-    ) -> Option<Overlap> {
+    fn verify(&self, q: ReadId, r: ReadId, diag: i64, stats: &mut PairStats) -> Option<Overlap> {
         let qs = &self.store.get(q).seq;
         let rs = &self.store.get(r).seq;
         let (len_q, len_r) = (qs.len() as i64, rs.len() as i64);
@@ -355,7 +364,9 @@ mod tests {
 
     fn random_genome(len: usize, seed: u64) -> DnaString {
         let mut rng = SimpleRng::new(seed);
-        (0..len).map(|_| fc_seq::Base::from_code((rng.next() % 4) as u8)).collect()
+        (0..len)
+            .map(|_| fc_seq::Base::from_code((rng.next() % 4) as u8))
+            .collect()
     }
 
     /// Tiles `genome` with reads of `read_len` every `stride` bases.
@@ -363,16 +374,28 @@ mod tests {
         let mut reads = Vec::new();
         let mut start = 0;
         while start + read_len <= genome.len() {
-            reads.push(Read::new(format!("r{start}"), genome.slice(start, start + read_len)));
+            reads.push(Read::new(
+                format!("r{start}"),
+                genome.slice(start, start + read_len),
+            ));
             start += stride;
         }
         // No trimming needed (FASTA reads), but preprocess adds the RCs.
-        ReadStore::preprocess(&reads, &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() })
-            .unwrap()
+        ReadStore::preprocess(
+            &reads,
+            &fc_seq::TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     fn test_config() -> OverlapConfig {
-        OverlapConfig { min_overlap_len: 30, ..OverlapConfig::default() }
+        OverlapConfig {
+            min_overlap_len: 30,
+            ..OverlapConfig::default()
+        }
     }
 
     #[test]
@@ -393,7 +416,11 @@ mod tests {
                 o.kind == OverlapKind::SuffixPrefix
                     && ((o.a == a && o.b == b) || (o.a == b && o.b == a))
             });
-            assert!(found, "missing dovetail between forward reads {i} and {}", i + 1);
+            assert!(
+                found,
+                "missing dovetail between forward reads {i} and {}",
+                i + 1
+            );
         }
         // Every reported dovetail must meet the thresholds.
         for o in &overlaps {
@@ -409,7 +436,10 @@ mod tests {
         let short = Read::new("short", genome.slice(30, 110));
         let store = ReadStore::preprocess(
             &[long, short],
-            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+            &fc_seq::TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let overlapper = Overlapper::new(&store, test_config()).unwrap();
@@ -420,7 +450,10 @@ mod tests {
             .expect("containment overlap not found");
         // The short read (source index 1 -> stored ids 2,3) is contained.
         let inner = containment.contained().unwrap();
-        assert!(inner.0 >= 2, "the short read should be the contained one: {containment:?}");
+        assert!(
+            inner.0 >= 2,
+            "the short read should be the contained one: {containment:?}"
+        );
     }
 
     #[test]
@@ -429,7 +462,10 @@ mod tests {
         let b = random_genome(120, 9999);
         let store = ReadStore::preprocess(
             &[Read::new("a", a), Read::new("b", b)],
-            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+            &fc_seq::TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let overlapper = Overlapper::new(&store, test_config()).unwrap();
@@ -462,23 +498,48 @@ mod tests {
         read_a.set(90, read_a.get(90).complement());
         let store = ReadStore::preprocess(
             &[Read::new("a", read_a), Read::new("b", read_b)],
-            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+            &fc_seq::TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let overlapper = Overlapper::new(&store, test_config()).unwrap();
         let (overlaps, _) = overlapper.overlap_all(&store.split_subsets(1));
         assert!(
-            overlaps.iter().any(|o| o.kind == OverlapKind::SuffixPrefix && o.identity < 1.0),
+            overlaps
+                .iter()
+                .any(|o| o.kind == OverlapKind::SuffixPrefix && o.identity < 1.0),
             "imperfect dovetail not found: {overlaps:?}"
         );
     }
 
     #[test]
     fn config_validation() {
-        assert!(OverlapConfig { k: 0, ..Default::default() }.validate().is_err());
-        assert!(OverlapConfig { k: 33, ..Default::default() }.validate().is_err());
-        assert!(OverlapConfig { seed_step: 0, ..Default::default() }.validate().is_err());
-        assert!(OverlapConfig { min_identity: 1.5, ..Default::default() }.validate().is_err());
+        assert!(OverlapConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OverlapConfig {
+            k: 33,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OverlapConfig {
+            seed_step: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(OverlapConfig {
+            min_identity: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(OverlapConfig::default().validate().is_ok());
     }
 
@@ -488,17 +549,27 @@ mod tests {
         let genome: DnaString = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT".parse().unwrap();
         let store = ReadStore::preprocess(
             &[Read::new("p", genome)],
-            &fc_seq::TrimConfig { min_read_len: 1, ..Default::default() },
+            &fc_seq::TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let overlapper = Overlapper::new(&store, OverlapConfig {
-            min_overlap_len: 10,
-            ..test_config()
-        })
+        let overlapper = Overlapper::new(
+            &store,
+            OverlapConfig {
+                min_overlap_len: 10,
+                ..test_config()
+            },
+        )
         .unwrap();
         let (overlaps, _) = overlapper.overlap_all(&store.split_subsets(1));
         for o in &overlaps {
-            assert_ne!(store.mate(o.a), Some(o.b), "read paired with its own RC: {o:?}");
+            assert_ne!(
+                store.mate(o.a),
+                Some(o.b),
+                "read paired with its own RC: {o:?}"
+            );
         }
     }
 }

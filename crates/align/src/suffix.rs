@@ -45,7 +45,12 @@ impl SuffixArray {
             text.push(SEPARATOR);
         }
         let sa = build_suffix_array(&text);
-        SuffixArray { text, sa, read_starts, ids }
+        SuffixArray {
+            text,
+            sa,
+            read_starts,
+            ids,
+        }
     }
 
     /// Number of indexed reads.
@@ -173,7 +178,11 @@ mod tests {
             vec![3, 1, 2, 0, 3, 1, 2, 0],
             vec![1],
         ] {
-            assert_eq!(build_suffix_array(&text), naive_suffix_array(&text), "{text:?}");
+            assert_eq!(
+                build_suffix_array(&text),
+                naive_suffix_array(&text),
+                "{text:?}"
+            );
         }
     }
 
@@ -184,8 +193,11 @@ mod tests {
 
     fn index_of(seqs: &[&str]) -> (SuffixArray, Vec<DnaString>) {
         let parsed: Vec<DnaString> = seqs.iter().map(|s| s.parse().unwrap()).collect();
-        let refs: Vec<(ReadId, &DnaString)> =
-            parsed.iter().enumerate().map(|(i, s)| (ReadId(i as u32), s)).collect();
+        let refs: Vec<(ReadId, &DnaString)> = parsed
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ReadId(i as u32), s))
+            .collect();
         (SuffixArray::build(&refs), parsed)
     }
 
@@ -196,10 +208,7 @@ mod tests {
         let kmer = seqs[0].kmer_u64(0, k).unwrap(); // ACGT
         let mut hits = idx.find_kmer(kmer, k);
         hits.sort();
-        assert_eq!(
-            hits,
-            vec![(ReadId(0), 0), (ReadId(0), 4), (ReadId(1), 2)]
-        );
+        assert_eq!(hits, vec![(ReadId(0), 0), (ReadId(0), 4), (ReadId(1), 2)]);
     }
 
     #[test]

@@ -7,9 +7,7 @@
 use fc_bench::print_table_header;
 use fc_graph::{CoarsenConfig, LevelGraph, MultilevelSet};
 use fc_partition::kway::KwayConfig;
-use fc_partition::{
-    edge_cut, partition_balance, partition_graph_set, PartitionConfig,
-};
+use fc_partition::{edge_cut, partition_balance, partition_graph_set, PartitionConfig};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,17 +38,26 @@ fn main() {
     let mut baseline_cut = None;
     for &bound in &[1.001f64, 1.01, 1.03, 1.10, 1.30, 2.0] {
         let mut config = PartitionConfig::new(K, 9);
-        config.kway = KwayConfig { balance: bound, ..Default::default() };
+        config.kway = KwayConfig {
+            balance: bound,
+            ..Default::default()
+        };
         let result = partition_graph_set(&set, &config).expect("partitioning succeeds");
         let cut = edge_cut(set.finest(), result.finest());
         let bal = partition_balance(set.finest(), result.finest(), K);
         if (bound - 1.03).abs() < 1e-9 {
             baseline_cut = Some(cut);
         }
-        println!("{:>12.3} {:>12} {:>12.3} {:>12}", bound, cut, bal, match baseline_cut {
-            Some(b) if b > 0 => format!("{:.2}x", cut as f64 / b as f64),
-            _ => "-".to_string(),
-        });
+        println!(
+            "{:>12.3} {:>12} {:>12.3} {:>12}",
+            bound,
+            cut,
+            bal,
+            match baseline_cut {
+                Some(b) if b > 0 => format!("{:.2}x", cut as f64 / b as f64),
+                _ => "-".to_string(),
+            }
+        );
     }
     println!("\n(expected: tighter bounds restrict refinement (higher cut); looser bounds");
     println!(" trade balance for cut — 1.03 sits at the knee, which is why the paper uses it)");

@@ -16,35 +16,39 @@ use focus_core::FocusAssembler;
 fn main() {
     print_table_header(
         "Ablation: hybrid compression vs repeat/error content (D1-like data, k = 16)",
-        &["repeats", "rep_len", "err_3p", "|G0|", "|G'0|", "ratio", "t_h/t_m", "N50"],
+        &[
+            "repeats", "rep_len", "err_3p", "|G0|", "|G'0|", "ratio", "t_h/t_m", "N50",
+        ],
         9,
     );
 
-    let cases: [(usize, usize, f64); 4] =
-        [(3, 250, 0.01), (8, 350, 0.012), (12, 400, 0.015), (20, 450, 0.02)];
+    let cases: [(usize, usize, f64); 4] = [
+        (3, 250, 0.01),
+        (8, 350, 0.012),
+        (12, 400, 0.015),
+        (20, 450, 0.02),
+    ];
     for (repeat_copies, repeat_len, err3) in cases {
         let mut ds_config = fc_sim::DatasetConfig::paper_scale(1.0);
         ds_config.taxonomy.genome.repeat_copies = repeat_copies;
         ds_config.taxonomy.genome.repeat_len = repeat_len;
         ds_config.reads.error_rate_3p = err3;
-        let dataset =
-            fc_sim::generate_dataset("D1", &ds_config, 1001).expect("data set generates");
+        let dataset = fc_sim::generate_dataset("D1", &ds_config, 1001).expect("data set generates");
         let assembler = FocusAssembler::new(standard_config()).expect("config valid");
         let prepared = assembler.prepare(&dataset.reads).expect("prepare succeeds");
 
         let g0 = prepared.graph.undirected.node_count();
         let h0 = prepared.hybrid.node_count();
         let procs = prepared.multilevel.level_count().max(8);
-        let hybrid_tasks =
-            partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(16, 7))
-                .expect("hybrid partitioning succeeds")
-                .tasks;
+        let hybrid_tasks = partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(16, 7))
+            .expect("hybrid partitioning succeeds")
+            .tasks;
         let multi_tasks =
             partition_graph_set(&prepared.multilevel.set, &PartitionConfig::new(16, 7))
                 .expect("multilevel partitioning succeeds")
                 .tasks;
-        let ratio_time = partition_runtime(&hybrid_tasks, procs)
-            / partition_runtime(&multi_tasks, procs);
+        let ratio_time =
+            partition_runtime(&hybrid_tasks, procs) / partition_runtime(&multi_tasks, procs);
         let stats = assembler
             .assemble_prepared(&prepared, 16)
             .expect("assembly succeeds")

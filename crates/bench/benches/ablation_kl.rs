@@ -42,14 +42,21 @@ fn main() {
         let mut work = 0u64;
         let mut side = greedy_grow(&local, 21, &mut work);
         let before = local.cut(&side);
-        let config = KlConfig { max_bad_moves: budget, ..Default::default() };
+        let config = KlConfig {
+            max_bad_moves: budget,
+            ..Default::default()
+        };
         let t = Instant::now();
         let mut kl_work = 0u64;
         let gain = kl_refine(&local, &mut side, &config, &mut kl_work);
         let elapsed = t.elapsed().as_secs_f64() * 1000.0;
         println!(
             "{:>12} {:>12} {:>12} {:>12} {:>12.2}",
-            if budget == usize::MAX { "unlimited".to_string() } else { budget.to_string() },
+            if budget == usize::MAX {
+                "unlimited".to_string()
+            } else {
+                budget.to_string()
+            },
             before - gain,
             gain,
             kl_work,

@@ -26,7 +26,9 @@ fn main() {
 
     print_table_header(
         &format!("Fault recovery: virtual-time overhead vs fault rate (k = {K}, scale {scale})"),
-        &["set", "rate", "overhead", "crashes", "retries", "specul.", "lost"],
+        &[
+            "set", "rate", "overhead", "crashes", "retries", "specul.", "lost",
+        ],
         9,
     );
 

@@ -21,7 +21,15 @@ fn main() {
 
     print_table_header(
         &format!("Fig. 4: partitioning speedup, k = {K}, hybrid graph sets (scale {scale})"),
-        &["procs", "D1 speedup", "D1 sd", "D2 speedup", "D2 sd", "D3 speedup", "D3 sd"],
+        &[
+            "procs",
+            "D1 speedup",
+            "D1 sd",
+            "D2 speedup",
+            "D2 sd",
+            "D3 speedup",
+            "D3 sd",
+        ],
         11,
     );
 

@@ -19,7 +19,9 @@ fn main() {
     let ctx = prepare_context(scale);
 
     print_table_header(
-        &format!("Fig. 5: partitioning runtime (virtual units), hybrid vs multilevel (scale {scale})"),
+        &format!(
+            "Fig. 5: partitioning runtime (virtual units), hybrid vs multilevel (scale {scale})"
+        ),
         &["set", "k", "procs", "hybrid", "multilevel", "ratio"],
         11,
     );

@@ -28,14 +28,12 @@ fn main() {
         for &k in &KS {
             let partition = partition_graph_set(&p.hybrid.set, &PartitionConfig::new(k, SEED))
                 .expect("partitioning succeeds");
-            let mut dh = DistributedHybrid::new(
-                &p.hybrid,
-                &p.store,
-                partition.finest().to_vec(),
-                k,
-            )
-            .expect("distribution set-up succeeds");
-            let report = dh.run(&ctx.assembler.config().dist).expect("distributed run succeeds");
+            let mut dh =
+                DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), k)
+                    .expect("distribution set-up succeeds");
+            let report = dh
+                .run(&ctx.assembler.config().dist)
+                .expect("distributed run succeeds");
             println!(
                 "{:>11} {:>11} {:>11.0} {:>11.0} {:>11} {:>11}",
                 d.name,

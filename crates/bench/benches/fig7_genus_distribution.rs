@@ -7,8 +7,8 @@
 //! concentrate in few partitions (≫ 1/k), and same-phylum genera co-cluster
 //! more than cross-phylum ones.
 
-use fc_bench::harness::prepare_context;
 use fc_bench::bench_scale;
+use fc_bench::harness::prepare_context;
 use fc_classify::{GenusDistribution, KmerClassifier, PhylumCoclustering};
 use fc_partition::{partition_graph_set, PartitionConfig};
 use fc_seq::DnaString;
@@ -22,8 +22,7 @@ fn main() {
     let ctx = prepare_context(scale);
 
     for (d, p) in ctx.datasets.iter().zip(&ctx.prepared) {
-        let genomes: Vec<DnaString> =
-            d.taxonomy.genera.iter().map(|g| g.genome.clone()).collect();
+        let genomes: Vec<DnaString> = d.taxonomy.genera.iter().map(|g| g.genome.clone()).collect();
         let classifier = KmerClassifier::build(&genomes, K_MER).expect("classifier builds");
         let labels = classifier.classify_all(&d.reads);
 
@@ -33,15 +32,16 @@ fn main() {
         let node_parts = p.hybrid.project_partition_to_reads(partition.finest());
 
         let genera: Vec<String> = d.taxonomy.genera.iter().map(|g| g.name.clone()).collect();
-        let dist =
-            GenusDistribution::build(&p.store, &node_parts, &labels, &genera, K_PARTITIONS)
-                .expect("distribution builds");
+        let dist = GenusDistribution::build(&p.store, &node_parts, &labels, &genera, K_PARTITIONS)
+            .expect("distribution builds");
 
-        println!("\n=== Fig. 7 ({}): genus x partition heat map, k = {K_PARTITIONS} ===", d.name);
+        println!(
+            "\n=== Fig. 7 ({}): genus x partition heat map, k = {K_PARTITIONS} ===",
+            d.name
+        );
         print!("{}", fc_classify::render_text(&dist));
 
-        let phylum_of: Vec<usize> =
-            d.taxonomy.genera.iter().map(|g| g.phylum_index).collect();
+        let phylum_of: Vec<usize> = d.taxonomy.genera.iter().map(|g| g.phylum_index).collect();
         let cc = PhylumCoclustering::compute(&dist, &phylum_of);
         let mean_concentration: f64 = (0..genera.len())
             .filter(|&g| dist.genus_counts[g] > 0)

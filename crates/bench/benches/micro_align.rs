@@ -9,7 +9,10 @@ use std::hint::black_box;
 
 fn tiled_store(genome_len: usize, n_reads: usize) -> ReadStore {
     let genome = fc_sim::genome::random_genome(
-        &GenomeConfig { length: genome_len, ..Default::default() },
+        &GenomeConfig {
+            length: genome_len,
+            ..Default::default()
+        },
         42,
     );
     let mut reads = Vec::new();
@@ -18,15 +21,24 @@ fn tiled_store(genome_len: usize, n_reads: usize) -> ReadStore {
         &genome,
         0,
         n_reads,
-        &ReadSimConfig { bad_tail_probability: 0.0, ..Default::default() },
+        &ReadSimConfig {
+            bad_tail_probability: 0.0,
+            ..Default::default()
+        },
         7,
         "b",
         &mut reads,
         &mut origins,
     )
     .expect("simulation succeeds");
-    ReadStore::preprocess(&reads, &TrimConfig { min_read_len: 40, ..Default::default() })
-        .expect("preprocess succeeds")
+    ReadStore::preprocess(
+        &reads,
+        &TrimConfig {
+            min_read_len: 40,
+            ..Default::default()
+        },
+    )
+    .expect("preprocess succeeds")
 }
 
 fn bench_suffix_array(c: &mut Criterion) {
@@ -52,7 +64,10 @@ fn bench_suffix_array(c: &mut Criterion) {
 
 fn bench_banded_nw(c: &mut Criterion) {
     let genome = fc_sim::genome::random_genome(
-        &GenomeConfig { length: 400, ..Default::default() },
+        &GenomeConfig {
+            length: 400,
+            ..Default::default()
+        },
         3,
     );
     let a = genome.slice(0, 200);

@@ -33,7 +33,9 @@ fn bench_matching(c: &mut Criterion) {
 fn bench_contract(c: &mut Criterion) {
     let g = overlap_like_graph(20_000, 1);
     let mate = heavy_edge_matching(&g, 7);
-    c.bench_function("contract_20k", |b| b.iter(|| contract(black_box(&g), black_box(&mate))));
+    c.bench_function("contract_20k", |b| {
+        b.iter(|| contract(black_box(&g), black_box(&mate)))
+    });
 }
 
 fn bench_multilevel(c: &mut Criterion) {

@@ -48,7 +48,12 @@ fn bench_kl(c: &mut Criterion) {
         b.iter(|| {
             let mut side = side0.clone();
             let mut work = 0;
-            kl_refine(black_box(&local), &mut side, &KlConfig::default(), &mut work)
+            kl_refine(
+                black_box(&local),
+                &mut side,
+                &KlConfig::default(),
+                &mut work,
+            )
         })
     });
 }
@@ -60,14 +65,19 @@ fn bench_kway(c: &mut Criterion) {
         b.iter(|| {
             let mut parts = parts0.clone();
             let mut work = 0;
-            kway_refine(black_box(&g), &mut parts, 16, &KwayConfig::default(), &mut work)
+            kway_refine(
+                black_box(&g),
+                &mut parts,
+                16,
+                &KwayConfig::default(),
+                &mut work,
+            )
         })
     });
 }
 
 fn bench_full(c: &mut Criterion) {
-    let set =
-        MultilevelSet::build(overlap_like_graph(10_000, 1), &CoarsenConfig::default()).set;
+    let set = MultilevelSet::build(overlap_like_graph(10_000, 1), &CoarsenConfig::default()).set;
     c.bench_function("partition_graph_set_10k_k16", |b| {
         b.iter(|| partition_graph_set(black_box(&set), &PartitionConfig::new(16, 3)))
     });

@@ -12,7 +12,9 @@ fn main() {
 
     print_table_header(
         &format!("Table I: data set characteristics (scale {scale})"),
-        &["set", "seed", "genera", "phyla", "reads", "read_len", "Mbases"],
+        &[
+            "set", "seed", "genera", "phyla", "reads", "read_len", "Mbases",
+        ],
         9,
     );
     for d in &datasets {

@@ -21,7 +21,9 @@ fn main() {
 
     print_table_header(
         &format!("Table II: edge cut on G0, hybrid vs multilevel partitioning (scale {scale})"),
-        &["k", "set", "cut(hyb)", "cut(ovl)", "hyb %", "ovl %", "winner"],
+        &[
+            "k", "set", "cut(hyb)", "cut(ovl)", "hyb %", "ovl %", "winner",
+        ],
         10,
     );
 
@@ -41,8 +43,10 @@ fn main() {
                 .expect("multilevel partitioning succeeds");
             let cut_ovl = edge_cut(&p.graph.undirected, multi.finest());
 
-            let (pct_h, pct_o) =
-                (100.0 * cut_hyb as f64 / total_w, 100.0 * cut_ovl as f64 / total_w);
+            let (pct_h, pct_o) = (
+                100.0 * cut_hyb as f64 / total_w,
+                100.0 * cut_ovl as f64 / total_w,
+            );
             max_pct = max_pct.max(pct_h).max(pct_o);
             cells += 1;
             if cut_hyb <= cut_ovl {
@@ -56,10 +60,16 @@ fn main() {
                 cut_ovl,
                 pct_h,
                 pct_o,
-                if cut_hyb <= cut_ovl { "hybrid" } else { "overlap" }
+                if cut_hyb <= cut_ovl {
+                    "hybrid"
+                } else {
+                    "overlap"
+                }
             );
         }
     }
-    println!("\nhybrid wins {hybrid_wins}/{cells} cells; worst cut = {max_pct:.2}% of total edge weight");
+    println!(
+        "\nhybrid wins {hybrid_wins}/{cells} cells; worst cut = {max_pct:.2}% of total edge weight"
+    );
     println!("(paper: hybrid wins 10/12 cells; all cuts ≤ 0.43% of total edge weight)");
 }

@@ -37,5 +37,7 @@ fn main() {
             );
         }
     }
-    println!("\n(paper: stats essentially constant across k — e.g. D1 N50 2082-2083 bp for k=4..64)");
+    println!(
+        "\n(paper: stats essentially constant across k — e.g. D1 N50 2082-2083 bp for k=4..64)"
+    );
 }

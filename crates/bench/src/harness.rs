@@ -43,7 +43,11 @@ pub fn prepare_context(scale: f64) -> ExperimentContext {
         .iter()
         .map(|d| assembler.prepare(&d.reads).expect("preparation succeeds"))
         .collect();
-    ExperimentContext { datasets, prepared, assembler }
+    ExperimentContext {
+        datasets,
+        prepared,
+        assembler,
+    }
 }
 
 /// Converts a partitioner task log into barrier-separated phases for the
@@ -81,8 +85,7 @@ pub fn mean_sd(values: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -92,7 +95,10 @@ mod tests {
     use fc_partition::recursive::{TaskKind, TaskRecord};
 
     fn task(step: usize, work: u64) -> TaskRecord {
-        TaskRecord { kind: TaskKind::Bisect { step, part: 0 }, work }
+        TaskRecord {
+            kind: TaskKind::Bisect { step, part: 0 },
+            work,
+        }
     }
 
     #[test]
@@ -101,8 +107,14 @@ mod tests {
             task(0, 100),
             task(1, 40),
             task(1, 60),
-            TaskRecord { kind: TaskKind::KwayLevel { level: 0 }, work: 10 },
-            TaskRecord { kind: TaskKind::KwayLevel { level: 1 }, work: 20 },
+            TaskRecord {
+                kind: TaskKind::KwayLevel { level: 0 },
+                work: 10,
+            },
+            TaskRecord {
+                kind: TaskKind::KwayLevel { level: 1 },
+                work: 20,
+            },
         ];
         let phases = partition_phases(&tasks);
         assert_eq!(phases, vec![vec![100], vec![40, 60], vec![10, 20]]);

@@ -7,6 +7,7 @@
 //! classifier is expected to confuse genera (reads from shared conserved
 //! islands are genuinely ambiguous).
 
+use crate::error::ClassifyError;
 use fc_sim::ReadOrigin;
 
 /// Confusion matrix and summary rates of a classification run.
@@ -29,13 +30,13 @@ impl ClassifierAccuracy {
         labels: &[Option<u32>],
         origins: &[ReadOrigin],
         n_genera: usize,
-    ) -> Result<ClassifierAccuracy, String> {
+    ) -> Result<ClassifierAccuracy, ClassifyError> {
         if labels.len() != origins.len() {
-            return Err(format!(
-                "label count {} != origin count {}",
-                labels.len(),
-                origins.len()
-            ));
+            return Err(ClassifyError::LengthMismatch {
+                what: "labels",
+                got: labels.len(),
+                expected: origins.len(),
+            });
         }
         let mut confusion = vec![vec![0u64; n_genera]; n_genera];
         let mut unclassified = vec![0u64; n_genera];
@@ -44,14 +45,22 @@ impl ClassifierAccuracy {
         for (label, origin) in labels.iter().zip(origins) {
             let truth = origin.genus as usize;
             if truth >= n_genera {
-                return Err(format!("origin genus {truth} out of range"));
+                return Err(ClassifyError::OutOfRange {
+                    what: "origin genus",
+                    index: truth,
+                    bound: n_genera,
+                });
             }
             match label {
                 None => unclassified[truth] += 1,
                 Some(p) => {
                     let p = *p as usize;
                     if p >= n_genera {
-                        return Err(format!("label {p} out of range"));
+                        return Err(ClassifyError::OutOfRange {
+                            what: "label",
+                            index: p,
+                            bound: n_genera,
+                        });
                     }
                     confusion[truth][p] += 1;
                     classified += 1;
@@ -65,7 +74,11 @@ impl ClassifierAccuracy {
         Ok(ClassifierAccuracy {
             confusion,
             unclassified,
-            accuracy: if classified == 0 { 0.0 } else { correct as f64 / classified as f64 },
+            accuracy: if classified == 0 {
+                0.0
+            } else {
+                correct as f64 / classified as f64
+            },
             unclassified_rate: if total == 0 {
                 0.0
             } else {
@@ -77,8 +90,7 @@ impl ClassifierAccuracy {
     /// Per-genus recall: correctly labelled / total reads of the genus
     /// (unclassified count against recall).
     pub fn recall(&self, genus: usize) -> f64 {
-        let row_total: u64 =
-            self.confusion[genus].iter().sum::<u64>() + self.unclassified[genus];
+        let row_total: u64 = self.confusion[genus].iter().sum::<u64>() + self.unclassified[genus];
         if row_total == 0 {
             0.0
         } else {
@@ -103,7 +115,11 @@ mod tests {
     use super::*;
 
     fn origin(genus: u32) -> ReadOrigin {
-        ReadOrigin { genus, position: 0, reverse: false }
+        ReadOrigin {
+            genus,
+            position: 0,
+            reverse: false,
+        }
     }
 
     #[test]
@@ -146,17 +162,26 @@ mod tests {
         // End-to-end: the k-mer classifier against its own taxonomy's data.
         let dataset =
             fc_sim::generate_dataset("acc", &fc_sim::DatasetConfig::test_scale(), 17).unwrap();
-        let genomes: Vec<fc_seq::DnaString> =
-            dataset.taxonomy.genera.iter().map(|g| g.genome.clone()).collect();
+        let genomes: Vec<fc_seq::DnaString> = dataset
+            .taxonomy
+            .genera
+            .iter()
+            .map(|g| g.genome.clone())
+            .collect();
         let classifier = crate::KmerClassifier::build(&genomes, 21).unwrap();
         let labels = classifier.classify_all(&dataset.reads);
-        let acc = ClassifierAccuracy::assess(
-            &labels,
-            &dataset.origins,
-            dataset.taxonomy.genus_count(),
-        )
-        .unwrap();
-        assert!(acc.accuracy > 0.95, "classifier accuracy too low: {}", acc.accuracy);
-        assert!(acc.unclassified_rate < 0.05, "too many unclassified: {}", acc.unclassified_rate);
+        let acc =
+            ClassifierAccuracy::assess(&labels, &dataset.origins, dataset.taxonomy.genus_count())
+                .unwrap();
+        assert!(
+            acc.accuracy > 0.95,
+            "classifier accuracy too low: {}",
+            acc.accuracy
+        );
+        assert!(
+            acc.unclassified_rate < 0.05,
+            "too many unclassified: {}",
+            acc.unclassified_rate
+        );
     }
 }

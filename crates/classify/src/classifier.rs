@@ -1,5 +1,6 @@
 //! K-mer best-hit read classification against reference genomes.
 
+use crate::error::ClassifyError;
 use fc_seq::{DnaString, Read};
 use std::collections::HashMap;
 
@@ -17,12 +18,18 @@ pub struct KmerClassifier {
 impl KmerClassifier {
     /// Builds the index over `genomes` with k-mer length `k` (≤ 32). Both
     /// strands of each genome are indexed, since reads come from either.
-    pub fn build(genomes: &[DnaString], k: usize) -> Result<KmerClassifier, String> {
+    pub fn build(genomes: &[DnaString], k: usize) -> Result<KmerClassifier, ClassifyError> {
         if k == 0 || k > 32 {
-            return Err(format!("k must be in 1..=32, got {k}"));
+            return Err(ClassifyError::Config {
+                parameter: "k",
+                message: format!("must be in 1..=32, got {k}"),
+            });
         }
         if genomes.is_empty() {
-            return Err("classifier needs at least one reference".to_string());
+            return Err(ClassifyError::Config {
+                parameter: "genomes",
+                message: "classifier needs at least one reference".to_string(),
+            });
         }
         let mut index: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
         for (gi, genome) in genomes.iter().enumerate() {
@@ -36,7 +43,11 @@ impl KmerClassifier {
                 }
             }
         }
-        Ok(KmerClassifier { k, index, references: genomes.len() })
+        Ok(KmerClassifier {
+            k,
+            index,
+            references: genomes.len(),
+        })
     }
 
     /// Number of references.
@@ -96,7 +107,10 @@ mod tests {
         (0..3)
             .map(|i| {
                 fc_sim::genome::random_genome(
-                    &GenomeConfig { length: 2000, ..Default::default() },
+                    &GenomeConfig {
+                        length: 2000,
+                        ..Default::default()
+                    },
                     100 + i,
                 )
             })
@@ -110,7 +124,11 @@ mod tests {
         for (gi, g) in refs.iter().enumerate() {
             for start in [0usize, 500, 1500] {
                 let read = Read::new("r", g.slice(start, start + 100));
-                assert_eq!(classifier.classify(&read), Some(gi as u32), "genome {gi} @ {start}");
+                assert_eq!(
+                    classifier.classify(&read),
+                    Some(gi as u32),
+                    "genome {gi} @ {start}"
+                );
             }
         }
     }
@@ -128,7 +146,10 @@ mod tests {
         let refs = genomes();
         let classifier = KmerClassifier::build(&refs, 21).unwrap();
         let alien = fc_sim::genome::random_genome(
-            &GenomeConfig { length: 100, ..Default::default() },
+            &GenomeConfig {
+                length: 100,
+                ..Default::default()
+            },
             987654,
         );
         assert_eq!(classifier.classify(&Read::new("r", alien)), None);

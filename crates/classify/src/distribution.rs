@@ -1,6 +1,7 @@
 //! The genus × partition distribution matrix (Fig. 7) and phylum
 //! co-clustering summary.
 
+use crate::error::ClassifyError;
 use fc_seq::{ReadId, ReadStore};
 
 /// Per-genus distribution of classified reads over graph partitions.
@@ -36,13 +37,13 @@ impl GenusDistribution {
         labels: &[Option<u32>],
         genera: &[String],
         k: usize,
-    ) -> Result<GenusDistribution, String> {
+    ) -> Result<GenusDistribution, ClassifyError> {
         if node_parts.len() != store.len() {
-            return Err(format!(
-                "node partition length {} != store size {}",
-                node_parts.len(),
-                store.len()
-            ));
+            return Err(ClassifyError::LengthMismatch {
+                what: "node partition",
+                got: node_parts.len(),
+                expected: store.len(),
+            });
         }
         let n_genera = genera.len();
         let mut counts = vec![vec![0u64; k]; n_genera];
@@ -50,18 +51,28 @@ impl GenusDistribution {
         let mut unclassified = 0u64;
         for id in store.ids() {
             let source = store.source_index(id);
-            let label = labels
-                .get(source)
-                .ok_or_else(|| format!("read {source} has no label entry"))?;
+            let label = labels.get(source).ok_or(ClassifyError::OutOfRange {
+                what: "label entry",
+                index: source,
+                bound: labels.len(),
+            })?;
             let part = node_parts[id.index()] as usize;
             if part >= k {
-                return Err(format!("node {} in partition {part} >= k = {k}", id.0));
+                return Err(ClassifyError::OutOfRange {
+                    what: "partition",
+                    index: part,
+                    bound: k,
+                });
             }
             match label {
                 Some(g) => {
                     let g = *g as usize;
                     if g >= n_genera {
-                        return Err(format!("label {g} out of range for {n_genera} genera"));
+                        return Err(ClassifyError::OutOfRange {
+                            what: "label",
+                            index: g,
+                            bound: n_genera,
+                        });
                     }
                     counts[g][part] += 1;
                     genus_counts[g] += 1;
@@ -74,7 +85,13 @@ impl GenusDistribution {
             .zip(&genus_counts)
             .map(|(row, &total)| {
                 row.iter()
-                    .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                    .map(|&c| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            c as f64 / total as f64
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -152,8 +169,16 @@ impl PhylumCoclustering {
             }
         }
         PhylumCoclustering {
-            within_phylum: if within.1 == 0 { 0.0 } else { within.0 / within.1 as f64 },
-            cross_phylum: if cross.1 == 0 { 0.0 } else { cross.0 / cross.1 as f64 },
+            within_phylum: if within.1 == 0 {
+                0.0
+            } else {
+                within.0 / within.1 as f64
+            },
+            cross_phylum: if cross.1 == 0 {
+                0.0
+            } else {
+                cross.0 / cross.1 as f64
+            },
         }
     }
 }
@@ -192,14 +217,20 @@ mod tests {
         let reads: Vec<Read> = (0..n)
             .map(|i| Read::new(format!("r{i}"), "ACGTACGTACGTACGTACGT".parse().unwrap()))
             .collect();
-        ReadStore::preprocess(&reads, &TrimConfig { min_read_len: 1, ..Default::default() })
-            .unwrap()
+        ReadStore::preprocess(
+            &reads,
+            &TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
     fn fractions_normalise_per_genus() {
         let store = store_of(4); // 8 nodes
-        // Nodes of reads 0,1 -> partition 0; reads 2,3 -> partition 1.
+                                 // Nodes of reads 0,1 -> partition 0; reads 2,3 -> partition 1.
         let node_parts = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let labels = vec![Some(0), Some(0), Some(1), None];
         let genera = vec!["A".to_string(), "B".to_string()];
@@ -228,26 +259,19 @@ mod tests {
         let store = store_of(2);
         let genera = vec!["A".to_string()];
         // Wrong partition vector length.
-        assert!(GenusDistribution::build(&store, &[0, 0], &[Some(0), Some(0)], &genera, 1)
-            .is_err());
+        assert!(
+            GenusDistribution::build(&store, &[0, 0], &[Some(0), Some(0)], &genera, 1).is_err()
+        );
         // Partition out of range.
-        assert!(GenusDistribution::build(
-            &store,
-            &[0, 0, 3, 0],
-            &[Some(0), Some(0)],
-            &genera,
-            2
-        )
-        .is_err());
+        assert!(
+            GenusDistribution::build(&store, &[0, 0, 3, 0], &[Some(0), Some(0)], &genera, 2)
+                .is_err()
+        );
         // Label out of range.
-        assert!(GenusDistribution::build(
-            &store,
-            &[0, 0, 0, 0],
-            &[Some(5), Some(0)],
-            &genera,
-            2
-        )
-        .is_err());
+        assert!(
+            GenusDistribution::build(&store, &[0, 0, 0, 0], &[Some(5), Some(0)], &genera, 2)
+                .is_err()
+        );
     }
 
     #[test]

@@ -11,7 +11,13 @@ const SHADES: &[char] = &[' ', '·', '░', '▒', '▓', '█'];
 /// terminal analogue of the paper's Fig. 7.
 pub fn render_text(dist: &GenusDistribution) -> String {
     let k = dist.partition_count();
-    let name_w = dist.genera.iter().map(String::len).max().unwrap_or(4).max(4);
+    let name_w = dist
+        .genera
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(4)
+        .max(4);
     let mut out = String::new();
     // Header.
     let _ = write!(out, "{:name_w$} |", "");

@@ -15,9 +15,11 @@
 pub mod accuracy;
 pub mod classifier;
 pub mod distribution;
+pub mod error;
 pub mod heatmap;
 
 pub use accuracy::ClassifierAccuracy;
 pub use classifier::KmerClassifier;
 pub use distribution::{GenusDistribution, PhylumCoclustering};
+pub use error::ClassifyError;
 pub use heatmap::{render_csv, render_text};

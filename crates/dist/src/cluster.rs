@@ -27,7 +27,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> CostModel {
-        CostModel { per_work_unit: 1.0, msg_latency: 5.0, msg_per_byte: 0.002 }
+        CostModel {
+            per_work_unit: 1.0,
+            msg_latency: 5.0,
+            msg_per_byte: 0.002,
+        }
     }
 }
 
@@ -133,7 +137,7 @@ impl SimCluster {
         if ranks == 0 {
             return Err(DistError::NoRanks);
         }
-        retry.validate().map_err(DistError::InvalidRetryPolicy)?;
+        retry.validate()?;
         Ok(SimCluster {
             clocks: vec![0.0; ranks],
             alive: vec![true; ranks],
@@ -266,8 +270,15 @@ impl SimCluster {
             self.clocks[rank] += w as f64 * self.cost.per_work_unit;
         }
         let makespan = self.now() - start;
-        let total: f64 = work.iter().map(|&w| w as f64 * self.cost.per_work_unit).sum();
-        PhaseTiming { makespan, total_work_time: total, tasks: work.len() }
+        let total: f64 = work
+            .iter()
+            .map(|&w| w as f64 * self.cost.per_work_unit)
+            .sum();
+        PhaseTiming {
+            makespan,
+            total_work_time: total,
+            tasks: work.len(),
+        }
     }
 
     /// Runs one parallel phase under the fault plan. `tasks[i] = (rank, w)`
@@ -325,7 +336,7 @@ impl SimCluster {
             .collect();
         if busy.len() >= 2 {
             let mut times: Vec<f64> = busy.iter().map(|&(_, t)| t).collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("clock times are finite"));
+            times.sort_by(|a, b| a.total_cmp(b));
             let median = times[(times.len() - 1) / 2];
             let threshold = self.retry.straggler_factor * median;
             busy.sort_by_key(|&(r, _)| r);
@@ -333,7 +344,9 @@ impl SimCluster {
                 if median <= 0.0 || t <= threshold {
                     continue;
                 }
-                let Some(backup) = self.least_loaded_alive(Some(rank)) else { continue };
+                let Some(backup) = self.least_loaded_alive(Some(rank)) else {
+                    continue;
+                };
                 // The master notices the straggler at the threshold and
                 // relaunches its tasks, at nominal speed, on the backup.
                 let backup_start = self.clocks[backup].max(start + threshold);
@@ -353,7 +366,11 @@ impl SimCluster {
 
         let makespan = self.now() - start;
         PhaseOutcome {
-            timing: PhaseTiming { makespan, total_work_time, tasks: tasks.len() },
+            timing: PhaseTiming {
+                makespan,
+                total_work_time,
+                tasks: tasks.len(),
+            },
             lost,
             crashed,
             speculated,
@@ -374,8 +391,7 @@ impl SimCluster {
     ) -> SendOutcome {
         let drops = self.plan.drops_at(phase, sender);
         let delay = self.plan.delay_factor_at(phase, sender);
-        let per_attempt =
-            (self.cost.msg_latency + payload as f64 * self.cost.msg_per_byte) * delay;
+        let per_attempt = (self.cost.msg_latency + payload as f64 * self.cost.msg_per_byte) * delay;
         let max_attempts = self.retry.max_attempts;
         for attempt in 1..=max_attempts {
             self.clocks[sender] += per_attempt;
@@ -393,7 +409,9 @@ impl SimCluster {
             self.clocks[0] = f64::max(self.clocks[0] + per_attempt, self.clocks[sender]);
             return SendOutcome::Delivered { attempts: attempt };
         }
-        SendOutcome::Lost { attempts: max_attempts }
+        SendOutcome::Lost {
+            attempts: max_attempts,
+        }
     }
 
     /// Charges a message of `bytes` payload from `from`; the receiving side
@@ -456,9 +474,12 @@ impl SimCluster {
 
 /// List-schedules a sequence of barrier-separated phases (each a slice of
 /// task works) onto `ranks` processors and returns the total virtual
-/// makespan. Used to replay the partitioner's task log (Fig. 4/5).
+/// makespan. Used to replay the partitioner's task log (Fig. 4/5). Zero
+/// ranks means the work can never finish, reported as an infinite makespan.
 pub fn schedule_phases(phases: &[Vec<u64>], ranks: usize, cost: CostModel) -> f64 {
-    let mut cluster = SimCluster::new(ranks, cost).expect("cluster needs at least one rank");
+    let Ok(mut cluster) = SimCluster::new(ranks, cost) else {
+        return f64::INFINITY;
+    };
     for phase in phases {
         cluster.run_phase(phase);
     }
@@ -471,7 +492,11 @@ mod tests {
     use super::*;
 
     fn flat_cost() -> CostModel {
-        CostModel { per_work_unit: 1.0, msg_latency: 0.0, msg_per_byte: 0.0 }
+        CostModel {
+            per_work_unit: 1.0,
+            msg_latency: 0.0,
+            msg_per_byte: 0.0,
+        }
     }
 
     #[test]
@@ -510,7 +535,11 @@ mod tests {
 
     #[test]
     fn messages_charge_latency_and_bandwidth() {
-        let cost = CostModel { per_work_unit: 1.0, msg_latency: 100.0, msg_per_byte: 0.5 };
+        let cost = CostModel {
+            per_work_unit: 1.0,
+            msg_latency: 100.0,
+            msg_per_byte: 0.5,
+        };
         let mut c = SimCluster::new(2, cost).unwrap();
         c.send_to_master(1, 200);
         assert_eq!(c.messages(), 1);
@@ -550,7 +579,10 @@ mod tests {
 
     #[test]
     fn invalid_retry_policy_rejected() {
-        let bad = RetryPolicy { max_attempts: 0, ..Default::default() };
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             SimCluster::with_faults(2, CostModel::default(), FaultPlan::none(), bad),
             Err(DistError::InvalidRetryPolicy(_))
@@ -560,8 +592,7 @@ mod tests {
     #[test]
     fn crash_loses_rank_tasks_and_freezes_clock() {
         let plan = FaultPlan::single_crash(PhaseId::TransitiveReduction, 1);
-        let mut c =
-            SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default()).unwrap();
+        let mut c = SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default()).unwrap();
         let out = c.run_phase_faulty(PhaseId::TransitiveReduction, &[(0, 10), (1, 20)]);
         assert_eq!(out.lost, vec![1]);
         assert_eq!(out.crashed, vec![1]);
@@ -584,7 +615,11 @@ mod tests {
         // drops, backoff base 50 doubling uncapped. Sender timeline:
         //   attempt 1 (100) + backoff 50 + attempt 2 (100) + backoff 100
         //   + attempt 3 (100) = 450.
-        let cost = CostModel { per_work_unit: 1.0, msg_latency: 100.0, msg_per_byte: 0.0 };
+        let cost = CostModel {
+            per_work_unit: 1.0,
+            msg_latency: 100.0,
+            msg_per_byte: 0.0,
+        };
         let plan = FaultPlan::message_drops(PhaseId::Traversal, 1, 2);
         let retry = RetryPolicy {
             max_attempts: 4,
@@ -606,7 +641,10 @@ mod tests {
     #[test]
     fn drop_exhaustion_reports_lost_send() {
         let plan = FaultPlan::message_drops(PhaseId::Traversal, 0, 99);
-        let retry = RetryPolicy { max_attempts: 3, ..Default::default() };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..Default::default()
+        };
         let mut c = SimCluster::with_faults(1, CostModel::default(), plan, retry).unwrap();
         let out = c.transmit_to_master(PhaseId::Traversal, 0, 8);
         assert_eq!(out, SendOutcome::Lost { attempts: 3 });
@@ -619,8 +657,7 @@ mod tests {
     fn retransmitted_bytes_counted_per_drop() {
         let plan = FaultPlan::message_drops(PhaseId::ErrorRemoval, 1, 1);
         let mut c =
-            SimCluster::with_faults(2, CostModel::default(), plan, RetryPolicy::default())
-                .unwrap();
+            SimCluster::with_faults(2, CostModel::default(), plan, RetryPolicy::default()).unwrap();
         let out = c.transmit_to_master(PhaseId::ErrorRemoval, 1, 100);
         assert_eq!(out, SendOutcome::Delivered { attempts: 2 });
         assert_eq!(c.fault_report().retransmitted_bytes, 100);
@@ -639,14 +676,20 @@ mod tests {
             rank: 1,
             kind: FaultKind::Straggle { factor: 16.0 },
         }]);
-        let retry = RetryPolicy { straggler_factor: 4.0, ..Default::default() };
+        let retry = RetryPolicy {
+            straggler_factor: 4.0,
+            ..Default::default()
+        };
         let mut c = SimCluster::with_faults(3, flat_cost(), plan, retry).unwrap();
-        let out =
-            c.run_phase_faulty(PhaseId::ErrorRemoval, &[(0, 10), (1, 10), (2, 10)]);
+        let out = c.run_phase_faulty(PhaseId::ErrorRemoval, &[(0, 10), (1, 10), (2, 10)]);
         assert_eq!(out.speculated, vec![1]);
         assert_eq!(c.fault_report().speculative_reexecutions, 1);
         assert_eq!(out.timing.makespan, 50.0);
-        assert_eq!(c.clock(1), 50.0, "the cancelled straggler stops at the backup's finish");
+        assert_eq!(
+            c.clock(1),
+            50.0,
+            "the cancelled straggler stops at the backup's finish"
+        );
     }
 
     #[test]
@@ -657,8 +700,7 @@ mod tests {
             rank: 1,
             kind: FaultKind::Straggle { factor: 2.0 },
         }]);
-        let mut c = SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default())
-            .unwrap();
+        let mut c = SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default()).unwrap();
         let out = c.run_phase_faulty(PhaseId::ErrorRemoval, &[(0, 10), (1, 10)]);
         assert!(out.speculated.is_empty());
         assert_eq!(out.timing.makespan, 20.0);
@@ -667,14 +709,17 @@ mod tests {
     #[test]
     fn delay_events_multiply_message_cost() {
         use crate::fault::{FaultEvent, FaultKind};
-        let cost = CostModel { per_work_unit: 1.0, msg_latency: 10.0, msg_per_byte: 0.0 };
+        let cost = CostModel {
+            per_work_unit: 1.0,
+            msg_latency: 10.0,
+            msg_per_byte: 0.0,
+        };
         let plan = FaultPlan::new(vec![FaultEvent {
             phase: PhaseId::Traversal,
             rank: 1,
             kind: FaultKind::MessageDelay { factor: 4.0 },
         }]);
-        let mut c =
-            SimCluster::with_faults(2, cost, plan, RetryPolicy::default()).unwrap();
+        let mut c = SimCluster::with_faults(2, cost, plan, RetryPolicy::default()).unwrap();
         c.transmit_to_master(PhaseId::Traversal, 1, 0);
         assert_eq!(c.clock(1), 40.0);
     }
@@ -682,9 +727,14 @@ mod tests {
     #[test]
     fn faultless_cluster_has_clean_report() {
         let mut c = SimCluster::new(4, CostModel::default()).unwrap();
-        c.run_phase_faulty(PhaseId::TransitiveReduction, &[(0, 5), (1, 5), (2, 5), (3, 5)]);
+        c.run_phase_faulty(
+            PhaseId::TransitiveReduction,
+            &[(0, 5), (1, 5), (2, 5), (3, 5)],
+        );
         for r in 0..4 {
-            assert!(c.transmit_to_master(PhaseId::TransitiveReduction, r, 16).delivered());
+            assert!(c
+                .transmit_to_master(PhaseId::TransitiveReduction, r, 16)
+                .delivered());
         }
         assert_eq!(*c.fault_report(), FaultReport::default());
     }

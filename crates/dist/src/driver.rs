@@ -11,7 +11,7 @@
 
 use crate::cluster::{CostModel, PhaseTiming, SimCluster};
 use crate::error::DistError;
-use crate::errors::{self, ErrorRemovalConfig};
+use crate::error_removal::{self, ErrorRemovalConfig};
 use crate::fault::{FaultPlan, FaultReport, PhaseId, RetryPolicy};
 use crate::recovery::execute_phase;
 use crate::simplify;
@@ -128,9 +128,14 @@ impl DistributedHybrid {
                 }
             })
             .collect();
-        let support: Vec<u64> =
-            hybrid.clusters.iter().map(|c| c.len() as u64).collect();
-        Ok(DistributedHybrid { graph: hybrid.directed.clone(), parts, k, contigs, support })
+        let support: Vec<u64> = hybrid.clusters.iter().map(|c| c.len() as u64).collect();
+        Ok(DistributedHybrid {
+            graph: hybrid.directed.clone(),
+            parts,
+            k,
+            contigs,
+            support,
+        })
     }
 
     /// Nodes of each partition.
@@ -215,8 +220,9 @@ impl DistributedHybrid {
             PhaseId::ErrorRemoval,
             self.k,
             |p, w| {
-                let mut rec = errors::worker_dead_ends(&self.graph, &lists[p], &config.errors, w);
-                rec.extend(errors::worker_bubbles(
+                let mut rec =
+                    error_removal::worker_dead_ends(&self.graph, &lists[p], &config.errors, w);
+                rec.extend(error_removal::worker_bubbles(
                     &self.graph,
                     &lists[p],
                     &self.support,
@@ -228,7 +234,7 @@ impl DistributedHybrid {
             |r| 4 * r.len() as u64,
         )?;
         let mut master_w = 0;
-        let error_nodes_removed = errors::master_remove(
+        let error_nodes_removed = error_removal::master_remove(
             &mut self.graph,
             run.results.into_iter().flatten(),
             &mut master_w,
@@ -261,8 +267,7 @@ impl DistributedHybrid {
         // Structural post-condition (previously a debug assertion that
         // vanished in release builds): the paths must cover every live node
         // exactly once, fault or no fault.
-        traverse::check_path_cover(&self.graph, &paths)
-            .map_err(DistError::PathCoverViolation)?;
+        traverse::check_path_cover(&self.graph, &paths)?;
 
         Ok(DistributedReport {
             phases,
@@ -295,7 +300,12 @@ mod tests {
             .map(|i| fc_seq::Base::from_code(((i * 2654435761usize) >> 7) as u8 & 3))
             .collect();
         let reads: Vec<Read> = (0..n_reads)
-            .map(|i| Read::new(format!("r{i}"), genome.slice(i * stride, i * stride + read_len)))
+            .map(|i| {
+                Read::new(
+                    format!("r{i}"),
+                    genome.slice(i * stride, i * stride + read_len),
+                )
+            })
             .collect();
         let store = ReadStore::from_reads(reads);
         let mut overlaps: Vec<Overlap> = (0..n_reads - 1)
@@ -320,7 +330,10 @@ mod tests {
         let g = OverlapGraph::build(&store, &overlaps);
         let ml = MultilevelSet::build(
             g.undirected.clone(),
-            &CoarsenConfig { min_nodes: 6, ..Default::default() },
+            &CoarsenConfig {
+                min_nodes: 6,
+                ..Default::default()
+            },
         );
         let hs = HybridSet::build(&ml, &g, &store, &LayoutConfig::default());
         (store, hs)
@@ -331,8 +344,11 @@ mod tests {
     }
 
     fn sorted_cover(report: &DistributedReport) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> =
-            report.paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
+        let mut nodes: Vec<NodeId> = report
+            .paths
+            .iter()
+            .flat_map(|p| p.nodes.iter().copied())
+            .collect();
         nodes.sort_unstable();
         nodes
     }
@@ -415,8 +431,7 @@ mod tests {
             .unwrap();
         for phase in PhaseId::ALL {
             for rank in 0..k {
-                let mut dh =
-                    DistributedHybrid::new(&hs, &store, parts.clone(), k).unwrap();
+                let mut dh = DistributedHybrid::new(&hs, &store, parts.clone(), k).unwrap();
                 let report = dh
                     .run_with_faults(
                         &DistributedConfig::default(),
@@ -426,7 +441,8 @@ mod tests {
                 traverse::check_path_cover(&dh.graph, &report.paths).unwrap();
                 // Not just the cover: the paths themselves are identical.
                 assert_eq!(
-                    report.paths, clean_report.paths,
+                    report.paths,
+                    clean_report.paths,
                     "crash of rank {rank} in {} changed the result",
                     phase.name()
                 );
@@ -470,7 +486,12 @@ mod tests {
                 FaultPlan::single_crash(PhaseId::ContainmentRemoval, 0),
             )
             .unwrap_err();
-        assert_eq!(err, DistError::NoSurvivors { phase: PhaseId::ContainmentRemoval });
+        assert_eq!(
+            err,
+            DistError::NoSurvivors {
+                phase: PhaseId::ContainmentRemoval
+            }
+        );
     }
 
     #[test]

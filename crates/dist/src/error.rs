@@ -32,6 +32,17 @@ pub enum DistError {
     },
     /// The retry policy is unusable (e.g. zero attempts).
     InvalidRetryPolicy(String),
+    /// The fault-rate table is unusable (probability outside `[0, 1]` or a
+    /// slowdown factor below 1).
+    InvalidFaultRates(String),
+    /// A partition's result never reached the master even after recovery —
+    /// the invariant "the recovery loop leaves no partition pending" broke.
+    LostPartition {
+        /// Phase in which the partition was lost.
+        phase: PhaseId,
+        /// The partition whose result is missing.
+        partition: usize,
+    },
     /// Traversal produced paths that do not cover the live graph exactly
     /// once — the pipeline's structural post-condition was violated.
     PathCoverViolation(String),
@@ -48,9 +59,21 @@ impl fmt::Display for DistError {
                 write!(f, "partition id {id} out of range for k = {k}")
             }
             DistError::NoSurvivors { phase } => {
-                write!(f, "all ranks lost during {}; nothing left to recover on", phase.name())
+                write!(
+                    f,
+                    "all ranks lost during {}; nothing left to recover on",
+                    phase.name()
+                )
             }
             DistError::InvalidRetryPolicy(m) => write!(f, "invalid retry policy: {m}"),
+            DistError::InvalidFaultRates(m) => write!(f, "invalid fault rates: {m}"),
+            DistError::LostPartition { phase, partition } => {
+                write!(
+                    f,
+                    "partition {partition} unrecovered after {}",
+                    phase.name()
+                )
+            }
             DistError::PathCoverViolation(m) => {
                 write!(f, "traversal post-condition violated: {m}")
             }
@@ -66,9 +89,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DistError::PartitionLengthMismatch { got: 3, expected: 5 };
+        let e = DistError::PartitionLengthMismatch {
+            got: 3,
+            expected: 5,
+        };
         assert_eq!(e.to_string(), "partition length 3 != hybrid node count 5");
-        let e = DistError::NoSurvivors { phase: PhaseId::ErrorRemoval };
+        let e = DistError::NoSurvivors {
+            phase: PhaseId::ErrorRemoval,
+        };
         assert!(e.to_string().contains("error_removal"));
         let e = DistError::PathCoverViolation("node 3 missing".into());
         assert!(e.to_string().contains("node 3 missing"));

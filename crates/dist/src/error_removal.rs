@@ -21,7 +21,10 @@ pub struct ErrorRemovalConfig {
 
 impl Default for ErrorRemovalConfig {
     fn default() -> ErrorRemovalConfig {
-        ErrorRemovalConfig { max_tip_len: 3, max_bubble_len: 6 }
+        ErrorRemovalConfig {
+            max_tip_len: 3,
+            max_bubble_len: 6,
+        }
     }
 }
 
@@ -125,9 +128,12 @@ fn alternative_depth(
     work: &mut u64,
 ) -> usize {
     let starts: Vec<NodeId> = match dir {
-        Direction::Forward => {
-            g.in_neighbors(junction).iter().copied().filter(|&u| u != via).collect()
-        }
+        Direction::Forward => g
+            .in_neighbors(junction)
+            .iter()
+            .copied()
+            .filter(|&u| u != via)
+            .collect(),
         Direction::Backward => g
             .out_edges(junction)
             .iter()
@@ -186,8 +192,7 @@ pub fn worker_bubbles(
             let mut cur = e.to;
             let mut steps = 0;
             // Walk while the chain is strictly unary (in-deg 1, out-deg 1).
-            while g.in_degree(cur) == 1 && g.out_degree(cur) == 1 && steps < config.max_bubble_len
-            {
+            while g.in_degree(cur) == 1 && g.out_degree(cur) == 1 && steps < config.max_bubble_len {
                 interior.push(cur);
                 cur = g.out_edges(cur)[0].to;
                 steps += 1;
@@ -221,6 +226,12 @@ pub fn worker_bubbles(
 
 /// Master-side removal of recorded error nodes. Returns how many were
 /// removed.
+///
+/// # Invariants
+///
+/// Each recorded node is removed at most once (records are deduplicated and
+/// already-removed nodes skipped); removal detaches the node's incident
+/// edges but never touches nodes outside the recorded set.
 pub fn master_remove(
     g: &mut DiGraph,
     recorded: impl IntoIterator<Item = NodeId>,
@@ -243,7 +254,12 @@ mod tests {
     use fc_graph::DiEdge;
 
     fn edge(to: NodeId) -> DiEdge {
-        DiEdge { to, len: 50, identity: 1.0, shift: 50 }
+        DiEdge {
+            to,
+            len: 50,
+            identity: 1.0,
+            shift: 50,
+        }
     }
 
     /// Backbone 0→1→2→3→4 with a one-node spur 5→2.
@@ -324,8 +340,13 @@ mod tests {
         let (mut g, support) = bubble_graph();
         let all: Vec<NodeId> = (0..5).collect();
         let mut work = 0;
-        let recorded =
-            worker_bubbles(&g, &all, &support, &ErrorRemovalConfig::default(), &mut work);
+        let recorded = worker_bubbles(
+            &g,
+            &all,
+            &support,
+            &ErrorRemovalConfig::default(),
+            &mut work,
+        );
         assert_eq!(recorded, vec![2]);
         master_remove(&mut g, recorded, &mut work);
         assert!(g.is_removed(2));
@@ -341,8 +362,13 @@ mod tests {
         g.add_edge(2, edge(4)); // different endpoints: a real fork
         let support = vec![1u64; 5];
         let mut work = 0;
-        let recorded =
-            worker_bubbles(&g, &[0], &support, &ErrorRemovalConfig::default(), &mut work);
+        let recorded = worker_bubbles(
+            &g,
+            &[0],
+            &support,
+            &ErrorRemovalConfig::default(),
+            &mut work,
+        );
         assert!(recorded.is_empty());
     }
 
@@ -366,8 +392,13 @@ mod tests {
         g.add_edge(prev, edge(17));
         let support = vec![1u64; 20];
         let mut work = 0;
-        let recorded =
-            worker_bubbles(&g, &[0], &support, &ErrorRemovalConfig::default(), &mut work);
+        let recorded = worker_bubbles(
+            &g,
+            &[0],
+            &support,
+            &ErrorRemovalConfig::default(),
+            &mut work,
+        );
         assert!(recorded.is_empty(), "oversized bubble popped: {recorded:?}");
     }
 }

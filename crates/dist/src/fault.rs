@@ -17,6 +17,7 @@
 //! cover as the fault-free run.
 
 use crate::cluster::CostModel;
+use crate::error::DistError;
 
 /// The four phases of the distributed pipeline (paper §V), in execution
 /// order. Fault events are keyed by phase so a schedule can target e.g. "the
@@ -126,12 +127,20 @@ impl FaultPlan {
 
     /// Convenience: a single rank crash at `(phase, rank)`.
     pub fn single_crash(phase: PhaseId, rank: usize) -> FaultPlan {
-        FaultPlan::new(vec![FaultEvent { phase, rank, kind: FaultKind::Crash }])
+        FaultPlan::new(vec![FaultEvent {
+            phase,
+            rank,
+            kind: FaultKind::Crash,
+        }])
     }
 
     /// Convenience: `count` consecutive message drops at `(phase, rank)`.
     pub fn message_drops(phase: PhaseId, rank: usize, count: u32) -> FaultPlan {
-        FaultPlan::new(vec![FaultEvent { phase, rank, kind: FaultKind::MessageDrop { count } }])
+        FaultPlan::new(vec![FaultEvent {
+            phase,
+            rank,
+            kind: FaultKind::MessageDrop { count },
+        }])
     }
 
     /// Generates a schedule by sampling every `(phase, rank)` cell with the
@@ -143,27 +152,37 @@ impl FaultPlan {
         for phase in PhaseId::ALL {
             for rank in 0..ranks {
                 if unit(&mut state) < rates.crash {
-                    events.push(FaultEvent { phase, rank, kind: FaultKind::Crash });
+                    events.push(FaultEvent {
+                        phase,
+                        rank,
+                        kind: FaultKind::Crash,
+                    });
                 }
                 if unit(&mut state) < rates.drop {
                     events.push(FaultEvent {
                         phase,
                         rank,
-                        kind: FaultKind::MessageDrop { count: rates.drop_repeats },
+                        kind: FaultKind::MessageDrop {
+                            count: rates.drop_repeats,
+                        },
                     });
                 }
                 if unit(&mut state) < rates.delay {
                     events.push(FaultEvent {
                         phase,
                         rank,
-                        kind: FaultKind::MessageDelay { factor: rates.delay_factor },
+                        kind: FaultKind::MessageDelay {
+                            factor: rates.delay_factor,
+                        },
                     });
                 }
                 if unit(&mut state) < rates.straggle {
                     events.push(FaultEvent {
                         phase,
                         rank,
-                        kind: FaultKind::Straggle { factor: rates.straggle_factor },
+                        kind: FaultKind::Straggle {
+                            factor: rates.straggle_factor,
+                        },
                     });
                 }
             }
@@ -269,7 +288,7 @@ impl Default for FaultRates {
 
 impl FaultRates {
     /// Checks all probabilities lie in `[0, 1]` and factors are ≥ 1.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DistError> {
         for (name, p) in [
             ("crash", self.crash),
             ("drop", self.drop),
@@ -277,11 +296,15 @@ impl FaultRates {
             ("straggle", self.straggle),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("{name} probability {p} outside [0, 1]"));
+                return Err(DistError::InvalidFaultRates(format!(
+                    "{name} probability {p} outside [0, 1]"
+                )));
             }
         }
         if self.delay_factor < 1.0 || self.straggle_factor < 1.0 {
-            return Err("delay/straggle factors must be >= 1".to_string());
+            return Err(DistError::InvalidFaultRates(
+                "delay/straggle factors must be >= 1".to_string(),
+            ));
         }
         Ok(())
     }
@@ -335,18 +358,19 @@ impl RetryPolicy {
     }
 
     /// Checks the policy is usable.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DistError> {
+        let invalid = |m: &str| DistError::InvalidRetryPolicy(m.to_string());
         if self.max_attempts == 0 {
-            return Err("max_attempts must be >= 1".to_string());
+            return Err(invalid("max_attempts must be >= 1"));
         }
         if self.backoff_base < 0.0 || self.backoff_cap < 0.0 {
-            return Err("backoff times must be non-negative".to_string());
+            return Err(invalid("backoff times must be non-negative"));
         }
         if self.timeout_factor <= 0.0 {
-            return Err("timeout_factor must be positive".to_string());
+            return Err(invalid("timeout_factor must be positive"));
         }
         if self.straggler_factor <= 1.0 {
-            return Err("straggler_factor must be > 1".to_string());
+            return Err(invalid("straggler_factor must be > 1"));
         }
         Ok(())
     }
@@ -391,7 +415,12 @@ mod tests {
 
     #[test]
     fn random_plans_are_deterministic_in_seed() {
-        let rates = FaultRates { crash: 0.3, drop: 0.3, straggle: 0.2, ..Default::default() };
+        let rates = FaultRates {
+            crash: 0.3,
+            drop: 0.3,
+            straggle: 0.2,
+            ..Default::default()
+        };
         let a = FaultPlan::random(7, 8, &rates);
         let b = FaultPlan::random(7, 8, &rates);
         assert_eq!(a, b);
@@ -407,7 +436,10 @@ mod tests {
 
     #[test]
     fn rate_one_hits_every_cell() {
-        let rates = FaultRates { crash: 1.0, ..Default::default() };
+        let rates = FaultRates {
+            crash: 1.0,
+            ..Default::default()
+        };
         let plan = FaultPlan::random(3, 4, &rates);
         for phase in PhaseId::ALL {
             for rank in 0..4 {
@@ -444,7 +476,11 @@ mod tests {
 
     #[test]
     fn backoff_doubles_and_caps() {
-        let p = RetryPolicy { backoff_base: 10.0, backoff_cap: 35.0, ..Default::default() };
+        let p = RetryPolicy {
+            backoff_base: 10.0,
+            backoff_cap: 35.0,
+            ..Default::default()
+        };
         assert_eq!(p.backoff_delay(1), 10.0);
         assert_eq!(p.backoff_delay(2), 20.0);
         assert_eq!(p.backoff_delay(3), 35.0); // capped (would be 40)
@@ -454,21 +490,44 @@ mod tests {
     #[test]
     fn policy_and_rates_validation() {
         assert!(RetryPolicy::default().validate().is_ok());
-        assert!(RetryPolicy { max_attempts: 0, ..Default::default() }.validate().is_err());
-        assert!(RetryPolicy { straggler_factor: 1.0, ..Default::default() }.validate().is_err());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            straggler_factor: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(FaultRates::default().validate().is_ok());
-        assert!(FaultRates { crash: 1.5, ..Default::default() }.validate().is_err());
-        assert!(FaultRates { delay_factor: 0.5, ..Default::default() }.validate().is_err());
+        assert!(FaultRates {
+            crash: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultRates {
+            delay_factor: 0.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn phase_names_are_stable() {
-        assert_eq!(PhaseId::ALL.map(PhaseId::name), [
-            "transitive_reduction",
-            "containment_removal",
-            "error_removal",
-            "traversal",
-        ]);
+        assert_eq!(
+            PhaseId::ALL.map(PhaseId::name),
+            [
+                "transitive_reduction",
+                "containment_removal",
+                "error_removal",
+                "traversal",
+            ]
+        );
         for (i, p) in PhaseId::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }

@@ -21,7 +21,8 @@
 //! * [`transitive`] — distributed transitive edge reduction (§V-A, Myers),
 //! * [`simplify`] — containment removal and false-positive edge removal
 //!   (§V-B),
-//! * [`errors`] — dead-end trimming and bubble popping (§V-C, Velvet-style),
+//! * [`error_removal`] — dead-end trimming and bubble popping (§V-C,
+//!   Velvet-style),
 //! * [`traverse`] — per-partition maximal-path extraction and master-side
 //!   sub-path joining (§V-D),
 //! * [`driver`] — the full distributed pipeline over a partitioned hybrid
@@ -32,13 +33,21 @@
 pub mod cluster;
 pub mod driver;
 pub mod error;
-pub mod errors;
+pub mod error_removal;
 pub mod fault;
 pub mod recovery;
 pub mod simplify;
 pub mod transitive;
 pub mod traverse;
 pub mod variants;
+
+/// Deprecated alias of [`error_removal`]. The module was renamed: `errors`
+/// collided (up to a plural suffix) with [`error`], the crate's error-type
+/// module, and the two were routinely confused in review.
+#[deprecated(since = "0.2.0", note = "renamed to `error_removal`")]
+pub mod errors {
+    pub use crate::error_removal::*;
+}
 
 pub use cluster::{CostModel, PhaseTiming, SimCluster};
 pub use driver::{DistributedConfig, DistributedHybrid, DistributedReport};

@@ -53,7 +53,13 @@ pub fn execute_phase<T>(
         return Err(DistError::NoSurvivors { phase });
     }
     let executor: Vec<usize> = (0..partitions)
-        .map(|p| if p < cluster.ranks() && cluster.is_alive(p) { p } else { adopters[p % adopters.len()] })
+        .map(|p| {
+            if p < cluster.ranks() && cluster.is_alive(p) {
+                p
+            } else {
+                adopters[p % adopters.len()]
+            }
+        })
         .collect();
 
     // Worker scans (the real algorithm), with per-partition work counters.
@@ -68,8 +74,11 @@ pub fn execute_phase<T>(
     // Charge the compute under the fault plan.
     cluster.barrier();
     let phase_start = cluster.now();
-    let tasks: Vec<(usize, u64)> =
-        executor.iter().copied().zip(works.iter().copied()).collect();
+    let tasks: Vec<(usize, u64)> = executor
+        .iter()
+        .copied()
+        .zip(works.iter().copied())
+        .collect();
     let outcome = cluster.run_phase_faulty(phase, &tasks);
     for &i in &outcome.lost {
         results[i] = None; // died with the rank's memory
@@ -79,16 +88,19 @@ pub fn execute_phase<T>(
     // whose retries are exhausted is presumed dead; everything it still
     // held is scheduled for recovery.
     for p in 0..partitions {
-        if results[p].is_none() {
+        let Some(result) = results[p].as_ref() else {
             continue;
-        }
+        };
+        let payload = payload_of(result);
         let sender = executor[p];
         if !cluster.is_alive(sender) {
             results[p] = None;
             continue;
         }
-        let payload = payload_of(results[p].as_ref().expect("checked above"));
-        if !cluster.transmit_to_master(phase, sender, payload).delivered() {
+        if !cluster
+            .transmit_to_master(phase, sender, payload)
+            .delivered()
+        {
             cluster.kill(sender);
             results[p] = None;
         }
@@ -104,10 +116,11 @@ pub fn execute_phase<T>(
         .iter()
         .map(|&w| w as f64 * cluster.cost().per_work_unit)
         .fold(0.0, f64::max);
-    let deadline =
-        phase_start + cluster.retry_policy().phase_timeout(max_task_time, cluster.cost());
-    let mut pending: Vec<usize> =
-        (0..partitions).filter(|&p| results[p].is_none()).collect();
+    let deadline = phase_start
+        + cluster
+            .retry_policy()
+            .phase_timeout(max_task_time, cluster.cost());
+    let mut pending: Vec<usize> = (0..partitions).filter(|&p| results[p].is_none()).collect();
     while let Some(p) = pending.first().copied() {
         pending.remove(0);
         let Some(survivor) = cluster.least_loaded_alive(None) else {
@@ -136,9 +149,22 @@ pub fn execute_phase<T>(
         }
     }
 
-    let results: Vec<T> =
-        results.into_iter().map(|r| r.expect("all partitions recovered")).collect();
-    Ok(PhaseExecution { results, timing: outcome.timing })
+    let mut gathered = Vec::with_capacity(results.len());
+    for (p, r) in results.into_iter().enumerate() {
+        match r {
+            Some(v) => gathered.push(v),
+            None => {
+                return Err(DistError::LostPartition {
+                    phase,
+                    partition: p,
+                })
+            }
+        }
+    }
+    Ok(PhaseExecution {
+        results: gathered,
+        timing: outcome.timing,
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +174,11 @@ mod tests {
     use crate::fault::{FaultPlan, RetryPolicy};
 
     fn flat_cost() -> CostModel {
-        CostModel { per_work_unit: 1.0, msg_latency: 0.0, msg_per_byte: 0.0 }
+        CostModel {
+            per_work_unit: 1.0,
+            msg_latency: 0.0,
+            msg_per_byte: 0.0,
+        }
     }
 
     /// The identity scan: each partition returns its own id and charges
@@ -161,8 +191,7 @@ mod tests {
     #[test]
     fn fault_free_phase_returns_all_results_in_order() {
         let mut c = SimCluster::new(4, flat_cost()).unwrap();
-        let run = execute_phase(&mut c, PhaseId::TransitiveReduction, 4, id_scan, |_| 8)
-            .unwrap();
+        let run = execute_phase(&mut c, PhaseId::TransitiveReduction, 4, id_scan, |_| 8).unwrap();
         assert_eq!(run.results, vec![0, 1, 2, 3]);
         assert_eq!(run.timing.tasks, 4);
         assert_eq!(*c.fault_report(), Default::default());
@@ -171,10 +200,8 @@ mod tests {
     #[test]
     fn crashed_partition_is_recovered_on_a_survivor() {
         let plan = FaultPlan::single_crash(PhaseId::TransitiveReduction, 2);
-        let mut c =
-            SimCluster::with_faults(4, flat_cost(), plan, RetryPolicy::default()).unwrap();
-        let run = execute_phase(&mut c, PhaseId::TransitiveReduction, 4, id_scan, |_| 8)
-            .unwrap();
+        let mut c = SimCluster::with_faults(4, flat_cost(), plan, RetryPolicy::default()).unwrap();
+        let run = execute_phase(&mut c, PhaseId::TransitiveReduction, 4, id_scan, |_| 8).unwrap();
         // The result set is complete and order-identical despite the crash.
         assert_eq!(run.results, vec![0, 1, 2, 3]);
         assert!(!c.is_alive(2));
@@ -185,14 +212,12 @@ mod tests {
     #[test]
     fn dead_rank_partitions_are_adopted_in_later_phases() {
         let plan = FaultPlan::single_crash(PhaseId::TransitiveReduction, 1);
-        let mut c =
-            SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default()).unwrap();
+        let mut c = SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default()).unwrap();
         execute_phase(&mut c, PhaseId::TransitiveReduction, 2, id_scan, |_| 8).unwrap();
         // Next phase: partition 1 has no owner, rank 0 adopts it up front —
         // no timeout, no crash recorded, still every result delivered.
         let crashes_before = c.fault_report().crashes;
-        let run =
-            execute_phase(&mut c, PhaseId::ContainmentRemoval, 2, id_scan, |_| 8).unwrap();
+        let run = execute_phase(&mut c, PhaseId::ContainmentRemoval, 2, id_scan, |_| 8).unwrap();
         assert_eq!(run.results, vec![0, 1]);
         assert_eq!(c.fault_report().crashes, crashes_before);
     }
@@ -200,11 +225,17 @@ mod tests {
     #[test]
     fn exhausted_retransmissions_presume_sender_dead_and_recover() {
         let plan = FaultPlan::message_drops(PhaseId::ErrorRemoval, 1, 99);
-        let retry = RetryPolicy { max_attempts: 3, ..Default::default() };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..Default::default()
+        };
         let mut c = SimCluster::with_faults(3, CostModel::default(), plan, retry).unwrap();
         let run = execute_phase(&mut c, PhaseId::ErrorRemoval, 3, id_scan, |_| 8).unwrap();
         assert_eq!(run.results, vec![0, 1, 2]);
-        assert!(!c.is_alive(1), "sender with exhausted retries is presumed dead");
+        assert!(
+            !c.is_alive(1),
+            "sender with exhausted retries is presumed dead"
+        );
         assert_eq!(c.fault_report().retries, 3);
         assert!(c.fault_report().degraded);
     }
@@ -212,9 +243,13 @@ mod tests {
     #[test]
     fn losing_every_rank_is_a_typed_error() {
         let plan = FaultPlan::single_crash(PhaseId::Traversal, 0);
-        let mut c =
-            SimCluster::with_faults(1, flat_cost(), plan, RetryPolicy::default()).unwrap();
+        let mut c = SimCluster::with_faults(1, flat_cost(), plan, RetryPolicy::default()).unwrap();
         let err = execute_phase(&mut c, PhaseId::Traversal, 1, id_scan, |_| 8).unwrap_err();
-        assert_eq!(err, DistError::NoSurvivors { phase: PhaseId::Traversal });
+        assert_eq!(
+            err,
+            DistError::NoSurvivors {
+                phase: PhaseId::Traversal
+            }
+        );
     }
 }

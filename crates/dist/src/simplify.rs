@@ -40,7 +40,7 @@ pub fn worker_scan(
         // incoming side: edge u -> v places v at +shift inside u.
         for &u in g.in_neighbors(v) {
             *work += 1;
-            let e = g.edge(u, v).expect("in-neighbor implies edge");
+            let Some(e) = g.edge(u, v) else { continue };
             let u_len = contigs[u as usize].len() as i64;
             if e.shift as i64 + v_len <= u_len {
                 // Verify the claim on actual sequence.
@@ -100,17 +100,28 @@ fn overlap_identity(
     len: usize,
     work: &mut u64,
 ) -> f64 {
-    let len = len.min(a.len().saturating_sub(a_from)).min(b.len().saturating_sub(b_from));
+    let len = len
+        .min(a.len().saturating_sub(a_from))
+        .min(b.len().saturating_sub(b_from));
     if len == 0 {
         return 0.0;
     }
     *work += len as u64;
-    let matches = (0..len).filter(|&i| a.get(a_from + i) == b.get(b_from + i)).count();
+    let matches = (0..len)
+        .filter(|&i| a.get(a_from + i) == b.get(b_from + i))
+        .count();
     matches as f64 / len as f64
 }
 
 /// Master-side application of recorded removals. Returns
 /// `(nodes removed, edges removed)`.
+///
+/// # Invariants
+///
+/// Removals are applied idempotently after deduplication: an edge or node
+/// recorded by several workers is removed (and counted) once, nodes already
+/// removed are skipped, and no other part of the graph is touched. `work`
+/// grows by exactly one unit per deduplicated record.
 pub fn master_apply(
     g: &mut DiGraph,
     drop_nodes: impl IntoIterator<Item = NodeId>,
@@ -157,7 +168,15 @@ mod tests {
         let inner = outer.slice(40, 160);
         let contigs = vec![outer, inner];
         let mut g = DiGraph::with_nodes(2);
-        g.add_edge(0, DiEdge { to: 1, len: 120, identity: 1.0, shift: 40 });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 120,
+                identity: 1.0,
+                shift: 40,
+            },
+        );
         let mut work = 0;
         let (nodes, edges) = worker_scan(&g, &[0, 1], &contigs, &mut work);
         assert_eq!(nodes, vec![1]);
@@ -174,7 +193,15 @@ mod tests {
         let contigs = vec![a, b];
         let mut g = DiGraph::with_nodes(2);
         // Claims only 30 bases of overlap (< 50): false positive.
-        g.add_edge(0, DiEdge { to: 1, len: 30, identity: 1.0, shift: 170 });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 30,
+                identity: 1.0,
+                shift: 170,
+            },
+        );
         let mut work = 0;
         let (nodes, edges) = worker_scan(&g, &[0, 1], &contigs, &mut work);
         assert!(nodes.is_empty());
@@ -191,7 +218,15 @@ mod tests {
         let b = genome.slice(80, 200);
         let contigs = vec![a, b];
         let mut g = DiGraph::with_nodes(2);
-        g.add_edge(0, DiEdge { to: 1, len: 60, identity: 1.0, shift: 80 });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 60,
+                identity: 1.0,
+                shift: 80,
+            },
+        );
         let mut work = 0;
         let (nodes, edges) = worker_scan(&g, &[0, 1], &contigs, &mut work);
         assert!(nodes.is_empty(), "unexpected node removals: {nodes:?}");
@@ -205,7 +240,15 @@ mod tests {
         let b = a.reverse_complement(); // very different content
         let contigs = vec![a, b];
         let mut g = DiGraph::with_nodes(2);
-        g.add_edge(0, DiEdge { to: 1, len: 100, identity: 1.0, shift: 100 });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 100,
+                identity: 1.0,
+                shift: 100,
+            },
+        );
         let mut work = 0;
         let (_, edges) = worker_scan(&g, &[0, 1], &contigs, &mut work);
         assert_eq!(edges, vec![(0, 1)]);

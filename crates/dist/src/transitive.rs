@@ -16,11 +16,7 @@ const SHIFT_TOLERANCE: i64 = 4;
 
 /// One worker's scan over its partition. Returns the recorded transitive
 /// edges and the work performed (edge pairs examined).
-pub fn worker_scan(
-    g: &DiGraph,
-    nodes: &[NodeId],
-    work: &mut u64,
-) -> Vec<(NodeId, NodeId)> {
+pub fn worker_scan(g: &DiGraph, nodes: &[NodeId], work: &mut u64) -> Vec<(NodeId, NodeId)> {
     let mut recorded = Vec::new();
     for &v in nodes {
         if g.is_removed(v) {
@@ -54,6 +50,12 @@ pub fn worker_scan(
 
 /// Master-side removal of the recorded edges (deduplicated). Returns the
 /// number of edges actually removed and adds the removal work to `work`.
+///
+/// # Invariants
+///
+/// Only the recorded edges are removed, each at most once no matter how many
+/// workers recorded it; nodes and all other edges stay untouched, so the
+/// graph remains a valid overlap DAG minus exactly the returned edge count.
 pub fn master_remove(
     g: &mut DiGraph,
     recorded: impl IntoIterator<Item = (NodeId, NodeId)>,
@@ -76,7 +78,12 @@ mod tests {
     use fc_graph::DiEdge;
 
     fn edge(to: NodeId, shift: u32, len: u32) -> DiEdge {
-        DiEdge { to, len, identity: 1.0, shift }
+        DiEdge {
+            to,
+            len,
+            identity: 1.0,
+            shift,
+        }
     }
 
     /// 0 → 1 → 2 with the transitive shortcut 0 → 2.

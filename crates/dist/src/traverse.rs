@@ -7,8 +7,13 @@
 //! master joins sub-paths across partition boundaries when the connecting
 //! edge is unambiguous on both sides.
 
+use crate::error::DistError;
 use fc_graph::{DiGraph, NodeId};
 use std::collections::HashMap;
+
+fn cover_violation(message: String) -> DistError {
+    DistError::PathCoverViolation(message)
+}
 
 /// An extracted path of hybrid nodes, ordered along the target sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,11 +24,21 @@ pub struct AssemblyPath {
 
 impl AssemblyPath {
     /// First node of the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path. Traversal never produces one — every path
+    /// starts from a live seed node — so constructing an `AssemblyPath`
+    /// with no nodes is a caller bug.
     pub fn left(&self) -> NodeId {
         *self.nodes.first().expect("paths are non-empty")
     }
 
     /// Last node of the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path; see [`AssemblyPath::left`].
     pub fn right(&self) -> NodeId {
         *self.nodes.last().expect("paths are non-empty")
     }
@@ -42,12 +57,7 @@ impl AssemblyPath {
 /// One worker's traversal of its partition. `parts[v]` gives every node's
 /// partition; `own` is this worker's partition id. Returns the sub-paths;
 /// every live node of the partition appears in exactly one.
-pub fn worker_paths(
-    g: &DiGraph,
-    parts: &[u32],
-    own: u32,
-    work: &mut u64,
-) -> Vec<AssemblyPath> {
+pub fn worker_paths(g: &DiGraph, parts: &[u32], own: u32, work: &mut u64) -> Vec<AssemblyPath> {
     let mut in_path = vec![false; g.node_count()];
     let mut paths = Vec::new();
     for v in 0..g.node_count() as NodeId {
@@ -65,10 +75,7 @@ pub fn worker_paths(
                 break;
             }
             let next = g.out_edges(tail)[0].to;
-            if g.in_degree(next) != 1
-                || parts[next as usize] != own
-                || in_path[next as usize]
-            {
+            if g.in_degree(next) != 1 || parts[next as usize] != own || in_path[next as usize] {
                 break;
             }
             nodes.push(next);
@@ -83,10 +90,7 @@ pub fn worker_paths(
                 break;
             }
             let prev = g.in_neighbors(head)[0];
-            if g.out_degree(prev) != 1
-                || parts[prev as usize] != own
-                || in_path[prev as usize]
-            {
+            if g.out_degree(prev) != 1 || parts[prev as usize] != own || in_path[prev as usize] {
                 break;
             }
             nodes.insert(0, prev);
@@ -102,14 +106,13 @@ pub fn worker_paths(
 /// the right endpoint of `p1` has a single out-edge, it points at the left
 /// endpoint of `p2`, and that endpoint has no other in-edges. Joins chain
 /// transitively.
-pub fn master_join(
-    g: &DiGraph,
-    sub_paths: Vec<AssemblyPath>,
-    work: &mut u64,
-) -> Vec<AssemblyPath> {
+pub fn master_join(g: &DiGraph, sub_paths: Vec<AssemblyPath>, work: &mut u64) -> Vec<AssemblyPath> {
     // Map each path's left endpoint to its index for O(1) successor lookup.
-    let left_of: HashMap<NodeId, usize> =
-        sub_paths.iter().enumerate().map(|(i, p)| (p.left(), i)).collect();
+    let left_of: HashMap<NodeId, usize> = sub_paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.left(), i))
+        .collect();
     let n = sub_paths.len();
     let mut successor: Vec<Option<usize>> = vec![None; n];
     let mut has_predecessor = vec![false; n];
@@ -172,27 +175,30 @@ pub fn master_join(
 /// Validates that `paths` cover every live node exactly once and that
 /// consecutive nodes are connected by edges — the structural contract of
 /// traversal. Used by tests and the driver's debug assertions.
-pub fn check_path_cover(g: &DiGraph, paths: &[AssemblyPath]) -> Result<(), String> {
+pub fn check_path_cover(g: &DiGraph, paths: &[AssemblyPath]) -> Result<(), DistError> {
     let mut seen = vec![false; g.node_count()];
     for path in paths {
         for w in path.nodes.windows(2) {
             if g.edge(w[0], w[1]).is_none() {
-                return Err(format!("path step {}->{} has no edge", w[0], w[1]));
+                return Err(cover_violation(format!(
+                    "path step {}->{} has no edge",
+                    w[0], w[1]
+                )));
             }
         }
         for &v in &path.nodes {
             if g.is_removed(v) {
-                return Err(format!("path contains removed node {v}"));
+                return Err(cover_violation(format!("path contains removed node {v}")));
             }
             if seen[v as usize] {
-                return Err(format!("node {v} appears in two paths"));
+                return Err(cover_violation(format!("node {v} appears in two paths")));
             }
             seen[v as usize] = true;
         }
     }
     for v in g.live_nodes() {
         if !seen[v as usize] {
-            return Err(format!("live node {v} not covered"));
+            return Err(cover_violation(format!("live node {v} not covered")));
         }
     }
     Ok(())
@@ -204,7 +210,12 @@ mod tests {
     use fc_graph::DiEdge;
 
     fn edge(to: NodeId) -> DiEdge {
-        DiEdge { to, len: 50, identity: 1.0, shift: 50 }
+        DiEdge {
+            to,
+            len: 50,
+            identity: 1.0,
+            shift: 50,
+        }
     }
 
     fn chain(n: usize) -> DiGraph {

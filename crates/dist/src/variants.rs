@@ -7,7 +7,7 @@
 //!
 //! A *variant site* is a bubble whose two branches both carry substantial
 //! read support — unlike an error bubble (one thin branch, removed by
-//! [`crate::errors`]), a balanced bubble is evidence of genuine sequence
+//! [`crate::error_removal`]), a balanced bubble is evidence of genuine sequence
 //! polymorphism (a strain variant in a metagenome, a heterozygous site in a
 //! diploid). Workers scan their own partitions for such bubbles and emit
 //! candidate records; the master deduplicates. The graph is *not* mutated:
@@ -32,7 +32,11 @@ pub struct VariantConfig {
 
 impl Default for VariantConfig {
     fn default() -> VariantConfig {
-        VariantConfig { max_branch_len: 6, min_branch_support: 2, min_support_ratio: 0.2 }
+        VariantConfig {
+            max_branch_len: 6,
+            min_branch_support: 2,
+            min_support_ratio: 0.2,
+        }
     }
 }
 
@@ -65,7 +69,12 @@ impl Variant {
 
     /// Canonical key for master-side deduplication.
     fn key(&self) -> (NodeId, NodeId, Vec<NodeId>, Vec<NodeId>) {
-        (self.opens_at, self.closes_at, self.major_branch.clone(), self.minor_branch.clone())
+        (
+            self.opens_at,
+            self.closes_at,
+            self.major_branch.clone(),
+            self.minor_branch.clone(),
+        )
     }
 }
 
@@ -186,10 +195,7 @@ pub fn worker_scan(
 
 /// Extracts the two allele sequences of a variant from per-node contigs
 /// (concatenated branch interiors; empty for a pure deletion branch).
-pub fn allele_sequences(
-    variant: &Variant,
-    contigs: &[DnaString],
-) -> (DnaString, DnaString) {
+pub fn allele_sequences(variant: &Variant, contigs: &[DnaString]) -> (DnaString, DnaString) {
     let concat = |branch: &[NodeId]| {
         let mut seq = DnaString::new();
         for &n in branch {
@@ -249,7 +255,12 @@ mod tests {
     use fc_graph::DiEdge;
 
     fn edge(to: NodeId) -> DiEdge {
-        DiEdge { to, len: 50, identity: 1.0, shift: 50 }
+        DiEdge {
+            to,
+            len: 50,
+            identity: 1.0,
+            shift: 50,
+        }
     }
 
     /// Balanced diamond: 0→{1,2}→3→4; both branches well supported.
@@ -297,7 +308,10 @@ mod tests {
             &VariantConfig::default(),
             &mut work,
         );
-        assert!(variants.is_empty(), "error bubble reported as variant: {variants:?}");
+        assert!(
+            variants.is_empty(),
+            "error bubble reported as variant: {variants:?}"
+        );
     }
 
     #[test]
@@ -321,9 +335,19 @@ mod tests {
         let (g, support) = balanced_bubble();
         let parts = vec![0u32, 1, 0, 1, 1];
         let mut cluster = SimCluster::new(2, CostModel::default()).unwrap();
-        let variants =
-            detect_variants(&g, &parts, 2, &support, &VariantConfig::default(), &mut cluster);
-        assert_eq!(variants.len(), 1, "cross-partition bubble must dedup: {variants:?}");
+        let variants = detect_variants(
+            &g,
+            &parts,
+            2,
+            &support,
+            &VariantConfig::default(),
+            &mut cluster,
+        );
+        assert_eq!(
+            variants.len(),
+            1,
+            "cross-partition bubble must dedup: {variants:?}"
+        );
         assert!(cluster.messages() >= 2);
     }
 
@@ -354,7 +378,14 @@ mod tests {
         let before_edges = g.edge_count();
         let mut cluster = SimCluster::new(1, CostModel::default()).unwrap();
         let parts = vec![0u32; 5];
-        detect_variants(&g, &parts, 1, &support, &VariantConfig::default(), &mut cluster);
+        detect_variants(
+            &g,
+            &parts,
+            1,
+            &support,
+            &VariantConfig::default(),
+            &mut cluster,
+        );
         assert_eq!(g.edge_count(), before_edges);
         assert_eq!(g.live_node_count(), 5);
     }

@@ -1,9 +1,10 @@
 //! Assembler configuration and error type.
 
-use fc_align::OverlapConfig;
+use fc_align::{AlignError, OverlapConfig};
 use fc_dist::{DistError, DistributedConfig, FaultRates};
-use fc_graph::{CoarsenConfig, LayoutConfig};
-use fc_seq::TrimConfig;
+use fc_graph::{CoarsenConfig, GraphError, LayoutConfig};
+use fc_partition::PartitionError;
+use fc_seq::{SeqError, TrimConfig};
 use std::fmt;
 
 /// Deterministic fault injection for the distributed stage. When set on
@@ -74,8 +75,8 @@ impl Default for FocusConfig {
 impl FocusConfig {
     /// Validates cross-stage parameter sanity.
     pub fn validate(&self) -> Result<(), FocusError> {
-        self.trim.validate().map_err(FocusError::Config)?;
-        self.overlap.validate().map_err(FocusError::Config)?;
+        self.trim.validate()?;
+        self.overlap.validate()?;
         if self.subsets == 0 {
             return Err(FocusError::Config("subsets must be > 0".to_string()));
         }
@@ -85,15 +86,9 @@ impl FocusConfig {
                 self.partitions
             )));
         }
-        self.dist
-            .retry
-            .validate()
-            .map_err(|m| FocusError::Config(format!("retry policy: {m}")))?;
+        self.dist.retry.validate()?;
         if let Some(fault) = &self.fault {
-            fault
-                .rates
-                .validate()
-                .map_err(|m| FocusError::Config(format!("fault rates: {m}")))?;
+            fault.rates.validate()?;
         }
         Ok(())
     }
@@ -114,6 +109,14 @@ pub enum FocusError {
     /// The input read set produced no usable data (e.g. everything trimmed
     /// away).
     EmptyInput,
+    /// Preprocessing or parsing failed in fc-seq.
+    Seq(SeqError),
+    /// Overlap-detection configuration or alignment failed in fc-align.
+    Align(AlignError),
+    /// A graph structural invariant was violated in fc-graph.
+    Graph(GraphError),
+    /// Partitioning failed in fc-partition.
+    Partition(PartitionError),
     /// The distributed stage failed with a typed error (unrecoverable
     /// cluster loss, invalid partition input, violated post-condition, …).
     Dist(DistError),
@@ -125,6 +128,10 @@ impl fmt::Display for FocusError {
             FocusError::Config(m) => write!(f, "invalid configuration: {m}"),
             FocusError::Stage { stage, message } => write!(f, "stage {stage} failed: {message}"),
             FocusError::EmptyInput => write!(f, "no usable reads after preprocessing"),
+            FocusError::Seq(e) => write!(f, "read preprocessing failed: {e}"),
+            FocusError::Align(e) => write!(f, "overlap detection failed: {e}"),
+            FocusError::Graph(e) => write!(f, "graph invariant violated: {e}"),
+            FocusError::Partition(e) => write!(f, "partitioning failed: {e}"),
             FocusError::Dist(e) => write!(f, "distributed stage failed: {e}"),
         }
     }
@@ -133,9 +140,37 @@ impl fmt::Display for FocusError {
 impl std::error::Error for FocusError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            FocusError::Seq(e) => Some(e),
+            FocusError::Align(e) => Some(e),
+            FocusError::Graph(e) => Some(e),
+            FocusError::Partition(e) => Some(e),
             FocusError::Dist(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SeqError> for FocusError {
+    fn from(e: SeqError) -> FocusError {
+        FocusError::Seq(e)
+    }
+}
+
+impl From<AlignError> for FocusError {
+    fn from(e: AlignError) -> FocusError {
+        FocusError::Align(e)
+    }
+}
+
+impl From<GraphError> for FocusError {
+    fn from(e: GraphError) -> FocusError {
+        FocusError::Graph(e)
+    }
+}
+
+impl From<PartitionError> for FocusError {
+    fn from(e: PartitionError) -> FocusError {
+        FocusError::Partition(e)
     }
 }
 
@@ -156,7 +191,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_partitions() {
-        let mut c = FocusConfig { partitions: 12, ..Default::default() };
+        let mut c = FocusConfig {
+            partitions: 12,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.partitions = 0;
         assert!(c.validate().is_err());
@@ -166,21 +204,39 @@ mod tests {
 
     #[test]
     fn rejects_zero_subsets() {
-        let c = FocusConfig { subsets: 0, ..Default::default() };
+        let c = FocusConfig {
+            subsets: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn rejects_invalid_fault_injection_and_retry_policy() {
         let mut c = FocusConfig {
-            fault: Some(FaultInjection { seed: 1, rates: FaultRates { crash: 1.5, ..Default::default() } }),
+            fault: Some(FaultInjection {
+                seed: 1,
+                rates: FaultRates {
+                    crash: 1.5,
+                    ..Default::default()
+                },
+            }),
             ..Default::default()
         };
-        assert!(matches!(c.validate(), Err(FocusError::Config(m)) if m.contains("fault rates")));
-        c.fault = Some(FaultInjection { seed: 1, rates: FaultRates::default() });
+        assert!(matches!(
+            c.validate(),
+            Err(FocusError::Dist(DistError::InvalidFaultRates(_)))
+        ));
+        c.fault = Some(FaultInjection {
+            seed: 1,
+            rates: FaultRates::default(),
+        });
         assert!(c.validate().is_ok());
         c.dist.retry.max_attempts = 0;
-        assert!(matches!(c.validate(), Err(FocusError::Config(m)) if m.contains("retry policy")));
+        assert!(matches!(
+            c.validate(),
+            Err(FocusError::Dist(DistError::InvalidRetryPolicy(_)))
+        ));
     }
 
     #[test]
@@ -192,8 +248,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = FocusError::Stage { stage: "alignment", message: "boom".to_string() };
+        let e = FocusError::Stage {
+            stage: "alignment",
+            message: "boom".to_string(),
+        };
         assert_eq!(e.to_string(), "stage alignment failed: boom");
-        assert!(FocusError::EmptyInput.to_string().contains("no usable reads"));
+        assert!(FocusError::EmptyInput
+            .to_string()
+            .contains("no usable reads"));
     }
 }

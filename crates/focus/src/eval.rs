@@ -13,6 +13,7 @@
 //! * **NGA-style N50** computed against the total reference size rather
 //!   than the assembly size, immune to inflated assemblies.
 
+use crate::config::FocusError;
 use fc_seq::DnaString;
 use std::collections::HashMap;
 
@@ -55,9 +56,11 @@ impl ReferenceEvaluation {
 pub fn evaluate(
     contigs: &[DnaString],
     references: &[DnaString],
-) -> Result<ReferenceEvaluation, String> {
+) -> Result<ReferenceEvaluation, FocusError> {
     if references.iter().all(|r| r.len() < EVAL_K) {
-        return Err(format!("no reference has length >= {EVAL_K}"));
+        return Err(FocusError::Config(format!(
+            "no reference has length >= {EVAL_K}"
+        )));
     }
     // k-mer -> reference index (first occurrence wins; shared conserved
     // islands attribute to one genome, which slightly under-counts others'
@@ -111,7 +114,13 @@ pub fn evaluate(
     let genome_fraction = covered
         .iter()
         .zip(&ref_kmer_counts)
-        .map(|(set, &n)| if n == 0 { 0.0 } else { (set.len() as f64 / n as f64).min(1.0) })
+        .map(|(set, &n)| {
+            if n == 0 {
+                0.0
+            } else {
+                (set.len() as f64 / n as f64).min(1.0)
+            }
+        })
         .collect();
 
     let total_ref_len: usize = references.iter().map(DnaString::len).sum();

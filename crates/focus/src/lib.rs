@@ -16,6 +16,6 @@ pub mod pipeline;
 pub mod stats;
 
 pub use config::{FaultInjection, FocusConfig, FocusError};
-pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};
+pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
 pub use stats::AssemblyStats;

@@ -64,20 +64,25 @@ impl FocusAssembler {
     /// Runs stages 1–5: preprocessing, parallel alignment, overlap graph,
     /// multilevel coarsening, hybrid-set construction.
     pub fn prepare(&self, reads: &[Read]) -> Result<Prepared, FocusError> {
-        let store = ReadStore::preprocess(reads, &self.config.trim)
-            .map_err(|m| FocusError::Stage { stage: "preprocess", message: m })?;
+        let store = ReadStore::preprocess(reads, &self.config.trim)?;
         if store.is_empty() {
             return Err(FocusError::EmptyInput);
         }
-        let overlapper = Overlapper::new(&store, self.config.overlap)
-            .map_err(|m| FocusError::Stage { stage: "alignment", message: m })?;
+        let overlapper = Overlapper::new(&store, self.config.overlap)?;
         let subsets = store.split_subsets(self.config.subsets);
         let (overlaps, pair_stats) = overlapper.overlap_all(&subsets);
 
         let graph = OverlapGraph::build(&store, &overlaps);
         let multilevel = MultilevelSet::build(graph.undirected.clone(), &self.config.coarsen);
         let hybrid = HybridSet::build(&multilevel, &graph, &store, &self.config.layout);
-        Ok(Prepared { store, overlaps, pair_stats, graph, multilevel, hybrid })
+        Ok(Prepared {
+            store,
+            overlaps,
+            pair_stats,
+            graph,
+            multilevel,
+            hybrid,
+        })
     }
 
     /// Runs stage 6 (partitioning + distributed trimming/traversal + contig
@@ -90,8 +95,7 @@ impl FocusAssembler {
         let partition = partition_graph_set(
             &prepared.hybrid.set,
             &PartitionConfig::new(k, self.config.partition_seed),
-        )
-        .map_err(|m| FocusError::Stage { stage: "partition", message: m })?;
+        )?;
 
         let parts = partition.finest().to_vec();
         let mut dh = if self.config.consensus {
@@ -105,16 +109,20 @@ impl FocusAssembler {
         };
         let report = dh.run_with_faults(&self.config.dist, plan)?;
 
-        let mut contigs: Vec<DnaString> = report
-            .paths
-            .iter()
-            .map(|p| path_contig(&dh, p))
-            .collect();
+        let mut contigs = Vec::with_capacity(report.paths.len());
+        for p in &report.paths {
+            contigs.push(path_contig(&dh, p)?);
+        }
         if self.config.dedup_rc {
             contigs = dedup_reverse_complements(contigs);
         }
         let stats = AssemblyStats::from_contigs(&contigs);
-        Ok(AssemblyResult { contigs, stats, partition, report })
+        Ok(AssemblyResult {
+            contigs,
+            stats,
+            partition,
+            report,
+        })
     }
 
     /// The full pipeline with the configured partition count.
@@ -126,17 +134,20 @@ impl FocusAssembler {
 
 /// Merges the contigs along a maximal path into one sequence using the
 /// hybrid edges' contig-level shifts (first-wins merging, as within
-/// clusters).
-fn path_contig(dh: &DistributedHybrid, path: &AssemblyPath) -> DnaString {
+/// clusters). A path step without a connecting edge means traversal's
+/// post-condition was violated upstream; it surfaces as a typed error
+/// rather than a panic.
+fn path_contig(dh: &DistributedHybrid, path: &AssemblyPath) -> Result<DnaString, FocusError> {
     let first: NodeId = path.nodes[0];
     let mut seq = dh.contig(first).clone();
     let mut covered_to = seq.len() as i64;
     let mut offset = 0i64;
     for w in path.nodes.windows(2) {
-        let edge = dh
-            .graph
-            .edge(w[0], w[1])
-            .expect("consecutive path nodes are connected");
+        let Some(edge) = dh.graph.edge(w[0], w[1]) else {
+            return Err(FocusError::Dist(fc_dist::DistError::PathCoverViolation(
+                format!("path step {}->{} has no edge", w[0], w[1]),
+            )));
+        };
         offset += edge.shift as i64;
         let next = dh.contig(w[1]);
         let from = (covered_to - offset).max(0);
@@ -145,7 +156,7 @@ fn path_contig(dh: &DistributedHybrid, path: &AssemblyPath) -> DnaString {
             covered_to = covered_to.max(offset + next.len() as i64);
         }
     }
-    seq
+    Ok(seq)
 }
 
 /// Keeps one representative per exact reverse-complement pair: a contig is
@@ -189,14 +200,20 @@ mod tests {
         let mut reads = Vec::new();
         let mut start = 0;
         while start + read_len <= genome.len() {
-            reads.push(Read::new(format!("r{start}"), genome.slice(start, start + read_len)));
+            reads.push(Read::new(
+                format!("r{start}"),
+                genome.slice(start, start + read_len),
+            ));
             start += stride;
         }
         reads
     }
 
     fn quick_config(k: usize) -> FocusConfig {
-        let mut c = FocusConfig { partitions: k, ..Default::default() };
+        let mut c = FocusConfig {
+            partitions: k,
+            ..Default::default()
+        };
         c.trim.min_read_len = 30;
         c.overlap.min_overlap_len = 40;
         c
@@ -226,9 +243,15 @@ mod tests {
         let g = genome(2000, 21);
         let reads = tiled_reads(&g, 100, 40);
         let mut config = quick_config(4);
-        let plain = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        let plain = FocusAssembler::new(config)
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
         config.dedup_rc = true;
-        let deduped = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        let deduped = FocusAssembler::new(config)
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
         assert!(deduped.stats.num_contigs <= plain.stats.num_contigs);
     }
 
@@ -257,33 +280,56 @@ mod tests {
         use fc_dist::FaultRates;
         let g = genome(2500, 11);
         let reads = tiled_reads(&g, 100, 50);
-        let clean = FocusAssembler::new(quick_config(4)).unwrap().assemble(&reads).unwrap();
+        let clean = FocusAssembler::new(quick_config(4))
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
         let mut config = quick_config(4);
         config.fault = Some(FaultInjection {
             seed: 42,
-            rates: FaultRates { crash: 0.2, drop: 0.3, ..Default::default() },
+            rates: FaultRates {
+                crash: 0.2,
+                drop: 0.3,
+                ..Default::default()
+            },
         });
-        let faulty = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        let faulty = FocusAssembler::new(config)
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
         let norm = |r: &AssemblyResult| {
             let mut v: Vec<String> = r.contigs.iter().map(|c| c.to_string()).collect();
             v.sort();
             v
         };
-        assert_eq!(norm(&clean), norm(&faulty), "faults must not change the assembly");
+        assert_eq!(
+            norm(&clean),
+            norm(&faulty),
+            "faults must not change the assembly"
+        );
         // Same seed ⇒ bit-identical fault report.
-        let again = FocusAssembler::new(config).unwrap().assemble(&reads).unwrap();
+        let again = FocusAssembler::new(config)
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
         assert_eq!(faulty.report.fault, again.report.fault);
     }
 
     #[test]
     fn empty_input_is_an_error() {
         let assembler = FocusAssembler::new(quick_config(2)).unwrap();
-        assert!(matches!(assembler.assemble(&[]), Err(FocusError::EmptyInput)));
+        assert!(matches!(
+            assembler.assemble(&[]),
+            Err(FocusError::EmptyInput)
+        ));
     }
 
     #[test]
     fn invalid_config_rejected_at_construction() {
-        let c = FocusConfig { partitions: 3, ..Default::default() };
+        let c = FocusConfig {
+            partitions: 3,
+            ..Default::default()
+        };
         assert!(FocusAssembler::new(c).is_err());
     }
 

@@ -24,9 +24,19 @@ impl AssemblyStats {
         let num_contigs = lengths.len();
         let total_bases: usize = lengths.iter().sum();
         let max_contig = lengths.iter().copied().max().unwrap_or(0);
-        let mean_len = if num_contigs == 0 { 0.0 } else { total_bases as f64 / num_contigs as f64 };
+        let mean_len = if num_contigs == 0 {
+            0.0
+        } else {
+            total_bases as f64 / num_contigs as f64
+        };
         let n50 = n50(lengths);
-        AssemblyStats { n50, max_contig, num_contigs, total_bases, mean_len }
+        AssemblyStats {
+            n50,
+            max_contig,
+            num_contigs,
+            total_bases,
+            mean_len,
+        }
     }
 
     /// Computes statistics from contig sequences.
@@ -104,8 +114,7 @@ mod tests {
 
     #[test]
     fn stats_from_contigs() {
-        let contigs: Vec<DnaString> =
-            vec!["ACGT".parse().unwrap(), "ACGTACGT".parse().unwrap()];
+        let contigs: Vec<DnaString> = vec!["ACGT".parse().unwrap(), "ACGTACGT".parse().unwrap()];
         let s = AssemblyStats::from_contigs(&contigs);
         assert_eq!(s.num_contigs, 2);
         assert_eq!(s.total_bases, 12);

@@ -36,7 +36,12 @@ impl OverlapGraph {
                     let (from, to) = (o.a.0, o.b.0);
                     directed.add_edge(
                         from,
-                        DiEdge { to, len: o.len, identity: o.identity, shift: o.shift },
+                        DiEdge {
+                            to,
+                            len: o.len,
+                            identity: o.identity,
+                            shift: o.shift,
+                        },
                     );
                 }
                 OverlapKind::ContainsB => containments.push((o.a.0, o.b.0)),
@@ -53,7 +58,11 @@ impl OverlapGraph {
                 }
             }
         }
-        OverlapGraph { undirected, directed, containments }
+        OverlapGraph {
+            undirected,
+            directed,
+            containments,
+        }
     }
 
     /// Node count (= store read count).

@@ -24,7 +24,12 @@ pub struct CoarsenConfig {
 
 impl Default for CoarsenConfig {
     fn default() -> CoarsenConfig {
-        CoarsenConfig { min_nodes: 64, max_levels: 10, stagnation_ratio: 0.95, seed: 0xF0C5 }
+        CoarsenConfig {
+            min_nodes: 64,
+            max_levels: 10,
+            stagnation_ratio: 0.95,
+            seed: 0xF0C5,
+        }
     }
 }
 
@@ -42,22 +47,25 @@ impl MultilevelSet {
         let mut levels = vec![g0];
         let mut maps = Vec::new();
         for round in 0..config.max_levels {
-            let current = levels.last().expect("at least G0");
+            let Some(current) = levels.last() else { break };
             if current.node_count() <= config.min_nodes {
                 break;
             }
-            let matching =
-                heavy_edge_matching(current, config.seed.wrapping_add(round as u64));
+            let matching = heavy_edge_matching(current, config.seed.wrapping_add(round as u64));
             let (coarse, map) = contract(current, &matching);
-            if (coarse.node_count() as f64)
-                > config.stagnation_ratio * current.node_count() as f64
+            if (coarse.node_count() as f64) > config.stagnation_ratio * current.node_count() as f64
             {
                 break;
             }
             levels.push(coarse);
             maps.push(map);
         }
-        MultilevelSet { set: GraphSet { levels, fine_to_coarse: maps } }
+        MultilevelSet {
+            set: GraphSet {
+                levels,
+                fine_to_coarse: maps,
+            },
+        }
     }
 
     /// Number of levels (n + 1 for `{G0 … Gn}`).
@@ -171,7 +179,10 @@ mod tests {
             let m = mate[v as usize];
             assert_eq!(mate[m as usize], v, "matching not symmetric at {v}");
             if m != v {
-                assert!(g.edge_weight(v, m).is_some(), "matched non-neighbors {v},{m}");
+                assert!(
+                    g.edge_weight(v, m).is_some(),
+                    "matched non-neighbors {v},{m}"
+                );
             }
         }
     }
@@ -228,7 +239,13 @@ mod tests {
     #[test]
     fn multilevel_set_invariants_hold() {
         let g = path(200);
-        let set = MultilevelSet::build(g, &CoarsenConfig { min_nodes: 10, ..Default::default() });
+        let set = MultilevelSet::build(
+            g,
+            &CoarsenConfig {
+                min_nodes: 10,
+                ..Default::default()
+            },
+        );
         assert!(set.level_count() > 2, "expected several levels");
         set.set.check_invariants().unwrap();
         // Strictly decreasing node counts.
@@ -244,7 +261,10 @@ mod tests {
         assert_eq!(set.level_count(), 1, "edgeless graph must not coarsen");
 
         let g = path(1000);
-        let config = CoarsenConfig { min_nodes: range_min(), ..Default::default() };
+        let config = CoarsenConfig {
+            min_nodes: range_min(),
+            ..Default::default()
+        };
         let set = MultilevelSet::build(g, &config);
         assert!(set.set.coarsest().node_count() <= 1000);
         assert!(set.level_count() <= config.max_levels + 1);
@@ -271,7 +291,10 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_graph() -> impl Strategy<Value = LevelGraph> {
-        (2usize..40, proptest::collection::vec((0usize..40, 0usize..40, 1u64..100), 0..120))
+        (
+            2usize..40,
+            proptest::collection::vec((0usize..40, 0usize..40, 1u64..100), 0..120),
+        )
             .prop_map(|(n, raw_edges)| {
                 let mut g = LevelGraph::with_nodes(n);
                 for (u, v, w) in raw_edges {
@@ -305,7 +328,7 @@ mod proptests {
             let mate = heavy_edge_matching(&g, seed);
             let (coarse, map) = contract(&g, &mate);
             prop_assert_eq!(coarse.total_node_weight(), g.total_node_weight());
-            coarse.check_invariants().map_err(TestCaseError::fail)?;
+            coarse.check_invariants().map_err(|e| TestCaseError::fail(e.to_string()))?;
             // Edge weight conservation: coarse edges carry exactly the
             // weight of fine edges whose endpoints map apart.
             let crossing: u64 = g

@@ -1,5 +1,6 @@
 //! Directed overlap graphs for assembly traversal.
 
+use crate::error::GraphError;
 use crate::level::NodeId;
 
 /// A directed overlap edge: the suffix of the source aligns to the prefix of
@@ -29,7 +30,11 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn with_nodes(n: usize) -> DiGraph {
-        DiGraph { out: vec![Vec::new(); n], inc: vec![Vec::new(); n], removed_nodes: vec![false; n] }
+        DiGraph {
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+            removed_nodes: vec![false; n],
+        }
     }
 
     /// Number of nodes ever created (including removed ones).
@@ -131,21 +136,30 @@ impl DiGraph {
     }
 
     /// Checks out/in adjacency consistency.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
         for (v, edges) in self.out.iter().enumerate() {
             for e in edges {
                 if !self.inc[e.to as usize].contains(&(v as NodeId)) {
-                    return Err(format!("missing in-edge record {v}->{}", e.to));
+                    return Err(GraphError::invariant(
+                        "DiGraph",
+                        format!("missing in-edge record {v}->{}", e.to),
+                    ));
                 }
                 if self.removed_nodes[v] || self.removed_nodes[e.to as usize] {
-                    return Err(format!("edge touches removed node: {v}->{}", e.to));
+                    return Err(GraphError::invariant(
+                        "DiGraph",
+                        format!("edge touches removed node: {v}->{}", e.to),
+                    ));
                 }
             }
         }
         for (v, sources) in self.inc.iter().enumerate() {
             for &s in sources {
                 if !self.out[s as usize].iter().any(|e| e.to as usize == v) {
-                    return Err(format!("missing out-edge record {s}->{v}"));
+                    return Err(GraphError::invariant(
+                        "DiGraph",
+                        format!("missing out-edge record {s}->{v}"),
+                    ));
                 }
             }
         }
@@ -178,7 +192,12 @@ mod tests {
     use super::*;
 
     fn edge(to: NodeId, len: u32) -> DiEdge {
-        DiEdge { to, len, identity: 1.0, shift: 10 }
+        DiEdge {
+            to,
+            len,
+            identity: 1.0,
+            shift: 10,
+        }
     }
 
     fn path_graph() -> DiGraph {

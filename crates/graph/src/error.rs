@@ -1,0 +1,37 @@
+//! Error type for graph structural checks.
+
+use std::fmt;
+
+/// Errors produced by graph invariant checks (`check_invariants`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A structural invariant of a graph or level hierarchy failed.
+    Invariant {
+        /// Which structure failed (`DiGraph`, `LevelGraph`, `GraphSet`).
+        structure: &'static str,
+        /// Description of the violated invariant.
+        message: String,
+    },
+}
+
+impl GraphError {
+    /// Convenience constructor for an invariant failure.
+    pub fn invariant(structure: &'static str, message: impl Into<String>) -> GraphError {
+        GraphError::Invariant {
+            structure,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Invariant { structure, message } => {
+                write!(f, "{structure} invariant violated: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -38,7 +38,8 @@ pub fn level_graph_to_dot(g: &LevelGraph, parts: Option<&[u32]>) -> String {
 /// Renders a directed overlap/hybrid graph as DOT. Removed nodes are
 /// omitted; edge labels show overlap length and shift.
 pub fn digraph_to_dot(g: &DiGraph, parts: Option<&[u32]>) -> String {
-    let mut out = String::from("digraph overlap {\n  rankdir=LR;\n  node [shape=box, style=filled];\n");
+    let mut out =
+        String::from("digraph overlap {\n  rankdir=LR;\n  node [shape=box, style=filled];\n");
     for v in g.live_nodes() {
         let color = node_color(parts, v);
         let _ = writeln!(out, "  n{v} [label=\"{v}\", fillcolor=\"{color}\"];");
@@ -85,8 +86,24 @@ mod tests {
     #[test]
     fn digraph_dot_omits_removed_nodes() {
         let mut g = DiGraph::with_nodes(3);
-        g.add_edge(0, DiEdge { to: 1, len: 50, identity: 1.0, shift: 40 });
-        g.add_edge(1, DiEdge { to: 2, len: 60, identity: 1.0, shift: 30 });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 50,
+                identity: 1.0,
+                shift: 40,
+            },
+        );
+        g.add_edge(
+            1,
+            DiEdge {
+                to: 2,
+                len: 60,
+                identity: 1.0,
+                shift: 30,
+            },
+        );
         g.remove_node(2);
         let dot = digraph_to_dot(&g, None);
         assert!(dot.contains("n0 -> n1"));
@@ -111,10 +128,7 @@ mod tests {
 /// as a `<n>M` CIGAR. All segments are emitted on the `+` strand: the
 /// assembler's strand-augmented read set made orientation explicit at the
 /// node level.
-pub fn digraph_to_gfa(
-    g: &DiGraph,
-    segment: impl Fn(NodeId) -> Option<String>,
-) -> String {
+pub fn digraph_to_gfa(g: &DiGraph, segment: impl Fn(NodeId) -> Option<String>) -> String {
     let mut out = String::from("H\tVN:Z:1.0\n");
     for v in g.live_nodes() {
         match segment(v) {
@@ -142,9 +156,31 @@ mod gfa_tests {
     #[test]
     fn gfa_has_header_segments_and_links() {
         let mut g = DiGraph::with_nodes(3);
-        g.add_edge(0, DiEdge { to: 1, len: 55, identity: 1.0, shift: 45 });
-        g.add_edge(1, DiEdge { to: 2, len: 60, identity: 1.0, shift: 40 });
-        let gfa = digraph_to_gfa(&g, |v| if v == 0 { Some("ACGT".to_string()) } else { None });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 55,
+                identity: 1.0,
+                shift: 45,
+            },
+        );
+        g.add_edge(
+            1,
+            DiEdge {
+                to: 2,
+                len: 60,
+                identity: 1.0,
+                shift: 40,
+            },
+        );
+        let gfa = digraph_to_gfa(&g, |v| {
+            if v == 0 {
+                Some("ACGT".to_string())
+            } else {
+                None
+            }
+        });
         let lines: Vec<&str> = gfa.lines().collect();
         assert_eq!(lines[0], "H\tVN:Z:1.0");
         assert!(lines.contains(&"S\t0\tACGT\tLN:i:4"));
@@ -156,7 +192,15 @@ mod gfa_tests {
     #[test]
     fn gfa_omits_removed_nodes() {
         let mut g = DiGraph::with_nodes(2);
-        g.add_edge(0, DiEdge { to: 1, len: 50, identity: 1.0, shift: 50 });
+        g.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 50,
+                identity: 1.0,
+                shift: 50,
+            },
+        );
         g.remove_node(1);
         let gfa = digraph_to_gfa(&g, |_| None);
         assert!(!gfa.contains("S\t1"));

@@ -70,8 +70,10 @@ impl HybridSet {
         let mut reps: Vec<Representative> = Vec::new();
         let mut clusters: Vec<Vec<NodeId>> = Vec::new();
         let mut layouts: Vec<ClusterLayout> = Vec::new();
-        let mut stack: Vec<(usize, NodeId)> =
-            (0..coarsest_nodes as NodeId).rev().map(|v| (n_levels - 1, v)).collect();
+        let mut stack: Vec<(usize, NodeId)> = (0..coarsest_nodes as NodeId)
+            .rev()
+            .map(|v| (n_levels - 1, v))
+            .collect();
         while let Some((level, node)) = stack.pop() {
             let cluster = expand_to_level0(&children, level, node);
             match layout_cluster(&cluster, &g0.directed, &containments, store, config) {
@@ -94,16 +96,22 @@ impl HybridSet {
         let mut rep_of_node = vec![u32::MAX; n0];
         for (ri, cluster) in clusters.iter().enumerate() {
             for &v in cluster {
-                debug_assert_eq!(rep_of_node[v as usize], u32::MAX, "clusters must be disjoint");
+                debug_assert_eq!(
+                    rep_of_node[v as usize],
+                    u32::MAX,
+                    "clusters must be disjoint"
+                );
                 rep_of_node[v as usize] = ri as u32;
             }
         }
-        debug_assert!(rep_of_node.iter().all(|&r| r != u32::MAX), "clusters must cover G0");
+        debug_assert!(
+            rep_of_node.iter().all(|&r| r != u32::MAX),
+            "clusters must cover G0"
+        );
 
         // --- Hybrid G'0: contract the undirected G0. ---
-        let mut g0h = LevelGraph::with_node_weights(
-            clusters.iter().map(|c| c.len() as u64).collect(),
-        );
+        let mut g0h =
+            LevelGraph::with_node_weights(clusters.iter().map(|c| c.len() as u64).collect());
         let mut acc: HashMap<(NodeId, NodeId), u64> = HashMap::new();
         for (u, v, w) in g0.undirected.edges() {
             let (ru, rv) = (rep_of_node[u as usize], rep_of_node[v as usize]);
@@ -146,8 +154,7 @@ impl HybridSet {
                 }
                 // Contig-level shift: where contig(rv) starts relative to
                 // contig(ru).
-                let shift =
-                    read_offset[u as usize] + e.shift as i64 - read_offset[e.to as usize];
+                let shift = read_offset[u as usize] + e.shift as i64 - read_offset[e.to as usize];
                 let a_len = contig_lens[ru as usize] as i64;
                 if shift <= 0 || shift >= a_len {
                     continue; // not a proper contig dovetail
@@ -155,7 +162,12 @@ impl HybridSet {
                 let overlap = (a_len - shift).min(contig_lens[rv as usize] as i64) as u32;
                 directed.add_edge(
                     ru,
-                    DiEdge { to: rv, len: overlap, identity: e.identity, shift: shift as u32 },
+                    DiEdge {
+                        to: rv,
+                        len: overlap,
+                        identity: e.identity,
+                        shift: shift as u32,
+                    },
                 );
             }
         }
@@ -217,7 +229,10 @@ impl HybridSet {
             clusters,
             layouts,
             rep_of_node,
-            set: GraphSet { levels, fine_to_coarse: maps },
+            set: GraphSet {
+                levels,
+                fine_to_coarse: maps,
+            },
             directed,
             contig_lens,
         }
@@ -266,11 +281,7 @@ fn children_lists(set: &GraphSet) -> Vec<Vec<Vec<NodeId>>> {
 }
 
 /// All level-0 descendants of `node` at `level`.
-fn expand_to_level0(
-    children: &[Vec<Vec<NodeId>>],
-    level: usize,
-    node: NodeId,
-) -> Vec<NodeId> {
+fn expand_to_level0(children: &[Vec<Vec<NodeId>>], level: usize, node: NodeId) -> Vec<NodeId> {
     if level == 0 {
         return vec![node];
     }
@@ -305,7 +316,12 @@ mod tests {
             .map(|i| fc_seq::Base::from_code(((i * 2654435761usize) >> 7) as u8 & 3))
             .collect();
         let reads: Vec<Read> = (0..n_reads)
-            .map(|i| Read::new(format!("r{i}"), genome.slice(i * stride, i * stride + read_len)))
+            .map(|i| {
+                Read::new(
+                    format!("r{i}"),
+                    genome.slice(i * stride, i * stride + read_len),
+                )
+            })
             .collect();
         let store = ReadStore::from_reads(reads);
         let overlaps: Vec<Overlap> = (0..n_reads - 1)
@@ -326,7 +342,10 @@ mod tests {
         let (store, g) = linear_case(n_reads);
         let ml = MultilevelSet::build(
             g.undirected.clone(),
-            &CoarsenConfig { min_nodes: 4, ..Default::default() },
+            &CoarsenConfig {
+                min_nodes: 4,
+                ..Default::default()
+            },
         );
         let hs = HybridSet::build(&ml, &g, &store, &LayoutConfig::default());
         (store, g, ml, hs)
@@ -379,7 +398,10 @@ mod tests {
         let total: u64 = hs.contig_lens.iter().map(|&l| l as u64).sum();
         assert!(total as usize >= 32 * 50 + 50, "contigs too short: {total}");
         for v in 0..hs.node_count() as NodeId {
-            assert_eq!(hs.contig(v, &store).len(), hs.contig_lens[v as usize] as usize);
+            assert_eq!(
+                hs.contig(v, &store).len(),
+                hs.contig_lens[v as usize] as usize
+            );
         }
     }
 
@@ -417,14 +439,23 @@ mod tests {
         // Inconsistent extra edge: claims read 0 overlaps read 20.
         g.directed.add_edge(
             0,
-            crate::digraph::DiEdge { to: 20, len: 50, identity: 0.95, shift: 50 },
+            crate::digraph::DiEdge {
+                to: 20,
+                len: 50,
+                identity: 0.95,
+                shift: 50,
+            },
         );
         g.undirected.add_edge(0, 20, 50);
         // Coarsen all the way down to one node so the conflated pair is
         // guaranteed to share a coarse cluster.
         let ml = MultilevelSet::build(
             g.undirected.clone(),
-            &CoarsenConfig { min_nodes: 1, max_levels: 16, ..Default::default() },
+            &CoarsenConfig {
+                min_nodes: 1,
+                max_levels: 16,
+                ..Default::default()
+            },
         );
         let hs = HybridSet::build(&ml, &g, &store, &LayoutConfig::default());
         let mut covered = vec![false; store.len()];

@@ -46,7 +46,11 @@ pub struct LayoutConfig {
 
 impl Default for LayoutConfig {
     fn default() -> LayoutConfig {
-        LayoutConfig { offset_tolerance: 4, min_unlinked_overlap: 95, max_unlinked_pairs: 0 }
+        LayoutConfig {
+            offset_tolerance: 4,
+            min_unlinked_overlap: 95,
+            max_unlinked_pairs: 0,
+        }
     }
 }
 
@@ -145,7 +149,9 @@ pub fn layout_cluster(
         return None;
     }
     if nodes.len() == 1 {
-        return Some(ClusterLayout { order: vec![(nodes[0], 0)] });
+        return Some(ClusterLayout {
+            order: vec![(nodes[0], 0)],
+        });
     }
     let in_cluster: HashMap<NodeId, ()> = nodes.iter().map(|&v| (v, ())).collect();
     let mut offset: HashMap<NodeId, i64> = HashMap::with_capacity(nodes.len());
@@ -177,7 +183,8 @@ pub fn layout_cluster(
             if !in_cluster.contains_key(&u) {
                 continue;
             }
-            let shift = g.edge(u, v).expect("in-neighbor implies edge").shift as i64;
+            let Some(edge) = g.edge(u, v) else { continue };
+            let shift = edge.shift as i64;
             let proposed = v_off - shift;
             match offset.get(&u) {
                 Some(&existing) => {
@@ -259,7 +266,10 @@ mod tests {
         let mut reads = Vec::new();
         let mut start = 0;
         while start + read_len <= genome.len() {
-            reads.push(Read::new(format!("r{start}"), genome.slice(start, start + read_len)));
+            reads.push(Read::new(
+                format!("r{start}"),
+                genome.slice(start, start + read_len),
+            ));
             start += stride;
         }
         let n = reads.len();
@@ -291,8 +301,14 @@ mod tests {
         let g = genome(300);
         let (store, di) = tiling(&g, 100, 50);
         let nodes: Vec<NodeId> = (0..store.len() as NodeId).collect();
-        let layout = layout_cluster(&nodes, &di, &HashMap::new(), &store, &LayoutConfig::default())
-            .expect("tiling must be contiguous");
+        let layout = layout_cluster(
+            &nodes,
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default(),
+        )
+        .expect("tiling must be contiguous");
         assert_eq!(layout.len(), store.len());
         let contig = layout.contig_sequence(&store);
         // Tiles cover positions 0..(last_start + 100).
@@ -304,7 +320,8 @@ mod tests {
     fn single_node_cluster_is_trivially_contiguous() {
         let g = genome(120);
         let (store, di) = tiling(&g, 100, 10);
-        let layout = layout_cluster(&[1], &di, &HashMap::new(), &store, &LayoutConfig::default()).unwrap();
+        let layout =
+            layout_cluster(&[1], &di, &HashMap::new(), &store, &LayoutConfig::default()).unwrap();
         assert_eq!(layout.order, vec![(1, 0)]);
         assert_eq!(layout.contig_sequence(&store), store.get(ReadId(1)).seq);
     }
@@ -314,7 +331,14 @@ mod tests {
         let g = genome(500);
         let (store, di) = tiling(&g, 100, 50);
         // Nodes 0 and 4 are not connected within the cluster {0, 4}.
-        assert!(layout_cluster(&[0, 4], &di, &HashMap::new(), &store, &LayoutConfig::default()).is_none());
+        assert!(layout_cluster(
+            &[0, 4],
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -324,8 +348,23 @@ mod tests {
         // Connect 0 -> 4 with a bogus long-range edge (shift 300 creates a
         // consistent offset but a coverage gap between read 0 end (100) and
         // read 4 start (300)).
-        di.add_edge(0, DiEdge { to: 4, len: 10, identity: 1.0, shift: 300 });
-        assert!(layout_cluster(&[0, 4], &di, &HashMap::new(), &store, &LayoutConfig::default()).is_none());
+        di.add_edge(
+            0,
+            DiEdge {
+                to: 4,
+                len: 10,
+                identity: 1.0,
+                shift: 300,
+            },
+        );
+        assert!(layout_cluster(
+            &[0, 4],
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -334,8 +373,23 @@ mod tests {
         let (store, mut di) = tiling(&g, 100, 50);
         // A conflicting edge claims node 2 is only 10 bases right of node 0,
         // but via node 1 it is 100 bases right.
-        di.add_edge(0, DiEdge { to: 2, len: 90, identity: 1.0, shift: 10 });
-        assert!(layout_cluster(&[0, 1, 2], &di, &HashMap::new(), &store, &LayoutConfig::default()).is_none());
+        di.add_edge(
+            0,
+            DiEdge {
+                to: 2,
+                len: 90,
+                identity: 1.0,
+                shift: 10,
+            },
+        );
+        assert!(layout_cluster(
+            &[0, 1, 2],
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -343,8 +397,22 @@ mod tests {
         let g = genome(300);
         let (store, mut di) = tiling(&g, 100, 50);
         // Claims shift 102 where the layout says 100 — within tolerance 4.
-        di.add_edge(0, DiEdge { to: 2, len: 90, identity: 1.0, shift: 102 });
-        let layout = layout_cluster(&[0, 1, 2], &di, &HashMap::new(), &store, &LayoutConfig::default());
+        di.add_edge(
+            0,
+            DiEdge {
+                to: 2,
+                len: 90,
+                identity: 1.0,
+                shift: 102,
+            },
+        );
+        let layout = layout_cluster(
+            &[0, 1, 2],
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default(),
+        );
         assert!(layout.is_some());
     }
 
@@ -362,7 +430,9 @@ mod tests {
             Read::new("r1", r1),
             Read::new("r2", r2),
         ]);
-        let layout = ClusterLayout { order: vec![(0, 0), (1, 0), (2, 50)] };
+        let layout = ClusterLayout {
+            order: vec![(0, 0), (1, 0), (2, 50)],
+        };
         let consensus = layout.consensus_sequence(&store);
         assert_eq!(consensus, g.slice(0, 150));
         // First-wins would have kept the error.
@@ -374,14 +444,23 @@ mod tests {
         let g = genome(300);
         let (store, di) = tiling(&g, 100, 40);
         let nodes: Vec<NodeId> = (0..store.len() as NodeId).collect();
-        let layout = layout_cluster(&nodes, &di, &HashMap::new(), &store, &LayoutConfig::default())
-            .expect("tiling is contiguous");
+        let layout = layout_cluster(
+            &nodes,
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default(),
+        )
+        .expect("tiling is contiguous");
         assert_eq!(
             layout.consensus_sequence(&store).len(),
             layout.contig_sequence(&store).len()
         );
         // Error-free input: both constructions agree exactly.
-        assert_eq!(layout.consensus_sequence(&store), layout.contig_sequence(&store));
+        assert_eq!(
+            layout.consensus_sequence(&store),
+            layout.contig_sequence(&store)
+        );
     }
 
     #[test]
@@ -391,8 +470,23 @@ mod tests {
         let inner = Read::new("inner", g.slice(20, 120));
         let store = ReadStore::from_reads(vec![long, inner]);
         let mut di = DiGraph::with_nodes(2);
-        di.add_edge(0, DiEdge { to: 1, len: 100, identity: 1.0, shift: 20 });
-        let layout = layout_cluster(&[0, 1], &di, &HashMap::new(), &store, &LayoutConfig::default()).unwrap();
+        di.add_edge(
+            0,
+            DiEdge {
+                to: 1,
+                len: 100,
+                identity: 1.0,
+                shift: 20,
+            },
+        );
+        let layout = layout_cluster(
+            &[0, 1],
+            &di,
+            &HashMap::new(),
+            &store,
+            &LayoutConfig::default(),
+        )
+        .unwrap();
         assert_eq!(layout.contig_sequence(&store), g.slice(0, 150));
     }
 }

@@ -6,6 +6,8 @@
 //! lengths (paper §II-C). A [`GraphSet`] bundles the levels with the
 //! fine→coarse node maps used by partition projection (§IV-C).
 
+use crate::error::GraphError;
+
 /// Index of a node within one level graph.
 pub type NodeId = u32;
 
@@ -22,12 +24,18 @@ pub struct LevelGraph {
 impl LevelGraph {
     /// Creates a graph with `n` nodes of weight 1 and no edges.
     pub fn with_nodes(n: usize) -> LevelGraph {
-        LevelGraph { adj: vec![Vec::new(); n], node_weight: vec![1; n] }
+        LevelGraph {
+            adj: vec![Vec::new(); n],
+            node_weight: vec![1; n],
+        }
     }
 
     /// Creates a graph with explicit node weights and no edges.
     pub fn with_node_weights(weights: Vec<u64>) -> LevelGraph {
-        LevelGraph { adj: vec![Vec::new(); weights.len()], node_weight: weights }
+        LevelGraph {
+            adj: vec![Vec::new(); weights.len()],
+            node_weight: weights,
+        }
     }
 
     /// Number of nodes.
@@ -74,25 +82,22 @@ impl LevelGraph {
             return;
         }
         debug_assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
-        match self.adj[u as usize].iter_mut().find(|(n, _)| *n == v) {
-            Some(slot) => {
-                slot.1 += w;
-                let back = self.adj[v as usize]
-                    .iter_mut()
-                    .find(|(n, _)| *n == u)
-                    .expect("symmetric edge missing");
-                back.1 += w;
-            }
-            None => {
-                self.adj[u as usize].push((v, w));
-                self.adj[v as usize].push((u, w));
+        // Update each endpoint independently: the lists stay symmetric by
+        // construction without relying on the back edge being present.
+        for (a, b) in [(u, v), (v, u)] {
+            match self.adj[a as usize].iter_mut().find(|(n, _)| *n == b) {
+                Some(slot) => slot.1 += w,
+                None => self.adj[a as usize].push((b, w)),
             }
         }
     }
 
     /// Weight of the edge `(u, v)`, or `None` if absent.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<u64> {
-        self.adj[u as usize].iter().find(|(n, _)| *n == v).map(|&(_, w)| w)
+        self.adj[u as usize]
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|&(_, w)| w)
     }
 
     /// Iterates every undirected edge once as `(u, v, w)` with `u < v`.
@@ -106,24 +111,25 @@ impl LevelGraph {
 
     /// Checks structural invariants (symmetry, no self-loops, weights > 0);
     /// used by tests and debug assertions.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        let fail = |message: String| Err(GraphError::invariant("LevelGraph", message));
         for (u, nbrs) in self.adj.iter().enumerate() {
             let mut seen = std::collections::HashSet::new();
             for &(v, w) in nbrs {
                 if v as usize == u {
-                    return Err(format!("self-loop at {u}"));
+                    return fail(format!("self-loop at {u}"));
                 }
                 if !seen.insert(v) {
-                    return Err(format!("duplicate edge {u}-{v}"));
+                    return fail(format!("duplicate edge {u}-{v}"));
                 }
                 if w == 0 {
-                    return Err(format!("zero-weight edge {u}-{v}"));
+                    return fail(format!("zero-weight edge {u}-{v}"));
                 }
                 let back = self.adj[v as usize].iter().find(|(n, _)| *n as usize == u);
                 match back {
                     Some(&(_, bw)) if bw == w => {}
-                    Some(_) => return Err(format!("asymmetric weight on {u}-{v}")),
-                    None => return Err(format!("missing back edge {v}-{u}")),
+                    Some(_) => return fail(format!("asymmetric weight on {u}-{v}")),
+                    None => return fail(format!("missing back edge {v}-{u}")),
                 }
             }
         }
@@ -184,8 +190,14 @@ impl GraphSet {
     }
 
     /// The coarsest graph.
+    ///
+    /// # Panics
+    /// Panics on an empty set; every builder ([`crate::MultilevelSet::build`],
+    /// [`crate::HybridSet::build`]) produces at least one level.
     pub fn coarsest(&self) -> &LevelGraph {
-        self.levels.last().expect("graph set has at least one level")
+        self.levels
+            .last()
+            .expect("graph set has at least one level")
     }
 
     /// Maps a node of `levels[level]` to its ancestor at `target_level`
@@ -203,18 +215,19 @@ impl GraphSet {
     /// that edge weight + folded self-loop weight is conserved level to
     /// level (merging can only fold weight inwards, never lose it to
     /// nothing).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        let fail = |message: String| Err(GraphError::invariant("GraphSet", message));
         if self.fine_to_coarse.len() + 1 != self.levels.len() {
-            return Err("map count must be level count - 1".to_string());
+            return fail("map count must be level count - 1".to_string());
         }
         for (i, map) in self.fine_to_coarse.iter().enumerate() {
             let fine = &self.levels[i];
             let coarse = &self.levels[i + 1];
             if map.len() != fine.node_count() {
-                return Err(format!("map {i} length mismatch"));
+                return fail(format!("map {i} length mismatch"));
             }
             if map.iter().any(|&c| c as usize >= coarse.node_count()) {
-                return Err(format!("map {i} points past coarse graph"));
+                return fail(format!("map {i} points past coarse graph"));
             }
             // Node weight conservation per coarse node.
             let mut acc = vec![0u64; coarse.node_count()];
@@ -223,7 +236,7 @@ impl GraphSet {
             }
             for (c, &w) in acc.iter().enumerate() {
                 if w != coarse.node_weight(c as NodeId) {
-                    return Err(format!(
+                    return fail(format!(
                         "level {}: node {c} weight {} != accumulated {w}",
                         i + 1,
                         coarse.node_weight(c as NodeId)
@@ -233,7 +246,7 @@ impl GraphSet {
             fine.check_invariants()?;
             coarse.check_invariants()?;
             if coarse.total_edge_weight() > fine.total_edge_weight() {
-                return Err(format!("level {} gained edge weight", i + 1));
+                return fail(format!("level {} gained edge weight", i + 1));
             }
         }
         Ok(())
@@ -321,7 +334,10 @@ mod tests {
     fn graph_set_invariants_catch_weight_mismatch() {
         let g0 = LevelGraph::with_nodes(2);
         let g1 = LevelGraph::with_node_weights(vec![3]); // should be 2
-        let set = GraphSet { levels: vec![g0, g1], fine_to_coarse: vec![vec![0, 0]] };
+        let set = GraphSet {
+            levels: vec![g0, g1],
+            fine_to_coarse: vec![vec![0, 0]],
+        };
         assert!(set.check_invariants().is_err());
     }
 }

@@ -19,6 +19,7 @@
 pub mod build;
 pub mod coarsen;
 pub mod digraph;
+pub mod error;
 pub mod export;
 pub mod hybrid;
 pub mod layout;
@@ -27,6 +28,7 @@ pub mod level;
 pub use build::OverlapGraph;
 pub use coarsen::{CoarsenConfig, MultilevelSet};
 pub use digraph::{DiEdge, DiGraph};
+pub use error::GraphError;
 pub use export::{digraph_to_dot, digraph_to_gfa, level_graph_to_dot};
 pub use hybrid::{HybridSet, Representative};
 pub use layout::{ClusterLayout, LayoutConfig};

@@ -1,0 +1,55 @@
+//! Error type for the partitioning stage.
+
+use std::fmt;
+
+/// Errors produced while configuring or validating a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `k` is not a positive power of two.
+    InvalidPartCount {
+        /// The rejected value.
+        k: usize,
+    },
+    /// Assignment length does not match the graph's node count.
+    LengthMismatch {
+        /// Assignment length.
+        got: usize,
+        /// Node count of the graph.
+        expected: usize,
+    },
+    /// A node is assigned to a partition id outside `0..k`.
+    PartOutOfRange {
+        /// The offending node.
+        node: usize,
+        /// Its assigned partition id.
+        part: u32,
+        /// Number of partitions.
+        k: usize,
+    },
+    /// Some partitions received no nodes although the graph is large enough.
+    EmptyParts {
+        /// The empty partition ids.
+        missing: Vec<usize>,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidPartCount { k } => {
+                write!(f, "k must be a positive power of two, got {k}")
+            }
+            PartitionError::LengthMismatch { got, expected } => {
+                write!(f, "assignment length {got} != node count {expected}")
+            }
+            PartitionError::PartOutOfRange { node, part, k } => {
+                write!(f, "node {node} assigned to partition {part} >= k = {k}")
+            }
+            PartitionError::EmptyParts { missing } => {
+                write!(f, "empty partitions: {missing:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}

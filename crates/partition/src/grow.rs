@@ -42,8 +42,7 @@ pub fn greedy_grow(local: &LocalGraph, seed: u64, work: &mut u64) -> Vec<bool> {
     // Accumulated edge weight into each side per unassigned node.
     let mut into = vec![[0u64; 2]; n];
     // Lazy max-heaps of (gain, node) per side.
-    let mut heaps: [BinaryHeap<(i64, Reverse<u32>)>; 2] =
-        [BinaryHeap::new(), BinaryHeap::new()];
+    let mut heaps: [BinaryHeap<(i64, Reverse<u32>)>; 2] = [BinaryHeap::new(), BinaryHeap::new()];
     let (mut nw, mut ew) = ([0u64; 2], [0u64; 2]);
 
     let gain = |into_s: u64, wdeg: u64| -> i64 { 2 * into_s as i64 - wdeg as i64 };
@@ -191,7 +190,11 @@ mod tests {
     #[test]
     fn tiny_inputs() {
         let mut work = 0;
-        let empty = LocalGraph { nodes: vec![], adj: vec![], node_w: vec![] };
+        let empty = LocalGraph {
+            nodes: vec![],
+            adj: vec![],
+            node_w: vec![],
+        };
         assert!(greedy_grow(&empty, 1, &mut work).is_empty());
         let single = local_path(2);
         let side = greedy_grow(&single, 1, &mut work);
@@ -205,14 +208,19 @@ mod tests {
         let local = local_path(64);
         let mut w1 = 0;
         let mut w2 = 0;
-        assert_eq!(greedy_grow(&local, 9, &mut w1), greedy_grow(&local, 9, &mut w2));
+        assert_eq!(
+            greedy_grow(&local, 9, &mut w1),
+            greedy_grow(&local, 9, &mut w2)
+        );
     }
 
     #[test]
     fn respects_node_weights() {
         // One heavy node (weight 50) + 50 light nodes in a path.
         let mut g = LevelGraph::with_node_weights(
-            std::iter::once(50u64).chain(std::iter::repeat_n(1, 50)).collect(),
+            std::iter::once(50u64)
+                .chain(std::iter::repeat_n(1, 50))
+                .collect(),
         );
         for i in 0..50 {
             g.add_edge(i as u32, (i + 1) as u32, 3);

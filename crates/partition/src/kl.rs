@@ -24,7 +24,10 @@ pub struct KlConfig {
 
 impl Default for KlConfig {
     fn default() -> KlConfig {
-        KlConfig { max_bad_moves: 50, max_passes: 16 }
+        KlConfig {
+            max_bad_moves: 50,
+            max_passes: 16,
+        }
     }
 }
 
@@ -72,10 +75,12 @@ fn kl_pass(local: &LocalGraph, side: &mut [bool], config: &KlConfig, work: &mut 
     loop {
         // Sorted unlocked nodes per side, descending D (ties by id for
         // determinism).
-        let mut a_nodes: Vec<u32> =
-            (0..n as u32).filter(|&v| !locked[v as usize] && !side[v as usize]).collect();
-        let mut b_nodes: Vec<u32> =
-            (0..n as u32).filter(|&v| !locked[v as usize] && side[v as usize]).collect();
+        let mut a_nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| !locked[v as usize] && !side[v as usize])
+            .collect();
+        let mut b_nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| !locked[v as usize] && side[v as usize])
+            .collect();
         if a_nodes.is_empty() || b_nodes.is_empty() {
             break;
         }
@@ -231,16 +236,26 @@ mod tests {
 
     #[test]
     fn handles_degenerate_inputs() {
-        let empty = LocalGraph { nodes: vec![], adj: vec![], node_w: vec![] };
+        let empty = LocalGraph {
+            nodes: vec![],
+            adj: vec![],
+            node_w: vec![],
+        };
         let mut side: Vec<bool> = vec![];
         let mut work = 0;
-        assert_eq!(kl_refine(&empty, &mut side, &KlConfig::default(), &mut work), 0);
+        assert_eq!(
+            kl_refine(&empty, &mut side, &KlConfig::default(), &mut work),
+            0
+        );
 
         let mut g = LevelGraph::with_nodes(1);
         g.add_edge(0, 0, 5); // ignored self-loop
         let local = extract_all(&g);
         let mut side = vec![false];
-        assert_eq!(kl_refine(&local, &mut side, &KlConfig::default(), &mut work), 0);
+        assert_eq!(
+            kl_refine(&local, &mut side, &KlConfig::default(), &mut work),
+            0
+        );
     }
 
     #[test]
@@ -256,7 +271,10 @@ mod tests {
         let mut side: Vec<bool> = (0..40).map(|v| v >= 20).collect();
         let before = local.cut(&side);
         let mut work = 0;
-        let config = KlConfig { max_bad_moves: 3, ..Default::default() };
+        let config = KlConfig {
+            max_bad_moves: 3,
+            ..Default::default()
+        };
         let gain = kl_refine(&local, &mut side, &config, &mut work);
         let after = local.cut(&side);
         assert_eq!(before - gain, after);
@@ -273,7 +291,10 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_case() -> impl Strategy<Value = (LocalGraph, Vec<bool>)> {
-        (4usize..24, proptest::collection::vec((0usize..24, 0usize..24, 1u64..50), 1..80))
+        (
+            4usize..24,
+            proptest::collection::vec((0usize..24, 0usize..24, 1u64..50), 1..80),
+        )
             .prop_flat_map(|(n, raw)| {
                 let mut g = LevelGraph::with_nodes(n);
                 for (u, v, w) in raw {

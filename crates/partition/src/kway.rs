@@ -25,11 +25,21 @@ pub struct KwayConfig {
 
 impl Default for KwayConfig {
     fn default() -> KwayConfig {
-        KwayConfig { max_bad_moves: 50, max_passes: 8, balance: 1.03 }
+        KwayConfig {
+            max_bad_moves: 50,
+            max_passes: 8,
+            balance: 1.03,
+        }
     }
 }
 
 /// Refines a k-partition in place; returns the total cut improvement.
+///
+/// # Invariants
+/// `parts` stays a valid `k`-partition throughout: its length is unchanged,
+/// every id remains in `0..k`, and only whole moves are applied (an undone
+/// pass suffix restores the pre-move assignment exactly). The returned
+/// improvement equals `edge_cut` before the call minus `edge_cut` after.
 pub fn kway_refine(
     g: &LevelGraph,
     parts: &mut [u32],
@@ -206,7 +216,13 @@ mod tests {
         // the 1.03 bound must block 0's move into P1. P0 has a second node
         // so the no-emptying rule is not what blocks.
         let mut g2 = LevelGraph::with_node_weights(vec![1, 4, 4, 4, 1]);
-        for (u, v, w) in [(0u32, 1u32, 2u64), (1, 2, 9), (2, 3, 9), (1, 3, 9), (0, 4, 1)] {
+        for (u, v, w) in [
+            (0u32, 1u32, 2u64),
+            (1, 2, 9),
+            (2, 3, 9),
+            (1, 3, 9),
+            (0, 4, 1),
+        ] {
             g2.add_edge(u, v, w);
         }
         let mut parts = vec![0u32, 1, 1, 1, 0];
@@ -221,7 +237,10 @@ mod tests {
         let g = three_cliques();
         let mut parts = vec![0u32; 12];
         let mut work = 0;
-        assert_eq!(kway_refine(&g, &mut parts, 1, &KwayConfig::default(), &mut work), 0);
+        assert_eq!(
+            kway_refine(&g, &mut parts, 1, &KwayConfig::default(), &mut work),
+            0
+        );
     }
 
     #[test]
@@ -241,7 +260,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_case() -> impl Strategy<Value = (LevelGraph, Vec<u32>, usize)> {
-        (3usize..20, 2usize..5, proptest::collection::vec((0usize..20, 0usize..20, 1u64..30), 1..60))
+        (
+            3usize..20,
+            2usize..5,
+            proptest::collection::vec((0usize..20, 0usize..20, 1u64..30), 1..60),
+        )
             .prop_flat_map(|(n, k, raw)| {
                 let mut g = LevelGraph::with_nodes(n);
                 for (u, v, w) in raw {
@@ -250,7 +273,11 @@ mod proptests {
                         g.add_edge(u as u32, v as u32, w);
                     }
                 }
-                (Just(g), proptest::collection::vec(0u32..k as u32, n), Just(k))
+                (
+                    Just(g),
+                    proptest::collection::vec(0u32..k as u32, n),
+                    Just(k),
+                )
             })
     }
 

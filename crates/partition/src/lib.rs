@@ -16,6 +16,7 @@
 //! * [`kway`] — global k-way Kernighan–Lin boundary refinement (§IV-D),
 //! * [`metrics`] — edge cut, balance and validity checks (Table II).
 
+pub mod error;
 pub mod grow;
 pub mod kl;
 pub mod kway;
@@ -23,6 +24,7 @@ pub mod local;
 pub mod metrics;
 pub mod recursive;
 
+pub use error::PartitionError;
 pub use grow::greedy_grow;
 pub use kl::kl_refine;
 pub use kway::kway_refine;

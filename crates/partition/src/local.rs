@@ -35,7 +35,11 @@ impl LocalGraph {
             })
             .collect();
         let node_w = nodes.iter().map(|&v| g.node_weight(v)).collect();
-        LocalGraph { nodes: nodes.to_vec(), adj, node_w }
+        LocalGraph {
+            nodes: nodes.to_vec(),
+            adj,
+            node_w,
+        }
     }
 
     /// Number of local nodes.
@@ -81,7 +85,14 @@ mod tests {
         // |   |
         // 3-4-5
         let mut g = LevelGraph::with_nodes(6);
-        for (u, v, w) in [(0, 1, 2), (1, 2, 3), (0, 3, 4), (2, 5, 5), (3, 4, 6), (4, 5, 7)] {
+        for (u, v, w) in [
+            (0, 1, 2),
+            (1, 2, 3),
+            (0, 3, 4),
+            (2, 5, 5),
+            (3, 4, 6),
+            (4, 5, 7),
+        ] {
             g.add_edge(u, v, w);
         }
         g

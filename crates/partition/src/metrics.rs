@@ -1,5 +1,6 @@
 //! Partition quality metrics (edge cut, balance) and validity checks.
 
+use crate::error::PartitionError;
 use fc_graph::LevelGraph;
 
 /// Total weight of edges whose endpoints lie in different partitions
@@ -37,25 +38,32 @@ pub fn partition_balance(g: &LevelGraph, parts: &[u32], k: usize) -> f64 {
 /// Checks that `parts` is a valid `k`-partition assignment: in range, and
 /// (when the graph has at least `k` weighted nodes) every partition
 /// non-empty.
-pub fn validate_partition(g: &LevelGraph, parts: &[u32], k: usize) -> Result<(), String> {
+pub fn validate_partition(g: &LevelGraph, parts: &[u32], k: usize) -> Result<(), PartitionError> {
     if parts.len() != g.node_count() {
-        return Err(format!(
-            "assignment length {} != node count {}",
-            parts.len(),
-            g.node_count()
-        ));
+        return Err(PartitionError::LengthMismatch {
+            got: parts.len(),
+            expected: g.node_count(),
+        });
     }
     let mut seen = vec![false; k];
     for (v, &p) in parts.iter().enumerate() {
         if p as usize >= k {
-            return Err(format!("node {v} assigned to partition {p} >= k = {k}"));
+            return Err(PartitionError::PartOutOfRange {
+                node: v,
+                part: p,
+                k,
+            });
         }
         seen[p as usize] = true;
     }
     if g.node_count() >= k && !seen.iter().all(|&s| s) {
-        let missing: Vec<usize> =
-            seen.iter().enumerate().filter(|(_, &s)| !s).map(|(i, _)| i).collect();
-        return Err(format!("empty partitions: {missing:?}"));
+        let missing: Vec<usize> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| !s)
+            .map(|(i, _)| i)
+            .collect();
+        return Err(PartitionError::EmptyParts { missing });
     }
     Ok(())
 }

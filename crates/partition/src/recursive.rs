@@ -13,6 +13,7 @@
 //! [`TaskRecord`]s so the simulated cluster (fc-dist) can schedule them onto
 //! `p` processors and reproduce the paper's Fig. 4 speedup curve.
 
+use crate::error::PartitionError;
 use crate::grow::greedy_grow;
 use crate::kl::{kl_refine, KlConfig};
 use crate::kway::{kway_refine, KwayConfig};
@@ -49,9 +50,9 @@ impl PartitionConfig {
     }
 
     /// Validates that `k` is a positive power of two.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), PartitionError> {
         if self.k == 0 || !self.k.is_power_of_two() {
-            return Err(format!("k must be a positive power of two, got {}", self.k));
+            return Err(PartitionError::InvalidPartCount { k: self.k });
         }
         Ok(())
     }
@@ -111,10 +112,13 @@ impl PartitionResult {
 pub fn partition_graph_set(
     set: &GraphSet,
     config: &PartitionConfig,
-) -> Result<PartitionResult, String> {
+) -> Result<PartitionResult, PartitionError> {
     config.validate()?;
-    let mut parts: Vec<Vec<u32>> =
-        set.levels.iter().map(|g| vec![0u32; g.node_count()]).collect();
+    let mut parts: Vec<Vec<u32>> = set
+        .levels
+        .iter()
+        .map(|g| vec![0u32; g.node_count()])
+        .collect();
     let mut tasks = Vec::new();
 
     let steps = config.k.trailing_zeros() as usize;
@@ -131,7 +135,10 @@ pub fn partition_graph_set(
                 config.seed.wrapping_add(((step as u64) << 32) | p as u64),
                 &mut work,
             );
-            tasks.push(TaskRecord { kind: TaskKind::Bisect { step, part: p }, work });
+            tasks.push(TaskRecord {
+                kind: TaskKind::Bisect { step, part: p },
+                work,
+            });
         }
     }
 
@@ -150,7 +157,10 @@ pub fn partition_graph_set(
         {
             let mut work = 0u64;
             kway_refine(level_graph, assignment, config.k, &config.kway, &mut work);
-            tasks.push(TaskRecord { kind: TaskKind::KwayLevel { level }, work });
+            tasks.push(TaskRecord {
+                kind: TaskKind::KwayLevel { level },
+                work,
+            });
         }
     }
 
@@ -158,13 +168,23 @@ pub fn partition_graph_set(
     // legitimately miss partitions whose creating bisection happened below
     // them (a coarse partition with a single node cannot be split there), so
     // they are only range-checked.
-    validate_partition(&set.levels[0], &parts[0], config.k).map_err(|e| format!("level 0: {e}"))?;
-    for (level, assignment) in parts.iter().enumerate().skip(1) {
-        if assignment.iter().any(|&p| p as usize >= config.k) {
-            return Err(format!("level {level}: assignment out of range"));
+    validate_partition(&set.levels[0], &parts[0], config.k)?;
+    for assignment in parts.iter().skip(1) {
+        for (node, &part) in assignment.iter().enumerate() {
+            if part as usize >= config.k {
+                return Err(PartitionError::PartOutOfRange {
+                    node,
+                    part,
+                    k: config.k,
+                });
+            }
         }
     }
-    Ok(PartitionResult { k: config.k, parts_per_level: parts, tasks })
+    Ok(PartitionResult {
+        k: config.k,
+        parts_per_level: parts,
+        tasks,
+    })
 }
 
 /// Fills empty partition ids (when the graph has enough nodes) by moving a
@@ -179,7 +199,9 @@ fn repair_empty_partitions(g: &fc_graph::LevelGraph, parts: &mut [u32], k: usize
         for &p in parts.iter() {
             counts[p as usize] += 1;
         }
-        let Some(empty) = counts.iter().position(|&c| c == 0) else { break };
+        let Some(empty) = counts.iter().position(|&c| c == 0) else {
+            break;
+        };
         let Some(donor) = counts
             .iter()
             .enumerate()
@@ -212,9 +234,7 @@ fn repair_empty_partitions(g: &fc_graph::LevelGraph, parts: &mut [u32], k: usize
             }
             // Disconnected donor: continue from any unvisited donor node.
             if queue.is_empty() && taken.len() < take {
-                if let Some(&next) =
-                    donor_nodes.iter().find(|&&u| !visited.contains(&u))
-                {
+                if let Some(&next) = donor_nodes.iter().find(|&&u| !visited.contains(&u)) {
                     visited.insert(next);
                     queue.push_back(next);
                 }
@@ -316,7 +336,14 @@ mod tests {
         for i in 0..n - 1 {
             g.add_edge(i as u32, (i + 1) as u32, 50);
         }
-        MultilevelSet::build(g, &CoarsenConfig { min_nodes: 16, ..Default::default() }).set
+        MultilevelSet::build(
+            g,
+            &CoarsenConfig {
+                min_nodes: 16,
+                ..Default::default()
+            },
+        )
+        .set
     }
 
     #[test]
@@ -416,7 +443,10 @@ mod tests {
         for i in 0..31 {
             g.add_edge(i as u32, (i + 1) as u32, 5);
         }
-        let set = GraphSet { levels: vec![g], fine_to_coarse: vec![] };
+        let set = GraphSet {
+            levels: vec![g],
+            fine_to_coarse: vec![],
+        };
         let result = partition_graph_set(&set, &PartitionConfig::new(4, 7)).unwrap();
         validate_partition(set.finest(), result.finest(), 4).unwrap();
     }
@@ -430,6 +460,9 @@ mod tests {
         let with = partition_graph_set(&set, &PartitionConfig::new(8, 13)).unwrap();
         let cut_without = edge_cut(set.finest(), base.finest());
         let cut_with = edge_cut(set.finest(), with.finest());
-        assert!(cut_with <= cut_without, "k-way made things worse: {cut_with} > {cut_without}");
+        assert!(
+            cut_with <= cut_without,
+            "k-way made things worse: {cut_with} > {cut_without}"
+        );
     }
 }

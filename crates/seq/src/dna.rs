@@ -72,7 +72,11 @@ impl DnaString {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> Base {
-        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for length {}",
+            self.len
+        );
         let word = self.words[i / BASES_PER_WORD];
         Base::from_code(((word >> ((i % BASES_PER_WORD) * 2)) & 0b11) as u8)
     }
@@ -83,7 +87,11 @@ impl DnaString {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: usize, base: Base) {
-        assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for length {}",
+            self.len
+        );
         let shift = (i % BASES_PER_WORD) * 2;
         let word = &mut self.words[i / BASES_PER_WORD];
         *word = (*word & !(0b11 << shift)) | ((base.code() as u64) << shift);
@@ -99,7 +107,10 @@ impl DnaString {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice(&self, start: usize, end: usize) -> DnaString {
-        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds");
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds"
+        );
         let mut out = DnaString::with_capacity(end - start);
         for i in start..end {
             out.push(self.get(i));
@@ -140,8 +151,12 @@ impl DnaString {
 
     /// Iterates over all `(position, packed k-mer)` pairs of the sequence.
     pub fn kmers(&self, k: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
-        let end = if k == 0 || k > 32 || k > self.len { 0 } else { self.len - k + 1 };
-        (0..end).map(move |pos| (pos, self.kmer_u64(pos, k).expect("in-bounds k-mer")))
+        let end = if k == 0 || k > 32 || k > self.len {
+            0
+        } else {
+            self.len - k + 1
+        };
+        (0..end).filter_map(move |pos| Some((pos, self.kmer_u64(pos, k)?)))
     }
 
     /// Decodes to an ASCII byte string (`A`/`C`/`G`/`T`).
@@ -166,7 +181,12 @@ impl FromStr for DnaString {
         for (i, c) in s.bytes().enumerate() {
             match Base::from_ascii(c) {
                 Some(b) => out.push(b),
-                None => return Err(SeqError::InvalidBase { position: i, byte: c }),
+                None => {
+                    return Err(SeqError::InvalidBase {
+                        position: i,
+                        byte: c,
+                    })
+                }
             }
         }
         Ok(out)

@@ -29,6 +29,13 @@ pub enum SeqError {
         /// Quality-string length.
         qual_len: usize,
     },
+    /// An invalid preprocessing parameter (see [`crate::TrimConfig`]).
+    Config {
+        /// Offending parameter name (e.g. `window_len`).
+        parameter: &'static str,
+        /// What a valid value looks like.
+        message: &'static str,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -44,6 +51,9 @@ impl fmt::Display for SeqError {
                 f,
                 "record {record}: quality length {qual_len} does not match sequence length {seq_len}"
             ),
+            SeqError::Config { parameter, message } => {
+                write!(f, "invalid {parameter}: {message}")
+            }
             SeqError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

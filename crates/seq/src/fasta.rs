@@ -143,7 +143,11 @@ pub struct Reader<R: BufRead> {
 impl<R: BufRead> Reader<R> {
     /// Wraps a buffered source.
     pub fn new(input: R) -> Reader<R> {
-        Reader { lines: input.lines().enumerate(), pending_header: None, done: false }
+        Reader {
+            lines: input.lines().enumerate(),
+            pending_header: None,
+            done: false,
+        }
     }
 }
 
@@ -180,8 +184,7 @@ impl<R: BufRead> Iterator for Reader<R> {
                                 self.done = true;
                                 return Some(Err(SeqError::Format {
                                     line: i + 1,
-                                    message: "sequence data before first '>' header"
-                                        .to_string(),
+                                    message: "sequence data before first '>' header".to_string(),
                                 }));
                             }
                         }
@@ -238,7 +241,10 @@ mod streaming_tests {
         let mut reader = Reader::new(Cursor::new(text));
         assert!(reader.next().unwrap().is_ok());
         assert!(reader.next().unwrap().is_err());
-        assert!(reader.next().is_none(), "iteration must stop after an error");
+        assert!(
+            reader.next().is_none(),
+            "iteration must stop after an error"
+        );
     }
 
     #[test]

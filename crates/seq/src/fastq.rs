@@ -117,15 +117,28 @@ mod tests {
         assert_eq!(reads.len(), 2);
         assert_eq!(reads[0].name, "r1");
         assert_eq!(reads[0].seq.to_string(), "ACGT");
-        assert_eq!(reads[0].qual.as_ref().unwrap().as_slice(), &[40, 40, 40, 40]);
+        assert_eq!(
+            reads[0].qual.as_ref().unwrap().as_slice(),
+            &[40, 40, 40, 40]
+        );
         assert_eq!(reads[1].name, "r2 desc");
-        assert_eq!(reads[1].qual.as_ref().unwrap().as_slice(), &[b'A' - 33, b'B' - 33]);
+        assert_eq!(
+            reads[1].qual.as_ref().unwrap().as_slice(),
+            &[b'A' - 33, b'B' - 33]
+        );
     }
 
     #[test]
     fn rejects_quality_length_mismatch() {
         let err = parse(Cursor::new("@r\nACGT\n+\nII\n")).unwrap_err();
-        assert!(matches!(err, SeqError::QualityLengthMismatch { seq_len: 4, qual_len: 2, .. }));
+        assert!(matches!(
+            err,
+            SeqError::QualityLengthMismatch {
+                seq_len: 4,
+                qual_len: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -138,6 +151,27 @@ mod tests {
     fn rejects_truncated_record() {
         let err = parse(Cursor::new("@r\nACGT\n+\n")).unwrap_err();
         assert!(matches!(err, SeqError::Format { .. }));
+    }
+
+    /// Regression test for truncated input: cutting a valid two-record file
+    /// after any byte must never panic. Both the collecting parser and the
+    /// streaming reader either fail with a typed error or return only the
+    /// records that are complete in the prefix.
+    #[test]
+    fn every_truncation_point_is_handled_without_panic() {
+        for cut in 0..SAMPLE.len() {
+            let prefix = &SAMPLE.as_bytes()[..cut];
+            let parsed = parse(Cursor::new(prefix));
+            let streamed: Result<Vec<Read>, SeqError> = Reader::new(Cursor::new(prefix)).collect();
+            match (&parsed, &streamed) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "cut at byte {cut}");
+                    assert!(a.len() <= 2, "cut at byte {cut}");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("parse/stream disagree at byte {cut}: {parsed:?} vs {streamed:?}"),
+            }
+        }
     }
 
     #[test]
@@ -169,7 +203,10 @@ pub struct Reader<R: BufRead> {
 impl<R: BufRead> Reader<R> {
     /// Wraps a buffered source.
     pub fn new(input: R) -> Reader<R> {
-        Reader { lines: input.lines().enumerate(), done: false }
+        Reader {
+            lines: input.lines().enumerate(),
+            done: false,
+        }
     }
 
     fn take_line(&mut self, what: &str) -> Result<Option<(usize, String)>, SeqError> {
@@ -209,12 +246,12 @@ impl<R: BufRead> Iterator for Reader<R> {
                 })?
                 .trim()
                 .to_string();
-            let (seq_no, seq_line) = self
-                .take_line("sequence")?
-                .ok_or_else(|| SeqError::Format {
-                    line: line_no,
-                    message: "truncated record: missing sequence line".to_string(),
-                })?;
+            let (seq_no, seq_line) =
+                self.take_line("sequence")?
+                    .ok_or_else(|| SeqError::Format {
+                        line: line_no,
+                        message: "truncated record: missing sequence line".to_string(),
+                    })?;
             let mut seq = DnaString::with_capacity(seq_line.len());
             for (col, c) in seq_line.bytes().enumerate() {
                 match Base::from_ascii(c) {
@@ -239,12 +276,10 @@ impl<R: BufRead> Iterator for Reader<R> {
                     message: "expected '+' separator".to_string(),
                 });
             }
-            let (_, qual_line) = self
-                .take_line("quality")?
-                .ok_or_else(|| SeqError::Format {
-                    line: sep_no,
-                    message: "truncated record: missing quality line".to_string(),
-                })?;
+            let (_, qual_line) = self.take_line("quality")?.ok_or_else(|| SeqError::Format {
+                line: sep_no,
+                message: "truncated record: missing quality line".to_string(),
+            })?;
             let qual = QualityScores::from_fastq_line(qual_line.as_bytes())?;
             if qual.len() != seq.len() {
                 return Err(SeqError::QualityLengthMismatch {

@@ -31,7 +31,10 @@ impl QualityScores {
         let mut scores = Vec::with_capacity(line.len());
         for (i, &c) in line.iter().enumerate() {
             if !(PHRED_OFFSET..=PHRED_OFFSET + MAX_PHRED).contains(&c) {
-                return Err(SeqError::InvalidBase { position: i, byte: c });
+                return Err(SeqError::InvalidBase {
+                    position: i,
+                    byte: c,
+                });
             }
             scores.push(c - PHRED_OFFSET);
         }

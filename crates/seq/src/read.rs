@@ -34,7 +34,11 @@ pub struct Read {
 impl Read {
     /// Creates a read without quality scores.
     pub fn new(name: impl Into<String>, seq: DnaString) -> Read {
-        Read { name: name.into(), seq, qual: None }
+        Read {
+            name: name.into(),
+            seq,
+            qual: None,
+        }
     }
 
     /// Creates a read with quality scores.
@@ -44,7 +48,11 @@ impl Read {
     /// parsing untrusted input should validate first (the FASTQ parser does).
     pub fn with_quality(name: impl Into<String>, seq: DnaString, qual: QualityScores) -> Read {
         assert_eq!(seq.len(), qual.len(), "quality/sequence length mismatch");
-        Read { name: name.into(), seq, qual: Some(qual) }
+        Read {
+            name: name.into(),
+            seq,
+            qual: Some(qual),
+        }
     }
 
     /// Read length in bases.

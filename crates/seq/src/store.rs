@@ -1,6 +1,7 @@
 //! The read store: preprocessing output and the substrate the overlap graph
 //! is built over (paper §II-A).
 
+use crate::error::SeqError;
 use crate::read::{Read, ReadId};
 use crate::trim::{trim_read, TrimConfig};
 
@@ -33,13 +34,17 @@ impl ReadStore {
     /// Wraps reads as-is, without reverse complements.
     pub fn from_reads(reads: Vec<Read>) -> ReadStore {
         let source = (0..reads.len() as u32).collect();
-        ReadStore { reads, rc_paired: false, source }
+        ReadStore {
+            reads,
+            rc_paired: false,
+            source,
+        }
     }
 
     /// Runs the §II-A preprocessing pipeline: trim every read with `config`,
     /// drop reads shorter than `config.min_read_len`, then append the reverse
     /// complement of each survivor directly after it.
-    pub fn preprocess(input: &[Read], config: &TrimConfig) -> Result<ReadStore, String> {
+    pub fn preprocess(input: &[Read], config: &TrimConfig) -> Result<ReadStore, SeqError> {
         config.validate()?;
         let mut reads = Vec::with_capacity(input.len() * 2);
         let mut source = Vec::with_capacity(input.len() * 2);
@@ -54,7 +59,11 @@ impl ReadStore {
             reads.push(rc);
             source.push(i as u32);
         }
-        Ok(ReadStore { reads, rc_paired: true, source })
+        Ok(ReadStore {
+            reads,
+            rc_paired: true,
+            source,
+        })
     }
 
     /// Number of stored reads (forward + reverse complements).
@@ -163,7 +172,13 @@ mod tests {
     }
 
     fn config() -> TrimConfig {
-        TrimConfig { window_len: 4, step: 1, min_quality: 20.0, min_read_len: 5, ..TrimConfig::default() }
+        TrimConfig {
+            window_len: 4,
+            step: 1,
+            min_quality: 20.0,
+            min_read_len: 5,
+            ..TrimConfig::default()
+        }
     }
 
     #[test]
@@ -220,23 +235,22 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_reads() -> impl Strategy<Value = Vec<Read>> {
-        proptest::collection::vec(
-            proptest::collection::vec((0u8..4, 10u8..40), 1..80),
-            0..12,
-        )
-        .prop_map(|reads| {
-            reads
-                .into_iter()
-                .enumerate()
-                .map(|(i, pairs)| {
-                    let seq: crate::DnaString =
-                        pairs.iter().map(|&(b, _)| crate::Base::from_code(b)).collect();
-                    let quals =
-                        QualityScores::from_phred(pairs.iter().map(|&(_, q)| q).collect());
-                    Read::with_quality(format!("r{i}"), seq, quals)
-                })
-                .collect()
-        })
+        proptest::collection::vec(proptest::collection::vec((0u8..4, 10u8..40), 1..80), 0..12)
+            .prop_map(|reads| {
+                reads
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, pairs)| {
+                        let seq: crate::DnaString = pairs
+                            .iter()
+                            .map(|&(b, _)| crate::Base::from_code(b))
+                            .collect();
+                        let quals =
+                            QualityScores::from_phred(pairs.iter().map(|&(_, q)| q).collect());
+                        Read::with_quality(format!("r{i}"), seq, quals)
+                    })
+                    .collect()
+            })
     }
 
     proptest! {

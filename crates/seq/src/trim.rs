@@ -11,6 +11,7 @@
 //!    end of the read is cut off. If no window qualifies, the whole read is
 //!    discarded (trimmed to zero length).
 
+use crate::error::SeqError;
 use crate::read::Read;
 
 /// Parameters for the two-stage trimming of §II-A.
@@ -45,12 +46,18 @@ impl Default for TrimConfig {
 
 impl TrimConfig {
     /// Validates parameter sanity (non-zero window and step).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SeqError> {
         if self.window_len == 0 {
-            return Err("window_len must be > 0".to_string());
+            return Err(SeqError::Config {
+                parameter: "window_len",
+                message: "must be > 0",
+            });
         }
         if self.step == 0 {
-            return Err("step must be > 0".to_string());
+            return Err(SeqError::Config {
+                parameter: "step",
+                message: "must be > 0",
+            });
         }
         Ok(())
     }
@@ -81,7 +88,11 @@ pub fn trim_read(read: &Read, config: &TrimConfig) -> Read {
         }
     }
 
-    Read { name: read.name.clone(), seq, qual }
+    Read {
+        name: read.name.clone(),
+        seq,
+        qual,
+    }
 }
 
 /// Returns how many 5'-side bases survive the sliding-window scan.
@@ -102,7 +113,10 @@ fn quality_keep_len(scores: &[u8], config: &TrimConfig) -> usize {
     let mut window_end = n;
     loop {
         let window_start = window_end - config.window_len;
-        let sum: u32 = scores[window_start..window_end].iter().map(|&q| q as u32).sum();
+        let sum: u32 = scores[window_start..window_end]
+            .iter()
+            .map(|&q| q as u32)
+            .sum();
         let mean = sum as f64 / config.window_len as f64;
         if mean > config.min_quality {
             return window_end;
@@ -127,7 +141,11 @@ mod tests {
     #[test]
     fn fixed_trim_both_ends() {
         let read = Read::new("r", "AACCGGTT".parse().unwrap());
-        let config = TrimConfig { trim_5prime: 2, trim_3prime: 3, ..TrimConfig::default() };
+        let config = TrimConfig {
+            trim_5prime: 2,
+            trim_3prime: 3,
+            ..TrimConfig::default()
+        };
         let out = trim_read(&read, &config);
         assert_eq!(out.seq.to_string(), "CCG");
     }
@@ -135,7 +153,11 @@ mod tests {
     #[test]
     fn fixed_trim_larger_than_read_empties_it() {
         let read = Read::new("r", "ACGT".parse().unwrap());
-        let config = TrimConfig { trim_5prime: 3, trim_3prime: 3, ..TrimConfig::default() };
+        let config = TrimConfig {
+            trim_5prime: 3,
+            trim_3prime: 3,
+            ..TrimConfig::default()
+        };
         assert!(trim_read(&read, &config).is_empty());
     }
 
@@ -159,14 +181,24 @@ mod tests {
     #[test]
     fn quality_trim_keeps_whole_good_read() {
         let read = read_with_quals("ACGTACGT", vec![35; 8]);
-        let config = TrimConfig { window_len: 4, step: 2, min_quality: 20.0, ..TrimConfig::default() };
+        let config = TrimConfig {
+            window_len: 4,
+            step: 2,
+            min_quality: 20.0,
+            ..TrimConfig::default()
+        };
         assert_eq!(trim_read(&read, &config).len(), 8);
     }
 
     #[test]
     fn quality_trim_discards_hopeless_read() {
         let read = read_with_quals("ACGTACGT", vec![2; 8]);
-        let config = TrimConfig { window_len: 4, step: 1, min_quality: 20.0, ..TrimConfig::default() };
+        let config = TrimConfig {
+            window_len: 4,
+            step: 1,
+            min_quality: 20.0,
+            ..TrimConfig::default()
+        };
         assert!(trim_read(&read, &config).is_empty());
     }
 
@@ -174,7 +206,12 @@ mod tests {
     fn short_read_handled_without_full_window() {
         let good = read_with_quals("ACG", vec![30, 30, 30]);
         let bad = read_with_quals("ACG", vec![2, 2, 2]);
-        let config = TrimConfig { window_len: 10, step: 1, min_quality: 20.0, ..TrimConfig::default() };
+        let config = TrimConfig {
+            window_len: 10,
+            step: 1,
+            min_quality: 20.0,
+            ..TrimConfig::default()
+        };
         assert_eq!(trim_read(&good, &config).len(), 3);
         assert!(trim_read(&bad, &config).is_empty());
     }
@@ -182,22 +219,43 @@ mod tests {
     #[test]
     fn fasta_read_only_gets_fixed_trim() {
         let read = Read::new("r", "AACCGGTT".parse().unwrap());
-        let config = TrimConfig { trim_5prime: 1, ..TrimConfig::default() };
+        let config = TrimConfig {
+            trim_5prime: 1,
+            ..TrimConfig::default()
+        };
         assert_eq!(trim_read(&read, &config).seq.to_string(), "ACCGGTT");
     }
 
     #[test]
     fn validate_rejects_zero_window_or_step() {
-        assert!(TrimConfig { window_len: 0, ..TrimConfig::default() }.validate().is_err());
-        assert!(TrimConfig { step: 0, ..TrimConfig::default() }.validate().is_err());
+        assert!(TrimConfig {
+            window_len: 0,
+            ..TrimConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TrimConfig {
+            step: 0,
+            ..TrimConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(TrimConfig::default().validate().is_ok());
     }
 
     #[test]
     fn step_larger_than_one_respected() {
         // 12 scores: last 6 bad, first 6 good. window 4, step 3.
-        let read = read_with_quals("ACGTACGTACGT", vec![30, 30, 30, 30, 30, 30, 2, 2, 2, 2, 2, 2]);
-        let config = TrimConfig { window_len: 4, step: 3, min_quality: 20.0, ..TrimConfig::default() };
+        let read = read_with_quals(
+            "ACGTACGTACGT",
+            vec![30, 30, 30, 30, 30, 30, 2, 2, 2, 2, 2, 2],
+        );
+        let config = TrimConfig {
+            window_len: 4,
+            step: 3,
+            min_quality: 20.0,
+            ..TrimConfig::default()
+        };
         let out = trim_read(&read, &config);
         // Windows end at 12 (mean 2), 9 (mean (30+2+2+2)/4=9), 6 (mean 30) -> keep 6.
         assert_eq!(out.len(), 6);
@@ -212,8 +270,10 @@ mod proptests {
 
     fn arb_read() -> impl Strategy<Value = Read> {
         proptest::collection::vec((0u8..4, 0u8..42), 0..150).prop_map(|pairs| {
-            let seq: crate::DnaString =
-                pairs.iter().map(|&(b, _)| crate::Base::from_code(b)).collect();
+            let seq: crate::DnaString = pairs
+                .iter()
+                .map(|&(b, _)| crate::Base::from_code(b))
+                .collect();
             let quals = QualityScores::from_phred(pairs.iter().map(|&(_, q)| q).collect());
             Read::with_quality("p", seq, quals)
         })

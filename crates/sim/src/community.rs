@@ -1,5 +1,6 @@
 //! Community abundance profiles.
 
+use crate::error::SimError;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -27,7 +28,9 @@ impl CommunityProfile {
     /// Uniform community over `n` genera.
     pub fn uniform(n: usize) -> CommunityProfile {
         assert!(n > 0, "community needs at least one genus");
-        CommunityProfile { abundances: vec![1.0 / n as f64; n] }
+        CommunityProfile {
+            abundances: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Skewed community over `n` genera, deterministic in `seed`.
@@ -52,18 +55,24 @@ impl CommunityProfile {
     }
 
     /// Explicit abundances (normalised by this constructor).
-    pub fn from_weights(weights: &[f64]) -> Result<CommunityProfile, String> {
+    pub fn from_weights(weights: &[f64]) -> Result<CommunityProfile, SimError> {
+        let config = |message: &str| SimError::Config {
+            parameter: "weights",
+            message: message.to_string(),
+        };
         if weights.is_empty() {
-            return Err("community needs at least one genus".to_string());
+            return Err(config("community needs at least one genus"));
         }
         if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-            return Err("weights must be finite and non-negative".to_string());
+            return Err(config("weights must be finite and non-negative"));
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
-            return Err("weights must not all be zero".to_string());
+            return Err(config("weights must not all be zero"));
         }
-        Ok(CommunityProfile { abundances: weights.iter().map(|w| w / total).collect() })
+        Ok(CommunityProfile {
+            abundances: weights.iter().map(|w| w / total).collect(),
+        })
     }
 
     /// Number of genera.
@@ -101,8 +110,11 @@ impl CommunityProfile {
     /// Splits `total_reads` across genera proportional to abundance, with
     /// rounding corrected so the counts sum exactly to `total_reads`.
     pub fn read_counts(&self, total_reads: usize) -> Vec<usize> {
-        let mut counts: Vec<usize> =
-            self.abundances.iter().map(|a| (a * total_reads as f64).floor() as usize).collect();
+        let mut counts: Vec<usize> = self
+            .abundances
+            .iter()
+            .map(|a| (a * total_reads as f64).floor() as usize)
+            .collect();
         let mut assigned: usize = counts.iter().sum();
         // Hand out the remainder to the largest fractional parts.
         let mut fracs: Vec<(usize, f64)> = self
@@ -111,7 +123,7 @@ impl CommunityProfile {
             .enumerate()
             .map(|(i, a)| (i, a * total_reads as f64 - counts[i] as f64))
             .collect();
-        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        fracs.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut next = 0;
         while assigned < total_reads {
             counts[fracs[next % fracs.len()].0] += 1;

@@ -1,6 +1,7 @@
 //! Assembled synthetic data sets, including the paper analogues D1–D3.
 
 use crate::community::CommunityProfile;
+use crate::error::SimError;
 use crate::genome::GenomeConfig;
 use crate::phylo::{Taxonomy, TaxonomyConfig};
 use crate::reads::{simulate_reads, ReadOrigin, ReadSimConfig};
@@ -69,7 +70,11 @@ impl DatasetConfig {
     /// benchmark size, tests use much smaller values.
     pub fn paper_scale(scale: f64) -> DatasetConfig {
         let mut config = DatasetConfig::default();
-        config.taxonomy.genome = GenomeConfig { length: 12_000, repeat_copies: 3, repeat_len: 250 };
+        config.taxonomy.genome = GenomeConfig {
+            length: 12_000,
+            repeat_copies: 3,
+            repeat_len: 250,
+        };
         config.total_reads = ((10_000.0 * scale).round() as usize).max(10);
         config
     }
@@ -81,17 +86,24 @@ impl DatasetConfig {
             .iter()
             .map(|&(g, p)| (g.to_string(), p.to_string()))
             .collect();
-        config.taxonomy.genome = GenomeConfig { length: 3_000, repeat_copies: 0, repeat_len: 0 };
+        config.taxonomy.genome = GenomeConfig {
+            length: 3_000,
+            repeat_copies: 0,
+            repeat_len: 0,
+        };
         config.total_reads = 900;
         config
     }
 }
 
 /// Builds a data set deterministically from `config` and `seed`.
-pub fn generate(name: &str, config: &DatasetConfig, seed: u64) -> Result<Dataset, String> {
+pub fn generate(name: &str, config: &DatasetConfig, seed: u64) -> Result<Dataset, SimError> {
     let taxonomy = Taxonomy::generate(&config.taxonomy, seed)?;
-    let community =
-        CommunityProfile::log_normal(taxonomy.genus_count(), config.abundance_sigma, seed ^ 0x5151);
+    let community = CommunityProfile::log_normal(
+        taxonomy.genus_count(),
+        config.abundance_sigma,
+        seed ^ 0x5151,
+    );
     let counts = community.read_counts(config.total_reads);
 
     let mut reads = Vec::with_capacity(config.total_reads);
@@ -121,7 +133,7 @@ pub fn generate(name: &str, config: &DatasetConfig, seed: u64) -> Result<Dataset
 /// The three deterministic paper-analogue data sets (Table I substitutes):
 /// same taxonomy parameters, different seeds/abundances — mirroring three
 /// different gut samples sequenced the same way.
-pub fn paper_datasets(scale: f64) -> Result<Vec<Dataset>, String> {
+pub fn paper_datasets(scale: f64) -> Result<Vec<Dataset>, SimError> {
     let config = DatasetConfig::paper_scale(scale);
     [("D1", 1001u64), ("D2", 2002), ("D3", 3003)]
         .iter()
@@ -135,10 +147,14 @@ pub fn single_genome_dataset(
     genome_len: usize,
     coverage: f64,
     seed: u64,
-) -> Result<Dataset, String> {
+) -> Result<Dataset, SimError> {
     let mut config = DatasetConfig::default();
     config.taxonomy.genera = vec![("Escherichia".to_string(), "Proteobacteria".to_string())];
-    config.taxonomy.genome = GenomeConfig { length: genome_len, repeat_copies: 0, repeat_len: 0 };
+    config.taxonomy.genome = GenomeConfig {
+        length: genome_len,
+        repeat_copies: 0,
+        repeat_len: 0,
+    };
     config.abundance_sigma = 0.0;
     config.total_reads =
         ((genome_len as f64 * coverage) / config.reads.read_len as f64).round() as usize;

@@ -1,0 +1,43 @@
+//! Error type for the metagenome simulator.
+
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An invalid simulation parameter.
+    Config {
+        /// Offending parameter name (e.g. `read_len`).
+        parameter: &'static str,
+        /// What went wrong, including the offending value.
+        message: String,
+    },
+    /// A genome is too short to sample reads of the configured length from.
+    GenomeTooShort {
+        /// Genome length in bases.
+        genome_len: usize,
+        /// Configured read length.
+        read_len: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config { parameter, message } => {
+                write!(f, "invalid {parameter}: {message}")
+            }
+            SimError::GenomeTooShort {
+                genome_len,
+                read_len,
+            } => {
+                write!(
+                    f,
+                    "genome length {genome_len} shorter than read length {read_len}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

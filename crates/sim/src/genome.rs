@@ -1,5 +1,6 @@
 //! Random genomes and mutation models.
 
+use crate::error::SimError;
 use fc_seq::{Base, DnaString};
 use rand::Rng;
 use rand::SeedableRng;
@@ -20,7 +21,11 @@ pub struct GenomeConfig {
 
 impl Default for GenomeConfig {
     fn default() -> GenomeConfig {
-        GenomeConfig { length: 10_000, repeat_copies: 0, repeat_len: 300 }
+        GenomeConfig {
+            length: 10_000,
+            repeat_copies: 0,
+            repeat_len: 300,
+        }
     }
 }
 
@@ -74,7 +79,7 @@ impl MutationModel {
     }
 
     /// Validates probability ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
         for (name, v) in [
             ("conserved_fraction", self.conserved_fraction),
             ("conserved_divergence", self.conserved_divergence),
@@ -82,11 +87,17 @@ impl MutationModel {
             ("indel_rate", self.indel_rate),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{name} must be in [0,1], got {v}"));
+                return Err(SimError::Config {
+                    parameter: name,
+                    message: format!("must be in [0,1], got {v}"),
+                });
             }
         }
         if self.segment_len == 0 {
-            return Err("segment_len must be > 0".to_string());
+            return Err(SimError::Config {
+                parameter: "segment_len",
+                message: "must be > 0".to_string(),
+            });
         }
         Ok(())
     }
@@ -96,8 +107,9 @@ impl MutationModel {
 /// if configured. Deterministic in `seed`.
 pub fn random_genome(config: &GenomeConfig, seed: u64) -> DnaString {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut genome: DnaString =
-        (0..config.length).map(|_| Base::from_code(rng.gen_range(0..4))).collect();
+    let mut genome: DnaString = (0..config.length)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect();
     if config.repeat_copies > 1 && config.repeat_len > 0 && config.repeat_len < config.length {
         let unit_start = rng.gen_range(0..config.length - config.repeat_len);
         let unit = genome.slice(unit_start, unit_start + config.repeat_len);
@@ -124,7 +136,11 @@ pub fn mutate_genome(parent: &DnaString, model: &MutationModel, seed: u64) -> Dn
         let conserved = rng.gen_bool(model.conserved_fraction);
         let seg_len = (model.segment_len / 2) + rng.gen_range(0..model.segment_len.max(1));
         let end = (pos + seg_len).min(parent.len());
-        let sub_rate = if conserved { model.conserved_divergence } else { model.variable_divergence };
+        let sub_rate = if conserved {
+            model.conserved_divergence
+        } else {
+            model.variable_divergence
+        };
         for i in pos..end {
             // Indels first: a deletion skips the base, an insertion emits a
             // random base before it.
@@ -186,20 +202,30 @@ mod tests {
 
     #[test]
     fn random_genome_is_deterministic_in_seed() {
-        let config = GenomeConfig { length: 500, ..Default::default() };
+        let config = GenomeConfig {
+            length: 500,
+            ..Default::default()
+        };
         assert_eq!(random_genome(&config, 42), random_genome(&config, 42));
         assert_ne!(random_genome(&config, 42), random_genome(&config, 43));
     }
 
     #[test]
     fn random_genome_has_requested_length() {
-        let config = GenomeConfig { length: 1234, ..Default::default() };
+        let config = GenomeConfig {
+            length: 1234,
+            ..Default::default()
+        };
         assert_eq!(random_genome(&config, 1).len(), 1234);
     }
 
     #[test]
     fn repeats_create_duplicated_segments() {
-        let config = GenomeConfig { length: 4000, repeat_copies: 3, repeat_len: 200 };
+        let config = GenomeConfig {
+            length: 4000,
+            repeat_copies: 3,
+            repeat_len: 200,
+        };
         let genome = random_genome(&config, 7);
         // Count distinct 32-mers: with 2 extra repeat copies of length 200,
         // at least ~300 32-mers are duplicated.
@@ -207,12 +233,22 @@ mod tests {
         let total = kmers.len();
         kmers.sort_unstable();
         kmers.dedup();
-        assert!(total - kmers.len() > 250, "only {} duplicated 32-mers", total - kmers.len());
+        assert!(
+            total - kmers.len() > 250,
+            "only {} duplicated 32-mers",
+            total - kmers.len()
+        );
     }
 
     #[test]
     fn zero_mutation_model_copies_parent() {
-        let parent = random_genome(&GenomeConfig { length: 800, ..Default::default() }, 3);
+        let parent = random_genome(
+            &GenomeConfig {
+                length: 800,
+                ..Default::default()
+            },
+            3,
+        );
         let model = MutationModel {
             conserved_fraction: 1.0,
             conserved_divergence: 0.0,
@@ -225,37 +261,73 @@ mod tests {
 
     #[test]
     fn mutation_rates_show_up_in_divergence() {
-        let parent = random_genome(&GenomeConfig { length: 20_000, ..Default::default() }, 5);
+        let parent = random_genome(
+            &GenomeConfig {
+                length: 20_000,
+                ..Default::default()
+            },
+            5,
+        );
         let within = mutate_genome(&parent, &MutationModel::within_phylum(), 11);
         let between = mutate_genome(&parent, &MutationModel::between_phyla(), 11);
         let d_within = approximate_divergence(&parent, &within);
         let d_between = approximate_divergence(&parent, &between);
-        assert!(d_within < d_between, "within {d_within} !< between {d_between}");
-        assert!(d_within > 0.01, "within-phylum divergence too small: {d_within}");
-        assert!(d_within < 0.999, "within-phylum divergence saturated: {d_within}");
+        assert!(
+            d_within < d_between,
+            "within {d_within} !< between {d_between}"
+        );
+        assert!(
+            d_within > 0.01,
+            "within-phylum divergence too small: {d_within}"
+        );
+        assert!(
+            d_within < 0.999,
+            "within-phylum divergence saturated: {d_within}"
+        );
     }
 
     #[test]
     fn mutate_is_deterministic_in_seed() {
-        let parent = random_genome(&GenomeConfig { length: 1000, ..Default::default() }, 5);
+        let parent = random_genome(
+            &GenomeConfig {
+                length: 1000,
+                ..Default::default()
+            },
+            5,
+        );
         let model = MutationModel::within_phylum();
-        assert_eq!(mutate_genome(&parent, &model, 1), mutate_genome(&parent, &model, 1));
+        assert_eq!(
+            mutate_genome(&parent, &model, 1),
+            mutate_genome(&parent, &model, 1)
+        );
     }
 
     #[test]
     fn model_validation() {
         assert!(MutationModel::within_phylum().validate().is_ok());
-        assert!(MutationModel { indel_rate: 1.5, ..MutationModel::within_phylum() }
-            .validate()
-            .is_err());
-        assert!(MutationModel { segment_len: 0, ..MutationModel::within_phylum() }
-            .validate()
-            .is_err());
+        assert!(MutationModel {
+            indel_rate: 1.5,
+            ..MutationModel::within_phylum()
+        }
+        .validate()
+        .is_err());
+        assert!(MutationModel {
+            segment_len: 0,
+            ..MutationModel::within_phylum()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn divergence_of_identical_is_zero() {
-        let g = random_genome(&GenomeConfig { length: 100, ..Default::default() }, 2);
+        let g = random_genome(
+            &GenomeConfig {
+                length: 100,
+                ..Default::default()
+            },
+            2,
+        );
         assert_eq!(approximate_divergence(&g, &g), 0.0);
     }
 }

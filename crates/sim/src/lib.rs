@@ -20,12 +20,16 @@
 
 pub mod community;
 pub mod dataset;
+pub mod error;
 pub mod genome;
 pub mod phylo;
 pub mod reads;
 
 pub use community::CommunityProfile;
-pub use dataset::{generate as generate_dataset, paper_datasets, single_genome_dataset, Dataset, DatasetConfig};
+pub use dataset::{
+    generate as generate_dataset, paper_datasets, single_genome_dataset, Dataset, DatasetConfig,
+};
+pub use error::SimError;
 pub use genome::{GenomeConfig, MutationModel};
 pub use phylo::{Genus, Taxonomy, TaxonomyConfig};
 pub use reads::{ReadOrigin, ReadSimConfig};

@@ -8,6 +8,7 @@
 //! the heavier between-phyla model. The result is the similarity structure
 //! the paper exploits — same-phylum genera share alignable sequence.
 
+use crate::error::SimError;
 use crate::genome::{mutate_genome, random_genome, GenomeConfig, MutationModel};
 use fc_seq::DnaString;
 
@@ -41,7 +42,10 @@ pub struct TaxonomyConfig {
 impl Default for TaxonomyConfig {
     fn default() -> TaxonomyConfig {
         TaxonomyConfig {
-            genera: GUT_GENERA.iter().map(|&(g, p)| (g.to_string(), p.to_string())).collect(),
+            genera: GUT_GENERA
+                .iter()
+                .map(|&(g, p)| (g.to_string(), p.to_string()))
+                .collect(),
             genome: GenomeConfig::default(),
             between_phyla: MutationModel::between_phyla(),
             within_phylum: MutationModel::within_phylum(),
@@ -74,11 +78,14 @@ pub struct Taxonomy {
 
 impl Taxonomy {
     /// Builds the taxonomy deterministically from `seed`.
-    pub fn generate(config: &TaxonomyConfig, seed: u64) -> Result<Taxonomy, String> {
+    pub fn generate(config: &TaxonomyConfig, seed: u64) -> Result<Taxonomy, SimError> {
         config.between_phyla.validate()?;
         config.within_phylum.validate()?;
         if config.genera.is_empty() {
-            return Err("taxonomy needs at least one genus".to_string());
+            return Err(SimError::Config {
+                parameter: "genera",
+                message: "taxonomy needs at least one genus".to_string(),
+            });
         }
         let root = random_genome(&config.genome, seed);
 
@@ -92,29 +99,33 @@ impl Taxonomy {
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                mutate_genome(&root, &config.between_phyla, seed.wrapping_add(1000 + i as u64))
+                mutate_genome(
+                    &root,
+                    &config.between_phyla,
+                    seed.wrapping_add(1000 + i as u64),
+                )
             })
             .collect();
 
-        let genera = config
-            .genera
-            .iter()
-            .enumerate()
-            .map(|(gi, (name, phylum))| {
-                let phylum_index =
-                    phyla.iter().position(|p| p == phylum).expect("phylum registered above");
-                Genus {
-                    name: name.clone(),
-                    phylum: phylum.clone(),
-                    phylum_index,
-                    genome: mutate_genome(
-                        &ancestors[phylum_index],
-                        &config.within_phylum,
-                        seed.wrapping_add(2000 + gi as u64),
-                    ),
-                }
-            })
-            .collect();
+        let mut genera = Vec::with_capacity(config.genera.len());
+        for (gi, (name, phylum)) in config.genera.iter().enumerate() {
+            let Some(phylum_index) = phyla.iter().position(|p| p == phylum) else {
+                return Err(SimError::Config {
+                    parameter: "genera",
+                    message: format!("phylum {phylum} missing from the registry"),
+                });
+            };
+            genera.push(Genus {
+                name: name.clone(),
+                phylum: phylum.clone(),
+                phylum_index,
+                genome: mutate_genome(
+                    &ancestors[phylum_index],
+                    &config.within_phylum,
+                    seed.wrapping_add(2000 + gi as u64),
+                ),
+            });
+        }
 
         Ok(Taxonomy { phyla, genera })
     }
@@ -147,7 +158,10 @@ mod tests {
 
     fn small_config() -> TaxonomyConfig {
         TaxonomyConfig {
-            genome: GenomeConfig { length: 8_000, ..Default::default() },
+            genome: GenomeConfig {
+                length: 8_000,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -187,7 +201,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_taxonomy() {
-        let config = TaxonomyConfig { genera: vec![], ..small_config() };
+        let config = TaxonomyConfig {
+            genera: vec![],
+            ..small_config()
+        };
         assert!(Taxonomy::generate(&config, 1).is_err());
     }
 

@@ -1,5 +1,6 @@
 //! Shotgun read simulation with an Illumina-like error/quality model.
 
+use crate::error::SimError;
 use fc_seq::{Base, DnaString, QualityScores, Read};
 use rand::Rng;
 use rand::SeedableRng;
@@ -51,18 +52,27 @@ impl Default for ReadSimConfig {
 
 impl ReadSimConfig {
     /// Validates probability ranges and lengths.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
         if self.read_len == 0 {
-            return Err("read_len must be > 0".to_string());
+            return Err(SimError::Config {
+                parameter: "read_len",
+                message: "must be > 0".to_string(),
+            });
         }
         for (name, v) in [
             ("error_rate_5p", self.error_rate_5p),
             ("error_rate_3p", self.error_rate_3p),
             ("bad_tail_probability", self.bad_tail_probability),
-            ("reverse_strand_probability", self.reverse_strand_probability),
+            (
+                "reverse_strand_probability",
+                self.reverse_strand_probability,
+            ),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{name} must be in [0,1], got {v}"));
+                return Err(SimError::Config {
+                    parameter: name,
+                    message: format!("must be in [0,1], got {v}"),
+                });
             }
         }
         Ok(())
@@ -95,14 +105,13 @@ pub fn simulate_reads(
     name_prefix: &str,
     reads: &mut Vec<Read>,
     origins: &mut Vec<ReadOrigin>,
-) -> Result<(), String> {
+) -> Result<(), SimError> {
     config.validate()?;
     if genome.len() < config.read_len {
-        return Err(format!(
-            "genome length {} shorter than read length {}",
-            genome.len(),
-            config.read_len
-        ));
+        return Err(SimError::GenomeTooShort {
+            genome_len: genome.len(),
+            read_len: config.read_len,
+        });
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let max_start = genome.len() - config.read_len;
@@ -123,7 +132,11 @@ pub fn simulate_reads(
         for i in 0..config.read_len {
             let in_tail =
                 bad_tail && i + config.bad_tail_len.min(config.read_len) >= config.read_len;
-            let err = if in_tail { 0.5 } else { config.error_rate_at(i) };
+            let err = if in_tail {
+                0.5
+            } else {
+                config.error_rate_at(i)
+            };
             let base = template.get(i);
             if err > 0.0 && rng.gen_bool(err) {
                 let others = base.others();
@@ -141,7 +154,11 @@ pub fn simulate_reads(
             seq,
             QualityScores::from_phred(quals),
         ));
-        origins.push(ReadOrigin { genus, position: position as u32, reverse });
+        origins.push(ReadOrigin {
+            genus,
+            position: position as u32,
+            reverse,
+        });
     }
     Ok(())
 }
@@ -151,8 +168,14 @@ pub fn simulate_reads(
 pub fn mismatches_vs_template(genome: &DnaString, read: &Read, origin: &ReadOrigin) -> usize {
     let len = read.len();
     let fwd = genome.slice(origin.position as usize, origin.position as usize + len);
-    let template = if origin.reverse { fwd.reverse_complement() } else { fwd };
-    (0..len).filter(|&i| template.get(i) != read.seq.get(i)).count()
+    let template = if origin.reverse {
+        fwd.reverse_complement()
+    } else {
+        fwd
+    };
+    (0..len)
+        .filter(|&i| template.get(i) != read.seq.get(i))
+        .count()
 }
 
 /// Expands a genome slice choice shared by tests: random base helper.
@@ -166,7 +189,13 @@ mod tests {
     use crate::genome::{random_genome, GenomeConfig};
 
     fn genome() -> DnaString {
-        random_genome(&GenomeConfig { length: 5_000, ..Default::default() }, 17)
+        random_genome(
+            &GenomeConfig {
+                length: 5_000,
+                ..Default::default()
+            },
+            17,
+        )
     }
 
     fn simulate(config: &ReadSimConfig, seed: u64) -> (Vec<Read>, Vec<ReadOrigin>) {
@@ -237,14 +266,24 @@ mod tests {
 
     #[test]
     fn bad_tails_have_low_quality() {
-        let config = ReadSimConfig { bad_tail_probability: 1.0, bad_tail_len: 10, ..Default::default() };
+        let config = ReadSimConfig {
+            bad_tail_probability: 1.0,
+            bad_tail_len: 10,
+            ..Default::default()
+        };
         let (reads, _) = simulate(&config, 2);
         for read in &reads {
             let q = read.qual.as_ref().unwrap();
             let tail_mean = q.window_mean(90, 100).unwrap();
             let head_mean = q.window_mean(0, 10).unwrap();
-            assert!(tail_mean < head_mean, "tail {tail_mean} !< head {head_mean}");
-            assert!(tail_mean < 10.0, "tail quality should be terrible: {tail_mean}");
+            assert!(
+                tail_mean < head_mean,
+                "tail {tail_mean} !< head {head_mean}"
+            );
+            assert!(
+                tail_mean < 10.0,
+                "tail quality should be terrible: {tail_mean}"
+            );
         }
     }
 
@@ -293,7 +332,17 @@ mod tests {
             &mut origins
         )
         .is_err());
-        assert!(ReadSimConfig { read_len: 0, ..Default::default() }.validate().is_err());
-        assert!(ReadSimConfig { error_rate_3p: 2.0, ..Default::default() }.validate().is_err());
+        assert!(ReadSimConfig {
+            read_len: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ReadSimConfig {
+            error_rate_3p: 2.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -1,0 +1,145 @@
+//! rustc-style diagnostics for the analyzer.
+
+use std::fmt;
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// FC001 — `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in non-test library code.
+    NoPanic,
+    /// FC002 — `Result<_, String>` in a public signature.
+    StringError,
+    /// FC003 — near-colliding module filenames within one crate.
+    ModuleCollision,
+    /// FC004 — a `pub fn` mutating a graph/partition/level-set parameter
+    /// without a typed-`Result` return or a `# Invariants` doc section.
+    InvariantDoc,
+}
+
+impl Rule {
+    /// Stable diagnostic code, shown as `error[FC00x]`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Rule::NoPanic => "FC001",
+            Rule::StringError => "FC002",
+            Rule::ModuleCollision => "FC003",
+            Rule::InvariantDoc => "FC004",
+        }
+    }
+
+    /// The name used in `xtask/allow.toml` entries.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::StringError => "no-string-error",
+            Rule::ModuleCollision => "no-module-collision",
+            Rule::InvariantDoc => "invariant-doc",
+        }
+    }
+
+    /// Parses an allowlist rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-panic" => Some(Rule::NoPanic),
+            "no-string-error" => Some(Rule::StringError),
+            "no-module-collision" => Some(Rule::ModuleCollision),
+            "invariant-doc" => Some(Rule::InvariantDoc),
+            _ => None,
+        }
+    }
+
+    /// All rules, for `--list-rules`.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::NoPanic,
+            Rule::StringError,
+            Rule::ModuleCollision,
+            Rule::InvariantDoc,
+        ]
+    }
+
+    /// One-line rationale shown by `--list-rules`.
+    pub fn rationale(&self) -> &'static str {
+        match self {
+            Rule::NoPanic => {
+                "library code must surface failures as typed errors that cross \
+                 crate boundaries (FocusError/DistError/SeqError), not abort the rank"
+            }
+            Rule::StringError => {
+                "`Result<_, String>` erases the failure mode; callers cannot match \
+                 on it and recovery code degenerates to string sniffing"
+            }
+            Rule::ModuleCollision => {
+                "near-identical module names (`error.rs` vs `errors.rs`) make every \
+                 import a coin flip and code review unreliable"
+            }
+            Rule::InvariantDoc => {
+                "a pub fn mutating a DiGraph, partition vector, or hybrid level set \
+                 must either return a typed error or document its `# Invariants`"
+            }
+        }
+    }
+}
+
+/// One finding, printable in rustc style.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 when the finding is file-level, e.g. FC003).
+    pub line: usize,
+    /// 1-based column (0 when unknown).
+    pub col: usize,
+    pub message: String,
+    /// The offending source line, if any.
+    pub snippet: Option<String>,
+    pub help: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule.code(), self.message)?;
+        if self.line > 0 {
+            writeln!(f, "  --> {}:{}:{}", self.path, self.line, self.col.max(1))?;
+        } else {
+            writeln!(f, "  --> {}", self.path)?;
+        }
+        if let Some(snippet) = &self.snippet {
+            writeln!(f, "   |")?;
+            writeln!(f, "   | {}", snippet.trim_end())?;
+        }
+        write!(f, "   = help: {}", self.help)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_rustc_shape() {
+        let d = Diagnostic {
+            rule: Rule::NoPanic,
+            path: "crates/seq/src/store.rs".into(),
+            line: 42,
+            col: 17,
+            message: "`.unwrap()` in non-test library code".into(),
+            snippet: Some("    let x = v.pop().unwrap();".into()),
+            help: "return a typed error or allowlist in xtask/allow.toml".into(),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("error[FC001]:"), "{s}");
+        assert!(s.contains("--> crates/seq/src/store.rs:42:17"), "{s}");
+        assert!(s.contains("= help:"), "{s}");
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::all() {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,204 @@
+//! # xtask — workspace automation for the Focus assembler
+//!
+//! `cargo xtask analyze` is a Focus-specific static-analysis gate (DESIGN.md
+//! §7): the paper's pipeline is a chain of invariant-carrying graph
+//! transformations, and a silent `unwrap()` on a malformed record or an
+//! unchecked partition index aborts a whole simulated rank. The analyzer
+//! enforces, over the non-test library code of every `fc-*`/`focus-core`
+//! crate:
+//!
+//! * **FC001 `no-panic`** — no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//!   `todo!`/`unimplemented!`; failures must travel as typed errors.
+//! * **FC002 `no-string-error`** — no `Result<_, String>` in public
+//!   signatures.
+//! * **FC003 `no-module-collision`** — no near-colliding module filenames
+//!   (`error.rs` vs `errors.rs`).
+//! * **FC004 `invariant-doc`** — a `pub fn` mutating a `DiGraph`, partition
+//!   vector, or hybrid/multilevel set must return a typed `Result` or carry
+//!   a `# Invariants` doc section.
+//!
+//! Justified exceptions live in `xtask/allow.toml`, each with a mandatory
+//! `reason`. The binary exits nonzero on any unsuppressed finding so CI can
+//! gate on it.
+//!
+//! Everything is built on a small hand-rolled lexer ([`lexer`]) because this
+//! build environment cannot fetch `syn`; the lexer understands exactly as
+//! much Rust as the rules need (comments, strings, lifetimes, doc comments).
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use diag::Diagnostic;
+use std::fs;
+use std::path::Path;
+
+/// Outcome of an analysis run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings not suppressed by the allowlist.
+    pub violations: Vec<Diagnostic>,
+    /// Findings suppressed by the allowlist (reported in verbose mode).
+    pub suppressed: Vec<(Diagnostic, String)>,
+    /// Allowlist entries that matched nothing (stale suppressions).
+    pub unused_allows: Vec<allow::AllowEntry>,
+    /// Files analyzed.
+    pub files: usize,
+}
+
+/// Runs every rule over the workspace rooted at `root`, applying the
+/// allowlist at `allow_path` when it exists.
+pub fn analyze_workspace(root: &Path, allow_path: &Path) -> Result<Analysis, String> {
+    let allows = if allow_path.exists() {
+        let text =
+            fs::read_to_string(allow_path).map_err(|e| format!("{}: {e}", allow_path.display()))?;
+        allow::parse(&text)?
+    } else {
+        Vec::new()
+    };
+
+    let crates = workspace::lint_crates(root).map_err(|e| format!("scanning crates: {e}"))?;
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut files = 0usize;
+    for c in &crates {
+        raw.extend(rules::module_collisions(
+            &c.rel_dir,
+            &workspace::module_stems(c),
+        ));
+        for rel in &c.sources {
+            let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+            raw.extend(rules::analyze_file(rel, &text));
+            files += 1;
+        }
+    }
+
+    let mut used = vec![false; allows.len()];
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in raw {
+        match allows.iter().position(|a| a.matches(&d)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push((d, allows[i].reason.clone()));
+            }
+            None => violations.push(d),
+        }
+    }
+    let unused_allows = allows
+        .into_iter()
+        .zip(used)
+        .filter_map(|(a, u)| (!u).then_some(a))
+        .collect();
+    Ok(Analysis {
+        violations,
+        suppressed,
+        unused_allows,
+        files,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write(root: &Path, rel: &str, content: &str) {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        fs::write(path, content).expect("write fixture");
+    }
+
+    /// Builds a miniature workspace with one lintable crate.
+    fn fixture_workspace(tag: &str, lib_rs: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("xtask-selftest-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        write(
+            &root,
+            "Cargo.toml",
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        );
+        write(
+            &root,
+            "crates/demo/Cargo.toml",
+            "[package]\nname = \"fc-demo\"\nversion = \"0.0.0\"\n",
+        );
+        write(&root, "crates/demo/src/lib.rs", lib_rs);
+        root
+    }
+
+    /// The acceptance-criteria self-test: a deliberately introduced
+    /// `unwrap()` in a library crate must produce a violation (and therefore
+    /// a nonzero exit in `main`), and removing it must produce none.
+    #[test]
+    fn deliberate_unwrap_fails_and_clean_code_passes() {
+        let dirty = fixture_workspace(
+            "dirty",
+            "pub fn first(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n",
+        );
+        let analysis = analyze_workspace(&dirty, &dirty.join("xtask/allow.toml")).unwrap();
+        assert_eq!(analysis.violations.len(), 1, "{:?}", analysis.violations);
+        assert_eq!(analysis.violations[0].rule.code(), "FC001");
+        assert_eq!(analysis.violations[0].line, 2);
+
+        let clean = fixture_workspace(
+            "clean",
+            "pub fn first(v: &[u32]) -> Option<u32> {\n    v.first().copied()\n}\n",
+        );
+        let analysis = analyze_workspace(&clean, &clean.join("xtask/allow.toml")).unwrap();
+        assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+        assert_eq!(analysis.files, 1);
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_reports_stale_entries() {
+        let root = fixture_workspace(
+            "allow",
+            "pub fn f(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n",
+        );
+        write(
+            &root,
+            "xtask/allow.toml",
+            r#"
+[[allow]]
+rule = "no-panic"
+path = "crates/demo/src/lib.rs"
+pattern = "first().copied().unwrap()"
+reason = "demo"
+
+[[allow]]
+rule = "no-panic"
+path = "crates/demo/src/nonexistent.rs"
+reason = "stale"
+"#,
+        );
+        let analysis = analyze_workspace(&root, &root.join("xtask/allow.toml")).unwrap();
+        assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+        assert_eq!(analysis.suppressed.len(), 1);
+        assert_eq!(analysis.unused_allows.len(), 1);
+        assert_eq!(analysis.unused_allows[0].reason, "stale");
+    }
+
+    #[test]
+    fn module_collision_is_detected_across_a_crate() {
+        let root = fixture_workspace("collide", "pub fn ok() {}\n");
+        write(&root, "crates/demo/src/error.rs", "pub struct E;\n");
+        write(&root, "crates/demo/src/errors.rs", "pub struct E2;\n");
+        let analysis = analyze_workspace(&root, &root.join("xtask/allow.toml")).unwrap();
+        assert_eq!(analysis.violations.len(), 1, "{:?}", analysis.violations);
+        assert_eq!(analysis.violations[0].rule.code(), "FC003");
+    }
+
+    #[test]
+    fn malformed_allowlist_is_a_hard_error() {
+        let root = fixture_workspace("badallow", "pub fn ok() {}\n");
+        write(
+            &root,
+            "xtask/allow.toml",
+            "[[allow]]\nrule = \"no-panic\"\n",
+        );
+        let err = analyze_workspace(&root, &root.join("xtask/allow.toml")).unwrap_err();
+        assert!(err.contains("path") || err.contains("reason"), "{err}");
+    }
+}

@@ -1,0 +1,119 @@
+//! `cargo xtask` — workspace automation. See the library docs for the rule
+//! set; this binary is argument parsing and exit codes only.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::diag::Rule;
+
+const USAGE: &str = "\
+Usage: cargo xtask <command> [options]
+
+Commands:
+  analyze     run the Focus-specific static-analysis rules over the workspace
+
+Options (analyze):
+  --root <dir>    workspace root (default: discovered from the current dir)
+  --allow <file>  allowlist path (default: <root>/xtask/allow.toml)
+  --list-rules    print the rule set and exit
+  --verbose       also print suppressed findings with their reasons
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in Rule::all() {
+                    println!("{} {:<20} {}", rule.code(), rule.name(), rule.rationale());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--verbose" => verbose = true,
+            "--root" => root = it.next().map(PathBuf::from),
+            "--allow" => allow = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match xtask::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let allow = allow.unwrap_or_else(|| root.join("xtask/allow.toml"));
+
+    let analysis = match xtask::analyze_workspace(&root, &allow) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if verbose {
+        for (d, reason) in &analysis.suppressed {
+            println!(
+                "allowed[{}]: {} ({})\n  --> {}:{}",
+                d.rule.code(),
+                d.message,
+                reason,
+                d.path,
+                d.line
+            );
+        }
+    }
+    for entry in &analysis.unused_allows {
+        eprintln!(
+            "warning: stale allow.toml entry (rule `{}`, path `{}`) matched nothing",
+            entry.rule.name(),
+            entry.path
+        );
+    }
+    if analysis.violations.is_empty() {
+        println!(
+            "xtask analyze: {} files clean ({} finding(s) allowlisted)",
+            analysis.files,
+            analysis.suppressed.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &analysis.violations {
+        eprintln!("{d}\n");
+    }
+    eprintln!(
+        "xtask analyze: {} violation(s) across {} files",
+        analysis.violations.len(),
+        analysis.files
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,690 @@
+//! The Focus-specific lint rules, run over one lexed source file (FC001,
+//! FC002, FC004) or one crate's module list (FC003).
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Graph/partition state whose public mutators must be invariant-checked
+/// (rule FC004): the overlap graph, the coarsened multilevel set, the hybrid
+/// set, and level graphs (paper §II–§IV).
+const MUTATION_GUARDED_TYPES: [&str; 5] = [
+    "DiGraph",
+    "HybridSet",
+    "MultilevelSet",
+    "LevelGraph",
+    "GraphSet",
+];
+
+/// Analyzes one library source file and returns all findings.
+///
+/// `rel_path` is the workspace-relative path used in diagnostics.
+pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let excluded = test_spans(&tokens);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet =
+        |line: usize| -> Option<String> { lines.get(line.wrapping_sub(1)).map(|l| l.to_string()) };
+
+    let mut out = Vec::new();
+    no_panic(rel_path, &tokens, &excluded, &snippet, &mut out);
+    pub_fn_rules(rel_path, &tokens, &excluded, &snippet, &mut out);
+    out
+}
+
+/// Flags near-colliding module filenames within one crate (FC003).
+///
+/// Two stems collide when one is a prefix of the other and they differ by at
+/// most two trailing characters (`error` vs `errors`). Stems that differ by
+/// substitution (`fasta` vs `fastq`) are distinct on purpose and not
+/// flagged.
+pub fn module_collisions(crate_rel: &str, stems: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..stems.len() {
+        for j in i + 1..stems.len() {
+            let (a, pa) = &stems[i];
+            let (b, pb) = &stems[j];
+            if a == b {
+                continue;
+            }
+            let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            if long.starts_with(short.as_str()) && long.len() - short.len() <= 2 {
+                out.push(Diagnostic {
+                    rule: Rule::ModuleCollision,
+                    path: crate_rel.to_string(),
+                    line: 0,
+                    col: 0,
+                    message: format!("module names `{pa}` and `{pb}` collide up to a suffix"),
+                    snippet: None,
+                    help: "rename one module so imports cannot be confused \
+                           (e.g. `errors.rs` → `error_removal.rs`)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Marks every token inside `#[cfg(test)]` items, `#[test]` functions, and
+/// other test-gated items as excluded from the lint rules.
+fn test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut excluded = vec![false; tokens.len()];
+    let mut i = 0usize;
+    let mut pending_test = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('#') && tokens.get(i + 1).map(|t| t.is_punct('[')).unwrap_or(false) {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            pending_test |= is_test;
+            i = attr_end;
+            continue;
+        }
+        if pending_test && t.kind == TokenKind::Ident && is_item_keyword(&t.text) {
+            let end = skip_item(tokens, i);
+            for flag in excluded.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            pending_test = false;
+            i = end;
+            continue;
+        }
+        // Any other real token between the attribute and its item (doc
+        // comments and further attributes are handled above) cancels the
+        // pending flag; `pub`/`unsafe`/`async`/`const`/`extern` prefix an
+        // item and keep it.
+        if pending_test
+            && t.kind == TokenKind::Ident
+            && !matches!(
+                t.text.as_str(),
+                "pub" | "unsafe" | "async" | "const" | "extern"
+            )
+            && t.kind != TokenKind::DocComment
+        {
+            pending_test = false;
+        }
+        i += 1;
+    }
+    excluded
+}
+
+/// Scans the attribute starting at the `[` token index; returns the index
+/// just past the closing `]` and whether the attribute gates test code.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(&t.text);
+        }
+        i += 1;
+    }
+    // `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]` gate test code;
+    // `#[cfg(not(test))]` does not. `not` anywhere makes us conservative.
+    let is_test = match idents.as_slice() {
+        ["test"] => true,
+        [first, rest @ ..] if *first == "cfg" => rest.contains(&"test") && !rest.contains(&"not"),
+        _ => false,
+    };
+    (i, is_test)
+}
+
+fn is_item_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "fn" | "mod"
+            | "struct"
+            | "enum"
+            | "impl"
+            | "trait"
+            | "const"
+            | "static"
+            | "type"
+            | "macro_rules"
+            | "use"
+    )
+}
+
+/// Returns the token index just past the item starting at `start` (an item
+/// keyword): past the matching `}` of its body, or past the terminating `;`.
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    let mut brace_depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            brace_depth += 1;
+        } else if t.is_punct('}') {
+            brace_depth -= 1;
+            if brace_depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && brace_depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// FC001 — panic-family calls in non-test library code.
+fn no_panic(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |c: char| tokens.get(i + 1).map(|n| n.is_punct(c)).unwrap_or(false);
+        let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
+        let found = match t.text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is('(') => {
+                Some(format!("`.{}()` in non-test library code", t.text))
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next_is('!') => {
+                Some(format!("`{}!` in non-test library code", t.text))
+            }
+            _ => None,
+        };
+        if let Some(message) = found {
+            out.push(Diagnostic {
+                rule: Rule::NoPanic,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+                snippet: snippet(t.line),
+                help: "return a typed error (FocusError/DistError/SeqError/...) so the \
+                       failure can cross crate boundaries; if this site is provably \
+                       unreachable, allowlist it in xtask/allow.toml with a reason"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Everything about one `pub fn` signature the rules need.
+struct PubFn {
+    name: String,
+    line: usize,
+    col: usize,
+    /// Tokens between the signature's outer parentheses.
+    params: Vec<Token>,
+    /// Tokens after `->` up to the body/terminator.
+    ret: Vec<Token>,
+    /// Doc-comment lines immediately preceding the item.
+    docs: Vec<String>,
+}
+
+/// FC002 + FC004 — rules over public function signatures.
+fn pub_fn_rules(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for f in collect_pub_fns(tokens, excluded) {
+        let mut sig = f.params.clone();
+        sig.extend(f.ret.iter().cloned());
+        if let Some(line) = find_result_string(&sig) {
+            out.push(Diagnostic {
+                rule: Rule::StringError,
+                path: rel_path.to_string(),
+                line,
+                col: 0,
+                message: format!(
+                    "`Result<_, String>` in the public signature of `{}`",
+                    f.name
+                ),
+                snippet: snippet(f.line),
+                help: "use a typed error enum so callers can match on the failure mode".to_string(),
+            });
+        }
+        if let Some(ty) = mutates_guarded_state(&f.params) {
+            let returns_result = f.ret.iter().any(|t| t.is_ident("Result"));
+            let has_invariants_doc = f.docs.iter().any(|d| d.trim().starts_with("# Invariants"));
+            if !returns_result && !has_invariants_doc {
+                out.push(Diagnostic {
+                    rule: Rule::InvariantDoc,
+                    path: rel_path.to_string(),
+                    line: f.line,
+                    col: f.col,
+                    message: format!(
+                        "pub fn `{}` mutates `{ty}` but neither returns a typed \
+                         `Result` nor documents a `# Invariants` section",
+                        f.name
+                    ),
+                    snippet: snippet(f.line),
+                    help: "either return a typed error for violated preconditions, or \
+                           add a `# Invariants` doc section stating what the mutation \
+                           preserves"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Walks the token stream collecting truly-public (`pub`, not `pub(crate)`)
+/// functions outside test spans, with their docs, params, and return type.
+fn collect_pub_fns(tokens: &[Token], excluded: &[bool]) -> Vec<PubFn> {
+    let mut out = Vec::new();
+    let mut docs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::DocComment {
+            docs.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct('#') && tokens.get(i + 1).map(|n| n.is_punct('[')).unwrap_or(false) {
+            // Attributes between docs and the item keep the docs alive.
+            let (end, _) = scan_attribute(tokens, i + 1);
+            i = end;
+            continue;
+        }
+        if excluded[i] || !t.is_ident("pub") {
+            if !(t.is_ident("pub") && excluded[i]) && t.kind != TokenKind::DocComment {
+                docs.clear();
+            }
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` / `pub(super)` / `pub(in ...)` are not public API.
+        if tokens.get(j).map(|n| n.is_punct('(')).unwrap_or(false) {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    depth += 1;
+                } else if tokens[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            docs.clear();
+            i = j;
+            continue;
+        }
+        // Skip qualifiers: `pub const fn`, `pub async unsafe fn`, ...
+        while tokens
+            .get(j)
+            .map(|n| matches!(n.text.as_str(), "const" | "async" | "unsafe" | "extern"))
+            .unwrap_or(false)
+            || tokens
+                .get(j)
+                .map(|n| n.kind == TokenKind::Literal)
+                .unwrap_or(false)
+        {
+            j += 1;
+        }
+        if !tokens.get(j).map(|n| n.is_ident("fn")).unwrap_or(false) {
+            docs.clear();
+            i = j.max(i + 1);
+            continue;
+        }
+        let Some(name_tok) = tokens.get(j + 1) else {
+            break;
+        };
+        if let Some(f) = parse_signature(tokens, j + 1) {
+            out.push(PubFn {
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                col: name_tok.col,
+                params: f.0,
+                ret: f.1,
+                docs: std::mem::take(&mut docs),
+            });
+        }
+        docs.clear();
+        i = j + 1;
+    }
+    out
+}
+
+/// From the fn-name token index, splits the signature into parameter tokens
+/// (inside the outer parens) and return tokens (after `->`, before the body
+/// `{` or `;`).
+fn parse_signature(tokens: &[Token], name_idx: usize) -> Option<(Vec<Token>, Vec<Token>)> {
+    let mut i = name_idx + 1;
+    // Skip generics on the name: `fn foo<'a, T: Bound>(...)`.
+    if tokens.get(i).map(|t| t.is_punct('<')).unwrap_or(false) {
+        let mut depth = 0isize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('<') {
+                depth += 1;
+            } else if tokens[i].is_punct('>') && !(i > 0 && tokens[i - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    if !tokens.get(i).map(|t| t.is_punct('(')).unwrap_or(false) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut params = Vec::new();
+    while i < tokens.len() {
+        if tokens[i].is_punct('(') {
+            depth += 1;
+            if depth == 1 {
+                i += 1;
+                continue;
+            }
+        } else if tokens[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        }
+        params.push(tokens[i].clone());
+        i += 1;
+    }
+    // Return type: `-> ... {` or `-> ... ;` or `-> ... where`.
+    let mut ret = Vec::new();
+    if tokens.get(i).map(|t| t.is_punct('-')).unwrap_or(false)
+        && tokens.get(i + 1).map(|t| t.is_punct('>')).unwrap_or(false)
+    {
+        i += 2;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                break;
+            }
+            ret.push(t.clone());
+            i += 1;
+        }
+    }
+    Some((params, ret))
+}
+
+/// Finds `Result<_, String>` (or `..::Result<_, String>`) in signature
+/// tokens; returns the line of the offending `Result` if present.
+fn find_result_string(sig: &[Token]) -> Option<usize> {
+    for (i, t) in sig.iter().enumerate() {
+        if !t.is_ident("Result") || !sig.get(i + 1).map(|n| n.is_punct('<')).unwrap_or(false) {
+            continue;
+        }
+        // Walk the generic arguments, splitting at depth-1 commas.
+        let mut depth = 0isize;
+        let mut args: Vec<Vec<&Token>> = vec![Vec::new()];
+        let mut j = i + 1;
+        while j < sig.len() {
+            let u = &sig[j];
+            if u.is_punct('<') {
+                depth += 1;
+                if depth == 1 {
+                    j += 1;
+                    continue;
+                }
+            } else if u.is_punct('>') && !(j > 0 && sig[j - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if u.is_punct(',') && depth == 1 {
+                args.push(Vec::new());
+                j += 1;
+                continue;
+            }
+            if let Some(last) = args.last_mut() {
+                last.push(u);
+            }
+            j += 1;
+        }
+        if args.len() >= 2 {
+            let err = &args[args.len() - 1];
+            let is_string = matches!(
+                err.as_slice(),
+                [t] if t.is_ident("String")
+            ) || err.len() >= 3
+                && err[err.len() - 1].is_ident("String")
+                && err[err.len() - 2].is_punct(':')
+                && err[err.len() - 3].is_punct(':');
+            if is_string {
+                return Some(t.line);
+            }
+        }
+    }
+    None
+}
+
+/// Does the parameter list mutate guarded assembly state? Returns the name
+/// of the first guarded type found behind a `&mut`.
+fn mutates_guarded_state(params: &[Token]) -> Option<String> {
+    // Split params at top-level commas; inspect each param independently.
+    let mut depth = 0isize;
+    let mut start = 0usize;
+    let mut spans = Vec::new();
+    for (i, t) in params.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" if t.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
+            ">" if t.kind == TokenKind::Punct && !(i > 0 && params[i - 1].is_punct('-')) => {
+                depth -= 1
+            }
+            "," if t.kind == TokenKind::Punct && depth == 0 => {
+                spans.push(&params[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        spans.push(&params[start..]);
+    }
+    for span in spans {
+        // Find `& [lifetime]? mut` within this param.
+        let mut k = 0usize;
+        let mut is_mut_ref = false;
+        while k < span.len() {
+            if span[k].is_punct('&') {
+                let mut m = k + 1;
+                if span
+                    .get(m)
+                    .map(|t| t.kind == TokenKind::Lifetime)
+                    .unwrap_or(false)
+                {
+                    m += 1;
+                }
+                if span.get(m).map(|t| t.is_ident("mut")).unwrap_or(false) {
+                    is_mut_ref = true;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if !is_mut_ref {
+            continue;
+        }
+        if let Some(ty) = span.iter().find_map(|t| {
+            MUTATION_GUARDED_TYPES
+                .iter()
+                .find(|g| t.is_ident(g))
+                .map(|g| g.to_string())
+        }) {
+            return Some(ty);
+        }
+        // `parts: &mut [u32]` / `&mut Vec<u32>` — a partition vector when the
+        // parameter name says so.
+        let param_name = span.first().filter(|t| t.kind == TokenKind::Ident);
+        let named_parts = param_name.map(|t| t.text.contains("part")).unwrap_or(false);
+        let is_u32_seq = span.iter().any(|t| t.is_ident("u32"))
+            && span.iter().any(|t| t.is_punct('[') || t.is_ident("Vec"));
+        if named_parts && is_u32_seq {
+            return Some("partition vector".to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<(&'static str, usize)> {
+        analyze_file("lib.rs", src)
+            .into_iter()
+            .map(|d| (d.rule.code(), d.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let src = "pub fn f(v: Vec<u32>) -> u32 {\n    v.first().copied().unwrap()\n}\n";
+        assert_eq!(rules_hit(src), vec![("FC001", 2)]);
+    }
+
+    #[test]
+    fn flags_every_panic_macro() {
+        let src = "fn a() { panic!(\"x\") }\nfn b() { unreachable!() }\nfn c() { todo!() }\nfn d() { unimplemented!() }\n";
+        let hits = rules_hit(src);
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap_or(0).max(v.unwrap_or_default()) }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn ignores_test_modules_and_test_fns() {
+        let src = r#"
+fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+}
+
+#[test]
+fn top_level_test() { None::<u32>.unwrap(); }
+"#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_any_test_is_test_code() {
+        let src =
+            "#[cfg(any(test, feature = \"slow\"))]\nmod helpers { pub fn h() { panic!() } }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_library_code() {
+        let src = "#[cfg(not(test))]\nmod real { pub fn r() { panic!() } }\n";
+        assert_eq!(rules_hit(src), vec![("FC001", 2)]);
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\n\npub fn later() { panic!() }\n";
+        assert_eq!(rules_hit(src), vec![("FC001", 4)]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        let src = "// v.unwrap()\nfn f() -> &'static str { \"panic!()\" }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn flags_result_string_in_pub_signature() {
+        let src = "pub fn parse(s: &str) -> Result<u32, String> { s.parse().map_err(|e| format!(\"{e}\")) }\n";
+        assert_eq!(rules_hit(src), vec![("FC002", 1)]);
+    }
+
+    #[test]
+    fn nested_ok_type_does_not_confuse_fc002() {
+        let src = "pub fn f() -> Result<Vec<String>, std::io::Error> { Ok(Vec::new()) }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn private_and_crate_fns_escape_fc002() {
+        let src = "fn a() -> Result<u32, String> { Ok(1) }\npub(crate) fn b() -> Result<u32, String> { Ok(2) }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn qualified_string_error_is_flagged() {
+        let src = "pub fn f() -> Result<(), std::string::String> { Ok(()) }\n";
+        assert_eq!(rules_hit(src), vec![("FC002", 1)]);
+    }
+
+    #[test]
+    fn mutator_without_docs_or_result_is_flagged() {
+        let src = "pub fn remove_all(g: &mut DiGraph, nodes: &[u32]) -> usize { nodes.len() }\n";
+        assert_eq!(rules_hit(src), vec![("FC004", 1)]);
+    }
+
+    #[test]
+    fn mutator_with_invariants_doc_passes() {
+        let src = "/// Removes nodes.\n///\n/// # Invariants\n/// Keeps edge weights conserved.\npub fn remove_all(g: &mut DiGraph) -> usize { 0 }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn mutator_returning_result_passes() {
+        let src = "pub fn remove_all(g: &mut DiGraph) -> Result<usize, DistError> { Ok(0) }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn partition_vector_param_is_guarded() {
+        let src = "pub fn rebalance(parts: &mut [u32], k: usize) {}\n";
+        assert_eq!(rules_hit(src), vec![("FC004", 1)]);
+    }
+
+    #[test]
+    fn shared_ref_is_not_a_mutation() {
+        let src = "pub fn inspect(g: &DiGraph, parts: &[u32]) -> usize { parts.len() }\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn attributes_between_docs_and_fn_keep_docs() {
+        let src = "/// # Invariants\n/// ok\n#[inline]\npub fn m(g: &mut DiGraph) {}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn module_collision_prefix_only() {
+        let stems = vec![
+            ("error".to_string(), "src/error.rs".to_string()),
+            ("errors".to_string(), "src/errors.rs".to_string()),
+            ("fasta".to_string(), "src/fasta.rs".to_string()),
+            ("fastq".to_string(), "src/fastq.rs".to_string()),
+        ];
+        let diags = module_collisions("crates/dist", &stems);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("error.rs"));
+        assert!(diags[0].message.contains("errors.rs"));
+    }
+}

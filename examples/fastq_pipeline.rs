@@ -23,8 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Simulate and write FASTQ (with real quality strings).
     let dataset = single_genome_dataset(10_000, 10.0, 3)?;
-    fastq::write(BufWriter::new(File::create(&reads_path)?), &dataset.reads, 30)?;
-    println!("wrote {} reads to {}", dataset.reads.len(), reads_path.display());
+    fastq::write(
+        BufWriter::new(File::create(&reads_path)?),
+        &dataset.reads,
+        30,
+    )?;
+    println!(
+        "wrote {} reads to {}",
+        dataset.reads.len(),
+        reads_path.display()
+    );
 
     // 2. Read the FASTQ back — the assembler consumes plain `Read`s, so any
     //    FASTQ source works the same way.
@@ -51,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(i, c)| Read::new(format!("contig_{i} len={}", c.len()), c.clone()))
         .collect();
-    fasta::write(BufWriter::new(File::create(&contigs_path)?), &contig_reads, 70)?;
+    fasta::write(
+        BufWriter::new(File::create(&contigs_path)?),
+        &contig_reads,
+        70,
+    )?;
     println!("wrote contigs to {}", contigs_path.display());
     Ok(())
 }

@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &PartitionConfig::new(k, config.partition_seed),
     )?;
     let parts = partition.finest().to_vec();
-    let build = || {
-        DistributedHybrid::with_consensus(&prepared.hybrid, &prepared.store, parts.clone(), k)
-    };
+    let build =
+        || DistributedHybrid::with_consensus(&prepared.hybrid, &prepared.store, parts.clone(), k);
 
     // 2. Fault-free baseline.
     let mut clean_dh = build()?;
@@ -60,14 +59,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  crashes                  : {}", f.crashes);
     println!("  retries (retransmissions): {}", f.retries);
     println!("  retransmitted bytes      : {}", f.retransmitted_bytes);
-    println!("  speculative re-executions: {}", f.speculative_reexecutions);
+    println!(
+        "  speculative re-executions: {}",
+        f.speculative_reexecutions
+    );
     println!("  recovery virtual time    : {:.0}", f.recovery_time);
     println!("  degraded                 : {}", f.degraded);
 
     // 5. The invariant this whole subsystem is built around: worker scans
     //    are pure, so recovery by re-invocation reproduces the result
     //    exactly.
-    assert_eq!(clean.paths, faulty.paths, "recovered run must match the clean run");
+    assert_eq!(
+        clean.paths, faulty.paths,
+        "recovered run must match the clean run"
+    );
     let contigs_match = clean
         .paths
         .iter()

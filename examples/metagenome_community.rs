@@ -5,7 +5,9 @@
 //! cargo run --release --example metagenome_community
 //! ```
 
-use focus_assembler::classify::{ClassifierAccuracy, GenusDistribution, KmerClassifier, PhylumCoclustering};
+use focus_assembler::classify::{
+    ClassifierAccuracy, GenusDistribution, KmerClassifier, PhylumCoclustering,
+};
 use focus_assembler::focus::{FocusAssembler, FocusConfig};
 use focus_assembler::partition::{partition_graph_set, PartitionConfig};
 use focus_assembler::seq::DnaString;
@@ -44,31 +46,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Classify reads against the genus reference genomes and build the
     //    genus x partition distribution (paper Fig. 7).
-    let genomes: Vec<DnaString> =
-        dataset.taxonomy.genera.iter().map(|g| g.genome.clone()).collect();
+    let genomes: Vec<DnaString> = dataset
+        .taxonomy
+        .genera
+        .iter()
+        .map(|g| g.genome.clone())
+        .collect();
     let classifier = KmerClassifier::build(&genomes, 21)?;
     let labels = classifier.classify_all(&dataset.reads);
-    let accuracy = ClassifierAccuracy::assess(
-        &labels,
-        &dataset.origins,
-        dataset.taxonomy.genus_count(),
-    )?;
+    let accuracy =
+        ClassifierAccuracy::assess(&labels, &dataset.origins, dataset.taxonomy.genus_count())?;
     println!(
         "\nclassifier check vs ground truth: accuracy {:.3}, unclassified {:.3}",
         accuracy.accuracy, accuracy.unclassified_rate
     );
 
     let partition = partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(16, 3))?;
-    let node_parts = prepared.hybrid.project_partition_to_reads(partition.finest());
-    let genera: Vec<String> =
-        dataset.taxonomy.genera.iter().map(|g| g.name.clone()).collect();
+    let node_parts = prepared
+        .hybrid
+        .project_partition_to_reads(partition.finest());
+    let genera: Vec<String> = dataset
+        .taxonomy
+        .genera
+        .iter()
+        .map(|g| g.name.clone())
+        .collect();
     let dist = GenusDistribution::build(&prepared.store, &node_parts, &labels, &genera, 16)?;
 
     println!("\ngenus x partition heat map (darker = more of the genus's reads):");
     print!("{}", focus_assembler::classify::render_text(&dist));
 
-    let phylum_of: Vec<usize> =
-        dataset.taxonomy.genera.iter().map(|g| g.phylum_index).collect();
+    let phylum_of: Vec<usize> = dataset
+        .taxonomy
+        .genera
+        .iter()
+        .map(|g| g.phylum_index)
+        .collect();
     let cc = PhylumCoclustering::compute(&dist, &phylum_of);
     println!(
         "within-phylum co-clustering {:.3} vs cross-phylum {:.3}",

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Configure the assembler: defaults plus canonical-strand output.
-    let config = FocusConfig { partitions: 8, dedup_rc: true, ..Default::default() };
+    let config = FocusConfig {
+        partitions: 8,
+        dedup_rc: true,
+        ..Default::default()
+    };
     let assembler = FocusAssembler::new(config)?;
 
     // 3. Assemble.
@@ -38,6 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut lengths: Vec<usize> = result.contigs.iter().map(|c| c.len()).collect();
     lengths.sort_unstable_by(|a, b| b.cmp(a));
-    println!("  five longest contigs: {:?}", &lengths[..lengths.len().min(5)]);
+    println!(
+        "  five longest contigs: {:?}",
+        &lengths[..lengths.len().min(5)]
+    );
     Ok(())
 }

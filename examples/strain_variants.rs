@@ -25,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    short divergent segments (~15% divergence — cross-strain overlaps
     //    fail the 90% identity threshold there, opening bubbles). This is
     //    the segmental pattern real strain variation shows.
-    let strain_a = random_genome(&GenomeConfig { length: 15_000, ..Default::default() }, 5);
+    let strain_a = random_genome(
+        &GenomeConfig {
+            length: 15_000,
+            ..Default::default()
+        },
+        5,
+    );
     let strain_model = MutationModel {
         conserved_fraction: 0.85,
         conserved_divergence: 0.001,
@@ -41,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. A 60/40 read mixture at ~16x combined coverage.
-    let sim = ReadSimConfig { bad_tail_probability: 0.0, ..Default::default() };
+    let sim = ReadSimConfig {
+        bad_tail_probability: 0.0,
+        ..Default::default()
+    };
     let mut reads: Vec<Read> = Vec::new();
     let mut origins = Vec::new();
     simulate_reads(&strain_a, 0, 1440, &sim, 11, "a", &mut reads, &mut origins)?;
@@ -61,8 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Distributed variant scan (read-only; one worker per partition).
-    let support: Vec<u64> =
-        prepared.hybrid.clusters.iter().map(|c| c.len() as u64).collect();
+    let support: Vec<u64> = prepared
+        .hybrid
+        .clusters
+        .iter()
+        .map(|c| c.len() as u64)
+        .collect();
     let mut cluster = SimCluster::new(k, CostModel::default())?;
     let variants = detect_variants(
         &prepared.hybrid.directed,

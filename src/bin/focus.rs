@@ -94,8 +94,7 @@ impl Options {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?
                 .to_string();
-            let takes_value =
-                !matches!(key.as_str(), "keep-both-strands" | "with-sequences");
+            let takes_value = !matches!(key.as_str(), "keep-both-strands" | "with-sequences");
             if takes_value {
                 let value = args
                     .get(i + 1)
@@ -126,7 +125,9 @@ impl Options {
     fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
 
@@ -144,7 +145,9 @@ fn read_input(path: &str) -> Result<Vec<Read>, String> {
     } else if lower.ends_with(".fasta") || lower.ends_with(".fa") || lower.ends_with(".fna") {
         fasta::parse(reader)
     } else {
-        return Err(format!("{path}: unknown extension (expected .fasta/.fa/.fastq/.fq)"));
+        return Err(format!(
+            "{path}: unknown extension (expected .fasta/.fa/.fastq/.fq)"
+        ));
     };
     parsed.map_err(|e| format!("{path}: {e}"))
 }
@@ -187,7 +190,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
     let coverage = opts.get_parsed("coverage", 10.0f64)?;
     let seed = opts.get_parsed("seed", 42u64)?;
 
-    let dataset = single_genome_dataset(genome_len, coverage, seed)?;
+    let dataset = single_genome_dataset(genome_len, coverage, seed).map_err(|e| e.to_string())?;
     let out = File::create(&output).map_err(|e| format!("cannot create {output}: {e}"))?;
     fastq::write(BufWriter::new(out), &dataset.reads, 30).map_err(|e| e.to_string())?;
     eprintln!(
@@ -268,11 +271,14 @@ fn variants(args: &[String]) -> Result<(), String> {
     let reads = read_input(&input)?;
     let assembler = FocusAssembler::new(config).map_err(|e| e.to_string())?;
     let prepared = assembler.prepare(&reads).map_err(|e| e.to_string())?;
-    let partition =
-        partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(k, 3))
-            .map_err(|e| e.to_string())?;
-    let support: Vec<u64> =
-        prepared.hybrid.clusters.iter().map(|c| c.len() as u64).collect();
+    let partition = partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(k, 3))
+        .map_err(|e| e.to_string())?;
+    let support: Vec<u64> = prepared
+        .hybrid
+        .clusters
+        .iter()
+        .map(|c| c.len() as u64)
+        .collect();
     let variant_config = VariantConfig {
         min_branch_support: opts.get_parsed("min-support", 2u64)?,
         ..Default::default()
@@ -313,7 +319,7 @@ fn classify(args: &[String]) -> Result<(), String> {
         return Err(format!("{refs_path}: no reference records"));
     }
     let genomes: Vec<_> = references.iter().map(|r| r.seq.clone()).collect();
-    let classifier = KmerClassifier::build(&genomes, k)?;
+    let classifier = KmerClassifier::build(&genomes, k).map_err(|e| e.to_string())?;
 
     let reads = read_input(&input)?;
     let labels = classifier.classify_all(&reads);
@@ -330,6 +336,9 @@ fn classify(args: &[String]) -> Result<(), String> {
     for (reference, &count) in references.iter().zip(&counts) {
         println!("{}\t{count}\t{:.4}", reference.name, count as f64 / total);
     }
-    println!("(unclassified)\t{unclassified}\t{:.4}", unclassified as f64 / total);
+    println!(
+        "(unclassified)\t{unclassified}\t{:.4}",
+        unclassified as f64 / total
+    );
     Ok(())
 }

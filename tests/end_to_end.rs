@@ -7,7 +7,10 @@ use focus_assembler::seq::DnaString;
 use focus_assembler::sim::{generate_dataset, single_genome_dataset, DatasetConfig};
 
 fn quick_config(k: usize) -> FocusConfig {
-    FocusConfig { partitions: k, ..Default::default() }
+    FocusConfig {
+        partitions: k,
+        ..Default::default()
+    }
 }
 
 /// Every `check_k`-mer of `contig` must occur in the genome (either strand):
@@ -29,8 +32,7 @@ fn single_genome_error_free_reconstruction() {
     // Error-free reads: contigs must be exact genome substrings.
     let dataset = {
         let mut config = DatasetConfig::default();
-        config.taxonomy.genera =
-            vec![("Escherichia".to_string(), "Proteobacteria".to_string())];
+        config.taxonomy.genera = vec![("Escherichia".to_string(), "Proteobacteria".to_string())];
         config.taxonomy.genome.length = 6_000;
         config.taxonomy.genome.repeat_copies = 0;
         config.reads.error_rate_5p = 0.0;
@@ -72,7 +74,11 @@ fn noisy_reads_still_assemble() {
         "max contig {} too short under noise (genome {genome_len})",
         result.stats.max_contig
     );
-    assert!(result.stats.n50 >= 300, "N50 {} too small", result.stats.n50);
+    assert!(
+        result.stats.n50 >= 300,
+        "N50 {} too small",
+        result.stats.n50
+    );
 }
 
 #[test]
@@ -97,8 +103,12 @@ fn metagenome_contigs_classify_to_single_genera() {
     let result = assembler.assemble(&dataset.reads).unwrap();
     assert!(!result.contigs.is_empty());
 
-    let genomes: Vec<DnaString> =
-        dataset.taxonomy.genera.iter().map(|g| g.genome.clone()).collect();
+    let genomes: Vec<DnaString> = dataset
+        .taxonomy
+        .genera
+        .iter()
+        .map(|g| g.genome.clone())
+        .collect();
     let classifier = KmerClassifier::build(&genomes, 21).unwrap();
     let mut classified = 0usize;
     let mut long_contigs = 0usize;
@@ -134,12 +144,17 @@ fn quality_trimming_removes_bad_tails_before_assembly() {
     let mut trimming = quick_config(4);
     trimming.trim.min_quality = 15.0;
     trimming.trim.window_len = 10;
-    let with_trim = FocusAssembler::new(trimming).unwrap().assemble(&dataset.reads).unwrap();
+    let with_trim = FocusAssembler::new(trimming)
+        .unwrap()
+        .assemble(&dataset.reads)
+        .unwrap();
 
     let mut no_trimming = quick_config(4);
     no_trimming.trim.min_quality = -1.0; // every window passes: no trimming
-    let without_trim =
-        FocusAssembler::new(no_trimming).unwrap().assemble(&dataset.reads).unwrap();
+    let without_trim = FocusAssembler::new(no_trimming)
+        .unwrap()
+        .assemble(&dataset.reads)
+        .unwrap();
 
     assert!(
         with_trim.stats.n50 >= without_trim.stats.n50,
@@ -160,12 +175,20 @@ fn metagenome_assembly_is_faithful_to_references() {
     let dataset = generate_dataset("faith", &DatasetConfig::test_scale(), 23).unwrap();
     let assembler = FocusAssembler::new(quick_config(8)).unwrap();
     let result = assembler.assemble(&dataset.reads).unwrap();
-    let references: Vec<DnaString> =
-        dataset.taxonomy.genera.iter().map(|g| g.genome.clone()).collect();
+    let references: Vec<DnaString> = dataset
+        .taxonomy
+        .genera
+        .iter()
+        .map(|g| g.genome.clone())
+        .collect();
     let eval = evaluate_against_references(&result.contigs, &references).unwrap();
     // The assembler invented (almost) nothing: contig k-mers trace back to
     // the references (consensus corrects most read errors; allow a little).
-    assert!(eval.contig_accuracy > 0.95, "contig accuracy {}", eval.contig_accuracy);
+    assert!(
+        eval.contig_accuracy > 0.95,
+        "contig accuracy {}",
+        eval.contig_accuracy
+    );
     // Chimeric contigs (mixing genera) must be rare.
     assert!(
         eval.chimeric_contigs.len() * 20 <= eval.contigs_evaluated.max(1),
@@ -174,7 +197,11 @@ fn metagenome_assembly_is_faithful_to_references() {
         eval.contigs_evaluated
     );
     // A fair share of each sufficiently covered genome is recovered.
-    assert!(eval.mean_genome_fraction() > 0.2, "fraction {}", eval.mean_genome_fraction());
+    assert!(
+        eval.mean_genome_fraction() > 0.2,
+        "fraction {}",
+        eval.mean_genome_fraction()
+    );
 }
 
 #[test]
@@ -184,13 +211,21 @@ fn consensus_improves_base_accuracy_over_first_wins() {
     let references = vec![dataset.taxonomy.genera[0].genome.clone()];
     let mut config = quick_config(4);
     config.consensus = true;
-    let with = FocusAssembler::new(config).unwrap().assemble(&dataset.reads).unwrap();
+    let with = FocusAssembler::new(config)
+        .unwrap()
+        .assemble(&dataset.reads)
+        .unwrap();
     config.consensus = false;
-    let without = FocusAssembler::new(config).unwrap().assemble(&dataset.reads).unwrap();
-    let acc_with =
-        evaluate_against_references(&with.contigs, &references).unwrap().contig_accuracy;
-    let acc_without =
-        evaluate_against_references(&without.contigs, &references).unwrap().contig_accuracy;
+    let without = FocusAssembler::new(config)
+        .unwrap()
+        .assemble(&dataset.reads)
+        .unwrap();
+    let acc_with = evaluate_against_references(&with.contigs, &references)
+        .unwrap()
+        .contig_accuracy;
+    let acc_without = evaluate_against_references(&without.contigs, &references)
+        .unwrap()
+        .contig_accuracy;
     assert!(
         acc_with >= acc_without,
         "consensus should not be less accurate: {acc_with} vs {acc_without}"

@@ -1,16 +1,17 @@
 //! Cross-crate invariant tests on realistic pipeline artifacts.
 
 use focus_assembler::dist::traverse::check_path_cover;
-use focus_assembler::dist::{
-    DistributedConfig, DistributedHybrid, FaultPlan, FaultRates, PhaseId,
-};
+use focus_assembler::dist::{DistributedConfig, DistributedHybrid, FaultPlan, FaultRates, PhaseId};
 use focus_assembler::focus::{FocusAssembler, FocusConfig};
 use focus_assembler::partition::{
     edge_cut, partition_balance, partition_graph_set, validate_partition, PartitionConfig,
 };
 use focus_assembler::sim::{generate_dataset, DatasetConfig};
 
-fn prepared() -> (focus_assembler::sim::Dataset, focus_assembler::focus::Prepared) {
+fn prepared() -> (
+    focus_assembler::sim::Dataset,
+    focus_assembler::focus::Prepared,
+) {
     // Denser than `test_scale`: ~15x coverage keeps the overlap graph
     // connected, which is what balance/cut invariants assume.
     let mut config = DatasetConfig::test_scale();
@@ -76,7 +77,10 @@ fn partition_balance_and_cut_are_sane_across_k() {
             .unwrap_or(1) as f64;
         let ideal = finest.total_node_weight() as f64 / k as f64;
         let allowed = 2.0f64.max(1.2 * (heaviest / ideal + 1.0));
-        assert!(balance <= allowed, "k={k}: balance {balance} > allowed {allowed}");
+        assert!(
+            balance <= allowed,
+            "k={k}: balance {balance} > allowed {allowed}"
+        );
     }
 }
 
@@ -84,11 +88,9 @@ fn partition_balance_and_cut_are_sane_across_k() {
 fn distributed_stage_preserves_node_cover_for_every_k() {
     let (_, p) = prepared();
     for k in [1usize, 2, 8] {
-        let partition =
-            partition_graph_set(&p.hybrid.set, &PartitionConfig::new(k, 5)).unwrap();
+        let partition = partition_graph_set(&p.hybrid.set, &PartitionConfig::new(k, 5)).unwrap();
         let mut dh =
-            DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), k)
-                .unwrap();
+            DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), k).unwrap();
         let report = dh.run(&DistributedConfig::default()).unwrap();
         check_path_cover(&dh.graph, &report.paths).unwrap();
         // Trimming can only remove; live nodes never exceed the input.
@@ -104,7 +106,10 @@ fn assembly_stats_are_partition_invariant_on_metagenome() {
     let baseline = assembler.assemble_prepared(&p, 2).unwrap();
     for k in [4usize, 16] {
         let result = assembler.assemble_prepared(&p, k).unwrap();
-        assert_eq!(result.stats.num_contigs, baseline.stats.num_contigs, "k={k}");
+        assert_eq!(
+            result.stats.num_contigs, baseline.stats.num_contigs,
+            "k={k}"
+        );
         assert_eq!(result.stats.n50, baseline.stats.n50, "k={k}");
         assert_eq!(result.stats.max_contig, baseline.stats.max_contig, "k={k}");
     }
@@ -117,12 +122,19 @@ fn overlap_edge_weights_match_alignment_lengths() {
     // recorded overlap of that length or a sum of parallel ones.
     let min_len = 50u64;
     for (u, v, w) in p.graph.undirected.edges() {
-        assert!(w >= min_len, "edge {u}-{v} weight {w} below the overlap threshold");
+        assert!(
+            w >= min_len,
+            "edge {u}-{v} weight {w} below the overlap threshold"
+        );
     }
     // Directed edges carry identity within the configured bounds.
     for v in p.graph.directed.live_nodes() {
         for e in p.graph.directed.out_edges(v) {
-            assert!(e.identity >= 0.90 - 1e-9, "edge identity {} too low", e.identity);
+            assert!(
+                e.identity >= 0.90 - 1e-9,
+                "edge identity {} too low",
+                e.identity
+            );
             assert!(e.len >= 50);
         }
     }
@@ -152,18 +164,15 @@ mod fault_invariants {
             let (_, p) = prepared();
             let partition =
                 partition_graph_set(&p.hybrid.set, &PartitionConfig::new(K, 5)).unwrap();
-            let dh =
-                DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), K)
-                    .unwrap();
-            let clean_paths =
-                dh.clone().run(&DistributedConfig::default()).unwrap().paths;
+            let dh = DistributedHybrid::new(&p.hybrid, &p.store, partition.finest().to_vec(), K)
+                .unwrap();
+            let clean_paths = dh.clone().run(&DistributedConfig::default()).unwrap().paths;
             Fixture { dh, clean_paths }
         })
     }
 
     fn sorted_cover(paths: &[focus_assembler::dist::AssemblyPath]) -> Vec<u32> {
-        let mut nodes: Vec<u32> =
-            paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
+        let mut nodes: Vec<u32> = paths.iter().flat_map(|p| p.nodes.iter().copied()).collect();
         nodes.sort_unstable();
         nodes
     }
@@ -209,6 +218,139 @@ mod fault_invariants {
             prop_assert_eq!(sorted_cover(&report.paths), sorted_cover(&fx.clean_paths));
             prop_assert_eq!(&report.paths, &fx.clean_paths);
             prop_assert_eq!(report.fault.crashes, 1);
+        }
+    }
+}
+
+/// Property tests promoting the debug-time assertions of fc-align's banded
+/// aligner and fc-graph's coarsening into checked invariants: band
+/// feasibility/monotonicity for Needleman–Wunsch, and matching validity plus
+/// weight conservation for heavy-edge contraction.
+mod proptests {
+    use focus_assembler::align::{banded_global, NwConfig};
+    use focus_assembler::graph::coarsen::{contract, heavy_edge_matching};
+    use focus_assembler::graph::{CoarsenConfig, LevelGraph, MultilevelSet, NodeId};
+    use focus_assembler::seq::{Base, DnaString};
+    use proptest::prelude::*;
+
+    fn dna(max_len: usize) -> impl Strategy<Value = DnaString> {
+        proptest::collection::vec(0u8..4, 0..max_len)
+            .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+    }
+
+    /// Random undirected weighted graph plus a matching seed. Self-loops are
+    /// skipped (LevelGraph edges connect distinct nodes).
+    fn level_graph() -> impl Strategy<Value = (LevelGraph, u64)> {
+        (2usize..20)
+            .prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(1u64..8, n),
+                    proptest::collection::vec((0..n, 0..n, 1u64..10), 0..48),
+                    any::<u64>(),
+                )
+            })
+            .prop_map(|(weights, edges, seed)| {
+                let mut g = LevelGraph::with_node_weights(weights);
+                for (u, v, w) in edges {
+                    if u != v {
+                        g.add_edge(u as NodeId, v as NodeId, w);
+                    }
+                }
+                (g, seed)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The band bound is exact: alignment exists iff the length
+        /// difference fits the band, widening the band never lowers the
+        /// score, and any band covering both sequences is equivalent to the
+        /// full DP matrix.
+        #[test]
+        fn nw_band_bound_is_exact_and_monotone(a in dna(18), b in dna(18)) {
+            let full_band = a.len().max(b.len()).max(1);
+            let full_cfg = NwConfig { band: full_band, ..NwConfig::default() };
+            let reference =
+                banded_global(&a, (0, a.len()), &b, (0, b.len()), &full_cfg).unwrap();
+            let mut prev_score = None;
+            for band in 0..=full_band {
+                let cfg = NwConfig { band, ..NwConfig::default() };
+                match banded_global(&a, (0, a.len()), &b, (0, b.len()), &cfg) {
+                    None => prop_assert!(a.len().abs_diff(b.len()) > band),
+                    Some(s) => {
+                        prop_assert!(a.len().abs_diff(b.len()) <= band);
+                        prop_assert!(s.score <= reference.score);
+                        if let Some(p) = prev_score {
+                            prop_assert!(s.score >= p);
+                        }
+                        prev_score = Some(s.score);
+                    }
+                }
+            }
+            let wide_cfg = NwConfig { band: full_band + 7, ..NwConfig::default() };
+            let wide = banded_global(&a, (0, a.len()), &b, (0, b.len()), &wide_cfg).unwrap();
+            prop_assert_eq!(wide.score, reference.score);
+            prop_assert_eq!(wide.columns, reference.columns);
+            prop_assert_eq!(wide.matches, reference.matches);
+        }
+
+        /// Heavy-edge matching is an involution along real edges, and it is
+        /// maximal: no edge joins two unmatched nodes.
+        #[test]
+        fn heavy_edge_matching_is_a_maximal_matching((g, seed) in level_graph()) {
+            let mate = heavy_edge_matching(&g, seed);
+            prop_assert_eq!(mate.len(), g.node_count());
+            for v in 0..g.node_count() {
+                let m = mate[v] as usize;
+                prop_assert_eq!(mate[m] as usize, v);
+                if m != v {
+                    prop_assert!(g.edge_weight(v as NodeId, mate[v]).is_some());
+                }
+            }
+            for (u, v, _) in g.edges() {
+                let unmatched =
+                    |x: NodeId| mate[x as usize] == x;
+                prop_assert!(!(u != v && unmatched(u) && unmatched(v)));
+            }
+        }
+
+        /// Contraction conserves node weight exactly, and edge weight up to
+        /// the intra-pair edges folded into coarse nodes (self-loops drop).
+        #[test]
+        fn contraction_conserves_weight((g, seed) in level_graph()) {
+            let mate = heavy_edge_matching(&g, seed);
+            let (coarse, map) = contract(&g, &mate);
+            prop_assert!(coarse.check_invariants().is_ok());
+            prop_assert_eq!(coarse.total_node_weight(), g.total_node_weight());
+            let folded: u64 = (0..g.node_count())
+                .filter_map(|v| {
+                    let m = mate[v] as usize;
+                    if m > v {
+                        g.edge_weight(v as NodeId, m as NodeId)
+                    } else {
+                        None
+                    }
+                })
+                .sum();
+            prop_assert_eq!(coarse.total_edge_weight() + folded, g.total_edge_weight());
+            for v in 0..g.node_count() {
+                prop_assert_eq!(map[v], map[mate[v] as usize]);
+                prop_assert!((map[v] as usize) < coarse.node_count());
+            }
+        }
+
+        /// The full multilevel build keeps every cross-level invariant and
+        /// conserves total node weight from G0 to the coarsest level.
+        #[test]
+        fn multilevel_build_conserves_node_weight((g, _) in level_graph()) {
+            let w0 = g.total_node_weight();
+            let set = MultilevelSet::build(g, &CoarsenConfig::default());
+            prop_assert!(set.set.check_invariants().is_ok());
+            for level in &set.set.levels {
+                prop_assert!(level.check_invariants().is_ok());
+                prop_assert_eq!(level.total_node_weight(), w0);
+            }
         }
     }
 }
