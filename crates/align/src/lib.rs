@@ -23,8 +23,11 @@ pub mod pairwise;
 pub mod suffix;
 
 pub use error::AlignError;
+pub use fc_exec::Pool;
 pub use minimizer::{minimizers, MinimizerIndex};
-pub use nw::{band_for_error_rate, banded_global, AlignmentSummary, NwConfig};
+pub use nw::{
+    band_for_error_rate, banded_global, banded_global_with, AlignmentSummary, NwConfig, NwScratch,
+};
 pub use overlap::{Overlap, OverlapKind};
-pub use pairwise::{OverlapConfig, Overlapper, PairStats};
+pub use pairwise::{AlignScratch, OverlapConfig, Overlapper, PairStats};
 pub use suffix::SuffixArray;

@@ -60,6 +60,21 @@ pub fn band_for_error_rate(len: usize, error_rate: f64) -> usize {
     (4.0 * expected.sqrt()).ceil().max(4.0) as usize
 }
 
+/// Reusable band buffers for [`banded_global_with`].
+///
+/// The four per-call `Vec`s of the banded DP were the aligner's dominant
+/// allocation churn (one verify call per candidate pair). A scratch value —
+/// owned per worker thread in the parallel overlapper — lets every call
+/// recycle them; each call fully reinitialises the buffers, so results are
+/// identical to the allocate-per-call path.
+#[derive(Debug, Clone, Default)]
+pub struct NwScratch {
+    prev: Vec<i32>,
+    cur: Vec<i32>,
+    prev_cm: Vec<(u32, u32)>,
+    cur_cm: Vec<(u32, u32)>,
+}
+
 /// Globally aligns `a[a_start..a_end]` against `b[b_start..b_end]` within a
 /// band, returning the score/column/match summary, or `None` when the length
 /// difference exceeds the band (the global path would leave the band).
@@ -69,6 +84,19 @@ pub fn banded_global(
     b: &DnaString,
     b_range: (usize, usize),
     config: &NwConfig,
+) -> Option<AlignmentSummary> {
+    banded_global_with(a, a_range, b, b_range, config, &mut NwScratch::default())
+}
+
+/// [`banded_global`] with caller-provided band buffers (the zero-allocation
+/// hot path; see [`NwScratch`]).
+pub fn banded_global_with(
+    a: &DnaString,
+    a_range: (usize, usize),
+    b: &DnaString,
+    b_range: (usize, usize),
+    config: &NwConfig,
+    scratch: &mut NwScratch,
 ) -> Option<AlignmentSummary> {
     let (a_start, a_end) = a_range;
     let (b_start, b_end) = b_range;
@@ -90,12 +118,20 @@ pub fn banded_global(
     const NEG: i32 = i32::MIN / 4;
     // Row-banded DP: row i covers columns j in [i-band, i+band] ∩ [0, m].
     let width = 2 * band + 1;
-    let mut prev = vec![NEG; width + 2];
-    let mut cur = vec![NEG; width + 2];
-    // Backtrack counts are carried alongside scores so no full matrix is kept:
-    // (columns, matches) for the best path reaching each cell.
-    let mut prev_cm = vec![(0u32, 0u32); width + 2];
-    let mut cur_cm = vec![(0u32, 0u32); width + 2];
+    // `clear` + `resize` refills every slot with the initial value, exactly
+    // as the former `vec![...]` allocations did.
+    let mut prev = &mut scratch.prev;
+    let mut cur = &mut scratch.cur;
+    let mut prev_cm = &mut scratch.prev_cm;
+    let mut cur_cm = &mut scratch.cur_cm;
+    prev.clear();
+    prev.resize(width + 2, NEG);
+    cur.clear();
+    cur.resize(width + 2, NEG);
+    prev_cm.clear();
+    prev_cm.resize(width + 2, (0u32, 0u32));
+    cur_cm.clear();
+    cur_cm.resize(width + 2, (0u32, 0u32));
 
     // Maps column j of row i to a slot in the band buffer.
     let slot = |i: usize, j: usize| -> usize { j + band - i };

@@ -7,9 +7,10 @@
 //! minimum length and identity thresholds are recorded.
 
 use crate::error::AlignError;
-use crate::nw::{banded_global, NwConfig};
+use crate::nw::{banded_global_with, NwConfig, NwScratch};
 use crate::overlap::{Overlap, OverlapKind};
 use crate::suffix::SuffixArray;
+use fc_exec::Pool;
 use fc_seq::{ReadId, ReadStore};
 use std::collections::HashMap;
 
@@ -94,14 +95,30 @@ pub struct PairStats {
 }
 
 impl PairStats {
-    /// Accumulates another pair's counters into this one.
+    /// Accumulates another pair's counters into this one, saturating at
+    /// `u64::MAX` — merged totals over huge runs must degrade to a pinned
+    /// counter, never wrap around to a small lie.
     pub fn merge(&mut self, other: &PairStats) {
-        self.kmer_lookups += other.kmer_lookups;
-        self.kmer_hits += other.kmer_hits;
-        self.candidates += other.candidates;
-        self.nw_cells += other.nw_cells;
-        self.overlaps += other.overlaps;
+        self.kmer_lookups = self.kmer_lookups.saturating_add(other.kmer_lookups);
+        self.kmer_hits = self.kmer_hits.saturating_add(other.kmer_hits);
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.nw_cells = self.nw_cells.saturating_add(other.nw_cells);
+        self.overlaps = self.overlaps.saturating_add(other.overlaps);
     }
+}
+
+/// Reusable per-worker buffers for the overlapper's hot path: the diagonal
+/// vote map and its flattened/sorted view, the suffix-array hit buffer, the
+/// candidate list, and the aligner's band buffers. One value per worker
+/// thread (see [`Overlapper::overlap_all_with`]) eliminates the per-read and
+/// per-verification allocation churn without any cross-thread state.
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    votes: HashMap<(ReadId, i64), u32>,
+    flat: Vec<(ReadId, i64, u32)>,
+    hits: Vec<(ReadId, u32)>,
+    candidates: Vec<(ReadId, i64)>,
+    nw: NwScratch,
 }
 
 /// Pairwise read overlapper over a preprocessed [`ReadStore`].
@@ -142,10 +159,23 @@ impl<'a> Overlapper<'a> {
         index: &SuffixArray,
         dedup_self: bool,
     ) -> (Vec<Overlap>, PairStats) {
+        self.overlap_pair_with(query, index, dedup_self, &mut AlignScratch::default())
+    }
+
+    /// [`Overlapper::overlap_pair`] with caller-provided scratch buffers —
+    /// the zero-allocation path used by the parallel fan-out, where each
+    /// worker thread owns one [`AlignScratch`] for its whole task stream.
+    pub fn overlap_pair_with(
+        &self,
+        query: &[ReadId],
+        index: &SuffixArray,
+        dedup_self: bool,
+        scratch: &mut AlignScratch,
+    ) -> (Vec<Overlap>, PairStats) {
         let mut overlaps = Vec::new();
         let mut stats = PairStats::default();
         for &q in query {
-            self.overlap_one(q, index, dedup_self, &mut overlaps, &mut stats);
+            self.overlap_one(q, index, dedup_self, &mut overlaps, &mut stats, scratch);
         }
         (overlaps, stats)
     }
@@ -158,15 +188,38 @@ impl<'a> Overlapper<'a> {
         &self,
         subsets: &[Vec<ReadId>],
     ) -> (Vec<Overlap>, Vec<(usize, usize, PairStats)>) {
-        let mut all = Vec::new();
-        let mut pair_stats = Vec::new();
-        for (j, reference) in subsets.iter().enumerate() {
-            let index = self.index_subset(reference);
-            for (i, query) in subsets.iter().enumerate().take(j + 1) {
-                let (mut found, stats) = self.overlap_pair(query, &index, i == j);
-                all.append(&mut found);
-                pair_stats.push((i, j, stats));
+        self.overlap_all_with(subsets, &Pool::serial())
+    }
+
+    /// [`Overlapper::overlap_all`] over a work pool: the `s(s+1)/2`
+    /// subset-pair tasks run concurrently (paper §II-B's parallel
+    /// alignment).
+    ///
+    /// Each reference subset's suffix array is built exactly once and shared
+    /// read-only across its column of tasks; per-task results are merged in
+    /// the serial loop's canonical `(j, i ≤ j)` order, so the output is
+    /// bit-identical to [`Overlapper::overlap_all`] at any thread count.
+    pub fn overlap_all_with(
+        &self,
+        subsets: &[Vec<ReadId>],
+        pool: &Pool,
+    ) -> (Vec<Overlap>, Vec<(usize, usize, PairStats)>) {
+        let indexes: Vec<SuffixArray> = pool.map(subsets.len(), |j| self.index_subset(&subsets[j]));
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(subsets.len().pow(2) / 2 + 1);
+        for j in 0..subsets.len() {
+            for i in 0..=j {
+                pairs.push((i, j));
             }
+        }
+        let results = pool.map_with(pairs.len(), AlignScratch::default, |t, scratch| {
+            let (i, j) = pairs[t];
+            self.overlap_pair_with(&subsets[i], &indexes[j], i == j, scratch)
+        });
+        let mut all = Vec::new();
+        let mut pair_stats = Vec::with_capacity(pairs.len());
+        for ((i, j), (mut found, stats)) in pairs.into_iter().zip(results) {
+            all.append(&mut found);
+            pair_stats.push((i, j, stats));
         }
         (all, pair_stats)
     }
@@ -178,19 +231,28 @@ impl<'a> Overlapper<'a> {
         dedup_self: bool,
         out: &mut Vec<Overlap>,
         stats: &mut PairStats,
+        scratch: &mut AlignScratch,
     ) {
         let k = self.config.k;
         let query_seq = &self.store.get(q).seq;
         if query_seq.len() < k {
             return;
         }
+        let AlignScratch {
+            votes,
+            flat,
+            hits,
+            candidates,
+            nw,
+        } = scratch;
         // Vote per (reference read, diagonal).
-        let mut votes: HashMap<(ReadId, i64), u32> = HashMap::new();
+        votes.clear();
         let mut pos = 0usize;
         while pos + k <= query_seq.len() {
             if let Some(kmer) = query_seq.kmer_u64(pos, k) {
                 stats.kmer_lookups += 1;
-                for (r, r_off) in index.find_kmer(kmer, k) {
+                index.find_kmer_into(kmer, k, hits);
+                for &(r, r_off) in hits.iter() {
                     stats.kmer_hits += 1;
                     if r == q {
                         continue;
@@ -210,26 +272,34 @@ impl<'a> Overlapper<'a> {
             pos += self.config.seed_step;
         }
 
-        // Cluster diagonals per reference read within the NW band.
-        let mut per_read: HashMap<ReadId, Vec<(i64, u32)>> = HashMap::new();
-        for ((r, diag), count) in votes {
-            per_read.entry(r).or_default().push((diag, count));
-        }
-        let mut candidates: Vec<(ReadId, i64)> = Vec::new();
-        for (r, mut diags) in per_read {
-            diags.sort_unstable();
-            let band = self.config.nw.band as i64;
+        // Cluster diagonals per reference read within the NW band. The vote
+        // map is flattened into one (read, diag, count) list sorted by
+        // (read, diag); each read's group is then its diag-ascending
+        // histogram, swept with a sliding window of width `band`.
+        flat.clear();
+        flat.extend(votes.iter().map(|(&(r, d), &c)| (r, d, c)));
+        flat.sort_unstable();
+        candidates.clear();
+        let band = self.config.nw.band as i64;
+        let mut g = 0usize;
+        while g < flat.len() {
+            let r = flat[g].0;
+            let mut h = g;
+            while h < flat.len() && flat[h].0 == r {
+                h += 1;
+            }
+            let diags = &flat[g..h];
             let mut best_votes = 0u32;
             let mut best_diag = 0i64;
             let mut lo = 0usize;
             let mut window_votes = 0u32;
             let mut window_weighted = 0i64;
             for hi in 0..diags.len() {
-                window_votes += diags[hi].1;
-                window_weighted += diags[hi].0 * diags[hi].1 as i64;
-                while diags[hi].0 - diags[lo].0 > band {
-                    window_votes -= diags[lo].1;
-                    window_weighted -= diags[lo].0 * diags[lo].1 as i64;
+                window_votes += diags[hi].2;
+                window_weighted += diags[hi].1 * diags[hi].2 as i64;
+                while diags[hi].1 - diags[lo].1 > band {
+                    window_votes -= diags[lo].2;
+                    window_weighted -= diags[lo].1 * diags[lo].2 as i64;
                     lo += 1;
                 }
                 if window_votes > best_votes {
@@ -240,13 +310,15 @@ impl<'a> Overlapper<'a> {
             if best_votes as usize >= self.config.min_kmer_hits {
                 candidates.push((r, best_diag));
             }
+            g = h;
         }
-        // Deterministic evaluation order regardless of hash-map iteration.
-        candidates.sort_unstable_by_key(|&(r, d)| (r, d));
-
-        for (r, diag) in candidates {
+        // Groups are visited in ascending read order with one candidate per
+        // read, so `candidates` is already in the (r, d) order the map-based
+        // implementation sorted into explicitly.
+        for ci in 0..candidates.len() {
+            let (r, diag) = candidates[ci];
             stats.candidates += 1;
-            if let Some(overlap) = self.verify(q, r, diag, stats) {
+            if let Some(overlap) = self.verify(q, r, diag, stats, nw) {
                 stats.overlaps += 1;
                 out.push(overlap);
             }
@@ -254,7 +326,14 @@ impl<'a> Overlapper<'a> {
     }
 
     /// Verifies a candidate with banded NW and classifies its geometry.
-    fn verify(&self, q: ReadId, r: ReadId, diag: i64, stats: &mut PairStats) -> Option<Overlap> {
+    fn verify(
+        &self,
+        q: ReadId,
+        r: ReadId,
+        diag: i64,
+        stats: &mut PairStats,
+        nw: &mut NwScratch,
+    ) -> Option<Overlap> {
         let qs = &self.store.get(q).seq;
         let rs = &self.store.get(r).seq;
         let (len_q, len_r) = (qs.len() as i64, rs.len() as i64);
@@ -319,7 +398,7 @@ impl<'a> Overlapper<'a> {
         let (a_seq, b_seq) = (&self.store.get(a).seq, &self.store.get(b).seq);
         let rows = a_range.1 - a_range.0;
         stats.nw_cells += (rows as u64) * (2 * self.config.nw.band as u64 + 1);
-        let summary = banded_global(a_seq, a_range, b_seq, b_range, &self.config.nw)?;
+        let summary = banded_global_with(a_seq, a_range, b_seq, b_range, &self.config.nw, nw)?;
         if (summary.columns as usize) < self.config.min_overlap_len
             || summary.identity() < self.config.min_identity
         {
@@ -512,6 +591,60 @@ mod tests {
                 .any(|o| o.kind == OverlapKind::SuffixPrefix && o.identity < 1.0),
             "imperfect dovetail not found: {overlaps:?}"
         );
+    }
+
+    #[test]
+    fn pair_stats_merge_saturates_instead_of_wrapping() {
+        let mut a = PairStats {
+            kmer_lookups: u64::MAX - 1,
+            kmer_hits: u64::MAX,
+            candidates: 5,
+            nw_cells: u64::MAX - 10,
+            overlaps: 0,
+        };
+        let b = PairStats {
+            kmer_lookups: 7,
+            kmer_hits: 1,
+            candidates: 3,
+            nw_cells: 100,
+            overlaps: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.kmer_lookups, u64::MAX);
+        assert_eq!(a.kmer_hits, u64::MAX);
+        assert_eq!(a.candidates, 8);
+        assert_eq!(a.nw_cells, u64::MAX);
+        assert_eq!(a.overlaps, 2);
+    }
+
+    #[test]
+    fn pooled_overlap_all_is_bit_identical_to_serial() {
+        let genome = random_genome(900, 17);
+        let store = tiled_store(&genome, 100, 35);
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let subsets = store.split_subsets(5);
+        let serial = overlapper.overlap_all(&subsets);
+        for threads in [1usize, 2, 4, 8] {
+            let pooled = overlapper.overlap_all_with(&subsets, &Pool::new(threads));
+            // No sorting: the merge itself must reproduce the serial order.
+            assert_eq!(pooled.0, serial.0, "overlaps differ at {threads} threads");
+            assert_eq!(pooled.1, serial.1, "pair stats differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_pairs_matches_fresh_scratch() {
+        let genome = random_genome(500, 3);
+        let store = tiled_store(&genome, 100, 50);
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let subsets = store.split_subsets(3);
+        let index = overlapper.index_subset(&subsets[0]);
+        let mut reused = AlignScratch::default();
+        for subset in &subsets {
+            let fresh = overlapper.overlap_pair(subset, &index, false);
+            let with_reuse = overlapper.overlap_pair_with(subset, &index, false, &mut reused);
+            assert_eq!(fresh, with_reuse);
+        }
     }
 
     #[test]

@@ -72,20 +72,25 @@ impl SuffixArray {
     /// [`DnaString::kmer_u64`]) and reports each as `(read id, offset within
     /// that read)`.
     pub fn find_kmer(&self, kmer: u64, k: usize) -> Vec<(ReadId, u32)> {
-        let mut pattern = Vec::with_capacity(k);
-        for i in 0..k {
-            pattern.push((((kmer >> (2 * i)) & 0b11) as u8) + BASE_SHIFT);
-        }
-        self.find(&pattern)
+        let mut out = Vec::new();
+        self.find_kmer_into(kmer, k, &mut out);
+        out
     }
 
-    /// Finds every occurrence of an arbitrary shifted-code pattern.
-    fn find(&self, pattern: &[u8]) -> Vec<(ReadId, u32)> {
-        let (lo, hi) = self.interval(pattern);
-        self.sa[lo..hi]
-            .iter()
-            .map(|&pos| self.locate(pos))
-            .collect()
+    /// Like [`SuffixArray::find_kmer`] but appends the hits to a
+    /// caller-provided buffer after clearing it — the zero-allocation variant
+    /// for the overlapper's hot loop (one lookup per sampled query seed).
+    /// The pattern itself lives on the stack: `kmer_u64` packs at most 32
+    /// bases.
+    pub fn find_kmer_into(&self, kmer: u64, k: usize, out: &mut Vec<(ReadId, u32)>) {
+        out.clear();
+        let k = k.min(32);
+        let mut pattern = [0u8; 32];
+        for (i, slot) in pattern.iter_mut().enumerate().take(k) {
+            *slot = (((kmer >> (2 * i)) & 0b11) as u8) + BASE_SHIFT;
+        }
+        let (lo, hi) = self.interval(&pattern[..k]);
+        out.extend(self.sa[lo..hi].iter().map(|&pos| self.locate(pos)));
     }
 
     /// Binary-searches the half-open suffix-array interval of suffixes that
@@ -225,6 +230,20 @@ mod tests {
         let (idx, _) = index_of(&["AAAA", "CCCC"]);
         let pattern: DnaString = "GGGG".parse().unwrap();
         assert!(idx.find_kmer(pattern.kmer_u64(0, 4).unwrap(), 4).is_empty());
+    }
+
+    #[test]
+    fn find_kmer_into_clears_and_matches_allocating_variant() {
+        let (idx, seqs) = index_of(&["ACGTACGT", "TTACGTT"]);
+        let k = 4;
+        let kmer = seqs[0].kmer_u64(0, k).unwrap(); // ACGT
+        let mut buf = vec![(ReadId(99), 99u32)]; // stale content must vanish
+        idx.find_kmer_into(kmer, k, &mut buf);
+        assert_eq!(buf, idx.find_kmer(kmer, k));
+        // Reuse across lookups, including an empty result.
+        let missing: DnaString = "GGGG".parse().unwrap();
+        idx.find_kmer_into(missing.kmer_u64(0, 4).unwrap(), 4, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

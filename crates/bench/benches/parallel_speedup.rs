@@ -1,0 +1,171 @@
+//! Shared-memory parallel engine speedup — wall-clock, not virtual time.
+//!
+//! Every other experiment replays task logs on a *simulated* cluster; this
+//! one measures the real thing: the fc-exec work-stealing pool driving the
+//! alignment fan-out (§II-B subset pairs) and the task-parallel recursive
+//! bisection (§IV-C), swept over thread counts {1, 2, 4, 8}. For each phase
+//! and thread count it verifies that the output is **byte-identical** to
+//! the serial run — the engine's core guarantee — then records the best
+//! wall-clock of several repetitions into `BENCH_parallel.json` at the
+//! repository root.
+//!
+//! Speedups are bounded by the machine: on a single-core container every
+//! thread count measures ~1×, which is why `available_parallelism` is part
+//! of the record.
+
+use fc_align::Pool;
+use fc_bench::{bench_scale, prepare_context};
+use fc_partition::{partition_graph_set, PartitionConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+const K: usize = 16;
+
+struct PhaseRecord {
+    name: &'static str,
+    tasks: usize,
+    /// Best wall-clock per swept thread count, `THREADS` order.
+    wall: Vec<Duration>,
+}
+
+impl PhaseRecord {
+    fn speedup(&self, i: usize) -> f64 {
+        self.wall[0].as_secs_f64() / self.wall[i].as_secs_f64().max(1e-12)
+    }
+}
+
+/// Best-of-`REPS` wall clock of `run`, which must also verify its output.
+fn best_of<F: FnMut()>(mut run: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let scale = bench_scale();
+    let ctx = prepare_context(scale);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("parallel speedup sweep: threads {THREADS:?}, {cores} cores available");
+
+    // Use the largest prepared data set: most tasks, most signal.
+    let prepared = ctx
+        .prepared
+        .iter()
+        .max_by_key(|p| p.store.len())
+        .expect("paper data sets are non-empty");
+    let subsets = prepared.store.split_subsets(4);
+    let overlapper = fc_align::Overlapper::new(&prepared.store, ctx.assembler.config().overlap)
+        .expect("overlap config is valid");
+
+    // --- Phase 1: alignment fan-out. ---
+    let serial_overlaps = overlapper.overlap_all_with(&subsets, &Pool::serial());
+    let mut align = PhaseRecord {
+        name: "alignment",
+        tasks: subsets.len() + subsets.len() * (subsets.len() + 1) / 2,
+        wall: Vec::new(),
+    };
+    for &t in &THREADS {
+        let pool = Pool::new(t);
+        let mut out = None;
+        align.wall.push(best_of(|| {
+            out = Some(overlapper.overlap_all_with(&subsets, &pool));
+        }));
+        let got = out.expect("at least one repetition ran");
+        assert_eq!(got.0, serial_overlaps.0, "overlaps diverged at {t} threads");
+        assert_eq!(
+            got.1, serial_overlaps.1,
+            "pair stats diverged at {t} threads"
+        );
+    }
+
+    // --- Phase 2: task-parallel recursive bisection + level-parallel k-way. ---
+    let serial_partition = partition_graph_set(&prepared.hybrid.set, &PartitionConfig::new(K, 11))
+        .expect("partitioning succeeds");
+    let mut partition = PhaseRecord {
+        name: "partition",
+        tasks: serial_partition.tasks.len(),
+        wall: Vec::new(),
+    };
+    for &t in &THREADS {
+        let config = PartitionConfig::new(K, 11).with_threads(t);
+        let mut out = None;
+        partition.wall.push(best_of(|| {
+            out = Some(
+                partition_graph_set(&prepared.hybrid.set, &config).expect("partitioning succeeds"),
+            );
+        }));
+        let got = out.expect("at least one repetition ran");
+        assert_eq!(
+            got.parts_per_level, serial_partition.parts_per_level,
+            "partition diverged at {t} threads"
+        );
+        assert_eq!(
+            got.tasks, serial_partition.tasks,
+            "task log diverged at {t} threads"
+        );
+    }
+
+    // --- Report + JSON artifact. ---
+    let phases = [align, partition];
+    println!(
+        "{:>10} {:>8} {:>12} {:>10}",
+        "phase", "threads", "wall", "speedup"
+    );
+    for phase in &phases {
+        for (i, &t) in THREADS.iter().enumerate() {
+            println!(
+                "{:>10} {:>8} {:>12.3?} {:>9.2}x",
+                phase.name,
+                t,
+                phase.wall[i],
+                phase.speedup(i)
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"parallel_speedup\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"threads_swept\": [1, 2, 4, 8],");
+    let _ = writeln!(json, "  \"outputs_identical_across_threads\": true,");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"wall-clock speedup is bounded by available_parallelism; \
+         thread counts above it only add scheduling overhead\","
+    );
+    json.push_str("  \"phases\": {\n");
+    for (pi, phase) in phases.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", phase.name);
+        let _ = writeln!(json, "      \"tasks\": {},", phase.tasks);
+        json.push_str("      \"wall_seconds\": {");
+        for (i, &t) in THREADS.iter().enumerate() {
+            let sep = if i + 1 < THREADS.len() { ", " } else { "" };
+            let _ = write!(json, "\"{t}\": {:.6}{sep}", phase.wall[i].as_secs_f64());
+        }
+        json.push_str("},\n");
+        json.push_str("      \"speedup_vs_serial\": {");
+        for (i, &t) in THREADS.iter().enumerate() {
+            let sep = if i + 1 < THREADS.len() { ", " } else { "" };
+            let _ = write!(json, "\"{t}\": {:.3}{sep}", phase.speedup(i));
+        }
+        json.push_str("}\n");
+        let sep = if pi + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{sep}");
+    }
+    json.push_str("  }\n}\n");
+
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| format!("{m}/../.."))
+        .unwrap_or_else(|_| ".".to_string());
+    let path = format!("{root}/BENCH_parallel.json");
+    std::fs::write(&path, &json).expect("BENCH_parallel.json is writable");
+    println!("wrote {path}");
+}

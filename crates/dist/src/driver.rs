@@ -30,6 +30,10 @@ pub struct DistributedConfig {
     /// Retransmission, backoff, timeout and speculation policy used when a
     /// [`FaultPlan`] is in effect (and harmless otherwise).
     pub retry: RetryPolicy,
+    /// Worker threads for the per-partition scans (`0` = available
+    /// parallelism, `1` = exact serial path). Scans are pure, so results —
+    /// including [`FaultPlan`] replays — are identical at any thread count.
+    pub threads: usize,
 }
 
 /// Per-phase and aggregate outcome of the distributed stage.
@@ -173,12 +177,14 @@ impl DistributedHybrid {
         plan: FaultPlan,
     ) -> Result<DistributedReport, DistError> {
         let mut cluster = SimCluster::with_faults(self.k, config.cost, plan, config.retry)?;
+        let pool = fc_exec::Pool::new(config.threads);
         let mut phases = Vec::new();
 
         // --- Phase 1: transitive reduction (§V-A). ---
         let lists = self.partition_nodes();
         let run = execute_phase(
             &mut cluster,
+            &pool,
             PhaseId::TransitiveReduction,
             self.k,
             |p, w| transitive::worker_scan(&self.graph, &lists[p], w),
@@ -197,6 +203,7 @@ impl DistributedHybrid {
         let lists = self.partition_nodes();
         let run = execute_phase(
             &mut cluster,
+            &pool,
             PhaseId::ContainmentRemoval,
             self.k,
             |p, w| simplify::worker_scan(&self.graph, &lists[p], &self.contigs, w),
@@ -217,6 +224,7 @@ impl DistributedHybrid {
         let lists = self.partition_nodes();
         let run = execute_phase(
             &mut cluster,
+            &pool,
             PhaseId::ErrorRemoval,
             self.k,
             |p, w| {
@@ -248,6 +256,7 @@ impl DistributedHybrid {
         // --- Phase 4: traversal (§V-D). ---
         let run = execute_phase(
             &mut cluster,
+            &pool,
             PhaseId::Traversal,
             self.k,
             |p, w| traverse::worker_paths(&self.graph, &self.parts, p as u32, w),

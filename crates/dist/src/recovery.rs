@@ -20,6 +20,7 @@
 use crate::cluster::{PhaseTiming, SimCluster};
 use crate::error::DistError;
 use crate::fault::PhaseId;
+use fc_exec::Pool;
 
 /// Outcome of one recovered phase: every partition's result (in partition
 /// order, so master-side application is order-identical to a fault-free
@@ -39,11 +40,20 @@ pub struct PhaseExecution<T> {
 /// Partitions owned by already-dead ranks are adopted round-robin by the
 /// survivors. Returns [`DistError::NoSurvivors`] when every rank is lost
 /// before all results reach the master.
-pub fn execute_phase<T>(
+///
+/// The initial fan-out runs the scans on `pool` — the same purity that
+/// makes recovery free of checkpoints makes the scans trivially
+/// parallelizable, and results are stored per partition id so the master
+/// applies them in partition order regardless of completion order. Fault
+/// charging and recovery re-invocations stay on the master's serial
+/// schedule, so a [`FaultPlan`](crate::fault::FaultPlan) replays
+/// bit-identically at any thread count.
+pub fn execute_phase<T: Send>(
     cluster: &mut SimCluster,
+    pool: &Pool,
     phase: PhaseId,
     partitions: usize,
-    mut scan: impl FnMut(usize, &mut u64) -> T,
+    scan: impl Fn(usize, &mut u64) -> T + Sync,
     payload_of: impl Fn(&T) -> u64,
 ) -> Result<PhaseExecution<T>, DistError> {
     // Assign every partition an executor: its own rank when alive, else a
@@ -65,9 +75,11 @@ pub fn execute_phase<T>(
     // Worker scans (the real algorithm), with per-partition work counters.
     let mut results: Vec<Option<T>> = Vec::with_capacity(partitions);
     let mut works = Vec::with_capacity(partitions);
-    for p in 0..partitions {
+    for (result, w) in pool.map(partitions, |p| {
         let mut w = 0;
-        results.push(Some(scan(p, &mut w)));
+        (scan(p, &mut w), w)
+    }) {
+        results.push(Some(result));
         works.push(w);
     }
 
@@ -191,7 +203,15 @@ mod tests {
     #[test]
     fn fault_free_phase_returns_all_results_in_order() {
         let mut c = SimCluster::new(4, flat_cost()).unwrap();
-        let run = execute_phase(&mut c, PhaseId::TransitiveReduction, 4, id_scan, |_| 8).unwrap();
+        let run = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::TransitiveReduction,
+            4,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap();
         assert_eq!(run.results, vec![0, 1, 2, 3]);
         assert_eq!(run.timing.tasks, 4);
         assert_eq!(*c.fault_report(), Default::default());
@@ -201,7 +221,15 @@ mod tests {
     fn crashed_partition_is_recovered_on_a_survivor() {
         let plan = FaultPlan::single_crash(PhaseId::TransitiveReduction, 2);
         let mut c = SimCluster::with_faults(4, flat_cost(), plan, RetryPolicy::default()).unwrap();
-        let run = execute_phase(&mut c, PhaseId::TransitiveReduction, 4, id_scan, |_| 8).unwrap();
+        let run = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::TransitiveReduction,
+            4,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap();
         // The result set is complete and order-identical despite the crash.
         assert_eq!(run.results, vec![0, 1, 2, 3]);
         assert!(!c.is_alive(2));
@@ -213,11 +241,27 @@ mod tests {
     fn dead_rank_partitions_are_adopted_in_later_phases() {
         let plan = FaultPlan::single_crash(PhaseId::TransitiveReduction, 1);
         let mut c = SimCluster::with_faults(2, flat_cost(), plan, RetryPolicy::default()).unwrap();
-        execute_phase(&mut c, PhaseId::TransitiveReduction, 2, id_scan, |_| 8).unwrap();
+        execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::TransitiveReduction,
+            2,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap();
         // Next phase: partition 1 has no owner, rank 0 adopts it up front —
         // no timeout, no crash recorded, still every result delivered.
         let crashes_before = c.fault_report().crashes;
-        let run = execute_phase(&mut c, PhaseId::ContainmentRemoval, 2, id_scan, |_| 8).unwrap();
+        let run = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::ContainmentRemoval,
+            2,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap();
         assert_eq!(run.results, vec![0, 1]);
         assert_eq!(c.fault_report().crashes, crashes_before);
     }
@@ -230,7 +274,15 @@ mod tests {
             ..Default::default()
         };
         let mut c = SimCluster::with_faults(3, CostModel::default(), plan, retry).unwrap();
-        let run = execute_phase(&mut c, PhaseId::ErrorRemoval, 3, id_scan, |_| 8).unwrap();
+        let run = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::ErrorRemoval,
+            3,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap();
         assert_eq!(run.results, vec![0, 1, 2]);
         assert!(
             !c.is_alive(1),
@@ -244,7 +296,15 @@ mod tests {
     fn losing_every_rank_is_a_typed_error() {
         let plan = FaultPlan::single_crash(PhaseId::Traversal, 0);
         let mut c = SimCluster::with_faults(1, flat_cost(), plan, RetryPolicy::default()).unwrap();
-        let err = execute_phase(&mut c, PhaseId::Traversal, 1, id_scan, |_| 8).unwrap_err();
+        let err = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::Traversal,
+            1,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             DistError::NoSurvivors {

@@ -27,6 +27,7 @@ use fc_dist::cluster::{CostModel, SimCluster};
 use fc_dist::fault::{FaultEvent, FaultKind, FaultPlan, FaultReport, PhaseId, RetryPolicy};
 use fc_dist::recovery::execute_phase;
 use fc_dist::DistError;
+use fc_exec::Pool;
 
 #[cfg(not(loom))]
 const RANKS: usize = 3;
@@ -69,6 +70,10 @@ struct RunOutcome {
 }
 
 fn run_schedule(phase: PhaseId, plan: &FaultPlan) -> RunOutcome {
+    run_schedule_pooled(phase, plan, &Pool::serial())
+}
+
+fn run_schedule_pooled(phase: PhaseId, plan: &FaultPlan, pool: &Pool) -> RunOutcome {
     let mut cluster = SimCluster::with_faults(
         RANKS,
         CostModel::default(),
@@ -79,6 +84,7 @@ fn run_schedule(phase: PhaseId, plan: &FaultPlan) -> RunOutcome {
     let before = cluster.now();
     let out = execute_phase(
         &mut cluster,
+        pool,
         phase,
         PARTITIONS,
         |p, work| {
@@ -220,6 +226,42 @@ fn identical_schedules_replay_bit_identically() {
         }
         assert_eq!(a.makespan, b.makespan, "virtual makespan not reproducible");
         assert_eq!(a.report, b.report, "fault report not reproducible");
+    }
+}
+
+#[test]
+fn pooled_worker_schedules_replay_bit_identically_to_serial() {
+    // The initial scan fan-out may run on a work-stealing pool; fault
+    // charging and recovery stay on the master's serial schedule, so every
+    // schedule in the bounded space — crashes, drops, delays, stragglers —
+    // must replay bit-identically (results, virtual makespan, and fault
+    // report) at any thread count.
+    let pool = Pool::new(4);
+    for &phase in PHASES {
+        for plan in all_schedules(phase) {
+            let serial = run_schedule(phase, &plan);
+            let pooled = run_schedule_pooled(phase, &plan, &pool);
+            match (&serial.result, &pooled.result) {
+                (Ok(ra), Ok(rb)) => assert_eq!(ra, rb, "plan {:?}", plan.events()),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "plan {:?}", plan.events()),
+                _ => panic!(
+                    "pooled replay diverged in outcome kind (plan {:?})",
+                    plan.events()
+                ),
+            }
+            assert_eq!(
+                serial.makespan,
+                pooled.makespan,
+                "virtual makespan changed under pooled workers (plan {:?})",
+                plan.events()
+            );
+            assert_eq!(
+                serial.report,
+                pooled.report,
+                "fault report changed under pooled workers (plan {:?})",
+                plan.events()
+            );
+        }
     }
 }
 

@@ -1,0 +1,316 @@
+//! Deterministic shared-memory work pool for the paper-parallel phases.
+//!
+//! The paper's three hot phases — subset-pair alignment (§II-B), recursive
+//! bisection (§IV-C) and level-wise k-way refinement (§IV-D) — decompose
+//! into independent tasks whose *results* do not depend on execution order.
+//! [`Pool`] exploits that: tasks are distributed over scoped worker threads
+//! through a chunked work-stealing deque (crossbeam's `Injector`/`Stealer`),
+//! each worker tags every result with its task index, and the pool merges
+//! the per-worker result lists back into **canonical task order** before
+//! returning. Output is therefore bit-identical at any thread count; with
+//! `threads = 1` the pool does not spawn at all and runs the exact serial
+//! loop in the caller's thread.
+//!
+//! Workers own reusable per-thread scratch state (allocation buffers for the
+//! alignment kernel, for instance) created once per worker through the
+//! `scratch` factory of [`Pool::map_with`].
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::num::NonZeroUsize;
+
+/// How many chunks each worker should see on average; smaller chunks steal
+/// better, larger chunks amortise queue traffic. Eight per worker keeps both
+/// effects small for the task counts seen in the pipeline (tens to a few
+/// thousand).
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// A deterministic work pool with a fixed thread count.
+///
+/// `threads == 1` is the exact serial path (no threads spawned, caller-order
+/// execution); any other count changes only wall-clock time, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// The auto-sized pool ([`Pool::new`] with `0`).
+    fn default() -> Pool {
+        Pool::new(0)
+    }
+}
+
+impl Pool {
+    /// Creates a pool. `threads == 0` resolves to the machine's available
+    /// parallelism (at least 1); any other value is used as given.
+    pub fn new(threads: usize) -> Pool {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Pool { threads }
+    }
+
+    /// The single-threaded pool: tasks run in the caller's thread, in order.
+    pub fn serial() -> Pool {
+        Pool { threads: 1 }
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs tasks inline in the caller's thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Runs `f(0..n)` and returns the results in index order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.map_with(n, || (), |i, ()| f(i))
+    }
+
+    /// Runs `f(0..n)` with one reusable `scratch` value per worker thread
+    /// (created by `scratch()`), returning results in index order.
+    ///
+    /// The scratch value is the pool's ownership story for allocation reuse:
+    /// each worker creates it once and threads it through every task it
+    /// executes, so buffers inside it are recycled without synchronisation.
+    pub fn map_with<T, S, F, C>(&self, n: usize, scratch: C, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut S) -> T + Sync,
+        C: Fn() -> S + Sync,
+    {
+        let mut items: Vec<usize> = (0..n).collect();
+        self.run(&mut items, &scratch, &|&mut i, s| f(i, s))
+    }
+
+    /// Consumes `items`, runs `f(index, item, scratch)` over each, and
+    /// returns the results in the items' original order.
+    pub fn map_items<I, T, S, F, C>(&self, items: Vec<I>, scratch: C, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I, &mut S) -> T + Sync,
+        C: Fn() -> S + Sync,
+    {
+        let mut slots: Vec<(usize, Option<I>)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (i, Some(v)))
+            .collect();
+        let out = self.run(&mut slots, &scratch, &|slot, s| {
+            slot.1.take().map(|item| f(slot.0, item, s))
+        });
+        // Every slot is visited exactly once, so every result is `Some`;
+        // `flatten` only strips the wrapper and preserves order.
+        out.into_iter().flatten().collect()
+    }
+
+    /// Core driver: executes `f` over `&mut items[i]` for every `i`,
+    /// returning results in index order.
+    fn run<I, T, S, F, C>(&self, items: &mut [I], scratch: &C, f: &F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(&mut I, &mut S) -> T + Sync,
+        C: Fn() -> S + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            let mut s = scratch();
+            return items.iter_mut().map(|item| f(item, &mut s)).collect();
+        }
+
+        let workers = self.threads.min(n);
+        let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+
+        let injector: Injector<(usize, &mut [I])> = Injector::new();
+        for (c, block) in items.chunks_mut(chunk).enumerate() {
+            injector.push((c * chunk, block));
+        }
+        let locals: Vec<Worker<(usize, &mut [I])>> =
+            (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<(usize, &mut [I])>> =
+            locals.iter().map(Worker::stealer).collect();
+
+        let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, local) in locals.into_iter().enumerate() {
+                let injector = &injector;
+                let stealers = &stealers;
+                handles.push(scope.spawn(move || {
+                    let mut s = scratch();
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    // Tasks never enqueue new tasks, so the queues only ever
+                    // drain: once local, injector and every peer deque are
+                    // simultaneously empty, all remaining chunks are being
+                    // executed by their claimants and this worker can retire.
+                    while let Some((base, block)) = local
+                        .pop()
+                        .or_else(|| find_task(injector, &local, stealers, w))
+                    {
+                        for (off, item) in block.iter_mut().enumerate() {
+                            out.push((base + off, f(item, &mut s)));
+                        }
+                    }
+                    out
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(out) => per_worker.push(out),
+                    // A worker died: the task paniced; propagate it.
+                    Err(cause) => std::panic::resume_unwind(cause),
+                }
+            }
+        });
+
+        // Canonical-order merge: every result carries its task index, so the
+        // output is independent of which worker ran what when.
+        let mut indexed: Vec<(usize, T)> = per_worker.into_iter().flatten().collect();
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+/// One steal attempt cycle: drain the injector first, then steal from peers
+/// starting after our own slot (spreads contention deterministically for
+/// results — victim choice only affects timing, never output).
+fn find_task<'s, I>(
+    injector: &Injector<(usize, &'s mut [I])>,
+    local: &Worker<(usize, &'s mut [I])>,
+    stealers: &[Stealer<(usize, &'s mut [I])>],
+    me: usize,
+) -> Option<(usize, &'s mut [I])> {
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    let k = stealers.len();
+    for off in 1..k {
+        let victim = &stealers[(me + off) % k];
+        loop {
+            match victim.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn resolves_thread_counts() {
+        assert!(Pool::new(0).threads() >= 1);
+        assert_eq!(Pool::new(3).threads(), 3);
+        assert!(Pool::serial().is_serial());
+        assert!(!Pool::new(4).is_serial());
+        assert_eq!(Pool::default().threads(), Pool::new(0).threads());
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(1000, |i| i * i);
+            let expected: Vec<usize> = (0..1000).map(|i| i * i).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = Pool::new(4);
+        assert!(pool.map(0, |i| i).is_empty());
+        assert_eq!(pool.map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_with_reuses_scratch_per_worker() {
+        let created = AtomicU64::new(0);
+        let pool = Pool::new(4);
+        let out = pool.map_with(
+            256,
+            || {
+                created.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |i, buf| {
+                buf.push(i);
+                buf.len()
+            },
+        );
+        assert_eq!(out.len(), 256);
+        // At most one scratch per worker thread, not one per task.
+        assert!(created.load(Ordering::Relaxed) <= 4);
+        // Serially, every task shares the single scratch: lengths are 1..=n.
+        let serial = Pool::serial().map_with(5, Vec::<usize>::new, |i, buf| {
+            buf.push(i);
+            buf.len()
+        });
+        assert_eq!(serial, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn map_items_moves_values_in_order() {
+        for threads in [1, 3, 8] {
+            let pool = Pool::new(threads);
+            let items: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+            let out = pool.map_items(items, || (), |_, item, ()| item + "!");
+            let expected: Vec<String> = (0..100).map(|i| format!("v{i}!")).collect();
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_stateful_computation() {
+        // A mildly expensive pure function; results must match bit for bit.
+        let f = |i: usize| -> u64 {
+            let mut x = i as u64 ^ 0x9E3779B97F4A7C15;
+            for _ in 0..50 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let serial = Pool::serial().map(5000, f);
+        for threads in [2, 4, 8] {
+            assert_eq!(Pool::new(threads).map(5000, f), serial);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).map(64, |i| {
+                assert!(i != 33, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -52,6 +52,12 @@ pub struct FocusConfig {
     /// strand-augmented (§II-A), so assemblies naturally produce each contig
     /// on both strands; the paper reports raw counts, so this defaults off.
     pub dedup_rc: bool,
+    /// Worker threads for the shared-memory parallel phases — alignment
+    /// fan-out, task-parallel bisection, per-partition distributed scans.
+    /// `0` (the default) uses the machine's available parallelism; `1`
+    /// forces the exact serial path. Output is bit-identical at any
+    /// setting.
+    pub threads: usize,
 }
 
 impl Default for FocusConfig {
@@ -68,6 +74,7 @@ impl Default for FocusConfig {
             fault: None,
             consensus: true,
             dedup_rc: false,
+            threads: 0,
         }
     }
 }

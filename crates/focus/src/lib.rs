@@ -18,4 +18,4 @@ pub mod stats;
 pub use config::{FaultInjection, FocusConfig, FocusError};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};
 pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
-pub use stats::AssemblyStats;
+pub use stats::{AssemblyStats, PhaseProfile, PipelineProfile};

@@ -1,8 +1,8 @@
 //! The six-stage Focus pipeline (paper §II).
 
 use crate::config::{FocusConfig, FocusError};
-use crate::stats::AssemblyStats;
-use fc_align::{Overlap, Overlapper, PairStats};
+use crate::stats::{AssemblyStats, PipelineProfile};
+use fc_align::{Overlap, Overlapper, PairStats, Pool};
 use fc_dist::{AssemblyPath, DistributedHybrid, DistributedReport, FaultPlan};
 use fc_graph::{HybridSet, MultilevelSet, NodeId, OverlapGraph};
 use fc_partition::{partition_graph_set, PartitionConfig, PartitionResult};
@@ -34,6 +34,8 @@ pub struct Prepared {
     pub multilevel: MultilevelSet,
     /// Hybrid graph set `{G'0 … G'n}`.
     pub hybrid: HybridSet,
+    /// Wall-clock profile of the preparation stages (alignment fan-out).
+    pub profile: PipelineProfile,
 }
 
 /// A complete assembly outcome.
@@ -47,6 +49,9 @@ pub struct AssemblyResult {
     pub partition: PartitionResult,
     /// Distributed-stage report (timings, removal counts, paths).
     pub report: DistributedReport,
+    /// Wall-clock profile of all parallel phases (preparation's phases
+    /// first, then partitioning and the distributed stage).
+    pub profile: PipelineProfile,
 }
 
 impl FocusAssembler {
@@ -70,7 +75,17 @@ impl FocusAssembler {
         }
         let overlapper = Overlapper::new(&store, self.config.overlap)?;
         let subsets = store.split_subsets(self.config.subsets);
-        let (overlaps, pair_stats) = overlapper.overlap_all(&subsets);
+        let pool = Pool::new(self.config.threads);
+        let mut profile = PipelineProfile::default();
+        let started = std::time::Instant::now();
+        let (overlaps, pair_stats) = overlapper.overlap_all_with(&subsets, &pool);
+        let s = subsets.len();
+        profile.record(
+            "alignment",
+            started.elapsed(),
+            s + s * (s + 1) / 2, // index builds + subset pairs
+            pool.threads(),
+        );
 
         let graph = OverlapGraph::build(&store, &overlaps);
         let multilevel = MultilevelSet::build(graph.undirected.clone(), &self.config.coarsen);
@@ -82,6 +97,7 @@ impl FocusAssembler {
             graph,
             multilevel,
             hybrid,
+            profile,
         })
     }
 
@@ -92,10 +108,19 @@ impl FocusAssembler {
         prepared: &Prepared,
         k: usize,
     ) -> Result<AssemblyResult, FocusError> {
+        let pool = Pool::new(self.config.threads);
+        let mut profile = prepared.profile.clone();
+        let started = std::time::Instant::now();
         let partition = partition_graph_set(
             &prepared.hybrid.set,
-            &PartitionConfig::new(k, self.config.partition_seed),
+            &PartitionConfig::new(k, self.config.partition_seed).with_threads(self.config.threads),
         )?;
+        profile.record(
+            "partition",
+            started.elapsed(),
+            partition.tasks.len(),
+            pool.threads(),
+        );
 
         let parts = partition.finest().to_vec();
         let mut dh = if self.config.consensus {
@@ -107,7 +132,11 @@ impl FocusAssembler {
             Some(inj) => FaultPlan::random(inj.seed, k, &inj.rates),
             None => FaultPlan::none(),
         };
-        let report = dh.run_with_faults(&self.config.dist, plan)?;
+        let mut dist_config = self.config.dist;
+        dist_config.threads = self.config.threads;
+        let started = std::time::Instant::now();
+        let report = dh.run_with_faults(&dist_config, plan)?;
+        profile.record("distributed", started.elapsed(), 4 * k, pool.threads());
 
         let mut contigs = Vec::with_capacity(report.paths.len());
         for p in &report.paths {
@@ -122,6 +151,7 @@ impl FocusAssembler {
             stats,
             partition,
             report,
+            profile,
         })
     }
 
@@ -313,6 +343,55 @@ mod tests {
             .assemble(&reads)
             .unwrap();
         assert_eq!(faulty.report.fault, again.report.fault);
+    }
+
+    #[test]
+    fn threaded_assembly_is_bit_identical_to_serial() {
+        let g = genome(2500, 5);
+        let reads = tiled_reads(&g, 100, 50);
+        let mut config = quick_config(4);
+        config.threads = 1;
+        let serial = FocusAssembler::new(config)
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            config.threads = threads;
+            let pooled = FocusAssembler::new(config)
+                .unwrap()
+                .assemble(&reads)
+                .unwrap();
+            // Contigs in order (no sorting), partition assignment, and the
+            // traversal paths must all match the serial run exactly.
+            assert_eq!(pooled.contigs, serial.contigs, "{threads} threads");
+            assert_eq!(
+                pooled.partition.parts_per_level, serial.partition.parts_per_level,
+                "{threads} threads"
+            );
+            assert_eq!(
+                pooled.report.paths, serial.report.paths,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_records_the_three_parallel_phases() {
+        let g = genome(2000, 9);
+        let reads = tiled_reads(&g, 100, 50);
+        let mut config = quick_config(4);
+        config.threads = 2;
+        let result = FocusAssembler::new(config)
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
+        let names: Vec<&str> = result.profile.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["alignment", "partition", "distributed"]);
+        for phase in &result.profile.phases {
+            assert_eq!(phase.threads, 2);
+            assert!(phase.tasks > 0);
+        }
+        assert!(result.profile.total_wall() >= result.profile.phases[0].wall);
     }
 
     #[test]

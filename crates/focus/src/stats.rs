@@ -1,6 +1,47 @@
-//! Assembly statistics (Table III's columns).
+//! Assembly statistics (Table III's columns) and wall-clock profiles of the
+//! pipeline's parallel phases.
 
 use fc_seq::DnaString;
+use std::time::Duration;
+
+/// Wall-clock measurement of one parallel pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Phase name (`"alignment"`, `"partition"`, `"distributed"`).
+    pub name: &'static str,
+    /// Wall-clock time of the phase.
+    pub wall: Duration,
+    /// Number of pool tasks the phase fanned out.
+    pub tasks: usize,
+    /// Worker threads the phase's pool resolved to.
+    pub threads: usize,
+}
+
+/// Wall-clock profile of a pipeline run, one entry per parallel phase in
+/// execution order. Profiles measure real elapsed time (they vary run to
+/// run); everything else the pipeline produces is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineProfile {
+    /// Recorded phases in execution order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl PipelineProfile {
+    /// Records a phase measurement.
+    pub fn record(&mut self, name: &'static str, wall: Duration, tasks: usize, threads: usize) {
+        self.phases.push(PhaseProfile {
+            name,
+            wall,
+            tasks,
+            threads,
+        });
+    }
+
+    /// Sum of all recorded phase wall-clocks.
+    pub fn total_wall(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+}
 
 /// Contig-level summary statistics of one assembly.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -19,6 +19,7 @@ use crate::kl::{kl_refine, KlConfig};
 use crate::kway::{kway_refine, KwayConfig};
 use crate::local::LocalGraph;
 use crate::metrics::validate_partition;
+use fc_exec::Pool;
 use fc_graph::{GraphSet, NodeId};
 
 /// Partitioning parameters.
@@ -35,10 +36,15 @@ pub struct PartitionConfig {
     pub kway: KwayConfig,
     /// Whether to run the final per-level k-way refinement.
     pub run_kway: bool,
+    /// Worker threads for the task-parallel phases (`0` = available
+    /// parallelism, `1` = exact serial path). Every bisection task derives
+    /// its seed from `(seed, step, p)`, so the result is identical at any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl PartitionConfig {
-    /// Standard configuration for `k` partitions.
+    /// Standard configuration for `k` partitions (serial execution).
     pub fn new(k: usize, seed: u64) -> PartitionConfig {
         PartitionConfig {
             k,
@@ -46,7 +52,14 @@ impl PartitionConfig {
             kl: KlConfig::default(),
             kway: KwayConfig::default(),
             run_kway: true,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> PartitionConfig {
+        self.threads = threads;
+        self
     }
 
     /// Validates that `k` is a positive power of two.
@@ -121,23 +134,43 @@ pub fn partition_graph_set(
         .collect();
     let mut tasks = Vec::new();
 
+    let pool = Pool::new(config.threads);
     let steps = config.k.trailing_zeros() as usize;
     for step in 0..steps {
-        for p in 0..(1u32 << step) {
-            let mut work = 0u64;
-            let p_new = p + (1 << step);
+        // The paper's task parallelism (§IV-C): the `2^step` bisections of a
+        // step are result-independent. A task for partition `p` reads other
+        // partitions' assignments only through the "is it `p` or `p_new`"
+        // membership test, and sibling tasks only relabel values that are
+        // neither (`q → q + 2^step` with `q ≠ p`), so membership answers are
+        // identical whether siblings ran before it or not. Running every
+        // task from a read-only snapshot and applying the returned move
+        // lists after a step barrier is therefore bit-identical to the
+        // serial in-place loop — at any thread count.
+        let parts_ro: &[Vec<u32>] = &parts;
+        let outcomes = pool.map(1usize << step, |pi| {
+            let p = pi as u32;
             bisect_partition(
                 set,
-                &mut parts,
+                parts_ro,
                 p,
-                p_new,
+                p + (1 << step),
                 config,
                 config.seed.wrapping_add(((step as u64) << 32) | p as u64),
-                &mut work,
-            );
+            )
+        });
+        for (pi, outcome) in outcomes.into_iter().enumerate() {
+            let p_new = pi as u32 + (1 << step);
+            for (level, moved) in outcome.moved.iter().enumerate() {
+                for &v in moved {
+                    parts[level][v as usize] = p_new;
+                }
+            }
             tasks.push(TaskRecord {
-                kind: TaskKind::Bisect { step, part: p },
-                work,
+                kind: TaskKind::Bisect {
+                    step,
+                    part: pi as u32,
+                },
+                work: outcome.work,
             });
         }
     }
@@ -152,11 +185,27 @@ pub fn partition_graph_set(
     }
 
     if config.run_kway && config.k > 1 {
-        for (level, (level_graph, assignment)) in
-            set.levels.iter().zip(parts.iter_mut()).enumerate()
-        {
-            let mut work = 0u64;
-            kway_refine(level_graph, assignment, config.k, &config.kway, &mut work);
+        // Level-parallel global refinement (§IV-D): each level's k-way pass
+        // reads and writes only that level's assignment, so the levels run
+        // concurrently and are reassembled in level order.
+        let level_parts = std::mem::take(&mut parts);
+        let refined = pool.map_items(
+            level_parts,
+            || (),
+            |level, mut assignment, ()| {
+                let mut work = 0u64;
+                kway_refine(
+                    &set.levels[level],
+                    &mut assignment,
+                    config.k,
+                    &config.kway,
+                    &mut work,
+                );
+                (assignment, work)
+            },
+        );
+        for (level, (assignment, work)) in refined.into_iter().enumerate() {
+            parts.push(assignment);
             tasks.push(TaskRecord {
                 kind: TaskKind::KwayLevel { level },
                 work,
@@ -246,18 +295,32 @@ fn repair_empty_partitions(g: &fc_graph::LevelGraph, parts: &mut [u32], k: usize
     }
 }
 
+/// What one bisection task produced: per-level lists of nodes to relabel
+/// from `p` to `p_new`, plus the task's abstract work.
+struct BisectOutcome {
+    moved: Vec<Vec<NodeId>>,
+    work: u64,
+}
+
 /// Splits partition `p` into `p` and `p_new` across all levels: bisect the
 /// coarsest level's induced subgraph, then project and KL-refine downwards.
+///
+/// Reads `parts` as a pre-step snapshot and reports moves instead of writing
+/// them, so sibling tasks of the same step can run concurrently. The task's
+/// own level-above moves are overlaid during downward projection
+/// (`above_nodes`/`above_side`), which reproduces exactly what the serial
+/// in-place version would have read.
 fn bisect_partition(
     set: &GraphSet,
-    parts: &mut [Vec<u32>],
+    parts: &[Vec<u32>],
     p: u32,
     p_new: u32,
     config: &PartitionConfig,
     seed: u64,
-    work: &mut u64,
-) {
+) -> BisectOutcome {
     let n_levels = set.level_count();
+    let mut moved: Vec<Vec<NodeId>> = vec![Vec::new(); n_levels];
+    let mut work = 0u64;
     // Find the coarsest level where this partition has at least two nodes.
     let mut top = n_levels - 1;
     loop {
@@ -268,20 +331,27 @@ fn bisect_partition(
         top -= 1;
     }
 
-    // Initial bisection at `top`.
+    // Initial bisection at `top`. `above_nodes` (ascending) and `above_side`
+    // carry this task's own view of the level above for the projection loop.
+    let mut above_nodes: Vec<NodeId>;
+    let mut above_side: Vec<bool>;
     {
         let nodes: Vec<NodeId> = (0..set.levels[top].node_count() as NodeId)
             .filter(|&v| parts[top][v as usize] == p)
             .collect();
         if nodes.len() < 2 {
-            return; // nothing to split (degenerate, e.g. k > nodes)
+            return BisectOutcome { moved, work }; // nothing to split
         }
         let local = LocalGraph::extract(&set.levels[top], &nodes);
-        let mut side = greedy_grow(&local, seed, work);
-        kl_refine(&local, &mut side, &config.kl, work);
+        let mut side = greedy_grow(&local, seed, &mut work);
+        kl_refine(&local, &mut side, &config.kl, &mut work);
         for (li, &v) in nodes.iter().enumerate() {
-            parts[top][v as usize] = if side[li] { p_new } else { p };
+            if side[li] {
+                moved[top].push(v);
+            }
         }
+        above_nodes = nodes;
+        above_side = side;
     }
 
     // Project and refine downwards.
@@ -296,7 +366,21 @@ fn bisect_partition(
         let mut side_weight = [0u64, 0u64];
         let mut drifters: Vec<usize> = Vec::new();
         for (li, &v) in nodes.iter().enumerate() {
-            let a = parts[level + 1][map[v as usize] as usize];
+            let anc = map[v as usize];
+            // The ancestor's assignment seen through this task's overlay:
+            // ancestors this task split read `p`/`p_new`, all others keep
+            // their snapshot value (which can only be another partition —
+            // drifters — regardless of sibling-task relabelings).
+            let a = match above_nodes.binary_search(&anc) {
+                Ok(ai) => {
+                    if above_side[ai] {
+                        p_new
+                    } else {
+                        p
+                    }
+                }
+                Err(_) => parts[level + 1][anc as usize],
+            };
             if a == p || a == p_new {
                 side[li] = a == p_new;
                 side_weight[usize::from(a == p_new)] += graph.node_weight(v);
@@ -315,13 +399,18 @@ fn bisect_partition(
         // Guard against a degenerate or badly lopsided projection.
         let total = side_weight[0] + side_weight[1];
         if total > 0 && side_weight[0].max(side_weight[1]) * 4 > total * 3 {
-            side = greedy_grow(&local, seed ^ 0x9E3779B9, work);
+            side = greedy_grow(&local, seed ^ 0x9E3779B9, &mut work);
         }
-        kl_refine(&local, &mut side, &config.kl, work);
+        kl_refine(&local, &mut side, &config.kl, &mut work);
         for (li, &v) in nodes.iter().enumerate() {
-            parts[level][v as usize] = if side[li] { p_new } else { p };
+            if side[li] {
+                moved[level].push(v);
+            }
         }
+        above_nodes = nodes;
+        above_side = side;
     }
+    BisectOutcome { moved, work }
 }
 
 #[cfg(test)]
@@ -449,6 +538,25 @@ mod tests {
         };
         let result = partition_graph_set(&set, &PartitionConfig::new(4, 7)).unwrap();
         validate_partition(set.finest(), result.finest(), 4).unwrap();
+    }
+
+    #[test]
+    fn pooled_partitioning_is_bit_identical_to_serial() {
+        let set = path_set(512);
+        let serial = partition_graph_set(&set, &PartitionConfig::new(8, 42)).unwrap();
+        for threads in [2, 4, 8] {
+            let pooled =
+                partition_graph_set(&set, &PartitionConfig::new(8, 42).with_threads(threads))
+                    .unwrap();
+            assert_eq!(
+                pooled.parts_per_level, serial.parts_per_level,
+                "assignments diverged at {threads} threads"
+            );
+            assert_eq!(
+                pooled.tasks, serial.tasks,
+                "task log diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,8 @@ ASSEMBLE OPTIONS:
     --min-quality <q>      sliding-window quality threshold      [default: 20]
     --subsets <n>          read subsets for pairwise alignment   [default: 4]
     --seed <u64>           partitioning seed                     [default: 985093]
+    --threads <n>          worker threads; 0 = all cores, 1 = serial;
+                           output is identical at any setting    [default: 0]
     --keep-both-strands    emit both strands of every contig
 
 SIMULATE OPTIONS:
@@ -170,6 +172,12 @@ fn assemble(args: &[String]) -> Result<(), String> {
         result.stats.max_contig,
         result.stats.total_bases
     );
+    for phase in &result.profile.phases {
+        eprintln!(
+            "phase {:<12} {:>10.3?} | {} tasks on {} threads",
+            phase.name, phase.wall, phase.tasks, phase.threads
+        );
+    }
 
     let contig_reads: Vec<Read> = result
         .contigs
@@ -207,6 +215,7 @@ fn build_config(opts: &Options) -> Result<FocusConfig, String> {
         partitions: opts.get_parsed("partitions", 16usize)?,
         subsets: opts.get_parsed("subsets", 4usize)?,
         partition_seed: opts.get_parsed("seed", 985_093u64)?,
+        threads: opts.get_parsed("threads", 0usize)?,
         dedup_rc: !opts.flag("keep-both-strands"),
         ..Default::default()
     };

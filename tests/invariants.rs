@@ -222,6 +222,54 @@ mod fault_invariants {
     }
 }
 
+// ---- Shared-memory parallelism invariants (proptest) ----------------------
+
+mod parallel_determinism {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// The parallel engine's core guarantee, end to end: one pipeline,
+        /// any thread count, bit-identical output — verified overlaps in
+        /// order, partition assignment on every level, traversal paths,
+        /// and final contigs.
+        #[test]
+        fn pipeline_output_is_thread_count_invariant(seed in 0u64..(1u64 << 48)) {
+            let mut dconfig = DatasetConfig::test_scale();
+            dconfig.total_reads = 600;
+            let dataset = generate_dataset("par", &dconfig, seed).unwrap();
+            let mut config = FocusConfig::default();
+            config.partitions = 4;
+            config.threads = 1;
+            let serial_asm = FocusAssembler::new(config).unwrap();
+            let serial_prep = serial_asm.prepare(&dataset.reads).unwrap();
+            let serial = serial_asm.assemble_prepared(&serial_prep, 4);
+            for threads in [2usize, 4, 8] {
+                config.threads = threads;
+                let asm = FocusAssembler::new(config).unwrap();
+                let prep = asm.prepare(&dataset.reads).unwrap();
+                prop_assert_eq!(&prep.overlaps, &serial_prep.overlaps, "overlaps @ {} threads", threads);
+                prop_assert_eq!(&prep.pair_stats, &serial_prep.pair_stats, "pair stats @ {} threads", threads);
+                let pooled = asm.assemble_prepared(&prep, 4);
+                match (&serial, &pooled) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.partition.parts_per_level, &b.partition.parts_per_level,
+                            "partition @ {} threads", threads);
+                        prop_assert_eq!(&a.report.paths, &b.report.paths,
+                            "paths @ {} threads", threads);
+                        prop_assert_eq!(&a.contigs, &b.contigs,
+                            "contigs @ {} threads", threads);
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(false, "outcome kind diverged at {threads} threads"),
+                }
+            }
+        }
+    }
+}
+
 /// Property tests promoting the debug-time assertions of fc-align's banded
 /// aligner and fc-graph's coarsening into checked invariants: band
 /// feasibility/monotonicity for Needleman–Wunsch, and matching validity plus
