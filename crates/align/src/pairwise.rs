@@ -11,8 +11,13 @@ use crate::nw::{banded_global_with, NwConfig, NwScratch};
 use crate::overlap::{Overlap, OverlapKind};
 use crate::suffix::SuffixArray;
 use fc_exec::Pool;
+use fc_obs::Recorder;
 use fc_seq::{ReadId, ReadStore};
 use std::collections::HashMap;
+
+/// Identity-percentage histogram bounds: the interesting range is 50–100%,
+/// the default power-of-two buckets would lump it all together.
+const IDENTITY_PCT_BOUNDS: &[u64] = &[50, 60, 70, 80, 85, 90, 92, 94, 96, 98, 99, 100];
 
 /// Parameters of the overlap stage. The paper's evaluation uses a minimum
 /// overlap length of 50 bp and minimum identity of 90 % (§VI-A).
@@ -204,22 +209,84 @@ impl<'a> Overlapper<'a> {
         subsets: &[Vec<ReadId>],
         pool: &Pool,
     ) -> (Vec<Overlap>, Vec<(usize, usize, PairStats)>) {
-        let indexes: Vec<SuffixArray> = pool.map(subsets.len(), |j| self.index_subset(&subsets[j]));
+        self.overlap_all_obs(subsets, pool, &Recorder::disabled())
+    }
+
+    /// [`Overlapper::overlap_all_with`] with alignment metrics recorded
+    /// into `rec`: aggregate k-mer/candidate/verification counters
+    /// (`align.*`), overlap length and identity histograms, and the
+    /// scheduling-dependent scratch-reuse count
+    /// (`sched.align.scratch_reuses`). The overlaps returned are identical
+    /// to the uninstrumented call; metric aggregation happens after the
+    /// canonical merge, outside the hot per-pair tasks.
+    pub fn overlap_all_obs(
+        &self,
+        subsets: &[Vec<ReadId>],
+        pool: &Pool,
+        rec: &Recorder,
+    ) -> (Vec<Overlap>, Vec<(usize, usize, PairStats)>) {
+        let _span = rec.span_args(
+            "align",
+            "align.overlap_all",
+            &[("subsets", subsets.len() as i64)],
+        );
+        let indexes: Vec<SuffixArray> =
+            pool.map_obs(subsets.len(), rec, |j| self.index_subset(&subsets[j]));
         let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(subsets.len().pow(2) / 2 + 1);
         for j in 0..subsets.len() {
             for i in 0..=j {
                 pairs.push((i, j));
             }
         }
-        let results = pool.map_with(pairs.len(), AlignScratch::default, |t, scratch| {
-            let (i, j) = pairs[t];
-            self.overlap_pair_with(&subsets[i], &indexes[j], i == j, scratch)
-        });
+        // The bool rides along with the scratch to count how often a task
+        // found warm buffers: false exactly once per created scratch.
+        let results = pool.map_with_obs(
+            pairs.len(),
+            rec,
+            || (AlignScratch::default(), false),
+            |t, scratch| {
+                let (i, j) = pairs[t];
+                let reused = scratch.1;
+                scratch.1 = true;
+                let out = self.overlap_pair_with(&subsets[i], &indexes[j], i == j, &mut scratch.0);
+                (out, reused)
+            },
+        );
         let mut all = Vec::new();
         let mut pair_stats = Vec::with_capacity(pairs.len());
-        for ((i, j), (mut found, stats)) in pairs.into_iter().zip(results) {
+        let mut total = PairStats::default();
+        let mut scratch_reuses = 0u64;
+        for ((i, j), ((mut found, stats), reused)) in pairs.into_iter().zip(results) {
+            if rec.is_enabled() {
+                total.merge(&stats);
+                if reused {
+                    scratch_reuses += 1;
+                }
+                rec.observe("align.pair_overlaps", stats.overlaps);
+                for overlap in &found {
+                    rec.observe("align.overlap_len", overlap.len as u64);
+                    rec.observe_with(
+                        "align.identity_pct",
+                        (overlap.identity * 100.0) as u64,
+                        IDENTITY_PCT_BOUNDS,
+                    );
+                }
+            }
             all.append(&mut found);
             pair_stats.push((i, j, stats));
+        }
+        if rec.is_enabled() {
+            rec.add("align.kmer_lookups", total.kmer_lookups);
+            rec.add("align.kmer_hits", total.kmer_hits);
+            rec.add("align.candidates", total.candidates);
+            rec.add("align.candidates_verified", total.overlaps);
+            rec.add(
+                "align.candidates_rejected",
+                total.candidates.saturating_sub(total.overlaps),
+            );
+            rec.add("align.nw_cells", total.nw_cells);
+            rec.add("sched.align.scratch_reuses", scratch_reuses);
+            rec.gauge("align.band", self.config.nw.band as i64);
         }
         (all, pair_stats)
     }
@@ -630,6 +697,48 @@ mod tests {
             assert_eq!(pooled.0, serial.0, "overlaps differ at {threads} threads");
             assert_eq!(pooled.1, serial.1, "pair stats differ at {threads} threads");
         }
+    }
+
+    #[test]
+    fn obs_alignment_metrics_are_thread_invariant() {
+        let genome = random_genome(900, 17);
+        let store = tiled_store(&genome, 100, 35);
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let subsets = store.split_subsets(5);
+        let baseline = {
+            let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+            let out = overlapper.overlap_all_obs(&subsets, &Pool::serial(), &rec);
+            assert_eq!(out, overlapper.overlap_all(&subsets));
+            rec.snapshot_json()
+        };
+        assert!(baseline.contains("align.candidates"));
+        assert!(baseline.contains("align.overlap_len"));
+        for threads in [2usize, 4, 8] {
+            let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+            overlapper.overlap_all_obs(&subsets, &Pool::new(threads), &rec);
+            assert_eq!(
+                rec.snapshot_json(),
+                baseline,
+                "metric snapshot differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_verified_plus_rejected_equals_candidates() {
+        let genome = random_genome(600, 5);
+        let store = tiled_store(&genome, 100, 40);
+        let overlapper = Overlapper::new(&store, test_config()).unwrap();
+        let subsets = store.split_subsets(3);
+        let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+        overlapper.overlap_all_obs(&subsets, &Pool::new(4), &rec);
+        let snapshot = rec.snapshot();
+        let get = |name| snapshot.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            get("align.candidates_verified") + get("align.candidates_rejected"),
+            get("align.candidates")
+        );
+        assert!(get("align.kmer_lookups") > 0);
     }
 
     #[test]

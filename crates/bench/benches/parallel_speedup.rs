@@ -15,7 +15,8 @@
 
 use fc_align::Pool;
 use fc_bench::{bench_scale, prepare_context};
-use fc_partition::{partition_graph_set, PartitionConfig};
+use fc_obs::{ObsOptions, Recorder};
+use fc_partition::{partition_graph_set, partition_graph_set_obs, PartitionConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -28,6 +29,9 @@ struct PhaseRecord {
     tasks: usize,
     /// Best wall-clock per swept thread count, `THREADS` order.
     wall: Vec<Duration>,
+    /// fc-obs pool counters per swept thread count: `(exec.tasks,
+    /// sched.exec.steals)`, taken from one instrumented (untimed) run.
+    counters: Vec<(u64, u64)>,
 }
 
 impl PhaseRecord {
@@ -45,6 +49,13 @@ fn best_of<F: FnMut()>(mut run: F) -> Duration {
         best = best.min(start.elapsed());
     }
     best
+}
+
+/// Reads the pool counters out of a recorder snapshot.
+fn pool_counters(rec: &Recorder) -> (u64, u64) {
+    let snapshot = rec.snapshot();
+    let get = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    (get("exec.tasks"), get("sched.exec.steals"))
 }
 
 fn main() {
@@ -69,6 +80,7 @@ fn main() {
         name: "alignment",
         tasks: subsets.len() + subsets.len() * (subsets.len() + 1) / 2,
         wall: Vec::new(),
+        counters: Vec::new(),
     };
     for &t in &THREADS {
         let pool = Pool::new(t);
@@ -82,6 +94,9 @@ fn main() {
             got.1, serial_overlaps.1,
             "pair stats diverged at {t} threads"
         );
+        let rec = Recorder::new(ObsOptions::wall_clock());
+        overlapper.overlap_all_obs(&subsets, &pool, &rec);
+        align.counters.push(pool_counters(&rec));
     }
 
     // --- Phase 2: task-parallel recursive bisection + level-parallel k-way. ---
@@ -91,6 +106,7 @@ fn main() {
         name: "partition",
         tasks: serial_partition.tasks.len(),
         wall: Vec::new(),
+        counters: Vec::new(),
     };
     for &t in &THREADS {
         let config = PartitionConfig::new(K, 11).with_threads(t);
@@ -109,6 +125,10 @@ fn main() {
             got.tasks, serial_partition.tasks,
             "task log diverged at {t} threads"
         );
+        let rec = Recorder::new(ObsOptions::wall_clock());
+        partition_graph_set_obs(&prepared.hybrid.set, &config, &rec)
+            .expect("partitioning succeeds");
+        partition.counters.push(pool_counters(&rec));
     }
 
     // --- Report + JSON artifact. ---
@@ -155,6 +175,18 @@ fn main() {
         for (i, &t) in THREADS.iter().enumerate() {
             let sep = if i + 1 < THREADS.len() { ", " } else { "" };
             let _ = write!(json, "\"{t}\": {:.3}{sep}", phase.speedup(i));
+        }
+        json.push_str("},\n");
+        json.push_str("      \"pool_tasks_executed\": {");
+        for (i, &t) in THREADS.iter().enumerate() {
+            let sep = if i + 1 < THREADS.len() { ", " } else { "" };
+            let _ = write!(json, "\"{t}\": {}{sep}", phase.counters[i].0);
+        }
+        json.push_str("},\n");
+        json.push_str("      \"pool_steals\": {");
+        for (i, &t) in THREADS.iter().enumerate() {
+            let sep = if i + 1 < THREADS.len() { ", " } else { "" };
+            let _ = write!(json, "\"{t}\": {}{sep}", phase.counters[i].1);
         }
         json.push_str("}\n");
         let sep = if pi + 1 < phases.len() { "," } else { "" };

@@ -13,11 +13,12 @@ use crate::cluster::{CostModel, PhaseTiming, SimCluster};
 use crate::error::DistError;
 use crate::error_removal::{self, ErrorRemovalConfig};
 use crate::fault::{FaultPlan, FaultReport, PhaseId, RetryPolicy};
-use crate::recovery::execute_phase;
+use crate::recovery::execute_phase_obs;
 use crate::simplify;
 use crate::transitive;
 use crate::traverse::{self, AssemblyPath};
 use fc_graph::{DiGraph, HybridSet, NodeId};
+use fc_obs::Recorder;
 use fc_seq::{DnaString, ReadStore};
 
 /// Configuration of the distributed stage.
@@ -176,20 +177,48 @@ impl DistributedHybrid {
         config: &DistributedConfig,
         plan: FaultPlan,
     ) -> Result<DistributedReport, DistError> {
+        self.run_with_faults_obs(config, plan, &Recorder::disabled())
+    }
+
+    /// [`DistributedHybrid::run_with_faults`] with the distributed stage's
+    /// metrics recorded into `rec`. Phase boundaries are emitted as span
+    /// events from the orchestrating thread; message, retry and fault
+    /// counters are recorded once at end of run and mirror the returned
+    /// report's [`FaultReport`] field for field. The pipeline itself is
+    /// identical.
+    pub fn run_with_faults_obs(
+        &mut self,
+        config: &DistributedConfig,
+        plan: FaultPlan,
+        rec: &Recorder,
+    ) -> Result<DistributedReport, DistError> {
+        let planned_faults = plan.events().len() as u64;
         let mut cluster = SimCluster::with_faults(self.k, config.cost, plan, config.retry)?;
         let pool = fc_exec::Pool::new(config.threads);
         let mut phases = Vec::new();
+        let _run_span = rec.span_args(
+            "dist",
+            "dist.run",
+            &[
+                ("ranks", self.k as i64),
+                ("nodes", self.graph.node_count() as i64),
+                ("planned_faults", planned_faults as i64),
+            ],
+        );
 
         // --- Phase 1: transitive reduction (§V-A). ---
         let lists = self.partition_nodes();
-        let run = execute_phase(
+        let phase_span = rec.span("dist", "dist.phase.transitive_reduction");
+        let run = execute_phase_obs(
             &mut cluster,
             &pool,
             PhaseId::TransitiveReduction,
             self.k,
             |p, w| transitive::worker_scan(&self.graph, &lists[p], w),
             |r| 8 * r.len() as u64,
+            rec,
         )?;
+        drop(phase_span);
         let mut master_w = 0;
         let transitive_removed = transitive::master_remove(
             &mut self.graph,
@@ -201,14 +230,17 @@ impl DistributedHybrid {
 
         // --- Phase 2: containment + false-positive edges (§V-B). ---
         let lists = self.partition_nodes();
-        let run = execute_phase(
+        let phase_span = rec.span("dist", "dist.phase.containment_removal");
+        let run = execute_phase_obs(
             &mut cluster,
             &pool,
             PhaseId::ContainmentRemoval,
             self.k,
             |p, w| simplify::worker_scan(&self.graph, &lists[p], &self.contigs, w),
             |(dn, de)| 8 * (dn.len() + 2 * de.len()) as u64,
+            rec,
         )?;
+        drop(phase_span);
         let (node_recs, edge_recs): (Vec<_>, Vec<_>) = run.results.into_iter().unzip();
         let mut master_w = 0;
         let (contained_removed, false_edges_removed) = simplify::master_apply(
@@ -222,7 +254,8 @@ impl DistributedHybrid {
 
         // --- Phase 3: dead ends + bubbles (§V-C). ---
         let lists = self.partition_nodes();
-        let run = execute_phase(
+        let phase_span = rec.span("dist", "dist.phase.error_removal");
+        let run = execute_phase_obs(
             &mut cluster,
             &pool,
             PhaseId::ErrorRemoval,
@@ -240,7 +273,9 @@ impl DistributedHybrid {
                 rec
             },
             |r| 4 * r.len() as u64,
+            rec,
         )?;
+        drop(phase_span);
         let mut master_w = 0;
         let error_nodes_removed = error_removal::master_remove(
             &mut self.graph,
@@ -254,14 +289,17 @@ impl DistributedHybrid {
         let trimming_time = cluster.now();
 
         // --- Phase 4: traversal (§V-D). ---
-        let run = execute_phase(
+        let phase_span = rec.span("dist", "dist.phase.traversal");
+        let run = execute_phase_obs(
             &mut cluster,
             &pool,
             PhaseId::Traversal,
             self.k,
             |p, w| traverse::worker_paths(&self.graph, &self.parts, p as u32, w),
             |paths| paths.iter().map(|q| 4 * q.len() as u64 + 8).sum(),
+            rec,
         )?;
+        drop(phase_span);
         let mut master_w = 0;
         let paths = traverse::master_join(
             &self.graph,
@@ -278,6 +316,32 @@ impl DistributedHybrid {
         // exactly once, fault or no fault.
         traverse::check_path_cover(&self.graph, &paths)?;
 
+        let fault = cluster.fault_report().clone();
+        if rec.is_enabled() {
+            // End-of-run counters mirror the report exactly — tests assert
+            // field-for-field parity with the returned `FaultReport`.
+            rec.add("dist.messages", cluster.messages());
+            rec.add("dist.bytes", cluster.bytes());
+            rec.add("dist.faults_injected", planned_faults);
+            rec.add("dist.fault.crashes", fault.crashes as u64);
+            rec.add("dist.fault.retries", fault.retries as u64);
+            rec.add("dist.fault.retransmitted_bytes", fault.retransmitted_bytes);
+            rec.add(
+                "dist.fault.speculative_reexecutions",
+                fault.speculative_reexecutions as u64,
+            );
+            rec.gauge(
+                "dist.fault.recovery_time_milli",
+                (fault.recovery_time * 1000.0) as i64,
+            );
+            rec.gauge("dist.fault.degraded", i64::from(fault.degraded));
+            rec.add("dist.paths", paths.len() as u64);
+            rec.add("dist.transitive_removed", transitive_removed as u64);
+            rec.add("dist.contained_removed", contained_removed as u64);
+            rec.add("dist.false_edges_removed", false_edges_removed as u64);
+            rec.add("dist.error_nodes_removed", error_nodes_removed as u64);
+        }
+
         Ok(DistributedReport {
             phases,
             trimming_time,
@@ -289,7 +353,7 @@ impl DistributedHybrid {
             error_nodes_removed,
             messages: cluster.messages(),
             bytes: cluster.bytes(),
-            fault: cluster.fault_report().clone(),
+            fault,
         })
     }
 }
@@ -482,6 +546,80 @@ mod tests {
         assert!(!report.fault.degraded);
         assert_eq!(report.paths, clean.paths);
         assert_eq!(report.messages, clean.messages + 2);
+    }
+
+    #[test]
+    fn obs_fault_counters_mirror_the_fault_report_exactly() {
+        let (store, hs) = hybrid_case(50);
+        let k = 4;
+        let parts = round_robin_parts(hs.node_count(), k);
+        let mut plan = FaultPlan::single_crash(PhaseId::TransitiveReduction, 1);
+        for event in FaultPlan::message_drops(PhaseId::ErrorRemoval, 2, 2).events() {
+            plan.push(event.clone());
+        }
+        let planned = plan.events().len() as u64;
+        let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
+        let rec = Recorder::new(fc_obs::ObsOptions::logical());
+        let report = dh
+            .run_with_faults_obs(&DistributedConfig::default(), plan, &rec)
+            .unwrap();
+        let snapshot = rec.snapshot();
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let gauge = |name: &str| snapshot.gauges.get(name).copied().unwrap_or(0);
+        assert_eq!(counter("dist.fault.crashes"), report.fault.crashes as u64);
+        assert_eq!(counter("dist.fault.retries"), report.fault.retries as u64);
+        assert_eq!(
+            counter("dist.fault.retransmitted_bytes"),
+            report.fault.retransmitted_bytes
+        );
+        assert_eq!(
+            counter("dist.fault.speculative_reexecutions"),
+            report.fault.speculative_reexecutions as u64
+        );
+        assert_eq!(
+            gauge("dist.fault.recovery_time_milli"),
+            (report.fault.recovery_time * 1000.0) as i64
+        );
+        assert_eq!(gauge("dist.fault.degraded"), i64::from(report.fault.degraded));
+        assert_eq!(counter("dist.faults_injected"), planned);
+        assert_eq!(counter("dist.messages"), report.messages);
+        assert_eq!(counter("dist.bytes"), report.bytes);
+        assert!(report.fault.crashes >= 1);
+        assert!(report.fault.retries >= 2);
+        assert!(
+            counter("dist.recovery_rescans") >= 1,
+            "a crash must force at least one recovery re-scan"
+        );
+        // Four phase spans plus the run span, all balanced (B/E pairs).
+        let begins = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, fc_obs::EventKind::Begin))
+            .count();
+        let ends = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, fc_obs::EventKind::End))
+            .count();
+        assert_eq!(begins, 5);
+        assert_eq!(begins, ends);
+    }
+
+    #[test]
+    fn obs_run_is_identical_to_plain_run() {
+        let (store, hs) = hybrid_case(40);
+        let k = 3;
+        let parts = round_robin_parts(hs.node_count(), k);
+        let mut dh = DistributedHybrid::new(&hs, &store, parts.clone(), k).unwrap();
+        let plain = dh.run(&DistributedConfig::default()).unwrap();
+        let mut dh = DistributedHybrid::new(&hs, &store, parts, k).unwrap();
+        let rec = Recorder::new(fc_obs::ObsOptions::logical());
+        let obs = dh
+            .run_with_faults_obs(&DistributedConfig::default(), FaultPlan::none(), &rec)
+            .unwrap();
+        assert_eq!(obs.paths, plain.paths);
+        assert_eq!(obs.messages, plain.messages);
+        assert_eq!(rec.snapshot().counters.get("dist.recovery_rescans"), None);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod errors {
 pub use cluster::{CostModel, PhaseTiming, SimCluster};
 pub use driver::{DistributedConfig, DistributedHybrid, DistributedReport};
 pub use error::DistError;
+pub use recovery::{execute_phase, execute_phase_obs, PhaseExecution};
 pub use fault::{FaultKind, FaultPlan, FaultRates, FaultReport, PhaseId, RetryPolicy};
 pub use traverse::AssemblyPath;
 pub use variants::{detect_variants, Variant, VariantConfig};

@@ -21,6 +21,7 @@ use crate::cluster::{PhaseTiming, SimCluster};
 use crate::error::DistError;
 use crate::fault::PhaseId;
 use fc_exec::Pool;
+use fc_obs::Recorder;
 
 /// Outcome of one recovered phase: every partition's result (in partition
 /// order, so master-side application is order-identical to a fault-free
@@ -56,6 +57,31 @@ pub fn execute_phase<T: Send>(
     scan: impl Fn(usize, &mut u64) -> T + Sync,
     payload_of: impl Fn(&T) -> u64,
 ) -> Result<PhaseExecution<T>, DistError> {
+    execute_phase_obs(
+        cluster,
+        pool,
+        phase,
+        partitions,
+        scan,
+        payload_of,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`execute_phase`] with recovery metrics recorded into `rec`: one
+/// `dist.recovery_rescans` increment per re-executed scan, the adopted
+/// partition count (`dist.adopted_partitions`), and the pool's execution
+/// metrics for the initial fan-out. The phase itself is identical.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_phase_obs<T: Send>(
+    cluster: &mut SimCluster,
+    pool: &Pool,
+    phase: PhaseId,
+    partitions: usize,
+    scan: impl Fn(usize, &mut u64) -> T + Sync,
+    payload_of: impl Fn(&T) -> u64,
+    rec: &Recorder,
+) -> Result<PhaseExecution<T>, DistError> {
     // Assign every partition an executor: its own rank when alive, else a
     // survivor chosen round-robin (deterministic in rank order).
     let adopters = cluster.alive_ranks();
@@ -71,11 +97,19 @@ pub fn execute_phase<T: Send>(
             }
         })
         .collect();
+    if rec.is_enabled() {
+        let adopted = executor
+            .iter()
+            .enumerate()
+            .filter(|&(p, &e)| p != e)
+            .count();
+        rec.add("dist.adopted_partitions", adopted as u64);
+    }
 
     // Worker scans (the real algorithm), with per-partition work counters.
     let mut results: Vec<Option<T>> = Vec::with_capacity(partitions);
     let mut works = Vec::with_capacity(partitions);
-    for (result, w) in pool.map(partitions, |p| {
+    for (result, w) in pool.map_obs(partitions, rec, |p| {
         let mut w = 0;
         (scan(p, &mut w), w)
     }) {
@@ -140,6 +174,7 @@ pub fn execute_phase<T: Send>(
         };
         let wait_from = cluster.clock(survivor);
         cluster.advance_to(survivor, deadline);
+        rec.add("dist.recovery_rescans", 1);
         let mut w = 0;
         let recovered = scan(p, &mut w);
         cluster.charge_work(survivor, w);

@@ -16,7 +16,9 @@
 //! `scratch` factory of [`Pool::map_with`].
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use fc_obs::Recorder;
 use std::num::NonZeroUsize;
+use std::time::Instant;
 
 /// How many chunks each worker should see on average; smaller chunks steal
 /// better, larger chunks amortise queue traffic. Eight per worker keeps both
@@ -75,7 +77,18 @@ impl Pool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        self.map_with(n, || (), |i, ()| f(i))
+        self.map_obs(n, &Recorder::disabled(), f)
+    }
+
+    /// [`Pool::map`] with execution metrics recorded into `rec`: task count
+    /// (`exec.tasks`) plus scheduling detail (`sched.exec.steals`,
+    /// `sched.exec.worker_busy_us`, …).
+    pub fn map_obs<T, F>(&self, n: usize, rec: &Recorder, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.map_with_obs(n, rec, || (), |i, ()| f(i))
     }
 
     /// Runs `f(0..n)` with one reusable `scratch` value per worker thread
@@ -90,8 +103,18 @@ impl Pool {
         F: Fn(usize, &mut S) -> T + Sync,
         C: Fn() -> S + Sync,
     {
+        self.map_with_obs(n, &Recorder::disabled(), scratch, f)
+    }
+
+    /// [`Pool::map_with`] with execution metrics recorded into `rec`.
+    pub fn map_with_obs<T, S, F, C>(&self, n: usize, rec: &Recorder, scratch: C, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut S) -> T + Sync,
+        C: Fn() -> S + Sync,
+    {
         let mut items: Vec<usize> = (0..n).collect();
-        self.run(&mut items, &scratch, &|&mut i, s| f(i, s))
+        self.run(&mut items, &scratch, &|&mut i, s| f(i, s), rec)
     }
 
     /// Consumes `items`, runs `f(index, item, scratch)` over each, and
@@ -103,14 +126,34 @@ impl Pool {
         F: Fn(usize, I, &mut S) -> T + Sync,
         C: Fn() -> S + Sync,
     {
+        self.map_items_obs(items, &Recorder::disabled(), scratch, f)
+    }
+
+    /// [`Pool::map_items`] with execution metrics recorded into `rec`.
+    pub fn map_items_obs<I, T, S, F, C>(
+        &self,
+        items: Vec<I>,
+        rec: &Recorder,
+        scratch: C,
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I, &mut S) -> T + Sync,
+        C: Fn() -> S + Sync,
+    {
         let mut slots: Vec<(usize, Option<I>)> = items
             .into_iter()
             .enumerate()
             .map(|(i, v)| (i, Some(v)))
             .collect();
-        let out = self.run(&mut slots, &scratch, &|slot, s| {
-            slot.1.take().map(|item| f(slot.0, item, s))
-        });
+        let out = self.run(
+            &mut slots,
+            &scratch,
+            &|slot, s| slot.1.take().map(|item| f(slot.0, item, s)),
+            rec,
+        );
         // Every slot is visited exactly once, so every result is `Some`;
         // `flatten` only strips the wrapper and preserves order.
         out.into_iter().flatten().collect()
@@ -118,7 +161,13 @@ impl Pool {
 
     /// Core driver: executes `f` over `&mut items[i]` for every `i`,
     /// returning results in index order.
-    fn run<I, T, S, F, C>(&self, items: &mut [I], scratch: &C, f: &F) -> Vec<T>
+    ///
+    /// Metric naming: `exec.tasks` counts items and is deterministic at any
+    /// thread count; everything the schedule decides (dispatches that hit
+    /// the parallel path, steals, scratch creations, per-worker busy time)
+    /// lives under the reserved `sched.` prefix so logical-clock snapshots
+    /// can exclude it.
+    fn run<I, T, S, F, C>(&self, items: &mut [I], scratch: &C, f: &F, rec: &Recorder) -> Vec<T>
     where
         I: Send,
         T: Send,
@@ -129,10 +178,13 @@ impl Pool {
         if n == 0 {
             return Vec::new();
         }
+        rec.add("exec.tasks", n as u64);
         if self.threads == 1 || n == 1 {
+            rec.add("sched.exec.scratch_created", 1);
             let mut s = scratch();
             return items.iter_mut().map(|item| f(item, &mut s)).collect();
         }
+        rec.add("sched.exec.dispatches", 1);
 
         let workers = self.threads.min(n);
         let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
@@ -153,6 +205,8 @@ impl Pool {
                 let injector = &injector;
                 let stealers = &stealers;
                 handles.push(scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut steals = 0u64;
                     let mut s = scratch();
                     let mut out: Vec<(usize, T)> = Vec::new();
                     // Tasks never enqueue new tasks, so the queues only ever
@@ -161,18 +215,23 @@ impl Pool {
                     // executed by their claimants and this worker can retire.
                     while let Some((base, block)) = local
                         .pop()
-                        .or_else(|| find_task(injector, &local, stealers, w))
+                        .or_else(|| find_task(injector, &local, stealers, w, &mut steals))
                     {
                         for (off, item) in block.iter_mut().enumerate() {
                             out.push((base + off, f(item, &mut s)));
                         }
                     }
-                    out
+                    (out, steals, started.elapsed().as_micros() as u64)
                 }));
             }
             for handle in handles {
                 match handle.join() {
-                    Ok(out) => per_worker.push(out),
+                    Ok((out, steals, busy_us)) => {
+                        rec.add("sched.exec.steals", steals);
+                        rec.add("sched.exec.scratch_created", 1);
+                        rec.observe("sched.exec.worker_busy_us", busy_us);
+                        per_worker.push(out);
+                    }
                     // A worker died: the task paniced; propagate it.
                     Err(cause) => std::panic::resume_unwind(cause),
                 }
@@ -189,12 +248,14 @@ impl Pool {
 
 /// One steal attempt cycle: drain the injector first, then steal from peers
 /// starting after our own slot (spreads contention deterministically for
-/// results — victim choice only affects timing, never output).
+/// results — victim choice only affects timing, never output). Successful
+/// peer steals (not injector pops) bump `steals`.
 fn find_task<'s, I>(
     injector: &Injector<(usize, &'s mut [I])>,
     local: &Worker<(usize, &'s mut [I])>,
     stealers: &[Stealer<(usize, &'s mut [I])>],
     me: usize,
+    steals: &mut u64,
 ) -> Option<(usize, &'s mut [I])> {
     loop {
         match injector.steal_batch_and_pop(local) {
@@ -208,7 +269,10 @@ fn find_task<'s, I>(
         let victim = &stealers[(me + off) % k];
         loop {
             match victim.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => {
+                    *steals += 1;
+                    return Some(task);
+                }
                 Steal::Retry => continue,
                 Steal::Empty => break,
             }
@@ -301,6 +365,58 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(Pool::new(threads).map(5000, f), serial);
         }
+    }
+
+    #[test]
+    fn obs_records_task_and_scheduling_metrics() {
+        let rec = Recorder::new(fc_obs::ObsOptions::logical());
+        let pool = Pool::new(4);
+        let out = pool.map_obs(500, &rec, |i| i);
+        assert_eq!(out.len(), 500);
+        let snapshot = rec.snapshot();
+        assert_eq!(snapshot.counters.get("exec.tasks"), Some(&500));
+        assert_eq!(snapshot.counters.get("sched.exec.dispatches"), Some(&1));
+        // One scratch per worker thread, one busy-time sample each.
+        let scratch = snapshot
+            .counters
+            .get("sched.exec.scratch_created")
+            .copied()
+            .unwrap_or(0);
+        assert!((1..=4).contains(&scratch));
+        assert_eq!(
+            snapshot
+                .histograms
+                .get("sched.exec.worker_busy_us")
+                .map(|h| h.count),
+            Some(scratch)
+        );
+        // The deterministic view keeps only the task count.
+        let logical = snapshot.without_scheduling();
+        assert_eq!(logical.counters.len(), 1);
+        assert!(logical.counters.contains_key("exec.tasks"));
+    }
+
+    #[test]
+    fn obs_serial_path_records_tasks_without_dispatch() {
+        let rec = Recorder::new(fc_obs::ObsOptions::logical());
+        let out = Pool::serial().map_obs(16, &rec, |i| i);
+        assert_eq!(out.len(), 16);
+        let snapshot = rec.snapshot();
+        assert_eq!(snapshot.counters.get("exec.tasks"), Some(&16));
+        assert_eq!(snapshot.counters.get("sched.exec.dispatches"), None);
+        assert_eq!(snapshot.counters.get("sched.exec.scratch_created"), Some(&1));
+    }
+
+    #[test]
+    fn obs_variants_match_plain_results() {
+        let rec = Recorder::new(fc_obs::ObsOptions::logical());
+        let pool = Pool::new(4);
+        assert_eq!(pool.map_obs(100, &rec, |i| i * 3), pool.map(100, |i| i * 3));
+        let items: Vec<usize> = (0..64).collect();
+        assert_eq!(
+            pool.map_items_obs(items.clone(), &rec, || (), |_, v, ()| v + 1),
+            pool.map_items(items, || (), |_, v, ()| v + 1)
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use fc_align::{AlignError, OverlapConfig};
 use fc_dist::{DistError, DistributedConfig, FaultRates};
 use fc_graph::{CoarsenConfig, GraphError, LayoutConfig};
+use fc_obs::ObsOptions;
 use fc_partition::PartitionError;
 use fc_seq::{SeqError, TrimConfig};
 use std::fmt;
@@ -58,6 +59,11 @@ pub struct FocusConfig {
     /// forces the exact serial path. Output is bit-identical at any
     /// setting.
     pub threads: usize,
+    /// Structured tracing and metrics (fc-obs). Disabled by default — a
+    /// disabled recorder is a single branch per record site. With
+    /// `ObsOptions::logical()` the event clock is a logical counter and
+    /// metric snapshots are byte-identical at any thread count.
+    pub observability: ObsOptions,
 }
 
 impl Default for FocusConfig {
@@ -75,6 +81,7 @@ impl Default for FocusConfig {
             consensus: true,
             dedup_rc: false,
             threads: 0,
+            observability: ObsOptions::default(),
         }
     }
 }

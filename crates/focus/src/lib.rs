@@ -16,6 +16,7 @@ pub mod pipeline;
 pub mod stats;
 
 pub use config::{FaultInjection, FocusConfig, FocusError};
+pub use fc_obs::{ObsOptions, Recorder};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};
 pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
 pub use stats::{AssemblyStats, PhaseProfile, PipelineProfile};

@@ -5,7 +5,8 @@ use crate::stats::{AssemblyStats, PipelineProfile};
 use fc_align::{Overlap, Overlapper, PairStats, Pool};
 use fc_dist::{AssemblyPath, DistributedHybrid, DistributedReport, FaultPlan};
 use fc_graph::{HybridSet, MultilevelSet, NodeId, OverlapGraph};
-use fc_partition::{partition_graph_set, PartitionConfig, PartitionResult};
+use fc_obs::Recorder;
+use fc_partition::{partition_graph_set_obs, PartitionConfig, PartitionResult};
 use fc_seq::{DnaString, Read, ReadStore};
 
 /// The Focus assembler. Construct with a validated [`FocusConfig`], then
@@ -15,6 +16,7 @@ use fc_seq::{DnaString, Read, ReadStore};
 #[derive(Debug, Clone)]
 pub struct FocusAssembler {
     config: FocusConfig,
+    recorder: Recorder,
 }
 
 /// The partition-independent intermediate artifacts (stages 1–5): the
@@ -58,7 +60,8 @@ impl FocusAssembler {
     /// Creates an assembler after validating `config`.
     pub fn new(config: FocusConfig) -> Result<FocusAssembler, FocusError> {
         config.validate()?;
-        Ok(FocusAssembler { config })
+        let recorder = Recorder::new(config.observability);
+        Ok(FocusAssembler { config, recorder })
     }
 
     /// The configuration in use.
@@ -66,19 +69,34 @@ impl FocusAssembler {
         &self.config
     }
 
+    /// The run's recorder: disabled (every record site is a single branch)
+    /// unless [`FocusConfig::observability`] enables it. Snapshot or drain
+    /// it after [`assemble`](FocusAssembler::assemble) to get metrics and
+    /// trace events.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Runs stages 1–5: preprocessing, parallel alignment, overlap graph,
     /// multilevel coarsening, hybrid-set construction.
     pub fn prepare(&self, reads: &[Read]) -> Result<Prepared, FocusError> {
+        let run_started = std::time::Instant::now();
+        let rec = &self.recorder;
+        let _span = rec.span_args("pipeline", "pipeline.prepare", &[("reads", reads.len() as i64)]);
         let store = ReadStore::preprocess(reads, &self.config.trim)?;
         if store.is_empty() {
             return Err(FocusError::EmptyInput);
+        }
+        if rec.is_enabled() {
+            rec.add("pipeline.reads_in", reads.len() as u64);
+            rec.add("pipeline.reads_kept", store.len() as u64);
         }
         let overlapper = Overlapper::new(&store, self.config.overlap)?;
         let subsets = store.split_subsets(self.config.subsets);
         let pool = Pool::new(self.config.threads);
         let mut profile = PipelineProfile::default();
         let started = std::time::Instant::now();
-        let (overlaps, pair_stats) = overlapper.overlap_all_with(&subsets, &pool);
+        let (overlaps, pair_stats) = overlapper.overlap_all_obs(&subsets, &pool, rec);
         let s = subsets.len();
         profile.record(
             "alignment",
@@ -88,8 +106,10 @@ impl FocusAssembler {
         );
 
         let graph = OverlapGraph::build(&store, &overlaps);
-        let multilevel = MultilevelSet::build(graph.undirected.clone(), &self.config.coarsen);
-        let hybrid = HybridSet::build(&multilevel, &graph, &store, &self.config.layout);
+        let multilevel =
+            MultilevelSet::build_obs(graph.undirected.clone(), &self.config.coarsen, rec);
+        let hybrid = HybridSet::build_obs(&multilevel, &graph, &store, &self.config.layout, rec);
+        profile.run_wall = run_started.elapsed();
         Ok(Prepared {
             store,
             overlaps,
@@ -108,12 +128,16 @@ impl FocusAssembler {
         prepared: &Prepared,
         k: usize,
     ) -> Result<AssemblyResult, FocusError> {
+        let run_started = std::time::Instant::now();
+        let rec = &self.recorder;
+        let _span = rec.span_args("pipeline", "pipeline.assemble", &[("k", k as i64)]);
         let pool = Pool::new(self.config.threads);
         let mut profile = prepared.profile.clone();
         let started = std::time::Instant::now();
-        let partition = partition_graph_set(
+        let partition = partition_graph_set_obs(
             &prepared.hybrid.set,
             &PartitionConfig::new(k, self.config.partition_seed).with_threads(self.config.threads),
+            rec,
         )?;
         profile.record(
             "partition",
@@ -135,7 +159,7 @@ impl FocusAssembler {
         let mut dist_config = self.config.dist;
         dist_config.threads = self.config.threads;
         let started = std::time::Instant::now();
-        let report = dh.run_with_faults(&dist_config, plan)?;
+        let report = dh.run_with_faults_obs(&dist_config, plan, rec)?;
         profile.record("distributed", started.elapsed(), 4 * k, pool.threads());
 
         let mut contigs = Vec::with_capacity(report.paths.len());
@@ -146,6 +170,12 @@ impl FocusAssembler {
             contigs = dedup_reverse_complements(contigs);
         }
         let stats = AssemblyStats::from_contigs(&contigs);
+        if rec.is_enabled() {
+            rec.add("pipeline.contigs", contigs.len() as u64);
+            rec.gauge("pipeline.n50", stats.n50 as i64);
+            rec.gauge("pipeline.total_bases", stats.total_bases as i64);
+        }
+        profile.run_wall += run_started.elapsed();
         Ok(AssemblyResult {
             contigs,
             stats,
@@ -392,6 +422,70 @@ mod tests {
             assert!(phase.tasks > 0);
         }
         assert!(result.profile.total_wall() >= result.profile.phases[0].wall);
+    }
+
+    #[test]
+    fn run_wall_covers_at_least_the_recorded_phases_it_contains() {
+        let g = genome(2000, 13);
+        let reads = tiled_reads(&g, 100, 50);
+        let result = FocusAssembler::new(quick_config(4))
+            .unwrap()
+            .assemble(&reads)
+            .unwrap();
+        // run_wall is measured end-to-end around the whole pipeline, so it
+        // must dominate every individual phase (each phase interval lies
+        // inside the run) — the phase *sum* may legitimately differ.
+        for phase in &result.profile.phases {
+            assert!(
+                result.profile.run_wall >= phase.wall,
+                "run_wall {:?} < phase {} {:?}",
+                result.profile.run_wall,
+                phase.name,
+                phase.wall
+            );
+        }
+        assert!(result.profile.run_wall > std::time::Duration::ZERO);
+        let report = result.profile.human_report();
+        assert!(report.contains("phase-sum"));
+        assert!(report.contains("end-to-end"));
+        assert!(report.contains("alignment"));
+    }
+
+    #[test]
+    fn observability_snapshot_is_thread_invariant_end_to_end() {
+        let g = genome(2000, 17);
+        let reads = tiled_reads(&g, 100, 50);
+        let mut config = quick_config(4);
+        config.observability = fc_obs::ObsOptions::logical();
+        config.threads = 1;
+        let assembler = FocusAssembler::new(config).unwrap();
+        assembler.assemble(&reads).unwrap();
+        let baseline = assembler.recorder().snapshot_json();
+        assert!(baseline.contains("align.candidates"));
+        assert!(baseline.contains("coarsen.levels"));
+        assert!(baseline.contains("partition.edge_cut_final"));
+        assert!(baseline.contains("dist.messages"));
+        for threads in [2usize, 4] {
+            config.threads = threads;
+            let assembler = FocusAssembler::new(config).unwrap();
+            assembler.assemble(&reads).unwrap();
+            assert_eq!(
+                assembler.recorder().snapshot_json(),
+                baseline,
+                "metric snapshot differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_no_metrics_or_events() {
+        let g = genome(1500, 19);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(2)).unwrap();
+        assembler.assemble(&reads).unwrap();
+        assert!(!assembler.recorder().is_enabled());
+        assert!(assembler.recorder().snapshot().is_empty());
+        assert!(assembler.recorder().events().is_empty());
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct PhaseProfile {
 pub struct PipelineProfile {
     /// Recorded phases in execution order.
     pub phases: Vec<PhaseProfile>,
+    /// End-to-end wall-clock of the run that produced this profile,
+    /// measured once around the whole pipeline rather than summed from
+    /// phases. Unlike [`PipelineProfile::total_wall`] it also covers the
+    /// serial stages between the parallel phases, and it cannot
+    /// double-count overlapping measurements.
+    pub run_wall: Duration,
 }
 
 impl PipelineProfile {
@@ -37,9 +43,33 @@ impl PipelineProfile {
         });
     }
 
-    /// Sum of all recorded phase wall-clocks.
+    /// Sum of all recorded phase wall-clocks. This is a *sum of intervals*:
+    /// if two recorded phases ever overlapped (or one contained another),
+    /// the shared time is counted twice. Use [`PipelineProfile::run_wall`]
+    /// for the true end-to-end elapsed time; report both to make the
+    /// difference (serial glue + any overlap) visible.
     pub fn total_wall(&self) -> Duration {
         self.phases.iter().map(|p| p.wall).sum()
+    }
+
+    /// Human-readable report of the profile: one line per phase plus the
+    /// phase-sum and end-to-end wall-clocks.
+    pub fn human_report(&self) -> String {
+        let mut out = String::from("pipeline profile\n");
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<12} {:>10.3?}  tasks {:<6} threads {}\n",
+                p.name, p.wall, p.tasks, p.threads
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<12} {:>10.3?}\n  {:<12} {:>10.3?}\n",
+            "phase-sum",
+            self.total_wall(),
+            "end-to-end",
+            self.run_wall
+        ));
+        out
     }
 }
 

@@ -2,10 +2,14 @@
 //! following Karypis & Kumar).
 
 use crate::level::{GraphSet, LevelGraph, NodeId};
+use fc_obs::Recorder;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+
+/// Histogram bounds for ratios expressed in permille (0–1000).
+const PERMILLE_BOUNDS: &[u64] = &[100, 200, 300, 400, 500, 600, 700, 800, 900, 950, 1000];
 
 /// Parameters controlling how far the multilevel set is coarsened.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +48,19 @@ impl MultilevelSet {
     /// Iteratively coarsens `g0` with heavy-edge matching until one of the
     /// stopping rules of `config` triggers.
     pub fn build(g0: LevelGraph, config: &CoarsenConfig) -> MultilevelSet {
+        MultilevelSet::build_obs(g0, config, &Recorder::disabled())
+    }
+
+    /// [`MultilevelSet::build`] with coarsening metrics recorded into
+    /// `rec`: per-level node/edge counts, the matching rate of every round
+    /// (matched nodes per thousand), and the level count. Coarsening is
+    /// seed-deterministic, so all of these are thread-count-invariant.
+    pub fn build_obs(g0: LevelGraph, config: &CoarsenConfig, rec: &Recorder) -> MultilevelSet {
+        let _span = rec.span_args(
+            "graph",
+            "coarsen.build",
+            &[("nodes", g0.node_count() as i64)],
+        );
         let mut levels = vec![g0];
         let mut maps = Vec::new();
         for round in 0..config.max_levels {
@@ -52,14 +69,40 @@ impl MultilevelSet {
                 break;
             }
             let matching = heavy_edge_matching(current, config.seed.wrapping_add(round as u64));
+            if rec.is_enabled() {
+                let matched = matching
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, &m)| m != v as NodeId)
+                    .count();
+                // Integer permille instead of a float ratio: the snapshot
+                // format is integer-only to stay byte-deterministic.
+                rec.observe_with(
+                    "coarsen.matching_rate_permille",
+                    (matched as u64 * 1000) / current.node_count().max(1) as u64,
+                    PERMILLE_BOUNDS,
+                );
+            }
             let (coarse, map) = contract(current, &matching);
             if (coarse.node_count() as f64) > config.stagnation_ratio * current.node_count() as f64
             {
                 break;
             }
+            rec.instant(
+                "graph",
+                "coarsen.level",
+                &[
+                    ("round", round as i64),
+                    ("nodes", coarse.node_count() as i64),
+                    ("edges", coarse.edge_count() as i64),
+                ],
+            );
+            rec.observe("coarsen.level_nodes", coarse.node_count() as u64);
+            rec.observe("coarsen.level_edges", coarse.edge_count() as u64);
             levels.push(coarse);
             maps.push(map);
         }
+        rec.add("coarsen.levels", levels.len() as u64);
         MultilevelSet {
             set: GraphSet {
                 levels,
@@ -272,6 +315,47 @@ mod tests {
 
     fn range_min() -> usize {
         8
+    }
+
+    #[test]
+    fn obs_records_levels_and_matching_rate() {
+        let rec = Recorder::new(fc_obs::ObsOptions::logical());
+        let set = MultilevelSet::build_obs(
+            path(200),
+            &CoarsenConfig {
+                min_nodes: 10,
+                ..Default::default()
+            },
+            &rec,
+        );
+        let snapshot = rec.snapshot();
+        assert_eq!(
+            snapshot.counters.get("coarsen.levels"),
+            Some(&(set.level_count() as u64))
+        );
+        // One nodes/edges observation and one matching-rate observation per
+        // produced coarse level.
+        let coarse_levels = set.level_count() as u64 - 1;
+        assert_eq!(
+            snapshot.histograms.get("coarsen.level_nodes").map(|h| h.count),
+            Some(coarse_levels)
+        );
+        assert!(
+            snapshot
+                .histograms
+                .get("coarsen.matching_rate_permille")
+                .map(|h| h.count >= coarse_levels)
+                .unwrap_or(false)
+        );
+        // build() and build_obs() agree.
+        let plain = MultilevelSet::build(
+            path(200),
+            &CoarsenConfig {
+                min_nodes: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(set.set.levels, plain.set.levels);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 use crate::build::OverlapGraph;
 use crate::coarsen::MultilevelSet;
 use crate::digraph::{DiEdge, DiGraph};
-use crate::layout::{layout_cluster, ClusterLayout, LayoutConfig};
+use crate::layout::{layout_cluster_obs, ClusterLayout, LayoutConfig};
 use crate::level::{GraphSet, LevelGraph, NodeId};
+use fc_obs::Recorder;
 use fc_seq::ReadStore;
 use std::collections::HashMap;
 
@@ -59,6 +60,25 @@ impl HybridSet {
         store: &ReadStore,
         config: &LayoutConfig,
     ) -> HybridSet {
+        HybridSet::build_obs(ml, g0, store, config, &Recorder::disabled())
+    }
+
+    /// [`HybridSet::build`] with selection metrics recorded into `rec`:
+    /// contiguity-test outcomes (via `layout.*`), the representative count
+    /// and level distribution, and hybrid graph sizes. Selection is fully
+    /// deterministic, so every metric is thread-count-invariant.
+    pub fn build_obs(
+        ml: &MultilevelSet,
+        g0: &OverlapGraph,
+        store: &ReadStore,
+        config: &LayoutConfig,
+        rec: &Recorder,
+    ) -> HybridSet {
+        let _span = rec.span_args(
+            "graph",
+            "hybrid.build",
+            &[("levels", ml.level_count() as i64)],
+        );
         let set = &ml.set;
         let n_levels = set.level_count();
         let children = children_lists(set);
@@ -76,7 +96,7 @@ impl HybridSet {
             .collect();
         while let Some((level, node)) = stack.pop() {
             let cluster = expand_to_level0(&children, level, node);
-            match layout_cluster(&cluster, &g0.directed, &containments, store, config) {
+            match layout_cluster_obs(&cluster, &g0.directed, &containments, store, config, rec) {
                 Some(layout) => {
                     reps.push(Representative { level, node });
                     clusters.push(cluster);
@@ -224,6 +244,15 @@ impl HybridSet {
             prev_assign = assign;
         }
 
+        if rec.is_enabled() {
+            rec.add("hybrid.reps", reps.len() as u64);
+            for r in &reps {
+                rec.observe("hybrid.rep_level", r.level as u64);
+            }
+            rec.gauge("hybrid.g0_nodes", levels[0].node_count() as i64);
+            rec.gauge("hybrid.g0_edges", levels[0].edge_count() as i64);
+            rec.gauge("hybrid.directed_edges", directed.edge_count() as i64);
+        }
         HybridSet {
             reps,
             clusters,
@@ -428,6 +457,37 @@ mod tests {
         for (v, &p) in read_parts.iter().enumerate() {
             assert_eq!(p, parts[hs.rep_of_node[v] as usize]);
         }
+    }
+
+    #[test]
+    fn obs_layout_counters_are_consistent() {
+        let (store, g) = linear_case(48);
+        let ml = MultilevelSet::build(
+            g.undirected.clone(),
+            &CoarsenConfig {
+                min_nodes: 4,
+                ..Default::default()
+            },
+        );
+        let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+        let hs = HybridSet::build_obs(&ml, &g, &store, &LayoutConfig::default(), &rec);
+        let snapshot = rec.snapshot();
+        let get = |name| snapshot.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            get("layout.contiguous") + get("layout.non_contiguous"),
+            get("layout.clusters_tested")
+        );
+        // Every representative passed the contiguity test exactly once.
+        assert_eq!(get("layout.contiguous"), hs.node_count() as u64);
+        assert_eq!(get("hybrid.reps"), hs.node_count() as u64);
+        assert_eq!(
+            snapshot.histograms.get("hybrid.rep_level").map(|h| h.count),
+            Some(hs.node_count() as u64)
+        );
+        // Instrumentation does not change the result.
+        let plain = HybridSet::build(&ml, &g, &store, &LayoutConfig::default());
+        assert_eq!(plain.reps, hs.reps);
+        assert_eq!(plain.clusters, hs.clusters);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::digraph::DiGraph;
 use crate::level::NodeId;
+use fc_obs::Recorder;
 use fc_seq::{DnaString, ReadId, ReadStore};
 use std::collections::HashMap;
 
@@ -139,6 +140,41 @@ impl ClusterLayout {
 /// holds `(outer, inner)` read pairs whose overlap was verified as a
 /// containment (such pairs are linked even without a dovetail edge).
 pub fn layout_cluster(
+    nodes: &[NodeId],
+    g: &DiGraph,
+    containments: &HashMap<(NodeId, NodeId), ()>,
+    store: &ReadStore,
+    config: &LayoutConfig,
+) -> Option<ClusterLayout> {
+    layout_cluster_obs(nodes, g, containments, store, config, &Recorder::disabled())
+}
+
+/// [`layout_cluster`] with contiguity-test metrics recorded into `rec`:
+/// `layout.clusters_tested`, `layout.contiguous` / `layout.non_contiguous`,
+/// and a cluster-size histogram. The result is identical to the
+/// uninstrumented call.
+pub fn layout_cluster_obs(
+    nodes: &[NodeId],
+    g: &DiGraph,
+    containments: &HashMap<(NodeId, NodeId), ()>,
+    store: &ReadStore,
+    config: &LayoutConfig,
+    rec: &Recorder,
+) -> Option<ClusterLayout> {
+    let out = layout_cluster_inner(nodes, g, containments, store, config);
+    if rec.is_enabled() {
+        rec.add("layout.clusters_tested", 1);
+        rec.observe("layout.cluster_size", nodes.len() as u64);
+        if out.is_some() {
+            rec.add("layout.contiguous", 1);
+        } else {
+            rec.add("layout.non_contiguous", 1);
+        }
+    }
+    out
+}
+
+fn layout_cluster_inner(
     nodes: &[NodeId],
     g: &DiGraph,
     containments: &HashMap<(NodeId, NodeId), ()>,

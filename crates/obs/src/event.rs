@@ -1,0 +1,65 @@
+//! The structured event model: what one recorded moment looks like.
+//!
+//! Events map 1:1 onto Chrome `trace_event` phases so the trace sink is a
+//! direct serialisation: `Begin`/`End` bracket a span, `Instant` marks a
+//! point, `Counter` samples a time series (e.g. the edge-cut trajectory
+//! during recursive bisection).
+
+/// What kind of moment an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`ph: "B"` in `trace_event`).
+    Begin,
+    /// A span closed (`ph: "E"`).
+    End,
+    /// A point event (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`); the sampled value is in `args`.
+    Counter,
+}
+
+impl EventKind {
+    /// The Chrome `trace_event` phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+            EventKind::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event. Timestamps are microseconds since the recorder was
+/// created (wall-clock mode) or a monotonically increasing logical tick
+/// (logical-clock mode); `tid` is a process-local lane id assigned per OS
+/// thread on first use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp (µs since recorder creation, or logical tick).
+    pub ts: u64,
+    /// Thread lane the event was recorded from.
+    pub tid: u64,
+    /// Category (pipeline layer): `"align"`, `"partition"`, `"dist"`, ….
+    pub cat: &'static str,
+    /// Event name, dot-scoped (`"align.overlap_all"`).
+    pub name: &'static str,
+    /// What kind of moment this is.
+    pub kind: EventKind,
+    /// Structured integer payload (counts, sizes, ids). Integer-only by
+    /// design: serialisation stays byte-deterministic.
+    pub args: Vec<(&'static str, i64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_match_trace_event_letters() {
+        assert_eq!(EventKind::Begin.phase(), "B");
+        assert_eq!(EventKind::End.phase(), "E");
+        assert_eq!(EventKind::Instant.phase(), "i");
+        assert_eq!(EventKind::Counter.phase(), "C");
+    }
+}

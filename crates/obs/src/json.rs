@@ -1,0 +1,74 @@
+//! Minimal hand-rolled JSON *writing* helpers (the crate is
+//! zero-dependency by design; parsing lives in [`crate::schema`]).
+//!
+//! Only the shapes the sinks need are supported: strings, integers, and
+//! flat objects of integers. Serialisation is fully deterministic — no
+//! floats, no hash-order iteration.
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a `"key": ` prefix (escaped key, colon, space).
+pub fn push_json_key(out: &mut String, key: &str) {
+    push_json_str(out, key);
+    out.push_str(": ");
+}
+
+/// Appends a flat JSON object of integer values: `{"a": 1, "b": -2}`.
+pub fn push_json_int_obj(out: &mut String, entries: &[(&str, i64)]) {
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_key(out, k);
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escaped("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(escaped("\u{01}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn int_object_shape() {
+        let mut out = String::new();
+        push_json_int_obj(&mut out, &[("x", 1), ("y", -2)]);
+        assert_eq!(out, "{\"x\": 1, \"y\": -2}");
+        let mut out = String::new();
+        push_json_int_obj(&mut out, &[]);
+        assert_eq!(out, "{}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Counters, gauges and fixed-bucket histograms, plus the deterministic
+//! [`MetricsSnapshot`] serialisation.
+
+use crate::json::{push_json_key, push_json_str};
+use crate::SCHED_PREFIX;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds: powers of two from 1 to 2³⁰.
+/// Values above the last bound land in the overflow bucket. Powers of two
+/// keep the bucket count small while spanning everything the pipeline
+/// observes, from per-pair overlap counts to DP cell totals.
+pub const DEFAULT_BOUNDS: &[u64] = &[
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+];
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `v` with
+/// `v <= bounds[i]` (and `v > bounds[i-1]`); the final slot is the
+/// overflow bucket for values above every bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Ascending, inclusive upper bounds.
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts; `bounds.len() + 1` entries, the last
+    /// being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        // First bound >= value; equal values belong to the lower bucket
+        // (bounds are inclusive), which is exactly what partition_point
+        // gives over the predicate `bound < value`.
+        let bucket = self.bounds.partition_point(|&b| b < value);
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Integer mean of the observations (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+}
+
+/// An immutable, ordered snapshot of every metric a [`Recorder`] holds.
+/// `BTreeMap` keys make iteration — and therefore serialisation — fully
+/// deterministic.
+///
+/// [`Recorder`]: crate::Recorder
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// A copy without scheduling-dependent metrics (names under the
+    /// reserved `sched.` prefix). This is the thread-count-invariant view
+    /// used by the logical-clock determinism contract.
+    pub fn without_scheduling(&self) -> MetricsSnapshot {
+        let keep = |k: &&&'static str| !k.starts_with(SCHED_PREFIX);
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(&k, v)| (k, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Deterministic JSON serialisation: keys sorted (BTreeMap order),
+    /// integers only, fixed layout. Two snapshots with equal contents
+    /// serialise to byte-identical strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"focus-metrics-v1\",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_key(&mut out, k);
+            out.push_str(&v.to_string());
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            push_json_key(&mut out, k);
+            out.push('{');
+            out.push_str(&format!(
+                "\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, ",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max
+            ));
+            push_json_str(&mut out, "bounds");
+            out.push_str(": [");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("], ");
+            push_json_str(&mut out, "counts");
+            out.push_str(": [");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        // Bounds 1, 2, 4, ...: value v lands in the first bucket whose
+        // bound >= v; exactly-on-boundary values stay in the lower bucket.
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(1); // bucket 0 (<= 1)
+        h.observe(2); // bucket 1 (<= 2)
+        h.observe(3); // bucket 2 (<= 4)
+        h.observe(4); // bucket 2 (<= 4, inclusive)
+        h.observe(5); // bucket 3 (<= 8)
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 15);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 5);
+    }
+
+    #[test]
+    fn zero_lands_in_the_first_bucket() {
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(0);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.min, 0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_values_above_every_bound() {
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        let top = *DEFAULT_BOUNDS.last().expect("non-empty bounds");
+        h.observe(top); // last real bucket (inclusive)
+        h.observe(top + 1); // overflow
+        h.observe(u64::MAX); // overflow
+        assert_eq!(h.counts[DEFAULT_BOUNDS.len() - 1], 1);
+        assert_eq!(h.counts[DEFAULT_BOUNDS.len()], 2);
+    }
+
+    #[test]
+    fn custom_bounds_and_exact_boundaries() {
+        static BOUNDS: &[u64] = &[10, 100, 1000];
+        let mut h = Histogram::new(BOUNDS);
+        for v in [10, 11, 100, 101, 1000, 1001] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        static BOUNDS: &[u64] = &[1];
+        let mut h = Histogram::new(BOUNDS);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let h = Histogram::new(DEFAULT_BOUNDS);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("z.last", 2);
+        a.counters.insert("a.first", 1);
+        a.gauges.insert("g", -5);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(7);
+        a.histograms.insert("h", h);
+        let json = a.to_json();
+        // Sorted keys: a.first before z.last.
+        let ia = json.find("a.first").expect("key present");
+        let iz = json.find("z.last").expect("key present");
+        assert!(ia < iz);
+        assert_eq!(json, a.clone().to_json(), "serialisation is stable");
+        assert!(json.contains("\"schema\": \"focus-metrics-v1\""));
+    }
+
+    #[test]
+    fn without_scheduling_drops_sched_prefix_only() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("exec.tasks", 10);
+        s.counters.insert("sched.exec.steals", 3);
+        s.gauges.insert("sched.exec.workers", 4);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(1);
+        s.histograms.insert("sched.exec.worker_busy_us", h);
+        let d = s.without_scheduling();
+        assert_eq!(d.counters.len(), 1);
+        assert!(d.counters.contains_key("exec.tasks"));
+        assert!(d.gauges.is_empty());
+        assert!(d.histograms.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_serialises_to_empty_sections() {
+        let s = MetricsSnapshot::default();
+        assert!(s.is_empty());
+        let json = s.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The [`Recorder`] handle: cheap when disabled, thread-safe when enabled.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::{Histogram, MetricsSnapshot, DEFAULT_BOUNDS};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Observability options, carried inside `FocusConfig` (which is `Copy`,
+/// so this must be too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsOptions {
+    /// Record events and metrics. Off (the default) makes every recorder
+    /// call a no-op branch.
+    pub enabled: bool,
+    /// Timestamp events with a logical tick counter instead of wall-clock
+    /// microseconds, and exclude `sched.*` metrics from
+    /// [`Recorder::snapshot_json`] — the deterministic mode in which two
+    /// runs at any thread count produce byte-identical snapshots.
+    pub logical_clock: bool,
+}
+
+impl ObsOptions {
+    /// Enabled, wall-clock timestamps (the profiling mode).
+    pub fn wall_clock() -> ObsOptions {
+        ObsOptions {
+            enabled: true,
+            logical_clock: false,
+        }
+    }
+
+    /// Enabled, logical-clock timestamps (the deterministic mode).
+    pub fn logical() -> ObsOptions {
+        ObsOptions {
+            enabled: true,
+            logical_clock: true,
+        }
+    }
+}
+
+/// Process-wide thread-lane assignment: each OS thread gets a small stable
+/// id on first use, shared across recorders. Lane ids order by first
+/// recording, so they are *not* deterministic across runs — which is why
+/// deterministic instrumentation only emits events from the orchestrating
+/// thread, and worker threads record order-free metrics instead.
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+fn lane() -> u64 {
+    LANE.with(|l| *l)
+}
+
+/// Lock helper that survives poisoning: a panicking task must not silence
+/// the metrics of every later task (the data is counters, always valid).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    logical: bool,
+    ticks: AtomicU64,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, i64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Inner {
+    fn ts(&self) -> u64 {
+        if self.logical {
+            self.ticks.fetch_add(1, Ordering::Relaxed)
+        } else {
+            self.start.elapsed().as_micros() as u64
+        }
+    }
+
+    fn push_event(
+        &self,
+        kind: EventKind,
+        cat: &'static str,
+        name: &'static str,
+        args: Vec<(&'static str, i64)>,
+    ) {
+        let event = Event {
+            ts: self.ts(),
+            tid: lane(),
+            cat,
+            name,
+            kind,
+            args,
+        };
+        lock(&self.events).push(event);
+    }
+}
+
+/// The instrumentation handle threaded through the pipeline.
+///
+/// Cloning shares the underlying store (an `Arc`), so one recorder created
+/// at the pipeline entry serves every layer and thread. A disabled
+/// recorder holds no store at all: every call is a `None` check.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// Creates a recorder per `options` (disabled options give the no-op
+    /// recorder).
+    pub fn new(options: ObsOptions) -> Recorder {
+        if !options.enabled {
+            return Recorder::disabled();
+        }
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                logical: options.logical_clock,
+                ticks: AtomicU64::new(0),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op recorder (also `Recorder::default()`).
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether anything is being recorded. Callers with non-trivial
+    /// aggregation work should branch on this before computing what they
+    /// would record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether timestamps are logical ticks (the deterministic mode).
+    pub fn is_logical(&self) -> bool {
+        self.inner.as_ref().map(|i| i.logical).unwrap_or(false)
+    }
+
+    /// Adds `delta` to counter `name`, saturating.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut counters = lock(&inner.counters);
+            let slot = counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &'static str, value: i64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.gauges).insert(name, value);
+        }
+    }
+
+    /// Records `value` into histogram `name` with the default power-of-two
+    /// buckets.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.observe_with(name, value, DEFAULT_BOUNDS);
+    }
+
+    /// Records `value` into histogram `name` with custom bucket bounds.
+    /// The first `observe` of a name fixes its bounds; later calls with
+    /// different bounds still record into the existing histogram.
+    pub fn observe_with(&self, name: &'static str, value: u64, bounds: &'static [u64]) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.histograms)
+                .entry(name)
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(value);
+        }
+    }
+
+    /// Opens a span; the returned guard records the matching end event on
+    /// drop. Spans nest naturally through drop order.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, cat: &'static str, name: &'static str) -> SpanGuard<'_> {
+        self.span_args(cat, name, &[])
+    }
+
+    /// [`Recorder::span`] with a structured integer payload on the begin
+    /// event.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span_args(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        args: &[(&'static str, i64)],
+    ) -> SpanGuard<'_> {
+        if let Some(inner) = &self.inner {
+            inner.push_event(EventKind::Begin, cat, name, args.to_vec());
+        }
+        SpanGuard {
+            inner: self.inner.as_deref(),
+            cat,
+            name,
+        }
+    }
+
+    /// Records a point event with a structured integer payload.
+    pub fn instant(&self, cat: &'static str, name: &'static str, args: &[(&'static str, i64)]) {
+        if let Some(inner) = &self.inner {
+            inner.push_event(EventKind::Instant, cat, name, args.to_vec());
+        }
+    }
+
+    /// Samples a counter time series (rendered as a counter track in
+    /// Perfetto) — e.g. the edge-cut trajectory across bisection steps.
+    pub fn counter_sample(&self, cat: &'static str, name: &'static str, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.push_event(EventKind::Counter, cat, name, vec![("value", value)]);
+        }
+    }
+
+    /// A consistent copy of every metric recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => MetricsSnapshot {
+                counters: lock(&inner.counters).clone(),
+                gauges: lock(&inner.gauges).clone(),
+                histograms: lock(&inner.histograms).clone(),
+            },
+        }
+    }
+
+    /// The canonical snapshot serialisation. In logical-clock mode the
+    /// scheduling-dependent `sched.*` metrics are excluded, which makes
+    /// the output **byte-identical across thread counts** (the
+    /// determinism contract); in wall-clock mode everything is included.
+    pub fn snapshot_json(&self) -> String {
+        let snapshot = self.snapshot();
+        if self.is_logical() {
+            snapshot.without_scheduling().to_json()
+        } else {
+            snapshot.to_json()
+        }
+    }
+
+    /// A copy of every event recorded so far, in recording order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => lock(&inner.events).clone(),
+        }
+    }
+}
+
+/// RAII guard for an open span; records the end event on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    inner: Option<&'a Inner>,
+    cat: &'static str,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner {
+            inner.push_event(EventKind::End, self.cat, self.name, Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.add("c", 1);
+        rec.gauge("g", 2);
+        rec.observe("h", 3);
+        rec.instant("t", "x", &[("a", 1)]);
+        {
+            let _s = rec.span("t", "s");
+        }
+        assert!(rec.snapshot().is_empty());
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let rec = Recorder::new(ObsOptions::logical());
+        rec.add("c", 2);
+        rec.add("c", 3);
+        rec.gauge("g", 1);
+        rec.gauge("g", -7);
+        rec.observe("h", 4);
+        rec.observe("h", 5);
+        let s = rec.snapshot();
+        assert_eq!(s.counters.get("c"), Some(&5));
+        assert_eq!(s.gauges.get("g"), Some(&-7));
+        let h = s.histograms.get("h").expect("histogram recorded");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 9);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let rec = Recorder::new(ObsOptions::logical());
+        rec.add("c", u64::MAX);
+        rec.add("c", 10);
+        assert_eq!(rec.snapshot().counters.get("c"), Some(&u64::MAX));
+    }
+
+    #[test]
+    fn spans_emit_balanced_begin_end_with_logical_timestamps() {
+        let rec = Recorder::new(ObsOptions::logical());
+        {
+            let _outer = rec.span_args("cat", "outer", &[("k", 9)]);
+            let _inner = rec.span("cat", "inner");
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            [
+                EventKind::Begin,
+                EventKind::Begin,
+                EventKind::End,
+                EventKind::End
+            ]
+        );
+        // Drop order closes inner before outer.
+        assert_eq!(events[2].name, "inner");
+        assert_eq!(events[3].name, "outer");
+        // Logical clock: strictly increasing ticks starting at 0.
+        let ts: Vec<u64> = events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3]);
+        assert_eq!(events[0].args, vec![("k", 9)]);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let rec = Recorder::new(ObsOptions::logical());
+        let other = rec.clone();
+        other.add("c", 1);
+        assert_eq!(rec.snapshot().counters.get("c"), Some(&1));
+    }
+
+    #[test]
+    fn logical_snapshot_json_excludes_sched_metrics() {
+        let rec = Recorder::new(ObsOptions::logical());
+        rec.add("exec.tasks", 4);
+        rec.add("sched.exec.steals", 2);
+        let json = rec.snapshot_json();
+        assert!(json.contains("exec.tasks"));
+        assert!(!json.contains("sched.exec.steals"));
+
+        let wall = Recorder::new(ObsOptions::wall_clock());
+        wall.add("sched.exec.steals", 2);
+        assert!(wall.snapshot_json().contains("sched.exec.steals"));
+    }
+
+    #[test]
+    fn threaded_recording_is_safe_and_complete() {
+        let rec = Recorder::new(ObsOptions::logical());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        rec.add("c", 1);
+                        rec.observe("h", 7);
+                    }
+                });
+            }
+        });
+        let s = rec.snapshot();
+        assert_eq!(s.counters.get("c"), Some(&4000));
+        assert_eq!(s.histograms.get("h").map(|h| h.count), Some(4000));
+    }
+}

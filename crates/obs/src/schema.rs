@@ -1,0 +1,671 @@
+//! Pure-std validation of the sink outputs: a minimal recursive-descent
+//! JSON parser plus checkers for the three formats the pipeline emits.
+//! Used by `focus obs-check` (and CI) to validate `--trace`, `--events`
+//! and `--metrics` files without pulling a JSON dependency into the
+//! workspace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Validation failure for an observability artefact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// The input is not well-formed JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// The JSON is well-formed but violates the expected schema.
+    Schema {
+        /// Which constraint failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Parse { offset, expected } => {
+                write!(f, "invalid JSON at byte {offset}: expected {expected}")
+            }
+            ObsError::Schema { detail } => write!(f, "schema violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+fn schema_err(detail: impl Into<String>) -> ObsError {
+    ObsError::Schema {
+        detail: detail.into(),
+    }
+}
+
+/// A parsed JSON value. Numbers are kept as `i64` — every format this
+/// crate emits is integer-only by design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (the only number shape the sinks emit).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; `BTreeMap` so inspection order is stable.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, expected: &'static str) -> ObsError {
+        ObsError::Parse {
+            offset: self.pos,
+            expected,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, expected: &'static str) -> Result<(), ObsError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &'static str) -> Result<(), ObsError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(lit))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ObsError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_int(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ObsError> {
+        self.eat(b'{', "'{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "':'")?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ObsError> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ObsError> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("closing '\"'")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("4 hex digits"))?;
+                            // Surrogate pairs never appear in our output;
+                            // map unpaired surrogates to the replacement
+                            // character rather than rejecting.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("an escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("valid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("a character"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<Value, ObsError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(self.err("an integer (floats are not emitted)"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("an integer"))?;
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| self.err("an integer in i64 range"))
+    }
+}
+
+/// Parses one JSON document; trailing whitespace allowed, trailing content
+/// rejected.
+pub fn parse_json(input: &str) -> Result<Value, ObsError> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(v)
+}
+
+const PHASES: [&str; 4] = ["B", "E", "i", "C"];
+
+fn check_event_object(obj: &BTreeMap<String, Value>, what: &str) -> Result<(), ObsError> {
+    for key in ["ts", "tid", "ph", "cat", "name", "args"] {
+        if !obj.contains_key(key) {
+            return Err(schema_err(format!("{what}: missing key {key:?}")));
+        }
+    }
+    let ph = obj
+        .get("ph")
+        .and_then(Value::as_str)
+        .ok_or_else(|| schema_err(format!("{what}: \"ph\" must be a string")))?;
+    if !PHASES.contains(&ph) {
+        return Err(schema_err(format!("{what}: unknown phase {ph:?}")));
+    }
+    for key in ["ts", "tid"] {
+        let v = obj
+            .get(key)
+            .and_then(Value::as_int)
+            .ok_or_else(|| schema_err(format!("{what}: {key:?} must be an integer")))?;
+        if v < 0 {
+            return Err(schema_err(format!("{what}: {key:?} must be non-negative")));
+        }
+    }
+    for key in ["cat", "name"] {
+        if obj.get(key).and_then(Value::as_str).is_none() {
+            return Err(schema_err(format!("{what}: {key:?} must be a string")));
+        }
+    }
+    let args = obj
+        .get("args")
+        .and_then(Value::as_object)
+        .ok_or_else(|| schema_err(format!("{what}: \"args\" must be an object")))?;
+    for (k, v) in args {
+        if v.as_int().is_none() {
+            return Err(schema_err(format!(
+                "{what}: args[{k:?}] must be an integer"
+            )));
+        }
+    }
+    if ph == "C" && !args.contains_key("value") {
+        return Err(schema_err(format!(
+            "{what}: counter events need args[\"value\"]"
+        )));
+    }
+    Ok(())
+}
+
+/// Per-tid span-nesting check over a sequence of event objects: every `E`
+/// must close an open `B`, and every lane must end with all spans closed.
+fn check_span_balance<'a>(
+    events: impl Iterator<Item = (&'a BTreeMap<String, Value>, String)>,
+) -> Result<(), ObsError> {
+    let mut open: BTreeMap<i64, Vec<String>> = BTreeMap::new();
+    for (obj, what) in events {
+        let ph = obj.get("ph").and_then(Value::as_str).unwrap_or("");
+        let tid = obj.get("tid").and_then(Value::as_int).unwrap_or(0);
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        match ph {
+            "B" => open.entry(tid).or_default().push(name),
+            "E" => {
+                let stack = open.entry(tid).or_default();
+                match stack.pop() {
+                    None => {
+                        return Err(schema_err(format!(
+                            "{what}: end event {name:?} on tid {tid} with no open span"
+                        )))
+                    }
+                    Some(top) if top != name => {
+                        return Err(schema_err(format!(
+                            "{what}: end event {name:?} on tid {tid} closes {top:?}"
+                        )))
+                    }
+                    Some(_) => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(schema_err(format!(
+                "span {name:?} on tid {tid} never closed"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a JSON-lines event stream (the `--events` output): each
+/// non-empty line is a well-formed event object, timestamps are
+/// non-decreasing, and spans balance per thread lane.
+pub fn check_jsonl_events(input: &str) -> Result<usize, ObsError> {
+    let mut parsed = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let what = format!("line {}", lineno + 1);
+        let value = parse_json(line)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| schema_err(format!("{what}: not an object")))?
+            .clone();
+        check_event_object(&obj, &what)?;
+        parsed.push((obj, what));
+    }
+    let mut last_ts = -1i64;
+    for (obj, what) in &parsed {
+        let ts = obj.get("ts").and_then(Value::as_int).unwrap_or(0);
+        if ts < last_ts {
+            return Err(schema_err(format!("{what}: timestamp decreased")));
+        }
+        last_ts = ts;
+    }
+    check_span_balance(parsed.iter().map(|(o, w)| (o, w.clone())))?;
+    Ok(parsed.len())
+}
+
+/// Validates a Chrome `trace_event` document (the `--trace` output):
+/// envelope shape, per-event schema, and span balance per thread lane.
+pub fn check_chrome_trace(input: &str) -> Result<usize, ObsError> {
+    let value = parse_json(input)?;
+    let root = value
+        .as_object()
+        .ok_or_else(|| schema_err("trace root must be an object"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or_else(|| schema_err("missing \"traceEvents\""))?
+        .as_array()
+        .ok_or_else(|| schema_err("\"traceEvents\" must be an array"))?;
+    let mut parsed = Vec::new();
+    for (i, item) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        let obj = item
+            .as_object()
+            .ok_or_else(|| schema_err(format!("{what}: not an object")))?;
+        check_event_object(obj, &what)?;
+        if obj.get("pid").and_then(Value::as_int).is_none() {
+            return Err(schema_err(format!("{what}: \"pid\" must be an integer")));
+        }
+        parsed.push((obj, what));
+    }
+    check_span_balance(parsed.iter().map(|&(o, ref w)| (o, w.clone())))?;
+    Ok(parsed.len())
+}
+
+/// Validates a metrics snapshot document (the `--metrics` output):
+/// schema marker, integer counters/gauges, and internally consistent
+/// histograms (counts length = bounds length + 1, bucket totals = count).
+pub fn check_metrics_snapshot(input: &str) -> Result<(), ObsError> {
+    let value = parse_json(input)?;
+    let root = value
+        .as_object()
+        .ok_or_else(|| schema_err("metrics root must be an object"))?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some("focus-metrics-v1") => {}
+        other => {
+            return Err(schema_err(format!(
+                "expected schema \"focus-metrics-v1\", got {other:?}"
+            )))
+        }
+    }
+    for section in ["counters", "gauges", "histograms"] {
+        if root.get(section).and_then(Value::as_object).is_none() {
+            return Err(schema_err(format!("{section:?} must be an object")));
+        }
+    }
+    let counters = root
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| schema_err("\"counters\" must be an object"))?;
+    for (k, v) in counters {
+        match v.as_int() {
+            Some(i) if i >= 0 => {}
+            _ => {
+                return Err(schema_err(format!(
+                    "counter {k:?} must be a non-negative integer"
+                )))
+            }
+        }
+    }
+    let gauges = root
+        .get("gauges")
+        .and_then(Value::as_object)
+        .ok_or_else(|| schema_err("\"gauges\" must be an object"))?;
+    for (k, v) in gauges {
+        if v.as_int().is_none() {
+            return Err(schema_err(format!("gauge {k:?} must be an integer")));
+        }
+    }
+    let histograms = root
+        .get("histograms")
+        .and_then(Value::as_object)
+        .ok_or_else(|| schema_err("\"histograms\" must be an object"))?;
+    for (k, v) in histograms {
+        let h = v
+            .as_object()
+            .ok_or_else(|| schema_err(format!("histogram {k:?} must be an object")))?;
+        let count = h
+            .get("count")
+            .and_then(Value::as_int)
+            .ok_or_else(|| schema_err(format!("histogram {k:?}: missing \"count\"")))?;
+        let bounds = h
+            .get("bounds")
+            .and_then(Value::as_array)
+            .ok_or_else(|| schema_err(format!("histogram {k:?}: missing \"bounds\"")))?;
+        let counts = h
+            .get("counts")
+            .and_then(Value::as_array)
+            .ok_or_else(|| schema_err(format!("histogram {k:?}: missing \"counts\"")))?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(schema_err(format!(
+                "histogram {k:?}: counts length {} != bounds length {} + 1",
+                counts.len(),
+                bounds.len()
+            )));
+        }
+        let mut prev = -1i64;
+        for b in bounds {
+            let b = b
+                .as_int()
+                .ok_or_else(|| schema_err(format!("histogram {k:?}: bounds must be integers")))?;
+            if b <= prev {
+                return Err(schema_err(format!(
+                    "histogram {k:?}: bounds must be strictly ascending"
+                )));
+            }
+            prev = b;
+        }
+        let mut total = 0i64;
+        for c in counts {
+            let c = c
+                .as_int()
+                .filter(|&c| c >= 0)
+                .ok_or_else(|| schema_err(format!("histogram {k:?}: counts must be >= 0")))?;
+            total = total.saturating_add(c);
+        }
+        if total != count {
+            return Err(schema_err(format!(
+                "histogram {k:?}: bucket counts sum to {total}, \"count\" says {count}"
+            )));
+        }
+        for key in ["sum", "min", "max"] {
+            if h.get(key).and_then(Value::as_int).is_none() {
+                return Err(schema_err(format!(
+                    "histogram {k:?}: {key:?} must be an integer"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, MetricsSnapshot, DEFAULT_BOUNDS};
+    use crate::recorder::{ObsOptions, Recorder};
+    use crate::sink::{write_chrome_trace, write_jsonl};
+
+    fn recorded_events() -> Vec<crate::event::Event> {
+        let rec = Recorder::new(ObsOptions::logical());
+        {
+            let _pipeline = rec.span("pipeline", "run");
+            let _phase = rec.span_args("pipeline", "alignment", &[("pairs", 3)]);
+            rec.instant("dist", "crash", &[("node", 2)]);
+            rec.counter_sample("partition", "edge_cut", 17);
+        }
+        rec.events()
+    }
+
+    #[test]
+    fn parser_round_trips_basic_values() {
+        let v = parse_json("{\"a\": [1, -2, \"x\\n\"], \"b\": {\"c\": true}}")
+            .expect("valid JSON parses");
+        let obj = v.as_object().expect("object");
+        assert_eq!(
+            obj.get("a").and_then(Value::as_array).map(|a| a.len()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("1.5").is_err(), "floats are rejected by design");
+    }
+
+    #[test]
+    fn sink_outputs_validate() {
+        let events = recorded_events();
+        let n = check_jsonl_events(&write_jsonl(&events)).expect("valid JSONL");
+        assert_eq!(n, events.len());
+        let n = check_chrome_trace(&write_chrome_trace(&events)).expect("valid trace");
+        assert_eq!(n, events.len());
+    }
+
+    #[test]
+    fn snapshot_json_validates() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("align.candidates", 7);
+        s.gauges.insert("align.band", -1);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(12);
+        s.histograms.insert("align.overlap_len", h);
+        check_metrics_snapshot(&s.to_json()).expect("valid snapshot");
+        check_metrics_snapshot(&MetricsSnapshot::default().to_json())
+            .expect("empty snapshot is valid");
+    }
+
+    #[test]
+    fn unbalanced_spans_are_rejected() {
+        let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"B\", \"cat\": \"c\", \"name\": \"open\", \"args\": {}}\n";
+        let err = check_jsonl_events(jsonl).expect_err("unclosed span rejected");
+        assert!(matches!(err, ObsError::Schema { .. }));
+
+        let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"E\", \"cat\": \"c\", \"name\": \"x\", \"args\": {}}\n";
+        assert!(check_jsonl_events(jsonl).is_err(), "stray end rejected");
+    }
+
+    #[test]
+    fn mismatched_end_name_is_rejected() {
+        let jsonl = concat!(
+            "{\"ts\": 0, \"tid\": 1, \"ph\": \"B\", \"cat\": \"c\", \"name\": \"a\", \"args\": {}}\n",
+            "{\"ts\": 1, \"tid\": 1, \"ph\": \"E\", \"cat\": \"c\", \"name\": \"b\", \"args\": {}}\n",
+        );
+        assert!(check_jsonl_events(jsonl).is_err());
+    }
+
+    #[test]
+    fn decreasing_timestamps_are_rejected() {
+        let jsonl = concat!(
+            "{\"ts\": 5, \"tid\": 1, \"ph\": \"i\", \"cat\": \"c\", \"name\": \"a\", \"args\": {}}\n",
+            "{\"ts\": 4, \"tid\": 1, \"ph\": \"i\", \"cat\": \"c\", \"name\": \"b\", \"args\": {}}\n",
+        );
+        assert!(check_jsonl_events(jsonl).is_err());
+    }
+
+    #[test]
+    fn counter_event_without_value_is_rejected() {
+        let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"C\", \"cat\": \"c\", \"name\": \"x\", \"args\": {}}\n";
+        assert!(check_jsonl_events(jsonl).is_err());
+    }
+
+    #[test]
+    fn histogram_consistency_is_enforced() {
+        let bad = r#"{
+  "schema": "focus-metrics-v1",
+  "counters": {},
+  "gauges": {},
+  "histograms": {
+    "h": {"count": 3, "sum": 1, "min": 1, "max": 1, "bounds": [1, 2], "counts": [1, 1, 0]}
+  }
+}"#;
+        let err = check_metrics_snapshot(bad).expect_err("sum mismatch rejected");
+        assert!(err.to_string().contains("bucket counts sum"));
+    }
+
+    #[test]
+    fn wrong_schema_marker_is_rejected() {
+        let bad = "{\"schema\": \"other\", \"counters\": {}, \"gauges\": {}, \"histograms\": {}}";
+        assert!(check_metrics_snapshot(bad).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Export sinks: JSON-lines events, Chrome `trace_event` JSON (Perfetto),
+//! and the human-readable end-of-run report.
+//!
+//! Sinks render to `String`; callers decide where the bytes go (file,
+//! stderr, test assertion). All serialisation is integer-only and iterates
+//! ordered structures, so equal inputs render byte-identically.
+
+use crate::event::{Event, EventKind};
+use crate::json::{push_json_int_obj, push_json_key, push_json_str};
+use crate::metrics::MetricsSnapshot;
+
+/// Renders events as JSON lines: one compact object per line, in recording
+/// order. Grep-able, stream-appendable, and what
+/// `check_jsonl_events` validates.
+pub fn write_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str("{\"ts\": ");
+        out.push_str(&e.ts.to_string());
+        out.push_str(", \"tid\": ");
+        out.push_str(&e.tid.to_string());
+        out.push_str(", ");
+        push_json_key(&mut out, "ph");
+        push_json_str(&mut out, e.kind.phase());
+        out.push_str(", ");
+        push_json_key(&mut out, "cat");
+        push_json_str(&mut out, e.cat);
+        out.push_str(", ");
+        push_json_key(&mut out, "name");
+        push_json_str(&mut out, e.name);
+        out.push_str(", ");
+        push_json_key(&mut out, "args");
+        let args: Vec<(&str, i64)> = e.args.iter().map(|&(k, v)| (k, v)).collect();
+        push_json_int_obj(&mut out, &args);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` document: load the file in
+/// Perfetto (`ui.perfetto.dev`) or `chrome://tracing` to see spans per
+/// thread lane, instant markers, and counter tracks.
+pub fn write_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"ph\": ");
+        push_json_str(&mut out, e.kind.phase());
+        out.push_str(", \"pid\": 1, \"tid\": ");
+        out.push_str(&e.tid.to_string());
+        out.push_str(", \"ts\": ");
+        out.push_str(&e.ts.to_string());
+        out.push_str(", ");
+        push_json_key(&mut out, "cat");
+        push_json_str(&mut out, e.cat);
+        out.push_str(", ");
+        push_json_key(&mut out, "name");
+        push_json_str(&mut out, e.name);
+        if e.kind == EventKind::Instant {
+            // Instant events need a scope; "t" = thread-scoped.
+            out.push_str(", \"s\": \"t\"");
+        }
+        out.push_str(", ");
+        push_json_key(&mut out, "args");
+        let args: Vec<(&str, i64)> = e.args.iter().map(|&(k, v)| (k, v)).collect();
+        push_json_int_obj(&mut out, &args);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders the metrics snapshot as an aligned, human-readable end-of-run
+/// report, grouped by the dot-prefix of each metric name.
+pub fn human_report(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("observability: no metrics recorded\n");
+        return out;
+    }
+    let width = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys())
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(0);
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (k, v) in &snapshot.counters {
+            out.push_str(&format!("  {k:<width$}  {v}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (k, v) in &snapshot.gauges {
+            out.push_str(&format!("  {k:<width$}  {v}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (k, h) in &snapshot.histograms {
+            let min = if h.count == 0 { 0 } else { h.min };
+            out.push_str(&format!(
+                "  {k:<width$}  n={} sum={} min={} mean={} max={}\n",
+                h.count,
+                h.sum,
+                min,
+                h.mean(),
+                h.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, DEFAULT_BOUNDS};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                ts: 0,
+                tid: 1,
+                cat: "pipeline",
+                name: "alignment",
+                kind: EventKind::Begin,
+                args: vec![("pairs", 10)],
+            },
+            Event {
+                ts: 1,
+                tid: 1,
+                cat: "partition",
+                name: "edge_cut",
+                kind: EventKind::Counter,
+                args: vec![("value", 42)],
+            },
+            Event {
+                ts: 2,
+                tid: 1,
+                cat: "dist",
+                name: "crash",
+                kind: EventKind::Instant,
+                args: vec![],
+            },
+            Event {
+                ts: 3,
+                tid: 1,
+                cat: "pipeline",
+                name: "alignment",
+                kind: EventKind::End,
+                args: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let out = write_jsonl(&sample_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines[0].contains("\"ph\": \"B\""));
+        assert!(lines[1].contains("\"value\": 42"));
+    }
+
+    #[test]
+    fn chrome_trace_has_envelope_and_instant_scope() {
+        let out = write_chrome_trace(&sample_events());
+        assert!(out.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["));
+        assert!(out.trim_end().ends_with("]}"));
+        assert!(out.contains("\"pid\": 1"));
+        assert!(out.contains("\"s\": \"t\""));
+    }
+
+    #[test]
+    fn empty_event_list_renders_valid_documents() {
+        assert_eq!(write_jsonl(&[]), "");
+        let trace = write_chrome_trace(&[]);
+        assert!(trace.contains("\"traceEvents\": ["));
+    }
+
+    #[test]
+    fn human_report_groups_sections() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("align.candidates", 100);
+        s.gauges.insert("align.band", 32);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(8);
+        h.observe(16);
+        s.histograms.insert("align.overlap_len", h);
+        let report = human_report(&s);
+        assert!(report.contains("counters:"));
+        assert!(report.contains("align.candidates"));
+        assert!(report.contains("gauges:"));
+        assert!(report.contains("histograms:"));
+        assert!(report.contains("n=2 sum=24 min=8 mean=12 max=16"));
+    }
+
+    #[test]
+    fn empty_snapshot_report_says_so() {
+        let report = human_report(&MetricsSnapshot::default());
+        assert!(report.contains("no metrics recorded"));
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::metrics::edge_cut;
 use fc_graph::LevelGraph;
+use fc_obs::Recorder;
 
 /// Tuning knobs of the k-way refinement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,12 +48,35 @@ pub fn kway_refine(
     config: &KwayConfig,
     work: &mut u64,
 ) -> u64 {
+    kway_refine_obs(g, parts, k, config, work, &Recorder::disabled())
+}
+
+/// [`kway_refine`] with refinement metrics recorded into `rec`: the pass
+/// count (`partition.kway_passes`) and the per-pass applied gain
+/// (`partition.kway_pass_gain`). The refinement itself is identical.
+///
+/// # Invariants
+/// `parts` stays a valid `k`-partition throughout: its length is unchanged,
+/// every id remains in `0..k`, and only whole moves are applied (an undone
+/// pass suffix restores the pre-move assignment exactly). The returned
+/// improvement equals `edge_cut` before the call minus `edge_cut` after.
+pub fn kway_refine_obs(
+    g: &LevelGraph,
+    parts: &mut [u32],
+    k: usize,
+    config: &KwayConfig,
+    work: &mut u64,
+    rec: &Recorder,
+) -> u64 {
     if k < 2 || g.node_count() < 2 {
         return 0;
     }
     let before = edge_cut(g, parts);
     for _ in 0..config.max_passes {
-        if kway_pass(g, parts, k, config, work) == 0 {
+        let gain = kway_pass(g, parts, k, config, work);
+        rec.add("partition.kway_passes", 1);
+        rec.observe("partition.kway_pass_gain", gain);
+        if gain == 0 {
             break;
         }
     }

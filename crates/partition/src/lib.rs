@@ -27,7 +27,9 @@ pub mod recursive;
 pub use error::PartitionError;
 pub use grow::greedy_grow;
 pub use kl::kl_refine;
-pub use kway::kway_refine;
+pub use kway::{kway_refine, kway_refine_obs};
 pub use local::LocalGraph;
 pub use metrics::{edge_cut, partition_balance, validate_partition};
-pub use recursive::{partition_graph_set, PartitionConfig, PartitionResult, TaskRecord};
+pub use recursive::{
+    partition_graph_set, partition_graph_set_obs, PartitionConfig, PartitionResult, TaskRecord,
+};

@@ -16,11 +16,12 @@
 use crate::error::PartitionError;
 use crate::grow::greedy_grow;
 use crate::kl::{kl_refine, KlConfig};
-use crate::kway::{kway_refine, KwayConfig};
+use crate::kway::{kway_refine_obs, KwayConfig};
 use crate::local::LocalGraph;
 use crate::metrics::validate_partition;
 use fc_exec::Pool;
 use fc_graph::{GraphSet, NodeId};
+use fc_obs::Recorder;
 
 /// Partitioning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,7 +127,30 @@ pub fn partition_graph_set(
     set: &GraphSet,
     config: &PartitionConfig,
 ) -> Result<PartitionResult, PartitionError> {
+    partition_graph_set_obs(set, config, &Recorder::disabled())
+}
+
+/// [`partition_graph_set`] with partitioning metrics recorded into `rec`:
+/// the finest-level edge-cut trajectory after every bisection step (counter
+/// samples plus `partition.edge_cut_final`), balance in permille, per-task
+/// bisection work, and the k-way pass gains (via
+/// [`crate::kway::kway_refine_obs`]). The assignments and task log are
+/// identical to the uninstrumented call; every metric derives from
+/// seed-deterministic results, so all are thread-count-invariant.
+pub fn partition_graph_set_obs(
+    set: &GraphSet,
+    config: &PartitionConfig,
+    rec: &Recorder,
+) -> Result<PartitionResult, PartitionError> {
     config.validate()?;
+    let _span = rec.span_args(
+        "partition",
+        "partition.graph_set",
+        &[
+            ("k", config.k as i64),
+            ("nodes", set.finest().node_count() as i64),
+        ],
+    );
     let mut parts: Vec<Vec<u32>> = set
         .levels
         .iter()
@@ -147,7 +171,7 @@ pub fn partition_graph_set(
         // lists after a step barrier is therefore bit-identical to the
         // serial in-place loop — at any thread count.
         let parts_ro: &[Vec<u32>] = &parts;
-        let outcomes = pool.map(1usize << step, |pi| {
+        let outcomes = pool.map_obs(1usize << step, rec, |pi| {
             let p = pi as u32;
             bisect_partition(
                 set,
@@ -165,6 +189,7 @@ pub fn partition_graph_set(
                     parts[level][v as usize] = p_new;
                 }
             }
+            rec.observe("partition.bisect_work", outcome.work);
             tasks.push(TaskRecord {
                 kind: TaskKind::Bisect {
                     step,
@@ -172,6 +197,20 @@ pub fn partition_graph_set(
                 },
                 work: outcome.work,
             });
+        }
+        if rec.is_enabled() {
+            // Edge-cut / balance trajectory on the finest level after each
+            // step barrier — the counter track Perfetto renders as the
+            // §IV-C convergence curve.
+            let cut = crate::metrics::edge_cut(set.finest(), &parts[0]);
+            let balance =
+                crate::metrics::partition_balance(set.finest(), &parts[0], 2 << step);
+            rec.counter_sample("partition", "partition.edge_cut", cut as i64);
+            rec.counter_sample(
+                "partition",
+                "partition.balance_permille",
+                (balance * 1000.0) as i64,
+            );
         }
     }
 
@@ -189,17 +228,19 @@ pub fn partition_graph_set(
         // reads and writes only that level's assignment, so the levels run
         // concurrently and are reassembled in level order.
         let level_parts = std::mem::take(&mut parts);
-        let refined = pool.map_items(
+        let refined = pool.map_items_obs(
             level_parts,
+            rec,
             || (),
             |level, mut assignment, ()| {
                 let mut work = 0u64;
-                kway_refine(
+                kway_refine_obs(
                     &set.levels[level],
                     &mut assignment,
                     config.k,
                     &config.kway,
                     &mut work,
+                    rec,
                 );
                 (assignment, work)
             },
@@ -228,6 +269,13 @@ pub fn partition_graph_set(
                 });
             }
         }
+    }
+    if rec.is_enabled() {
+        let cut = crate::metrics::edge_cut(set.finest(), &parts[0]);
+        let balance = crate::metrics::partition_balance(set.finest(), &parts[0], config.k);
+        rec.add("partition.edge_cut_final", cut);
+        rec.gauge("partition.balance_final_permille", (balance * 1000.0) as i64);
+        rec.add("partition.tasks", tasks.len() as u64);
     }
     Ok(PartitionResult {
         k: config.k,
@@ -557,6 +605,54 @@ mod tests {
                 "task log diverged at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn obs_partition_metrics_are_thread_invariant() {
+        let set = path_set(512);
+        let baseline = {
+            let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+            let result =
+                partition_graph_set_obs(&set, &PartitionConfig::new(8, 42), &rec).unwrap();
+            let plain = partition_graph_set(&set, &PartitionConfig::new(8, 42)).unwrap();
+            assert_eq!(result.parts_per_level, plain.parts_per_level);
+            rec.snapshot_json()
+        };
+        assert!(baseline.contains("partition.edge_cut_final"));
+        assert!(baseline.contains("partition.bisect_work"));
+        for threads in [2, 4, 8] {
+            let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+            partition_graph_set_obs(&set, &PartitionConfig::new(8, 42).with_threads(threads), &rec)
+                .unwrap();
+            assert_eq!(
+                rec.snapshot_json(),
+                baseline,
+                "metric snapshot differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_edge_cut_counter_matches_final_cut() {
+        let set = path_set(256);
+        let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+        let result = partition_graph_set_obs(&set, &PartitionConfig::new(8, 7), &rec).unwrap();
+        let snapshot = rec.snapshot();
+        assert_eq!(
+            snapshot.counters.get("partition.edge_cut_final"),
+            Some(&edge_cut(set.finest(), result.finest()))
+        );
+        // One edge-cut sample per bisection step (counter events).
+        let samples = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "partition.edge_cut")
+            .count();
+        assert_eq!(samples, 3, "k=8 has three bisection steps");
+        assert_eq!(
+            snapshot.counters.get("partition.tasks"),
+            Some(&(result.tasks.len() as u64))
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub enum Rule {
     /// FC004 — a `pub fn` mutating a graph/partition/level-set parameter
     /// without a typed-`Result` return or a `# Invariants` doc section.
     InvariantDoc,
+    /// FC005 — raw `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
+    /// non-test library code; diagnostics belong on fc-obs events.
+    NoPrint,
 }
 
 impl Rule {
@@ -25,6 +28,7 @@ impl Rule {
             Rule::StringError => "FC002",
             Rule::ModuleCollision => "FC003",
             Rule::InvariantDoc => "FC004",
+            Rule::NoPrint => "FC005",
         }
     }
 
@@ -35,6 +39,7 @@ impl Rule {
             Rule::StringError => "no-string-error",
             Rule::ModuleCollision => "no-module-collision",
             Rule::InvariantDoc => "invariant-doc",
+            Rule::NoPrint => "no-print",
         }
     }
 
@@ -45,17 +50,19 @@ impl Rule {
             "no-string-error" => Some(Rule::StringError),
             "no-module-collision" => Some(Rule::ModuleCollision),
             "invariant-doc" => Some(Rule::InvariantDoc),
+            "no-print" => Some(Rule::NoPrint),
             _ => None,
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::NoPanic,
             Rule::StringError,
             Rule::ModuleCollision,
             Rule::InvariantDoc,
+            Rule::NoPrint,
         ]
     }
 
@@ -77,6 +84,11 @@ impl Rule {
             Rule::InvariantDoc => {
                 "a pub fn mutating a DiGraph, partition vector, or hybrid level set \
                  must either return a typed error or document its `# Invariants`"
+            }
+            Rule::NoPrint => {
+                "raw stdout/stderr prints in library code bypass the structured \
+                 observability layer; record an fc-obs event or metric instead so \
+                 diagnostics stay machine-readable and deterministic"
             }
         }
     }

@@ -1,5 +1,5 @@
 //! The Focus-specific lint rules, run over one lexed source file (FC001,
-//! FC002, FC004) or one crate's module list (FC003).
+//! FC002, FC004, FC005) or one crate's module list (FC003).
 
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{lex, Token, TokenKind};
@@ -27,6 +27,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
 
     let mut out = Vec::new();
     no_panic(rel_path, &tokens, &excluded, &snippet, &mut out);
+    no_print(rel_path, &tokens, &excluded, &snippet, &mut out);
     pub_fn_rules(rel_path, &tokens, &excluded, &snippet, &mut out);
     out
 }
@@ -210,6 +211,46 @@ fn no_panic(
                 help: "return a typed error (FocusError/DistError/SeqError/...) so the \
                        failure can cross crate boundaries; if this site is provably \
                        unreachable, allowlist it in xtask/allow.toml with a reason"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// FC005 — raw print-macro diagnostics in non-test library code. Library
+/// crates report through fc-obs (events, counters, histograms); stdout and
+/// stderr belong to binaries (`src/bin`, benches, xtask), which are not
+/// linted.
+fn no_print(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is_bang = tokens.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false);
+        // `writeln!` et al. target an explicit writer and are fine; only the
+        // implicit-stdout/stderr family is banned.
+        if next_is_bang
+            && matches!(
+                t.text.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            )
+        {
+            out.push(Diagnostic {
+                rule: Rule::NoPrint,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!("`{}!` in non-test library code", t.text),
+                snippet: snippet(t.line),
+                help: "record an fc-obs event or metric instead (Recorder::instant/add/\
+                       observe) and let the binary choose the sink; if this print is \
+                       intentional, allowlist it in xtask/allow.toml with a reason"
                     .to_string(),
             });
         }
@@ -671,6 +712,32 @@ fn top_level_test() { None::<u32>.unwrap(); }
     #[test]
     fn attributes_between_docs_and_fn_keep_docs() {
         let src = "/// # Invariants\n/// ok\n#[inline]\npub fn m(g: &mut DiGraph) {}\n";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn flags_print_macros_in_library_code() {
+        let src = "pub fn f() { println!(\"x\"); eprintln!(\"y\"); }\nfn g() { dbg!(1); print!(\"a\"); eprint!(\"b\"); }\n";
+        let hits = rules_hit(src);
+        assert_eq!(hits.iter().filter(|(c, _)| *c == "FC005").count(), 5, "{hits:?}");
+    }
+
+    #[test]
+    fn prints_in_tests_and_writeln_escape_fc005() {
+        let src = r#"
+use std::fmt::Write;
+pub fn render() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "structured output is fine");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!("debugging a test is fine"); }
+}
+"#;
         assert!(rules_hit(src).is_empty());
     }
 

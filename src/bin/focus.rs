@@ -24,6 +24,7 @@ USAGE:
     focus graph    --input <reads.{fasta,fastq}> --output <graph.{gfa,dot}> [options]
     focus variants --input <reads.{fasta,fastq}> [options]
     focus classify --input <reads.{fasta,fastq}> --references <refs.fasta>
+    focus obs-check [--trace <t.json>] [--metrics <m.json>] [--events <e.jsonl>]
     focus help
 
 ASSEMBLE OPTIONS:
@@ -39,6 +40,19 @@ ASSEMBLE OPTIONS:
     --threads <n>          worker threads; 0 = all cores, 1 = serial;
                            output is identical at any setting    [default: 0]
     --keep-both-strands    emit both strands of every contig
+
+OBSERVABILITY OPTIONS (assemble):
+    --trace <path>         write a Chrome trace_event JSON (open in Perfetto)
+    --metrics <path>       write the metrics snapshot JSON
+    --events <path>        write raw events as JSON lines
+    --logical-clock        timestamp events with a logical counter instead of
+                           wall time; metric snapshots become byte-identical
+                           at any --threads setting
+
+OBS-CHECK OPTIONS:
+    --trace <path>         validate a Chrome trace written by --trace
+    --metrics <path>       validate a metrics snapshot written by --metrics
+    --events <path>        validate a JSON-lines event log written by --events
 
 SIMULATE OPTIONS:
     --output <path>        output FASTQ
@@ -67,6 +81,7 @@ fn main() -> ExitCode {
         Some("graph") => graph(&args[1..]),
         Some("variants") => variants(&args[1..]),
         Some("classify") => classify(&args[1..]),
+        Some("obs-check") => obs_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             Ok(())
@@ -96,7 +111,10 @@ impl Options {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?
                 .to_string();
-            let takes_value = !matches!(key.as_str(), "keep-both-strands" | "with-sequences");
+            let takes_value = !matches!(
+                key.as_str(),
+                "keep-both-strands" | "with-sequences" | "logical-clock"
+            );
             if takes_value {
                 let value = args
                     .get(i + 1)
@@ -188,6 +206,7 @@ fn assemble(args: &[String]) -> Result<(), String> {
     let out = File::create(&output).map_err(|e| format!("cannot create {output}: {e}"))?;
     fasta::write(BufWriter::new(out), &contig_reads, 70).map_err(|e| e.to_string())?;
     eprintln!("wrote {output}");
+    write_obs_sinks(&opts, assembler.recorder())?;
     Ok(())
 }
 
@@ -223,7 +242,79 @@ fn build_config(opts: &Options) -> Result<FocusConfig, String> {
     config.overlap.min_identity = opts.get_parsed("min-identity", 0.90f64)?;
     config.trim.min_read_len = opts.get_parsed("min-read-len", 40usize)?;
     config.trim.min_quality = opts.get_parsed("min-quality", 20.0f64)?;
+    let wants_obs = ["trace", "metrics", "events"]
+        .iter()
+        .any(|k| opts.get(k).is_some());
+    if wants_obs || opts.flag("logical-clock") {
+        config.observability = if opts.flag("logical-clock") {
+            focus_assembler::obs::ObsOptions::logical()
+        } else {
+            focus_assembler::obs::ObsOptions::wall_clock()
+        };
+    }
     Ok(config)
+}
+
+/// Writes the sinks requested by `--trace`, `--metrics` and `--events` from
+/// the run's recorder, and prints the human-readable metrics report when
+/// anything was recorded.
+fn write_obs_sinks(
+    opts: &Options,
+    rec: &focus_assembler::obs::Recorder,
+) -> Result<(), String> {
+    use focus_assembler::obs::{human_report, write_chrome_trace, write_jsonl};
+    if !rec.is_enabled() {
+        return Ok(());
+    }
+    let events = rec.events();
+    if let Some(path) = opts.get("trace") {
+        std::fs::write(path, write_chrome_trace(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote trace {path} ({} events)", events.len());
+    }
+    if let Some(path) = opts.get("events") {
+        std::fs::write(path, write_jsonl(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote events {path}");
+    }
+    if let Some(path) = opts.get("metrics") {
+        std::fs::write(path, rec.snapshot_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics {path}");
+    }
+    eprint!("{}", human_report(&rec.snapshot()));
+    Ok(())
+}
+
+fn obs_check(args: &[String]) -> Result<(), String> {
+    use focus_assembler::obs::{check_chrome_trace, check_jsonl_events, check_metrics_snapshot};
+    let opts = Options::parse(args)?;
+    let mut checked = 0usize;
+    if let Some(path) = opts.get("trace") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let n = check_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("trace   {path}: ok ({n} events)");
+        checked += 1;
+    }
+    if let Some(path) = opts.get("events") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let n = check_jsonl_events(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("events  {path}: ok ({n} events)");
+        checked += 1;
+    }
+    if let Some(path) = opts.get("metrics") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        check_metrics_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics {path}: ok");
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("obs-check needs at least one of --trace/--metrics/--events".to_string());
+    }
+    Ok(())
 }
 
 fn stats(args: &[String]) -> Result<(), String> {

@@ -9,6 +9,7 @@ pub use fc_align as align;
 pub use fc_classify as classify;
 pub use fc_dist as dist;
 pub use fc_graph as graph;
+pub use fc_obs as obs;
 pub use fc_partition as partition;
 pub use fc_seq as seq;
 pub use fc_sim as sim;

@@ -1,0 +1,114 @@
+//! End-to-end observability tests: metric-snapshot determinism across
+//! thread counts (the fc-obs logical-clock contract), sink validity against
+//! the pure-std schema checkers, and the disabled-recorder null guarantee.
+
+use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::obs::{
+    check_chrome_trace, check_jsonl_events, check_metrics_snapshot, human_report,
+    write_chrome_trace, write_jsonl, ObsOptions,
+};
+use focus_assembler::seq::Read;
+use proptest::prelude::*;
+
+fn genome(len: usize, seed: u64) -> focus_assembler::seq::DnaString {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            focus_assembler::seq::Base::from_code((state >> 5) as u8 & 3)
+        })
+        .collect()
+}
+
+fn tiled_reads(len: usize, seed: u64) -> Vec<Read> {
+    let g = genome(len, seed);
+    let (read_len, stride) = (100usize, 50usize);
+    let mut reads = Vec::new();
+    let mut start = 0;
+    while start + read_len <= g.len() {
+        reads.push(Read::new(
+            format!("r{start}"),
+            g.slice(start, start + read_len),
+        ));
+        start += stride;
+    }
+    reads
+}
+
+fn obs_config(threads: usize) -> FocusConfig {
+    let mut config = FocusConfig {
+        partitions: 4,
+        threads,
+        observability: ObsOptions::logical(),
+        ..Default::default()
+    };
+    config.trim.min_read_len = 30;
+    config.overlap.min_overlap_len = 40;
+    config
+}
+
+/// Assembles and returns the logical-clock metric snapshot JSON.
+fn snapshot_at(reads: &[Read], threads: usize) -> String {
+    let assembler = FocusAssembler::new(obs_config(threads)).unwrap();
+    assembler.assemble(reads).unwrap();
+    assembler.recorder().snapshot_json()
+}
+
+#[test]
+fn all_three_sinks_validate_against_the_schema_checkers() {
+    let reads = tiled_reads(2000, 3);
+    let assembler = FocusAssembler::new(obs_config(2)).unwrap();
+    assembler.assemble(&reads).unwrap();
+    let rec = assembler.recorder();
+
+    let events = rec.events();
+    assert!(!events.is_empty());
+    let n = check_jsonl_events(&write_jsonl(&events)).unwrap();
+    assert_eq!(n, events.len());
+    let n = check_chrome_trace(&write_chrome_trace(&events)).unwrap();
+    assert_eq!(n, events.len());
+    check_metrics_snapshot(&rec.snapshot_json()).unwrap();
+
+    let report = human_report(&rec.snapshot());
+    assert!(report.contains("counters"));
+    assert!(report.contains("align.candidates"));
+}
+
+#[test]
+fn disabled_recorder_produces_empty_everything() {
+    let reads = tiled_reads(1500, 5);
+    let mut config = obs_config(2);
+    config.observability = ObsOptions::default();
+    let assembler = FocusAssembler::new(config).unwrap();
+    assembler.assemble(&reads).unwrap();
+    assert!(assembler.recorder().events().is_empty());
+    assert!(assembler.recorder().snapshot().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole determinism contract: with logical-clock observability,
+    /// two runs at *any* `--threads` setting produce byte-identical metric
+    /// snapshots. Genome seeds vary per case; every thread count in
+    /// {1, 2, 4, 8} must agree with the serial baseline.
+    #[test]
+    fn metric_snapshots_are_byte_identical_across_thread_counts(seed in 1u64..1000) {
+        let reads = tiled_reads(1800, seed);
+        let baseline = snapshot_at(&reads, 1);
+        prop_assert!(baseline.contains("\"schema\": \"focus-metrics-v1\""));
+        // Scheduling metrics never leak into the deterministic snapshot.
+        prop_assert!(!baseline.contains("sched."));
+        for threads in [2usize, 4, 8] {
+            let snapshot = snapshot_at(&reads, threads);
+            prop_assert_eq!(
+                &snapshot,
+                &baseline,
+                "snapshot at {} threads diverged from serial",
+                threads
+            );
+        }
+    }
+}
