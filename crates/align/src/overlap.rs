@@ -62,6 +62,49 @@ impl Overlap {
     }
 }
 
+impl fc_ckpt::Codec for OverlapKind {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u8(match self {
+            OverlapKind::SuffixPrefix => 0,
+            OverlapKind::ContainsB => 1,
+            OverlapKind::ContainedInB => 2,
+        });
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<OverlapKind, fc_ckpt::CkptError> {
+        match r.u8()? {
+            0 => Ok(OverlapKind::SuffixPrefix),
+            1 => Ok(OverlapKind::ContainsB),
+            2 => Ok(OverlapKind::ContainedInB),
+            tag => Err(fc_ckpt::CkptError::Decode {
+                detail: format!("invalid OverlapKind tag {tag}"),
+            }),
+        }
+    }
+}
+
+impl fc_ckpt::Codec for Overlap {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u32(self.a.0);
+        w.put_u32(self.b.0);
+        self.kind.encode(w);
+        w.put_u32(self.shift);
+        w.put_u32(self.len);
+        w.put_f64(self.identity);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<Overlap, fc_ckpt::CkptError> {
+        Ok(Overlap {
+            a: ReadId(r.u32()?),
+            b: ReadId(r.u32()?),
+            kind: OverlapKind::decode(r)?,
+            shift: r.u32()?,
+            len: r.u32()?,
+            identity: r.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +127,29 @@ mod tests {
             Some((ReadId(1), ReadId(2)))
         );
         assert_eq!(overlap(OverlapKind::ContainsB).edge(), None);
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips_every_kind() {
+        for kind in [
+            OverlapKind::SuffixPrefix,
+            OverlapKind::ContainsB,
+            OverlapKind::ContainedInB,
+        ] {
+            let o = overlap(kind);
+            let bytes = fc_ckpt::encode_to_vec(&o);
+            let back: Overlap = fc_ckpt::decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, o);
+        }
+        // An unknown kind tag must be a decode error, not a panic.
+        let mut w = fc_ckpt::Writer::new();
+        w.put_u32(1);
+        w.put_u32(2);
+        w.put_u8(9);
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_f64(0.0);
+        assert!(fc_ckpt::decode_from_slice::<Overlap>(&w.into_bytes()).is_err());
     }
 
     #[test]

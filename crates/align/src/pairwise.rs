@@ -112,6 +112,26 @@ impl PairStats {
     }
 }
 
+impl fc_ckpt::Codec for PairStats {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u64(self.kmer_lookups);
+        w.put_u64(self.kmer_hits);
+        w.put_u64(self.candidates);
+        w.put_u64(self.nw_cells);
+        w.put_u64(self.overlaps);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<PairStats, fc_ckpt::CkptError> {
+        Ok(PairStats {
+            kmer_lookups: r.u64()?,
+            kmer_hits: r.u64()?,
+            candidates: r.u64()?,
+            nw_cells: r.u64()?,
+            overlaps: r.u64()?,
+        })
+    }
+}
+
 /// Reusable per-worker buffers for the overlapper's hot path: the diagonal
 /// vote map and its flattened/sorted view, the suffix-array hit buffer, the
 /// candidate list, and the aligner's band buffers. One value per worker

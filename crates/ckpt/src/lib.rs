@@ -1,0 +1,43 @@
+//! # fc-ckpt — durable checkpoint/resume for the Focus pipeline
+//!
+//! Every pipeline phase output can be serialised to a versioned,
+//! CRC32-verified checkpoint file and read back on a later run, so a
+//! process killed at any phase boundary resumes instead of restarting
+//! from zero. The crate is deliberately zero-dependency:
+//!
+//! * [`wire`] — fixed-width little-endian binary encoding and the
+//!   [`Codec`] trait the phase payload types implement;
+//! * [`crc`] — the CRC32 (IEEE) checksum guarding every record and file;
+//! * [`file`] — the `FCKP` container format (magic, version, phase id,
+//!   config/input fingerprints, checksummed records);
+//! * [`manifest`] — the human-readable per-directory manifest, rewritten
+//!   atomically after every checkpoint;
+//! * [`fault`] — [`FsFaultPlan`], deterministic injection of torn writes,
+//!   short reads, bit-flips and ENOSPC into the checkpoint I/O;
+//! * [`store`] — [`CheckpointStore`], the save/load front door with
+//!   atomic temp-file + rename writes and graceful degradation.
+//!
+//! Durability argument: a checkpoint only becomes visible under its final
+//! name via `rename(2)` after the temp file was fully written and synced,
+//! so a crash mid-write leaves at most a stale temp file, never a
+//! truncated checkpoint under a valid name. Corruption that bypasses the
+//! writer (torn writes injected directly, media bit-flips) is caught by
+//! the per-record and whole-file CRCs at load time and reported as
+//! [`CkptError::Corrupt`] — the caller recomputes the phase, never
+//! trusting a damaged file.
+
+pub mod crc;
+pub mod error;
+pub mod fault;
+pub mod file;
+pub mod manifest;
+pub mod store;
+pub mod wire;
+
+pub use crc::crc32;
+pub use error::CkptError;
+pub use fault::{FsFaultPlan, FsFaultRates, ReadFault, WriteFault};
+pub use file::{CheckpointFile, FORMAT_VERSION, MAGIC};
+pub use manifest::{manifest_path, render_manifest, ManifestEntry};
+pub use store::{CheckpointStore, LoadOutcome};
+pub use wire::{decode_from_slice, encode_to_vec, Codec, Reader, Writer};

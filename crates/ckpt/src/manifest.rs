@@ -1,0 +1,96 @@
+//! The checkpoint directory manifest: a human-readable index of what was
+//! checkpointed, rewritten atomically after every save.
+//!
+//! The manifest is advisory — resume never trusts it (every checkpoint
+//! file carries and verifies its own fingerprints and checksums) — but it
+//! makes a checkpoint directory self-describing for humans and CI
+//! artifacts.
+
+use std::path::{Path, PathBuf};
+
+/// One manifest line: a checkpoint that was successfully written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Phase id (the pipeline's stable ordering).
+    pub phase_id: u32,
+    /// Human-readable phase name.
+    pub phase_name: String,
+    /// File name within the checkpoint directory.
+    pub file_name: String,
+    /// Encoded file size in bytes.
+    pub bytes: u64,
+    /// The file's trailing whole-file CRC32.
+    pub file_crc: u32,
+}
+
+/// Name of the manifest file within a checkpoint directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.txt";
+
+/// Path of the manifest inside `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_NAME)
+}
+
+/// Renders the manifest text: a fixed header naming the run's
+/// fingerprints, then one line per checkpoint in phase order.
+pub fn render_manifest(
+    config_fingerprint: u64,
+    input_digest: u64,
+    entries: &[ManifestEntry],
+) -> String {
+    let mut out = String::new();
+    out.push_str("# focus checkpoint manifest v1\n");
+    out.push_str(&format!("config_fingerprint = {config_fingerprint:#018x}\n"));
+    out.push_str(&format!("input_digest = {input_digest:#018x}\n"));
+    out.push_str(&format!("checkpoints = {}\n", entries.len()));
+    for e in entries {
+        out.push_str(&format!(
+            "phase {:02} {:<24} file={} bytes={} crc={:#010x}\n",
+            e.phase_id, e.phase_name, e.file_name, e.bytes, e.file_crc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_one_line_per_entry() {
+        let entries = vec![
+            ManifestEntry {
+                phase_id: 0,
+                phase_name: "preprocess".to_string(),
+                file_name: "phase_00_preprocess.ckpt".to_string(),
+                bytes: 1234,
+                file_crc: 0xAB,
+            },
+            ManifestEntry {
+                phase_id: 4,
+                phase_name: "partition".to_string(),
+                file_name: "phase_04_partition.ckpt".to_string(),
+                bytes: 99,
+                file_crc: 0xCD,
+            },
+        ];
+        let text = render_manifest(0x1, 0x2, &entries);
+        assert!(text.starts_with("# focus checkpoint manifest v1\n"));
+        assert!(text.contains("config_fingerprint = 0x0000000000000001"));
+        assert!(text.contains("checkpoints = 2"));
+        assert!(text.contains("phase 00 preprocess"));
+        assert!(text.contains("file=phase_04_partition.ckpt bytes=99"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let e = vec![ManifestEntry {
+            phase_id: 1,
+            phase_name: "alignment".to_string(),
+            file_name: "phase_01_alignment.ckpt".to_string(),
+            bytes: 7,
+            file_crc: 1,
+        }];
+        assert_eq!(render_manifest(9, 9, &e), render_manifest(9, 9, &e));
+    }
+}

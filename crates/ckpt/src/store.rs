@@ -1,0 +1,408 @@
+//! [`CheckpointStore`] — the save/load front door of the checkpoint layer.
+//!
+//! Writes are atomic: the encoded file goes to a hidden temp name in the
+//! same directory, is flushed with `sync_all`, and only then renamed over
+//! the final name. A crash at any instant therefore leaves either the old
+//! state or the new state under the final name, never a torn file —
+//! unless a fault plan injects exactly that, which is how the chaos
+//! harness proves the *read* side catches it.
+//!
+//! The store degrades instead of failing the run: the first write error
+//! (unwritable directory, injected or real ENOSPC) is returned to the
+//! caller once — for a single observability warning — and every later
+//! save becomes a silent no-op. The assembly always finishes.
+
+use crate::error::CkptError;
+use crate::fault::{flip_bit, FsFaultPlan, ReadFault, WriteFault};
+use crate::file::CheckpointFile;
+use crate::manifest::{manifest_path, render_manifest, ManifestEntry};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// What a [`CheckpointStore::load`] found.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// No checkpoint exists for the phase: compute it.
+    Missing,
+    /// A verified checkpoint: its payload records, trustworthy.
+    Loaded(Vec<Vec<u8>>),
+    /// A file exists but failed verification (corruption, fingerprint or
+    /// phase mismatch, version skew): report it and recompute. The file is
+    /// never partially used.
+    Rejected(CkptError),
+}
+
+/// Save/load access to one checkpoint directory, bound to one run's
+/// config fingerprint and input digest.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    config_fingerprint: u64,
+    input_digest: u64,
+    faults: FsFaultPlan,
+    degraded: bool,
+    dir_ready: bool,
+    entries: Vec<ManifestEntry>,
+}
+
+impl CheckpointStore {
+    /// A store over `dir` for the run identified by the two fingerprints.
+    /// The directory is created lazily on first save.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        config_fingerprint: u64,
+        input_digest: u64,
+    ) -> CheckpointStore {
+        CheckpointStore::with_faults(dir, config_fingerprint, input_digest, FsFaultPlan::none())
+    }
+
+    /// [`CheckpointStore::new`] with a filesystem fault-injection plan.
+    pub fn with_faults(
+        dir: impl Into<PathBuf>,
+        config_fingerprint: u64,
+        input_digest: u64,
+        faults: FsFaultPlan,
+    ) -> CheckpointStore {
+        CheckpointStore {
+            dir: dir.into(),
+            config_fingerprint,
+            input_digest,
+            faults,
+            degraded: false,
+            dir_ready: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The config fingerprint every file is stamped with.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    /// The input digest every file is stamped with.
+    pub fn input_digest(&self) -> u64 {
+        self.input_digest
+    }
+
+    /// True once a write failure has disabled checkpointing for the rest
+    /// of the run.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Canonical file name of a phase's checkpoint.
+    pub fn file_name(phase_id: u32, phase_name: &str) -> String {
+        format!("phase_{phase_id:02}_{phase_name}.ckpt")
+    }
+
+    /// Saves `records` as the checkpoint of `(phase_id, phase_name)`.
+    ///
+    /// Returns `Ok(true)` when a checkpoint was written, `Ok(false)` when
+    /// the store is degraded and skipped the write. The first `Err` both
+    /// reports the failure and flips the store into degraded mode, so a
+    /// caller sees at most one error — emit the warning there.
+    pub fn save(
+        &mut self,
+        phase_id: u32,
+        phase_name: &str,
+        records: Vec<Vec<u8>>,
+    ) -> Result<bool, CkptError> {
+        if self.degraded {
+            return Ok(false);
+        }
+        if let Err(e) = self.ensure_dir() {
+            self.degraded = true;
+            return Err(e);
+        }
+        let file = CheckpointFile {
+            phase_id,
+            config_fingerprint: self.config_fingerprint,
+            input_digest: self.input_digest,
+            records,
+        };
+        let mut encoded = file.encode();
+        let name = CheckpointStore::file_name(phase_id, phase_name);
+        let final_path = self.dir.join(&name);
+
+        match self.faults.next_write() {
+            Some(WriteFault::Enospc) => {
+                self.degraded = true;
+                return Err(CkptError::Io {
+                    op: "write",
+                    path: final_path,
+                    source: io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        "no space left on device (injected)",
+                    ),
+                });
+            }
+            Some(WriteFault::Torn) => {
+                // A non-atomic writer dying mid-write: the final name holds
+                // a prefix of the data and nobody is told. Load must catch
+                // this via the CRCs.
+                let half = &encoded[..encoded.len() / 2];
+                if let Err(source) = fs::write(&final_path, half) {
+                    self.degraded = true;
+                    return Err(CkptError::Io {
+                        op: "write",
+                        path: final_path,
+                        source,
+                    });
+                }
+                return Ok(true);
+            }
+            Some(WriteFault::BitFlip { bit }) => flip_bit(&mut encoded, bit),
+            None => {}
+        }
+
+        let file_crc = crate::crc::crc32(&encoded[..encoded.len() - 4]);
+        if let Err(e) = self.write_atomic(&final_path, &encoded) {
+            self.degraded = true;
+            return Err(e);
+        }
+        self.entries.retain(|e| e.phase_id != phase_id);
+        self.entries.push(ManifestEntry {
+            phase_id,
+            phase_name: phase_name.to_string(),
+            file_name: name,
+            bytes: encoded.len() as u64,
+            file_crc,
+        });
+        self.entries.sort_by_key(|e| e.phase_id);
+        let manifest = render_manifest(self.config_fingerprint, self.input_digest, &self.entries);
+        if let Err(e) = self.write_atomic(&manifest_path(&self.dir), manifest.as_bytes()) {
+            self.degraded = true;
+            return Err(e);
+        }
+        Ok(true)
+    }
+
+    /// Loads and verifies the checkpoint of `(phase_id, phase_name)`.
+    pub fn load(&mut self, phase_id: u32, phase_name: &str) -> LoadOutcome {
+        let path = self
+            .dir
+            .join(CheckpointStore::file_name(phase_id, phase_name));
+        let fault = self.faults.next_read();
+        let mut bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Missing,
+            Err(source) => {
+                return LoadOutcome::Rejected(CkptError::Io {
+                    op: "read",
+                    path,
+                    source,
+                })
+            }
+        };
+        match fault {
+            Some(ReadFault::Short) => bytes.truncate(bytes.len() / 2),
+            Some(ReadFault::BitFlip { bit }) => flip_bit(&mut bytes, bit),
+            None => {}
+        }
+        let file = match CheckpointFile::decode(&bytes, &path) {
+            Ok(file) => file,
+            Err(e) => return LoadOutcome::Rejected(e),
+        };
+        if file.phase_id != phase_id {
+            return LoadOutcome::Rejected(CkptError::Mismatch {
+                path,
+                detail: format!("phase id {} where {phase_id} was expected", file.phase_id),
+            });
+        }
+        if file.config_fingerprint != self.config_fingerprint {
+            return LoadOutcome::Rejected(CkptError::Mismatch {
+                path,
+                detail: format!(
+                    "config fingerprint {:#018x} does not match this run's {:#018x}",
+                    file.config_fingerprint, self.config_fingerprint
+                ),
+            });
+        }
+        if file.input_digest != self.input_digest {
+            return LoadOutcome::Rejected(CkptError::Mismatch {
+                path,
+                detail: format!(
+                    "input digest {:#018x} does not match this run's {:#018x}",
+                    file.input_digest, self.input_digest
+                ),
+            });
+        }
+        LoadOutcome::Loaded(file.records)
+    }
+
+    fn ensure_dir(&mut self) -> Result<(), CkptError> {
+        if self.dir_ready {
+            return Ok(());
+        }
+        fs::create_dir_all(&self.dir).map_err(|source| CkptError::Io {
+            op: "create dir",
+            path: self.dir.clone(),
+            source,
+        })?;
+        self.dir_ready = true;
+        Ok(())
+    }
+
+    /// Temp file in the same directory + `sync_all` + atomic rename.
+    fn write_atomic(&self, final_path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+        let file_name = final_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("checkpoint");
+        let tmp_path = self.dir.join(format!(".{file_name}.tmp"));
+        let io_err = |op: &'static str, path: &Path| {
+            let path = path.to_path_buf();
+            move |source: io::Error| CkptError::Io { op, path, source }
+        };
+        let mut tmp = fs::File::create(&tmp_path).map_err(io_err("create", &tmp_path))?;
+        tmp.write_all(bytes).map_err(io_err("write", &tmp_path))?;
+        tmp.sync_all().map_err(io_err("sync", &tmp_path))?;
+        drop(tmp);
+        fs::rename(&tmp_path, final_path).map_err(io_err("rename", final_path))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fc-ckpt-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn records() -> Vec<Vec<u8>> {
+        vec![b"payload".to_vec(), b"metrics".to_vec()]
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut store = CheckpointStore::new(&dir, 0xAA, 0xBB);
+        assert!(store.save(2, "coarsen", records()).expect("save works"));
+        match store.load(2, "coarsen") {
+            LoadOutcome::Loaded(recs) => assert_eq!(recs, records()),
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+        assert!(fs::read_to_string(manifest_path(&dir))
+            .expect("manifest written")
+            .contains("phase 02 coarsen"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_reported_as_missing() {
+        let dir = temp_dir("missing");
+        let mut store = CheckpointStore::new(&dir, 1, 2);
+        assert!(matches!(store.load(0, "preprocess"), LoadOutcome::Missing));
+    }
+
+    #[test]
+    fn wrong_fingerprints_are_rejected_not_loaded() {
+        let dir = temp_dir("fingerprint");
+        let mut writer = CheckpointStore::new(&dir, 0xA, 0xB);
+        writer.save(1, "alignment", records()).expect("save works");
+        let mut wrong_config = CheckpointStore::new(&dir, 0xDEAD, 0xB);
+        assert!(matches!(
+            wrong_config.load(1, "alignment"),
+            LoadOutcome::Rejected(CkptError::Mismatch { .. })
+        ));
+        let mut wrong_input = CheckpointStore::new(&dir, 0xA, 0xDEAD);
+        assert!(matches!(
+            wrong_input.load(1, "alignment"),
+            LoadOutcome::Rejected(CkptError::Mismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_is_detected_at_load_time() {
+        let dir = temp_dir("torn");
+        let plan = FsFaultPlan::none().fail_write(0, WriteFault::Torn);
+        let mut store = CheckpointStore::with_faults(&dir, 1, 2, plan);
+        assert!(store.save(3, "hybrid", records()).expect("torn write reports success"));
+        assert!(matches!(
+            store.load(3, "hybrid"),
+            LoadOutcome::Rejected(CkptError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_write_is_detected_at_load_time() {
+        let dir = temp_dir("bitflip");
+        let plan = FsFaultPlan::none().fail_write(0, WriteFault::BitFlip { bit: 123 });
+        let mut store = CheckpointStore::with_faults(&dir, 1, 2, plan);
+        assert!(store.save(0, "preprocess", records()).expect("save works"));
+        assert!(matches!(
+            store.load(0, "preprocess"),
+            LoadOutcome::Rejected(CkptError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_and_bit_flipped_reads_are_detected() {
+        let dir = temp_dir("readfault");
+        let plan = FsFaultPlan::none()
+            .fail_read(0, ReadFault::Short)
+            .fail_read(1, ReadFault::BitFlip { bit: 999 });
+        let mut store = CheckpointStore::with_faults(&dir, 1, 2, plan);
+        store.save(4, "partition", records()).expect("save works");
+        for _ in 0..2 {
+            assert!(matches!(
+                store.load(4, "partition"),
+                LoadOutcome::Rejected(CkptError::Corrupt { .. })
+            ));
+        }
+        // Third read has no fault: the file on disk was always good.
+        assert!(matches!(store.load(4, "partition"), LoadOutcome::Loaded(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_degrades_the_store_and_later_saves_are_skipped() {
+        let dir = temp_dir("enospc");
+        let plan = FsFaultPlan::none().fail_write(0, WriteFault::Enospc);
+        let mut store = CheckpointStore::with_faults(&dir, 1, 2, plan);
+        let err = store.save(0, "preprocess", records()).expect_err("ENOSPC surfaces");
+        assert!(err.to_string().contains("space"));
+        assert!(store.is_degraded());
+        // Degraded: silently skipped, no second error.
+        assert!(!store.save(1, "alignment", records()).expect("skip is Ok(false)"));
+        assert!(matches!(store.load(1, "alignment"), LoadOutcome::Missing));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_directory_degrades_on_first_save() {
+        let dir = PathBuf::from("/proc/fc-ckpt-cannot-exist/x");
+        let mut store = CheckpointStore::new(&dir, 1, 2);
+        assert!(store.save(0, "preprocess", records()).is_err());
+        assert!(store.is_degraded());
+        assert!(!store.save(1, "alignment", records()).expect("degraded skip"));
+    }
+
+    #[test]
+    fn resave_replaces_the_manifest_entry() {
+        let dir = temp_dir("resave");
+        let mut store = CheckpointStore::new(&dir, 1, 2);
+        store.save(0, "preprocess", records()).expect("save");
+        store.save(0, "preprocess", records()).expect("resave");
+        let manifest = fs::read_to_string(manifest_path(&dir)).expect("manifest");
+        assert_eq!(manifest.matches("phase 00").count(), 1);
+        assert!(manifest.contains("checkpoints = 1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

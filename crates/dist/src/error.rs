@@ -26,7 +26,7 @@ pub enum DistError {
     },
     /// Every rank died (or was presumed dead) before a phase could finish —
     /// there is nobody left to re-run the lost work on.
-    NoSurvivors {
+    AllRanksDead {
         /// Phase in which the cluster was lost.
         phase: PhaseId,
     },
@@ -46,6 +46,10 @@ pub enum DistError {
     /// Traversal produced paths that do not cover the live graph exactly
     /// once — the pipeline's structural post-condition was violated.
     PathCoverViolation(String),
+    /// A loaded checkpoint passed its integrity checks but is inconsistent
+    /// with the run being resumed (wrong rank count, missing traversal
+    /// paths, ...). The caller should discard it and recompute.
+    InvalidCheckpoint(String),
 }
 
 impl fmt::Display for DistError {
@@ -58,7 +62,7 @@ impl fmt::Display for DistError {
             DistError::PartitionIdOutOfRange { id, k } => {
                 write!(f, "partition id {id} out of range for k = {k}")
             }
-            DistError::NoSurvivors { phase } => {
+            DistError::AllRanksDead { phase } => {
                 write!(
                     f,
                     "all ranks lost during {}; nothing left to recover on",
@@ -77,6 +81,9 @@ impl fmt::Display for DistError {
             DistError::PathCoverViolation(m) => {
                 write!(f, "traversal post-condition violated: {m}")
             }
+            DistError::InvalidCheckpoint(m) => {
+                write!(f, "checkpoint inconsistent with this run: {m}")
+            }
         }
     }
 }
@@ -94,7 +101,7 @@ mod tests {
             expected: 5,
         };
         assert_eq!(e.to_string(), "partition length 3 != hybrid node count 5");
-        let e = DistError::NoSurvivors {
+        let e = DistError::AllRanksDead {
             phase: PhaseId::ErrorRemoval,
         };
         assert!(e.to_string().contains("error_removal"));

@@ -134,6 +134,22 @@ impl FaultPlan {
         }])
     }
 
+    /// Convenience: simultaneous crashes of several ranks in one phase —
+    /// the multi-rank failure scenario (correlated power or switch loss
+    /// taking out several nodes at once).
+    pub fn crashes(phase: PhaseId, ranks: &[usize]) -> FaultPlan {
+        FaultPlan::new(
+            ranks
+                .iter()
+                .map(|&rank| FaultEvent {
+                    phase,
+                    rank,
+                    kind: FaultKind::Crash,
+                })
+                .collect(),
+        )
+    }
+
     /// Convenience: `count` consecutive message drops at `(phase, rank)`.
     pub fn message_drops(phase: PhaseId, rank: usize, count: u32) -> FaultPlan {
         FaultPlan::new(vec![FaultEvent {
@@ -396,6 +412,44 @@ pub struct FaultReport {
     /// True when at least one rank was lost for good — the pipeline
     /// finished on a reduced cluster.
     pub degraded: bool,
+}
+
+impl fc_ckpt::Codec for PhaseId {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u32(self.index() as u32);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<PhaseId, fc_ckpt::CkptError> {
+        let idx = r.u32()? as usize;
+        PhaseId::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| fc_ckpt::CkptError::Decode {
+                detail: format!("invalid PhaseId index {idx}"),
+            })
+    }
+}
+
+impl fc_ckpt::Codec for FaultReport {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u32(self.crashes);
+        w.put_u32(self.retries);
+        w.put_u64(self.retransmitted_bytes);
+        w.put_u32(self.speculative_reexecutions);
+        w.put_f64(self.recovery_time);
+        self.degraded.encode(w);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<FaultReport, fc_ckpt::CkptError> {
+        Ok(FaultReport {
+            crashes: r.u32()?,
+            retries: r.u32()?,
+            retransmitted_bytes: r.u64()?,
+            speculative_reexecutions: r.u32()?,
+            recovery_time: r.f64()?,
+            degraded: bool::decode(r)?,
+        })
+    }
 }
 
 /// SplitMix64 step mapped to `[0, 1)` — the plan generator's only source of

@@ -16,6 +16,8 @@
 //! * [`fault`] — deterministic fault-injection plans and the retry/backoff
 //!   policy (seeded, reproducible),
 //! * [`error`] — typed errors of the distributed stage,
+//! * [`checkpoint`] — phase-boundary checkpoint hooks ([`DistPhaseState`],
+//!   the [`DistCheckpoint`] trait) for durable crash/resume,
 //! * [`recovery`] — phase-level recovery: reassign dead ranks' partitions
 //!   and re-invoke the pure worker scans on survivors,
 //! * [`transitive`] — distributed transitive edge reduction (§V-A, Myers),
@@ -30,6 +32,7 @@
 //! * [`variants`] — distributed variant detection, the extension the
 //!   paper's discussion (§VI-D) proposes as future work.
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod driver;
 pub mod error;
@@ -49,7 +52,8 @@ pub mod errors {
     pub use crate::error_removal::*;
 }
 
-pub use cluster::{CostModel, PhaseTiming, SimCluster};
+pub use checkpoint::{DistCheckpoint, DistPhaseState, NoCheckpoint};
+pub use cluster::{ClusterState, CostModel, PhaseTiming, SimCluster};
 pub use driver::{DistributedConfig, DistributedHybrid, DistributedReport};
 pub use error::DistError;
 pub use recovery::{execute_phase, execute_phase_obs, PhaseExecution};

@@ -39,7 +39,7 @@ pub struct PhaseExecution<T> {
 /// `scan(p, &mut work)` runs partition `p`'s worker scan and must be pure
 /// over the current graph state; `payload_of` sizes the result message.
 /// Partitions owned by already-dead ranks are adopted round-robin by the
-/// survivors. Returns [`DistError::NoSurvivors`] when every rank is lost
+/// survivors. Returns [`DistError::AllRanksDead`] when every rank is lost
 /// before all results reach the master.
 ///
 /// The initial fan-out runs the scans on `pool` — the same purity that
@@ -86,7 +86,7 @@ pub fn execute_phase_obs<T: Send>(
     // survivor chosen round-robin (deterministic in rank order).
     let adopters = cluster.alive_ranks();
     if adopters.is_empty() {
-        return Err(DistError::NoSurvivors { phase });
+        return Err(DistError::AllRanksDead { phase });
     }
     let executor: Vec<usize> = (0..partitions)
         .map(|p| {
@@ -170,7 +170,7 @@ pub fn execute_phase_obs<T: Send>(
     while let Some(p) = pending.first().copied() {
         pending.remove(0);
         let Some(survivor) = cluster.least_loaded_alive(None) else {
-            return Err(DistError::NoSurvivors { phase });
+            return Err(DistError::AllRanksDead { phase });
         };
         let wait_from = cluster.clock(survivor);
         cluster.advance_to(survivor, deadline);
@@ -328,6 +328,48 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_multi_rank_crashes_recover_on_the_survivors() {
+        let plan = FaultPlan::crashes(PhaseId::TransitiveReduction, &[1, 2, 3]);
+        let mut c = SimCluster::with_faults(4, flat_cost(), plan, RetryPolicy::default()).unwrap();
+        let run = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::TransitiveReduction,
+            4,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap();
+        // All three dead ranks' partitions are re-scanned on the lone
+        // survivor; results stay complete and in partition order.
+        assert_eq!(run.results, vec![0, 1, 2, 3]);
+        assert_eq!(c.alive_count(), 1);
+        assert_eq!(c.fault_report().crashes, 3);
+        assert!(c.fault_report().recovery_time > 0.0);
+    }
+
+    #[test]
+    fn every_rank_crashing_simultaneously_is_all_ranks_dead() {
+        let plan = FaultPlan::crashes(PhaseId::ErrorRemoval, &[0, 1, 2, 3]);
+        let mut c = SimCluster::with_faults(4, flat_cost(), plan, RetryPolicy::default()).unwrap();
+        let err = execute_phase(
+            &mut c,
+            &Pool::serial(),
+            PhaseId::ErrorRemoval,
+            4,
+            id_scan,
+            |_| 8,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::AllRanksDead {
+                phase: PhaseId::ErrorRemoval
+            }
+        );
+    }
+
+    #[test]
     fn losing_every_rank_is_a_typed_error() {
         let plan = FaultPlan::single_crash(PhaseId::Traversal, 0);
         let mut c = SimCluster::with_faults(1, flat_cost(), plan, RetryPolicy::default()).unwrap();
@@ -342,7 +384,7 @@ mod tests {
         .unwrap_err();
         assert_eq!(
             err,
-            DistError::NoSurvivors {
+            DistError::AllRanksDead {
                 phase: PhaseId::Traversal
             }
         );

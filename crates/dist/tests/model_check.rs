@@ -11,7 +11,7 @@
 //! 1. **Exactly-once, in-order gather** — an `Ok` outcome carries exactly
 //!    one result per partition, equal to the pure scan's output; recovery
 //!    re-execution is invisible to the master.
-//! 2. **No false aliveness** — `Err(NoSurvivors)` is returned iff every
+//! 2. **No false aliveness** — `Err(AllRanksDead)` is returned iff every
 //!    rank has been lost; the protocol never claims success with results
 //!    missing and never gives up while a survivor remains.
 //! 3. **Determinism** — identical `(plan, policy)` re-runs are
@@ -119,7 +119,7 @@ fn run_schedule_pooled(phase: PhaseId, plan: &FaultPlan, pool: &Pool) -> RunOutc
         }
         Err(e) => {
             assert!(
-                matches!(e, DistError::NoSurvivors { .. }),
+                matches!(e, DistError::AllRanksDead { .. }),
                 "unexpected failure mode {e:?} (plan {:?})",
                 plan.events()
             );

@@ -1,0 +1,698 @@
+//! Durable checkpoint/resume for the whole pipeline (§II + §IV + §V).
+//!
+//! [`FocusAssembler::assemble_with_checkpoints`] runs the same nine-phase
+//! pipeline as [`assemble`](FocusAssembler::assemble) but persists a
+//! verified checkpoint after every phase boundary through
+//! [`fc_ckpt::CheckpointStore`]: read preprocessing, alignment, multilevel
+//! coarsening, hybrid-set construction, partitioning, and each of the four
+//! distributed phases. A later run pointed at the same directory with
+//! [`CheckpointOptions::resume`] skips every phase whose checkpoint
+//! verifies — per-record and whole-file CRCs, format version, config
+//! fingerprint and input digest all have to match, otherwise the phase is
+//! recomputed and the rejection counted under `ckpt.rejected`. Loaded
+//! state is *never* trusted silently.
+//!
+//! ## Determinism contract
+//!
+//! Every phase of the pipeline is deterministic given its inputs, so a run
+//! resumed from any phase boundary produces bit-identical contigs, paths
+//! and fault reports to an uninterrupted run — the chaos harness
+//! (`tests/chaos.rs`) kills and resumes at every boundary and byte-compares
+//! the outputs. Metrics travel with the state: each checkpoint embeds the
+//! cumulative metrics snapshot (minus `sched.*`/`ckpt.*`) at its phase
+//! boundary, and loading a checkpoint restores it, so logical-clock
+//! snapshots are byte-identical too.
+//!
+//! ## Degradation contract
+//!
+//! Checkpointing must never take an assembly down with it. The first write
+//! failure (unwritable directory, disk full — injected or real) emits one
+//! `ckpt.degraded` observability event, disables all further checkpoint
+//! writes, and the assembly finishes normally.
+
+use crate::config::{FocusConfig, FocusError};
+use crate::pipeline::{dedup_reverse_complements, path_contig, AssemblyResult, FocusAssembler};
+use crate::stats::{AssemblyStats, PipelineProfile};
+use fc_align::{Overlap, Overlapper, PairStats, Pool};
+use fc_ckpt::{
+    decode_from_slice, encode_to_vec, CheckpointStore, Codec, FsFaultPlan, LoadOutcome,
+};
+use fc_dist::{DistCheckpoint, DistPhaseState, DistributedHybrid, FaultPlan, PhaseId};
+use fc_graph::{HybridSet, MultilevelSet, OverlapGraph};
+use fc_obs::{MetricsSnapshot, ObsOptions, Recorder};
+use fc_partition::{partition_graph_set_obs, PartitionConfig, PartitionResult};
+use fc_seq::{Read, ReadStore};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The nine checkpointed phase boundaries of the pipeline, in execution
+/// order. The discriminant doubles as the on-disk phase id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptPhase {
+    /// §II-A read trimming and strand augmentation.
+    Preprocess,
+    /// §II-B parallel overlap detection and verification.
+    Alignment,
+    /// §II-C multilevel coarsening.
+    Coarsen,
+    /// §II-D hybrid graph-set construction.
+    Hybrid,
+    /// §IV multi-constraint partitioning.
+    Partition,
+    /// §V distributed transitive reduction.
+    DistTransitiveReduction,
+    /// §V distributed containment removal.
+    DistContainmentRemoval,
+    /// §V distributed error-node removal.
+    DistErrorRemoval,
+    /// §V distributed maximal-path traversal.
+    DistTraversal,
+}
+
+impl CkptPhase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [CkptPhase; 9] = [
+        CkptPhase::Preprocess,
+        CkptPhase::Alignment,
+        CkptPhase::Coarsen,
+        CkptPhase::Hybrid,
+        CkptPhase::Partition,
+        CkptPhase::DistTransitiveReduction,
+        CkptPhase::DistContainmentRemoval,
+        CkptPhase::DistErrorRemoval,
+        CkptPhase::DistTraversal,
+    ];
+
+    /// Stable on-disk phase id (position in [`CkptPhase::ALL`]).
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    /// Stable snake_case name, used in checkpoint file names, the manifest
+    /// and the CLI's `--crash-after` option.
+    pub fn name(self) -> &'static str {
+        match self {
+            CkptPhase::Preprocess => "preprocess",
+            CkptPhase::Alignment => "alignment",
+            CkptPhase::Coarsen => "coarsen",
+            CkptPhase::Hybrid => "hybrid",
+            CkptPhase::Partition => "partition",
+            CkptPhase::DistTransitiveReduction => "dist_transitive_reduction",
+            CkptPhase::DistContainmentRemoval => "dist_containment_removal",
+            CkptPhase::DistErrorRemoval => "dist_error_removal",
+            CkptPhase::DistTraversal => "dist_traversal",
+        }
+    }
+
+    /// Parses a [`CkptPhase::name`] back into the phase.
+    pub fn parse(text: &str) -> Option<CkptPhase> {
+        CkptPhase::ALL.iter().copied().find(|p| p.name() == text)
+    }
+
+    /// The checkpoint phase of a distributed-stage phase.
+    pub fn from_dist(phase: PhaseId) -> CkptPhase {
+        match phase {
+            PhaseId::TransitiveReduction => CkptPhase::DistTransitiveReduction,
+            PhaseId::ContainmentRemoval => CkptPhase::DistContainmentRemoval,
+            PhaseId::ErrorRemoval => CkptPhase::DistErrorRemoval,
+            PhaseId::Traversal => CkptPhase::DistTraversal,
+        }
+    }
+}
+
+/// Checkpointing knobs for one assembly run. Lives outside [`FocusConfig`]
+/// (which stays `Copy` and is what the config fingerprint covers) because
+/// where checkpoints are stored must not change what is computed.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointOptions {
+    /// Checkpoint directory; `None` disables checkpointing entirely.
+    pub dir: Option<PathBuf>,
+    /// Try to load existing checkpoints before computing each phase.
+    pub resume: bool,
+    /// Deterministic filesystem fault injection for the chaos harness.
+    pub fs_faults: FsFaultPlan,
+    /// Stop the run right after this phase's checkpoint is written — the
+    /// chaos harness's deterministic stand-in for "the process died here".
+    pub stop_after: Option<CkptPhase>,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints under `dir`, no resume, no faults, no stop.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> CheckpointOptions {
+        CheckpointOptions {
+            dir: Some(dir.into()),
+            ..CheckpointOptions::default()
+        }
+    }
+}
+
+/// What [`FocusAssembler::assemble_with_checkpoints`] produced.
+#[derive(Debug, Clone)]
+pub enum AssemblyOutcome {
+    /// The pipeline ran to the end.
+    Completed(AssemblyResult),
+    /// The run stopped right after checkpointing this phase, as requested
+    /// by [`CheckpointOptions::stop_after`].
+    Stopped(CkptPhase),
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv64(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a fingerprint of every configuration field that changes what the
+/// pipeline computes. `threads` and `observability` are normalised away:
+/// results are bit-identical at any thread count and metrics are carried
+/// inside the checkpoints, so neither invalidates saved state.
+pub fn config_fingerprint(config: &FocusConfig) -> u64 {
+    let mut canonical = *config;
+    canonical.threads = 0;
+    canonical.observability = ObsOptions::default();
+    let mut h = FNV_OFFSET;
+    fnv64(&mut h, format!("{canonical:?}").as_bytes());
+    h
+}
+
+/// FNV-1a digest of the input read set: names, bases and quality scores,
+/// in order. Checkpoints from a different input never resume this run.
+pub fn input_digest(reads: &[Read]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv64(&mut h, &(reads.len() as u64).to_le_bytes());
+    for read in reads {
+        fnv64(&mut h, read.name.as_bytes());
+        fnv64(&mut h, &[0xFF]);
+        fnv64(&mut h, &read.seq.to_ascii());
+        match &read.qual {
+            Some(q) => {
+                fnv64(&mut h, &[0xFE]);
+                fnv64(&mut h, q.as_slice());
+            }
+            None => fnv64(&mut h, &[0xFD]),
+        }
+    }
+    h
+}
+
+/// Record 1 of every checkpoint: the cumulative deterministic metrics at
+/// this phase boundary (scheduling- and checkpoint-lifecycle metrics
+/// excluded, exactly like a logical snapshot).
+fn metrics_record(rec: &Recorder) -> Vec<u8> {
+    rec.snapshot()
+        .without_scheduling()
+        .without_checkpointing()
+        .to_json()
+        .into_bytes()
+}
+
+/// Restores an embedded metrics snapshot into the run's recorder. Returns
+/// `false` when the blob does not parse — the checkpoint is then rejected
+/// as a whole.
+fn restore_metrics_record(rec: &Recorder, bytes: &[u8]) -> bool {
+    if !rec.is_enabled() {
+        return true;
+    }
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return false;
+    };
+    match MetricsSnapshot::from_json(text) {
+        Ok(snapshot) => {
+            rec.restore_metrics(&snapshot);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn reject(rec: &Recorder, phase: CkptPhase) {
+    rec.add("ckpt.rejected", 1);
+    rec.instant("ckpt", "ckpt.rejected", &[("phase", i64::from(phase.id()))]);
+}
+
+/// Payload (record 0) + metrics (record 1) decode of a verified
+/// checkpoint. Any shape or decode failure rejects the whole file.
+fn decode_records<T: Codec>(rec: &Recorder, records: &[Vec<u8>]) -> Option<T> {
+    if records.len() != 2 {
+        return None;
+    }
+    let value = decode_from_slice::<T>(&records[0]).ok()?;
+    restore_metrics_record(rec, &records[1]).then_some(value)
+}
+
+/// Loads one phase's checkpoint: `Some(payload)` only when the file
+/// exists, verifies, and decodes; every other outcome means "recompute".
+fn load_phase<T: Codec>(
+    store: &mut Option<CheckpointStore>,
+    rec: &Recorder,
+    resume: bool,
+    phase: CkptPhase,
+) -> Option<T> {
+    if !resume {
+        return None;
+    }
+    let store = store.as_mut()?;
+    match store.load(phase.id(), phase.name()) {
+        LoadOutcome::Missing => None,
+        LoadOutcome::Rejected(_) => {
+            reject(rec, phase);
+            None
+        }
+        LoadOutcome::Loaded(records) => match decode_records(rec, &records) {
+            Some(value) => {
+                rec.add("ckpt.loaded", 1);
+                rec.instant("ckpt", "ckpt.loaded", &[("phase", i64::from(phase.id()))]);
+                Some(value)
+            }
+            None => {
+                reject(rec, phase);
+                None
+            }
+        },
+    }
+}
+
+/// Saves one phase's checkpoint. A write failure degrades the store (all
+/// later saves become no-ops) and emits exactly one `ckpt.degraded` event;
+/// the assembly itself continues either way.
+fn save_phase<T: Codec>(
+    store: &mut Option<CheckpointStore>,
+    rec: &Recorder,
+    phase: CkptPhase,
+    value: &T,
+) {
+    let Some(store) = store.as_mut() else {
+        return;
+    };
+    let records = vec![encode_to_vec(value), metrics_record(rec)];
+    match store.save(phase.id(), phase.name(), records) {
+        Ok(true) => rec.add("ckpt.saved", 1),
+        Ok(false) => {}
+        Err(_) => {
+            rec.add("ckpt.degraded", 1);
+            rec.instant("ckpt", "ckpt.degraded", &[("phase", i64::from(phase.id()))]);
+        }
+    }
+}
+
+/// Adapter wiring the distributed driver's phase boundaries
+/// ([`fc_dist::DistCheckpoint`]) into the run's [`CheckpointStore`].
+struct StoreDistCheckpoint<'a> {
+    store: &'a mut Option<CheckpointStore>,
+    rec: &'a Recorder,
+    resume: bool,
+    stop_after: Option<CkptPhase>,
+    stopped_at: Option<CkptPhase>,
+}
+
+impl DistCheckpoint for StoreDistCheckpoint<'_> {
+    fn load(&mut self) -> Option<(PhaseId, DistPhaseState)> {
+        if !self.resume {
+            return None;
+        }
+        // Latest distributed phase wins; earlier ones are subsumed.
+        for &dist_phase in PhaseId::ALL.iter().rev() {
+            let phase = CkptPhase::from_dist(dist_phase);
+            if let Some(state) = load_phase::<DistPhaseState>(self.store, self.rec, true, phase) {
+                return Some((dist_phase, state));
+            }
+        }
+        None
+    }
+
+    fn save(&mut self, dist_phase: PhaseId, state: &DistPhaseState) -> bool {
+        let phase = CkptPhase::from_dist(dist_phase);
+        save_phase(self.store, self.rec, phase, state);
+        if self.stop_after == Some(phase) {
+            self.stopped_at = Some(phase);
+            return false;
+        }
+        true
+    }
+}
+
+impl FocusAssembler {
+    /// The full pipeline with durable checkpoints at every phase boundary.
+    ///
+    /// Behaves exactly like [`assemble`](FocusAssembler::assemble) — same
+    /// contigs, same report, bit for bit — plus:
+    ///
+    /// * with [`CheckpointOptions::dir`] set, a verified checkpoint is
+    ///   written atomically after each phase (temp file + `sync` + rename);
+    /// * with [`CheckpointOptions::resume`], phases whose checkpoints
+    ///   verify are skipped and their embedded metrics restored; anything
+    ///   corrupt, mismatched or missing is recomputed;
+    /// * with [`CheckpointOptions::stop_after`], the run stops right after
+    ///   that phase's checkpoint — the chaos harness's crash point.
+    pub fn assemble_with_checkpoints(
+        &self,
+        reads: &[Read],
+        opts: &CheckpointOptions,
+    ) -> Result<AssemblyOutcome, FocusError> {
+        let run_started = Instant::now();
+        let rec = self.recorder();
+        let config = *self.config();
+        let _span = rec.span_args(
+            "pipeline",
+            "pipeline.assemble_checkpointed",
+            &[("reads", reads.len() as i64)],
+        );
+        let mut store = opts.dir.as_ref().map(|dir| {
+            CheckpointStore::with_faults(
+                dir.clone(),
+                config_fingerprint(&config),
+                input_digest(reads),
+                opts.fs_faults.clone(),
+            )
+        });
+        let resume = opts.resume;
+        let mut profile = PipelineProfile::default();
+        let pool = Pool::new(config.threads);
+
+        let store_reads = match load_phase::<ReadStore>(&mut store, rec, resume, CkptPhase::Preprocess)
+        {
+            Some(s) => s,
+            None => {
+                let s = ReadStore::preprocess(reads, &config.trim)?;
+                if s.is_empty() {
+                    return Err(FocusError::EmptyInput);
+                }
+                if rec.is_enabled() {
+                    rec.add("pipeline.reads_in", reads.len() as u64);
+                    rec.add("pipeline.reads_kept", s.len() as u64);
+                }
+                save_phase(&mut store, rec, CkptPhase::Preprocess, &s);
+                s
+            }
+        };
+        if opts.stop_after == Some(CkptPhase::Preprocess) {
+            return Ok(AssemblyOutcome::Stopped(CkptPhase::Preprocess));
+        }
+
+        type AlignmentCkpt = (Vec<Overlap>, Vec<(usize, usize, PairStats)>);
+        let (overlaps, _pair_stats) =
+            match load_phase::<AlignmentCkpt>(&mut store, rec, resume, CkptPhase::Alignment) {
+                Some(v) => v,
+                None => {
+                    let overlapper = Overlapper::new(&store_reads, config.overlap)?;
+                    let subsets = store_reads.split_subsets(config.subsets);
+                    let started = Instant::now();
+                    let out = overlapper.overlap_all_obs(&subsets, &pool, rec);
+                    let s = subsets.len();
+                    profile.record(
+                        "alignment",
+                        started.elapsed(),
+                        s + s * (s + 1) / 2,
+                        pool.threads(),
+                    );
+                    save_phase(&mut store, rec, CkptPhase::Alignment, &out);
+                    out
+                }
+            };
+        if opts.stop_after == Some(CkptPhase::Alignment) {
+            return Ok(AssemblyOutcome::Stopped(CkptPhase::Alignment));
+        }
+
+        // The level-0 overlap graph is cheap and fully determined by the
+        // store and the overlaps, so it is always rebuilt, never stored.
+        let graph = OverlapGraph::build(&store_reads, &overlaps);
+
+        let multilevel =
+            match load_phase::<MultilevelSet>(&mut store, rec, resume, CkptPhase::Coarsen) {
+                Some(m) => m,
+                None => {
+                    let m =
+                        MultilevelSet::build_obs(graph.undirected.clone(), &config.coarsen, rec);
+                    save_phase(&mut store, rec, CkptPhase::Coarsen, &m);
+                    m
+                }
+            };
+        if opts.stop_after == Some(CkptPhase::Coarsen) {
+            return Ok(AssemblyOutcome::Stopped(CkptPhase::Coarsen));
+        }
+
+        let hybrid = match load_phase::<HybridSet>(&mut store, rec, resume, CkptPhase::Hybrid) {
+            Some(h) => h,
+            None => {
+                let h = HybridSet::build_obs(&multilevel, &graph, &store_reads, &config.layout, rec);
+                save_phase(&mut store, rec, CkptPhase::Hybrid, &h);
+                h
+            }
+        };
+        if opts.stop_after == Some(CkptPhase::Hybrid) {
+            return Ok(AssemblyOutcome::Stopped(CkptPhase::Hybrid));
+        }
+
+        let partition =
+            match load_phase::<PartitionResult>(&mut store, rec, resume, CkptPhase::Partition) {
+                Some(p) => p,
+                None => {
+                    let started = Instant::now();
+                    let p = partition_graph_set_obs(
+                        &hybrid.set,
+                        &PartitionConfig::new(config.partitions, config.partition_seed)
+                            .with_threads(config.threads),
+                        rec,
+                    )?;
+                    profile.record("partition", started.elapsed(), p.tasks.len(), pool.threads());
+                    save_phase(&mut store, rec, CkptPhase::Partition, &p);
+                    p
+                }
+            };
+        if opts.stop_after == Some(CkptPhase::Partition) {
+            return Ok(AssemblyOutcome::Stopped(CkptPhase::Partition));
+        }
+
+        let k = config.partitions;
+        let parts = partition.finest().to_vec();
+        let mut dh = if config.consensus {
+            DistributedHybrid::with_consensus(&hybrid, &store_reads, parts, k)
+        } else {
+            DistributedHybrid::new(&hybrid, &store_reads, parts, k)
+        }?;
+        let plan = match &config.fault {
+            Some(inj) => FaultPlan::random(inj.seed, k, &inj.rates),
+            None => FaultPlan::none(),
+        };
+        let mut dist_config = config.dist;
+        dist_config.threads = config.threads;
+        let mut ckpt = StoreDistCheckpoint {
+            store: &mut store,
+            rec,
+            resume,
+            stop_after: opts.stop_after,
+            stopped_at: None,
+        };
+        let started = Instant::now();
+        let Some(report) = dh.run_with_faults_ckpt_obs(&dist_config, plan, rec, &mut ckpt)? else {
+            let phase = ckpt.stopped_at.ok_or(FocusError::Stage {
+                stage: "distributed",
+                message: "the distributed stage stopped without a crash point".to_string(),
+            })?;
+            return Ok(AssemblyOutcome::Stopped(phase));
+        };
+        profile.record("distributed", started.elapsed(), 4 * k, pool.threads());
+
+        let mut contigs = Vec::with_capacity(report.paths.len());
+        for p in &report.paths {
+            contigs.push(path_contig(&dh, p)?);
+        }
+        if config.dedup_rc {
+            contigs = dedup_reverse_complements(contigs);
+        }
+        let stats = AssemblyStats::from_contigs(&contigs);
+        if rec.is_enabled() {
+            rec.add("pipeline.contigs", contigs.len() as u64);
+            rec.gauge("pipeline.n50", stats.n50 as i64);
+            rec.gauge("pipeline.total_bases", stats.total_bases as i64);
+        }
+        profile.run_wall = run_started.elapsed();
+        Ok(AssemblyOutcome::Completed(AssemblyResult {
+            contigs,
+            stats,
+            partition,
+            report,
+            profile,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::{Base, DnaString};
+
+    fn genome(len: usize, seed: u64) -> DnaString {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Base::from_code((state >> 5) as u8 & 3)
+            })
+            .collect()
+    }
+
+    fn tiled_reads(genome: &DnaString, read_len: usize, stride: usize) -> Vec<Read> {
+        let mut reads = Vec::new();
+        let mut start = 0;
+        while start + read_len <= genome.len() {
+            reads.push(Read::new(
+                format!("r{start}"),
+                genome.slice(start, start + read_len),
+            ));
+            start += stride;
+        }
+        reads
+    }
+
+    fn quick_config(k: usize) -> FocusConfig {
+        let mut c = FocusConfig {
+            partitions: k,
+            ..Default::default()
+        };
+        c.trim.min_read_len = 30;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fc-focus-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn completed(outcome: AssemblyOutcome) -> AssemblyResult {
+        match outcome {
+            AssemblyOutcome::Completed(r) => r,
+            AssemblyOutcome::Stopped(p) => panic!("unexpected stop after {p:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_ids_are_their_position_in_all() {
+        for (i, phase) in CkptPhase::ALL.iter().enumerate() {
+            assert_eq!(phase.id() as usize, i);
+            assert_eq!(CkptPhase::parse(phase.name()), Some(*phase));
+        }
+        assert_eq!(CkptPhase::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn fingerprints_ignore_threads_and_observability_but_not_parameters() {
+        let mut a = quick_config(4);
+        let mut b = quick_config(4);
+        b.threads = 7;
+        b.observability = ObsOptions::logical();
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        a.overlap.min_overlap_len += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn input_digest_sees_names_bases_and_qualities() {
+        let g = genome(300, 1);
+        let reads = tiled_reads(&g, 100, 50);
+        let base = input_digest(&reads);
+        let mut renamed = reads.clone();
+        renamed[0].name.push('x');
+        assert_ne!(input_digest(&renamed), base);
+        let mut requalified = reads.clone();
+        requalified[0].qual = Some(fc_seq::QualityScores::from_phred(vec![30; 100]));
+        assert_ne!(input_digest(&requalified), base);
+        assert_eq!(input_digest(&reads), base);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_assemble() {
+        let g = genome(2500, 23);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(4)).unwrap();
+        let plain = assembler.assemble(&reads).unwrap();
+        let dir = temp_dir("match-plain");
+        let opts = CheckpointOptions::in_dir(&dir);
+        let ckpt = completed(assembler.assemble_with_checkpoints(&reads, &opts).unwrap());
+        assert_eq!(ckpt.contigs, plain.contigs);
+        assert_eq!(ckpt.report.paths, plain.report.paths);
+        // All nine phases checkpointed + a manifest.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, CkptPhase::ALL.len() + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_and_resume_at_every_phase_is_bit_identical() {
+        let g = genome(2500, 29);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(4)).unwrap();
+        let clean = assembler.assemble(&reads).unwrap();
+        for &phase in &CkptPhase::ALL {
+            let dir = temp_dir(phase.name());
+            let mut opts = CheckpointOptions::in_dir(&dir);
+            opts.stop_after = Some(phase);
+            match assembler.assemble_with_checkpoints(&reads, &opts).unwrap() {
+                AssemblyOutcome::Stopped(p) => assert_eq!(p, phase),
+                AssemblyOutcome::Completed(_) => panic!("{} did not stop", phase.name()),
+            }
+            opts.stop_after = None;
+            opts.resume = true;
+            let resumed = completed(assembler.assemble_with_checkpoints(&reads, &opts).unwrap());
+            assert_eq!(resumed.contigs, clean.contigs, "after {}", phase.name());
+            assert_eq!(resumed.report.paths, clean.report.paths);
+            assert_eq!(resumed.report.fault, clean.report.fault);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn resume_without_checkpoints_just_runs() {
+        let g = genome(2000, 31);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(2)).unwrap();
+        let dir = temp_dir("cold-resume");
+        let mut opts = CheckpointOptions::in_dir(&dir);
+        opts.resume = true;
+        let result = completed(assembler.assemble_with_checkpoints(&reads, &opts).unwrap());
+        assert!(!result.contigs.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_dir_means_no_checkpoint_io() {
+        let g = genome(2000, 37);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(2)).unwrap();
+        let plain = assembler.assemble(&reads).unwrap();
+        let opts = CheckpointOptions::default();
+        let result = completed(assembler.assemble_with_checkpoints(&reads, &opts).unwrap());
+        assert_eq!(result.contigs, plain.contigs);
+    }
+
+    #[test]
+    fn unwritable_dir_degrades_but_the_assembly_finishes() {
+        let g = genome(2000, 41);
+        let reads = tiled_reads(&g, 100, 50);
+        let mut config = quick_config(2);
+        config.observability = ObsOptions::logical();
+        let assembler = FocusAssembler::new(config).unwrap();
+        let opts = CheckpointOptions::in_dir("/proc/fc-focus-cannot-exist/ckpt");
+        let result = completed(assembler.assemble_with_checkpoints(&reads, &opts).unwrap());
+        assert!(!result.contigs.is_empty());
+        let snapshot = assembler.recorder().snapshot();
+        assert_eq!(snapshot.counters.get("ckpt.degraded"), Some(&1));
+        assert_eq!(snapshot.counters.get("ckpt.saved"), None);
+        // Exactly one warning event despite nine phase boundaries.
+        let warnings = assembler
+            .recorder()
+            .events()
+            .iter()
+            .filter(|e| e.name == "ckpt.degraded")
+            .count();
+        assert_eq!(warnings, 1);
+    }
+}

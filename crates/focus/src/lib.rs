@@ -10,11 +10,15 @@
 //! ([`Prepared`]) so experiments can sweep partition counts without
 //! recomputing alignment and coarsening.
 
+pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod pipeline;
 pub mod stats;
 
+pub use checkpoint::{
+    config_fingerprint, input_digest, AssemblyOutcome, CheckpointOptions, CkptPhase,
+};
 pub use config::{FaultInjection, FocusConfig, FocusError};
 pub use fc_obs::{ObsOptions, Recorder};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};

@@ -197,7 +197,10 @@ impl FocusAssembler {
 /// clusters). A path step without a connecting edge means traversal's
 /// post-condition was violated upstream; it surfaces as a typed error
 /// rather than a panic.
-fn path_contig(dh: &DistributedHybrid, path: &AssemblyPath) -> Result<DnaString, FocusError> {
+pub(crate) fn path_contig(
+    dh: &DistributedHybrid,
+    path: &AssemblyPath,
+) -> Result<DnaString, FocusError> {
     let first: NodeId = path.nodes[0];
     let mut seq = dh.contig(first).clone();
     let mut covered_to = seq.len() as i64;
@@ -222,7 +225,7 @@ fn path_contig(dh: &DistributedHybrid, path: &AssemblyPath) -> Result<DnaString,
 /// Keeps one representative per exact reverse-complement pair: a contig is
 /// kept when it is lexicographically no greater than its reverse complement
 /// (ties, i.e. palindromes, are kept once).
-fn dedup_reverse_complements(contigs: Vec<DnaString>) -> Vec<DnaString> {
+pub(crate) fn dedup_reverse_complements(contigs: Vec<DnaString>) -> Vec<DnaString> {
     use std::collections::HashSet;
     let mut canonical_seen: HashSet<Vec<u8>> = HashSet::new();
     let mut out = Vec::with_capacity(contigs.len() / 2 + 1);

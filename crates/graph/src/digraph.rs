@@ -187,6 +187,64 @@ impl DiGraph {
     }
 }
 
+impl fc_ckpt::Codec for DiEdge {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u32(self.to);
+        w.put_u32(self.len);
+        w.put_f64(self.identity);
+        w.put_u32(self.shift);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<DiEdge, fc_ckpt::CkptError> {
+        Ok(DiEdge {
+            to: r.u32()?,
+            len: r.u32()?,
+            identity: r.f64()?,
+            shift: r.u32()?,
+        })
+    }
+}
+
+impl fc_ckpt::Codec for DiGraph {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        self.out.encode(w);
+        self.inc.encode(w);
+        self.removed_nodes.encode(w);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<DiGraph, fc_ckpt::CkptError> {
+        let decode_err = |detail: String| fc_ckpt::CkptError::Decode { detail };
+        let out = Vec::<Vec<DiEdge>>::decode(r)?;
+        let inc = Vec::<Vec<NodeId>>::decode(r)?;
+        let removed_nodes = Vec::<bool>::decode(r)?;
+        let n = out.len();
+        if inc.len() != n || removed_nodes.len() != n {
+            return Err(decode_err(format!(
+                "DiGraph adjacency sizes disagree: {n} out, {} inc, {} removed flags",
+                inc.len(),
+                removed_nodes.len()
+            )));
+        }
+        if out.iter().flatten().any(|e| e.to as usize >= n)
+            || inc.iter().flatten().any(|&v| v as usize >= n)
+        {
+            return Err(decode_err(format!(
+                "DiGraph edge endpoint out of bounds for {n} nodes"
+            )));
+        }
+        if out.iter().map(Vec::len).sum::<usize>() != inc.iter().map(Vec::len).sum::<usize>() {
+            return Err(decode_err(
+                "DiGraph out/in edge counts disagree".to_string(),
+            ));
+        }
+        Ok(DiGraph {
+            out,
+            inc,
+            removed_nodes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -253,6 +253,68 @@ impl GraphSet {
     }
 }
 
+impl fc_ckpt::Codec for LevelGraph {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u64(self.adj.len() as u64);
+        for nbrs in &self.adj {
+            w.put_u64(nbrs.len() as u64);
+            for &(v, wt) in nbrs {
+                w.put_u32(v);
+                w.put_u64(wt);
+            }
+        }
+        self.node_weight.encode(w);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<LevelGraph, fc_ckpt::CkptError> {
+        let decode_err = |detail: String| fc_ckpt::CkptError::Decode { detail };
+        let n = r.seq_len(8)?;
+        let mut adj = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deg = r.seq_len(12)?;
+            let mut nbrs = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                nbrs.push((r.u32()?, r.u64()?));
+            }
+            adj.push(nbrs);
+        }
+        let node_weight = Vec::<u64>::decode(r)?;
+        if node_weight.len() != n {
+            return Err(decode_err(format!(
+                "LevelGraph has {} node weights for {n} nodes",
+                node_weight.len()
+            )));
+        }
+        if adj.iter().flatten().any(|&(v, _)| v as usize >= n) {
+            return Err(decode_err(format!(
+                "LevelGraph neighbor out of bounds for {n} nodes"
+            )));
+        }
+        Ok(LevelGraph { adj, node_weight })
+    }
+}
+
+impl fc_ckpt::Codec for GraphSet {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        self.levels.encode(w);
+        self.fine_to_coarse.encode(w);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<GraphSet, fc_ckpt::CkptError> {
+        let levels = Vec::<LevelGraph>::decode(r)?;
+        let fine_to_coarse = Vec::<Vec<NodeId>>::decode(r)?;
+        let set = GraphSet {
+            levels,
+            fine_to_coarse,
+        };
+        set.check_invariants()
+            .map_err(|e| fc_ckpt::CkptError::Decode {
+                detail: format!("GraphSet invariants violated: {e}"),
+            })?;
+        Ok(set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,3 +57,11 @@ pub use sink::{human_report, write_chrome_trace, write_jsonl};
 /// logical-clock snapshots because they legitimately vary with the thread
 /// count and machine load; everything else must be deterministic.
 pub const SCHED_PREFIX: &str = "sched.";
+
+/// Reserved metric-name prefix for checkpoint-lifecycle metrics (saves,
+/// loads, detected corruptions, degradations …). Metrics under this prefix
+/// are excluded from logical-clock snapshots because they legitimately
+/// differ between an uninterrupted run and a crash-and-resume run of the
+/// same input — the checkpoint determinism contract compares the *rest* of
+/// the snapshot byte for byte.
+pub const CKPT_PREFIX: &str = "ckpt.";

@@ -2,8 +2,10 @@
 //! [`MetricsSnapshot`] serialisation.
 
 use crate::json::{push_json_key, push_json_str};
-use crate::SCHED_PREFIX;
-use std::collections::BTreeMap;
+use crate::schema::{self, ObsError, Value};
+use crate::{CKPT_PREFIX, SCHED_PREFIX};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Default histogram bucket upper bounds: powers of two from 1 to 2³⁰.
 /// Values above the last bound land in the overflow bucket. Powers of two
@@ -142,6 +144,34 @@ impl MetricsSnapshot {
         }
     }
 
+    /// A copy without checkpoint-lifecycle metrics (names under the
+    /// reserved `ckpt.` prefix). Those legitimately differ between an
+    /// uninterrupted run and a crash-and-resume run, so the checkpoint
+    /// determinism contract byte-compares the snapshot *without* them.
+    pub fn without_checkpointing(&self) -> MetricsSnapshot {
+        let keep = |k: &&&'static str| !k.starts_with(CKPT_PREFIX);
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(&k, v)| (k, v.clone()))
+                .collect(),
+        }
+    }
+
     /// True when no metric has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -210,6 +240,104 @@ impl MetricsSnapshot {
         out.push_str("}\n}\n");
         out
     }
+
+    /// Parses a document produced by [`MetricsSnapshot::to_json`] back into
+    /// a snapshot. The input is validated with the same checker CI uses
+    /// ([`crate::check_metrics_snapshot`]) before extraction, so a
+    /// corrupted or schema-violating document is a typed [`ObsError`],
+    /// never a partial snapshot. Metric names and histogram bounds are
+    /// interned process-wide (the recorder stores `&'static str` names),
+    /// bounded by the number of *distinct* names ever restored.
+    ///
+    /// `from_json(to_json(s))` reproduces `s` exactly; this is what makes
+    /// a recorder restored from a checkpoint serialise byte-identically to
+    /// the recorder of an uninterrupted run.
+    pub fn from_json(input: &str) -> Result<MetricsSnapshot, ObsError> {
+        schema::check_metrics_snapshot(input)?;
+        let value = schema::parse_json(input)?;
+        let section = |name: &str| -> Result<BTreeMap<String, Value>, ObsError> {
+            value
+                .as_object()
+                .and_then(|root| root.get(name))
+                .and_then(Value::as_object)
+                .cloned()
+                .ok_or_else(|| ObsError::Schema {
+                    detail: format!("{name:?} must be an object"),
+                })
+        };
+        let mut snapshot = MetricsSnapshot::default();
+        for (k, v) in &section("counters")? {
+            let v = v.as_int().unwrap_or(0);
+            snapshot.counters.insert(intern_name(k), v as u64);
+        }
+        for (k, v) in &section("gauges")? {
+            snapshot.gauges.insert(intern_name(k), v.as_int().unwrap_or(0));
+        }
+        for (k, v) in &section("histograms")? {
+            let h = v.as_object().ok_or_else(|| ObsError::Schema {
+                detail: format!("histogram {k:?} must be an object"),
+            })?;
+            let int_of = |key: &str| h.get(key).and_then(Value::as_int).unwrap_or(0);
+            let ints_of = |key: &str| -> Vec<u64> {
+                h.get(key)
+                    .and_then(Value::as_array)
+                    .map(|a| a.iter().filter_map(Value::as_int).map(|i| i as u64).collect())
+                    .unwrap_or_default()
+            };
+            let count = int_of("count") as u64;
+            snapshot.histograms.insert(
+                intern_name(k),
+                Histogram {
+                    bounds: intern_bounds(&ints_of("bounds")),
+                    counts: ints_of("counts"),
+                    count,
+                    sum: int_of("sum") as u64,
+                    // `to_json` writes min = 0 for an empty histogram; the
+                    // in-memory empty sentinel is u64::MAX.
+                    min: if count == 0 {
+                        u64::MAX
+                    } else {
+                        int_of("min") as u64
+                    },
+                    max: int_of("max") as u64,
+                },
+            );
+        }
+        Ok(snapshot)
+    }
+}
+
+/// Process-wide metric-name interner: restored snapshots need `&'static
+/// str` keys like live-recorded ones. Leaks are bounded by the number of
+/// distinct names ever restored.
+fn intern_name(name: &str) -> &'static str {
+    static REGISTRY: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut reg = REGISTRY
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(&interned) = reg.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    reg.insert(leaked);
+    leaked
+}
+
+/// Process-wide histogram-bounds interner; [`DEFAULT_BOUNDS`] is pre-seeded
+/// so the common case allocates nothing.
+fn intern_bounds(bounds: &[u64]) -> &'static [u64] {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static [u64]>>> = OnceLock::new();
+    let mut reg = REGISTRY
+        .get_or_init(|| Mutex::new(vec![DEFAULT_BOUNDS]))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(&interned) = reg.iter().find(|&&b| b == bounds) {
+        return interned;
+    }
+    let leaked: &'static [u64] = Box::leak(bounds.to_vec().into_boxed_slice());
+    reg.push(leaked);
+    leaked
 }
 
 #[cfg(test)]
@@ -313,6 +441,78 @@ mod tests {
         assert!(d.counters.contains_key("exec.tasks"));
         assert!(d.gauges.is_empty());
         assert!(d.histograms.is_empty());
+    }
+
+    #[test]
+    fn without_checkpointing_drops_ckpt_prefix_only() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("seq.reads", 10);
+        s.counters.insert("ckpt.saved", 3);
+        s.gauges.insert("ckpt.degraded", 1);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(1);
+        s.histograms.insert("ckpt.record_bytes", h);
+        let d = s.without_checkpointing();
+        assert_eq!(d.counters.len(), 1);
+        assert!(d.counters.contains_key("seq.reads"));
+        assert!(d.gauges.is_empty());
+        assert!(d.histograms.is_empty());
+    }
+
+    #[test]
+    fn from_json_round_trips_to_json_exactly() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("align.candidates", 7);
+        s.gauges.insert("align.band", -3);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(12);
+        h.observe(1 << 20);
+        s.histograms.insert("align.overlap_len", h);
+        static CUSTOM: &[u64] = &[10, 100];
+        s.histograms.insert("custom.bounds", Histogram::new(CUSTOM));
+        let back = MetricsSnapshot::from_json(&s.to_json()).expect("round trip parses");
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), s.to_json(), "byte-identical re-serialisation");
+        // The empty histogram's min sentinel survived the round trip.
+        assert_eq!(back.histograms.get("custom.bounds").map(|h| h.min), Some(u64::MAX));
+    }
+
+    #[test]
+    fn from_json_interns_names_and_bounds() {
+        let mut s = MetricsSnapshot::default();
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(5);
+        s.histograms.insert("interning.probe", h);
+        let a = MetricsSnapshot::from_json(&s.to_json()).expect("parses");
+        let b = MetricsSnapshot::from_json(&s.to_json()).expect("parses");
+        let (ka, ha) = a.histograms.iter().next().expect("one histogram");
+        let (kb, hb) = b.histograms.iter().next().expect("one histogram");
+        // Two independent restores resolve to the same interned statics.
+        assert!(std::ptr::eq(*ka, *kb), "names are interned");
+        assert!(
+            std::ptr::eq(ha.bounds.as_ptr(), hb.bounds.as_ptr()),
+            "bounds are interned"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_documents() {
+        assert!(MetricsSnapshot::from_json("{").is_err());
+        assert!(MetricsSnapshot::from_json(
+            "{\"schema\": \"other\", \"counters\": {}, \"gauges\": {}, \"histograms\": {}}"
+        )
+        .is_err());
+        // A flipped byte that breaks histogram consistency is caught by the
+        // checker, not silently accepted.
+        let bad = r#"{
+  "schema": "focus-metrics-v1",
+  "counters": {},
+  "gauges": {},
+  "histograms": {
+    "h": {"count": 9, "sum": 1, "min": 1, "max": 1, "bounds": [1, 2], "counts": [1, 1, 0]}
+  }
+}"#;
+        assert!(MetricsSnapshot::from_json(bad).is_err());
     }
 
     #[test]

@@ -233,15 +233,54 @@ impl Recorder {
     }
 
     /// The canonical snapshot serialisation. In logical-clock mode the
-    /// scheduling-dependent `sched.*` metrics are excluded, which makes
-    /// the output **byte-identical across thread counts** (the
-    /// determinism contract); in wall-clock mode everything is included.
+    /// scheduling-dependent `sched.*` and checkpoint-lifecycle `ckpt.*`
+    /// metrics are excluded, which makes the output **byte-identical
+    /// across thread counts and across crash/resume** (the determinism
+    /// contracts); in wall-clock mode everything is included.
     pub fn snapshot_json(&self) -> String {
         let snapshot = self.snapshot();
         if self.is_logical() {
-            snapshot.without_scheduling().to_json()
+            snapshot.without_scheduling().without_checkpointing().to_json()
         } else {
             snapshot.to_json()
+        }
+    }
+
+    /// Replaces the recorded pipeline metrics with the contents of
+    /// `snapshot` — the resume path: a checkpoint embeds the cumulative
+    /// metrics of the run that wrote it, and loading it must leave the
+    /// recorder exactly as if those phases had just executed. The
+    /// recorder's own `ckpt.*` and `sched.*` entries are kept (they
+    /// describe *this* process's checkpoint traffic and scheduling, which
+    /// a restore must not falsify), and any such entries inside `snapshot`
+    /// are ignored for the same reason. No-op when disabled.
+    pub fn restore_metrics(&self, snapshot: &MetricsSnapshot) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let keep = |k: &str| k.starts_with(crate::CKPT_PREFIX) || k.starts_with(crate::SCHED_PREFIX);
+        let mut counters = lock(&inner.counters);
+        counters.retain(|k, _| keep(k));
+        for (&k, &v) in &snapshot.counters {
+            if !keep(k) {
+                counters.insert(k, v);
+            }
+        }
+        drop(counters);
+        let mut gauges = lock(&inner.gauges);
+        gauges.retain(|k, _| keep(k));
+        for (&k, &v) in &snapshot.gauges {
+            if !keep(k) {
+                gauges.insert(k, v);
+            }
+        }
+        drop(gauges);
+        let mut histograms = lock(&inner.histograms);
+        histograms.retain(|k, _| keep(k));
+        for (&k, h) in &snapshot.histograms {
+            if !keep(k) {
+                histograms.insert(k, h.clone());
+            }
         }
     }
 
@@ -361,6 +400,58 @@ mod tests {
         let wall = Recorder::new(ObsOptions::wall_clock());
         wall.add("sched.exec.steals", 2);
         assert!(wall.snapshot_json().contains("sched.exec.steals"));
+    }
+
+    #[test]
+    fn logical_snapshot_json_excludes_ckpt_metrics() {
+        let rec = Recorder::new(ObsOptions::logical());
+        rec.add("focus.contigs", 4);
+        rec.add("ckpt.saved", 2);
+        let json = rec.snapshot_json();
+        assert!(json.contains("focus.contigs"));
+        assert!(!json.contains("ckpt.saved"));
+
+        let wall = Recorder::new(ObsOptions::wall_clock());
+        wall.add("ckpt.saved", 2);
+        assert!(wall.snapshot_json().contains("ckpt.saved"));
+    }
+
+    #[test]
+    fn restore_metrics_replaces_pipeline_metrics_and_keeps_local_bookkeeping() {
+        let saved = {
+            let rec = Recorder::new(ObsOptions::logical());
+            rec.add("align.pairs", 100);
+            rec.gauge("focus.k", 4);
+            rec.observe("h", 3);
+            rec.snapshot()
+        };
+        let rec = Recorder::new(ObsOptions::logical());
+        rec.add("align.pairs", 1); // stale partial value, must be replaced
+        rec.add("stale.other", 5); // not in the snapshot, must vanish
+        rec.add("ckpt.loaded", 1); // this process's bookkeeping, must stay
+        rec.add("sched.exec.steals", 2);
+        rec.restore_metrics(&saved);
+        let s = rec.snapshot();
+        assert_eq!(s.counters.get("align.pairs"), Some(&100));
+        assert_eq!(s.counters.get("stale.other"), None);
+        assert_eq!(s.counters.get("ckpt.loaded"), Some(&1));
+        assert_eq!(s.counters.get("sched.exec.steals"), Some(&2));
+        assert_eq!(s.gauges.get("focus.k"), Some(&4));
+        assert_eq!(s.histograms.get("h").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn restore_then_snapshot_json_matches_the_source_recorder() {
+        let src = Recorder::new(ObsOptions::logical());
+        src.add("a.one", 1);
+        src.gauge("b.two", -2);
+        src.observe("c.three", 9);
+        let parsed =
+            crate::MetricsSnapshot::from_json(&src.snapshot_json()).expect("own output parses");
+        let dst = Recorder::new(ObsOptions::logical());
+        dst.add("ckpt.loaded", 1);
+        dst.restore_metrics(&parsed);
+        assert_eq!(dst.snapshot_json(), src.snapshot_json());
     }
 
     #[test]

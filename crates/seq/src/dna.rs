@@ -212,6 +212,44 @@ impl fmt::Debug for DnaString {
     }
 }
 
+impl fc_ckpt::Codec for DnaString {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_u64(self.len as u64);
+        w.put_u64(self.words.len() as u64);
+        for &word in &self.words {
+            w.put_u64(word);
+        }
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<DnaString, fc_ckpt::CkptError> {
+        let decode_err = |detail: String| fc_ckpt::CkptError::Decode { detail };
+        let len = usize::try_from(r.u64()?)
+            .map_err(|_| decode_err("DnaString length overflows usize".to_string()))?;
+        let word_count = r.seq_len(8)?;
+        if word_count != len.div_ceil(BASES_PER_WORD) {
+            return Err(decode_err(format!(
+                "DnaString of {len} bases cannot have {word_count} words"
+            )));
+        }
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(r.u64()?);
+        }
+        // Padding bits beyond `len` must be zero: push/set never leave them
+        // dirty, and Eq/Hash compare the raw words.
+        let tail_bases = len % BASES_PER_WORD;
+        if tail_bases != 0 {
+            let last = words[word_count - 1];
+            if last >> (tail_bases * 2) != 0 {
+                return Err(decode_err(
+                    "DnaString has non-zero padding bits past its length".to_string(),
+                ));
+            }
+        }
+        Ok(DnaString { words, len })
+    }
+}
+
 impl FromIterator<Base> for DnaString {
     fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaString {
         let mut out = DnaString::new();
@@ -299,6 +337,20 @@ mod tests {
         assert_eq!(s.kmers(6).count(), 1);
         assert_eq!(s.kmers(7).count(), 0);
         assert_eq!(s.kmers(0).count(), 0);
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips_and_rejects_dirty_padding() {
+        let s: DnaString = "ACGTTGCAACGTACGTACGTACGTACGTACGTACGTA".parse().unwrap();
+        let bytes = fc_ckpt::encode_to_vec(&s);
+        let back: DnaString = fc_ckpt::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, s);
+        // A word with bits set past the sequence length must be rejected.
+        let mut w = fc_ckpt::Writer::new();
+        w.put_u64(3); // 3 bases
+        w.put_u64(1); // 1 word
+        w.put_u64(u64::MAX);
+        assert!(fc_ckpt::decode_from_slice::<DnaString>(&w.into_bytes()).is_err());
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub enum SeqError {
         /// Human-readable description.
         message: String,
     },
+    /// The stream ended in the middle of a record (e.g. a FASTQ file cut
+    /// off before its quality line).
+    Truncated {
+        /// 1-based line number of the last line that was read.
+        line: usize,
+        /// Which line of the record is missing (`sequence`, `separator`,
+        /// `quality`).
+        missing: &'static str,
+    },
     /// Quality string length does not match sequence length.
     QualityLengthMismatch {
         /// Record name.
@@ -47,6 +56,10 @@ impl fmt::Display for SeqError {
                 write!(f, "invalid base {:?} at position {position}", *byte as char)
             }
             SeqError::Format { line, message } => write!(f, "format error at line {line}: {message}"),
+            SeqError::Truncated { line, missing } => write!(
+                f,
+                "truncated record after line {line}: missing {missing} line"
+            ),
             SeqError::QualityLengthMismatch { record, seq_len, qual_len } => write!(
                 f,
                 "record {record}: quality length {qual_len} does not match sequence length {seq_len}"

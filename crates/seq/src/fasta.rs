@@ -224,6 +224,63 @@ impl<R: BufRead> Iterator for Reader<R> {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::alphabet::Base;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    /// A syntactically valid FASTA byte stream with line-wrapped sequences.
+    fn render(records: &[Vec<u8>]) -> Vec<u8> {
+        let mut text = Vec::new();
+        for (i, bases) in records.iter().enumerate() {
+            text.extend_from_slice(format!(">r{i}\n").as_bytes());
+            for chunk in bases.chunks(7) {
+                for &b in chunk {
+                    text.push(Base::from_code(b % 4).to_ascii());
+                }
+                text.push(b'\n');
+            }
+        }
+        text
+    }
+
+    proptest! {
+        /// Corpus of mutilated FASTA inputs: parsing must never panic, and
+        /// the collecting parser and streaming reader must agree.
+        #[test]
+        fn mutilated_input_never_panics_and_streaming_agrees(
+            records in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..30),
+                0..5,
+            ),
+            ops in proptest::collection::vec(
+                (0u8..5, 0usize..65536, 0u8..255),
+                0..4,
+            ),
+        ) {
+            let mut text = render(&records);
+            for &(op, pos, byte) in &ops {
+                crate::fastq::mutilate(&mut text, op, pos, byte);
+            }
+            let parsed = parse(Cursor::new(text.clone()));
+            let streamed: Result<Vec<Read>, SeqError> =
+                Reader::new(Cursor::new(text)).collect();
+            match (&parsed, &streamed) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "parse/stream disagree: {:?} vs {:?}",
+                    parsed.is_ok(),
+                    streamed.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod streaming_tests {
     use super::*;
     use std::io::Cursor;

@@ -73,16 +73,16 @@ pub fn parse<R: BufRead>(input: R) -> Result<Vec<Read>, SeqError> {
 fn next_line(
     lines: &mut impl Iterator<Item = std::io::Result<String>>,
     line_no: &mut usize,
-    what: &str,
+    what: &'static str,
 ) -> Result<String, SeqError> {
     match lines.next() {
         Some(l) => {
             *line_no += 1;
             Ok(l?.trim_end().to_string())
         }
-        None => Err(SeqError::Format {
+        None => Err(SeqError::Truncated {
             line: *line_no,
-            message: format!("truncated record: missing {what} line"),
+            missing: what,
         }),
     }
 }
@@ -150,7 +150,38 @@ mod tests {
     #[test]
     fn rejects_truncated_record() {
         let err = parse(Cursor::new("@r\nACGT\n+\n")).unwrap_err();
-        assert!(matches!(err, SeqError::Format { .. }));
+        assert!(matches!(
+            err,
+            SeqError::Truncated {
+                missing: "quality",
+                ..
+            }
+        ));
+        let err = parse(Cursor::new("@r\nACGT\n")).unwrap_err();
+        assert!(matches!(
+            err,
+            SeqError::Truncated {
+                missing: "separator",
+                ..
+            }
+        ));
+        let err = parse(Cursor::new("@r\n")).unwrap_err();
+        assert!(matches!(
+            err,
+            SeqError::Truncated {
+                missing: "sequence",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_identically() {
+        let crlf = SAMPLE.replace('\n', "\r\n");
+        assert_eq!(
+            parse(Cursor::new(crlf)).unwrap(),
+            parse(Cursor::new(SAMPLE)).unwrap()
+        );
     }
 
     /// Regression test for truncated input: cutting a valid two-record file
@@ -209,12 +240,12 @@ impl<R: BufRead> Reader<R> {
         }
     }
 
-    fn take_line(&mut self, what: &str) -> Result<Option<(usize, String)>, SeqError> {
+    fn take_line(&mut self, what: &'static str) -> Result<Option<(usize, String)>, SeqError> {
         match self.lines.next() {
             None if what == "header" => Ok(None),
-            None => Err(SeqError::Format {
+            None => Err(SeqError::Truncated {
                 line: 0,
-                message: format!("truncated record: missing {what} line"),
+                missing: what,
             }),
             Some((_, Err(e))) => Err(e.into()),
             Some((i, Ok(line))) => Ok(Some((i + 1, line.trim_end().to_string()))),
@@ -248,9 +279,9 @@ impl<R: BufRead> Iterator for Reader<R> {
                 .to_string();
             let (seq_no, seq_line) =
                 self.take_line("sequence")?
-                    .ok_or_else(|| SeqError::Format {
+                    .ok_or(SeqError::Truncated {
                         line: line_no,
-                        message: "truncated record: missing sequence line".to_string(),
+                        missing: "sequence",
                     })?;
             let mut seq = DnaString::with_capacity(seq_line.len());
             for (col, c) in seq_line.bytes().enumerate() {
@@ -266,9 +297,9 @@ impl<R: BufRead> Iterator for Reader<R> {
             }
             let (sep_no, sep) = self
                 .take_line("separator")?
-                .ok_or_else(|| SeqError::Format {
+                .ok_or(SeqError::Truncated {
                     line: seq_no,
-                    message: "truncated record: missing separator line".to_string(),
+                    missing: "separator",
                 })?;
             if !sep.starts_with('+') {
                 return Err(SeqError::Format {
@@ -276,9 +307,9 @@ impl<R: BufRead> Iterator for Reader<R> {
                     message: "expected '+' separator".to_string(),
                 });
             }
-            let (_, qual_line) = self.take_line("quality")?.ok_or_else(|| SeqError::Format {
+            let (_, qual_line) = self.take_line("quality")?.ok_or(SeqError::Truncated {
                 line: sep_no,
-                message: "truncated record: missing quality line".to_string(),
+                missing: "quality",
             })?;
             let qual = QualityScores::from_fastq_line(qual_line.as_bytes())?;
             if qual.len() != seq.len() {
@@ -299,6 +330,96 @@ impl<R: BufRead> Iterator for Reader<R> {
             Err(e) => {
                 self.done = true;
                 Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Shared helper for the mutilated-input proptests (FASTA and FASTQ): one
+/// deterministic mutation of a byte buffer, driven by `(op, pos, byte)`.
+#[cfg(test)]
+pub(crate) fn mutilate(text: &mut Vec<u8>, op: u8, pos: usize, byte: u8) {
+    if text.is_empty() {
+        return;
+    }
+    let pos = pos % text.len();
+    match op % 5 {
+        0 => text.truncate(pos),
+        1 => text[pos] = byte,
+        2 => text.insert(pos, byte),
+        3 => {
+            text.remove(pos);
+        }
+        _ => {
+            // Convert every LF to CRLF.
+            let mut out = Vec::with_capacity(text.len() + 8);
+            for &b in text.iter() {
+                if b == b'\n' {
+                    out.push(b'\r');
+                }
+                out.push(b);
+            }
+            *text = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::alphabet::Base;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    /// A syntactically valid FASTQ byte stream built from arbitrary records.
+    fn render(records: &[Vec<(u8, u8)>]) -> Vec<u8> {
+        let mut text = Vec::new();
+        for (i, pairs) in records.iter().enumerate() {
+            text.extend_from_slice(format!("@r{i}\n").as_bytes());
+            for &(b, _) in pairs {
+                text.push(Base::from_code(b % 4).to_ascii());
+            }
+            text.extend_from_slice(b"\n+\n");
+            for &(_, q) in pairs {
+                text.push(33 + q % 94);
+            }
+            text.push(b'\n');
+        }
+        text
+    }
+
+    proptest! {
+        /// Corpus of mutilated FASTQ inputs (truncations, byte smashes,
+        /// insertions, deletions, CRLF conversion — composed): parsing must
+        /// never panic, and the collecting parser and the streaming reader
+        /// must agree on success and on the parsed reads.
+        #[test]
+        fn mutilated_input_never_panics_and_streaming_agrees(
+            records in proptest::collection::vec(
+                proptest::collection::vec((0u8..4, 0u8..94), 0..20),
+                0..5,
+            ),
+            ops in proptest::collection::vec(
+                (0u8..5, 0usize..65536, 0u8..255),
+                0..4,
+            ),
+        ) {
+            let mut text = render(&records);
+            for &(op, pos, byte) in &ops {
+                mutilate(&mut text, op, pos, byte);
+            }
+            let parsed = parse(Cursor::new(text.clone()));
+            let streamed: Result<Vec<Read>, SeqError> =
+                Reader::new(Cursor::new(text)).collect();
+            match (&parsed, &streamed) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "parse/stream disagree: {:?} vs {:?}",
+                    parsed.is_ok(),
+                    streamed.is_ok()
+                ),
             }
         }
     }

@@ -96,6 +96,22 @@ impl QualityScores {
     }
 }
 
+impl fc_ckpt::Codec for QualityScores {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        w.put_bytes(&self.scores);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<QualityScores, fc_ckpt::CkptError> {
+        let scores = r.bytes()?.to_vec();
+        if let Some(&bad) = scores.iter().find(|&&q| q > MAX_PHRED) {
+            return Err(fc_ckpt::CkptError::Decode {
+                detail: format!("Phred score {bad} exceeds the maximum {MAX_PHRED}"),
+            });
+        }
+        Ok(QualityScores { scores })
+    }
+}
+
 /// Converts a Phred score to its error probability `10^(-q/10)`.
 pub fn phred_to_error_probability(q: u8) -> f64 {
     10f64.powf(-(q as f64) / 10.0)

@@ -76,9 +76,48 @@ impl Read {
     }
 }
 
+impl fc_ckpt::Codec for Read {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        self.name.encode(w);
+        self.seq.encode(w);
+        self.qual.encode(w);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<Read, fc_ckpt::CkptError> {
+        let name = String::decode(r)?;
+        let seq = DnaString::decode(r)?;
+        let qual = Option::<QualityScores>::decode(r)?;
+        if let Some(q) = &qual {
+            if q.len() != seq.len() {
+                return Err(fc_ckpt::CkptError::Decode {
+                    detail: format!(
+                        "read {name:?}: {} quality scores for {} bases",
+                        q.len(),
+                        seq.len()
+                    ),
+                });
+            }
+        }
+        Ok(Read { name, seq, qual })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_codec_round_trips_reads() {
+        let seq: DnaString = "AACG".parse().unwrap();
+        let qual = QualityScores::from_phred(vec![10, 20, 30, 40]);
+        let read = Read::with_quality("r1", seq.clone(), qual);
+        let plain = Read::new("r2", seq);
+        for r in [&read, &plain] {
+            let bytes = fc_ckpt::encode_to_vec(r);
+            let back: Read = fc_ckpt::decode_from_slice(&bytes).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
 
     #[test]
     fn reverse_complement_flips_sequence_and_quality() {

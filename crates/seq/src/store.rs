@@ -153,6 +153,39 @@ impl ReadStore {
     }
 }
 
+impl fc_ckpt::Codec for ReadStore {
+    fn encode(&self, w: &mut fc_ckpt::Writer) {
+        self.reads.encode(w);
+        self.rc_paired.encode(w);
+        self.source.encode(w);
+    }
+
+    fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<ReadStore, fc_ckpt::CkptError> {
+        let reads = Vec::<Read>::decode(r)?;
+        let rc_paired = bool::decode(r)?;
+        let source = Vec::<u32>::decode(r)?;
+        if source.len() != reads.len() {
+            return Err(fc_ckpt::CkptError::Decode {
+                detail: format!(
+                    "ReadStore has {} source indices for {} reads",
+                    source.len(),
+                    reads.len()
+                ),
+            });
+        }
+        if rc_paired && reads.len() % 2 != 0 {
+            return Err(fc_ckpt::CkptError::Decode {
+                detail: format!("RC-paired ReadStore has odd read count {}", reads.len()),
+            });
+        }
+        Ok(ReadStore {
+            reads,
+            rc_paired,
+            source,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +258,18 @@ mod tests {
     fn total_bases_sums_reads() {
         let store = ReadStore::from_reads(input_reads());
         assert_eq!(store.total_bases(), 30);
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips_both_store_kinds() {
+        let paired = ReadStore::preprocess(&input_reads(), &config()).unwrap();
+        let plain = ReadStore::from_reads(input_reads());
+        for store in [&paired, &plain] {
+            let bytes = fc_ckpt::encode_to_vec(store);
+            let back: ReadStore = fc_ckpt::decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.reads(), store.reads());
+            assert_eq!(back.source_read_count(), store.source_read_count());
+        }
     }
 }
 

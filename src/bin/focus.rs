@@ -7,7 +7,9 @@
 //!
 //! Run `focus help` for the full option list.
 
-use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::focus::{
+    AssemblyOutcome, AssemblyResult, CheckpointOptions, CkptPhase, FocusAssembler, FocusConfig,
+};
 use focus_assembler::seq::{fasta, fastq, Read};
 use focus_assembler::sim::single_genome_dataset;
 use std::fs::File;
@@ -40,6 +42,18 @@ ASSEMBLE OPTIONS:
     --threads <n>          worker threads; 0 = all cores, 1 = serial;
                            output is identical at any setting    [default: 0]
     --keep-both-strands    emit both strands of every contig
+
+CHECKPOINT OPTIONS (assemble):
+    --checkpoint-dir <dir> write a verified checkpoint after every pipeline
+                           phase (atomic temp-file + rename, CRC-protected)
+    --resume               skip phases whose checkpoints in --checkpoint-dir
+                           verify (checksums + config/input fingerprints);
+                           anything corrupt or mismatched is recomputed
+    --crash-after <phase>  stop right after checkpointing <phase> and exit
+                           with code 3 (chaos-harness crash point); one of:
+                           preprocess alignment coarsen hybrid partition
+                           dist_transitive_reduction dist_containment_removal
+                           dist_error_removal dist_traversal
 
 OBSERVABILITY OPTIONS (assemble):
     --trace <path>         write a Chrome trace_event JSON (open in Perfetto)
@@ -75,7 +89,7 @@ CLASSIFY OPTIONS:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("assemble") => assemble(&args[1..]),
+        Some("assemble") => return assemble_main(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("graph") => graph(&args[1..]),
@@ -113,7 +127,7 @@ impl Options {
                 .to_string();
             let takes_value = !matches!(
                 key.as_str(),
-                "keep-both-strands" | "with-sequences" | "logical-clock"
+                "keep-both-strands" | "with-sequences" | "logical-clock" | "resume"
             );
             if takes_value {
                 let value = args
@@ -172,17 +186,79 @@ fn read_input(path: &str) -> Result<Vec<Read>, String> {
     parsed.map_err(|e| format!("{path}: {e}"))
 }
 
-fn assemble(args: &[String]) -> Result<(), String> {
+/// Process exit code of an `assemble --crash-after` run that stopped at
+/// its crash point — distinct from success (0) and failure (1) so the
+/// chaos harness can tell "crashed where asked" from "fell over".
+const EXIT_STOPPED: u8 = 3;
+
+/// `assemble` drives its own exit code: 0 on success, 1 on error, 3 when
+/// `--crash-after` stopped the run at a checkpoint boundary.
+fn assemble_main(args: &[String]) -> ExitCode {
+    match assemble(args) {
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(phase)) => {
+            eprintln!("stopped after checkpointing phase {}", phase.name());
+            ExitCode::from(EXIT_STOPPED)
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses checkpoint options; `Ok(None)` when checkpointing is off.
+fn build_checkpoint_options(opts: &Options) -> Result<Option<CheckpointOptions>, String> {
+    let dir = opts.get("checkpoint-dir");
+    let resume = opts.flag("resume");
+    let crash_after = match opts.get("crash-after") {
+        None => None,
+        Some(text) => Some(CkptPhase::parse(text).ok_or_else(|| {
+            let names: Vec<&str> = CkptPhase::ALL.iter().map(|p| p.name()).collect();
+            format!(
+                "--crash-after: unknown phase {text:?}; expected one of {}",
+                names.join(", ")
+            )
+        })?),
+    };
+    let Some(dir) = dir else {
+        if resume || crash_after.is_some() {
+            return Err("--resume and --crash-after need --checkpoint-dir".to_string());
+        }
+        return Ok(None);
+    };
+    let mut ckpt = CheckpointOptions::in_dir(dir);
+    ckpt.resume = resume;
+    ckpt.stop_after = crash_after;
+    Ok(Some(ckpt))
+}
+
+fn assemble(args: &[String]) -> Result<Option<CkptPhase>, String> {
     let opts = Options::parse(args)?;
     let input = opts.require("input")?.to_string();
     let output = opts.require("output")?.to_string();
 
     let config = build_config(&opts)?;
+    let ckpt = build_checkpoint_options(&opts)?;
     let reads = read_input(&input)?;
     eprintln!("read {} reads from {input}", reads.len());
 
     let assembler = FocusAssembler::new(config).map_err(|e| e.to_string())?;
-    let result = assembler.assemble(&reads).map_err(|e| e.to_string())?;
+    let result: AssemblyResult = match &ckpt {
+        None => assembler.assemble(&reads).map_err(|e| e.to_string())?,
+        Some(ckpt_opts) => {
+            match assembler
+                .assemble_with_checkpoints(&reads, ckpt_opts)
+                .map_err(|e| e.to_string())?
+            {
+                AssemblyOutcome::Completed(result) => result,
+                AssemblyOutcome::Stopped(phase) => {
+                    write_obs_sinks(&opts, assembler.recorder())?;
+                    return Ok(Some(phase));
+                }
+            }
+        }
+    };
     eprintln!(
         "assembled {} contigs | N50 {} bp | max {} bp | total {} bp",
         result.stats.num_contigs,
@@ -207,7 +283,7 @@ fn assemble(args: &[String]) -> Result<(), String> {
     fasta::write(BufWriter::new(out), &contig_reads, 70).map_err(|e| e.to_string())?;
     eprintln!("wrote {output}");
     write_obs_sinks(&opts, assembler.recorder())?;
-    Ok(())
+    Ok(None)
 }
 
 fn simulate(args: &[String]) -> Result<(), String> {

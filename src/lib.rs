@@ -6,6 +6,7 @@
 //! the end-to-end pipeline entry point.
 
 pub use fc_align as align;
+pub use fc_ckpt as ckpt;
 pub use fc_classify as classify;
 pub use fc_dist as dist;
 pub use fc_graph as graph;
