@@ -1,0 +1,246 @@
+//! serve_load — saturation bench for the multi-tenant job server.
+//!
+//! Floods an in-process [`fc_serve::Serve`] with submissions at **10× its
+//! configured queue capacity** from four tenants over real sockets, then
+//! records what admission control did about it: submit-path latency (p50 /
+//! p99 round-trip while saturated), sustained completion throughput, and
+//! the typed 429 rejection counts per kind. The contract being measured is
+//! DESIGN.md §12's graceful degradation: overload must surface as *bounded
+//! queues plus typed rejections*, never as latency collapse or memory
+//! growth.
+//!
+//! The runner is a deterministic stand-in (FNV passes plus a fixed 5 ms
+//! cost), so the numbers isolate the serving layer — scheduler, HTTP
+//! plumbing, durable state writes — from assembly itself. Results land in
+//! `BENCH_serve.json` at the repository root. `FOCUS_BENCH_SCALE` scales
+//! the flood size.
+
+use fc_bench::bench_scale;
+use fc_serve::sched::SchedConfig;
+use fc_serve::server::{Serve, ServeConfig};
+use fc_serve::{JobContext, JobError, JobOutput, JobRunner};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: [&str; 4] = ["lab-a", "lab-b", "lab-c", "lab-d"];
+const OVERLOAD_FACTOR: usize = 10;
+const JOB_COST: Duration = Duration::from_millis(5);
+
+/// Deterministic mock assembly: a few FNV-1a passes over the input plus a
+/// fixed service time, so queueing pressure is stable across machines.
+struct HashRunner;
+
+impl JobRunner for HashRunner {
+    fn run(&self, ctx: &JobContext) -> Result<JobOutput, JobError> {
+        let input = std::fs::read(&ctx.input_path)
+            .map_err(|e| JobError::permanent(format!("read input: {e}")))?;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for _ in 0..64 {
+            for &b in &input {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        std::thread::sleep(JOB_COST);
+        Ok(JobOutput {
+            contigs_fasta: format!(">contig_0 len={}\n{h:016x}\n", input.len()).into_bytes(),
+            metrics_json: format!("{{\"fnv\":\"{h:016x}\"}}"),
+            num_contigs: 1,
+            n50: input.len() as u64,
+            total_bases: input.len() as u64,
+        })
+    }
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fc-bench-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Minimal HTTP/1.1 client: one request, returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {text}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn json_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = body.find(&pat)? + pat.len();
+    let end = body[start..].find('"')? + start;
+    Some(&body[start..end])
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    let idx = (sorted.len().saturating_sub(1) * p) / 100;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = bench_scale();
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        http_threads: 4,
+        backoff_unit: Duration::ZERO,
+        sched: SchedConfig {
+            per_tenant_capacity: 16,
+            total_capacity: 48,
+            max_tenants: 8,
+            quantum: 4,
+        },
+        ..ServeConfig::default()
+    };
+    let total_capacity = cfg.sched.total_capacity;
+    let workers = cfg.workers;
+    let flood = (((total_capacity * OVERLOAD_FACTOR) as f64) * scale)
+        .ceil()
+        .max(1.0) as usize;
+    println!(
+        "serve_load: flooding {flood} submissions ({OVERLOAD_FACTOR}x a {total_capacity}-slot \
+         queue, scale {scale}) from {} tenants",
+        TENANTS.len()
+    );
+
+    let server = Serve::start(cfg, temp_dir(), Arc::new(HashRunner)).expect("server starts");
+    let addr = server.addr();
+
+    // --- Flood phase: submit as fast as the socket allows. ---
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(flood);
+    let mut admitted: Vec<String> = Vec::new();
+    let mut rejections: BTreeMap<String, u64> = BTreeMap::new();
+    for i in 0..flood {
+        let tenant = TENANTS[i % TENANTS.len()];
+        let body = format!("@r{i}\nACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIII\n");
+        let t0 = Instant::now();
+        let (status, resp) = request(
+            addr,
+            "POST",
+            &format!("/jobs?tenant={tenant}"),
+            body.as_bytes(),
+        );
+        latencies.push(t0.elapsed());
+        match status {
+            202 => admitted.push(json_field(&resp, "id").expect("id field").to_string()),
+            429 => {
+                let kind = json_field(&resp, "error")
+                    .expect("typed rejection")
+                    .to_string();
+                *rejections.entry(kind).or_insert(0) += 1;
+            }
+            other => panic!("unexpected status {other}: {resp}"),
+        }
+    }
+    let flood_wall = started.elapsed();
+
+    // --- Drain phase: every admitted job must reach `done`. ---
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for id in &admitted {
+        loop {
+            let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), b"");
+            assert_eq!(status, 200, "{body}");
+            match json_field(&body, "state").expect("state field") {
+                "queued" | "running" => {
+                    assert!(Instant::now() < deadline, "job {id} stuck: {body}");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                "done" => break,
+                other => panic!("admitted job {id} ended {other}: {body}"),
+            }
+        }
+    }
+    let total_wall = started.elapsed();
+
+    // Health must still answer after the storm.
+    let (status, _) = request(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200, "health endpoint survived saturation");
+    server.shutdown(true);
+    server.join();
+
+    latencies.sort();
+    let p50 = percentile(&latencies, 50);
+    let p99 = percentile(&latencies, 99);
+    let rejected: u64 = rejections.values().sum();
+    let throughput = admitted.len() as f64 / total_wall.as_secs_f64().max(1e-9);
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "admitted", "rejected", "p50", "p99", "flood wall", "jobs/sec"
+    );
+    println!(
+        "{:>10} {:>10} {:>10.3?} {:>12.3?} {:>12.3?} {:>14.1}",
+        admitted.len(),
+        rejected,
+        p50,
+        p99,
+        flood_wall,
+        throughput
+    );
+    for (kind, count) in &rejections {
+        println!("  429 {kind}: {count}");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"serve_load\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"overload_factor\": {OVERLOAD_FACTOR},");
+    let _ = writeln!(json, "  \"queue_capacity\": {total_capacity},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"flood_submissions\": {flood},");
+    let _ = writeln!(json, "  \"admitted\": {},", admitted.len());
+    let _ = writeln!(json, "  \"completed\": {},", admitted.len());
+    json.push_str("  \"rejections\": {");
+    for (i, (kind, count)) in rejections.iter().enumerate() {
+        let sep = if i + 1 < rejections.len() { ", " } else { "" };
+        let _ = write!(json, "\"{kind}\": {count}{sep}");
+    }
+    json.push_str("},\n");
+    let _ = writeln!(
+        json,
+        "  \"submit_latency_seconds\": {{\"p50\": {:.6}, \"p99\": {:.6}}},",
+        p50.as_secs_f64(),
+        p99.as_secs_f64()
+    );
+    let _ = writeln!(json, "  \"throughput_jobs_per_sec\": {throughput:.1},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"admission control under 10x overload: every overflow is a typed 429, \
+         every admitted job completes, health stays responsive\""
+    );
+    json.push_str("}\n");
+
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| format!("{m}/../.."))
+        .unwrap_or_else(|_| ".".to_string());
+    let path = format!("{root}/BENCH_serve.json");
+    std::fs::write(&path, &json).expect("BENCH_serve.json is writable");
+    println!("wrote {path}");
+}

@@ -11,6 +11,15 @@
 //! (unwritable directory, injected or real ENOSPC) is returned to the
 //! caller once — for a single observability warning — and every later
 //! save becomes a silent no-op. The assembly always finishes.
+//!
+//! Several stores may share one directory (the serve layer runs concurrent
+//! jobs, and two resuming runs can legitimately overlap). Temp names are
+//! therefore unique per process *and* per write, so concurrent writers can
+//! never tear each other's rename source out from under them; the shared
+//! MANIFEST.txt is serialised through a best-effort advisory lock file and
+//! simply skipped under contention — it is a human-readable summary, never
+//! parsed by the load path, so a stale manifest is cosmetic while a torn
+//! one would be confusing.
 
 use crate::error::CkptError;
 use crate::fault::{flip_bit, FsFaultPlan, ReadFault, WriteFault};
@@ -19,6 +28,17 @@ use crate::manifest::{manifest_path, render_manifest, ManifestEntry};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Distinguishes temp files of concurrent writers inside one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How often the manifest lock is retried before the rewrite is skipped.
+const MANIFEST_LOCK_RETRIES: u32 = 10;
+
+/// A lock file older than this belongs to a dead writer and is broken.
+const MANIFEST_LOCK_STALE: Duration = Duration::from_secs(5);
 
 /// What a [`CheckpointStore::load`] found.
 #[derive(Debug)]
@@ -176,7 +196,7 @@ impl CheckpointStore {
         });
         self.entries.sort_by_key(|e| e.phase_id);
         let manifest = render_manifest(self.config_fingerprint, self.input_digest, &self.entries);
-        if let Err(e) = self.write_atomic(&manifest_path(&self.dir), manifest.as_bytes()) {
+        if let Err(e) = self.write_manifest_locked(&manifest) {
             self.degraded = true;
             return Err(e);
         }
@@ -249,22 +269,81 @@ impl CheckpointStore {
         Ok(())
     }
 
-    /// Temp file in the same directory + `sync_all` + atomic rename.
+    /// Temp file in the same directory + `sync_all` + atomic rename. The
+    /// temp name carries the pid and a process-wide sequence number, so
+    /// concurrent writers — threads or separate processes sharing the
+    /// directory — never write to or rename the same temp file.
     fn write_atomic(&self, final_path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
         let file_name = final_path
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or("checkpoint");
-        let tmp_path = self.dir.join(format!(".{file_name}.tmp"));
+        let tmp_path = self.dir.join(format!(
+            ".{file_name}.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let io_err = |op: &'static str, path: &Path| {
             let path = path.to_path_buf();
             move |source: io::Error| CkptError::Io { op, path, source }
         };
+        let cleanup = |r: Result<(), CkptError>| {
+            if r.is_err() {
+                let _ = fs::remove_file(&tmp_path);
+            }
+            r
+        };
         let mut tmp = fs::File::create(&tmp_path).map_err(io_err("create", &tmp_path))?;
-        tmp.write_all(bytes).map_err(io_err("write", &tmp_path))?;
-        tmp.sync_all().map_err(io_err("sync", &tmp_path))?;
+        cleanup(tmp.write_all(bytes).map_err(io_err("write", &tmp_path)))?;
+        cleanup(tmp.sync_all().map_err(io_err("sync", &tmp_path)))?;
         drop(tmp);
-        fs::rename(&tmp_path, final_path).map_err(io_err("rename", final_path))?;
+        cleanup(fs::rename(&tmp_path, final_path).map_err(io_err("rename", final_path)))?;
+        Ok(())
+    }
+
+    /// Rewrites MANIFEST.txt under a best-effort advisory lock file.
+    ///
+    /// `create_new` is the atomic acquire; contention backs off briefly and
+    /// retries, locks older than [`MANIFEST_LOCK_STALE`] are assumed
+    /// orphaned by a crashed writer and broken. If the lock stays
+    /// contended through every retry the rewrite is **skipped**: the
+    /// manifest is an advisory summary (the load path verifies checkpoint
+    /// files directly), and another live writer is about to rewrite it
+    /// anyway.
+    fn write_manifest_locked(&self, manifest: &str) -> Result<(), CkptError> {
+        let lock_path = self.dir.join(".MANIFEST.lock");
+        for attempt in 0..MANIFEST_LOCK_RETRIES {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(_) => {
+                    let result = self.write_atomic(&manifest_path(&self.dir), manifest.as_bytes());
+                    let _ = fs::remove_file(&lock_path);
+                    return result;
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&lock_path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > MANIFEST_LOCK_STALE);
+                    if stale {
+                        let _ = fs::remove_file(&lock_path);
+                        continue;
+                    }
+                    std::thread::sleep(Duration::from_millis(1 << attempt.min(5)));
+                }
+                Err(source) => {
+                    return Err(CkptError::Io {
+                        op: "lock manifest",
+                        path: lock_path,
+                        source,
+                    })
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -274,10 +353,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "fc-ckpt-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("fc-ckpt-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -331,7 +407,9 @@ mod tests {
         let dir = temp_dir("torn");
         let plan = FsFaultPlan::none().fail_write(0, WriteFault::Torn);
         let mut store = CheckpointStore::with_faults(&dir, 1, 2, plan);
-        assert!(store.save(3, "hybrid", records()).expect("torn write reports success"));
+        assert!(store
+            .save(3, "hybrid", records())
+            .expect("torn write reports success"));
         assert!(matches!(
             store.load(3, "hybrid"),
             LoadOutcome::Rejected(CkptError::Corrupt { .. })
@@ -376,11 +454,15 @@ mod tests {
         let dir = temp_dir("enospc");
         let plan = FsFaultPlan::none().fail_write(0, WriteFault::Enospc);
         let mut store = CheckpointStore::with_faults(&dir, 1, 2, plan);
-        let err = store.save(0, "preprocess", records()).expect_err("ENOSPC surfaces");
+        let err = store
+            .save(0, "preprocess", records())
+            .expect_err("ENOSPC surfaces");
         assert!(err.to_string().contains("space"));
         assert!(store.is_degraded());
         // Degraded: silently skipped, no second error.
-        assert!(!store.save(1, "alignment", records()).expect("skip is Ok(false)"));
+        assert!(!store
+            .save(1, "alignment", records())
+            .expect("skip is Ok(false)"));
         assert!(matches!(store.load(1, "alignment"), LoadOutcome::Missing));
         let _ = fs::remove_dir_all(&dir);
     }
@@ -391,7 +473,80 @@ mod tests {
         let mut store = CheckpointStore::new(&dir, 1, 2);
         assert!(store.save(0, "preprocess", records()).is_err());
         assert!(store.is_degraded());
-        assert!(!store.save(1, "alignment", records()).expect("degraded skip"));
+        assert!(!store
+            .save(1, "alignment", records())
+            .expect("degraded skip"));
+    }
+
+    #[test]
+    fn concurrent_writers_sharing_a_directory_never_tear_each_other() {
+        let dir = temp_dir("concurrent");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let writers = 4;
+        let rounds = 25;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    // Each thread is its own store — the serve layer gives
+                    // every concurrent job a store over a shared layout.
+                    let mut store = CheckpointStore::new(&dir, 0xC0, 0xD0);
+                    for round in 0..rounds {
+                        let payload = vec![format!("w{w} r{round}").into_bytes()];
+                        // Same phase ids from every writer: maximal rename
+                        // contention on the final names and the manifest.
+                        store
+                            .save(w as u32 % 2, "preprocess", payload)
+                            .expect("concurrent save");
+                    }
+                });
+            }
+        });
+        // Every surviving file verifies (no torn writes), the manifest is
+        // whole, and no temp litter remains.
+        let mut reader = CheckpointStore::new(&dir, 0xC0, 0xD0);
+        for phase in 0..2 {
+            assert!(
+                matches!(reader.load(phase, "preprocess"), LoadOutcome::Loaded(_)),
+                "phase {phase} failed to verify after concurrent writes"
+            );
+        }
+        assert!(fs::read_to_string(manifest_path(&dir))
+            .expect("manifest written")
+            .contains("focus checkpoint manifest"));
+        for entry in fs::read_dir(&dir).expect("readdir") {
+            let name = entry.expect("entry").file_name();
+            let name = name.to_string_lossy();
+            assert!(
+                !name.contains(".tmp."),
+                "leftover temp file {name} after clean shutdown"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_manifest_lock_is_broken_not_waited_on() {
+        let dir = temp_dir("stalelock");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let lock = dir.join(".MANIFEST.lock");
+        fs::write(&lock, b"").expect("plant lock");
+        // Backdate the lock beyond the stale threshold so the writer
+        // breaks it instead of skipping the manifest rewrite.
+        let old = std::time::SystemTime::now() - (MANIFEST_LOCK_STALE + Duration::from_secs(60));
+        fs::File::options()
+            .write(true)
+            .open(&lock)
+            .and_then(|f| f.set_modified(old))
+            .expect("backdate lock");
+        let mut store = CheckpointStore::new(&dir, 1, 2);
+        assert!(store.save(0, "preprocess", records()).expect("save"));
+        assert!(
+            fs::read_to_string(manifest_path(&dir)).is_ok(),
+            "manifest must be rewritten after breaking the stale lock"
+        );
+        assert!(!lock.exists(), "broken lock must not linger");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

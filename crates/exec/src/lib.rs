@@ -61,6 +61,33 @@ impl Pool {
         Pool { threads: 1 }
     }
 
+    /// [`Pool::new`] plus an oversubscription warning: when an *explicit*
+    /// `threads` exceeds the machine's available parallelism the requested
+    /// count is still honoured (results are thread-count-independent, and
+    /// callers may be benchmarking oversubscription on purpose), but the
+    /// condition is recorded on `rec` — the `sched.threads.oversubscribed`
+    /// counter plus an instant event carrying requested vs available — so
+    /// it shows up in traces instead of being silently absorbed as a
+    /// slowdown. `sched.*` is excluded from logical-clock snapshots, so
+    /// recording it never breaks byte-determinism.
+    pub fn new_obs(threads: usize, rec: &Recorder) -> Pool {
+        let available = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        if threads > available && rec.is_enabled() {
+            rec.add("sched.threads.oversubscribed", 1);
+            rec.instant(
+                "sched",
+                "sched.threads.oversubscribed",
+                &[
+                    ("requested", threads as i64),
+                    ("available", available as i64),
+                ],
+            );
+        }
+        Pool::new(threads)
+    }
+
     /// The resolved worker count (≥ 1).
     pub fn threads(&self) -> usize {
         self.threads
@@ -296,6 +323,40 @@ mod tests {
     }
 
     #[test]
+    fn new_obs_warns_on_oversubscription_without_clamping() {
+        use fc_obs::ObsOptions;
+        let rec = Recorder::new(ObsOptions::wall_clock());
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+
+        // Explicit oversubscription: honoured, but recorded.
+        let over = available + 7;
+        assert_eq!(Pool::new_obs(over, &rec).threads(), over);
+        assert_eq!(
+            rec.snapshot()
+                .counters
+                .get("sched.threads.oversubscribed")
+                .copied(),
+            Some(1)
+        );
+
+        // Auto-sizing and in-budget counts stay silent.
+        let quiet = Recorder::new(ObsOptions::wall_clock());
+        assert!(Pool::new_obs(0, &quiet).threads() >= 1);
+        assert_eq!(Pool::new_obs(1, &quiet).threads(), 1);
+        assert!(!quiet
+            .snapshot()
+            .counters
+            .contains_key("sched.threads.oversubscribed"));
+
+        // The warning stays out of deterministic logical snapshots.
+        let logical = Recorder::new(ObsOptions::logical());
+        Pool::new_obs(over, &logical);
+        assert!(!logical.snapshot_json().contains("oversubscribed"));
+    }
+
+    #[test]
     fn map_preserves_index_order() {
         for threads in [1, 2, 4, 8] {
             let pool = Pool::new(threads);
@@ -404,7 +465,10 @@ mod tests {
         let snapshot = rec.snapshot();
         assert_eq!(snapshot.counters.get("exec.tasks"), Some(&16));
         assert_eq!(snapshot.counters.get("sched.exec.dispatches"), None);
-        assert_eq!(snapshot.counters.get("sched.exec.scratch_created"), Some(&1));
+        assert_eq!(
+            snapshot.counters.get("sched.exec.scratch_created"),
+            Some(&1)
+        );
     }
 
     #[test]

@@ -34,9 +34,7 @@ use crate::config::{FocusConfig, FocusError};
 use crate::pipeline::{dedup_reverse_complements, path_contig, AssemblyResult, FocusAssembler};
 use crate::stats::{AssemblyStats, PipelineProfile};
 use fc_align::{Overlap, Overlapper, PairStats, Pool};
-use fc_ckpt::{
-    decode_from_slice, encode_to_vec, CheckpointStore, Codec, FsFaultPlan, LoadOutcome,
-};
+use fc_ckpt::{decode_from_slice, encode_to_vec, CheckpointStore, Codec, FsFaultPlan, LoadOutcome};
 use fc_dist::{DistCheckpoint, DistPhaseState, DistributedHybrid, FaultPlan, PhaseId};
 use fc_graph::{HybridSet, MultilevelSet, OverlapGraph};
 use fc_obs::{MetricsSnapshot, ObsOptions, Recorder};
@@ -371,24 +369,24 @@ impl FocusAssembler {
         });
         let resume = opts.resume;
         let mut profile = PipelineProfile::default();
-        let pool = Pool::new(config.threads);
+        let pool = Pool::new_obs(config.threads, rec);
 
-        let store_reads = match load_phase::<ReadStore>(&mut store, rec, resume, CkptPhase::Preprocess)
-        {
-            Some(s) => s,
-            None => {
-                let s = ReadStore::preprocess(reads, &config.trim)?;
-                if s.is_empty() {
-                    return Err(FocusError::EmptyInput);
+        let store_reads =
+            match load_phase::<ReadStore>(&mut store, rec, resume, CkptPhase::Preprocess) {
+                Some(s) => s,
+                None => {
+                    let s = ReadStore::preprocess(reads, &config.trim)?;
+                    if s.is_empty() {
+                        return Err(FocusError::EmptyInput);
+                    }
+                    if rec.is_enabled() {
+                        rec.add("pipeline.reads_in", reads.len() as u64);
+                        rec.add("pipeline.reads_kept", s.len() as u64);
+                    }
+                    save_phase(&mut store, rec, CkptPhase::Preprocess, &s);
+                    s
                 }
-                if rec.is_enabled() {
-                    rec.add("pipeline.reads_in", reads.len() as u64);
-                    rec.add("pipeline.reads_kept", s.len() as u64);
-                }
-                save_phase(&mut store, rec, CkptPhase::Preprocess, &s);
-                s
-            }
-        };
+            };
         if opts.stop_after == Some(CkptPhase::Preprocess) {
             return Ok(AssemblyOutcome::Stopped(CkptPhase::Preprocess));
         }
@@ -438,7 +436,8 @@ impl FocusAssembler {
         let hybrid = match load_phase::<HybridSet>(&mut store, rec, resume, CkptPhase::Hybrid) {
             Some(h) => h,
             None => {
-                let h = HybridSet::build_obs(&multilevel, &graph, &store_reads, &config.layout, rec);
+                let h =
+                    HybridSet::build_obs(&multilevel, &graph, &store_reads, &config.layout, rec);
                 save_phase(&mut store, rec, CkptPhase::Hybrid, &h);
                 h
             }
@@ -458,7 +457,12 @@ impl FocusAssembler {
                             .with_threads(config.threads),
                         rec,
                     )?;
-                    profile.record("partition", started.elapsed(), p.tasks.len(), pool.threads());
+                    profile.record(
+                        "partition",
+                        started.elapsed(),
+                        p.tasks.len(),
+                        pool.threads(),
+                    );
                     save_phase(&mut store, rec, CkptPhase::Partition, &p);
                     p
                 }
@@ -622,6 +626,45 @@ mod tests {
         // All nine phases checkpointed + a manifest.
         let files = std::fs::read_dir(&dir).unwrap().count();
         assert_eq!(files, CkptPhase::ALL.len() + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_checkpointed_runs_sharing_a_dir_agree_with_plain_assemble() {
+        // Two assemblies checkpointing into the same directory at once —
+        // the serve layer's restart path can race a resumed job against a
+        // retried one. Writers must never tear each other's files: both
+        // runs finish, both match the plain pipeline, and the directory
+        // still verifies for a third, resuming run.
+        let g = genome(2500, 31);
+        let reads = tiled_reads(&g, 100, 50);
+        let assembler = FocusAssembler::new(quick_config(4)).unwrap();
+        let plain = assembler.assemble(&reads).unwrap();
+        let dir = temp_dir("concurrent-share");
+        let opts = CheckpointOptions::in_dir(&dir);
+        let results: Vec<AssemblyResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (assembler, reads, opts) = (&assembler, &reads, &opts);
+                    scope.spawn(move || {
+                        completed(assembler.assemble_with_checkpoints(reads, opts).unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results {
+            assert_eq!(r.contigs, plain.contigs);
+        }
+        // The directory the race left behind is fully usable for resume.
+        let mut resume_opts = CheckpointOptions::in_dir(&dir);
+        resume_opts.resume = true;
+        let resumed = completed(
+            assembler
+                .assemble_with_checkpoints(&reads, &resume_opts)
+                .unwrap(),
+        );
+        assert_eq!(resumed.contigs, plain.contigs);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,6 +14,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod pipeline;
+pub mod serve;
 pub mod stats;
 
 pub use checkpoint::{
@@ -23,4 +24,5 @@ pub use config::{FaultInjection, FocusConfig, FocusError};
 pub use fc_obs::{ObsOptions, Recorder};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};
 pub use pipeline::{AssemblyResult, FocusAssembler, Prepared};
+pub use serve::AssemblyJobRunner;
 pub use stats::{AssemblyStats, PhaseProfile, PipelineProfile};

@@ -82,7 +82,11 @@ impl FocusAssembler {
     pub fn prepare(&self, reads: &[Read]) -> Result<Prepared, FocusError> {
         let run_started = std::time::Instant::now();
         let rec = &self.recorder;
-        let _span = rec.span_args("pipeline", "pipeline.prepare", &[("reads", reads.len() as i64)]);
+        let _span = rec.span_args(
+            "pipeline",
+            "pipeline.prepare",
+            &[("reads", reads.len() as i64)],
+        );
         let store = ReadStore::preprocess(reads, &self.config.trim)?;
         if store.is_empty() {
             return Err(FocusError::EmptyInput);
@@ -93,7 +97,7 @@ impl FocusAssembler {
         }
         let overlapper = Overlapper::new(&store, self.config.overlap)?;
         let subsets = store.split_subsets(self.config.subsets);
-        let pool = Pool::new(self.config.threads);
+        let pool = Pool::new_obs(self.config.threads, rec);
         let mut profile = PipelineProfile::default();
         let started = std::time::Instant::now();
         let (overlaps, pair_stats) = overlapper.overlap_all_obs(&subsets, &pool, rec);
@@ -131,7 +135,7 @@ impl FocusAssembler {
         let run_started = std::time::Instant::now();
         let rec = &self.recorder;
         let _span = rec.span_args("pipeline", "pipeline.assemble", &[("k", k as i64)]);
-        let pool = Pool::new(self.config.threads);
+        let pool = Pool::new_obs(self.config.threads, rec);
         let mut profile = prepared.profile.clone();
         let started = std::time::Instant::now();
         let partition = partition_graph_set_obs(

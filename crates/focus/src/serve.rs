@@ -1,0 +1,236 @@
+//! The production [`JobRunner`] behind `focus serve`: each job is one
+//! checkpointed assembly run.
+//!
+//! The runner owns a *base* [`FocusConfig`]; per job it overrides only the
+//! thread count (the server divides the machine between workers) and
+//! forces logical-clock observability, so every job's metrics snapshot is
+//! byte-identical regardless of thread count or how many times the run
+//! crashed and resumed — the oracle the serve chaos harness byte-compares.
+//!
+//! Resume is always on: the runner checkpoints every phase boundary under
+//! the job's `ckpt/` directory (keyed by the existing config/input
+//! fingerprints), so re-running after a `kill -9` continues from the last
+//! durable phase instead of starting over.
+//!
+//! Failure classification mirrors the retry contract of
+//! [`fc_serve::runner`]: distributed-stage and stage-internal errors are
+//! transient (the simulated cluster's fault injection can legitimately
+//! exhaust its own retries), while config/input/parse errors are permanent
+//! — retrying cannot fix a malformed FASTQ.
+
+use crate::checkpoint::{AssemblyOutcome, CheckpointOptions};
+use crate::config::{FocusConfig, FocusError};
+use crate::pipeline::FocusAssembler;
+use fc_obs::ObsOptions;
+use fc_seq::{fasta, fastq, Read};
+use fc_serve::{JobContext, JobError, JobOutput, JobRunner};
+use std::fs::File;
+use std::io::BufReader;
+
+/// Runs submitted FASTQ jobs through the full Focus pipeline with
+/// checkpoint/resume. See the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct AssemblyJobRunner {
+    base: FocusConfig,
+}
+
+impl AssemblyJobRunner {
+    /// Creates a runner from a validated base configuration.
+    pub fn new(base: FocusConfig) -> Result<AssemblyJobRunner, FocusError> {
+        base.validate()?;
+        Ok(AssemblyJobRunner { base })
+    }
+
+    /// The base configuration jobs run under (threads/observability are
+    /// overridden per job).
+    pub fn base_config(&self) -> &FocusConfig {
+        &self.base
+    }
+}
+
+/// Maps a pipeline failure onto the serve retry contract.
+fn classify(e: FocusError) -> JobError {
+    let transient = matches!(e, FocusError::Dist(_) | FocusError::Stage { .. });
+    JobError {
+        transient,
+        message: e.to_string(),
+    }
+}
+
+impl JobRunner for AssemblyJobRunner {
+    fn run(&self, ctx: &JobContext) -> Result<JobOutput, JobError> {
+        let file = File::open(&ctx.input_path)
+            .map_err(|e| JobError::transient(format!("open {}: {e}", ctx.input_path.display())))?;
+        let reads = fastq::parse(BufReader::new(file))
+            .map_err(|e| JobError::permanent(format!("parse FASTQ: {e}")))?;
+        if ctx.canceled() {
+            return Err(JobError::permanent("canceled before assembly started"));
+        }
+
+        let mut config = self.base;
+        config.threads = ctx.threads.max(1);
+        config.observability = ObsOptions::logical();
+        let assembler = FocusAssembler::new(config).map_err(classify)?;
+        let mut opts = CheckpointOptions::in_dir(&ctx.ckpt_dir);
+        opts.resume = true;
+        let outcome = assembler
+            .assemble_with_checkpoints(&reads, &opts)
+            .map_err(classify)?;
+        let result = match outcome {
+            AssemblyOutcome::Completed(result) => result,
+            // Unreachable without stop_after, but keep it typed and
+            // retryable rather than panicking in a worker.
+            AssemblyOutcome::Stopped(phase) => {
+                return Err(JobError::transient(format!(
+                    "run stopped unexpectedly after phase {}",
+                    phase.name()
+                )));
+            }
+        };
+
+        // Render contigs exactly like `focus assemble` writes them, so a
+        // served job and a CLI run are byte-comparable.
+        let contig_reads: Vec<Read> = result
+            .contigs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Read::new(format!("contig_{i} len={}", c.len()), c.clone()))
+            .collect();
+        let mut contigs_fasta = Vec::new();
+        fasta::write(&mut contigs_fasta, &contig_reads, 70)
+            .map_err(|e| JobError::permanent(format!("render contigs: {e}")))?;
+
+        Ok(JobOutput {
+            contigs_fasta,
+            metrics_json: assembler.recorder().snapshot_json(),
+            num_contigs: result.stats.num_contigs as u64,
+            n50: result.stats.n50 as u64,
+            total_bases: result.stats.total_bases as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::{Base, DnaString};
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn genome(len: usize, seed: u64) -> DnaString {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Base::from_code((state >> 5) as u8 & 3)
+            })
+            .collect()
+    }
+
+    fn tiled_reads(genome: &DnaString, read_len: usize, stride: usize) -> Vec<Read> {
+        let mut reads = Vec::new();
+        let mut start = 0;
+        while start + read_len <= genome.len() {
+            reads.push(Read::new(
+                format!("r{start}"),
+                genome.slice(start, start + read_len),
+            ));
+            start += stride;
+        }
+        reads
+    }
+
+    fn quick_config(k: usize) -> FocusConfig {
+        let mut c = FocusConfig {
+            partitions: k,
+            ..Default::default()
+        };
+        c.trim.min_read_len = 30;
+        c.overlap.min_overlap_len = 40;
+        c
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fc-focus-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn write_fastq(dir: &std::path::Path, reads: &[Read]) -> PathBuf {
+        let path = dir.join("input.fastq");
+        let mut bytes = Vec::new();
+        fastq::write(&mut bytes, reads, 30).expect("render fastq");
+        std::fs::write(&path, bytes).expect("write fastq");
+        path
+    }
+
+    fn ctx(dir: &std::path::Path, input: PathBuf) -> JobContext {
+        JobContext {
+            id: fc_serve::JobId(1),
+            tenant: "t".to_string(),
+            input_path: input,
+            ckpt_dir: dir.join("ckpt"),
+            threads: 1,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[test]
+    fn runs_a_job_and_resumes_byte_identically() {
+        let dir = temp_dir("resume");
+        let g = genome(2_000, 7);
+        let input = write_fastq(&dir, &tiled_reads(&g, 120, 40));
+        let runner = AssemblyJobRunner::new(quick_config(4)).expect("runner");
+
+        let first = runner.run(&ctx(&dir, input.clone())).expect("first run");
+        assert!(first.num_contigs >= 1);
+        assert!(!first.contigs_fasta.is_empty());
+        assert!(first.metrics_json.contains("focus-metrics-v1"));
+
+        // Second run resumes from the checkpoints the first one left and
+        // must reproduce outputs and logical metrics byte for byte.
+        let second = runner.run(&ctx(&dir, input)).expect("resumed run");
+        assert_eq!(first.contigs_fasta, second.contigs_fasta);
+        assert_eq!(first.metrics_json, second.metrics_json);
+        assert_eq!(
+            (first.num_contigs, first.n50, first.total_bases),
+            (second.num_contigs, second.n50, second.total_bases)
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_a_permanent_error() {
+        let dir = temp_dir("badinput");
+        let input = dir.join("bad.fastq");
+        std::fs::write(&input, b"this is not fastq\n").expect("write");
+        let runner = AssemblyJobRunner::new(quick_config(4)).expect("runner");
+        let err = runner.run(&ctx(&dir, input)).expect_err("must fail");
+        assert!(!err.transient, "parse failures must not retry: {err:?}");
+    }
+
+    #[test]
+    fn missing_input_is_transient() {
+        let dir = temp_dir("missing");
+        let runner = AssemblyJobRunner::new(quick_config(4)).expect("runner");
+        let err = runner
+            .run(&ctx(&dir, dir.join("nope.fastq")))
+            .expect_err("must fail");
+        assert!(err.transient, "i/o failures are retryable: {err:?}");
+    }
+
+    #[test]
+    fn classification_follows_the_retry_contract() {
+        assert!(
+            classify(FocusError::Dist(fc_dist::DistError::InvalidRetryPolicy(
+                "x".to_string()
+            )))
+            .transient
+        );
+        assert!(!classify(FocusError::EmptyInput).transient);
+        assert!(!classify(FocusError::Config("bad".to_string())).transient);
+    }
+}

@@ -193,6 +193,8 @@ fn layout_cluster_inner(
     let mut offset: HashMap<NodeId, i64> = HashMap::with_capacity(nodes.len());
 
     // BFS from the first node, walking dovetail edges in both directions.
+    // The queue is bounded by the cluster's node count: each node enters
+    // exactly once, gated by the `offset` visited map.
     let start = nodes[0];
     offset.insert(start, 0);
     let mut queue = std::collections::VecDeque::from([start]);

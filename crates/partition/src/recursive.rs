@@ -317,6 +317,8 @@ fn repair_empty_partitions(g: &fc_graph::LevelGraph, parts: &mut [u32], k: usize
         let mut in_donor = std::collections::HashSet::new();
         in_donor.extend(donor_nodes.iter().copied());
         let mut visited = std::collections::HashSet::new();
+        // BFS queue bounded by the donor part's node count: `visited`
+        // admits each node once.
         let mut queue = std::collections::VecDeque::from([donor_nodes[0]]);
         visited.insert(donor_nodes[0]);
         while let Some(v) = queue.pop_front() {

@@ -1,0 +1,84 @@
+//! Typed errors for the serving layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the serve subsystem outside the HTTP request cycle
+/// (state-directory I/O, startup, recovery). Request-level refusals are
+/// modelled separately as [`crate::sched::Rejection`] so that backpressure
+/// is a *value*, not an error path.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O operation on the state directory or a socket failed.
+    Io {
+        /// What the server was doing when the operation failed.
+        context: String,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A persisted artifact (job metadata, status file) failed validation.
+    Corrupt {
+        /// Path-ish description of the artifact.
+        what: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// The server configuration is invalid (zero capacities, bad address).
+    Config(ServeConfigError),
+}
+
+/// A specific, typed configuration defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfigError {
+    /// The offending field.
+    pub field: &'static str,
+    /// Human-readable constraint that was violated.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Wraps an I/O error with the operation that produced it.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        ServeError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Builds a [`ServeError::Corrupt`] for a persisted artifact.
+    pub fn corrupt(what: impl Into<String>, message: impl Into<String>) -> Self {
+        ServeError::Corrupt {
+            what: what.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a [`ServeError::Config`] for a bad configuration field.
+    pub fn config(field: &'static str, message: impl Into<String>) -> Self {
+        ServeError::Config(ServeConfigError {
+            field,
+            message: message.into(),
+        })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "serve i/o: {context}: {source}"),
+            ServeError::Corrupt { what, message } => {
+                write!(f, "serve state corrupt: {what}: {message}")
+            }
+            ServeError::Config(e) => write!(f, "serve config: {}: {}", e.field, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

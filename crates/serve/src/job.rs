@@ -1,0 +1,115 @@
+//! Job identity and priority.
+
+use std::fmt;
+
+/// A server-assigned job identifier, monotonically increasing across the
+/// lifetime of a state directory (restarts continue the sequence, they do
+/// not reuse identifiers). Rendered as `job-000042`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// Directory / URL segment name for this job.
+    pub fn dir_name(self) -> String {
+        format!("{self}")
+    }
+
+    /// Parses a `job-NNNNNN` segment back into an identifier.
+    pub fn parse(s: &str) -> Option<JobId> {
+        let digits = s.strip_prefix("job-")?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse::<u64>().ok().map(JobId)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{:06}", self.0)
+    }
+}
+
+/// Job priority. Under saturation the scheduler sheds the newest queued
+/// job of the lowest present priority to make room for a strictly
+/// higher-priority arrival; dispatch within a tenant always prefers
+/// higher priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Shed first; dispatched only when nothing else is queued.
+    Low,
+    /// The default.
+    Normal,
+    /// Dispatched first within a tenant; never shed in favour of others.
+    High,
+}
+
+impl Priority {
+    /// All priorities, lowest first. Index order matches [`Priority::index`].
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Stable wire/disk name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses a wire/disk name (case-sensitive, matching [`Priority::as_str`]).
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+
+    /// Index into per-priority queue arrays: low = 0, normal = 1, high = 2.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_round_trips_through_display() {
+        for raw in [0u64, 1, 41, 999_999, 1_000_000, u64::MAX] {
+            let id = JobId(raw);
+            assert_eq!(JobId::parse(&id.dir_name()), Some(id));
+        }
+        assert_eq!(format!("{}", JobId(42)), "job-000042");
+    }
+
+    #[test]
+    fn job_id_parse_rejects_garbage() {
+        for bad in ["job-", "job", "job-12x", "42", "job--1", "JOB-000001"] {
+            assert_eq!(JobId::parse(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn priority_round_trips_and_orders() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::parse(p.as_str()), Some(p));
+        }
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+}

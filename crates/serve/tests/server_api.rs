@@ -1,0 +1,358 @@
+//! End-to-end API tests for the serve daemon over real sockets, using a
+//! mock [`JobRunner`] so no assembly pipeline is needed: admission,
+//! status/artifact retrieval, backpressure, shedding, cancellation,
+//! deadlines, and fast-shutdown → restart resume.
+
+use fc_serve::sched::SchedConfig;
+use fc_serve::server::{Serve, ServeConfig};
+use fc_serve::{JobContext, JobError, JobOutput, JobRunner};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic mock: "assembles" the input by uppercasing it; sleeps
+/// `delay` per run so tests can hold jobs in the queue.
+struct MockRunner {
+    delay: Duration,
+}
+
+impl JobRunner for MockRunner {
+    fn run(&self, ctx: &JobContext) -> Result<JobOutput, JobError> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        let input = std::fs::read(&ctx.input_path)
+            .map_err(|e| JobError::permanent(format!("read input: {e}")))?;
+        let body = String::from_utf8_lossy(&input).to_uppercase();
+        Ok(JobOutput {
+            contigs_fasta: format!(">contig_0 len={}\n{body}\n", body.trim().len()).into_bytes(),
+            metrics_json: format!("{{\"len\":{}}}", body.trim().len()),
+            num_contigs: 1,
+            n50: body.trim().len() as u64,
+            total_bases: body.trim().len() as u64,
+        })
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fc-serve-api-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        http_threads: 2,
+        backoff_unit: Duration::ZERO,
+        sched: SchedConfig {
+            per_tenant_capacity: 4,
+            total_capacity: 6,
+            max_tenants: 4,
+            quantum: 2,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Minimal HTTP/1.1 client: one request, returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {text}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn json_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = body.find(&pat)? + pat.len();
+    let end = body[start..].find('"')? + start;
+    Some(&body[start..end])
+}
+
+fn submit(addr: SocketAddr, query: &str, body: &[u8]) -> (u16, String) {
+    request(addr, "POST", &format!("/jobs{query}"), body)
+}
+
+fn wait_terminal(addr: SocketAddr, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), b"");
+        assert_eq!(status, 200, "{body}");
+        let state = json_field(&body, "state").expect("state field").to_string();
+        if !matches!(state.as_str(), "queued" | "running") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn submit_runs_and_serves_artifacts() {
+    let server = Serve::start(
+        small_config(),
+        temp_dir("roundtrip"),
+        Arc::new(MockRunner {
+            delay: Duration::ZERO,
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", b"");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = submit(addr, "?tenant=alice&priority=high", b"acgt");
+    assert_eq!(status, 202, "{body}");
+    let id = json_field(&body, "id").expect("id").to_string();
+
+    let terminal = wait_terminal(addr, &id);
+    assert_eq!(json_field(&terminal, "state"), Some("done"), "{terminal}");
+    assert!(terminal.contains("\"num_contigs\":1"), "{terminal}");
+
+    let (status, contigs) = request(addr, "GET", &format!("/jobs/{id}/contigs"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(contigs, ">contig_0 len=4\nACGT\n");
+    let (status, metrics) = request(addr, "GET", &format!("/jobs/{id}/metrics"), b"");
+    assert_eq!((status, metrics.as_str()), (200, "{\"len\":4}"));
+
+    let (status, metrics) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("serve.jobs.admitted"), "{metrics}");
+    assert!(metrics.contains("serve.queue.depth.alice"), "{metrics}");
+
+    let (status, _) = request(addr, "GET", "/jobs/job-999999", b"");
+    assert_eq!(status, 404);
+
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn saturation_rejects_typed_and_health_stays_up() {
+    let server = Serve::start(
+        small_config(),
+        temp_dir("saturate"),
+        Arc::new(MockRunner {
+            delay: Duration::from_millis(150),
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let mut admitted = Vec::new();
+    let mut kinds = Vec::new();
+    // 1 worker × 150 ms jobs, tenant capacity 4: flood one tenant until
+    // its queue rejects.
+    for i in 0..12 {
+        let (status, body) = submit(addr, "?tenant=alice", format!("read{i}").as_bytes());
+        match status {
+            202 => admitted.push(json_field(&body, "id").expect("id").to_string()),
+            429 => kinds.push(json_field(&body, "error").expect("kind").to_string()),
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert!(!kinds.is_empty(), "flood never hit the tenant bound");
+    assert!(kinds.iter().all(|k| k == "tenant_queue_full"), "{kinds:?}");
+
+    // Health must answer while the queue is saturated.
+    let (status, _) = request(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+
+    for id in &admitted {
+        let body = wait_terminal(addr, id);
+        assert_eq!(json_field(&body, "state"), Some("done"), "{body}");
+    }
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn high_priority_sheds_queued_low_priority() {
+    let mut cfg = small_config();
+    cfg.sched.total_capacity = 2;
+    cfg.sched.per_tenant_capacity = 2;
+    let server = Serve::start(
+        cfg,
+        temp_dir("shed"),
+        Arc::new(MockRunner {
+            delay: Duration::from_millis(300),
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // First job occupies the single worker; two more fill the queue.
+    let (_, first) = submit(addr, "?tenant=a&priority=low", b"r0");
+    let first_id = json_field(&first, "id").expect("id").to_string();
+    std::thread::sleep(Duration::from_millis(50)); // let it dispatch
+    let mut low_ids = Vec::new();
+    for i in 1..=2 {
+        let (status, body) = submit(addr, "?tenant=a&priority=low", format!("r{i}").as_bytes());
+        assert_eq!(status, 202, "{body}");
+        low_ids.push(json_field(&body, "id").expect("id").to_string());
+    }
+    let (status, body) = submit(addr, "?tenant=b&priority=high", b"urgent");
+    assert_eq!(status, 202, "{body}");
+    let shed_id = json_field(&body, "shed").expect("shed field").to_string();
+    assert_eq!(shed_id, low_ids[1], "newest queued low job is the victim");
+
+    let shed_status = wait_terminal(addr, &shed_id);
+    assert_eq!(
+        json_field(&shed_status, "state"),
+        Some("shed"),
+        "{shed_status}"
+    );
+    for id in [&first_id, &low_ids[0]] {
+        assert_eq!(json_field(&wait_terminal(addr, id), "state"), Some("done"));
+    }
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn cancel_and_deadline_paths() {
+    let server = Serve::start(
+        small_config(),
+        temp_dir("cancel"),
+        Arc::new(MockRunner {
+            delay: Duration::from_millis(300),
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let (_, running) = submit(addr, "?tenant=a", b"busy");
+    let running_id = json_field(&running, "id").expect("id").to_string();
+    // Queued behind the running job: a 1 ms deadline it must miss, and a
+    // job we cancel while it waits.
+    let (_, doomed) = submit(addr, "?tenant=a&deadline_ms=1", b"late");
+    let doomed_id = json_field(&doomed, "id").expect("id").to_string();
+    let (_, waiting) = submit(addr, "?tenant=a", b"never");
+    let waiting_id = json_field(&waiting, "id").expect("id").to_string();
+
+    let (status, body) = request(addr, "DELETE", &format!("/jobs/{waiting_id}"), b"");
+    assert_eq!(status, 200, "{body}");
+    let body = wait_terminal(addr, &waiting_id);
+    assert_eq!(json_field(&body, "state"), Some("canceled"), "{body}");
+    let (status, _) = request(addr, "GET", &format!("/jobs/{waiting_id}/contigs"), b"");
+    assert_eq!(status, 409, "no artifacts for canceled jobs");
+
+    let body = wait_terminal(addr, &doomed_id);
+    assert_eq!(json_field(&body, "state"), Some("failed"), "{body}");
+    assert!(body.contains("deadline"), "{body}");
+    assert_eq!(
+        json_field(&wait_terminal(addr, &running_id), "state"),
+        Some("done")
+    );
+
+    // Cancelling a terminal job is a typed conflict.
+    let (status, _) = request(addr, "DELETE", &format!("/jobs/{waiting_id}"), b"");
+    assert_eq!(status, 409);
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn fast_shutdown_resumes_queued_jobs_on_restart() {
+    let dir = temp_dir("resume");
+    let slow = ServeConfig {
+        workers: 1,
+        ..small_config()
+    };
+    let server = Serve::start(
+        slow.clone(),
+        &dir,
+        Arc::new(MockRunner {
+            delay: Duration::from_millis(400),
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let (status, body) = submit(addr, "?tenant=a", format!("batch{i}").as_bytes());
+        assert_eq!(status, 202, "{body}");
+        ids.push(json_field(&body, "id").expect("id").to_string());
+    }
+    // Fast shutdown: the running job finishes, queued jobs stay on disk.
+    let (status, _) = request(addr, "POST", "/admin/shutdown?mode=fast", b"");
+    assert_eq!(status, 200);
+    let (status, body) = submit(addr, "?tenant=a", b"rejected");
+    assert!(
+        status == 503 || status == 400,
+        "admissions closed after shutdown: {status} {body}"
+    );
+    server.join();
+
+    // Restart on the same state dir with an instant runner.
+    let server = Serve::start(
+        slow,
+        &dir,
+        Arc::new(MockRunner {
+            delay: Duration::ZERO,
+        }),
+    )
+    .expect("restart");
+    let addr = server.addr();
+    for id in &ids {
+        let body = wait_terminal(addr, id);
+        assert_eq!(json_field(&body, "state"), Some("done"), "{body}");
+    }
+    let (_, metrics) = request(addr, "GET", "/metrics", b"");
+    assert!(metrics.contains("serve.jobs.resumed"), "{metrics}");
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn protocol_errors_are_typed() {
+    let server = Serve::start(
+        small_config(),
+        temp_dir("proto"),
+        Arc::new(MockRunner {
+            delay: Duration::ZERO,
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+    let cases: [(&str, &str, &[u8], u16); 6] = [
+        ("POST", "/jobs?tenant=bad/name", b"x", 400),
+        ("POST", "/jobs?priority=urgent", b"x", 400),
+        ("POST", "/jobs", b"", 400),
+        ("PUT", "/jobs/job-000001", b"", 405),
+        ("GET", "/nope", b"", 404),
+        ("GET", "/jobs/not-a-job", b"", 400),
+    ];
+    for (method, path, body, want) in cases {
+        let (status, resp) = request(addr, method, path, body);
+        assert_eq!(status, want, "{method} {path}: {resp}");
+    }
+    server.shutdown(true);
+    server.join();
+}

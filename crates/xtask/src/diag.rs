@@ -18,6 +18,9 @@ pub enum Rule {
     /// FC005 — raw `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
     /// non-test library code; diagnostics belong on fc-obs events.
     NoPrint,
+    /// FC006 — an unbounded channel or queue constructor in non-test
+    /// library code without a documented capacity bound nearby.
+    NoUnboundedQueue,
 }
 
 impl Rule {
@@ -29,6 +32,7 @@ impl Rule {
             Rule::ModuleCollision => "FC003",
             Rule::InvariantDoc => "FC004",
             Rule::NoPrint => "FC005",
+            Rule::NoUnboundedQueue => "FC006",
         }
     }
 
@@ -40,6 +44,7 @@ impl Rule {
             Rule::ModuleCollision => "no-module-collision",
             Rule::InvariantDoc => "invariant-doc",
             Rule::NoPrint => "no-print",
+            Rule::NoUnboundedQueue => "no-unbounded-queue",
         }
     }
 
@@ -51,18 +56,20 @@ impl Rule {
             "no-module-collision" => Some(Rule::ModuleCollision),
             "invariant-doc" => Some(Rule::InvariantDoc),
             "no-print" => Some(Rule::NoPrint),
+            "no-unbounded-queue" => Some(Rule::NoUnboundedQueue),
             _ => None,
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::NoPanic,
             Rule::StringError,
             Rule::ModuleCollision,
             Rule::InvariantDoc,
             Rule::NoPrint,
+            Rule::NoUnboundedQueue,
         ]
     }
 
@@ -89,6 +96,11 @@ impl Rule {
                 "raw stdout/stderr prints in library code bypass the structured \
                  observability layer; record an fc-obs event or metric instead so \
                  diagnostics stay machine-readable and deterministic"
+            }
+            Rule::NoUnboundedQueue => {
+                "an unbounded channel or queue in library code turns overload into \
+                 an OOM kill; size it from a config capacity, or document the bound \
+                 that the surrounding code enforces on the same or preceding lines"
             }
         }
     }

@@ -16,6 +16,12 @@
 //! * **FC004 `invariant-doc`** — a `pub fn` mutating a `DiGraph`, partition
 //!   vector, or hybrid/multilevel set must return a typed `Result` or carry
 //!   a `# Invariants` doc section.
+//! * **FC005 `no-print`** — no raw `println!`-family output in library
+//!   code; diagnostics go through fc-obs.
+//! * **FC006 `no-unbounded-queue`** — no unbounded channels or queues
+//!   (`unbounded()`, `mpsc::channel`, `Injector::new`); `VecDeque` queues
+//!   must document their capacity bound on or just above the construction
+//!   site. Admission control is explicit or it does not exist.
 //!
 //! Justified exceptions live in `xtask/allow.toml`, each with a mandatory
 //! `reason`. The binary exits nonzero on any unsuppressed finding so CI can

@@ -1,5 +1,5 @@
 //! The Focus-specific lint rules, run over one lexed source file (FC001,
-//! FC002, FC004, FC005) or one crate's module list (FC003).
+//! FC002, FC004, FC005, FC006) or one crate's module list (FC003).
 
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{lex, Token, TokenKind};
@@ -28,6 +28,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     no_panic(rel_path, &tokens, &excluded, &snippet, &mut out);
     no_print(rel_path, &tokens, &excluded, &snippet, &mut out);
+    no_unbounded_queue(rel_path, &tokens, &excluded, &lines, &snippet, &mut out);
     pub_fn_rules(rel_path, &tokens, &excluded, &snippet, &mut out);
     out
 }
@@ -252,6 +253,100 @@ fn no_print(
                        observe) and let the binary choose the sink; if this print is \
                        intentional, allowlist it in xtask/allow.toml with a reason"
                     .to_string(),
+            });
+        }
+    }
+}
+
+/// FC006 — unbounded channel/queue constructors in non-test library code.
+///
+/// Flags `unbounded(...)`/`unbounded_channel(...)`, `mpsc::channel(...)`
+/// (std's unbounded flavour; `sync_channel` is fine) and
+/// `Injector::new(...)` outright — a producer that outruns its consumer
+/// grows these without limit, so admission control has to live somewhere
+/// and the allowlist entry is where its reason is recorded. `VecDeque`
+/// constructors are flagged too, unless the word "bound" (as in "bounded
+/// by", "capacity bound") appears on the same or one of the four
+/// preceding source lines — a Vec-backed queue is legitimate exactly when
+/// the surrounding code states what bounds it.
+fn no_unbounded_queue(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    lines: &[&str],
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let documented_bound = |line: usize| {
+        // `line` is 1-based: inspect it and up to 4 preceding raw lines.
+        (line.saturating_sub(5)..line)
+            .filter_map(|idx| lines.get(idx))
+            .any(|l| l.to_ascii_lowercase().contains("bound"))
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let punct_at =
+            |k: usize, c: char| tokens.get(i + k).map(|n| n.is_punct(c)).unwrap_or(false);
+        let ident_at = |k: usize| {
+            tokens
+                .get(i + k)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| n.text.as_str())
+        };
+        // `Type::ctor(` — the constructor ident two `:` puncts ahead.
+        let path_ctor = || {
+            (punct_at(1, ':') && punct_at(2, ':') && punct_at(4, '('))
+                .then(|| ident_at(3))
+                .flatten()
+        };
+        let found = match t.text.as_str() {
+            "unbounded" | "unbounded_channel" if punct_at(1, '(') => Some((
+                format!("`{}(..)` creates an unbounded channel", t.text),
+                "use a bounded channel sized from a config capacity, or allowlist \
+                 in xtask/allow.toml stating what bounds the producer",
+            )),
+            "channel"
+                if punct_at(1, '(')
+                    && i >= 3
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':')
+                    && tokens[i - 3].is_ident("mpsc") =>
+            {
+                Some((
+                    "`mpsc::channel(..)` is unbounded".to_string(),
+                    "use `mpsc::sync_channel(cap)` with a config-derived capacity, or \
+                     allowlist in xtask/allow.toml stating what bounds the producer",
+                ))
+            }
+            "Injector" if path_ctor() == Some("new") => Some((
+                "`Injector::new()` is an unbounded work queue".to_string(),
+                "bound what gets pushed (chunk the input) and allowlist in \
+                 xtask/allow.toml stating that bound",
+            )),
+            "VecDeque"
+                if matches!(path_ctor(), Some("new" | "with_capacity" | "from"))
+                    && !documented_bound(t.line) =>
+            {
+                Some((
+                    "`VecDeque` queue without a documented capacity bound".to_string(),
+                    "state the bound in a comment on or just above this line (e.g. \
+                     \"bounded by cfg.capacity, checked in admit\"), size it from \
+                     config, or allowlist in xtask/allow.toml with a reason",
+                ))
+            }
+            _ => None,
+        };
+        if let Some((message, help)) = found {
+            out.push(Diagnostic {
+                rule: Rule::NoUnboundedQueue,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+                snippet: snippet(t.line),
+                help: help.to_string(),
             });
         }
     }
@@ -719,7 +814,11 @@ fn top_level_test() { None::<u32>.unwrap(); }
     fn flags_print_macros_in_library_code() {
         let src = "pub fn f() { println!(\"x\"); eprintln!(\"y\"); }\nfn g() { dbg!(1); print!(\"a\"); eprint!(\"b\"); }\n";
         let hits = rules_hit(src);
-        assert_eq!(hits.iter().filter(|(c, _)| *c == "FC005").count(), 5, "{hits:?}");
+        assert_eq!(
+            hits.iter().filter(|(c, _)| *c == "FC005").count(),
+            5,
+            "{hits:?}"
+        );
     }
 
     #[test]
@@ -738,6 +837,48 @@ mod tests {
     fn t() { println!("debugging a test is fine"); }
 }
 "#;
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn flags_unbounded_channels_and_injector() {
+        let src = "\
+fn a() { let (tx, rx) = crossbeam::channel::unbounded(); }
+fn b() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); }
+fn c() { let inj: Injector<u32> = Injector::new(); }
+fn d() { let (tx, rx) = std::sync::mpsc::sync_channel(16); }
+";
+        let hits = rules_hit(src);
+        assert_eq!(
+            hits.iter().filter(|(c, _)| *c == "FC006").count(),
+            2,
+            "{hits:?}"
+        );
+        // Turbofish on `channel::<u32>` hides the call parens from the
+        // simple pattern; the plain form and `unbounded` are caught, and
+        // `sync_channel` is never flagged.
+        assert!(hits.contains(&("FC006", 1)), "{hits:?}");
+        assert!(hits.contains(&("FC006", 3)), "{hits:?}");
+    }
+
+    #[test]
+    fn vecdeque_needs_a_documented_bound() {
+        let bare = "fn f() { let q = std::collections::VecDeque::from([1u32]); }\n";
+        assert_eq!(rules_hit(bare), vec![("FC006", 1)]);
+        let documented = "\
+fn f() {
+    // Bounded by the node count: each node is pushed at most once.
+    let q = std::collections::VecDeque::from([1u32]);
+}
+";
+        assert!(rules_hit(documented).is_empty());
+        let same_line = "fn f() { let q: std::collections::VecDeque<u32> = std::collections::VecDeque::new(); /* bounded by admit() */ }\n";
+        assert!(rules_hit(same_line).is_empty());
+    }
+
+    #[test]
+    fn queues_in_tests_escape_fc006() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let q = std::collections::VecDeque::from([1]); }\n}\n";
         assert!(rules_hit(src).is_empty());
     }
 

@@ -27,6 +27,7 @@ USAGE:
     focus variants --input <reads.{fasta,fastq}> [options]
     focus classify --input <reads.{fasta,fastq}> --references <refs.fasta>
     focus obs-check [--trace <t.json>] [--metrics <m.json>] [--events <e.jsonl>]
+    focus serve    --state-dir <dir> [options]
     focus help
 
 ASSEMBLE OPTIONS:
@@ -84,6 +85,24 @@ VARIANTS OPTIONS (assemble options also apply):
 CLASSIFY OPTIONS:
     --references <path>    reference FASTA, one record per taxon
     --kmer <k>             classification k-mer length           [default: 21]
+
+SERVE OPTIONS (assemble options set the base pipeline config):
+    --state-dir <dir>      durable job state; restart on the same dir
+                           resumes every unfinished job
+    --addr <host:port>     bind address (port 0 picks a free port)
+                                                 [default: 127.0.0.1:7070]
+    --workers <n>          concurrent assembly jobs; 0 = 2       [default: 0]
+    --http-threads <n>     HTTP handler threads; 0 = 2           [default: 0]
+    --job-threads <n>      threads per job; 0 = cores/workers    [default: 0]
+    --tenant-capacity <n>  queued jobs per tenant                [default: 32]
+    --queue-capacity <n>   queued jobs across all tenants        [default: 256]
+    --max-tenants <n>      distinct tenants with live queues     [default: 64]
+    --quantum <n>          jobs per tenant per round-robin turn  [default: 4]
+    --max-attempts <n>     attempts per job incl. retries        [default: 4]
+
+    Prints `serve: listening on <addr>` once ready, then blocks. Stop it
+    with POST /admin/shutdown?mode=drain|fast (fast leaves queued jobs on
+    disk; the next start on the same --state-dir re-admits them).
 ";
 
 fn main() -> ExitCode {
@@ -96,6 +115,7 @@ fn main() -> ExitCode {
         Some("variants") => variants(&args[1..]),
         Some("classify") => classify(&args[1..]),
         Some("obs-check") => obs_check(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             Ok(())
@@ -334,10 +354,7 @@ fn build_config(opts: &Options) -> Result<FocusConfig, String> {
 /// Writes the sinks requested by `--trace`, `--metrics` and `--events` from
 /// the run's recorder, and prints the human-readable metrics report when
 /// anything was recorded.
-fn write_obs_sinks(
-    opts: &Options,
-    rec: &focus_assembler::obs::Recorder,
-) -> Result<(), String> {
+fn write_obs_sinks(opts: &Options, rec: &focus_assembler::obs::Recorder) -> Result<(), String> {
     use focus_assembler::obs::{human_report, write_chrome_trace, write_jsonl};
     if !rec.is_enabled() {
         return Ok(());
@@ -362,27 +379,67 @@ fn write_obs_sinks(
     Ok(())
 }
 
+/// `focus serve` — a durable multi-tenant assembly job server. Builds the
+/// base pipeline config from the same flags as `assemble`, then hands jobs
+/// to [`AssemblyJobRunner`] with per-job checkpoint/resume.
+fn serve(args: &[String]) -> Result<(), String> {
+    use focus_assembler::focus::AssemblyJobRunner;
+    use focus_assembler::serve::{SchedConfig, Serve, ServeConfig};
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    let opts = Options::parse(args)?;
+    let state_dir = opts.require("state-dir")?.to_string();
+    let runner = AssemblyJobRunner::new(build_config(&opts)?).map_err(|e| e.to_string())?;
+
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
+        workers: opts.get_parsed("workers", 0usize)?,
+        http_threads: opts.get_parsed("http-threads", 0usize)?,
+        job_threads: opts.get_parsed("job-threads", opts.get_parsed("threads", 0usize)?)?,
+        sched: SchedConfig {
+            per_tenant_capacity: opts
+                .get_parsed("tenant-capacity", defaults.sched.per_tenant_capacity)?,
+            total_capacity: opts.get_parsed("queue-capacity", defaults.sched.total_capacity)?,
+            max_tenants: opts.get_parsed("max-tenants", defaults.sched.max_tenants)?,
+            quantum: opts.get_parsed("quantum", defaults.sched.quantum)?,
+        },
+        retry: focus_assembler::dist::RetryPolicy {
+            max_attempts: opts.get_parsed("max-attempts", defaults.retry.max_attempts)?,
+            ..defaults.retry
+        },
+        ..defaults
+    };
+
+    let server = Serve::start(cfg, &state_dir, Arc::new(runner)).map_err(|e| e.to_string())?;
+    // The chaos harness and the README walkthrough parse this exact line to
+    // learn the bound port: keep the format stable and flush immediately.
+    println!("serve: listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+    eprintln!("state dir {state_dir}; POST /admin/shutdown?mode=drain to stop");
+    server.join();
+    Ok(())
+}
+
 fn obs_check(args: &[String]) -> Result<(), String> {
     use focus_assembler::obs::{check_chrome_trace, check_jsonl_events, check_metrics_snapshot};
     let opts = Options::parse(args)?;
     let mut checked = 0usize;
     if let Some(path) = opts.get("trace") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let n = check_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
         println!("trace   {path}: ok ({n} events)");
         checked += 1;
     }
     if let Some(path) = opts.get("events") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let n = check_jsonl_events(&text).map_err(|e| format!("{path}: {e}"))?;
         println!("events  {path}: ok ({n} events)");
         checked += 1;
     }
     if let Some(path) = opts.get("metrics") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         check_metrics_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
         println!("metrics {path}: ok");
         checked += 1;

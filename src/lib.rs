@@ -13,5 +13,6 @@ pub use fc_graph as graph;
 pub use fc_obs as obs;
 pub use fc_partition as partition;
 pub use fc_seq as seq;
+pub use fc_serve as serve;
 pub use fc_sim as sim;
 pub use focus_core as focus;
