@@ -13,10 +13,11 @@
 //! durable phase instead of starting over.
 //!
 //! Failure classification mirrors the retry contract of
-//! [`fc_serve::runner`]: distributed-stage and stage-internal errors are
-//! transient (the simulated cluster's fault injection can legitimately
-//! exhaust its own retries), while config/input/parse errors are permanent
-//! — retrying cannot fix a malformed FASTQ.
+//! [`fc_serve::runner`]: rank-loss failures from the simulated cluster's
+//! fault injection and stage-internal errors are transient (a retry can
+//! legitimately succeed), while config/validation/input errors are
+//! permanent — retrying cannot fix a malformed FASTQ or an invalid retry
+//! policy, so such jobs must not burn the backoff budget.
 
 use crate::checkpoint::{AssemblyOutcome, CheckpointOptions};
 use crate::config::{FocusConfig, FocusError};
@@ -48,9 +49,19 @@ impl AssemblyJobRunner {
     }
 }
 
-/// Maps a pipeline failure onto the serve retry contract.
+/// Maps a pipeline failure onto the serve retry contract. Distributed
+/// errors are split by variant: only fault-injection losses (ranks dying,
+/// partitions lost in flight) can succeed on retry; validation, config and
+/// invariant defects are deterministic and fail the same way every attempt.
 fn classify(e: FocusError) -> JobError {
-    let transient = matches!(e, FocusError::Dist(_) | FocusError::Stage { .. });
+    let transient = match &e {
+        FocusError::Dist(d) => matches!(
+            d,
+            fc_dist::DistError::AllRanksDead { .. } | fc_dist::DistError::LostPartition { .. }
+        ),
+        FocusError::Stage { .. } => true,
+        _ => false,
+    };
     JobError {
         transient,
         message: e.to_string(),
@@ -224,12 +235,30 @@ mod tests {
 
     #[test]
     fn classification_follows_the_retry_contract() {
+        use fc_dist::DistError;
+        // Fault-injection losses can succeed on retry.
         assert!(
-            classify(FocusError::Dist(fc_dist::DistError::InvalidRetryPolicy(
+            classify(FocusError::Dist(DistError::AllRanksDead {
+                phase: fc_dist::PhaseId::ErrorRemoval
+            }))
+            .transient
+        );
+        assert!(
+            classify(FocusError::Stage {
+                stage: "traversal",
+                message: "boom".to_string()
+            })
+            .transient
+        );
+        // Config/validation defects fail identically every attempt and must
+        // not burn the retry budget.
+        assert!(
+            !classify(FocusError::Dist(DistError::InvalidRetryPolicy(
                 "x".to_string()
             )))
             .transient
         );
+        assert!(!classify(FocusError::Dist(DistError::NoRanks)).transient);
         assert!(!classify(FocusError::EmptyInput).transient);
         assert!(!classify(FocusError::Config("bad".to_string())).transient);
     }

@@ -8,10 +8,14 @@
 //! serving layer's "never OOM" rule.
 //!
 //! The parser works over any [`Read`], so unit tests drive it with
-//! in-memory cursors and the server hands it `TcpStream`s with read
-//! timeouts applied.
+//! in-memory cursors and the server hands it `TcpStream`s wrapped in a
+//! [`DeadlineReader`], which bounds the total wall-clock spent reading one
+//! request (a per-read socket timeout alone resets on every byte, so a
+//! slow-loris client could pin a handler thread indefinitely).
 
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line + headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -97,6 +101,45 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+}
+
+/// [`Read`] adapter that enforces a total wall-clock budget across every
+/// read of one request. Before each read it installs `min(per_read, time
+/// left)` as the socket read timeout, so no single read outlives the
+/// deadline and the whole request fails with [`io::ErrorKind::TimedOut`]
+/// once the budget is spent — regardless of how slowly the peer drips
+/// bytes.
+pub struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    per_read: Duration,
+    deadline: Instant,
+}
+
+impl<'a> DeadlineReader<'a> {
+    /// Wraps `stream` with a fresh `budget` starting now; `per_read` caps
+    /// each individual read on top of the overall deadline.
+    pub fn new(stream: &'a TcpStream, per_read: Duration, budget: Duration) -> Self {
+        DeadlineReader {
+            stream,
+            per_read,
+            deadline: Instant::now() + budget,
+        }
+    }
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let left = self.deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request wall-clock budget exhausted",
+            ));
+        }
+        self.stream.set_read_timeout(Some(left.min(self.per_read)))?;
+        let mut stream = self.stream;
+        stream.read(buf)
     }
 }
 

@@ -281,8 +281,17 @@ impl Scheduler {
         if self.closed {
             return AdmitOutcome::Rejected(Rejection::Closed);
         }
-        let idx = match self.tenants.iter().position(|t| t.name == tenant) {
-            Some(i) => i,
+        let existing = self.tenants.iter().position(|t| t.name == tenant);
+        match existing {
+            Some(i) => {
+                let depth = self.tenants[i].depth();
+                if depth >= self.cfg.per_tenant_capacity {
+                    return AdmitOutcome::Rejected(Rejection::TenantQueueFull {
+                        depth,
+                        capacity: self.cfg.per_tenant_capacity,
+                    });
+                }
+            }
             None => {
                 if self.tenants.len() >= self.cfg.max_tenants {
                     return AdmitOutcome::Rejected(Rejection::TooManyTenants {
@@ -290,21 +299,7 @@ impl Scheduler {
                         max_tenants: self.cfg.max_tenants,
                     });
                 }
-                self.tenants.push(Tenant {
-                    name: tenant.to_string(),
-                    // Each queue is bounded by cfg.per_tenant_capacity,
-                    // enforced a few lines below before any push.
-                    queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-                });
-                self.tenants.len() - 1
             }
-        };
-        let depth = self.tenants[idx].depth();
-        if depth >= self.cfg.per_tenant_capacity {
-            return AdmitOutcome::Rejected(Rejection::TenantQueueFull {
-                depth,
-                capacity: self.cfg.per_tenant_capacity,
-            });
         }
         let mut shed = None;
         if self.queued >= self.cfg.total_capacity {
@@ -318,6 +313,18 @@ impl Scheduler {
                 }
             }
         }
+        // Admission is now certain; only here may a new tenant consume a
+        // table slot, so a Saturated rejection never leaks one (tenant
+        // entries are permanent once created — see the field docs).
+        let idx = existing.unwrap_or_else(|| {
+            self.tenants.push(Tenant {
+                name: tenant.to_string(),
+                // Each queue is bounded: the per-tenant depth check above
+                // ran before any push into it.
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            });
+            self.tenants.len() - 1
+        });
         let seq = self.seq;
         self.seq += 1;
         self.tenants[idx].queues[priority.index()].push_back(Entry { id, seq });
@@ -491,6 +498,22 @@ mod tests {
         );
         // Known tenants still admit.
         assert!(queued(s.admit("a", JobId(4), Priority::Normal)).is_none());
+    }
+
+    #[test]
+    fn saturated_rejection_does_not_leak_a_tenant_slot() {
+        let mut s = Scheduler::new(cfg(4, 1, 2, 1));
+        assert!(queued(s.admit("a", JobId(1), Priority::Normal)).is_none());
+        // Saturated, no lower-priority victim: the unknown tenant "b" is
+        // rejected and must not consume one of the two table slots.
+        let r = rejected(s.admit("b", JobId(2), Priority::Normal));
+        assert!(matches!(r, Rejection::Saturated { .. }), "{r:?}");
+        assert_eq!(s.tenant_depths().count(), 1, "tenant slot leaked");
+        // Once capacity frees, a *different* new tenant can still take the
+        // last slot — the rejected name did not lock it out.
+        assert_eq!(s.next(), Some(JobId(1)));
+        assert!(queued(s.admit("c", JobId(3), Priority::Normal)).is_none());
+        assert_eq!(s.tenant_depths().count(), 2);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! ## Threads
 //!
 //! * `http_threads` acceptor/handler threads share one nonblocking
-//!   listener; each handles one connection at a time with socket
-//!   timeouts, so a stalled client can block at most one thread and
-//!   `/healthz` stays responsive under load.
+//!   listener; each handles one connection at a time under a total
+//!   per-request wall-clock budget ([`ServeConfig::request_budget`], via
+//!   [`http::DeadlineReader`]), so even a stalled or slow-loris client
+//!   occupies a thread only briefly and `/healthz` stays responsive
+//!   under load.
 //! * `workers` assembly workers pull jobs from the [`Scheduler`] under a
 //!   single mutex + condvar and execute them outside the lock through the
 //!   injected [`JobRunner`] with [`run_with_retry`].
@@ -66,6 +68,10 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Socket read/write timeout per connection.
     pub io_timeout: Duration,
+    /// Total wall-clock budget for *reading* one request (0 → 10 s). The
+    /// per-read `io_timeout` resets on every byte, so this is the bound
+    /// that stops a slow-loris client from pinning an HTTP thread.
+    pub request_budget: Duration,
     /// Queue bounds and fairness quantum.
     pub sched: SchedConfig,
     /// Retry schedule for transiently failed jobs.
@@ -84,6 +90,7 @@ impl Default for ServeConfig {
             job_threads: 0,
             max_body_bytes: 8 * 1024 * 1024,
             io_timeout: Duration::from_secs(5),
+            request_budget: Duration::from_secs(10),
             sched: SchedConfig::default(),
             retry: RetryPolicy::default(),
             backoff_unit: Duration::from_millis(25),
@@ -108,6 +115,9 @@ impl ServeConfig {
         }
         if self.max_body_bytes == 0 {
             self.max_body_bytes = 8 * 1024 * 1024;
+        }
+        if self.request_budget.is_zero() {
+            self.request_budget = Duration::from_secs(10);
         }
         self.sched = self.sched.sanitized();
         Ok(self)
@@ -206,7 +216,25 @@ impl Serve {
         for record in scan.pending {
             match core.sched.admit(&record.tenant, record.id, record.priority) {
                 AdmitOutcome::Queued { shed } => {
-                    debug_assert!(shed.is_none(), "re-admission never sheds");
+                    // Pending jobs can exceed total_capacity (queued +
+                    // formerly-running jobs all come back, and bounds may
+                    // have shrunk), so a high-priority record can displace
+                    // a lower one here too. Finalize the victim exactly
+                    // like a live-admission shed would.
+                    if let Some(victim) = shed {
+                        core.active.remove(&victim.id.0);
+                        recorder.add(metrics::JOBS_SHED, 1);
+                        state.write_status(
+                            victim.id,
+                            &TerminalStatus::plain(
+                                TerminalState::Shed,
+                                format!(
+                                    "shed during recovery: displaced by higher-priority job {}",
+                                    record.id.dir_name()
+                                ),
+                            ),
+                        )?;
+                    }
                     recorder.add(metrics::JOBS_RESUMED, 1);
                     core.active.insert(
                         record.id.0,
@@ -368,10 +396,13 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
 
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
     shared.recorder.add(metrics::HTTP_REQUESTS, 1);
-    let response = match http::read_request(&mut stream, shared.cfg.max_body_bytes) {
+    // The reader installs its own per-read socket timeouts, bounded by
+    // both io_timeout and the remaining request budget.
+    let mut reader =
+        http::DeadlineReader::new(&stream, shared.cfg.io_timeout, shared.cfg.request_budget);
+    let response = match http::read_request(&mut reader, shared.cfg.max_body_bytes) {
         Ok(req) => route(shared, &req),
         Err(e) => {
             shared.recorder.add(metrics::HTTP_ERRORS, 1);

@@ -331,6 +331,145 @@ fn fast_shutdown_resumes_queued_jobs_on_restart() {
 }
 
 #[test]
+fn recovery_overflow_sheds_instead_of_crashing() {
+    // After a fast shutdown, queued + formerly-running jobs all come back
+    // as pending; restarting with a *smaller* total capacity forces the
+    // recovery loop into the shed path (a high-priority record re-admitted
+    // into a full queue displaces a low one). The victim must get a
+    // terminal "shed" status — not a startup panic or a zombie "queued".
+    let dir = temp_dir("recovery-shed");
+    let big = ServeConfig {
+        workers: 1,
+        sched: SchedConfig {
+            per_tenant_capacity: 8,
+            total_capacity: 8,
+            max_tenants: 4,
+            quantum: 2,
+        },
+        ..small_config()
+    };
+    let server = Serve::start(
+        big.clone(),
+        &dir,
+        Arc::new(MockRunner {
+            delay: Duration::from_millis(400),
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // One running low job + five queued low jobs + one queued high job.
+    let (status, body) = submit(addr, "?tenant=a&priority=low", b"r1");
+    assert_eq!(status, 202, "{body}");
+    std::thread::sleep(Duration::from_millis(50)); // let it dispatch
+    let mut low_ids = Vec::new();
+    for i in 2..=6 {
+        let (status, body) = submit(addr, "?tenant=a&priority=low", format!("r{i}").as_bytes());
+        assert_eq!(status, 202, "{body}");
+        low_ids.push(json_field(&body, "id").expect("id").to_string());
+    }
+    let (status, body) = submit(addr, "?tenant=b&priority=high", b"urgent");
+    assert_eq!(status, 202, "{body}");
+    let high_id = json_field(&body, "id").expect("id").to_string();
+    let (status, _) = request(addr, "POST", "/admin/shutdown?mode=fast", b"");
+    assert_eq!(status, 200);
+    server.join();
+
+    // Six pending jobs, capacity five: re-admitting the high job must shed
+    // the newest low one.
+    let server = Serve::start(
+        ServeConfig {
+            sched: SchedConfig {
+                total_capacity: 5,
+                ..big.sched
+            },
+            ..big
+        },
+        &dir,
+        Arc::new(MockRunner {
+            delay: Duration::ZERO,
+        }),
+    )
+    .expect("restart must survive recovery overflow");
+    let addr = server.addr();
+
+    let victim = low_ids.last().expect("five low jobs");
+    let body = wait_terminal(addr, victim);
+    assert_eq!(json_field(&body, "state"), Some("shed"), "{body}");
+    for id in low_ids.iter().take(low_ids.len() - 1).chain([&high_id]) {
+        let body = wait_terminal(addr, id);
+        assert_eq!(json_field(&body, "state"), Some("done"), "{body}");
+    }
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
+fn slow_loris_client_is_cut_off_at_the_request_budget() {
+    let cfg = ServeConfig {
+        io_timeout: Duration::from_millis(300),
+        request_budget: Duration::from_millis(500),
+        ..small_config()
+    };
+    let server = Serve::start(
+        cfg,
+        temp_dir("loris"),
+        Arc::new(MockRunner {
+            delay: Duration::ZERO,
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // Drip header bytes faster than io_timeout so only the overall budget
+    // can end the request; the server must drop us near request_budget.
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nx-drip: ")
+        .expect("write head");
+    let mut closed_at = None;
+    while start.elapsed() < Duration::from_secs(10) {
+        if stream.write_all(b"a").is_err() {
+            closed_at = Some(start.elapsed());
+            break;
+        }
+        // The 100 ms read timeout doubles as the drip interval; EOF or a
+        // reset means the server hung up on us.
+        match stream.read(&mut [0u8; 64]) {
+            Ok(0) => {
+                closed_at = Some(start.elapsed());
+                break;
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                closed_at = Some(start.elapsed());
+                break;
+            }
+        }
+    }
+    let closed_at = closed_at.expect("server never cut off the slow-loris client");
+    assert!(
+        closed_at < Duration::from_secs(5),
+        "cut-off took {closed_at:?}, budget is 500 ms"
+    );
+
+    // The handler thread is free again: health answers normally.
+    let (status, body) = request(addr, "GET", "/healthz", b"");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    server.shutdown(true);
+    server.join();
+}
+
+#[test]
 fn protocol_errors_are_typed() {
     let server = Serve::start(
         small_config(),
