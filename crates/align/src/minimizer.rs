@@ -8,6 +8,7 @@
 //! the pipeline's default remains the paper-faithful suffix array.
 
 use fc_seq::{DnaString, ReadId};
+use std::cmp::Reverse;
 use std::collections::HashMap;
 
 /// Multiplicative hash decorrelating packed k-mer values from sequence
@@ -115,21 +116,19 @@ impl MinimizerIndex {
                 *votes.entry((r, q_pos as i64 - r_pos as i64)).or_insert(0) += 1;
             }
         }
-        let mut best: HashMap<ReadId, (i64, u32)> = HashMap::new();
-        for ((r, diag), count) in votes {
-            match best.get(&r) {
-                Some(&(_, c)) if c >= count => {}
-                _ => {
-                    best.insert(r, (diag, count));
-                }
+        // The highest count wins per read, the smallest diagonal breaks
+        // ties — previously a tie was broken by whichever entry hash
+        // iteration happened to visit first, which varied per process.
+        let mut tallies: Vec<(ReadId, i64, u32)> =
+            votes.into_iter().map(|((r, d), c)| (r, d, c)).collect();
+        tallies.sort_unstable_by_key(|&(r, d, c)| (r, Reverse(c), d));
+        let mut out: Vec<(ReadId, i64, u32)> = Vec::new();
+        for (r, d, c) in tallies {
+            let first_for_read = out.last().map_or(true, |&(prev, _, _)| prev != r);
+            if first_for_read && c as usize >= min_shared {
+                out.push((r, d, c));
             }
         }
-        let mut out: Vec<(ReadId, i64, u32)> = best
-            .into_iter()
-            .filter(|&(_, (_, c))| c as usize >= min_shared)
-            .map(|(r, (d, c))| (r, d, c))
-            .collect();
-        out.sort_unstable_by_key(|&(r, d, _)| (r, d));
         out
     }
 }

@@ -8,7 +8,6 @@
 //! variant). Workers record the victim nodes; the master removes them.
 
 use fc_graph::{DiGraph, NodeId};
-use std::collections::HashSet;
 
 /// Limits for what counts as a "short" dead end or bubble branch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,8 +236,11 @@ pub fn master_remove(
     recorded: impl IntoIterator<Item = NodeId>,
     work: &mut u64,
 ) -> usize {
+    let mut unique: Vec<NodeId> = recorded.into_iter().collect();
+    unique.sort_unstable();
+    unique.dedup();
     let mut removed = 0;
-    for v in recorded.into_iter().collect::<HashSet<_>>() {
+    for v in unique {
         *work += 1;
         if !g.is_removed(v) {
             g.remove_node(v);

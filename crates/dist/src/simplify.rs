@@ -8,7 +8,6 @@
 
 use fc_graph::{DiGraph, NodeId};
 use fc_seq::DnaString;
-use std::collections::HashSet;
 
 /// Minimum verified contig overlap (bases); below this an edge is a false
 /// positive (paper: 50 bp).
@@ -128,15 +127,21 @@ pub fn master_apply(
     drop_edges: impl IntoIterator<Item = (NodeId, NodeId)>,
     work: &mut u64,
 ) -> (usize, usize) {
+    let mut edges: Vec<(NodeId, NodeId)> = drop_edges.into_iter().collect();
+    edges.sort_unstable();
+    edges.dedup();
     let mut edges_removed = 0;
-    for (v, w) in drop_edges.into_iter().collect::<HashSet<_>>() {
+    for (v, w) in edges {
         *work += 1;
         if g.remove_edge(v, w) {
             edges_removed += 1;
         }
     }
+    let mut nodes: Vec<NodeId> = drop_nodes.into_iter().collect();
+    nodes.sort_unstable();
+    nodes.dedup();
     let mut nodes_removed = 0;
-    for v in drop_nodes.into_iter().collect::<HashSet<_>>() {
+    for v in nodes {
         *work += 1;
         if !g.is_removed(v) {
             g.remove_node(v);

@@ -9,7 +9,6 @@
 //! master's removal set deduplicates, exactly as in the paper.
 
 use fc_graph::{DiGraph, NodeId};
-use std::collections::HashSet;
 
 /// Indel slack when testing whether two shifts compose to a third.
 const SHIFT_TOLERANCE: i64 = 4;
@@ -61,7 +60,11 @@ pub fn master_remove(
     recorded: impl IntoIterator<Item = (NodeId, NodeId)>,
     work: &mut u64,
 ) -> usize {
-    let unique: HashSet<(NodeId, NodeId)> = recorded.into_iter().collect();
+    // Sorted dedup, not a HashSet: removal is commutative but the work
+    // trace and any tie-broken downstream pass must see one fixed order.
+    let mut unique: Vec<(NodeId, NodeId)> = recorded.into_iter().collect();
+    unique.sort_unstable();
+    unique.dedup();
     let mut removed = 0;
     for (v, w) in unique {
         *work += 1;

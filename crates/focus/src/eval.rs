@@ -84,7 +84,7 @@ pub fn evaluate(
     let mut contigs_evaluated = 0usize;
 
     for (ci, contig) in contigs.iter().enumerate() {
-        let mut per_ref: HashMap<u32, usize> = HashMap::new();
+        let mut per_ref: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
         let mut contig_kmers = 0usize;
         for (_, kmer) in contig.kmers(EVAL_K) {
             contig_kmers += 1;

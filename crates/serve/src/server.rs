@@ -482,7 +482,11 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
     // Cheap pre-check: refuse without touching disk when the scheduler
     // could not possibly admit right now. The post-persist admit below is
     // authoritative; this only keeps saturation from causing disk churn.
-    if let Some(r) = lock_core(shared).sched.would_reject(tenant, priority) {
+    // Bound as a statement so the core guard drops before `reject` touches
+    // the recorder's locks (an if-let scrutinee temporary would outlive the
+    // whole branch).
+    let precheck = lock_core(shared).sched.would_reject(tenant, priority);
+    if let Some(r) = precheck {
         return reject(shared, r);
     }
 

@@ -21,6 +21,19 @@ pub enum Rule {
     /// FC006 — an unbounded channel or queue constructor in non-test
     /// library code without a documented capacity bound nearby.
     NoUnboundedQueue,
+    /// FC007 — iteration over a `HashMap`/`HashSet` in non-test library
+    /// code whose order is not canonicalized by an adjacent sort.
+    NondetIteration,
+    /// FC008 — ambient nondeterminism (`Instant::now`, `SystemTime::now`,
+    /// `std::env::var`, `available_parallelism`) outside the fc-obs timing
+    /// sink.
+    AmbientNondet,
+    /// FC009 — a cycle in the workspace lock-order graph: two lock sites
+    /// that acquire the same Mutex/RwLock pair in opposite orders.
+    LockOrder,
+    /// FC010 — an `unsafe` block/fn/impl without an adjacent `// SAFETY:`
+    /// comment.
+    UnsafeHygiene,
 }
 
 impl Rule {
@@ -33,6 +46,10 @@ impl Rule {
             Rule::InvariantDoc => "FC004",
             Rule::NoPrint => "FC005",
             Rule::NoUnboundedQueue => "FC006",
+            Rule::NondetIteration => "FC007",
+            Rule::AmbientNondet => "FC008",
+            Rule::LockOrder => "FC009",
+            Rule::UnsafeHygiene => "FC010",
         }
     }
 
@@ -45,6 +62,10 @@ impl Rule {
             Rule::InvariantDoc => "invariant-doc",
             Rule::NoPrint => "no-print",
             Rule::NoUnboundedQueue => "no-unbounded-queue",
+            Rule::NondetIteration => "nondet-iteration",
+            Rule::AmbientNondet => "ambient-nondet",
+            Rule::LockOrder => "lock-order",
+            Rule::UnsafeHygiene => "unsafe-hygiene",
         }
     }
 
@@ -57,12 +78,16 @@ impl Rule {
             "invariant-doc" => Some(Rule::InvariantDoc),
             "no-print" => Some(Rule::NoPrint),
             "no-unbounded-queue" => Some(Rule::NoUnboundedQueue),
+            "nondet-iteration" => Some(Rule::NondetIteration),
+            "ambient-nondet" => Some(Rule::AmbientNondet),
+            "lock-order" => Some(Rule::LockOrder),
+            "unsafe-hygiene" => Some(Rule::UnsafeHygiene),
             _ => None,
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 10] {
         [
             Rule::NoPanic,
             Rule::StringError,
@@ -70,6 +95,10 @@ impl Rule {
             Rule::InvariantDoc,
             Rule::NoPrint,
             Rule::NoUnboundedQueue,
+            Rule::NondetIteration,
+            Rule::AmbientNondet,
+            Rule::LockOrder,
+            Rule::UnsafeHygiene,
         ]
     }
 
@@ -101,6 +130,28 @@ impl Rule {
                 "an unbounded channel or queue in library code turns overload into \
                  an OOM kill; size it from a config capacity, or document the bound \
                  that the surrounding code enforces on the same or preceding lines"
+            }
+            Rule::NondetIteration => {
+                "HashMap/HashSet iteration order varies per process; on a data path \
+                 it silently breaks the bit-identical-contigs contract in ways the \
+                 chaos tests only catch probabilistically — sort the result \
+                 adjacently, use a BTreeMap/BTreeSet, or allowlist a commutative \
+                 reduction with a reason"
+            }
+            Rule::AmbientNondet => {
+                "wall clock, environment and core counts are ambient inputs; they \
+                 may feed sched.*-excluded metrics or the config layer, but a read \
+                 on a data path makes output depend on the machine and the moment"
+            }
+            Rule::LockOrder => {
+                "two functions acquiring the same Mutex/RwLock pair in opposite \
+                 orders can deadlock under concurrency the tests never schedule; \
+                 the workspace lock-order graph must stay acyclic"
+            }
+            Rule::UnsafeHygiene => {
+                "every unsafe block or fn must carry an adjacent `// SAFETY:` \
+                 comment stating the invariant that makes it sound — the guard \
+                 rail the SIMD kernels depend on"
             }
         }
     }

@@ -392,4 +392,51 @@ mod tests {
         let ids = idents("let x = 1.max(2); let y = 1.5e3; let r = 0..10;");
         assert!(ids.contains(&"max".to_string()));
     }
+
+    /// A raw string with embedded quotes and hashes must lex as one literal
+    /// and leave line/col tracking intact for the tokens after it —
+    /// path-aware rules anchor diagnostics on those positions.
+    #[test]
+    fn raw_strings_do_not_desync_positions() {
+        let src = "let s = r#\"quote \" and // not a comment\n{ brace }\"#;\nlet marker = 1;\n";
+        let toks = lex(src);
+        assert!(
+            !toks
+                .iter()
+                .any(|t| t.is_ident("comment") || t.is_ident("brace")),
+            "raw string contents leaked: {toks:?}"
+        );
+        let t = toks.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!((t.line, t.col), (3, 5));
+    }
+
+    /// Rust block comments nest; the lexer must not resume at the first
+    /// `*/` or everything after an inner comment shifts.
+    #[test]
+    fn nested_block_comments_do_not_desync_positions() {
+        let src = "/* outer /* inner */ still comment\nmore */\nfn marker() {}\n";
+        let toks = lex(src);
+        assert!(
+            !toks
+                .iter()
+                .any(|t| t.is_ident("still") || t.is_ident("more")),
+            "nested comment leaked: {toks:?}"
+        );
+        let t = toks.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!((t.line, t.col), (3, 4));
+    }
+
+    /// Lifetime ticks must consume exactly the lifetime, keeping the
+    /// columns of the tokens that follow on the same line.
+    #[test]
+    fn lifetime_ticks_keep_columns() {
+        let toks = lex("fn f<'a, 'b>(x: &'a str) -> &'b str { x }");
+        let t = toks.iter().find(|t| t.is_ident("str")).unwrap();
+        assert_eq!((t.line, t.col), (1, 21));
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 4);
+    }
 }

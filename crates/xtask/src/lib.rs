@@ -23,9 +23,29 @@
 //!   must document their capacity bound on or just above the construction
 //!   site. Admission control is explicit or it does not exist.
 //!
+//! On top of the token rules sits a path-aware layer ([`items`]): a
+//! lightweight use-declaration/item parser that resolves imported names to
+//! canonical paths (`std::collections::HashMap`, `std::sync::Mutex`) and
+//! types let-bindings, params, statics, and struct fields crate-wide. It
+//! powers the determinism audit (DESIGN.md §13):
+//!
+//! * **FC007 `nondet-iteration`** — no iteration over `HashMap`/`HashSet`
+//!   in non-test library code unless canonicalized by an adjacent sort;
+//!   hash order on a data path breaks the bit-identical-contigs contract.
+//! * **FC008 `ambient-nondet`** — `Instant::now`/`SystemTime::now`/
+//!   `std::env::var`/`available_parallelism` are banned outside the fc-obs
+//!   timing sink and allowlisted config-layer sites.
+//! * **FC009 `lock-order`** — every function's Mutex/RwLock acquisition
+//!   sequence (guard-liveness aware, helper-propagating) merges into one
+//!   workspace lock-order graph that must stay acyclic ([`lockorder`]).
+//! * **FC010 `unsafe-hygiene`** — every `unsafe` needs an adjacent
+//!   `// SAFETY:` comment.
+//!
 //! Justified exceptions live in `xtask/allow.toml`, each with a mandatory
-//! `reason`. The binary exits nonzero on any unsuppressed finding so CI can
-//! gate on it.
+//! `reason`; entries that no longer match anything are themselves errors,
+//! so suppressions cannot rot. The binary exits nonzero on any unsuppressed
+//! finding so CI can gate on it, and `--json` emits the same findings
+//! machine-readably ([`json`]).
 //!
 //! Everything is built on a small hand-rolled lexer ([`lexer`]) because this
 //! build environment cannot fetch `syn`; the lexer understands exactly as
@@ -33,7 +53,10 @@
 
 pub mod allow;
 pub mod diag;
+pub mod items;
+pub mod json;
 pub mod lexer;
+pub mod lockorder;
 pub mod rules;
 pub mod workspace;
 
@@ -68,17 +91,45 @@ pub fn analyze_workspace(root: &Path, allow_path: &Path) -> Result<Analysis, Str
     let crates = workspace::lint_crates(root).map_err(|e| format!("scanning crates: {e}"))?;
     let mut raw: Vec<Diagnostic> = Vec::new();
     let mut files = 0usize;
+    let mut locks = lockorder::Collector::new();
     for c in &crates {
         raw.extend(rules::module_collisions(
             &c.rel_dir,
             &workspace::module_stems(c),
         ));
+        // Pass 1: lex every file and build the crate-wide item table, so a
+        // field declared in one module resolves in a sibling's method body.
+        let mut lexed = Vec::with_capacity(c.sources.len());
+        let mut krate = items::CrateItems::default();
         for rel in &c.sources {
             let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
-            raw.extend(rules::analyze_file(rel, &text));
+            let tokens = lexer::lex(&text);
+            let file_items = items::collect(&tokens);
+            krate.absorb(&file_items);
+            lexed.push((rel, text, tokens, file_items));
+        }
+        locks.add_crate(&c.name, &krate);
+        // Pass 2: the per-file rules, plus feeding the lock-order audit.
+        for (rel, text, tokens, file_items) in &lexed {
+            raw.extend(rules::analyze_tokens(
+                &c.name, rel, text, tokens, file_items, &krate,
+            ));
+            locks.add_file(&c.name, rel, tokens, file_items);
             files += 1;
         }
     }
+    raw.extend(locks.finish());
+
+    // Byte-stable output: one canonical order regardless of platform or
+    // directory-walk order.
+    raw.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule.code()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.col,
+            b.rule.code(),
+        ))
+    });
 
     let mut used = vec![false; allows.len()];
     let mut violations = Vec::new();

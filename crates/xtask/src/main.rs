@@ -15,8 +15,14 @@ Commands:
 Options (analyze):
   --root <dir>    workspace root (default: discovered from the current dir)
   --allow <file>  allowlist path (default: <root>/xtask/allow.toml)
+  --json <file>   also write the findings as a machine-readable JSON report
   --list-rules    print the rule set and exit
   --verbose       also print suppressed findings with their reasons
+
+Exit status: 0 when clean, 1 on violations or stale allow.toml entries,
+2 on usage or I/O errors. A stale suppression is a failure, not a warning:
+an allowlist that no longer matches anything is hiding either dead policy
+or a finding that moved out from under it.
 ";
 
 fn main() -> ExitCode {
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
 fn analyze(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allow: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
     let mut verbose = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -50,6 +57,7 @@ fn analyze(args: &[String]) -> ExitCode {
             "--verbose" => verbose = true,
             "--root" => root = it.next().map(PathBuf::from),
             "--allow" => allow = it.next().map(PathBuf::from),
+            "--json" => json_out = it.next().map(PathBuf::from),
             other => {
                 eprintln!("error: unknown option `{other}`\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -80,6 +88,13 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
 
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, xtask::json::render(&analysis)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     if verbose {
         for (d, reason) in &analysis.suppressed {
             println!(
@@ -94,12 +109,16 @@ fn analyze(args: &[String]) -> ExitCode {
     }
     for entry in &analysis.unused_allows {
         eprintln!(
-            "warning: stale allow.toml entry (rule `{}`, path `{}`) matched nothing",
+            "error: stale allow.toml entry (rule `{}`, path `{}`) matched nothing; \
+             delete it or fix its path/pattern",
             entry.rule.name(),
             entry.path
         );
     }
-    if analysis.violations.is_empty() {
+    for d in &analysis.violations {
+        eprintln!("{d}\n");
+    }
+    if analysis.violations.is_empty() && analysis.unused_allows.is_empty() {
         println!(
             "xtask analyze: {} files clean ({} finding(s) allowlisted)",
             analysis.files,
@@ -107,12 +126,10 @@ fn analyze(args: &[String]) -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    for d in &analysis.violations {
-        eprintln!("{d}\n");
-    }
     eprintln!(
-        "xtask analyze: {} violation(s) across {} files",
+        "xtask analyze: {} violation(s), {} stale allow entrie(s) across {} files",
         analysis.violations.len(),
+        analysis.unused_allows.len(),
         analysis.files
     );
     ExitCode::FAILURE

@@ -1,7 +1,10 @@
 //! The Focus-specific lint rules, run over one lexed source file (FC001,
-//! FC002, FC004, FC005, FC006) or one crate's module list (FC003).
+//! FC002, FC004, FC005, FC006, and the path-aware FC007/FC008/FC010) or one
+//! crate's module list (FC003). FC009, the cross-crate lock-order audit,
+//! lives in [`crate::lockorder`].
 
 use crate::diag::{Diagnostic, Rule};
+use crate::items::{self, paths, CrateItems, FileItems};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// Graph/partition state whose public mutators must be invariant-checked
@@ -15,21 +18,48 @@ const MUTATION_GUARDED_TYPES: [&str; 5] = [
     "GraphSet",
 ];
 
-/// Analyzes one library source file and returns all findings.
-///
-/// `rel_path` is the workspace-relative path used in diagnostics.
+/// Analyzes one library source file in isolation: lexes it, builds its own
+/// item table, and runs every per-file rule. The workspace driver uses
+/// [`analyze_tokens`] instead so item tables are built once and shared
+/// crate-wide.
 pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let tokens = lex(src);
-    let excluded = test_spans(&tokens);
+    let file_items = items::collect(&tokens);
+    let mut krate = CrateItems::default();
+    krate.absorb(&file_items);
+    analyze_tokens("", rel_path, src, &tokens, &file_items, &krate)
+}
+
+/// Runs every per-file rule over an already-lexed file with its item tables.
+///
+/// `crate_name` gates the crate-level exemptions (fc-obs is the one
+/// sanctioned wall-clock sink, so FC008 skips it); `rel_path` is the
+/// workspace-relative path used in diagnostics.
+pub fn analyze_tokens(
+    crate_name: &str,
+    rel_path: &str,
+    src: &str,
+    tokens: &[Token],
+    file_items: &FileItems,
+    krate: &CrateItems,
+) -> Vec<Diagnostic> {
+    let excluded = test_spans(tokens);
     let lines: Vec<&str> = src.lines().collect();
     let snippet =
         |line: usize| -> Option<String> { lines.get(line.wrapping_sub(1)).map(|l| l.to_string()) };
 
     let mut out = Vec::new();
-    no_panic(rel_path, &tokens, &excluded, &snippet, &mut out);
-    no_print(rel_path, &tokens, &excluded, &snippet, &mut out);
-    no_unbounded_queue(rel_path, &tokens, &excluded, &lines, &snippet, &mut out);
-    pub_fn_rules(rel_path, &tokens, &excluded, &snippet, &mut out);
+    no_panic(rel_path, tokens, &excluded, &snippet, &mut out);
+    no_print(rel_path, tokens, &excluded, &snippet, &mut out);
+    no_unbounded_queue(rel_path, tokens, &excluded, &lines, &snippet, &mut out);
+    pub_fn_rules(rel_path, tokens, &excluded, &snippet, &mut out);
+    nondet_iteration(
+        rel_path, tokens, &excluded, file_items, krate, &snippet, &mut out,
+    );
+    ambient_nondet(
+        crate_name, rel_path, tokens, &excluded, file_items, &snippet, &mut out,
+    );
+    unsafe_hygiene(rel_path, tokens, &excluded, &lines, &snippet, &mut out);
     out
 }
 
@@ -69,7 +99,7 @@ pub fn module_collisions(crate_rel: &str, stems: &[(String, String)]) -> Vec<Dia
 
 /// Marks every token inside `#[cfg(test)]` items, `#[test]` functions, and
 /// other test-gated items as excluded from the lint rules.
-fn test_spans(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_spans(tokens: &[Token]) -> Vec<bool> {
     let mut excluded = vec![false; tokens.len()];
     let mut i = 0usize;
     let mut pending_test = false;
@@ -347,6 +377,417 @@ fn no_unbounded_queue(
                 message,
                 snippet: snippet(t.line),
                 help: help.to_string(),
+            });
+        }
+    }
+}
+
+/// Methods whose iteration order is the receiver's internal order. `retain`
+/// and `extend` are excluded on purpose: `retain` only observes order through
+/// side effects (rare, and FC007's job is the common data path), and
+/// `extend`'s order question lives at the *source* of the iterator.
+const NONDET_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// FC007 — iteration over `HashMap`/`HashSet` in non-test library code.
+///
+/// A finding fires when the receiver of an order-exposing method (or the
+/// subject of a `for … in` loop) resolves — through the file's import map
+/// and binding/field tables — to `std::collections::{HashMap, HashSet}`,
+/// unless an adjacent canonicalizing sort follows within two lines (the
+/// `collect()-then-sort_unstable()` idiom). Unresolvable receivers fail
+/// open: precision over recall, with the allowlist carrying the rest.
+fn nondet_iteration(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    file_items: &FileItems,
+    krate: &CrateItems,
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // A canonicalizing sort on the finding's line or the two after it
+    // waives the finding: hash order was collected, then sorted away.
+    let sort_nearby = |line: usize| {
+        tokens.iter().any(|t| {
+            t.kind == TokenKind::Ident
+                && t.text.starts_with("sort")
+                && t.line >= line
+                && t.line <= line + 2
+        })
+    };
+    let short = |canonical: &str| {
+        canonical
+            .rsplit("::")
+            .next()
+            .unwrap_or(canonical)
+            .to_string()
+    };
+    let push = |out: &mut Vec<Diagnostic>, t: &Token, receiver: &str, canonical: &str| {
+        out.push(Diagnostic {
+            rule: Rule::NondetIteration,
+            path: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "iteration over `{}` (`{receiver}`) in hash order",
+                short(canonical)
+            ),
+            snippet: snippet(t.line),
+            help: "hash iteration order varies per process and breaks bit-identical \
+                   output; collect-and-sort adjacently, switch the container to \
+                   BTreeMap/BTreeSet, or allowlist a commutative reduction in \
+                   xtask/allow.toml with a reason"
+                .to_string(),
+        });
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if excluded[i] || t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `receiver.iter()` / `.keys()` / `.drain()` / ...
+        if NONDET_ITER_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            if let Some((name, ty)) = receiver_type(tokens, i - 1, file_items, krate) {
+                if (ty == paths::HASH_MAP || ty == paths::HASH_SET) && !sort_nearby(t.line) {
+                    push(out, t, &name, &ty);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `for pat in <header> {` — direct iteration and the
+        // `collect::<HashSet<_>>()` turbofish in loop headers.
+        if t.is_ident("for") {
+            if let Some((in_idx, open_idx)) = for_header(tokens, i) {
+                scan_for_header(
+                    rel_path,
+                    tokens,
+                    in_idx,
+                    open_idx,
+                    file_items,
+                    krate,
+                    &sort_nearby,
+                    snippet,
+                    out,
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Resolves the receiver ending just before the `.` at `dot`: the canonical
+/// type of the trailing identifier, looked up as a field when qualified
+/// (`self.votes.`, `shared.core.`) and as a binding otherwise. Returns the
+/// spelled name alongside. Non-identifier receivers (`)` or `]`) fail open.
+fn receiver_type(
+    tokens: &[Token],
+    dot: usize,
+    file_items: &FileItems,
+    krate: &CrateItems,
+) -> Option<(String, String)> {
+    if dot == 0 {
+        return None;
+    }
+    let r = &tokens[dot - 1];
+    if r.kind != TokenKind::Ident || r.is_ident("self") {
+        return None;
+    }
+    let qualified =
+        dot >= 3 && tokens[dot - 2].is_punct('.') && tokens[dot - 3].kind == TokenKind::Ident;
+    let ty = if qualified {
+        file_items
+            .fields
+            .get(&r.text)
+            .or_else(|| krate.fields.get(&r.text))
+            .cloned()
+    } else {
+        file_items.type_of(krate, &r.text).map(str::to_string)
+    };
+    ty.map(|ty| (r.text.clone(), ty))
+}
+
+/// Locates a `for` loop's header: the index of its depth-0 `in` and of the
+/// `{` opening the body.
+fn for_header(tokens: &[Token], for_idx: usize) -> Option<(usize, usize)> {
+    let mut depth = 0isize;
+    let mut j = for_idx + 1;
+    let mut in_idx = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && in_idx.is_none() && t.is_ident("in") {
+            in_idx = Some(j);
+        } else if depth == 0 && t.is_punct('{') {
+            return in_idx.map(|i| (i, j));
+        } else if t.is_punct(';') {
+            return None; // malformed / not actually a loop
+        }
+        j += 1;
+    }
+    None
+}
+
+/// FC007's `for`-header checks: `for x in map {`-style direct iteration over
+/// a hash container, and `for x in v.collect::<HashSet<_>>() {`. Method
+/// calls inside the header (`map.drain()`) are caught by the method branch
+/// of [`nondet_iteration`] and skipped here.
+#[allow(clippy::too_many_arguments)]
+fn scan_for_header(
+    rel_path: &str,
+    tokens: &[Token],
+    in_idx: usize,
+    open_idx: usize,
+    file_items: &FileItems,
+    krate: &CrateItems,
+    sort_nearby: &dyn Fn(usize) -> bool,
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Turbofish: a `collect::<HashSet<_>>()` anywhere in the header makes
+    // the loop iterate a freshly-hashed container.
+    for k in in_idx..open_idx {
+        if tokens[k].is_ident("collect")
+            && tokens.get(k + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && tokens.get(k + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+            && tokens.get(k + 3).map(|t| t.is_punct('<')).unwrap_or(false)
+        {
+            let mut segs = Vec::new();
+            let mut m = k + 4;
+            while let Some(t) = tokens.get(m).filter(|t| t.kind == TokenKind::Ident) {
+                segs.push(t.text.clone());
+                if tokens.get(m + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                    && tokens.get(m + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+                {
+                    m += 3;
+                } else {
+                    break;
+                }
+            }
+            if segs.is_empty() {
+                continue;
+            }
+            let canonical = items::canonicalize(&segs, file_items);
+            if (canonical == paths::HASH_MAP || canonical == paths::HASH_SET)
+                && !sort_nearby(tokens[k].line)
+            {
+                let t = &tokens[k];
+                out.push(Diagnostic {
+                    rule: Rule::NondetIteration,
+                    path: rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`for` loop over a freshly collected `{}` in hash order",
+                        canonical.rsplit("::").next().unwrap_or(&canonical)
+                    ),
+                    snippet: snippet(t.line),
+                    help: "collect into a Vec and sort+dedup instead — same \
+                           uniqueness, deterministic order"
+                        .to_string(),
+                });
+            }
+            return;
+        }
+    }
+    // Direct iteration: `for x in [&[mut]] name {` / `... self.name {`.
+    let mut j = in_idx + 1;
+    while tokens
+        .get(j)
+        .map(|t| t.is_punct('&') || t.is_ident("mut"))
+        .unwrap_or(false)
+    {
+        j += 1;
+    }
+    let Some(first) = tokens.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+        return;
+    };
+    let (name_tok, ty) = if first.is_ident("self")
+        && tokens.get(j + 1).map(|t| t.is_punct('.')).unwrap_or(false)
+        && j + 3 == open_idx
+    {
+        let Some(field) = tokens.get(j + 2).filter(|t| t.kind == TokenKind::Ident) else {
+            return;
+        };
+        let ty = file_items
+            .fields
+            .get(&field.text)
+            .or_else(|| krate.fields.get(&field.text))
+            .cloned();
+        (field, ty)
+    } else if j + 1 == open_idx {
+        (
+            first,
+            file_items.type_of(krate, &first.text).map(str::to_string),
+        )
+    } else {
+        return;
+    };
+    if let Some(ty) = ty {
+        if (ty == paths::HASH_MAP || ty == paths::HASH_SET) && !sort_nearby(name_tok.line) {
+            out.push(Diagnostic {
+                rule: Rule::NondetIteration,
+                path: rel_path.to_string(),
+                line: name_tok.line,
+                col: name_tok.col,
+                message: format!(
+                    "`for` loop over `{}` (`{}`) in hash order",
+                    ty.rsplit("::").next().unwrap_or(&ty),
+                    name_tok.text
+                ),
+                snippet: snippet(name_tok.line),
+                help: "hash iteration order varies per process and breaks bit-identical \
+                       output; collect-and-sort adjacently, switch the container to \
+                       BTreeMap/BTreeSet, or allowlist a commutative reduction in \
+                       xtask/allow.toml with a reason"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// FC008 — ambient nondeterminism outside the sanctioned sinks.
+///
+/// `Instant::now`/`SystemTime::now` (resolved through the import map, so a
+/// user type named `Instant` never trips it), `std::env::var`/`var_os`, and
+/// `available_parallelism` are inputs from the machine and the moment; in
+/// library code they may only feed fc-obs (whose whole crate is the timing
+/// sink and is exempt) or an allowlisted config-layer site.
+fn ambient_nondet(
+    crate_name: &str,
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    file_items: &FileItems,
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if crate_name == "fc-obs" {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let called = tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+        if !called {
+            continue;
+        }
+        let found: Option<String> = match t.text.as_str() {
+            "now" => {
+                let canonical =
+                    path_before(tokens, i).map(|segs| items::canonicalize(&segs, file_items));
+                match canonical.as_deref() {
+                    Some(paths::INSTANT) => {
+                        Some("`Instant::now()` reads the monotonic clock".to_string())
+                    }
+                    Some(paths::SYSTEM_TIME) => {
+                        Some("`SystemTime::now()` reads the wall clock".to_string())
+                    }
+                    _ => None,
+                }
+            }
+            "var" | "var_os" => {
+                let canonical =
+                    path_before(tokens, i).map(|segs| items::canonicalize(&segs, file_items));
+                (canonical.as_deref() == Some("std::env"))
+                    .then(|| format!("`env::{}()` reads the process environment", t.text))
+            }
+            "available_parallelism" => {
+                Some("`available_parallelism()` reads the machine's core count".to_string())
+            }
+            _ => None,
+        };
+        if let Some(message) = found {
+            out.push(Diagnostic {
+                rule: Rule::AmbientNondet,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+                snippet: snippet(t.line),
+                help: "ambient inputs may feed fc-obs timing sinks or explicit config \
+                       (FocusConfig), never a data path; thread the value in from the \
+                       caller, or allowlist the site in xtask/allow.toml stating why \
+                       it cannot influence output bytes"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// The `A::B::` path immediately preceding token `i`, innermost-first
+/// reversed to source order. `None` when `i` is not path-qualified.
+fn path_before(tokens: &[Token], i: usize) -> Option<Vec<String>> {
+    let mut segs = Vec::new();
+    let mut j = i;
+    while j >= 3
+        && tokens[j - 1].is_punct(':')
+        && tokens[j - 2].is_punct(':')
+        && tokens[j - 3].kind == TokenKind::Ident
+    {
+        segs.push(tokens[j - 3].text.clone());
+        j -= 3;
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    segs.reverse();
+    Some(segs)
+}
+
+/// FC010 — `unsafe` without an adjacent `// SAFETY:` comment.
+///
+/// The comment must appear on the `unsafe` token's line or one of the three
+/// lines above it (raw source lines, because plain comments do not survive
+/// the lexer). The workspace has no `unsafe` today; this is the guard rail
+/// the upcoming SIMD alignment kernel lands behind.
+fn unsafe_hygiene(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    lines: &[&str],
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || !t.is_ident("unsafe") {
+            continue;
+        }
+        let documented = (t.line.saturating_sub(4)..t.line)
+            .filter_map(|idx| lines.get(idx))
+            .any(|l| l.contains("SAFETY:"));
+        if !documented {
+            out.push(Diagnostic {
+                rule: Rule::UnsafeHygiene,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                snippet: snippet(t.line),
+                help: "state the invariant that makes this sound in a `// SAFETY:` \
+                       comment on the line above (what is guaranteed, and by whom)"
+                    .to_string(),
             });
         }
     }
@@ -894,5 +1335,177 @@ fn f() {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(diags[0].message.contains("error.rs"));
         assert!(diags[0].message.contains("errors.rs"));
+    }
+
+    #[test]
+    fn fc007_flags_hashmap_iteration_through_imports() {
+        let src = "\
+use std::collections::HashMap;
+fn f(votes: &HashMap<u64, u32>) -> u32 {
+    let mut best = 0;
+    for (_, v) in votes.iter() {
+        best = best.max(*v);
+    }
+    best
+}
+";
+        assert_eq!(rules_hit(src), vec![("FC007", 4)]);
+    }
+
+    #[test]
+    fn fc007_adjacent_sort_waives_the_finding() {
+        let src = "\
+use std::collections::HashMap;
+fn f(votes: &HashMap<u64, u32>) -> Vec<(u64, u32)> {
+    let mut flat: Vec<(u64, u32)> = votes.iter().map(|(&k, &v)| (k, v)).collect();
+    flat.sort_unstable();
+    flat
+}
+";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn fc007_btree_receivers_are_fine() {
+        let src = "\
+use std::collections::BTreeMap;
+fn f(m: &BTreeMap<u64, u32>) -> u32 {
+    let mut s = 0;
+    for (_, v) in m.iter() {
+        s += *v;
+    }
+    for v in m.values() {
+        s += *v;
+    }
+    s
+}
+";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn fc007_direct_for_loop_and_fields() {
+        let src = "\
+use std::collections::{HashMap, HashSet};
+struct S { seen: HashSet<u32> }
+impl S {
+    fn g(&self) -> u32 {
+        let mut n = 0;
+        for v in &self.seen {
+            n ^= *v;
+        }
+        n
+    }
+}
+fn h() {
+    let mut votes: HashMap<u32, u32> = HashMap::new();
+    votes.insert(1, 2);
+    for (k, v) in votes {
+        let _ = k + v;
+    }
+}
+";
+        let hits = rules_hit(src);
+        assert_eq!(hits, vec![("FC007", 6), ("FC007", 15)], "{hits:?}");
+    }
+
+    #[test]
+    fn fc007_collect_turbofish_in_for_header() {
+        let src = "\
+use std::collections::HashSet;
+fn f(recorded: Vec<u32>) {
+    for v in recorded.into_iter().collect::<HashSet<_>>() {
+        let _ = v;
+    }
+}
+";
+        let hits = rules_hit(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, "FC007");
+    }
+
+    #[test]
+    fn fc007_user_hashmap_is_not_flagged() {
+        let src = "\
+use crate::mini::HashMap;
+fn f(m: &HashMap) {
+    for v in m.iter() {
+        let _ = v;
+    }
+}
+";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn fc008_flags_clock_env_and_core_count() {
+        let src = "\
+use std::time::{Instant, SystemTime};
+fn f() {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let home = std::env::var(\"HOME\");
+    let cores = std::thread::available_parallelism();
+    let _ = (t0, wall, home, cores);
+}
+";
+        let hits = rules_hit(src);
+        let fc8: Vec<_> = hits.iter().filter(|(c, _)| *c == "FC008").collect();
+        assert_eq!(fc8.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn fc008_elapsed_and_user_now_are_fine() {
+        let src = "\
+struct Clock;
+impl Clock {
+    fn now(&self) -> u64 { 0 }
+}
+fn f(c: &Clock, t0: std::time::Instant) -> u64 {
+    let _ = t0.elapsed();
+    c.now()
+}
+fn g() -> u64 {
+    let clock = Clock;
+    clock.now()
+}
+";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn fc008_is_test_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = std::time::Instant::now();
+    }
+}
+";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn fc010_unsafe_requires_safety_comment() {
+        let bare = "\
+pub fn read_wide(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+";
+        assert_eq!(rules_hit(bare), vec![("FC010", 2)]);
+        let documented = "\
+pub fn read_wide(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points into a live, aligned buffer.
+    unsafe { *p }
+}
+";
+        assert!(rules_hit(documented).is_empty());
+        let unsafe_fn = "\
+// SAFETY: contract documented on the trait.
+pub unsafe fn raw_len(p: *const u8) -> usize { 0 }
+";
+        assert!(rules_hit(unsafe_fn).is_empty());
     }
 }

@@ -1,0 +1,42 @@
+//! Seeded determinism violations for the analyzer's integration tests.
+//! Each `FC00x:` marker below must be flagged; each `NOT flagged` case
+//! must stay clean, or the integration test fails.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// FC007: hash-order iteration on a data path.
+pub fn hash_iteration(counts: &HashMap<String, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in counts.values() {
+        out.push(*v);
+    }
+    out
+}
+
+/// Canonicalized by an adjacent sort: NOT flagged.
+pub fn sorted_iteration(weights: &HashMap<String, u32>) -> Vec<(String, u32)> {
+    let mut pairs: Vec<(String, u32)> = weights.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Ordered container: NOT flagged.
+pub fn btree_iteration(depths: &BTreeMap<String, u32>) -> u32 {
+    depths.values().sum()
+}
+
+/// FC008: wall clock on a data path.
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+/// FC010: unsafe without a SAFETY comment.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Documented unsafe: NOT flagged.
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture only; the caller passes a valid, aligned pointer.
+    unsafe { *p }
+}
