@@ -1,0 +1,584 @@
+//! Pluggable candidate-verification kernels and their runtime dispatch.
+//!
+//! The overlapper ([`crate::pairwise`]) separates *what* must be verified
+//! from *how*: the seeding/geometry stage produces a batch of
+//! [`VerifyReq`]s, and an [`AlignKernel`] turns each request into the
+//! verdict scalar banded Needleman–Wunsch would produce. Three kernels are
+//! provided, selected by [`KernelKind`] carried in `OverlapConfig` (so
+//! dispatch flows through `FocusConfig`/`--align-kernel`, never ambient
+//! state):
+//!
+//! * [`ScalarKernel`] — the reference: banded NW per request.
+//! * [`MyersKernel`] — the bit-parallel prefilter pipeline of
+//!   [`crate::myers`] with a portable word-at-a-time distance engine.
+//! * [`WideKernel`](crate::wide::WideKernel) — the same pipeline with the
+//!   edit distances computed for several requests at once in SIMD lanes
+//!   (AVX2/SSE2 when the CPU has them, scalar words otherwise).
+//!
+//! Every kernel returns **bit-identical verdicts**: the bit-parallel paths
+//! only skip scalar NW when one of the proven bounds of [`crate::myers`]
+//! shows NW's verdict is already determined (or, for the exact-match
+//! shortcut, when the optimal alignment is unique and known). Anything
+//! else re-runs scalar NW — in a band shrunk by the gap bound, which the
+//! band-equivalence argument shows cannot change the summary.
+
+use crate::myers::{
+    edit_distance_with, identity_upper_bound, max_columns_bound, optimal_gap_bound,
+    prefilter_compatible, MyersScratch,
+};
+use crate::nw::{banded_global_with, AlignmentSummary, NwConfig, NwScratch};
+use crate::overlap::OverlapKind;
+use crate::pairwise::PairStats;
+use crate::wide::{WideKernel, WideScratch};
+use fc_seq::{ReadId, ReadStore};
+
+/// Which alignment kernel verifies candidate overlaps. Carried by
+/// `OverlapConfig` and exposed as `focus assemble --align-kernel`; all
+/// settings produce bit-identical overlaps, contigs and logical metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Banded Needleman–Wunsch on every candidate (the reference).
+    Scalar,
+    /// Myers bit-parallel prefilter + band-shrunk scalar verification,
+    /// using the portable word-at-a-time distance engine on every CPU —
+    /// the reproducible-everywhere fast path.
+    BitParallel,
+    /// The bit-parallel pipeline with SIMD-batched distances when the CPU
+    /// supports AVX2 or SSE2, portable words otherwise (the default).
+    #[default]
+    Auto,
+}
+
+impl KernelKind {
+    /// Parses a CLI value (`scalar`, `bitparallel`, `auto`).
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        match s {
+            "scalar" => Some(KernelKind::Scalar),
+            "bitparallel" | "bit-parallel" => Some(KernelKind::BitParallel),
+            "auto" => Some(KernelKind::Auto),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::BitParallel => "bitparallel",
+            KernelKind::Auto => "auto",
+        }
+    }
+
+    /// Builds the kernel this kind selects (`Auto` probes CPU features).
+    pub fn build(self) -> Box<dyn AlignKernel> {
+        match self {
+            KernelKind::Scalar => Box::new(ScalarKernel),
+            KernelKind::BitParallel => Box::new(MyersKernel),
+            KernelKind::Auto => Box::new(WideKernel::detect()),
+        }
+    }
+}
+
+/// One geometry-classified candidate awaiting verification: align
+/// `a[a_range]` against `b[b_range]` within `band`. The `kind`/`shift`
+/// fields ride along so the overlapper can emit the [`crate::Overlap`]
+/// without re-deriving geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyReq {
+    /// First read of the candidate pair.
+    pub a: ReadId,
+    /// Second read of the candidate pair.
+    pub b: ReadId,
+    /// Overlap geometry derived from the seed diagonal.
+    pub kind: OverlapKind,
+    /// Offset of the overlap on the outer/left read.
+    pub shift: u32,
+    /// Range of `a` inside the overlap.
+    pub a_range: (usize, usize),
+    /// Range of `b` inside the overlap.
+    pub b_range: (usize, usize),
+    /// Band half-width for this request (per-length adaptive banding may
+    /// make it differ from the configured `NwConfig::band`).
+    pub band: usize,
+}
+
+/// Verification thresholds and scoring shared by every kernel. `nw.band`
+/// is a default only — the per-request [`VerifyReq::band`] governs.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyParams {
+    /// Aligner scoring (and default band).
+    pub nw: NwConfig,
+    /// Minimum alignment columns for an overlap.
+    pub min_overlap_len: usize,
+    /// Minimum alignment identity for an overlap.
+    pub min_identity: f64,
+}
+
+/// Reusable per-worker buffers shared by all kernels: the scalar band
+/// buffers, the Myers `Peq`/delta vectors, and the SIMD batch staging
+/// area. One value per worker thread, like `AlignScratch`.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    pub(crate) nw: NwScratch,
+    pub(crate) myers: MyersScratch,
+    pub(crate) wide: WideScratch,
+}
+
+/// A candidate-verification engine. Implementations must produce, for
+/// every request, exactly the verdict [`ScalarKernel`] produces: `Some`
+/// with the banded-NW summary iff the alignment meets the thresholds.
+pub trait AlignKernel: std::fmt::Debug + Send + Sync {
+    /// Stable kernel name for logs and metrics.
+    fn name(&self) -> &'static str;
+
+    /// Verifies `reqs`, appending one verdict per request to `out` (which
+    /// is cleared first). Work counters go to `stats`; only the
+    /// kernel-dependent fields (`prefilter_*`, `exact_hits`, `wide_lanes`)
+    /// may differ between kernels.
+    fn verify_batch(
+        &self,
+        store: &ReadStore,
+        params: &VerifyParams,
+        reqs: &[VerifyReq],
+        scratch: &mut KernelScratch,
+        stats: &mut PairStats,
+        out: &mut Vec<Option<AlignmentSummary>>,
+    );
+}
+
+/// Applies the overlap thresholds to a banded-NW summary.
+#[inline]
+pub(crate) fn apply_thresholds(
+    params: &VerifyParams,
+    summary: AlignmentSummary,
+) -> Option<AlignmentSummary> {
+    if (summary.columns as usize) < params.min_overlap_len
+        || summary.identity() < params.min_identity
+    {
+        None
+    } else {
+        Some(summary)
+    }
+}
+
+/// The reference verification: banded NW at the request's band, then the
+/// thresholds.
+pub(crate) fn scalar_verify(
+    store: &ReadStore,
+    params: &VerifyParams,
+    req: &VerifyReq,
+    nw: &mut NwScratch,
+) -> Option<AlignmentSummary> {
+    let a_seq = &store.get(req.a).seq;
+    let b_seq = &store.get(req.b).seq;
+    let config = NwConfig {
+        band: req.band,
+        ..params.nw
+    };
+    let summary = banded_global_with(a_seq, req.a_range, b_seq, req.b_range, &config, nw)?;
+    apply_thresholds(params, summary)
+}
+
+/// Outcome of the cheap (distance-free) prefilter stages.
+pub(crate) enum Classified {
+    /// Verdict fully determined without an edit distance.
+    Done(Option<AlignmentSummary>),
+    /// Distance known without running Myers (one empty range).
+    Finish(u32),
+    /// A bit-parallel edit distance is required, then
+    /// [`finish_with_distance`].
+    NeedDistance,
+}
+
+/// Stages of the bit-parallel pipeline that need no edit distance: the
+/// scalar fallback for incompatible scoring, the out-of-band rejection
+/// scalar NW would make, the exact-match shortcut, and the
+/// cannot-reach-`min_overlap_len` rejection.
+pub(crate) fn classify(
+    store: &ReadStore,
+    params: &VerifyParams,
+    req: &VerifyReq,
+    nw: &mut NwScratch,
+    stats: &mut PairStats,
+) -> Classified {
+    if !prefilter_compatible(&params.nw) {
+        return Classified::Done(scalar_verify(store, params, req, nw));
+    }
+    let (n, m) = (req.a_range.1 - req.a_range.0, req.b_range.1 - req.b_range.0);
+    if n.abs_diff(m) > req.band {
+        // Scalar banded NW rejects this outright (global path leaves the
+        // band); mirror it without touching the sequences.
+        return Classified::Done(None);
+    }
+    let a_view = store.get(req.a).seq.packed();
+    let b_view = store.get(req.b).seq.packed();
+    if n == m && a_view.range_eq(req.a_range.0, &b_view, req.b_range.0, n) {
+        // Equal ranges: with match > 0 >= mismatch and gap < 0, the
+        // all-diagonal alignment is the unique score optimum (anything
+        // else has < n matches, so a strictly lower score), so scalar NW
+        // must report exactly this summary.
+        stats.exact_hits += 1;
+        let summary = AlignmentSummary {
+            score: params.nw.match_score * n as i32,
+            columns: n as u32,
+            matches: n as u32,
+        };
+        return Classified::Done(apply_thresholds(params, summary));
+    }
+    if n + m < params.min_overlap_len {
+        // Columns never exceed n + m, so the length threshold is
+        // unreachable whatever NW computes.
+        stats.prefilter_rejected += 1;
+        return Classified::Done(None);
+    }
+    if n.min(m) == 0 {
+        // One side empty: the distance is the other side's length.
+        return Classified::Finish(n.max(m) as u32);
+    }
+    Classified::NeedDistance
+}
+
+/// Final stage of the bit-parallel pipeline, given the exact edit distance
+/// `d`: reject via the identity and column bounds, otherwise re-verify
+/// with scalar NW in the gap-bound-shrunk band (provably the same summary
+/// as the configured band — see [`crate::myers`]).
+pub(crate) fn finish_with_distance(
+    store: &ReadStore,
+    params: &VerifyParams,
+    req: &VerifyReq,
+    d: u32,
+    nw: &mut NwScratch,
+    stats: &mut PairStats,
+) -> Option<AlignmentSummary> {
+    let (n, m) = (req.a_range.1 - req.a_range.0, req.b_range.1 - req.b_range.0);
+    if identity_upper_bound(n, m, d) < params.min_identity {
+        stats.prefilter_rejected += 1;
+        return None;
+    }
+    let gmax = optimal_gap_bound(&params.nw, n, m, d);
+    if max_columns_bound(n, m, gmax) < params.min_overlap_len {
+        stats.prefilter_rejected += 1;
+        return None;
+    }
+    stats.prefilter_verified += 1;
+    let shrunk = VerifyReq {
+        band: req.band.min(gmax),
+        ..*req
+    };
+    scalar_verify(store, params, &shrunk, nw)
+}
+
+/// The reference kernel: scalar banded NW on every request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl AlignKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn verify_batch(
+        &self,
+        store: &ReadStore,
+        params: &VerifyParams,
+        reqs: &[VerifyReq],
+        scratch: &mut KernelScratch,
+        _stats: &mut PairStats,
+        out: &mut Vec<Option<AlignmentSummary>>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        for req in reqs {
+            out.push(scalar_verify(store, params, req, &mut scratch.nw));
+        }
+    }
+}
+
+/// The portable bit-parallel kernel: Myers distances one request at a
+/// time, then the bound-based prefilter and band-shrunk verification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MyersKernel;
+
+impl AlignKernel for MyersKernel {
+    fn name(&self) -> &'static str {
+        "bitparallel"
+    }
+
+    fn verify_batch(
+        &self,
+        store: &ReadStore,
+        params: &VerifyParams,
+        reqs: &[VerifyReq],
+        scratch: &mut KernelScratch,
+        stats: &mut PairStats,
+        out: &mut Vec<Option<AlignmentSummary>>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        for req in reqs {
+            let verdict = match classify(store, params, req, &mut scratch.nw, stats) {
+                Classified::Done(v) => v,
+                Classified::Finish(d) => {
+                    finish_with_distance(store, params, req, d, &mut scratch.nw, stats)
+                }
+                Classified::NeedDistance => {
+                    let d = edit_distance_with(
+                        store.get(req.a).seq.packed(),
+                        req.a_range,
+                        store.get(req.b).seq.packed(),
+                        req.b_range,
+                        &mut scratch.myers,
+                    );
+                    finish_with_distance(store, params, req, d, &mut scratch.nw, stats)
+                }
+            };
+            out.push(verdict);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::{Base, DnaString, Read, TrimConfig};
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    /// A store of 12 base reads, each followed by a lightly mutated copy
+    /// (forward ids `4i` and `4i + 2` after RC augmentation), so requests
+    /// can pair homologous ranges as well as unrelated ones.
+    fn paired_store(rng: &mut Rng) -> ReadStore {
+        let mut reads = Vec::new();
+        for i in 0..12 {
+            let len = 30 + (rng.next() % 150) as usize;
+            let base: DnaString = (0..len)
+                .map(|_| Base::from_code((rng.next() % 4) as u8))
+                .collect();
+            let mut copy = base.clone();
+            for _ in 0..rng.next() % 5 {
+                let p = (rng.next() as usize) % copy.len();
+                copy.set(p, Base::from_code((rng.next() % 4) as u8));
+            }
+            reads.push(Read::new(format!("b{i}"), base));
+            reads.push(Read::new(format!("m{i}"), copy));
+        }
+        ReadStore::preprocess(
+            &reads,
+            &TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// A mixed corpus: unrelated random ranges (mostly rejects), jittered
+    /// self-ranges (exact hits and tiny-distance survivors), and homologous
+    /// base-vs-mutated-copy ranges (accepts and near-threshold verdicts),
+    /// over bands from 0 through 16 including `dl == band ± 1` edges.
+    fn random_reqs(store: &ReadStore, rng: &mut Rng, count: usize) -> Vec<VerifyReq> {
+        let mut reqs = Vec::new();
+        for _ in 0..count {
+            let band = [0usize, 1, 4, 8, 16][(rng.next() % 5) as usize];
+            let (a, b, a_range, b_range) = match rng.next() % 4 {
+                0 | 1 => {
+                    // Unrelated ranges with band-straddling length deltas.
+                    let a = ReadId((rng.next() % store.len() as u64) as u32);
+                    let b = ReadId((rng.next() % store.len() as u64) as u32);
+                    let (la, lb) = (store.get(a).seq.len(), store.get(b).seq.len());
+                    let n = (rng.next() as usize) % (la + 1);
+                    let delta = (rng.next() % (band as u64 + 3)) as usize;
+                    let m = if rng.next() % 2 == 0 {
+                        n.saturating_sub(delta).min(lb)
+                    } else {
+                        (n + delta).min(lb)
+                    };
+                    let a0 = (rng.next() as usize) % (la - n + 1);
+                    let b0 = (rng.next() as usize) % (lb - m + 1);
+                    (a, b, (a0, a0 + n), (b0, b0 + m))
+                }
+                2 => {
+                    // Same read, endpoints jittered by up to 2 bases.
+                    let a = ReadId((rng.next() % store.len() as u64) as u32);
+                    let la = store.get(a).seq.len();
+                    let n = (rng.next() as usize) % (la + 1);
+                    let a0 = (rng.next() as usize) % (la - n + 1);
+                    let b0 = a0.saturating_sub((rng.next() % 3) as usize);
+                    let b1 = ((a0 + n) + (rng.next() % 3) as usize).min(la);
+                    (a, a, (a0, a0 + n), (b0, b1.max(b0)))
+                }
+                _ => {
+                    // Homologous: base read vs its mutated copy.
+                    let i = rng.next() % 12;
+                    let a = ReadId(4 * i as u32);
+                    let b = ReadId(4 * i as u32 + 2);
+                    let la = store.get(a).seq.len();
+                    let n = (rng.next() as usize) % (la + 1);
+                    let a0 = (rng.next() as usize) % (la - n + 1);
+                    let jit = (rng.next() % 2) as usize;
+                    (a, b, (a0, a0 + n), (a0, (a0 + n + jit).min(la)))
+                }
+            };
+            reqs.push(VerifyReq {
+                a,
+                b,
+                kind: OverlapKind::SuffixPrefix,
+                shift: 0,
+                a_range,
+                b_range,
+                band,
+            });
+        }
+        reqs
+    }
+
+    fn run(
+        kernel: &dyn AlignKernel,
+        store: &ReadStore,
+        params: &VerifyParams,
+        reqs: &[VerifyReq],
+    ) -> (Vec<Option<AlignmentSummary>>, PairStats) {
+        let mut scratch = KernelScratch::default();
+        let mut stats = PairStats::default();
+        let mut out = Vec::new();
+        kernel.verify_batch(store, params, reqs, &mut scratch, &mut stats, &mut out);
+        assert_eq!(out.len(), reqs.len());
+        (out, stats)
+    }
+
+    /// The differential corpus: every kernel must agree verdict-for-verdict
+    /// with the scalar reference across empty, short, multiword and
+    /// band-edge requests.
+    #[test]
+    fn kernels_agree_with_scalar_reference() {
+        let mut rng = Rng(42);
+        let params = VerifyParams {
+            nw: NwConfig::default(),
+            min_overlap_len: 30,
+            min_identity: 0.9,
+        };
+        let kernels: Vec<Box<dyn AlignKernel>> = vec![
+            Box::new(MyersKernel),
+            Box::new(WideKernel::detect()),
+            Box::new(WideKernel::portable()),
+        ];
+        for round in 0..6 {
+            let store = paired_store(&mut rng);
+            let reqs = random_reqs(&store, &mut rng, 300);
+            let (reference, ref_stats) = run(&ScalarKernel, &store, &params, &reqs);
+            assert_eq!(ref_stats.prefilter_rejected, 0);
+            assert_eq!(ref_stats.exact_hits, 0);
+            assert!(reference.iter().any(|v| v.is_some()), "corpus too easy");
+            assert!(reference.iter().any(|v| v.is_none()), "corpus too easy");
+            for kernel in &kernels {
+                let (got, stats) = run(kernel.as_ref(), &store, &params, &reqs);
+                assert_eq!(got, reference, "{} diverges in round {round}", kernel.name());
+                // Every candidate the prefilter let through or resolved
+                // exactly accounts against the request count.
+                assert!(
+                    stats.prefilter_rejected + stats.prefilter_verified + stats.exact_hits
+                        <= reqs.len() as u64,
+                    "{} stats overcount",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    /// Degenerate thresholds (accept everything / reject everything) and
+    /// empty ranges keep the kernels in lockstep.
+    #[test]
+    fn kernels_agree_at_threshold_extremes() {
+        let mut rng = Rng(7);
+        let store = paired_store(&mut rng);
+        let reqs = {
+            let mut r = random_reqs(&store, &mut rng, 120);
+            // Force some fully-empty and half-empty ranges.
+            for i in 0..6 {
+                r[i].a_range = (0, 0);
+            }
+            for i in 6..12 {
+                r[i].b_range = (0, 0);
+            }
+            for i in 0..3 {
+                r[i].b_range = (0, 0);
+            }
+            r
+        };
+        for (min_len, min_id) in [(0usize, 0.0f64), (0, 1.0), (200, 0.9), (50, 0.95)] {
+            let params = VerifyParams {
+                nw: NwConfig::default(),
+                min_overlap_len: min_len,
+                min_identity: min_id,
+            };
+            let (reference, _) = run(&ScalarKernel, &store, &params, &reqs);
+            for kernel in [
+                &MyersKernel as &dyn AlignKernel,
+                &WideKernel::detect(),
+                &WideKernel::portable(),
+            ] {
+                let (got, _) = run(kernel, &store, &params, &reqs);
+                assert_eq!(
+                    got,
+                    reference,
+                    "{} diverges at min_len={min_len} min_id={min_id}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    /// Exotic scoring configs (positive mismatch, zero gap) must fall back
+    /// to plain scalar behaviour rather than apply the bounds.
+    #[test]
+    fn incompatible_scoring_falls_back_to_scalar() {
+        let mut rng = Rng(19);
+        let store = paired_store(&mut rng);
+        let reqs = random_reqs(&store, &mut rng, 80);
+        for nw in [
+            NwConfig {
+                mismatch_score: 2,
+                ..NwConfig::default()
+            },
+            NwConfig {
+                gap_score: 0,
+                ..NwConfig::default()
+            },
+        ] {
+            let params = VerifyParams {
+                nw,
+                min_overlap_len: 30,
+                min_identity: 0.9,
+            };
+            let (reference, _) = run(&ScalarKernel, &store, &params, &reqs);
+            let (got, stats) = run(&MyersKernel, &store, &params, &reqs);
+            assert_eq!(got, reference);
+            assert_eq!(stats.prefilter_rejected, 0, "bounds must not be applied");
+            assert_eq!(stats.exact_hits, 0);
+        }
+    }
+
+    #[test]
+    fn kernel_kind_parses_cli_values() {
+        assert_eq!(KernelKind::parse("scalar"), Some(KernelKind::Scalar));
+        assert_eq!(KernelKind::parse("bitparallel"), Some(KernelKind::BitParallel));
+        assert_eq!(KernelKind::parse("bit-parallel"), Some(KernelKind::BitParallel));
+        assert_eq!(KernelKind::parse("auto"), Some(KernelKind::Auto));
+        assert_eq!(KernelKind::parse("fast"), None);
+        for kind in [KernelKind::Scalar, KernelKind::BitParallel, KernelKind::Auto] {
+            assert_eq!(KernelKind::parse(kind.as_str()), Some(kind));
+            let _ = kind.build(); // constructible on this machine
+        }
+        assert_eq!(KernelKind::default(), KernelKind::Auto);
+    }
+}

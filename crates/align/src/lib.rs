@@ -13,17 +13,35 @@
 //!   suffix array, diagonal voting, banded verification, thresholding on
 //!   minimum overlap length and identity,
 //! * [`minimizer`] — a minimizer (minimum-hash window) index, the modern
-//!   hash-based alternative to the suffix array, provided for comparison.
+//!   hash-based alternative to the suffix array, provided for comparison,
+//! * [`kernel`] — the pluggable alignment-kernel layer: the [`AlignKernel`]
+//!   trait plus runtime dispatch ([`KernelKind`]) between the scalar
+//!   reference, the bit-parallel prefilter and the SIMD-batched engine,
+//! * [`myers`] — Myers' (1999) bit-parallel edit-distance kernel with the
+//!   provable prefilter bounds,
+//! * [`wide`] — the SIMD-batched (AVX2/SSE2, portable fallback) variant of
+//!   the bit-parallel kernel.
 
 pub mod error;
+pub mod kernel;
 pub mod minimizer;
+pub mod myers;
 pub mod nw;
 pub mod overlap;
 pub mod pairwise;
 pub mod suffix;
+pub mod wide;
 
 pub use error::AlignError;
 pub use fc_exec::Pool;
+pub use kernel::{
+    AlignKernel, KernelKind, KernelScratch, MyersKernel, ScalarKernel, VerifyParams, VerifyReq,
+};
+pub use myers::{
+    edit_distance_with, identity_upper_bound, max_columns_bound, optimal_gap_bound,
+    prefilter_compatible, MyersScratch,
+};
+pub use wide::WideKernel;
 pub use minimizer::{minimizers, MinimizerIndex};
 pub use nw::{
     band_for_error_rate, banded_global, banded_global_with, AlignmentSummary, NwConfig, NwScratch,

@@ -7,7 +7,8 @@
 //! minimum length and identity thresholds are recorded.
 
 use crate::error::AlignError;
-use crate::nw::{banded_global_with, NwConfig, NwScratch};
+use crate::kernel::{AlignKernel, KernelKind, KernelScratch, VerifyParams, VerifyReq};
+use crate::nw::{band_for_error_rate, AlignmentSummary, NwConfig};
 use crate::overlap::{Overlap, OverlapKind};
 use crate::suffix::SuffixArray;
 use fc_exec::Pool;
@@ -37,6 +38,14 @@ pub struct OverlapConfig {
     pub min_identity: f64,
     /// Aligner scoring/banding.
     pub nw: NwConfig,
+    /// Which verification kernel runs the candidates (all kinds produce
+    /// bit-identical overlaps; see [`crate::kernel`]).
+    pub kernel: KernelKind,
+    /// When set, each candidate is verified in a band sized for its own
+    /// overlap length via [`band_for_error_rate`] (memoised per length)
+    /// instead of the fixed `nw.band`. `None` (the default) preserves the
+    /// fixed-band outputs exactly.
+    pub band_error_rate: Option<f64>,
 }
 
 impl Default for OverlapConfig {
@@ -48,6 +57,8 @@ impl Default for OverlapConfig {
             min_overlap_len: 50,
             min_identity: 0.90,
             nw: NwConfig::default(),
+            kernel: KernelKind::default(),
+            band_error_rate: None,
         }
     }
 }
@@ -79,6 +90,14 @@ impl OverlapConfig {
                 message: format!("must be in [0,1], got {}", self.min_identity),
             });
         }
+        if let Some(rate) = self.band_error_rate {
+            if !rate.is_finite() || !(rate > 0.0 && rate < 1.0) {
+                return Err(AlignError::Config {
+                    parameter: "band_error_rate",
+                    message: format!("must be in (0,1), got {rate}"),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -97,6 +116,18 @@ pub struct PairStats {
     pub nw_cells: u64,
     /// Overlaps that passed the thresholds.
     pub overlaps: u64,
+    /// Candidates rejected by a bit-parallel prefilter bound without
+    /// running scalar NW (kernel-dependent; zero for the scalar kernel).
+    pub prefilter_rejected: u64,
+    /// Candidates that survived the prefilter and were re-verified by
+    /// band-shrunk scalar NW (kernel-dependent).
+    pub prefilter_verified: u64,
+    /// Candidates resolved by the exact-match shortcut (kernel-dependent).
+    pub exact_hits: u64,
+    /// Distance computations staged into SIMD batch lanes
+    /// (kernel-dependent; the count is CPU-independent — it tallies staged
+    /// requests, not vector width).
+    pub wide_lanes: u64,
 }
 
 impl PairStats {
@@ -109,6 +140,10 @@ impl PairStats {
         self.candidates = self.candidates.saturating_add(other.candidates);
         self.nw_cells = self.nw_cells.saturating_add(other.nw_cells);
         self.overlaps = self.overlaps.saturating_add(other.overlaps);
+        self.prefilter_rejected = self.prefilter_rejected.saturating_add(other.prefilter_rejected);
+        self.prefilter_verified = self.prefilter_verified.saturating_add(other.prefilter_verified);
+        self.exact_hits = self.exact_hits.saturating_add(other.exact_hits);
+        self.wide_lanes = self.wide_lanes.saturating_add(other.wide_lanes);
     }
 }
 
@@ -119,6 +154,10 @@ impl fc_ckpt::Codec for PairStats {
         w.put_u64(self.candidates);
         w.put_u64(self.nw_cells);
         w.put_u64(self.overlaps);
+        w.put_u64(self.prefilter_rejected);
+        w.put_u64(self.prefilter_verified);
+        w.put_u64(self.exact_hits);
+        w.put_u64(self.wide_lanes);
     }
 
     fn decode(r: &mut fc_ckpt::Reader<'_>) -> Result<PairStats, fc_ckpt::CkptError> {
@@ -128,13 +167,18 @@ impl fc_ckpt::Codec for PairStats {
             candidates: r.u64()?,
             nw_cells: r.u64()?,
             overlaps: r.u64()?,
+            prefilter_rejected: r.u64()?,
+            prefilter_verified: r.u64()?,
+            exact_hits: r.u64()?,
+            wide_lanes: r.u64()?,
         })
     }
 }
 
 /// Reusable per-worker buffers for the overlapper's hot path: the diagonal
 /// vote map and its flattened/sorted view, the suffix-array hit buffer, the
-/// candidate list, and the aligner's band buffers. One value per worker
+/// candidate list, the verification-request batch and its verdicts, the
+/// kernel's own buffers, and the per-length band memo. One value per worker
 /// thread (see [`Overlapper::overlap_all_with`]) eliminates the per-read and
 /// per-verification allocation churn without any cross-thread state.
 #[derive(Debug, Default)]
@@ -143,20 +187,40 @@ pub struct AlignScratch {
     flat: Vec<(ReadId, i64, u32)>,
     hits: Vec<(ReadId, u32)>,
     candidates: Vec<(ReadId, i64)>,
-    nw: NwScratch,
+    reqs: Vec<VerifyReq>,
+    verdicts: Vec<Option<AlignmentSummary>>,
+    kernel: KernelScratch,
+    /// `band_memo[len]` caches `band_for_error_rate(len, rate)` (0 =
+    /// uncomputed; real bands are >= 4) so the sqrt/ceil runs once per
+    /// distinct overlap length instead of once per candidate.
+    band_memo: Vec<u32>,
 }
 
 /// Pairwise read overlapper over a preprocessed [`ReadStore`].
 pub struct Overlapper<'a> {
     store: &'a ReadStore,
     config: OverlapConfig,
+    kernel: Box<dyn AlignKernel>,
 }
 
 impl<'a> Overlapper<'a> {
-    /// Creates an overlapper; fails on invalid configuration.
+    /// Creates an overlapper; fails on invalid configuration. The
+    /// verification kernel is built here, once — runtime dispatch flows
+    /// from configuration, never from ambient state in the hot path.
     pub fn new(store: &'a ReadStore, config: OverlapConfig) -> Result<Overlapper<'a>, AlignError> {
         config.validate()?;
-        Ok(Overlapper { store, config })
+        let kernel = config.kernel.build();
+        Ok(Overlapper {
+            store,
+            config,
+            kernel,
+        })
+    }
+
+    /// The active verification kernel's name (`scalar`, `bitparallel`,
+    /// `wide-avx2`, …) for logs and reports.
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.name()
     }
 
     /// The configuration in use.
@@ -190,6 +254,13 @@ impl<'a> Overlapper<'a> {
     /// [`Overlapper::overlap_pair`] with caller-provided scratch buffers —
     /// the zero-allocation path used by the parallel fan-out, where each
     /// worker thread owns one [`AlignScratch`] for its whole task stream.
+    ///
+    /// Seeding and geometry run per query read, accumulating one
+    /// [`VerifyReq`] batch for the whole subset pair; the configured
+    /// [`AlignKernel`] then verifies the batch in one call (giving the SIMD
+    /// kernel cross-read candidates to fill its lanes with), and overlaps
+    /// are emitted in request order — exactly the order the old inline
+    /// verification produced.
     pub fn overlap_pair_with(
         &self,
         query: &[ReadId],
@@ -199,8 +270,35 @@ impl<'a> Overlapper<'a> {
     ) -> (Vec<Overlap>, PairStats) {
         let mut overlaps = Vec::new();
         let mut stats = PairStats::default();
+        scratch.reqs.clear();
         for &q in query {
-            self.overlap_one(q, index, dedup_self, &mut overlaps, &mut stats, scratch);
+            self.overlap_one(q, index, dedup_self, &mut stats, scratch);
+        }
+        let params = VerifyParams {
+            nw: self.config.nw,
+            min_overlap_len: self.config.min_overlap_len,
+            min_identity: self.config.min_identity,
+        };
+        self.kernel.verify_batch(
+            self.store,
+            &params,
+            &scratch.reqs,
+            &mut scratch.kernel,
+            &mut stats,
+            &mut scratch.verdicts,
+        );
+        for (req, verdict) in scratch.reqs.iter().zip(&scratch.verdicts) {
+            if let Some(summary) = verdict {
+                stats.overlaps += 1;
+                overlaps.push(Overlap {
+                    a: req.a,
+                    b: req.b,
+                    kind: req.kind,
+                    shift: req.shift,
+                    len: summary.columns,
+                    identity: summary.identity(),
+                });
+            }
         }
         (overlaps, stats)
     }
@@ -305,18 +403,72 @@ impl<'a> Overlapper<'a> {
                 total.candidates.saturating_sub(total.overlaps),
             );
             rec.add("align.nw_cells", total.nw_cells);
+            // Kernel-dependent counters (see `fc_obs::KERNEL_PREFIXES`):
+            // excluded from logical snapshots because they vary with
+            // `--align-kernel` while the overlaps stay bit-identical.
+            rec.add("align.prefilter.rejected", total.prefilter_rejected);
+            rec.add("align.prefilter.verified", total.prefilter_verified);
+            rec.add("align.kernel.exact_hits", total.exact_hits);
+            rec.add("align.kernel.wide_lanes", total.wide_lanes);
             rec.add("sched.align.scratch_reuses", scratch_reuses);
             rec.gauge("align.band", self.config.nw.band as i64);
         }
         (all, pair_stats)
     }
 
+    /// Runs only the seeding/geometry stage over every subset pair,
+    /// returning the full [`VerifyReq`] batch in the canonical serial
+    /// `(j, i ≤ j)` order. The geometry stage is kernel-independent, so
+    /// this is exactly the work list any configured kernel would verify;
+    /// benchmarks use it to time [`Overlapper::verify_requests`] in
+    /// isolation from seeding and voting.
+    pub fn gather_requests(&self, subsets: &[Vec<ReadId>]) -> Vec<VerifyReq> {
+        let mut scratch = AlignScratch::default();
+        let mut stats = PairStats::default();
+        let mut reqs = Vec::new();
+        for j in 0..subsets.len() {
+            let index = self.index_subset(&subsets[j]);
+            for i in 0..=j {
+                scratch.reqs.clear();
+                for &q in &subsets[i] {
+                    self.overlap_one(q, &index, i == j, &mut stats, &mut scratch);
+                }
+                reqs.extend_from_slice(&scratch.reqs);
+            }
+        }
+        reqs
+    }
+
+    /// Verifies a request batch with this overlapper's configured kernel,
+    /// writing one verdict per request into `out` (cleared first). This is
+    /// the alignment verification phase in isolation — the part
+    /// `--align-kernel` dispatches — exposed so the kernel benchmark can
+    /// time it without seeding noise.
+    pub fn verify_requests(
+        &self,
+        reqs: &[VerifyReq],
+        scratch: &mut KernelScratch,
+        stats: &mut PairStats,
+        out: &mut Vec<Option<AlignmentSummary>>,
+    ) {
+        let params = VerifyParams {
+            nw: self.config.nw,
+            min_overlap_len: self.config.min_overlap_len,
+            min_identity: self.config.min_identity,
+        };
+        self.kernel
+            .verify_batch(self.store, &params, reqs, scratch, stats, out);
+    }
+
+    /// Seeds, votes and classifies the candidates of one query read,
+    /// pushing a [`VerifyReq`] per geometry-valid candidate onto
+    /// `scratch.reqs` (verification happens later, batched per subset
+    /// pair).
     fn overlap_one(
         &self,
         q: ReadId,
         index: &SuffixArray,
         dedup_self: bool,
-        out: &mut Vec<Overlap>,
         stats: &mut PairStats,
         scratch: &mut AlignScratch,
     ) {
@@ -330,7 +482,9 @@ impl<'a> Overlapper<'a> {
             flat,
             hits,
             candidates,
-            nw,
+            reqs,
+            band_memo,
+            ..
         } = scratch;
         // Vote per (reference read, diagonal).
         votes.clear();
@@ -405,22 +559,44 @@ impl<'a> Overlapper<'a> {
         for ci in 0..candidates.len() {
             let (r, diag) = candidates[ci];
             stats.candidates += 1;
-            if let Some(overlap) = self.verify(q, r, diag, stats, nw) {
-                stats.overlaps += 1;
-                out.push(overlap);
+            if let Some(req) = self.classify_candidate(q, r, diag, band_memo) {
+                // Work accounting happens at the geometry stage with the
+                // request's band, so `nw_cells` is identical whichever
+                // kernel verifies the batch.
+                let rows = (req.a_range.1 - req.a_range.0) as u64;
+                stats.nw_cells += rows * (2 * req.band as u64 + 1);
+                reqs.push(req);
             }
         }
     }
 
-    /// Verifies a candidate with banded NW and classifies its geometry.
-    fn verify(
+    /// The band half-width for a candidate whose outer-read overlap spans
+    /// `rows` bases: the configured fixed band, or (under
+    /// `band_error_rate`) the per-length adaptive band, memoised in
+    /// `band_memo`.
+    fn band_for(&self, rows: usize, band_memo: &mut Vec<u32>) -> usize {
+        let Some(rate) = self.config.band_error_rate else {
+            return self.config.nw.band;
+        };
+        if rows >= band_memo.len() {
+            band_memo.resize(rows + 1, 0);
+        }
+        if band_memo[rows] == 0 {
+            band_memo[rows] = band_for_error_rate(rows, rate) as u32;
+        }
+        band_memo[rows] as usize
+    }
+
+    /// Classifies a candidate's overlap geometry from its seed diagonal,
+    /// returning the verification request (or `None` when the diagonal
+    /// implies no overlap).
+    fn classify_candidate(
         &self,
         q: ReadId,
         r: ReadId,
         diag: i64,
-        stats: &mut PairStats,
-        nw: &mut NwScratch,
-    ) -> Option<Overlap> {
+        band_memo: &mut Vec<u32>,
+    ) -> Option<VerifyReq> {
         let qs = &self.store.get(q).seq;
         let rs = &self.store.get(r).seq;
         let (len_q, len_r) = (qs.len() as i64, rs.len() as i64);
@@ -482,22 +658,15 @@ impl<'a> Overlapper<'a> {
             }
         };
 
-        let (a_seq, b_seq) = (&self.store.get(a).seq, &self.store.get(b).seq);
-        let rows = a_range.1 - a_range.0;
-        stats.nw_cells += (rows as u64) * (2 * self.config.nw.band as u64 + 1);
-        let summary = banded_global_with(a_seq, a_range, b_seq, b_range, &self.config.nw, nw)?;
-        if (summary.columns as usize) < self.config.min_overlap_len
-            || summary.identity() < self.config.min_identity
-        {
-            return None;
-        }
-        Some(Overlap {
+        let band = self.band_for(a_range.1 - a_range.0, band_memo);
+        Some(VerifyReq {
             a,
             b,
             kind,
             shift,
-            len: summary.columns,
-            identity: summary.identity(),
+            a_range,
+            b_range,
+            band,
         })
     }
 }
@@ -688,6 +857,8 @@ mod tests {
             candidates: 5,
             nw_cells: u64::MAX - 10,
             overlaps: 0,
+            prefilter_rejected: u64::MAX - 1,
+            ..PairStats::default()
         };
         let b = PairStats {
             kmer_lookups: 7,
@@ -695,6 +866,9 @@ mod tests {
             candidates: 3,
             nw_cells: 100,
             overlaps: 2,
+            prefilter_rejected: 5,
+            exact_hits: 4,
+            ..PairStats::default()
         };
         a.merge(&b);
         assert_eq!(a.kmer_lookups, u64::MAX);
@@ -702,6 +876,8 @@ mod tests {
         assert_eq!(a.candidates, 8);
         assert_eq!(a.nw_cells, u64::MAX);
         assert_eq!(a.overlaps, 2);
+        assert_eq!(a.prefilter_rejected, u64::MAX);
+        assert_eq!(a.exact_hits, 4);
     }
 
     #[test]
@@ -803,6 +979,164 @@ mod tests {
         .validate()
         .is_err());
         assert!(OverlapConfig::default().validate().is_ok());
+    }
+
+    /// Every kernel kind must produce bit-identical overlaps, logical
+    /// (kernel-independent) pair stats, and byte-identical logical metric
+    /// snapshots — at every thread count. This is the dispatch-level
+    /// counterpart of the per-request differential tests in
+    /// [`crate::kernel`].
+    #[test]
+    fn all_kernel_kinds_produce_bit_identical_results() {
+        let genome = random_genome(900, 23);
+        let store = tiled_store(&genome, 100, 35);
+        let subsets = store.split_subsets(4);
+        let logical = |s: &PairStats| PairStats {
+            prefilter_rejected: 0,
+            prefilter_verified: 0,
+            exact_hits: 0,
+            wide_lanes: 0,
+            ..*s
+        };
+        let (base_overlaps, base_stats, base_snapshot) = {
+            let config = OverlapConfig {
+                kernel: KernelKind::Scalar,
+                ..test_config()
+            };
+            let overlapper = Overlapper::new(&store, config).unwrap();
+            let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+            let (o, s) = overlapper.overlap_all_obs(&subsets, &Pool::serial(), &rec);
+            (o, s, rec.snapshot_json())
+        };
+        assert!(!base_overlaps.is_empty());
+        for kind in [KernelKind::BitParallel, KernelKind::Auto] {
+            let config = OverlapConfig {
+                kernel: kind,
+                ..test_config()
+            };
+            let overlapper = Overlapper::new(&store, config).unwrap();
+            for threads in [1usize, 4] {
+                let rec = fc_obs::Recorder::new(fc_obs::ObsOptions::logical());
+                let (overlaps, stats) =
+                    overlapper.overlap_all_obs(&subsets, &Pool::new(threads), &rec);
+                assert_eq!(
+                    overlaps,
+                    base_overlaps,
+                    "overlaps differ for {} at {threads} threads",
+                    kind.as_str()
+                );
+                for ((i, j, s), (bi, bj, bs)) in stats.iter().zip(&base_stats) {
+                    assert_eq!((i, j), (bi, bj));
+                    assert_eq!(
+                        logical(s),
+                        logical(bs),
+                        "logical stats differ for {} pair ({i},{j})",
+                        kind.as_str()
+                    );
+                }
+                assert_eq!(
+                    rec.snapshot_json(),
+                    base_snapshot,
+                    "logical metric snapshot differs for {} at {threads} threads",
+                    kind.as_str()
+                );
+            }
+        }
+    }
+
+    /// The bit-parallel kernels actually take their shortcuts on this
+    /// workload (the counters are nonzero), while the scalar kernel's
+    /// kernel-dependent counters stay zero.
+    #[test]
+    fn prefilter_counters_reflect_kernel_work() {
+        let genome = random_genome(900, 23);
+        let store = tiled_store(&genome, 100, 35);
+        let subsets = store.split_subsets(2);
+        let totals = |kind: KernelKind| {
+            let config = OverlapConfig {
+                kernel: kind,
+                ..test_config()
+            };
+            let overlapper = Overlapper::new(&store, config).unwrap();
+            let (_, stats) = overlapper.overlap_all(&subsets);
+            let mut total = PairStats::default();
+            for (_, _, s) in &stats {
+                total.merge(s);
+            }
+            total
+        };
+        let scalar = totals(KernelKind::Scalar);
+        assert_eq!(scalar.prefilter_rejected, 0);
+        assert_eq!(scalar.prefilter_verified, 0);
+        assert_eq!(scalar.exact_hits, 0);
+        assert_eq!(scalar.wide_lanes, 0);
+        let bitparallel = totals(KernelKind::BitParallel);
+        assert!(
+            bitparallel.prefilter_rejected + bitparallel.prefilter_verified
+                + bitparallel.exact_hits
+                > 0,
+            "prefilter never engaged: {bitparallel:?}"
+        );
+        let auto = totals(KernelKind::Auto);
+        assert_eq!(
+            PairStats {
+                wide_lanes: 0,
+                ..auto
+            },
+            PairStats {
+                wide_lanes: 0,
+                ..bitparallel
+            },
+            "wide and portable bit-parallel pipelines must count identically"
+        );
+    }
+
+    /// Adaptive banding (`band_error_rate`) still finds the tiling's
+    /// dovetails, and its per-length memo produces the same overlaps as a
+    /// cold scratch every time.
+    #[test]
+    fn adaptive_banding_finds_dovetails_and_memoises() {
+        let genome = random_genome(600, 7);
+        let store = tiled_store(&genome, 100, 50);
+        let config = OverlapConfig {
+            band_error_rate: Some(0.05),
+            ..test_config()
+        };
+        let overlapper = Overlapper::new(&store, config).unwrap();
+        let subsets = store.split_subsets(1);
+        let (overlaps, _) = overlapper.overlap_all(&subsets);
+        assert!(overlaps
+            .iter()
+            .any(|o| o.kind == OverlapKind::SuffixPrefix && o.len >= 30));
+        // Warm memo (same scratch across repeated pairs) changes nothing.
+        let index = overlapper.index_subset(&subsets[0]);
+        let mut warm = AlignScratch::default();
+        for _ in 0..3 {
+            let fresh = overlapper.overlap_pair(&subsets[0], &index, true);
+            let reused = overlapper.overlap_pair_with(&subsets[0], &index, true, &mut warm);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn band_error_rate_validation() {
+        for bad in [0.0f64, 1.0, -0.1, f64::NAN, f64::INFINITY] {
+            assert!(
+                OverlapConfig {
+                    band_error_rate: Some(bad),
+                    ..Default::default()
+                }
+                .validate()
+                .is_err(),
+                "rate {bad} should be rejected"
+            );
+        }
+        assert!(OverlapConfig {
+            band_error_rate: Some(0.05),
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -71,6 +71,9 @@ impl SuffixArray {
     /// Finds every occurrence of the packed k-mer `kmer` (as produced by
     /// [`DnaString::kmer_u64`]) and reports each as `(read id, offset within
     /// that read)`.
+    #[deprecated(
+        note = "allocates a fresh Vec per lookup; use find_kmer_into with a reused buffer"
+    )]
     pub fn find_kmer(&self, kmer: u64, k: usize) -> Vec<(ReadId, u32)> {
         let mut out = Vec::new();
         self.find_kmer_into(kmer, k, &mut out);
@@ -164,6 +167,9 @@ fn build_suffix_array(text: &[u8]) -> Vec<u32> {
 }
 
 #[cfg(test)]
+// The allocating lookup stays exercised as the reference for its
+// zero-allocation replacement.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use fc_seq::DnaString;

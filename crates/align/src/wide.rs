@@ -1,0 +1,615 @@
+//! The wide (SIMD-batched) bit-parallel kernel.
+//!
+//! [`WideKernel`] runs the same provably-sound prefilter pipeline as
+//! [`MyersKernel`](crate::kernel::MyersKernel), but computes the edit
+//! distances of several candidate pairs at once: one pair per 64-bit SIMD
+//! lane (four lanes under AVX2, two under SSE2, detected at construction
+//! with `is_x86_feature_detected!`; anything else falls back to the
+//! portable word-at-a-time engine). Verdicts are bit-identical across all
+//! three paths — the engines compute the same exact distance, and
+//! everything downstream of the distance is shared code.
+//!
+//! # Lane layout: top-aligned patterns
+//!
+//! Batched lanes hold *different* patterns, so the classic bottom-aligned
+//! Myers layout (row 0 at bit 0, last row at bit `plen-1 mod 64`) would
+//! need per-lane score-bit masks and per-lane last-word handling. Instead
+//! each lane's pattern is aligned to the **top** of its `w × 64` bits: row
+//! `plen - 1` sits at bit 63 of word `w - 1` for every lane, so the
+//! horizontal delta of the last row — the score update — is the plain sign
+//! bit, uniform across lanes. The consequences:
+//!
+//! * the boundary row (+1 horizontal delta along the top text boundary)
+//!   enters at per-lane bit `off = 64 w - plen`: a precomputed `INS` mask
+//!   ORs it into `ph` (and clears it from `mh`) after the shift;
+//! * ordinary word-to-word carries only apply to words *above* the lane's
+//!   first pattern word: a per-lane, per-word `CARRY` mask gates them;
+//! * bits below `off` in the first word are garbage, but provably inert:
+//!   `Peq` is zero there, so `eq & pv` cannot generate an adder carry
+//!   below the pattern region, and the only bit the left-shifts push into
+//!   the region is the boundary bit, which `INS` overwrites.
+//!
+//! Lanes also carry different text lengths: a batch runs to the longest
+//! text with per-column activity masks freezing finished lanes' scores
+//! (their vectors keep evolving, which is harmless — the score was already
+//! extracted by then).
+
+use crate::kernel::{
+    classify, finish_with_distance, AlignKernel, Classified, KernelScratch, VerifyParams,
+    VerifyReq,
+};
+use crate::myers::{edit_distance_with, MyersScratch};
+use crate::nw::AlignmentSummary;
+use crate::pairwise::PairStats;
+use fc_seq::{PackedView, ReadId, ReadStore};
+
+/// SIMD width the batch engine runs at, chosen once at kernel construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    /// Four 64-bit lanes per vector (`std::arch` AVX2 intrinsics).
+    Avx2,
+    /// Two 64-bit lanes per vector (`std::arch` SSE2 intrinsics).
+    Sse2,
+    /// One pair at a time through the portable engine of [`crate::myers`].
+    Portable,
+}
+
+/// The `Auto` kernel: bit-parallel prefilter with SIMD-batched distances.
+#[derive(Debug, Clone, Copy)]
+pub struct WideKernel {
+    level: Level,
+}
+
+impl WideKernel {
+    /// Probes CPU features once and picks the widest available engine.
+    /// Detection only selects among bit-identical implementations, so the
+    /// choice never affects output bytes.
+    pub fn detect() -> WideKernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                return WideKernel { level: Level::Avx2 };
+            }
+            if is_x86_feature_detected!("sse2") {
+                return WideKernel { level: Level::Sse2 };
+            }
+        }
+        WideKernel {
+            level: Level::Portable,
+        }
+    }
+
+    /// The portable-engine variant (any CPU; also the differential-test
+    /// reference for the SIMD engines).
+    pub fn portable() -> WideKernel {
+        WideKernel {
+            level: Level::Portable,
+        }
+    }
+
+    #[cfg(all(test, target_arch = "x86_64"))]
+    fn sse2() -> WideKernel {
+        WideKernel { level: Level::Sse2 }
+    }
+
+    /// Computes the exact edit distance for every pending entry, batching
+    /// same-word-count lanes together (sorted by text length so batch mates
+    /// finish at similar columns). Entry order is untouched; results land
+    /// in [`Pending::d`].
+    fn compute_distances(&self, store: &ReadStore, wide: &mut WideScratch, myers: &mut MyersScratch) {
+        let WideScratch {
+            pending,
+            order,
+            bufs,
+        } = wide;
+        if self.level == Level::Portable {
+            for p in pending.iter_mut() {
+                p.d = edit_distance_with(
+                    store.get(p.pat.0).seq.packed(),
+                    (p.pat.1 as usize, p.pat.2 as usize),
+                    store.get(p.text.0).seq.packed(),
+                    (p.text.1 as usize, p.text.2 as usize),
+                    myers,
+                );
+            }
+            return;
+        }
+        let lanes_per = match self.level {
+            Level::Avx2 => 4,
+            _ => 2,
+        };
+        order.clear();
+        order.extend(0..pending.len() as u32);
+        order.sort_unstable_by_key(|&i| {
+            let p = &pending[i as usize];
+            (p.w, p.text.2 - p.text.1, i)
+        });
+        let mk_lane = |p: &Pending| -> Lane<'_> {
+            Lane {
+                pat: store.get(p.pat.0).seq.packed(),
+                pstart: p.pat.1 as usize,
+                plen: (p.pat.2 - p.pat.1) as usize,
+                text: store.get(p.text.0).seq.packed(),
+                tstart: p.text.1 as usize,
+                tlen: (p.text.2 - p.text.1) as usize,
+            }
+        };
+        let mut i = 0;
+        while i < order.len() {
+            let w = pending[order[i] as usize].w as usize;
+            let mut j = i + 1;
+            while j < order.len() && j - i < lanes_per && pending[order[j] as usize].w as usize == w
+            {
+                j += 1;
+            }
+            let group = &order[i..j];
+            // Fixed-size lane array (no per-batch allocation); unused slots
+            // repeat lane 0, which setup/engines ignore via `group.len()`.
+            let first = mk_lane(&pending[group[0] as usize]);
+            let mut lanes = [first; 4];
+            for (t, &oi) in group.iter().enumerate() {
+                lanes[t] = mk_lane(&pending[oi as usize]);
+            }
+            let ds = if self.level == Level::Avx2 {
+                // SAFETY: `Level::Avx2` is only constructed by `detect()`
+                // after `is_x86_feature_detected!("avx2")` returned true, so
+                // the target feature is present on this CPU.
+                unsafe { batch_avx2(&lanes[..group.len()], w, bufs) }
+            } else {
+                // SAFETY: only `Level::Sse2` remains (Portable returned
+                // early above); its constructors require x86_64, where
+                // SSE2 is architecturally guaranteed.
+                unsafe { batch_sse2(&lanes[..group.len()], w, bufs) }
+            };
+            for (t, &oi) in group.iter().enumerate() {
+                pending[oi as usize].d = ds[t] as u32;
+            }
+            i = j;
+        }
+    }
+}
+
+impl AlignKernel for WideKernel {
+    fn name(&self) -> &'static str {
+        match self.level {
+            Level::Avx2 => "wide-avx2",
+            Level::Sse2 => "wide-sse2",
+            Level::Portable => "wide-portable",
+        }
+    }
+
+    fn verify_batch(
+        &self,
+        store: &ReadStore,
+        params: &VerifyParams,
+        reqs: &[VerifyReq],
+        scratch: &mut KernelScratch,
+        stats: &mut PairStats,
+        out: &mut Vec<Option<AlignmentSummary>>,
+    ) {
+        let KernelScratch { nw, myers, wide } = scratch;
+        out.clear();
+        out.resize(reqs.len(), None);
+        wide.pending.clear();
+        for (i, req) in reqs.iter().enumerate() {
+            match classify(store, params, req, nw, stats) {
+                Classified::Done(v) => out[i] = v,
+                Classified::Finish(d) => {
+                    out[i] = finish_with_distance(store, params, req, d, nw, stats);
+                }
+                Classified::NeedDistance => {
+                    let (n, m) = (req.a_range.1 - req.a_range.0, req.b_range.1 - req.b_range.0);
+                    // Pattern = shorter side (fewer words per column).
+                    let (pat, text) = if n <= m {
+                        ((req.a, req.a_range), (req.b, req.b_range))
+                    } else {
+                        ((req.b, req.b_range), (req.a, req.a_range))
+                    };
+                    let plen = pat.1 .1 - pat.1 .0;
+                    wide.pending.push(Pending {
+                        idx: i as u32,
+                        pat: (pat.0, pat.1 .0 as u32, pat.1 .1 as u32),
+                        text: (text.0, text.1 .0 as u32, text.1 .1 as u32),
+                        w: plen.div_ceil(64) as u32,
+                        d: 0,
+                    });
+                }
+            }
+        }
+        stats.wide_lanes = stats.wide_lanes.saturating_add(wide.pending.len() as u64);
+        self.compute_distances(store, wide, myers);
+        for pi in 0..wide.pending.len() {
+            let p = wide.pending[pi];
+            let req = &reqs[p.idx as usize];
+            out[p.idx as usize] = finish_with_distance(store, params, req, p.d, nw, stats);
+        }
+    }
+}
+
+/// One distance still to compute: request index, pattern/text read ranges,
+/// pattern word count, and (after the batch stage) the distance.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    idx: u32,
+    pat: (ReadId, u32, u32),
+    text: (ReadId, u32, u32),
+    w: u32,
+    d: u32,
+}
+
+/// Reusable staging buffers for the batch engines (lives in
+/// [`KernelScratch`], one per worker thread).
+#[derive(Debug, Default)]
+pub(crate) struct WideScratch {
+    pending: Vec<Pending>,
+    order: Vec<u32>,
+    bufs: EngineBufs,
+}
+
+/// Word-major × lane-minor bit-vector buffers for one batch.
+#[derive(Debug, Default)]
+struct EngineBufs {
+    /// `peq[(k·4 + code)·stride + lane]`: match mask of word `k`.
+    peq: Vec<u64>,
+    /// `pv/mv[k·stride + lane]`: vertical delta vectors.
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+    /// `ins[k·stride + lane]`: the lane's boundary-row bit in word `k`.
+    ins: Vec<u64>,
+    /// `carry[k·stride + lane]`: all-ones iff ordinary bit-0 carries apply
+    /// to word `k` for this lane (words above the lane's first word).
+    carry: Vec<u64>,
+}
+
+/// One lane of a distance batch.
+#[derive(Clone, Copy)]
+struct Lane<'a> {
+    pat: PackedView<'a>,
+    pstart: usize,
+    plen: usize,
+    text: PackedView<'a>,
+    tstart: usize,
+    tlen: usize,
+}
+
+/// Fills the per-batch tables for `lanes` (top-aligned `Peq`, boundary
+/// `INS` bits, `CARRY` gates, initial `pv`/`mv`). Lane slots past
+/// `lanes.len()` are left inert (zero `Peq`, zero activity).
+fn setup(lanes: &[Lane<'_>], w: usize, stride: usize, bufs: &mut EngineBufs) {
+    bufs.peq.clear();
+    bufs.peq.resize(w * 4 * stride, 0);
+    bufs.pv.clear();
+    bufs.pv.resize(w * stride, !0u64);
+    bufs.mv.clear();
+    bufs.mv.resize(w * stride, 0);
+    bufs.ins.clear();
+    bufs.ins.resize(w * stride, 0);
+    bufs.carry.clear();
+    bufs.carry.resize(w * stride, 0);
+    for (l, lane) in lanes.iter().enumerate() {
+        debug_assert!(lane.plen >= 1 && lane.plen <= 64 * w);
+        let off = 64 * w - lane.plen;
+        let k0 = off / 64;
+        bufs.ins[k0 * stride + l] = 1u64 << (off % 64);
+        for k in k0 + 1..w {
+            bufs.carry[k * stride + l] = !0u64;
+        }
+        let mut i = 0;
+        while i < lane.plen {
+            let chunk = (lane.plen - i).min(32);
+            let mut win = lane.pat.window(lane.pstart + i);
+            for b in 0..chunk {
+                let bit = off + i + b;
+                bufs.peq[((bit / 64) * 4 + (win & 0b11) as usize) * stride + l] |=
+                    1u64 << (bit % 64);
+                win >>= 2;
+            }
+            i += chunk;
+        }
+    }
+}
+
+/// The 2-bit code a lane contributes at text column `col` (0 past its end;
+/// finished lanes are score-frozen, so the value is irrelevant).
+#[inline]
+fn lane_code(lanes: &[Lane<'_>], l: usize, col: usize) -> usize {
+    match lanes.get(l) {
+        Some(lane) if col < lane.tlen => lane.text.code(lane.tstart + col) as usize,
+        _ => 0,
+    }
+}
+
+/// -1 (active) or 0 (frozen) for lane `l` at column `col`.
+#[inline]
+fn lane_active(lanes: &[Lane<'_>], l: usize, col: usize) -> i64 {
+    match lanes.get(l) {
+        Some(lane) if col < lane.tlen => -1,
+        _ => 0,
+    }
+}
+
+/// Initial score (pattern length) for lane `l`.
+#[inline]
+fn lane_plen(lanes: &[Lane<'_>], l: usize) -> i64 {
+    lanes.get(l).map_or(0, |lane| lane.plen as i64)
+}
+
+/// Four-lane AVX2 batch: global Myers over `w` words per lane, all four
+/// patterns top-aligned. Returns the edit distance per lane.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `#[target_feature]` makes this fn unsafe-to-call; the only
+// requirement is AVX2 availability, upheld by the `detect()` dispatch.
+unsafe fn batch_avx2(lanes: &[Lane<'_>], w: usize, bufs: &mut EngineBufs) -> [u64; 4] {
+    use std::arch::x86_64::*;
+    const S: usize = 4;
+    setup(lanes, w, S, bufs);
+    let ones = _mm256_set1_epi64x(-1);
+    let mut score = _mm256_set_epi64x(
+        lane_plen(lanes, 3),
+        lane_plen(lanes, 2),
+        lane_plen(lanes, 1),
+        lane_plen(lanes, 0),
+    );
+    let tmax = lanes.iter().map(|l| l.tlen).max().unwrap_or(0);
+    for col in 0..tmax {
+        let c = [
+            lane_code(lanes, 0, col),
+            lane_code(lanes, 1, col),
+            lane_code(lanes, 2, col),
+            lane_code(lanes, 3, col),
+        ];
+        let act = _mm256_set_epi64x(
+            lane_active(lanes, 3, col),
+            lane_active(lanes, 2, col),
+            lane_active(lanes, 1, col),
+            lane_active(lanes, 0, col),
+        );
+        let mut pos = _mm256_setzero_si256();
+        let mut neg = _mm256_setzero_si256();
+        for k in 0..w {
+            let eq = _mm256_set_epi64x(
+                bufs.peq[(k * 4 + c[3]) * S + 3] as i64,
+                bufs.peq[(k * 4 + c[2]) * S + 2] as i64,
+                bufs.peq[(k * 4 + c[1]) * S + 1] as i64,
+                bufs.peq[(k * 4 + c[0]) * S] as i64,
+            );
+            let pv = _mm256_loadu_si256(bufs.pv.as_ptr().add(k * S) as *const __m256i);
+            let mv = _mm256_loadu_si256(bufs.mv.as_ptr().add(k * S) as *const __m256i);
+            let carry = _mm256_loadu_si256(bufs.carry.as_ptr().add(k * S) as *const __m256i);
+            let ins = _mm256_loadu_si256(bufs.ins.as_ptr().add(k * S) as *const __m256i);
+            let xv = _mm256_or_si256(eq, mv);
+            let eqa = _mm256_or_si256(eq, _mm256_and_si256(neg, carry));
+            let sum = _mm256_add_epi64(_mm256_and_si256(eqa, pv), pv);
+            let xh = _mm256_or_si256(_mm256_xor_si256(sum, pv), eqa);
+            let ph = _mm256_or_si256(mv, _mm256_andnot_si256(_mm256_or_si256(xh, pv), ones));
+            let mh = _mm256_and_si256(pv, xh);
+            let hp = _mm256_srli_epi64(ph, 63);
+            let hm = _mm256_srli_epi64(mh, 63);
+            let ph = _mm256_or_si256(
+                _mm256_or_si256(_mm256_slli_epi64(ph, 1), _mm256_and_si256(pos, carry)),
+                ins,
+            );
+            let mh = _mm256_andnot_si256(
+                ins,
+                _mm256_or_si256(_mm256_slli_epi64(mh, 1), _mm256_and_si256(neg, carry)),
+            );
+            let new_pv = _mm256_or_si256(mh, _mm256_andnot_si256(_mm256_or_si256(xv, ph), ones));
+            let new_mv = _mm256_and_si256(ph, xv);
+            _mm256_storeu_si256(bufs.pv.as_mut_ptr().add(k * S) as *mut __m256i, new_pv);
+            _mm256_storeu_si256(bufs.mv.as_mut_ptr().add(k * S) as *mut __m256i, new_mv);
+            pos = hp;
+            neg = hm;
+        }
+        let delta = _mm256_sub_epi64(pos, neg);
+        score = _mm256_add_epi64(score, _mm256_and_si256(delta, act));
+    }
+    let mut out = [0i64; 4];
+    _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, score);
+    [out[0] as u64, out[1] as u64, out[2] as u64, out[3] as u64]
+}
+
+/// Two-lane SSE2 batch; mirrors [`batch_avx2`] at half width.
+///
+/// # Safety
+/// The caller must ensure the CPU supports SSE2 (architectural on x86_64).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+// SAFETY: `#[target_feature]` makes this fn unsafe-to-call; SSE2 is part of
+// the x86_64 baseline, which the cfg gate guarantees.
+unsafe fn batch_sse2(lanes: &[Lane<'_>], w: usize, bufs: &mut EngineBufs) -> [u64; 4] {
+    use std::arch::x86_64::*;
+    const S: usize = 2;
+    setup(lanes, w, S, bufs);
+    let ones = _mm_set1_epi64x(-1);
+    let mut score = _mm_set_epi64x(lane_plen(lanes, 1), lane_plen(lanes, 0));
+    let tmax = lanes.iter().map(|l| l.tlen).max().unwrap_or(0);
+    for col in 0..tmax {
+        let c = [lane_code(lanes, 0, col), lane_code(lanes, 1, col)];
+        let act = _mm_set_epi64x(lane_active(lanes, 1, col), lane_active(lanes, 0, col));
+        let mut pos = _mm_setzero_si128();
+        let mut neg = _mm_setzero_si128();
+        for k in 0..w {
+            let eq = _mm_set_epi64x(
+                bufs.peq[(k * 4 + c[1]) * S + 1] as i64,
+                bufs.peq[(k * 4 + c[0]) * S] as i64,
+            );
+            let pv = _mm_loadu_si128(bufs.pv.as_ptr().add(k * S) as *const __m128i);
+            let mv = _mm_loadu_si128(bufs.mv.as_ptr().add(k * S) as *const __m128i);
+            let carry = _mm_loadu_si128(bufs.carry.as_ptr().add(k * S) as *const __m128i);
+            let ins = _mm_loadu_si128(bufs.ins.as_ptr().add(k * S) as *const __m128i);
+            let xv = _mm_or_si128(eq, mv);
+            let eqa = _mm_or_si128(eq, _mm_and_si128(neg, carry));
+            let sum = _mm_add_epi64(_mm_and_si128(eqa, pv), pv);
+            let xh = _mm_or_si128(_mm_xor_si128(sum, pv), eqa);
+            let ph = _mm_or_si128(mv, _mm_andnot_si128(_mm_or_si128(xh, pv), ones));
+            let mh = _mm_and_si128(pv, xh);
+            let hp = _mm_srli_epi64(ph, 63);
+            let hm = _mm_srli_epi64(mh, 63);
+            let ph = _mm_or_si128(
+                _mm_or_si128(_mm_slli_epi64(ph, 1), _mm_and_si128(pos, carry)),
+                ins,
+            );
+            let mh = _mm_andnot_si128(
+                ins,
+                _mm_or_si128(_mm_slli_epi64(mh, 1), _mm_and_si128(neg, carry)),
+            );
+            let new_pv = _mm_or_si128(mh, _mm_andnot_si128(_mm_or_si128(xv, ph), ones));
+            let new_mv = _mm_and_si128(ph, xv);
+            _mm_storeu_si128(bufs.pv.as_mut_ptr().add(k * S) as *mut __m128i, new_pv);
+            _mm_storeu_si128(bufs.mv.as_mut_ptr().add(k * S) as *mut __m128i, new_mv);
+            pos = hp;
+            neg = hm;
+        }
+        let delta = _mm_sub_epi64(pos, neg);
+        score = _mm_add_epi64(score, _mm_and_si128(delta, act));
+    }
+    let mut out = [0i64; 2];
+    _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, score);
+    [out[0] as u64, out[1] as u64, 0, 0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_seq::{Base, DnaString, Read, TrimConfig};
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    /// Store whose forward read `i` (id `2i`) holds `seqs[i]`.
+    fn store_from(seqs: &[Vec<u8>]) -> ReadStore {
+        let reads: Vec<Read> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, codes)| {
+                let s: DnaString = codes.iter().map(|&c| Base::from_code(c & 0b11)).collect();
+                Read::new(format!("r{i}"), s)
+            })
+            .collect();
+        ReadStore::preprocess(
+            &reads,
+            &TrimConfig {
+                min_read_len: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Runs `kernel.compute_distances` over full-read pattern/text pairs
+    /// `(pat_read, text_read)` (forward-read indices) and returns the
+    /// distances in input order.
+    fn distances(kernel: &WideKernel, store: &ReadStore, pairs: &[(usize, usize)]) -> Vec<u32> {
+        let mut wide = WideScratch::default();
+        let mut myers = MyersScratch::default();
+        for (i, &(p, t)) in pairs.iter().enumerate() {
+            let (pid, tid) = (ReadId(2 * p as u32), ReadId(2 * t as u32));
+            let (plen, tlen) = (store.get(pid).seq.len(), store.get(tid).seq.len());
+            // The engine requires pattern <= text; swap like the kernel does.
+            let ((pid, plen2), (tid, tlen2)) = if plen <= tlen {
+                ((pid, plen), (tid, tlen))
+            } else {
+                ((tid, tlen), (pid, plen))
+            };
+            wide.pending.push(Pending {
+                idx: i as u32,
+                pat: (pid, 0, plen2 as u32),
+                text: (tid, 0, tlen2 as u32),
+                w: plen2.div_ceil(64).max(1) as u32,
+                d: 0,
+            });
+        }
+        kernel.compute_distances(store, &mut wide, &mut myers);
+        let mut out = vec![0u32; pairs.len()];
+        for p in &wide.pending {
+            out[p.idx as usize] = p.d;
+        }
+        out
+    }
+
+    fn engines() -> Vec<WideKernel> {
+        let mut v = vec![WideKernel::portable()];
+        #[cfg(target_arch = "x86_64")]
+        {
+            v.push(WideKernel::sse2());
+            let auto = WideKernel::detect();
+            if auto.level == Level::Avx2 {
+                v.push(auto);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn simd_engines_match_portable_on_random_batches() {
+        let mut rng = Rng(33);
+        for round in 0..8 {
+            // Lengths straddle the word boundaries; some pairs correlated.
+            let lens = [1usize, 17, 63, 64, 65, 100, 127, 128, 129, 150];
+            let mut seqs: Vec<Vec<u8>> = lens
+                .iter()
+                .map(|&n| (0..n).map(|_| (rng.next() % 4) as u8).collect())
+                .collect();
+            for i in 0..4 {
+                // Mutated copy of a longer sequence, same length.
+                let mut c = seqs[5 + i].clone();
+                for _ in 0..rng.next() % 6 {
+                    let p = (rng.next() as usize) % c.len();
+                    c[p] = (rng.next() % 4) as u8;
+                }
+                seqs.push(c);
+            }
+            let store = store_from(&seqs);
+            let mut pairs = Vec::new();
+            for _ in 0..40 {
+                pairs.push((
+                    (rng.next() as usize) % seqs.len(),
+                    (rng.next() as usize) % seqs.len(),
+                ));
+            }
+            let reference = distances(&WideKernel::portable(), &store, &pairs);
+            for kernel in engines() {
+                let got = distances(&kernel, &store, &pairs);
+                assert_eq!(got, reference, "{} round {round}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batches_with_wildly_unequal_text_lengths_freeze_correctly() {
+        let mut rng = Rng(5);
+        let seqs: Vec<Vec<u8>> = [1usize, 40, 90, 130, 64, 65]
+            .iter()
+            .map(|&n| (0..n).map(|_| (rng.next() % 4) as u8).collect())
+            .collect();
+        let store = store_from(&seqs);
+        // All patterns same word count (w = 1 or 2) but very different
+        // text lengths, so they land in one batch and freeze at different
+        // columns.
+        let pairs = vec![(0, 1), (0, 3), (1, 2), (1, 3), (4, 5), (4, 3), (5, 3)];
+        let reference = distances(&WideKernel::portable(), &store, &pairs);
+        for kernel in engines() {
+            assert_eq!(distances(&kernel, &store, &pairs), reference, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn detect_never_panics_and_names_are_stable() {
+        let k = WideKernel::detect();
+        assert!(k.name().starts_with("wide-"));
+        assert_eq!(WideKernel::portable().name(), "wide-portable");
+    }
+}

@@ -52,10 +52,12 @@ fn bench_suffix_array(c: &mut Criterion) {
     let sa = SuffixArray::build(&entries);
     let query = store.get(ReadId(0)).seq.clone();
     c.bench_function("suffix_array_kmer_lookup", |b| {
+        let mut buf = Vec::new();
         b.iter(|| {
             let mut hits = 0usize;
             for (_, kmer) in query.kmers(15) {
-                hits += sa.find_kmer(black_box(kmer), 15).len();
+                sa.find_kmer_into(black_box(kmer), 15, &mut buf);
+                hits += buf.len();
             }
             hits
         })

@@ -65,3 +65,11 @@ pub const SCHED_PREFIX: &str = "sched.";
 /// same input — the checkpoint determinism contract compares the *rest* of
 /// the snapshot byte for byte.
 pub const CKPT_PREFIX: &str = "ckpt.";
+
+/// Reserved metric-name prefixes for alignment-kernel-dependent metrics
+/// (prefilter hit rates, exact-path shortcuts, SIMD batch sizes …). They
+/// describe *how* the dispatched alignment kernel arrived at the result,
+/// not the result itself: they legitimately vary with `--align-kernel` and
+/// with CPU feature detection while overlaps, contigs and every other
+/// metric stay bit-identical, so logical-clock snapshots exclude them.
+pub const KERNEL_PREFIXES: &[&str] = &["align.prefilter.", "align.kernel."];

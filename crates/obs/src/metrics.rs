@@ -3,7 +3,7 @@
 
 use crate::json::{push_json_key, push_json_str};
 use crate::schema::{self, ObsError, Value};
-use crate::{CKPT_PREFIX, SCHED_PREFIX};
+use crate::{CKPT_PREFIX, KERNEL_PREFIXES, SCHED_PREFIX};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
@@ -117,11 +117,8 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// A copy without scheduling-dependent metrics (names under the
-    /// reserved `sched.` prefix). This is the thread-count-invariant view
-    /// used by the logical-clock determinism contract.
-    pub fn without_scheduling(&self) -> MetricsSnapshot {
-        let keep = |k: &&&'static str| !k.starts_with(SCHED_PREFIX);
+    /// A copy keeping only the metrics `keep` accepts.
+    fn filtered(&self, keep: impl Fn(&str) -> bool) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
                 .counters
@@ -144,32 +141,28 @@ impl MetricsSnapshot {
         }
     }
 
+    /// A copy without scheduling-dependent metrics (names under the
+    /// reserved `sched.` prefix). This is the thread-count-invariant view
+    /// used by the logical-clock determinism contract.
+    pub fn without_scheduling(&self) -> MetricsSnapshot {
+        self.filtered(|k| !k.starts_with(SCHED_PREFIX))
+    }
+
     /// A copy without checkpoint-lifecycle metrics (names under the
     /// reserved `ckpt.` prefix). Those legitimately differ between an
     /// uninterrupted run and a crash-and-resume run, so the checkpoint
     /// determinism contract byte-compares the snapshot *without* them.
     pub fn without_checkpointing(&self) -> MetricsSnapshot {
-        let keep = |k: &&&'static str| !k.starts_with(CKPT_PREFIX);
-        MetricsSnapshot {
-            counters: self
-                .counters
-                .iter()
-                .filter(|(k, _)| keep(k))
-                .map(|(&k, &v)| (k, v))
-                .collect(),
-            gauges: self
-                .gauges
-                .iter()
-                .filter(|(k, _)| keep(k))
-                .map(|(&k, &v)| (k, v))
-                .collect(),
-            histograms: self
-                .histograms
-                .iter()
-                .filter(|(k, _)| keep(k))
-                .map(|(&k, v)| (k, v.clone()))
-                .collect(),
-        }
+        self.filtered(|k| !k.starts_with(CKPT_PREFIX))
+    }
+
+    /// A copy without alignment-kernel-dependent metrics (names under the
+    /// reserved [`KERNEL_PREFIXES`]). Those legitimately differ between
+    /// `--align-kernel` settings (and CPU feature levels) while every other
+    /// metric stays bit-identical — the kernel-equivalence contract
+    /// byte-compares the snapshot *without* them.
+    pub fn without_kernel_dependent(&self) -> MetricsSnapshot {
+        self.filtered(|k| !KERNEL_PREFIXES.iter().any(|p| k.starts_with(p)))
     }
 
     /// True when no metric has been recorded.
@@ -455,6 +448,23 @@ mod tests {
         let d = s.without_checkpointing();
         assert_eq!(d.counters.len(), 1);
         assert!(d.counters.contains_key("seq.reads"));
+        assert!(d.gauges.is_empty());
+        assert!(d.histograms.is_empty());
+    }
+
+    #[test]
+    fn without_kernel_dependent_drops_kernel_prefixes_only() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("align.candidates", 10);
+        s.counters.insert("align.prefilter.rejected", 3);
+        s.counters.insert("align.kernel.exact_hits", 2);
+        s.gauges.insert("align.kernel.wide_lanes", 4);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(1);
+        s.histograms.insert("align.prefilter.batch", h);
+        let d = s.without_kernel_dependent();
+        assert_eq!(d.counters.len(), 1);
+        assert!(d.counters.contains_key("align.candidates"));
         assert!(d.gauges.is_empty());
         assert!(d.histograms.is_empty());
     }

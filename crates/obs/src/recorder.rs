@@ -233,14 +233,20 @@ impl Recorder {
     }
 
     /// The canonical snapshot serialisation. In logical-clock mode the
-    /// scheduling-dependent `sched.*` and checkpoint-lifecycle `ckpt.*`
-    /// metrics are excluded, which makes the output **byte-identical
-    /// across thread counts and across crash/resume** (the determinism
-    /// contracts); in wall-clock mode everything is included.
+    /// scheduling-dependent `sched.*`, checkpoint-lifecycle `ckpt.*` and
+    /// alignment-kernel-dependent (`align.prefilter.*`/`align.kernel.*`)
+    /// metrics are excluded, which makes the output **byte-identical across
+    /// thread counts, across crash/resume and across `--align-kernel`
+    /// settings** (the determinism contracts); in wall-clock mode
+    /// everything is included.
     pub fn snapshot_json(&self) -> String {
         let snapshot = self.snapshot();
         if self.is_logical() {
-            snapshot.without_scheduling().without_checkpointing().to_json()
+            snapshot
+                .without_scheduling()
+                .without_checkpointing()
+                .without_kernel_dependent()
+                .to_json()
         } else {
             snapshot.to_json()
         }
@@ -250,15 +256,21 @@ impl Recorder {
     /// `snapshot` — the resume path: a checkpoint embeds the cumulative
     /// metrics of the run that wrote it, and loading it must leave the
     /// recorder exactly as if those phases had just executed. The
-    /// recorder's own `ckpt.*` and `sched.*` entries are kept (they
-    /// describe *this* process's checkpoint traffic and scheduling, which
-    /// a restore must not falsify), and any such entries inside `snapshot`
-    /// are ignored for the same reason. No-op when disabled.
+    /// recorder's own `ckpt.*`, `sched.*` and kernel-dependent
+    /// (`align.prefilter.*`/`align.kernel.*`) entries are kept (they
+    /// describe *this* process's checkpoint traffic, scheduling and
+    /// dispatched alignment kernel, which a restore must not falsify), and
+    /// any such entries inside `snapshot` are ignored for the same reason.
+    /// No-op when disabled.
     pub fn restore_metrics(&self, snapshot: &MetricsSnapshot) {
         let Some(inner) = &self.inner else {
             return;
         };
-        let keep = |k: &str| k.starts_with(crate::CKPT_PREFIX) || k.starts_with(crate::SCHED_PREFIX);
+        let keep = |k: &str| {
+            k.starts_with(crate::CKPT_PREFIX)
+                || k.starts_with(crate::SCHED_PREFIX)
+                || crate::KERNEL_PREFIXES.iter().any(|p| k.starts_with(p))
+        };
         let mut counters = lock(&inner.counters);
         counters.retain(|k, _| keep(k));
         for (&k, &v) in &snapshot.counters {

@@ -102,6 +102,13 @@ impl DnaString {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// A zero-copy word-level view of the packed representation, for
+    /// word-at-a-time consumers (bit-parallel aligners, packed compares).
+    #[inline]
+    pub fn packed(&self) -> crate::packed::PackedView<'_> {
+        crate::packed::PackedView::new(&self.words, self.len)
+    }
+
     /// Copies the bases in `range` into a new sequence.
     ///
     /// # Panics

@@ -4,7 +4,8 @@
 //! in the workspace:
 //!
 //! * [`Base`] and [`DnaString`] — a 2-bit packed DNA sequence type with
-//!   reverse-complement, slicing and k-mer iteration,
+//!   reverse-complement, slicing and k-mer iteration, plus the zero-copy
+//!   word-level [`packed::PackedView`] consumed by bit-parallel aligners,
 //! * [`QualityScores`] — Phred quality values with FASTQ encoding,
 //! * [`Read`] and [`ReadStore`] — sequencing reads and the container the
 //!   assembler operates on, including reverse-complement augmentation and
@@ -18,6 +19,7 @@ pub mod dna;
 pub mod error;
 pub mod fasta;
 pub mod fastq;
+pub mod packed;
 pub mod quality;
 pub mod read;
 pub mod store;
@@ -26,6 +28,7 @@ pub mod trim;
 pub use alphabet::Base;
 pub use dna::DnaString;
 pub use error::SeqError;
+pub use packed::PackedView;
 pub use quality::QualityScores;
 pub use read::{Read, ReadId};
 pub use store::{Orientation, ReadStore};

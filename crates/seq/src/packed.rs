@@ -1,0 +1,237 @@
+//! Zero-copy word-level access to 2-bit packed DNA.
+//!
+//! The alignment kernels (fc-align) consume sequences word-at-a-time: the
+//! Myers bit-parallel kernel builds its `Peq` match tables from 32-base
+//! windows, and the exact-overlap shortcut compares candidate ranges 32
+//! bases per machine word. [`PackedView`] exposes the packed words of a
+//! [`DnaString`](crate::DnaString) read-only, so those kernels run without
+//! per-call decoding into byte buffers and without copying sequence data —
+//! views are freely shared across fc-exec worker threads.
+//!
+//! Layout contract (shared with [`crate::dna`]): two bits per base, code
+//! `base.code()`, 32 bases per `u64`, the first base in the lowest bits,
+//! and all padding bits past the logical length are zero (enforced by the
+//! `DnaString` constructors and its checkpoint decoder).
+
+/// Number of bases packed into one `u64` word.
+pub const BASES_PER_WORD: usize = 32;
+
+/// A read-only, zero-copy view of a 2-bit packed DNA sequence.
+///
+/// Obtained from [`DnaString::packed`](crate::DnaString::packed). The view
+/// borrows the underlying words; it is `Copy` and cheap to pass by value.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedView<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> PackedView<'a> {
+    /// Creates a view over `words` holding `len` bases. Padding bits past
+    /// `len` must be zero (the `DnaString` representation guarantees this).
+    pub(crate) fn new(words: &'a [u64], len: usize) -> PackedView<'a> {
+        debug_assert!(words.len() == len.div_ceil(BASES_PER_WORD));
+        PackedView { words, len }
+    }
+
+    /// Number of bases in the viewed sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the viewed sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw packed words (first base in the lowest bits of `words[0]`).
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// 2-bit code of the base at `i` (same value as `get(i).code()`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= self.len()`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len, "index {i} out of bounds for length {}", self.len);
+        ((self.words[i / BASES_PER_WORD] >> ((i % BASES_PER_WORD) * 2)) & 0b11) as u8
+    }
+
+    /// A 64-bit window holding the 32 bases starting at `start` (first base
+    /// in the lowest two bits). Bases past the end of the sequence read as
+    /// zero — callers that care about the tail mask it themselves.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `start > self.len()`.
+    #[inline]
+    pub fn window(&self, start: usize) -> u64 {
+        debug_assert!(start <= self.len, "window start {start} past length {}", self.len);
+        let bit = start * 2;
+        let (w, sh) = (bit / 64, bit % 64);
+        let lo = self.words.get(w).copied().unwrap_or(0) >> sh;
+        if sh == 0 {
+            lo
+        } else {
+            lo | (self.words.get(w + 1).copied().unwrap_or(0) << (64 - sh))
+        }
+    }
+
+    /// True if `self[start..start + count]` equals `other[ostart..ostart +
+    /// count]`, compared 32 bases per step through the packed words.
+    ///
+    /// # Panics
+    /// Panics in debug builds if either range is out of bounds.
+    pub fn range_eq(&self, start: usize, other: &PackedView<'_>, ostart: usize, count: usize) -> bool {
+        debug_assert!(start + count <= self.len, "left range out of bounds");
+        debug_assert!(ostart + count <= other.len, "right range out of bounds");
+        let mut off = 0;
+        while off + BASES_PER_WORD <= count {
+            if self.window(start + off) != other.window(ostart + off) {
+                return false;
+            }
+            off += BASES_PER_WORD;
+        }
+        let tail = count - off;
+        if tail == 0 {
+            return true;
+        }
+        let mask = (1u64 << (2 * tail)) - 1;
+        (self.window(start + off) ^ other.window(ostart + off)) & mask == 0
+    }
+
+    /// Appends the 2-bit codes of `self[start..end]` to `out` (which is
+    /// cleared first), 32 bases per packed-word read.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the range is out of bounds.
+    pub fn fill_codes(&self, start: usize, end: usize, out: &mut Vec<u8>) {
+        debug_assert!(start <= end && end <= self.len, "range out of bounds");
+        out.clear();
+        out.reserve(end - start);
+        let mut pos = start;
+        while pos < end {
+            let chunk = (end - pos).min(BASES_PER_WORD);
+            let mut window = self.window(pos);
+            for _ in 0..chunk {
+                out.push((window & 0b11) as u8);
+                window >>= 2;
+            }
+            pos += chunk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DnaString;
+
+    fn seq(pattern: &str, repeat: usize) -> DnaString {
+        pattern.repeat(repeat).parse().unwrap()
+    }
+
+    /// Deterministic xorshift generator for irregular test sequences.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    fn random_seq(len: usize, seed: u64) -> DnaString {
+        let mut rng = Rng(seed.max(1));
+        (0..len)
+            .map(|_| crate::Base::from_code((rng.next() % 4) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn codes_match_get_across_word_boundaries() {
+        for len in [0usize, 1, 31, 32, 33, 63, 64, 65, 100] {
+            let s = random_seq(len, len as u64 + 1);
+            let v = s.packed();
+            assert_eq!(v.len(), len);
+            assert_eq!(v.is_empty(), len == 0);
+            for i in 0..len {
+                assert_eq!(v.code(i), s.get(i).code(), "len {len} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_reads_32_bases_at_any_offset() {
+        let s = random_seq(100, 7);
+        let v = s.packed();
+        for start in 0..=s.len() {
+            let window = v.window(start);
+            for i in 0..32.min(s.len() - start) {
+                assert_eq!(
+                    ((window >> (2 * i)) & 0b11) as u8,
+                    v.code(start + i),
+                    "start {start} offset {i}"
+                );
+            }
+            // Bases past the end read as zero.
+            for i in s.len().saturating_sub(start)..32 {
+                assert_eq!((window >> (2 * i)) & 0b11, 0, "start {start} offset {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_eq_agrees_with_base_comparison() {
+        let a = seq("ACGTTGCA", 16); // 128 bases
+        let b = random_seq(128, 3);
+        let mut rng = Rng(99);
+        let (va, vb) = (a.packed(), b.packed());
+        for _ in 0..500 {
+            let count = (rng.next() % 90) as usize;
+            let sa = (rng.next() as usize) % (a.len() - count + 1);
+            let sb = (rng.next() as usize) % (b.len() - count + 1);
+            let naive = (0..count).all(|i| a.get(sa + i) == b.get(sb + i));
+            assert_eq!(va.range_eq(sa, &vb, sb, count), naive, "a[{sa}..] vs b[{sb}..] x{count}");
+            // A sequence always equals itself on the same range.
+            assert!(va.range_eq(sa, &va, sa, count));
+        }
+    }
+
+    #[test]
+    fn range_eq_detects_single_base_difference_in_tail() {
+        let a = seq("ACGT", 20); // 80 bases
+        let mut b = a.clone();
+        b.set(79, b.get(79).complement());
+        assert!(a.packed().range_eq(0, &b.packed(), 0, 79));
+        assert!(!a.packed().range_eq(0, &b.packed(), 0, 80));
+    }
+
+    #[test]
+    fn fill_codes_round_trips() {
+        let s = random_seq(90, 11);
+        let v = s.packed();
+        let mut out = vec![9u8; 4]; // stale contents must be cleared
+        v.fill_codes(5, 77, &mut out);
+        assert_eq!(out.len(), 72);
+        for (i, &c) in out.iter().enumerate() {
+            assert_eq!(c, s.get(5 + i).code());
+        }
+        v.fill_codes(0, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_ranges_compare_equal() {
+        let a = random_seq(10, 1);
+        let b = random_seq(10, 2);
+        assert!(a.packed().range_eq(3, &b.packed(), 7, 0));
+        assert!(a.packed().range_eq(10, &b.packed(), 10, 0));
+    }
+}

@@ -42,6 +42,9 @@ ASSEMBLE OPTIONS:
     --seed <u64>           partitioning seed                     [default: 985093]
     --threads <n>          worker threads; 0 = all cores, 1 = serial;
                            output is identical at any setting    [default: 0]
+    --align-kernel <k>     overlap verification kernel: scalar, bitparallel,
+                           or auto (SIMD when the CPU has it); contigs are
+                           identical at any setting              [default: auto]
     --keep-both-strands    emit both strands of every contig
 
 CHECKPOINT OPTIONS (assemble):
@@ -336,6 +339,11 @@ fn build_config(opts: &Options) -> Result<FocusConfig, String> {
     };
     config.overlap.min_overlap_len = opts.get_parsed("min-overlap", 50usize)?;
     config.overlap.min_identity = opts.get_parsed("min-identity", 0.90f64)?;
+    if let Some(value) = opts.get("align-kernel") {
+        config.overlap.kernel = focus_assembler::align::KernelKind::parse(value).ok_or_else(
+            || format!("invalid --align-kernel {value:?}; expected scalar, bitparallel or auto"),
+        )?;
+    }
     config.trim.min_read_len = opts.get_parsed("min-read-len", 40usize)?;
     config.trim.min_quality = opts.get_parsed("min-quality", 20.0f64)?;
     let wants_obs = ["trace", "metrics", "events"]
