@@ -694,7 +694,8 @@ mod tests {
             counter("dist.recovery_rescans") >= 1,
             "a crash must force at least one recovery re-scan"
         );
-        // Four phase spans plus the run span, all balanced (B/E pairs).
+        // Four phase spans plus the run span plus one exec.batch span per
+        // phase fan-out, all balanced (B/E pairs).
         let begins = rec
             .events()
             .iter()
@@ -705,7 +706,7 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.kind, fc_obs::EventKind::End))
             .count();
-        assert_eq!(begins, 5);
+        assert_eq!(begins, 9);
         assert_eq!(begins, ends);
     }
 

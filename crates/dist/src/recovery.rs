@@ -17,11 +17,18 @@
 //! phase timeout, and re-executes lost scans on survivors until every
 //! partition's result reached the master (or nobody is left).
 
-use crate::cluster::{PhaseTiming, SimCluster};
+use crate::cluster::{PhaseTiming, SendOutcome, SimCluster};
 use crate::error::DistError;
 use crate::fault::PhaseId;
 use fc_exec::Pool;
-use fc_obs::Recorder;
+use fc_obs::{Flow, Recorder};
+
+/// Total transmission attempts behind a [`SendOutcome`], delivered or not.
+fn attempts_of(outcome: &SendOutcome) -> i64 {
+    match outcome {
+        SendOutcome::Delivered { attempts } | SendOutcome::Lost { attempts } => *attempts as i64,
+    }
+}
 
 /// Outcome of one recovered phase: every partition's result (in partition
 /// order, so master-side application is order-identical to a fault-free
@@ -129,10 +136,23 @@ pub fn execute_phase_obs<T: Send>(
     for &i in &outcome.lost {
         results[i] = None; // died with the rank's memory
     }
+    // Causal markers for the fault events the phase absorbed: crashes and
+    // speculative backups are instants inside the phase span, so Perfetto
+    // shows *where* in the phase each one landed.
+    for &r in &outcome.crashed {
+        rec.instant("dist", "dist.rank_crash", &[("rank", r as i64)]);
+    }
+    for &r in &outcome.speculated {
+        rec.instant("dist", "dist.speculative_backup", &[("rank", r as i64)]);
+    }
 
     // Gather surviving results to the master, with retransmission. A sender
     // whose retries are exhausted is presumed dead; everything it still
-    // held is scheduled for recovery.
+    // held is scheduled for recovery. Each partition's journey to the
+    // master is one causal flow: started at the send, stepped on a
+    // reroute, ended on delivery — Perfetto draws the arrow, and the
+    // profiler attributes retransmission windows to retry time.
+    let mut gather_flows: Vec<Flow> = vec![Flow::NONE; partitions];
     for p in 0..partitions {
         let Some(result) = results[p].as_ref() else {
             continue;
@@ -143,10 +163,31 @@ pub fn execute_phase_obs<T: Send>(
             results[p] = None;
             continue;
         }
-        if !cluster
-            .transmit_to_master(phase, sender, payload)
-            .delivered()
-        {
+        let flow = rec.flow_start(
+            "dist",
+            "dist.gather",
+            &[("partition", p as i64), ("rank", sender as i64)],
+        );
+        let send = cluster.transmit_to_master(phase, sender, payload);
+        if send.delivered() {
+            rec.flow_end(
+                flow,
+                &[
+                    ("partition", p as i64),
+                    ("rank", sender as i64),
+                    ("attempts", attempts_of(&send)),
+                ],
+            );
+        } else {
+            rec.flow_step(
+                flow,
+                &[
+                    ("partition", p as i64),
+                    ("rank", sender as i64),
+                    ("attempts", attempts_of(&send)),
+                ],
+            );
+            gather_flows[p] = flow;
             cluster.kill(sender);
             results[p] = None;
         }
@@ -175,6 +216,21 @@ pub fn execute_phase_obs<T: Send>(
         let wait_from = cluster.clock(survivor);
         cluster.advance_to(survivor, deadline);
         rec.add("dist.recovery_rescans", 1);
+        // Continue the partition's gather flow through the reassignment —
+        // or, when the result died with the rank before any send, start a
+        // recovery flow here so the re-scan is still causally anchored.
+        if gather_flows[p].is_none() {
+            gather_flows[p] = rec.flow_start(
+                "dist",
+                "dist.recovery_reassign",
+                &[("partition", p as i64), ("rank", survivor as i64)],
+            );
+        } else {
+            rec.flow_step(
+                gather_flows[p],
+                &[("partition", p as i64), ("reassigned_to", survivor as i64)],
+            );
+        }
         let mut w = 0;
         let recovered = scan(p, &mut w);
         cluster.charge_work(survivor, w);
@@ -189,8 +245,20 @@ pub fn execute_phase_obs<T: Send>(
         let backoff_during = cluster.fault_report().recovery_time - backoff_before;
         cluster.note_recovery_time(cluster.clock(survivor) - wait_from - backoff_during);
         if outcome.delivered() {
+            rec.flow_end(
+                gather_flows[p],
+                &[
+                    ("partition", p as i64),
+                    ("rank", survivor as i64),
+                    ("attempts", attempts_of(&outcome)),
+                ],
+            );
             results[p] = Some(recovered);
         } else {
+            rec.flow_step(
+                gather_flows[p],
+                &[("partition", p as i64), ("attempts", attempts_of(&outcome))],
+            );
             cluster.kill(survivor);
             pending.push(p);
         }

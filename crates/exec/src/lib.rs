@@ -206,6 +206,10 @@ impl Pool {
             return Vec::new();
         }
         rec.add("exec.tasks", n as u64);
+        // One span per batch, opened on the submitting lane so it nests
+        // under (and parent-links to) whatever phase span dispatched the
+        // work — the causal trace shows which phase ran which batches.
+        let batch_span = rec.span_args("exec", "exec.batch", &[("tasks", n as i64)]);
         if self.threads == 1 || n == 1 {
             rec.add("sched.exec.scratch_created", 1);
             let mut s = scratch();
@@ -226,6 +230,7 @@ impl Pool {
             locals.iter().map(Worker::stealer).collect();
 
         let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+        let mut total_steals = 0u64;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (w, local) in locals.into_iter().enumerate() {
@@ -254,6 +259,7 @@ impl Pool {
             for handle in handles {
                 match handle.join() {
                     Ok((out, steals, busy_us)) => {
+                        total_steals += steals;
                         rec.add("sched.exec.steals", steals);
                         rec.add("sched.exec.scratch_created", 1);
                         rec.observe("sched.exec.worker_busy_us", busy_us);
@@ -264,6 +270,16 @@ impl Pool {
                 }
             }
         });
+
+        // Steal attribution lands inside the batch span, recorded from the
+        // submitting lane after the join (worker lanes stay event-free so
+        // the trace's event order is scheduler-independent).
+        rec.instant(
+            "exec",
+            "sched.exec.steal_report",
+            &[("steals", total_steals as i64), ("workers", workers as i64)],
+        );
+        drop(batch_span);
 
         // Canonical-order merge: every result carries its task index, so the
         // output is independent of which worker ran what when.

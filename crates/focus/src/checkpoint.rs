@@ -204,6 +204,7 @@ fn metrics_record(rec: &Recorder) -> Vec<u8> {
     rec.snapshot()
         .without_scheduling()
         .without_checkpointing()
+        .without_memory()
         .to_json()
         .into_bytes()
 }
@@ -264,6 +265,14 @@ fn load_phase<T: Codec>(
             Some(value) => {
                 rec.add("ckpt.loaded", 1);
                 rec.instant("ckpt", "ckpt.loaded", &[("phase", i64::from(phase.id()))]);
+                // When the write happened earlier in this same process
+                // (same recorder), close its causal edge here: the trace
+                // then shows the resumed phase following from the
+                // checkpoint-write span. A fresh process has no parked
+                // flow and emits nothing — never a dangling edge.
+                if let Some(flow) = rec.flow_take(u64::from(phase.id())) {
+                    rec.flow_end(flow, &[("phase", i64::from(phase.id()))]);
+                }
                 Some(value)
             }
             None => {
@@ -283,12 +292,22 @@ fn save_phase<T: Codec>(
     phase: CkptPhase,
     value: &T,
 ) {
+    // Every phase boundary passes through here (store or not): sample the
+    // memory high-water mark so the `mem.peak_rss_bytes` gauge tracks the
+    // run phase by phase.
+    rec.sample_peak_rss();
     let Some(store) = store.as_mut() else {
         return;
     };
     let records = vec![encode_to_vec(value), metrics_record(rec)];
     match store.save(phase.id(), phase.name(), records) {
-        Ok(true) => rec.add("ckpt.saved", 1),
+        Ok(true) => {
+            rec.add("ckpt.saved", 1);
+            // Park a causal edge out of the write: an in-process resume
+            // of this phase will pick it up and close the arrow.
+            let flow = rec.flow_start("ckpt", "ckpt.save", &[("phase", i64::from(phase.id()))]);
+            rec.flow_park(u64::from(phase.id()), flow);
+        }
         Ok(false) => {}
         Err(_) => {
             rec.add("ckpt.degraded", 1);

@@ -108,11 +108,13 @@ impl FocusAssembler {
             s + s * (s + 1) / 2, // index builds + subset pairs
             pool.threads(),
         );
+        rec.sample_peak_rss();
 
         let graph = OverlapGraph::build(&store, &overlaps);
         let multilevel =
             MultilevelSet::build_obs(graph.undirected.clone(), &self.config.coarsen, rec);
         let hybrid = HybridSet::build_obs(&multilevel, &graph, &store, &self.config.layout, rec);
+        rec.sample_peak_rss();
         profile.run_wall = run_started.elapsed();
         Ok(Prepared {
             store,
@@ -149,6 +151,7 @@ impl FocusAssembler {
             partition.tasks.len(),
             pool.threads(),
         );
+        rec.sample_peak_rss();
 
         let parts = partition.finest().to_vec();
         let mut dh = if self.config.consensus {
@@ -165,6 +168,7 @@ impl FocusAssembler {
         let started = std::time::Instant::now();
         let report = dh.run_with_faults_obs(&dist_config, plan, rec)?;
         profile.record("distributed", started.elapsed(), 4 * k, pool.threads());
+        rec.sample_peak_rss();
 
         let mut contigs = Vec::with_capacity(report.paths.len());
         for p in &report.paths {

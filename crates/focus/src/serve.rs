@@ -49,6 +49,17 @@ impl AssemblyJobRunner {
     }
 }
 
+/// Stable 64-bit FNV-1a fingerprint of a tenant name, squeezed into the
+/// integer-only span-arg space (sign-preserving bit cast).
+fn tenant_fnv(tenant: &str) -> i64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in tenant.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h as i64
+}
+
 /// Maps a pipeline failure onto the serve retry contract. Distributed
 /// errors are split by variant: only fault-injection losses (ranks dying,
 /// partitions lost in flight) can succeed on retry; validation, config and
@@ -84,9 +95,23 @@ impl JobRunner for AssemblyJobRunner {
         let assembler = FocusAssembler::new(config).map_err(classify)?;
         let mut opts = CheckpointOptions::in_dir(&ctx.ckpt_dir);
         opts.resume = true;
+        // Root every span of this run under a job-tagged span so the trace
+        // served at `GET /jobs/{id}/trace` attributes all work to the job
+        // and its tenant (args are integer-only, so the tenant is an FNV
+        // fingerprint; the string lives in the job metadata).
+        let job_span = assembler.recorder().span_args(
+            "serve",
+            "serve.job",
+            &[
+                ("job", ctx.id.0 as i64),
+                ("tenant_fnv", tenant_fnv(&ctx.tenant)),
+            ],
+        );
         let outcome = assembler
             .assemble_with_checkpoints(&reads, &opts)
             .map_err(classify)?;
+        drop(job_span);
+        let trace_json = fc_obs::write_chrome_trace(&assembler.recorder().events());
         let result = match outcome {
             AssemblyOutcome::Completed(result) => result,
             // Unreachable without stop_after, but keep it typed and
@@ -114,6 +139,7 @@ impl JobRunner for AssemblyJobRunner {
         Ok(JobOutput {
             contigs_fasta,
             metrics_json: assembler.recorder().snapshot_json(),
+            trace_json,
             num_contigs: result.stats.num_contigs as u64,
             n50: result.stats.n50 as u64,
             total_bases: result.stats.total_bases as u64,
@@ -201,6 +227,12 @@ mod tests {
         assert!(first.num_contigs >= 1);
         assert!(!first.contigs_fasta.is_empty());
         assert!(first.metrics_json.contains("focus-metrics-v1"));
+        // The trace artifact is a valid causal Chrome trace rooted in the
+        // job-tagged span, and the profiler accepts it.
+        assert!(first.trace_json.contains("serve.job"));
+        assert!(first.trace_json.contains("tenant_fnv"));
+        let profile = fc_obs::profile_chrome_trace(&first.trace_json).expect("profiles");
+        assert!(profile.critical_path_total() <= profile.run_wall);
 
         // Second run resumes from the checkpoints the first one left and
         // must reproduce outputs and logical metrics byte for byte.

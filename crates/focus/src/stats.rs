@@ -15,6 +15,9 @@ pub struct PhaseProfile {
     pub tasks: usize,
     /// Worker threads the phase's pool resolved to.
     pub threads: usize,
+    /// Peak resident-set size (`VmHWM`) sampled at the phase boundary;
+    /// 0 where the platform exposes no cheap peak-RSS probe.
+    pub peak_rss_bytes: u64,
 }
 
 /// Wall-clock profile of a pipeline run, one entry per parallel phase in
@@ -33,14 +36,23 @@ pub struct PipelineProfile {
 }
 
 impl PipelineProfile {
-    /// Records a phase measurement.
+    /// Records a phase measurement, sampling the process's peak RSS at
+    /// this boundary (memory high-water marks are monotone, so the last
+    /// phase's sample is the run's peak).
     pub fn record(&mut self, name: &'static str, wall: Duration, tasks: usize, threads: usize) {
         self.phases.push(PhaseProfile {
             name,
             wall,
             tasks,
             threads,
+            peak_rss_bytes: fc_obs::peak_rss_bytes().unwrap_or(0),
         });
+    }
+
+    /// The run's peak RSS: the largest boundary sample (0 when the
+    /// platform exposes none).
+    pub fn peak_rss_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.peak_rss_bytes).max().unwrap_or(0)
     }
 
     /// Sum of all recorded phase wall-clocks. This is a *sum of intervals*:
@@ -58,9 +70,13 @@ impl PipelineProfile {
         let mut out = String::from("pipeline profile\n");
         for p in &self.phases {
             out.push_str(&format!(
-                "  {:<12} {:>10.3?}  tasks {:<6} threads {}\n",
+                "  {:<12} {:>10.3?}  tasks {:<6} threads {}",
                 p.name, p.wall, p.tasks, p.threads
             ));
+            if p.peak_rss_bytes > 0 {
+                out.push_str(&format!("  rss {:.1} MiB", mib(p.peak_rss_bytes)));
+            }
+            out.push('\n');
         }
         out.push_str(&format!(
             "  {:<12} {:>10.3?}\n  {:<12} {:>10.3?}\n",
@@ -69,8 +85,19 @@ impl PipelineProfile {
             "end-to-end",
             self.run_wall
         ));
+        if self.peak_rss_bytes() > 0 {
+            out.push_str(&format!(
+                "  {:<12} {:>10.1} MiB\n",
+                "peak-rss",
+                mib(self.peak_rss_bytes())
+            ));
+        }
         out
     }
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
 }
 
 /// Contig-level summary statistics of one assembly.
@@ -144,6 +171,25 @@ pub fn n50(lengths: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn recorded_phases_sample_peak_rss_on_linux() {
+        let mut p = PipelineProfile::default();
+        p.record("alignment", Duration::from_millis(1), 4, 2);
+        assert!(p.phases[0].peak_rss_bytes > 0);
+        assert_eq!(p.peak_rss_bytes(), p.phases[0].peak_rss_bytes);
+        let report = p.human_report();
+        assert!(report.contains("rss "));
+        assert!(report.contains("peak-rss"));
+    }
+
+    #[test]
+    fn empty_profile_reports_no_peak_rss() {
+        let p = PipelineProfile::default();
+        assert_eq!(p.peak_rss_bytes(), 0);
+        assert!(!p.human_report().contains("peak-rss"));
+    }
 
     #[test]
     fn n50_textbook_example() {

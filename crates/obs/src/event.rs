@@ -3,7 +3,10 @@
 //! Events map 1:1 onto Chrome `trace_event` phases so the trace sink is a
 //! direct serialisation: `Begin`/`End` bracket a span, `Instant` marks a
 //! point, `Counter` samples a time series (e.g. the edge-cut trajectory
-//! during recursive bisection).
+//! during recursive bisection), and the flow phases `FlowStart`/
+//! `FlowStep`/`FlowEnd` (`s`/`t`/`f`) carry **causal edges** between spans
+//! — Perfetto draws them as arrows, and the `focus profile` critical-path
+//! analyzer follows them across ranks and retries.
 
 /// What kind of moment an [`Event`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +19,16 @@ pub enum EventKind {
     Instant,
     /// A counter sample (`ph: "C"`); the sampled value is in `args`.
     Counter,
+    /// A causal edge departs (`ph: "s"`): the emitting span hands work to
+    /// someone else (a message send, a checkpoint write a resume may
+    /// later consume, a speculative backup launch).
+    FlowStart,
+    /// A causal edge passes through (`ph: "t"`): an intermediate hop such
+    /// as a retransmission attempt.
+    FlowStep,
+    /// A causal edge arrives (`ph: "f"`): the receiving span's progress
+    /// depended on the matching [`EventKind::FlowStart`].
+    FlowEnd,
 }
 
 impl EventKind {
@@ -26,7 +39,18 @@ impl EventKind {
             EventKind::End => "E",
             EventKind::Instant => "i",
             EventKind::Counter => "C",
+            EventKind::FlowStart => "s",
+            EventKind::FlowStep => "t",
+            EventKind::FlowEnd => "f",
         }
+    }
+
+    /// True for the flow phases (`s`/`t`/`f`) that carry causal edges.
+    pub fn is_flow(self) -> bool {
+        matches!(
+            self,
+            EventKind::FlowStart | EventKind::FlowStep | EventKind::FlowEnd
+        )
     }
 }
 
@@ -46,6 +70,14 @@ pub struct Event {
     pub name: &'static str,
     /// What kind of moment this is.
     pub kind: EventKind,
+    /// Identity of the moment: the span id for `Begin`/`End`, the flow id
+    /// for `s`/`t`/`f` (matching ids form one causal arrow), 0 for events
+    /// that carry neither.
+    pub id: u64,
+    /// The span this event happened inside (the span open on the emitting
+    /// lane at record time); 0 for root spans and span-less events. For
+    /// `Begin` events this is the parent span link.
+    pub parent: u64,
     /// Structured integer payload (counts, sizes, ids). Integer-only by
     /// design: serialisation stays byte-deterministic.
     pub args: Vec<(&'static str, i64)>,
@@ -61,5 +93,17 @@ mod tests {
         assert_eq!(EventKind::End.phase(), "E");
         assert_eq!(EventKind::Instant.phase(), "i");
         assert_eq!(EventKind::Counter.phase(), "C");
+        assert_eq!(EventKind::FlowStart.phase(), "s");
+        assert_eq!(EventKind::FlowStep.phase(), "t");
+        assert_eq!(EventKind::FlowEnd.phase(), "f");
+    }
+
+    #[test]
+    fn only_flow_phases_report_as_flows() {
+        assert!(EventKind::FlowStart.is_flow());
+        assert!(EventKind::FlowStep.is_flow());
+        assert!(EventKind::FlowEnd.is_flow());
+        assert!(!EventKind::Begin.is_flow());
+        assert!(!EventKind::Counter.is_flow());
     }
 }

@@ -41,14 +41,18 @@
 
 pub mod event;
 pub mod json;
+pub mod mem;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod schema;
 pub mod sink;
 
 pub use event::{Event, EventKind};
+pub use mem::peak_rss_bytes;
 pub use metrics::{Histogram, MetricsSnapshot, DEFAULT_BOUNDS};
-pub use recorder::{ObsOptions, Recorder, SpanGuard};
+pub use profile::{profile_chrome_trace, ProfileReport, SegmentKind};
+pub use recorder::{Flow, ObsOptions, Recorder, SpanCtx, SpanGuard};
 pub use schema::{check_chrome_trace, check_jsonl_events, check_metrics_snapshot, ObsError};
 pub use sink::{human_report, write_chrome_trace, write_jsonl};
 
@@ -65,6 +69,12 @@ pub const SCHED_PREFIX: &str = "sched.";
 /// same input — the checkpoint determinism contract compares the *rest* of
 /// the snapshot byte for byte.
 pub const CKPT_PREFIX: &str = "ckpt.";
+
+/// Reserved metric-name prefix for process-memory metrics (the peak-RSS
+/// gauge sampled at phase boundaries). Resident-set sizes legitimately
+/// vary with thread count, allocator behaviour and platform while results
+/// stay bit-identical, so logical-clock snapshots exclude them.
+pub const MEM_PREFIX: &str = "mem.";
 
 /// Reserved metric-name prefixes for alignment-kernel-dependent metrics
 /// (prefilter hit rates, exact-path shortcuts, SIMD batch sizes …). They

@@ -3,7 +3,7 @@
 
 use crate::json::{push_json_key, push_json_str};
 use crate::schema::{self, ObsError, Value};
-use crate::{CKPT_PREFIX, KERNEL_PREFIXES, SCHED_PREFIX};
+use crate::{CKPT_PREFIX, KERNEL_PREFIXES, MEM_PREFIX, SCHED_PREFIX};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
@@ -99,6 +99,46 @@ impl Histogram {
             self.sum / self.count
         }
     }
+
+    /// The `num/den` quantile, derived from the bucket counts: the upper
+    /// bound of the bucket containing the ⌈count·num/den⌉-th observation,
+    /// clamped into `[min, max]` so the estimate never leaves the observed
+    /// range. Integer-only and deterministic; 0 when empty.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 || den == 0 {
+            return 0;
+        }
+        let rank = self.count.saturating_mul(num).div_ceil(den).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let estimate = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: the best bound we have is the max.
+                    self.max
+                };
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 90th-percentile estimate (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.quantile(90, 100)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
 }
 
 /// An immutable, ordered snapshot of every metric a [`Recorder`] holds.
@@ -154,6 +194,15 @@ impl MetricsSnapshot {
     /// determinism contract byte-compares the snapshot *without* them.
     pub fn without_checkpointing(&self) -> MetricsSnapshot {
         self.filtered(|k| !k.starts_with(CKPT_PREFIX))
+    }
+
+    /// A copy without process-memory metrics (names under the reserved
+    /// `mem.` prefix, e.g. the peak-RSS gauge). Resident-set sizes vary
+    /// with thread count, allocator behaviour and platform, so the
+    /// logical-clock determinism contract byte-compares the snapshot
+    /// *without* them.
+    pub fn without_memory(&self) -> MetricsSnapshot {
+        self.filtered(|k| !k.starts_with(MEM_PREFIX))
     }
 
     /// A copy without alignment-kernel-dependent metrics (names under the
@@ -400,6 +449,52 @@ mod tests {
         let h = Histogram::new(DEFAULT_BOUNDS);
         assert!(h.is_empty());
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn quantiles_follow_bucket_upper_bounds() {
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Rank 50 lands in the bucket bounded by 64; rank 90 and 99 in the
+        // bucket bounded by 128, clamped to the observed max of 100.
+        assert_eq!(h.p50(), 64);
+        assert_eq!(h.p90(), 100);
+        assert_eq!(h.p99(), 100);
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_single_histograms() {
+        let h = Histogram::new(DEFAULT_BOUNDS);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        let mut h = Histogram::new(DEFAULT_BOUNDS);
+        h.observe(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p90(), 42);
+        assert_eq!(h.p99(), 42);
+    }
+
+    #[test]
+    fn quantiles_clamp_overflow_bucket_to_observed_max() {
+        static BOUNDS: &[u64] = &[10];
+        let mut h = Histogram::new(BOUNDS);
+        h.observe(5_000);
+        h.observe(7_000);
+        assert_eq!(h.p99(), 7_000);
+        assert_eq!(h.p50(), 7_000);
+    }
+
+    #[test]
+    fn without_memory_drops_mem_prefix_only() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("pipeline.contigs", 10);
+        s.gauges.insert("mem.peak_rss_bytes", 1 << 20);
+        let d = s.without_memory();
+        assert_eq!(d.counters.len(), 1);
+        assert!(d.gauges.is_empty());
     }
 
     #[test]

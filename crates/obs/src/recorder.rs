@@ -1,4 +1,13 @@
 //! The [`Recorder`] handle: cheap when disabled, thread-safe when enabled.
+//!
+//! Since the causal-tracing layer, every span carries a process-unique id
+//! and a parent link (the span open on the same lane when it began), and
+//! cross-thread/cross-rank causality is expressed with **flow edges**
+//! ([`Recorder::flow_start`] / [`Recorder::flow_step`] /
+//! [`Recorder::flow_end`]) that serialise as Chrome `trace_event` flow
+//! phases. Causal metadata lives in the *event* sinks only — metric
+//! snapshots ([`Recorder::snapshot_json`]) are untouched, so the
+//! logical-clock determinism contract is unchanged.
 
 use crate::event::{Event, EventKind};
 use crate::metrics::{Histogram, MetricsSnapshot, DEFAULT_BOUNDS};
@@ -59,42 +68,121 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// One causal edge under construction: returned by
+/// [`Recorder::flow_start`], consumed by [`Recorder::flow_step`] /
+/// [`Recorder::flow_end`]. Chrome matches the `s`/`t`/`f` phases of one
+/// arrow on (`cat`, `name`, `id`), so the handle carries all three; a
+/// disabled recorder hands out [`Flow::NONE`] and every later call on it
+/// is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Flow id shared by the `s`/`t`/`f` events of this edge; 0 = none.
+    pub id: u64,
+    /// Category the arrow is filed under.
+    pub cat: &'static str,
+    /// Name shared by every event of the arrow.
+    pub name: &'static str,
+}
+
+impl Flow {
+    /// The inert flow handle (disabled recorder, or "no causal edge").
+    pub const NONE: Flow = Flow {
+        id: 0,
+        cat: "",
+        name: "",
+    };
+
+    /// True when this handle carries no edge.
+    pub fn is_none(self) -> bool {
+        self.id == 0
+    }
+}
+
+impl Default for Flow {
+    fn default() -> Flow {
+        Flow::NONE
+    }
+}
+
+/// Compact causal context carried inside messages between simulated ranks
+/// (and across any other hand-off): the span that originated the work plus
+/// the flow edge that tracks it. The receiving side emits
+/// [`Recorder::flow_step`]/[`Recorder::flow_end`] on `flow` — Perfetto
+/// then draws the arrow, and `focus profile` follows it when extracting
+/// the critical path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// The span open where the work originated (0 = none).
+    pub span: u64,
+    /// The causal edge tracking the hand-off.
+    pub flow: Flow,
+}
+
+impl SpanCtx {
+    /// The inert context (no span, no edge).
+    pub const NONE: SpanCtx = SpanCtx {
+        span: 0,
+        flow: Flow::NONE,
+    };
+}
+
 #[derive(Debug)]
 struct Inner {
     start: Instant,
     logical: bool,
     ticks: AtomicU64,
+    /// Allocator for span and flow ids; 0 is reserved for "none".
+    next_id: AtomicU64,
+    /// Open-span stacks per lane: the top is the lane's current span.
+    stacks: Mutex<BTreeMap<u64, Vec<u64>>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, i64>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// Named flow handles parked for later pickup (e.g. a checkpoint write
+    /// whose resume happens later in the same process).
+    parked_flows: Mutex<BTreeMap<u64, Flow>>,
     events: Mutex<Vec<Event>>,
 }
 
 impl Inner {
-    fn ts(&self) -> u64 {
-        if self.logical {
-            self.ticks.fetch_add(1, Ordering::Relaxed)
-        } else {
-            self.start.elapsed().as_micros() as u64
-        }
-    }
-
-    fn push_event(
+    /// Appends one event. The timestamp is taken *under the events lock*,
+    /// so recording order and timestamp order always agree — the schema
+    /// checkers reject traces where they don't.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
         &self,
         kind: EventKind,
         cat: &'static str,
         name: &'static str,
+        id: u64,
+        parent: u64,
+        tid: u64,
         args: Vec<(&'static str, i64)>,
     ) {
-        let event = Event {
-            ts: self.ts(),
-            tid: lane(),
+        let mut events = lock(&self.events);
+        let ts = if self.logical {
+            self.ticks.fetch_add(1, Ordering::Relaxed)
+        } else {
+            self.start.elapsed().as_micros() as u64
+        };
+        events.push(Event {
+            ts,
+            tid,
             cat,
             name,
             kind,
+            id,
+            parent,
             args,
-        };
-        lock(&self.events).push(event);
+        });
+    }
+
+    fn current_span_of(&self, tid: u64) -> u64 {
+        lock(&self.stacks)
+            .get(&tid)
+            .and_then(|s| s.last())
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -120,9 +208,12 @@ impl Recorder {
                 start: Instant::now(),
                 logical: options.logical_clock,
                 ticks: AtomicU64::new(0),
+                next_id: AtomicU64::new(1),
+                stacks: Mutex::new(BTreeMap::new()),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                parked_flows: Mutex::new(BTreeMap::new()),
                 events: Mutex::new(Vec::new()),
             })),
         }
@@ -179,6 +270,19 @@ impl Recorder {
         }
     }
 
+    /// Samples the process's peak resident-set size (`VmHWM`) into the
+    /// `mem.peak_rss_bytes` gauge. Pure-std `/proc/self/status` read on
+    /// Linux, a no-op elsewhere and when the recorder is disabled. The
+    /// `mem.` prefix is excluded from logical-clock snapshots (memory use
+    /// legitimately varies with thread count and allocator mood).
+    pub fn sample_peak_rss(&self) {
+        if self.is_enabled() {
+            if let Some(bytes) = crate::mem::peak_rss_bytes() {
+                self.gauge("mem.peak_rss_bytes", bytes.min(i64::MAX as u64) as i64);
+            }
+        }
+    }
+
     /// Opens a span; the returned guard records the matching end event on
     /// drop. Spans nest naturally through drop order.
     #[must_use = "dropping the guard immediately closes the span"]
@@ -187,7 +291,8 @@ impl Recorder {
     }
 
     /// [`Recorder::span`] with a structured integer payload on the begin
-    /// event.
+    /// event. The span gets a fresh id and a parent link to the span
+    /// currently open on this lane.
     #[must_use = "dropping the guard immediately closes the span"]
     pub fn span_args(
         &self,
@@ -195,20 +300,146 @@ impl Recorder {
         name: &'static str,
         args: &[(&'static str, i64)],
     ) -> SpanGuard<'_> {
-        if let Some(inner) = &self.inner {
-            inner.push_event(EventKind::Begin, cat, name, args.to_vec());
-        }
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                inner: None,
+                cat,
+                name,
+                id: 0,
+                tid: 0,
+            };
+        };
+        let tid = lane();
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = {
+            let mut stacks = lock(&inner.stacks);
+            let stack = stacks.entry(tid).or_default();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        };
+        inner.record(EventKind::Begin, cat, name, id, parent, tid, args.to_vec());
         SpanGuard {
             inner: self.inner.as_deref(),
             cat,
             name,
+            id,
+            tid,
         }
+    }
+
+    /// The id of the span currently open on this thread's lane (0 when
+    /// none or disabled) — what a hand-off stamps into its [`SpanCtx`].
+    pub fn current_span(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.current_span_of(lane()),
+        }
+    }
+
+    /// Captures the current causal context: the span open on this lane
+    /// plus `flow` as the tracking edge.
+    pub fn span_ctx(&self, flow: Flow) -> SpanCtx {
+        SpanCtx {
+            span: self.current_span(),
+            flow,
+        }
+    }
+
+    /// Starts a causal edge (`ph: "s"`) out of the current span and
+    /// returns its handle. Pass the handle (inside a [`SpanCtx`], a
+    /// message, a task) to wherever the work continues; the consumer calls
+    /// [`Recorder::flow_step`]/[`Recorder::flow_end`] to complete the
+    /// arrow.
+    pub fn flow_start(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        args: &[(&'static str, i64)],
+    ) -> Flow {
+        let Some(inner) = &self.inner else {
+            return Flow::NONE;
+        };
+        let tid = lane();
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = inner.current_span_of(tid);
+        inner.record(EventKind::FlowStart, cat, name, id, parent, tid, args.to_vec());
+        Flow { id, cat, name }
+    }
+
+    /// Records an intermediate hop (`ph: "t"`) on `flow` — e.g. a
+    /// retransmission attempt. No-op for [`Flow::NONE`].
+    pub fn flow_step(&self, flow: Flow, args: &[(&'static str, i64)]) {
+        if flow.is_none() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let tid = lane();
+            let parent = inner.current_span_of(tid);
+            inner.record(
+                EventKind::FlowStep,
+                flow.cat,
+                flow.name,
+                flow.id,
+                parent,
+                tid,
+                args.to_vec(),
+            );
+        }
+    }
+
+    /// Terminates `flow` (`ph: "f"`) inside the current span: this span's
+    /// progress causally followed from the flow's origin. No-op for
+    /// [`Flow::NONE`].
+    pub fn flow_end(&self, flow: Flow, args: &[(&'static str, i64)]) {
+        if flow.is_none() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let tid = lane();
+            let parent = inner.current_span_of(tid);
+            inner.record(
+                EventKind::FlowEnd,
+                flow.cat,
+                flow.name,
+                flow.id,
+                parent,
+                tid,
+                args.to_vec(),
+            );
+        }
+    }
+
+    /// Parks a flow handle under `key` for later pickup with
+    /// [`Recorder::flow_take`] — the idiom for causal edges whose
+    /// consumer is a *later call* on the same recorder rather than a
+    /// value hand-off (e.g. a checkpoint write linked to the resume that
+    /// loads it). Last park under a key wins. No-op for [`Flow::NONE`]
+    /// or a disabled recorder.
+    pub fn flow_park(&self, key: u64, flow: Flow) {
+        if flow.is_none() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            lock(&inner.parked_flows).insert(key, flow);
+        }
+    }
+
+    /// Takes the flow parked under `key`, if any. A fresh recorder (e.g.
+    /// a cross-process resume) has no parked flows, so consumers simply
+    /// skip the link — never a dangling causal edge.
+    pub fn flow_take(&self, key: u64) -> Option<Flow> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| lock(&inner.parked_flows).remove(&key))
     }
 
     /// Records a point event with a structured integer payload.
     pub fn instant(&self, cat: &'static str, name: &'static str, args: &[(&'static str, i64)]) {
         if let Some(inner) = &self.inner {
-            inner.push_event(EventKind::Instant, cat, name, args.to_vec());
+            let tid = lane();
+            let parent = inner.current_span_of(tid);
+            inner.record(EventKind::Instant, cat, name, 0, parent, tid, args.to_vec());
         }
     }
 
@@ -216,7 +447,15 @@ impl Recorder {
     /// Perfetto) — e.g. the edge-cut trajectory across bisection steps.
     pub fn counter_sample(&self, cat: &'static str, name: &'static str, value: i64) {
         if let Some(inner) = &self.inner {
-            inner.push_event(EventKind::Counter, cat, name, vec![("value", value)]);
+            inner.record(
+                EventKind::Counter,
+                cat,
+                name,
+                0,
+                0,
+                lane(),
+                vec![("value", value)],
+            );
         }
     }
 
@@ -233,12 +472,12 @@ impl Recorder {
     }
 
     /// The canonical snapshot serialisation. In logical-clock mode the
-    /// scheduling-dependent `sched.*`, checkpoint-lifecycle `ckpt.*` and
-    /// alignment-kernel-dependent (`align.prefilter.*`/`align.kernel.*`)
-    /// metrics are excluded, which makes the output **byte-identical across
-    /// thread counts, across crash/resume and across `--align-kernel`
-    /// settings** (the determinism contracts); in wall-clock mode
-    /// everything is included.
+    /// scheduling-dependent `sched.*`, checkpoint-lifecycle `ckpt.*`,
+    /// memory `mem.*` and alignment-kernel-dependent
+    /// (`align.prefilter.*`/`align.kernel.*`) metrics are excluded, which
+    /// makes the output **byte-identical across thread counts, across
+    /// crash/resume and across `--align-kernel` settings** (the
+    /// determinism contracts); in wall-clock mode everything is included.
     pub fn snapshot_json(&self) -> String {
         let snapshot = self.snapshot();
         if self.is_logical() {
@@ -246,6 +485,7 @@ impl Recorder {
                 .without_scheduling()
                 .without_checkpointing()
                 .without_kernel_dependent()
+                .without_memory()
                 .to_json()
         } else {
             snapshot.to_json()
@@ -256,12 +496,12 @@ impl Recorder {
     /// `snapshot` — the resume path: a checkpoint embeds the cumulative
     /// metrics of the run that wrote it, and loading it must leave the
     /// recorder exactly as if those phases had just executed. The
-    /// recorder's own `ckpt.*`, `sched.*` and kernel-dependent
+    /// recorder's own `ckpt.*`, `sched.*`, `mem.*` and kernel-dependent
     /// (`align.prefilter.*`/`align.kernel.*`) entries are kept (they
-    /// describe *this* process's checkpoint traffic, scheduling and
-    /// dispatched alignment kernel, which a restore must not falsify), and
-    /// any such entries inside `snapshot` are ignored for the same reason.
-    /// No-op when disabled.
+    /// describe *this* process's checkpoint traffic, scheduling, memory
+    /// and dispatched alignment kernel, which a restore must not falsify),
+    /// and any such entries inside `snapshot` are ignored for the same
+    /// reason. No-op when disabled.
     pub fn restore_metrics(&self, snapshot: &MetricsSnapshot) {
         let Some(inner) = &self.inner else {
             return;
@@ -269,6 +509,7 @@ impl Recorder {
         let keep = |k: &str| {
             k.starts_with(crate::CKPT_PREFIX)
                 || k.starts_with(crate::SCHED_PREFIX)
+                || k.starts_with(crate::MEM_PREFIX)
                 || crate::KERNEL_PREFIXES.iter().any(|p| k.starts_with(p))
         };
         let mut counters = lock(&inner.counters);
@@ -311,12 +552,30 @@ pub struct SpanGuard<'a> {
     inner: Option<&'a Inner>,
     cat: &'static str,
     name: &'static str,
+    id: u64,
+    tid: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id (0 when the recorder is disabled) — what causal
+    /// edges and resumed phases link against.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(inner) = self.inner {
-            inner.push_event(EventKind::End, self.cat, self.name, Vec::new());
+            {
+                let mut stacks = lock(&inner.stacks);
+                if let Some(stack) = stacks.get_mut(&self.tid) {
+                    if let Some(pos) = stack.iter().rposition(|&x| x == self.id) {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            inner.record(EventKind::End, self.cat, self.name, self.id, 0, self.tid, Vec::new());
         }
     }
 }
@@ -333,9 +592,14 @@ mod tests {
         rec.gauge("g", 2);
         rec.observe("h", 3);
         rec.instant("t", "x", &[("a", 1)]);
+        rec.sample_peak_rss();
+        let flow = rec.flow_start("t", "edge", &[]);
+        assert!(flow.is_none());
+        rec.flow_end(flow, &[]);
         {
             let _s = rec.span("t", "s");
         }
+        assert_eq!(rec.current_span(), 0);
         assert!(rec.snapshot().is_empty());
         assert!(rec.events().is_empty());
     }
@@ -393,6 +657,106 @@ mod tests {
     }
 
     #[test]
+    fn spans_carry_ids_and_parent_links() {
+        let rec = Recorder::new(ObsOptions::logical());
+        let (outer_id, inner_id) = {
+            let outer = rec.span("cat", "outer");
+            assert_eq!(rec.current_span(), outer.id());
+            let inner = rec.span("cat", "inner");
+            assert_eq!(rec.current_span(), inner.id());
+            (outer.id(), inner.id())
+        };
+        assert_ne!(outer_id, 0);
+        assert_ne!(inner_id, 0);
+        assert_ne!(outer_id, inner_id);
+        assert_eq!(rec.current_span(), 0);
+        let events = rec.events();
+        // Begin outer: root (parent 0); begin inner: parent = outer.
+        assert_eq!(events[0].id, outer_id);
+        assert_eq!(events[0].parent, 0);
+        assert_eq!(events[1].id, inner_id);
+        assert_eq!(events[1].parent, outer_id);
+        // Ends reference the same ids.
+        assert_eq!(events[2].id, inner_id);
+        assert_eq!(events[3].id, outer_id);
+    }
+
+    #[test]
+    fn flow_edges_share_identity_and_bind_to_enclosing_spans() {
+        let rec = Recorder::new(ObsOptions::logical());
+        let flow;
+        let origin_id;
+        {
+            let origin = rec.span("dist", "send_side");
+            origin_id = origin.id();
+            flow = rec.flow_start("dist", "msg", &[("rank", 3)]);
+            assert!(!flow.is_none());
+        }
+        let consumer_id;
+        {
+            let consumer = rec.span("dist", "recv_side");
+            consumer_id = consumer.id();
+            rec.flow_step(flow, &[("attempt", 2)]);
+            rec.flow_end(flow, &[]);
+        }
+        let events = rec.events();
+        let s = events.iter().find(|e| e.kind == EventKind::FlowStart).unwrap();
+        let t = events.iter().find(|e| e.kind == EventKind::FlowStep).unwrap();
+        let f = events.iter().find(|e| e.kind == EventKind::FlowEnd).unwrap();
+        assert_eq!(s.id, flow.id);
+        assert_eq!(t.id, flow.id);
+        assert_eq!(f.id, flow.id);
+        // Same (cat, name) triple so Perfetto draws one arrow.
+        assert_eq!((s.cat, s.name), ("dist", "msg"));
+        assert_eq!((f.cat, f.name), ("dist", "msg"));
+        // Bound to the spans they were emitted inside.
+        assert_eq!(s.parent, origin_id);
+        assert_eq!(t.parent, consumer_id);
+        assert_eq!(f.parent, consumer_id);
+    }
+
+    #[test]
+    fn instants_record_their_enclosing_span() {
+        let rec = Recorder::new(ObsOptions::logical());
+        let id = {
+            let span = rec.span("cat", "outer");
+            rec.instant("cat", "marker", &[]);
+            span.id()
+        };
+        let events = rec.events();
+        let marker = events.iter().find(|e| e.kind == EventKind::Instant).unwrap();
+        assert_eq!(marker.parent, id);
+    }
+
+    #[test]
+    fn span_ctx_captures_current_span_and_flow() {
+        let rec = Recorder::new(ObsOptions::logical());
+        let span = rec.span("dist", "phase");
+        let flow = rec.flow_start("dist", "msg", &[]);
+        let ctx = rec.span_ctx(flow);
+        assert_eq!(ctx.span, span.id());
+        assert_eq!(ctx.flow, flow);
+        drop(span);
+        assert_eq!(SpanCtx::NONE.span, 0);
+        assert!(SpanCtx::NONE.flow.is_none());
+    }
+
+    #[test]
+    fn parked_flows_survive_until_taken_once() {
+        let rec = Recorder::new(ObsOptions::logical());
+        let flow = rec.flow_start("ckpt", "ckpt.save", &[]);
+        rec.flow_park(7, flow);
+        assert_eq!(rec.flow_take(7), Some(flow));
+        assert_eq!(rec.flow_take(7), None, "taking consumes the handle");
+        // Disabled recorders and NONE flows park nothing.
+        rec.flow_park(8, Flow::NONE);
+        assert_eq!(rec.flow_take(8), None);
+        let off = Recorder::disabled();
+        off.flow_park(9, flow);
+        assert_eq!(off.flow_take(9), None);
+    }
+
+    #[test]
     fn clones_share_the_store() {
         let rec = Recorder::new(ObsOptions::logical());
         let other = rec.clone();
@@ -429,6 +793,34 @@ mod tests {
     }
 
     #[test]
+    fn logical_snapshot_json_excludes_mem_metrics() {
+        let rec = Recorder::new(ObsOptions::logical());
+        rec.add("focus.contigs", 4);
+        rec.gauge("mem.peak_rss_bytes", 123456);
+        let json = rec.snapshot_json();
+        assert!(json.contains("focus.contigs"));
+        assert!(!json.contains("mem.peak_rss_bytes"));
+
+        let wall = Recorder::new(ObsOptions::wall_clock());
+        wall.gauge("mem.peak_rss_bytes", 123456);
+        assert!(wall.snapshot_json().contains("mem.peak_rss_bytes"));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sample_peak_rss_records_a_positive_gauge_on_linux() {
+        let rec = Recorder::new(ObsOptions::wall_clock());
+        rec.sample_peak_rss();
+        let v = rec
+            .snapshot()
+            .gauges
+            .get("mem.peak_rss_bytes")
+            .copied()
+            .expect("VmHWM is readable on Linux");
+        assert!(v > 0);
+    }
+
+    #[test]
     fn restore_metrics_replaces_pipeline_metrics_and_keeps_local_bookkeeping() {
         let saved = {
             let rec = Recorder::new(ObsOptions::logical());
@@ -442,12 +834,14 @@ mod tests {
         rec.add("stale.other", 5); // not in the snapshot, must vanish
         rec.add("ckpt.loaded", 1); // this process's bookkeeping, must stay
         rec.add("sched.exec.steals", 2);
+        rec.gauge("mem.peak_rss_bytes", 777); // this process's memory, must stay
         rec.restore_metrics(&saved);
         let s = rec.snapshot();
         assert_eq!(s.counters.get("align.pairs"), Some(&100));
         assert_eq!(s.counters.get("stale.other"), None);
         assert_eq!(s.counters.get("ckpt.loaded"), Some(&1));
         assert_eq!(s.counters.get("sched.exec.steals"), Some(&2));
+        assert_eq!(s.gauges.get("mem.peak_rss_bytes"), Some(&777));
         assert_eq!(s.gauges.get("focus.k"), Some(&4));
         assert_eq!(s.histograms.get("h").map(|h| h.count), Some(1));
     }

@@ -298,7 +298,9 @@ pub fn parse_json(input: &str) -> Result<Value, ObsError> {
     Ok(v)
 }
 
-const PHASES: [&str; 4] = ["B", "E", "i", "C"];
+const PHASES: [&str; 7] = ["B", "E", "i", "C", "s", "t", "f"];
+/// The flow phases: `s` starts a causal arrow, `t` steps it, `f` ends it.
+const FLOW_PHASES: [&str; 3] = ["s", "t", "f"];
 
 fn check_event_object(obj: &BTreeMap<String, Value>, what: &str) -> Result<(), ObsError> {
     for key in ["ts", "tid", "ph", "cat", "name", "args"] {
@@ -327,6 +329,30 @@ fn check_event_object(obj: &BTreeMap<String, Value>, what: &str) -> Result<(), O
             return Err(schema_err(format!("{what}: {key:?} must be a string")));
         }
     }
+    // The causal-identity fields are optional on spans but must be
+    // well-typed whenever present.
+    for key in ["id", "parent"] {
+        if let Some(v) = obj.get(key) {
+            match v.as_int() {
+                Some(i) if i >= 0 => {}
+                _ => {
+                    return Err(schema_err(format!(
+                        "{what}: {key:?} must be a non-negative integer"
+                    )))
+                }
+            }
+        }
+    }
+    if FLOW_PHASES.contains(&ph) {
+        match obj.get("id").and_then(Value::as_int) {
+            Some(id) if id >= 1 => {}
+            _ => {
+                return Err(schema_err(format!(
+                    "{what}: flow event ({ph:?}) needs a positive \"id\""
+                )))
+            }
+        }
+    }
     let args = obj
         .get("args")
         .and_then(Value::as_object)
@@ -342,6 +368,37 @@ fn check_event_object(obj: &BTreeMap<String, Value>, what: &str) -> Result<(), O
         return Err(schema_err(format!(
             "{what}: counter events need args[\"value\"]"
         )));
+    }
+    Ok(())
+}
+
+/// Causal-edge integrity over a sequence of event objects: every `t`
+/// (step) and `f` (finish) flow event must reference the id of an `s`
+/// (start) event emitted earlier in the stream — a dangling causal edge
+/// means instrumentation claimed a dependency on work nobody recorded.
+fn check_flow_references<'a>(
+    events: impl Iterator<Item = (&'a BTreeMap<String, Value>, String)>,
+) -> Result<(), ObsError> {
+    let mut started: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
+    for (obj, what) in events {
+        let ph = obj.get("ph").and_then(Value::as_str).unwrap_or("");
+        if !FLOW_PHASES.contains(&ph) {
+            continue;
+        }
+        let id = obj.get("id").and_then(Value::as_int).unwrap_or(0);
+        match ph {
+            "s" => {
+                started.insert(id);
+            }
+            _ => {
+                if !started.contains(&id) {
+                    return Err(schema_err(format!(
+                        "{what}: flow {ph:?} event references id {id} \
+                         with no prior \"s\" event (dangling causal edge)"
+                    )));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -418,6 +475,7 @@ pub fn check_jsonl_events(input: &str) -> Result<usize, ObsError> {
         last_ts = ts;
     }
     check_span_balance(parsed.iter().map(|(o, w)| (o, w.clone())))?;
+    check_flow_references(parsed.iter().map(|(o, w)| (o, w.clone())))?;
     Ok(parsed.len())
 }
 
@@ -446,6 +504,7 @@ pub fn check_chrome_trace(input: &str) -> Result<usize, ObsError> {
         parsed.push((obj, what));
     }
     check_span_balance(parsed.iter().map(|&(o, ref w)| (o, w.clone())))?;
+    check_flow_references(parsed.iter().map(|&(o, ref w)| (o, w.clone())))?;
     Ok(parsed.len())
 }
 
@@ -570,6 +629,9 @@ mod tests {
             let _phase = rec.span_args("pipeline", "alignment", &[("pairs", 3)]);
             rec.instant("dist", "crash", &[("node", 2)]);
             rec.counter_sample("partition", "edge_cut", 17);
+            let flow = rec.flow_start("dist", "msg", &[("rank", 1)]);
+            rec.flow_step(flow, &[("attempt", 1)]);
+            rec.flow_end(flow, &[]);
         }
         rec.events()
     }
@@ -646,6 +708,56 @@ mod tests {
     #[test]
     fn counter_event_without_value_is_rejected() {
         let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"C\", \"cat\": \"c\", \"name\": \"x\", \"args\": {}}\n";
+        assert!(check_jsonl_events(jsonl).is_err());
+    }
+
+    // Regression fixture: a trace whose `f` event references a flow id no
+    // `s` event ever announced. Both checkers must reject it as a schema
+    // error — a dangling causal edge would silently corrupt the profiler's
+    // critical path.
+    const DANGLING_FLOW_TRACE: &str = r#"{"displayTimeUnit": "ms", "traceEvents": [
+{"ph": "B", "pid": 1, "tid": 1, "ts": 0, "id": 1, "cat": "dist", "name": "phase", "args": {}},
+{"ph": "f", "pid": 1, "tid": 1, "ts": 1, "id": 99, "parent": 1, "bp": "e", "cat": "dist", "name": "msg", "args": {}},
+{"ph": "E", "pid": 1, "tid": 1, "ts": 2, "id": 1, "cat": "dist", "name": "phase", "args": {}}
+]}"#;
+
+    #[test]
+    fn dangling_flow_end_is_a_schema_error() {
+        let err = check_chrome_trace(DANGLING_FLOW_TRACE).expect_err("dangling f rejected");
+        assert!(err.to_string().contains("dangling causal edge"), "{err}");
+    }
+
+    #[test]
+    fn dangling_flow_step_is_a_schema_error() {
+        let jsonl = concat!(
+            "{\"ts\": 0, \"tid\": 1, \"ph\": \"t\", \"id\": 7, \"cat\": \"dist\", \"name\": \"msg\", \"args\": {}}\n",
+        );
+        let err = check_jsonl_events(jsonl).expect_err("dangling t rejected");
+        assert!(matches!(err, ObsError::Schema { .. }));
+    }
+
+    #[test]
+    fn complete_flow_triples_validate() {
+        let jsonl = concat!(
+            "{\"ts\": 0, \"tid\": 1, \"ph\": \"s\", \"id\": 7, \"cat\": \"dist\", \"name\": \"msg\", \"args\": {}}\n",
+            "{\"ts\": 1, \"tid\": 1, \"ph\": \"t\", \"id\": 7, \"cat\": \"dist\", \"name\": \"msg\", \"args\": {}}\n",
+            "{\"ts\": 2, \"tid\": 1, \"ph\": \"f\", \"id\": 7, \"cat\": \"dist\", \"name\": \"msg\", \"args\": {}}\n",
+        );
+        assert_eq!(check_jsonl_events(jsonl).expect("valid flows"), 3);
+    }
+
+    #[test]
+    fn flow_event_without_id_is_rejected() {
+        let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"s\", \"cat\": \"d\", \"name\": \"m\", \"args\": {}}\n";
+        let err = check_jsonl_events(jsonl).expect_err("id-less flow rejected");
+        assert!(err.to_string().contains("positive \"id\""), "{err}");
+    }
+
+    #[test]
+    fn negative_id_or_parent_is_rejected() {
+        let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"i\", \"id\": -3, \"cat\": \"c\", \"name\": \"x\", \"args\": {}}\n";
+        assert!(check_jsonl_events(jsonl).is_err());
+        let jsonl = "{\"ts\": 0, \"tid\": 1, \"ph\": \"i\", \"parent\": -1, \"cat\": \"c\", \"name\": \"x\", \"args\": {}}\n";
         assert!(check_jsonl_events(jsonl).is_err());
     }
 

@@ -9,6 +9,22 @@ use crate::event::{Event, EventKind};
 use crate::json::{push_json_int_obj, push_json_key, push_json_str};
 use crate::metrics::MetricsSnapshot;
 
+/// Appends the causal-identity fields shared by both event sinks: the
+/// span/flow `id` and the enclosing-span `parent` link, emitted only when
+/// set so span-less events stay as compact as before.
+fn push_causal_fields(out: &mut String, e: &Event) {
+    if e.id != 0 {
+        out.push_str("\"id\": ");
+        out.push_str(&e.id.to_string());
+        out.push_str(", ");
+    }
+    if e.parent != 0 {
+        out.push_str("\"parent\": ");
+        out.push_str(&e.parent.to_string());
+        out.push_str(", ");
+    }
+}
+
 /// Renders events as JSON lines: one compact object per line, in recording
 /// order. Grep-able, stream-appendable, and what
 /// `check_jsonl_events` validates.
@@ -23,6 +39,7 @@ pub fn write_jsonl(events: &[Event]) -> String {
         push_json_key(&mut out, "ph");
         push_json_str(&mut out, e.kind.phase());
         out.push_str(", ");
+        push_causal_fields(&mut out, e);
         push_json_key(&mut out, "cat");
         push_json_str(&mut out, e.cat);
         out.push_str(", ");
@@ -39,7 +56,8 @@ pub fn write_jsonl(events: &[Event]) -> String {
 
 /// Renders events as a Chrome `trace_event` document: load the file in
 /// Perfetto (`ui.perfetto.dev`) or `chrome://tracing` to see spans per
-/// thread lane, instant markers, and counter tracks.
+/// thread lane, instant markers, counter tracks, and causal arrows
+/// between ranks (the `s`/`t`/`f` flow phases).
 pub fn write_chrome_trace(events: &[Event]) -> String {
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
@@ -54,6 +72,7 @@ pub fn write_chrome_trace(events: &[Event]) -> String {
         out.push_str(", \"ts\": ");
         out.push_str(&e.ts.to_string());
         out.push_str(", ");
+        push_causal_fields(&mut out, e);
         push_json_key(&mut out, "cat");
         push_json_str(&mut out, e.cat);
         out.push_str(", ");
@@ -62,6 +81,10 @@ pub fn write_chrome_trace(events: &[Event]) -> String {
         if e.kind == EventKind::Instant {
             // Instant events need a scope; "t" = thread-scoped.
             out.push_str(", \"s\": \"t\"");
+        }
+        if e.kind == EventKind::FlowEnd {
+            // Bind the arrow head to the enclosing slice, not the next one.
+            out.push_str(", \"bp\": \"e\"");
         }
         out.push_str(", ");
         push_json_key(&mut out, "args");
@@ -106,12 +129,15 @@ pub fn human_report(snapshot: &MetricsSnapshot) -> String {
         for (k, h) in &snapshot.histograms {
             let min = if h.count == 0 { 0 } else { h.min };
             out.push_str(&format!(
-                "  {k:<width$}  n={} sum={} min={} mean={} max={}\n",
+                "  {k:<width$}  n={} sum={} min={} mean={} max={} p50={} p90={} p99={}\n",
                 h.count,
                 h.sum,
                 min,
                 h.mean(),
-                h.max
+                h.max,
+                h.p50(),
+                h.p90(),
+                h.p99()
             ));
         }
     }
@@ -131,6 +157,8 @@ mod tests {
                 cat: "pipeline",
                 name: "alignment",
                 kind: EventKind::Begin,
+                id: 1,
+                parent: 0,
                 args: vec![("pairs", 10)],
             },
             Event {
@@ -139,32 +167,73 @@ mod tests {
                 cat: "partition",
                 name: "edge_cut",
                 kind: EventKind::Counter,
+                id: 0,
+                parent: 0,
                 args: vec![("value", 42)],
             },
             Event {
                 ts: 2,
                 tid: 1,
                 cat: "dist",
-                name: "crash",
-                kind: EventKind::Instant,
+                name: "msg",
+                kind: EventKind::FlowStart,
+                id: 2,
+                parent: 1,
                 args: vec![],
             },
             Event {
                 ts: 3,
                 tid: 1,
+                cat: "dist",
+                name: "msg",
+                kind: EventKind::FlowEnd,
+                id: 2,
+                parent: 1,
+                args: vec![],
+            },
+            Event {
+                ts: 4,
+                tid: 1,
+                cat: "dist",
+                name: "crash",
+                kind: EventKind::Instant,
+                id: 0,
+                parent: 1,
+                args: vec![],
+            },
+            Event {
+                ts: 5,
+                tid: 1,
                 cat: "pipeline",
                 name: "alignment",
                 kind: EventKind::End,
+                id: 1,
+                parent: 0,
                 args: vec![],
             },
         ]
     }
 
     #[test]
+    fn causal_fields_render_only_when_set() {
+        let out = write_jsonl(&sample_events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"id\": 1"));
+        assert!(!lines[0].contains("\"parent\""));
+        assert!(!lines[1].contains("\"id\""));
+        assert!(lines[2].contains("\"ph\": \"s\""));
+        assert!(lines[2].contains("\"id\": 2"));
+        assert!(lines[2].contains("\"parent\": 1"));
+        let trace = write_chrome_trace(&sample_events());
+        assert!(trace.contains("\"ph\": \"f\""));
+        assert!(trace.contains("\"bp\": \"e\""));
+    }
+
+    #[test]
     fn jsonl_is_one_object_per_line() {
         let out = write_jsonl(&sample_events());
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 6);
         assert!(lines
             .iter()
             .all(|l| l.starts_with('{') && l.ends_with('}')));
@@ -202,7 +271,7 @@ mod tests {
         assert!(report.contains("align.candidates"));
         assert!(report.contains("gauges:"));
         assert!(report.contains("histograms:"));
-        assert!(report.contains("n=2 sum=24 min=8 mean=12 max=16"));
+        assert!(report.contains("n=2 sum=24 min=8 mean=12 max=16 p50=8 p90=16 p99=16"));
     }
 
     #[test]

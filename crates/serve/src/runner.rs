@@ -53,6 +53,10 @@ pub struct JobOutput {
     pub contigs_fasta: Vec<u8>,
     /// Logical-clock metrics snapshot (byte-stable across crash/resume).
     pub metrics_json: String,
+    /// Chrome `trace_event` JSON of the run's causal span/flow graph,
+    /// tagged with the job and tenant; empty when the runner records no
+    /// trace (the server then answers `GET /jobs/{id}/trace` with 409).
+    pub trace_json: String,
     /// Contig count.
     pub num_contigs: u64,
     /// N50 of the contigs.
@@ -190,6 +194,7 @@ mod tests {
             Ok(JobOutput {
                 contigs_fasta: b">c\nACGT\n".to_vec(),
                 metrics_json: "{}".to_string(),
+                trace_json: String::new(),
                 num_contigs: 1,
                 n50: 4,
                 total_bases: 4,

@@ -419,11 +419,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
-        ("GET", ["metrics"]) => serve_metrics(shared),
+        ("GET", ["metrics"]) => serve_metrics(shared, req),
         ("POST", ["jobs"]) => submit_job(shared, req),
         ("GET", ["jobs", id]) => with_job(id, |id| job_status(shared, id)),
         ("GET", ["jobs", id, "contigs"]) => with_job(id, |id| job_artifact(shared, id, "contigs")),
         ("GET", ["jobs", id, "metrics"]) => with_job(id, |id| job_artifact(shared, id, "metrics")),
+        ("GET", ["jobs", id, "trace"]) => with_job(id, |id| job_artifact(shared, id, "trace")),
         ("DELETE", ["jobs", id]) => with_job(id, |id| cancel_job(shared, id)),
         ("POST", ["admin", "shutdown"]) => admin_shutdown(shared, req),
         (_, ["healthz" | "metrics" | "jobs", ..]) | (_, ["admin", "shutdown"]) => {
@@ -440,7 +441,7 @@ fn with_job(raw: &str, f: impl FnOnce(JobId) -> Response) -> Response {
     }
 }
 
-fn serve_metrics(shared: &Shared) -> Response {
+fn serve_metrics(shared: &Shared, req: &Request) -> Response {
     {
         let core = lock_core(shared);
         let rec = &shared.recorder;
@@ -451,6 +452,12 @@ fn serve_metrics(shared: &Shared) -> Response {
                 rec.gauge(name, depth as i64);
             }
         }
+    }
+    // `?format=text` renders the human exposition, which derives
+    // p50/p90/p99 for every histogram (job latency, queue wait). The JSON
+    // default stays the raw snapshot so automated byte-diffs keep working.
+    if req.query_param("format") == Some("text") {
+        return Response::text(200, fc_obs::human_report(&shared.recorder.snapshot()));
     }
     Response::json(200, shared.recorder.snapshot_json())
 }
@@ -622,6 +629,7 @@ fn job_status(shared: &Shared, id: JobId) -> Response {
 fn job_artifact(shared: &Shared, id: JobId, what: &str) -> Response {
     let (path, content_type) = match what {
         "contigs" => (shared.state.contigs_path(id), "text/plain; charset=utf-8"),
+        "trace" => (shared.state.trace_path(id), "application/json"),
         _ => (shared.state.metrics_path(id), "application/json"),
     };
     match std::fs::read(&path) {
@@ -749,11 +757,12 @@ fn worker_loop(shared: &Shared) {
         let total_ms = queued_ms + started.elapsed().as_millis() as u64;
         match result {
             RunResult::Completed(out) => {
-                if let Err(e) =
-                    shared
-                        .state
-                        .write_outputs(id, &out.contigs_fasta, &out.metrics_json)
-                {
+                if let Err(e) = shared.state.write_outputs(
+                    id,
+                    &out.contigs_fasta,
+                    &out.metrics_json,
+                    &out.trace_json,
+                ) {
                     finish(
                         shared,
                         id,

@@ -207,6 +207,11 @@ impl StateDir {
         self.job_dir(id).join("metrics.json")
     }
 
+    /// Path of the job's causal Chrome trace.
+    pub fn trace_path(&self, id: JobId) -> PathBuf {
+        self.job_dir(id).join("trace.json")
+    }
+
     /// Path of the terminal status file.
     pub fn status_path(&self, id: JobId) -> PathBuf {
         self.job_dir(id).join("status.txt")
@@ -255,14 +260,23 @@ impl StateDir {
     }
 
     /// Writes the assembly outputs (atomic, before the status commit).
+    /// The trace is optional: runners that record no trace pass an empty
+    /// string and no `trace.json` is written, so the artifact route can
+    /// distinguish "never traced" from "not finished".
     pub fn write_outputs(
         &self,
         id: JobId,
         contigs_fasta: &[u8],
         metrics_json: &str,
+        trace_json: &str,
     ) -> Result<(), ServeError> {
         self.write_atomic(&self.contigs_path(id), contigs_fasta)?;
-        self.write_atomic(&self.metrics_path(id), metrics_json.as_bytes())
+        self.write_atomic(&self.metrics_path(id), metrics_json.as_bytes())?;
+        if trace_json.is_empty() {
+            Ok(())
+        } else {
+            self.write_atomic(&self.trace_path(id), trace_json.as_bytes())
+        }
     }
 
     /// Commits a terminal status. This is the last write a job ever sees.

@@ -29,6 +29,7 @@ impl JobRunner for MockRunner {
         Ok(JobOutput {
             contigs_fasta: format!(">contig_0 len={}\n{body}\n", body.trim().len()).into_bytes(),
             metrics_json: format!("{{\"len\":{}}}", body.trim().len()),
+            trace_json: "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}".to_string(),
             num_contigs: 1,
             n50: body.trim().len() as u64,
             total_bases: body.trim().len() as u64,
@@ -139,11 +140,20 @@ fn submit_runs_and_serves_artifacts() {
     assert_eq!(contigs, ">contig_0 len=4\nACGT\n");
     let (status, metrics) = request(addr, "GET", &format!("/jobs/{id}/metrics"), b"");
     assert_eq!((status, metrics.as_str()), (200, "{\"len\":4}"));
+    let (status, trace) = request(addr, "GET", &format!("/jobs/{id}/trace"), b"");
+    assert_eq!(status, 200);
+    assert!(trace.contains("traceEvents"), "{trace}");
 
     let (status, metrics) = request(addr, "GET", "/metrics", b"");
     assert_eq!(status, 200);
     assert!(metrics.contains("serve.jobs.admitted"), "{metrics}");
     assert!(metrics.contains("serve.queue.depth.alice"), "{metrics}");
+
+    // The text exposition derives percentile summaries for histograms.
+    let (status, text) = request(addr, "GET", "/metrics?format=text", b"");
+    assert_eq!(status, 200);
+    assert!(text.contains("serve.job.latency_ms"), "{text}");
+    assert!(text.contains("p99"), "{text}");
 
     let (status, _) = request(addr, "GET", "/jobs/job-999999", b"");
     assert_eq!(status, 404);

@@ -27,6 +27,7 @@ USAGE:
     focus variants --input <reads.{fasta,fastq}> [options]
     focus classify --input <reads.{fasta,fastq}> --references <refs.fasta>
     focus obs-check [--trace <t.json>] [--metrics <m.json>] [--events <e.jsonl>]
+    focus profile  <trace.json> [--json]
     focus serve    --state-dir <dir> [options]
     focus help
 
@@ -71,6 +72,14 @@ OBS-CHECK OPTIONS:
     --trace <path>         validate a Chrome trace written by --trace
     --metrics <path>       validate a metrics snapshot written by --metrics
     --events <path>        validate a JSON-lines event log written by --events
+
+PROFILE OPTIONS:
+    <trace.json>           a causal Chrome trace written by --trace (or
+                           served at GET /jobs/{id}/trace); reconstructs the
+                           span DAG and extracts the critical path with
+                           compute/wait/retry attribution
+    --json                 emit the stable machine-readable report instead
+                           of the human table (byte-stable for CI diffing)
 
 SIMULATE OPTIONS:
     --output <path>        output FASTQ
@@ -118,6 +127,7 @@ fn main() -> ExitCode {
         Some("variants") => variants(&args[1..]),
         Some("classify") => classify(&args[1..]),
         Some("obs-check") => obs_check(&args[1..]),
+        Some("profile") => profile(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
@@ -150,7 +160,7 @@ impl Options {
                 .to_string();
             let takes_value = !matches!(
                 key.as_str(),
-                "keep-both-strands" | "with-sequences" | "logical-clock" | "resume"
+                "keep-both-strands" | "with-sequences" | "logical-clock" | "resume" | "json"
             );
             if takes_value {
                 let value = args
@@ -340,9 +350,10 @@ fn build_config(opts: &Options) -> Result<FocusConfig, String> {
     config.overlap.min_overlap_len = opts.get_parsed("min-overlap", 50usize)?;
     config.overlap.min_identity = opts.get_parsed("min-identity", 0.90f64)?;
     if let Some(value) = opts.get("align-kernel") {
-        config.overlap.kernel = focus_assembler::align::KernelKind::parse(value).ok_or_else(
-            || format!("invalid --align-kernel {value:?}; expected scalar, bitparallel or auto"),
-        )?;
+        config.overlap.kernel =
+            focus_assembler::align::KernelKind::parse(value).ok_or_else(|| {
+                format!("invalid --align-kernel {value:?}; expected scalar, bitparallel or auto")
+            })?;
     }
     config.trim.min_read_len = opts.get_parsed("min-read-len", 40usize)?;
     config.trim.min_quality = opts.get_parsed("min-quality", 20.0f64)?;
@@ -454,6 +465,30 @@ fn obs_check(args: &[String]) -> Result<(), String> {
     }
     if checked == 0 {
         return Err("obs-check needs at least one of --trace/--metrics/--events".to_string());
+    }
+    Ok(())
+}
+
+/// `focus profile` — span-DAG reconstruction and critical-path extraction
+/// from a causal Chrome trace. The trace path is positional (`--input`
+/// also works); `--json` switches to the byte-stable machine report.
+fn profile(args: &[String]) -> Result<(), String> {
+    use focus_assembler::obs::profile_chrome_trace;
+    let (positional, rest) = match args.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.clone()), &args[1..]),
+        _ => (None, args),
+    };
+    let opts = Options::parse(rest)?;
+    let path = match positional {
+        Some(p) => p,
+        None => opts.require("input")?.to_string(),
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = profile_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    if opts.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.human_table());
     }
     Ok(())
 }

@@ -2,10 +2,10 @@
 //! thread counts (the fc-obs logical-clock contract), sink validity against
 //! the pure-std schema checkers, and the disabled-recorder null guarantee.
 
-use focus_assembler::focus::{FocusAssembler, FocusConfig};
+use focus_assembler::focus::{FaultInjection, FocusAssembler, FocusConfig};
 use focus_assembler::obs::{
     check_chrome_trace, check_jsonl_events, check_metrics_snapshot, human_report,
-    write_chrome_trace, write_jsonl, ObsOptions,
+    profile_chrome_trace, write_chrome_trace, write_jsonl, ObsOptions, ProfileReport, SegmentKind,
 };
 use focus_assembler::seq::Read;
 use proptest::prelude::*;
@@ -54,6 +54,103 @@ fn snapshot_at(reads: &[Read], threads: usize) -> String {
     let assembler = FocusAssembler::new(obs_config(threads)).unwrap();
     assembler.assemble(reads).unwrap();
     assembler.recorder().snapshot_json()
+}
+
+/// `obs_config` plus deterministic rank crashes and message drops, so the
+/// trace contains retransmissions, speculative backups and recovery flows.
+fn faulted_config(threads: usize, seed: u64) -> FocusConfig {
+    let mut c = obs_config(threads);
+    c.fault = Some(FaultInjection {
+        seed,
+        rates: focus_assembler::dist::FaultRates {
+            crash: 0.2,
+            drop: 0.3,
+            ..Default::default()
+        },
+    });
+    c
+}
+
+/// Assembles under a FaultPlan and returns the causal Chrome trace, or
+/// `None` when the schedule killed the whole cluster (retry budgets are
+/// finite, so hostile seeds can legitimately fail the run).
+fn faulted_trace(reads: &[Read], threads: usize, seed: u64) -> Option<String> {
+    let assembler = FocusAssembler::new(faulted_config(threads, seed)).unwrap();
+    assembler.assemble(reads).ok()?;
+    Some(write_chrome_trace(&assembler.recorder().events()))
+}
+
+/// The causality invariants every reconstructed profile must satisfy.
+/// `profile_chrome_trace` succeeding already proves the span DAG is
+/// acyclic and every causal edge references an emitted flow origin.
+fn assert_causality_invariants(report: &ProfileReport) {
+    // Critical-path segments are chronological and pairwise disjoint.
+    for pair in report.critical_path.windows(2) {
+        assert!(
+            pair[0].end <= pair[1].start,
+            "overlapping segments: {pair:?}"
+        );
+    }
+    // The gating chain can never exceed the run's wall clock...
+    let total = report.critical_path_total();
+    assert!(
+        total <= report.run_wall,
+        "critical path {total} > run wall {}",
+        report.run_wall
+    );
+    // ...and must cover at least the longest single top-level phase (the
+    // pipeline runs its two root spans back to back).
+    let longest_phase = ["pipeline.prepare", "pipeline.assemble"]
+        .iter()
+        .filter_map(|name| report.by_name.get(*name))
+        .map(|agg| agg.total)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        longest_phase > 0,
+        "trace is missing the pipeline root spans"
+    );
+    assert!(
+        total >= longest_phase,
+        "critical path {total} < longest phase {longest_phase}"
+    );
+    // Attribution buckets partition the critical path exactly.
+    let attributed: u64 = [SegmentKind::Compute, SegmentKind::Wait, SegmentKind::Retry]
+        .iter()
+        .map(|k| report.attributed(*k))
+        .sum();
+    assert_eq!(attributed, total, "attribution must cover the whole path");
+    assert!(report.attributed(SegmentKind::Compute) > 0);
+}
+
+#[test]
+fn faulted_runs_profile_cleanly_at_every_thread_count() {
+    let reads = tiled_reads(1800, 11);
+    for threads in [1usize, 2, 4, 8] {
+        let trace = faulted_trace(&reads, threads, 42).expect("seed 42 completes");
+        let report =
+            profile_chrome_trace(&trace).unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        assert!(report.flows > 0, "faulted run must emit causal edges");
+        assert_causality_invariants(&report);
+        // The machine report is byte-stable across reruns of the same trace.
+        let again = profile_chrome_trace(&trace).unwrap();
+        assert_eq!(report.to_json(), again.to_json());
+    }
+}
+
+#[test]
+fn wall_clock_traces_profile_to_a_full_depth_critical_path() {
+    // The CLI records real time, where a flow's departure and arrival can
+    // collapse into one microsecond; the profiler must still walk the
+    // whole run, not stall on the same-timestamp causal edges.
+    let reads = tiled_reads(1800, 11);
+    let mut config = obs_config(4);
+    config.observability = ObsOptions::wall_clock();
+    let assembler = FocusAssembler::new(config).unwrap();
+    assembler.assemble(&reads).unwrap();
+    let trace = write_chrome_trace(&assembler.recorder().events());
+    let report = profile_chrome_trace(&trace).expect("profiles");
+    assert_causality_invariants(&report);
 }
 
 #[test]
@@ -108,6 +205,33 @@ proptest! {
                 &baseline,
                 "snapshot at {} threads diverged from serial",
                 threads
+            );
+        }
+    }
+
+    /// Causality invariants hold for arbitrary fault schedules: the span
+    /// DAG reconstructs acyclically, the critical path stays within the
+    /// run wall and above the longest phase, and the machine report is
+    /// byte-stable — at every thread count.
+    #[test]
+    fn causal_profiles_are_sound_under_arbitrary_fault_seeds(
+        genome_seed in 1u64..1000,
+        fault_seed in any::<u64>(),
+    ) {
+        let reads = tiled_reads(1800, genome_seed);
+        for threads in [1usize, 2, 4, 8] {
+            let Some(trace) = faulted_trace(&reads, threads, fault_seed) else {
+                // Hostile schedule killed the cluster; nothing to profile.
+                continue;
+            };
+            let report = match profile_chrome_trace(&trace) {
+                Ok(r) => r,
+                Err(e) => return Err(TestCaseError::fail(format!("{threads} threads: {e}"))),
+            };
+            assert_causality_invariants(&report);
+            prop_assert_eq!(
+                profile_chrome_trace(&trace).unwrap().to_json(),
+                report.to_json()
             );
         }
     }
