@@ -370,11 +370,26 @@ impl<'a> Overlapper<'a> {
                 (out, reused)
             },
         );
+        self.merge_pair_results(pairs.into_iter().zip(results), rec)
+    }
+
+    /// Canonical-order merge and metric aggregation shared by
+    /// [`Overlapper::overlap_all_obs`] and the out-of-core spilled
+    /// alignment: consumes per-pair results **in the serial `(j, i ≤ j)`
+    /// pair order** (each with the `reused`-scratch flag) and produces the
+    /// flat overlap list, the per-pair stats, and exactly the `align.*`
+    /// aggregate metrics the in-core path records — one implementation, so
+    /// the two paths cannot drift apart.
+    pub fn merge_pair_results(
+        &self,
+        results: impl IntoIterator<Item = ((usize, usize), ((Vec<Overlap>, PairStats), bool))>,
+        rec: &Recorder,
+    ) -> (Vec<Overlap>, Vec<(usize, usize, PairStats)>) {
         let mut all = Vec::new();
-        let mut pair_stats = Vec::with_capacity(pairs.len());
+        let mut pair_stats = Vec::new();
         let mut total = PairStats::default();
         let mut scratch_reuses = 0u64;
-        for ((i, j), ((mut found, stats), reused)) in pairs.into_iter().zip(results) {
+        for ((i, j), ((mut found, stats), reused)) in results {
             if rec.is_enabled() {
                 total.merge(&stats);
                 if reused {

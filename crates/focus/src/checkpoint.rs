@@ -31,6 +31,7 @@
 //! writes, and the assembly finishes normally.
 
 use crate::config::{FocusConfig, FocusError};
+use crate::ooc::RunBudget;
 use crate::pipeline::{dedup_reverse_complements, path_contig, AssemblyResult, FocusAssembler};
 use crate::stats::{AssemblyStats, PipelineProfile};
 use fc_align::{Overlap, Overlapper, PairStats, Pool};
@@ -165,36 +166,79 @@ fn fnv64(hash: &mut u64, bytes: &[u8]) {
 }
 
 /// FNV-1a fingerprint of every configuration field that changes what the
-/// pipeline computes. `threads` and `observability` are normalised away:
-/// results are bit-identical at any thread count and metrics are carried
-/// inside the checkpoints, so neither invalidates saved state.
+/// pipeline computes. `threads`, `observability` and `memory_budget` are
+/// normalised away: results are bit-identical at any thread count or
+/// budget and metrics are carried inside the checkpoints, so none of them
+/// invalidates saved state.
 pub fn config_fingerprint(config: &FocusConfig) -> u64 {
     let mut canonical = *config;
     canonical.threads = 0;
+    canonical.memory_budget = None;
     canonical.observability = ObsOptions::default();
     let mut h = FNV_OFFSET;
     fnv64(&mut h, format!("{canonical:?}").as_bytes());
     h
 }
 
-/// FNV-1a digest of the input read set: names, bases and quality scores,
-/// in order. Checkpoints from a different input never resume this run.
-pub fn input_digest(reads: &[Read]) -> u64 {
-    let mut h = FNV_OFFSET;
-    fnv64(&mut h, &(reads.len() as u64).to_le_bytes());
-    for read in reads {
-        fnv64(&mut h, read.name.as_bytes());
-        fnv64(&mut h, &[0xFF]);
-        fnv64(&mut h, &read.seq.to_ascii());
-        match &read.qual {
-            Some(q) => {
-                fnv64(&mut h, &[0xFE]);
-                fnv64(&mut h, q.as_slice());
-            }
-            None => fnv64(&mut h, &[0xFD]),
+/// Incremental form of [`input_digest`]: feed reads one at a time (the
+/// streaming ingest path holds one read in memory) and [`finish`] at the
+/// end. The read count folds in last, so a stream of unknown length
+/// digests in a single pass.
+///
+/// [`finish`]: InputDigest::finish
+#[derive(Debug, Clone, Default)]
+pub struct InputDigest {
+    hash: Option<u64>,
+    count: u64,
+}
+
+impl InputDigest {
+    /// An empty digest; equals `input_digest(&[])` when finished at once.
+    pub fn new() -> InputDigest {
+        InputDigest {
+            hash: None,
+            count: 0,
         }
     }
-    h
+
+    /// Folds one read into the digest.
+    pub fn observe(&mut self, read: &Read) {
+        let h = self.hash.get_or_insert(FNV_OFFSET);
+        self.count += 1;
+        fnv64(h, read.name.as_bytes());
+        fnv64(h, &[0xFF]);
+        fnv64(h, &read.seq.to_ascii());
+        match &read.qual {
+            Some(q) => {
+                fnv64(h, &[0xFE]);
+                fnv64(h, q.as_slice());
+            }
+            None => fnv64(h, &[0xFD]),
+        }
+    }
+
+    /// Reads observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The final digest over everything observed.
+    pub fn finish(&self) -> u64 {
+        let mut h = self.hash.unwrap_or(FNV_OFFSET);
+        fnv64(&mut h, &self.count.to_le_bytes());
+        h
+    }
+}
+
+/// FNV-1a digest of the input read set: names, bases and quality scores,
+/// in order, with the read count folded in last. Checkpoints from a
+/// different input never resume this run.
+pub fn input_digest(reads: &[Read]) -> u64 {
+    let mut digest = InputDigest::new();
+    for read in reads {
+        digest.observe(read);
+    }
+    digest.finish()
 }
 
 /// Record 1 of every checkpoint: the cumulative deterministic metrics at
@@ -205,6 +249,7 @@ fn metrics_record(rec: &Recorder) -> Vec<u8> {
         .without_scheduling()
         .without_checkpointing()
         .without_memory()
+        .without_ooc()
         .to_json()
         .into_bytes()
 }
@@ -352,6 +397,10 @@ impl DistCheckpoint for StoreDistCheckpoint<'_> {
     }
 }
 
+/// The alignment phase's checkpoint payload: every overlap plus the
+/// per-subset-pair stats, both in canonical `(j, i ≤ j)` pair order.
+pub(crate) type AlignmentCkpt = (Vec<Overlap>, Vec<(usize, usize, PairStats)>);
+
 impl FocusAssembler {
     /// The full pipeline with durable checkpoints at every phase boundary.
     ///
@@ -387,8 +436,14 @@ impl FocusAssembler {
             )
         });
         let resume = opts.resume;
-        let mut profile = PipelineProfile::default();
+        let profile = PipelineProfile::default();
         let pool = Pool::new_obs(config.threads, rec);
+        let mut budget = RunBudget::new(&config);
+        budget.charge(
+            rec,
+            "input-reads",
+            reads.iter().map(|r| r.approx_bytes() as u64).sum(),
+        )?;
 
         let store_reads =
             match load_phase::<ReadStore>(&mut store, rec, resume, CkptPhase::Preprocess) {
@@ -406,45 +461,90 @@ impl FocusAssembler {
                     s
                 }
             };
+        budget.charge(rec, "read-store", store_reads.approx_bytes() as u64)?;
         if opts.stop_after == Some(CkptPhase::Preprocess) {
             return Ok(AssemblyOutcome::Stopped(CkptPhase::Preprocess));
         }
 
-        type AlignmentCkpt = (Vec<Overlap>, Vec<(usize, usize, PairStats)>);
+        self.finish_checkpointed(
+            &store_reads,
+            &mut store,
+            opts,
+            &pool,
+            profile,
+            run_started,
+            &mut budget,
+            &mut |sr, pool, profile| {
+                let overlapper = Overlapper::new(sr, config.overlap)?;
+                let subsets = sr.split_subsets(config.subsets);
+                let started = Instant::now();
+                let out = overlapper.overlap_all_obs(&subsets, pool, rec);
+                let s = subsets.len();
+                profile.record(
+                    "alignment",
+                    started.elapsed(),
+                    s + s * (s + 1) / 2,
+                    pool.threads(),
+                );
+                Ok(out)
+            },
+        )
+    }
+
+    /// Everything after read preprocessing: alignment through contig
+    /// emission, checkpointing each boundary. Shared by the in-core
+    /// checkpointed path above and the out-of-core path ([`crate::ooc`]) —
+    /// only how the alignment payload is computed differs, so that is the
+    /// `align` callback (called when no valid alignment checkpoint
+    /// exists).
+    #[allow(clippy::too_many_arguments)] // one shared tail beats two drifting copies
+    pub(crate) fn finish_checkpointed(
+        &self,
+        store_reads: &ReadStore,
+        store: &mut Option<CheckpointStore>,
+        opts: &CheckpointOptions,
+        pool: &Pool,
+        mut profile: PipelineProfile,
+        run_started: Instant,
+        budget: &mut RunBudget,
+        align: &mut dyn FnMut(
+            &ReadStore,
+            &Pool,
+            &mut PipelineProfile,
+        ) -> Result<AlignmentCkpt, FocusError>,
+    ) -> Result<AssemblyOutcome, FocusError> {
+        let rec = self.recorder();
+        let config = *self.config();
+        let resume = opts.resume;
         let (overlaps, _pair_stats) =
-            match load_phase::<AlignmentCkpt>(&mut store, rec, resume, CkptPhase::Alignment) {
+            match load_phase::<AlignmentCkpt>(store, rec, resume, CkptPhase::Alignment) {
                 Some(v) => v,
                 None => {
-                    let overlapper = Overlapper::new(&store_reads, config.overlap)?;
-                    let subsets = store_reads.split_subsets(config.subsets);
-                    let started = Instant::now();
-                    let out = overlapper.overlap_all_obs(&subsets, &pool, rec);
-                    let s = subsets.len();
-                    profile.record(
-                        "alignment",
-                        started.elapsed(),
-                        s + s * (s + 1) / 2,
-                        pool.threads(),
-                    );
-                    save_phase(&mut store, rec, CkptPhase::Alignment, &out);
+                    let out = align(store_reads, pool, &mut profile)?;
+                    save_phase(store, rec, CkptPhase::Alignment, &out);
                     out
                 }
             };
+        budget.charge(
+            rec,
+            "overlaps",
+            (overlaps.len() * std::mem::size_of::<Overlap>()) as u64,
+        )?;
         if opts.stop_after == Some(CkptPhase::Alignment) {
             return Ok(AssemblyOutcome::Stopped(CkptPhase::Alignment));
         }
 
         // The level-0 overlap graph is cheap and fully determined by the
         // store and the overlaps, so it is always rebuilt, never stored.
-        let graph = OverlapGraph::build(&store_reads, &overlaps);
+        let graph = OverlapGraph::build(store_reads, &overlaps);
 
         let multilevel =
-            match load_phase::<MultilevelSet>(&mut store, rec, resume, CkptPhase::Coarsen) {
+            match load_phase::<MultilevelSet>(store, rec, resume, CkptPhase::Coarsen) {
                 Some(m) => m,
                 None => {
                     let m =
                         MultilevelSet::build_obs(graph.undirected.clone(), &config.coarsen, rec);
-                    save_phase(&mut store, rec, CkptPhase::Coarsen, &m);
+                    save_phase(store, rec, CkptPhase::Coarsen, &m);
                     m
                 }
             };
@@ -452,12 +552,11 @@ impl FocusAssembler {
             return Ok(AssemblyOutcome::Stopped(CkptPhase::Coarsen));
         }
 
-        let hybrid = match load_phase::<HybridSet>(&mut store, rec, resume, CkptPhase::Hybrid) {
+        let hybrid = match load_phase::<HybridSet>(store, rec, resume, CkptPhase::Hybrid) {
             Some(h) => h,
             None => {
-                let h =
-                    HybridSet::build_obs(&multilevel, &graph, &store_reads, &config.layout, rec);
-                save_phase(&mut store, rec, CkptPhase::Hybrid, &h);
+                let h = HybridSet::build_obs(&multilevel, &graph, store_reads, &config.layout, rec);
+                save_phase(store, rec, CkptPhase::Hybrid, &h);
                 h
             }
         };
@@ -466,7 +565,7 @@ impl FocusAssembler {
         }
 
         let partition =
-            match load_phase::<PartitionResult>(&mut store, rec, resume, CkptPhase::Partition) {
+            match load_phase::<PartitionResult>(store, rec, resume, CkptPhase::Partition) {
                 Some(p) => p,
                 None => {
                     let started = Instant::now();
@@ -482,7 +581,7 @@ impl FocusAssembler {
                         p.tasks.len(),
                         pool.threads(),
                     );
-                    save_phase(&mut store, rec, CkptPhase::Partition, &p);
+                    save_phase(store, rec, CkptPhase::Partition, &p);
                     p
                 }
             };
@@ -493,9 +592,9 @@ impl FocusAssembler {
         let k = config.partitions;
         let parts = partition.finest().to_vec();
         let mut dh = if config.consensus {
-            DistributedHybrid::with_consensus(&hybrid, &store_reads, parts, k)
+            DistributedHybrid::with_consensus(&hybrid, store_reads, parts, k)
         } else {
-            DistributedHybrid::new(&hybrid, &store_reads, parts, k)
+            DistributedHybrid::new(&hybrid, store_reads, parts, k)
         }?;
         let plan = match &config.fault {
             Some(inj) => FaultPlan::random(inj.seed, k, &inj.rates),
@@ -504,7 +603,7 @@ impl FocusAssembler {
         let mut dist_config = config.dist;
         dist_config.threads = config.threads;
         let mut ckpt = StoreDistCheckpoint {
-            store: &mut store,
+            store,
             rec,
             resume,
             stop_after: opts.stop_after,

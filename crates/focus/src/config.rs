@@ -59,6 +59,16 @@ pub struct FocusConfig {
     /// forces the exact serial path. Output is bit-identical at any
     /// setting.
     pub threads: usize,
+    /// Heap budget in bytes for the big pipeline data structures (raw
+    /// reads, the preprocessed store, overlap lists, spill buffers).
+    /// `None` (the default) means unlimited. The in-core paths account
+    /// against it and fail fast with [`FocusError::BudgetExceeded`] when
+    /// a reservation would not fit; the out-of-core path
+    /// ([`crate::ooc`]) instead streams ingest and spills alignment runs
+    /// to disk so the same inputs fit. The budget never changes contigs
+    /// or logical metrics — only whether a run is admitted and where the
+    /// bytes live.
+    pub memory_budget: Option<u64>,
     /// Structured tracing and metrics (fc-obs). Disabled by default — a
     /// disabled recorder is a single branch per record site. With
     /// `ObsOptions::logical()` the event clock is a logical counter and
@@ -81,6 +91,7 @@ impl Default for FocusConfig {
             consensus: true,
             dedup_rc: false,
             threads: 0,
+            memory_budget: None,
             observability: ObsOptions::default(),
         }
     }
@@ -134,6 +145,10 @@ pub enum FocusError {
     /// The distributed stage failed with a typed error (unrecoverable
     /// cluster loss, invalid partition input, violated post-condition, …).
     Dist(DistError),
+    /// A [`FocusConfig::memory_budget`] reservation did not fit: the run
+    /// was refused before allocating, not killed mid-flight. Retry with a
+    /// larger budget or the out-of-core path.
+    BudgetExceeded(fc_obs::BudgetError),
 }
 
 impl fmt::Display for FocusError {
@@ -147,6 +162,9 @@ impl fmt::Display for FocusError {
             FocusError::Graph(e) => write!(f, "graph invariant violated: {e}"),
             FocusError::Partition(e) => write!(f, "partitioning failed: {e}"),
             FocusError::Dist(e) => write!(f, "distributed stage failed: {e}"),
+            // `BudgetError`'s own message already reads "memory budget
+            // exceeded: ..." — don't double the prefix.
+            FocusError::BudgetExceeded(e) => write!(f, "{e}"),
         }
     }
 }
@@ -159,6 +177,7 @@ impl std::error::Error for FocusError {
             FocusError::Graph(e) => Some(e),
             FocusError::Partition(e) => Some(e),
             FocusError::Dist(e) => Some(e),
+            FocusError::BudgetExceeded(e) => Some(e),
             _ => None,
         }
     }
@@ -191,6 +210,12 @@ impl From<PartitionError> for FocusError {
 impl From<DistError> for FocusError {
     fn from(e: DistError) -> FocusError {
         FocusError::Dist(e)
+    }
+}
+
+impl From<fc_obs::BudgetError> for FocusError {
+    fn from(e: fc_obs::BudgetError) -> FocusError {
+        FocusError::BudgetExceeded(e)
     }
 }
 

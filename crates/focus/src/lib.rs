@@ -13,13 +13,15 @@
 pub mod checkpoint;
 pub mod config;
 pub mod eval;
+pub mod ooc;
 pub mod pipeline;
 pub mod serve;
 pub mod stats;
 
 pub use checkpoint::{
-    config_fingerprint, input_digest, AssemblyOutcome, CheckpointOptions, CkptPhase,
+    config_fingerprint, input_digest, AssemblyOutcome, CheckpointOptions, CkptPhase, InputDigest,
 };
+pub use ooc::OocOptions;
 pub use config::{FaultInjection, FocusConfig, FocusError};
 pub use fc_obs::{ObsOptions, Recorder};
 pub use eval::{evaluate as evaluate_against_references, ReferenceEvaluation};

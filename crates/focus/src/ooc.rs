@@ -1,0 +1,542 @@
+//! Out-of-core assembly: memory budgets, streaming ingest and spilled
+//! alignment (ISSUE 10's tentpole).
+//!
+//! The in-core pipeline holds three big structures at once: the raw input
+//! reads, the preprocessed RC-paired store, and every subset-pair
+//! alignment result until the canonical merge. This module removes the
+//! first and third from the resident set so inputs bigger than the
+//! configured [`FocusConfig::memory_budget`] still assemble:
+//!
+//! * **Streaming ingest** — [`FocusAssembler::assemble_fastq_ooc`] parses
+//!   the FASTQ file one read at a time through [`fc_seq::fastq::Reader`],
+//!   feeding a [`ReadStoreBuilder`]; the raw input is never resident. The
+//!   input digest is computed in a first O(1)-memory pass
+//!   ([`InputDigest`]), so checkpoint compatibility with the in-core path
+//!   is exact. Kept reads are optionally staged to disk page by page
+//!   ([`fc_seq::PagedStoreWriter`]) so a killed run resumes ingest from
+//!   pages instead of re-trimming.
+//! * **Spilled alignment** — subset-pair results are computed one index
+//!   column at a time and each pair's `(Vec<Overlap>, PairStats)` run is
+//!   spilled through [`fc_ckpt::CheckpointStore`] (CRC-framed records,
+//!   atomic temp-file + rename), then k-way merged back **in the exact
+//!   canonical `(j, i ≤ j)` order** via
+//!   [`Overlapper::merge_pair_results`] — the same code the in-core path
+//!   runs, so contigs *and* logical metric snapshots are byte-identical.
+//!
+//! ## Robustness contract
+//!
+//! Spills inherit checkpoint-grade robustness. Every write failure
+//! (`ENOSPC`, unwritable directory — injected or real) degrades spilling
+//! with exactly one `ooc.spill.degraded` warning and keeps that pair's
+//! result in memory: graceful in-core fallback, never a panic. Every read
+//! failure (torn page, short read, bit flip) is caught by the CRC layer,
+//! counted under `ooc.spill.rejected`, and answered by recomputing the
+//! pair (`ooc.spill.recomputed`) — never silent corruption. All `ooc.*`
+//! metrics are excluded from logical snapshots (`fc_obs::OOC_PREFIX`), so
+//! fault handling never breaks byte-determinism.
+
+use crate::checkpoint::{
+    config_fingerprint, AlignmentCkpt, AssemblyOutcome, CheckpointOptions, CkptPhase, InputDigest,
+};
+use crate::config::{FocusConfig, FocusError};
+use crate::pipeline::FocusAssembler;
+use crate::stats::PipelineProfile;
+use fc_align::{AlignScratch, Overlap, Overlapper, PairStats, Pool, SuffixArray};
+use fc_ckpt::{decode_from_slice, encode_to_vec, CheckpointStore, FsFaultPlan, LoadOutcome};
+use fc_obs::{MemoryBudget, Recorder, Reservation};
+use fc_seq::{fastq, PagedReadStore, PagedStoreWriter, ReadStore, ReadStoreBuilder, SeqError};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One run's memory-budget ledger plus the reservations held for the rest
+/// of the run. Phases charge the structures they are about to build;
+/// a failed charge surfaces as [`FocusError::BudgetExceeded`] before the
+/// allocation happens.
+#[derive(Debug)]
+pub(crate) struct RunBudget {
+    budget: MemoryBudget,
+    held: Vec<Reservation>,
+}
+
+impl RunBudget {
+    /// A ledger limited by [`FocusConfig::memory_budget`] (unlimited when
+    /// `None`).
+    pub(crate) fn new(config: &FocusConfig) -> RunBudget {
+        let budget = match config.memory_budget {
+            Some(limit) => MemoryBudget::with_limit(limit),
+            None => MemoryBudget::unlimited(),
+        };
+        RunBudget {
+            budget,
+            held: Vec::new(),
+        }
+    }
+
+    /// The shared ledger, for phases that need scoped (non-run-lifetime)
+    /// reservations.
+    pub(crate) fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// Reserves `bytes` under `label` for the rest of the run and gauges
+    /// the ledger; typed failure when the limit would be exceeded.
+    pub(crate) fn charge(
+        &mut self,
+        rec: &Recorder,
+        label: &'static str,
+        bytes: u64,
+    ) -> Result<(), FocusError> {
+        let r = self.budget.try_reserve(label, bytes)?;
+        self.held.push(r);
+        self.gauge(rec);
+        Ok(())
+    }
+
+    /// Takes over an externally grown reservation so it lives as long as
+    /// the run.
+    pub(crate) fn hold(&mut self, rec: &Recorder, reservation: Reservation) {
+        self.held.push(reservation);
+        self.gauge(rec);
+    }
+
+    /// Publishes the ledger as `mem.budget.*` gauges (excluded from
+    /// logical snapshots — budgets change peaks, never results).
+    pub(crate) fn gauge(&self, rec: &Recorder) {
+        if rec.is_enabled() {
+            rec.gauge("mem.budget.limit", saturate(self.budget.limit().unwrap_or(0)));
+            rec.gauge("mem.budget.used", saturate(self.budget.used()));
+            rec.gauge("mem.budget.peak", saturate(self.budget.peak()));
+        }
+    }
+}
+
+fn saturate(v: u64) -> i64 {
+    v.min(i64::MAX as u64) as i64
+}
+
+/// Where and how the out-of-core path spills.
+#[derive(Debug, Clone)]
+pub struct OocOptions {
+    /// Root directory for spilled state: staged read pages land in
+    /// `<spill_dir>/pages`, alignment runs in `<spill_dir>/align`.
+    pub spill_dir: PathBuf,
+    /// Reads per staged page (bounds ingest buffering; clamped to ≥ 1).
+    pub page_len: usize,
+    /// Stage trimmed reads to disk during ingest so a killed run resumes
+    /// from pages instead of re-trimming. Costs one extra write per page.
+    pub stage_reads: bool,
+    /// Deterministic filesystem fault injection for the spill layer only
+    /// (the phase-checkpoint store keeps its own plan in
+    /// [`CheckpointOptions::fs_faults`]).
+    pub fs_faults: FsFaultPlan,
+}
+
+impl OocOptions {
+    /// Spills under `dir` with read staging on, 4096-read pages, no
+    /// faults.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> OocOptions {
+        OocOptions {
+            spill_dir: dir.into(),
+            page_len: 4096,
+            stage_reads: true,
+            fs_faults: FsFaultPlan::none(),
+        }
+    }
+}
+
+/// Spill-or-fallback store for per-pair alignment runs. Wraps a
+/// [`CheckpointStore`] in the `align/` spill directory: every saved run is
+/// CRC-framed and atomically renamed; the first write failure flips the
+/// store into degraded mode with exactly one `ooc.spill.degraded`
+/// warning, after which pairs simply stay in memory.
+struct SpillPairStore<'a> {
+    store: CheckpointStore,
+    rec: &'a Recorder,
+    degraded: bool,
+}
+
+const SPILL_PAIR_NAME: &str = "align_pair";
+
+impl<'a> SpillPairStore<'a> {
+    fn new(
+        dir: &Path,
+        config_fp: u64,
+        input_digest: u64,
+        faults: FsFaultPlan,
+        rec: &'a Recorder,
+    ) -> SpillPairStore<'a> {
+        SpillPairStore {
+            store: CheckpointStore::with_faults(dir.to_path_buf(), config_fp, input_digest, faults),
+            rec,
+            degraded: false,
+        }
+    }
+
+    fn warn_once(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.rec.add("ooc.spill.degraded", 1);
+            self.rec.instant("ooc", "ooc.spill.degraded", &[]);
+        }
+    }
+
+    /// Spills pair `t`'s run; `false` means "keep it in memory" (already
+    /// degraded, or this write just failed and degraded the store).
+    fn save(&mut self, t: usize, payload: &(Vec<Overlap>, PairStats)) -> bool {
+        if self.degraded {
+            return false;
+        }
+        let record = encode_to_vec(payload);
+        let bytes = record.len() as u64;
+        match self.store.save(t as u32, SPILL_PAIR_NAME, vec![record]) {
+            Ok(true) => {
+                self.rec.add("ooc.spill.runs", 1);
+                self.rec.add("ooc.spill.bytes", bytes);
+                true
+            }
+            Ok(false) | Err(_) => {
+                self.warn_once();
+                false
+            }
+        }
+    }
+
+    /// Loads pair `t`'s spilled run. `None` means the run is missing or
+    /// failed CRC/fingerprint/decode verification (counted under
+    /// `ooc.spill.rejected`) — the caller recomputes, never trusts.
+    fn load(&mut self, t: usize) -> Option<(Vec<Overlap>, PairStats)> {
+        match self.store.load(t as u32, SPILL_PAIR_NAME) {
+            LoadOutcome::Missing => None,
+            LoadOutcome::Rejected(_) => {
+                self.rec.add("ooc.spill.rejected", 1);
+                None
+            }
+            LoadOutcome::Loaded(records) => {
+                if records.len() != 1 {
+                    self.rec.add("ooc.spill.rejected", 1);
+                    return None;
+                }
+                match decode_from_slice(&records[0]) {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        self.rec.add("ooc.spill.rejected", 1);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when a verified spilled run for pair `t` exists on disk — the
+    /// resume path's "skip recompute" probe.
+    fn verified(&mut self, t: usize) -> bool {
+        self.load(t).is_some()
+    }
+}
+
+impl FocusAssembler {
+    /// Assembles a FASTQ file out-of-core, bounded by
+    /// [`FocusConfig::memory_budget`]:
+    ///
+    /// 1. **Digest pass** — streams the file once computing the input
+    ///    digest in O(1) memory.
+    /// 2. **Ingest** — streams the file again through the trim pipeline
+    ///    into the RC-paired store, never holding the raw input; kept
+    ///    reads are staged to `<spill_dir>/pages` when
+    ///    [`OocOptions::stage_reads`] is set. With
+    ///    [`CheckpointOptions::resume`], valid staged pages from a killed
+    ///    run are adopted instead (digest-verified — stale pages are
+    ///    recomputed, never trusted).
+    /// 3. **Spilled alignment** — one suffix-array index column resident
+    ///    at a time; each subset pair's run spills to
+    ///    `<spill_dir>/align` and is merged back in canonical order.
+    /// 4. Everything downstream is the shared checkpointed tail — same
+    ///    code, same checkpoints, same contigs as the in-core path.
+    ///
+    /// Contigs and logical metric snapshots are byte-identical to
+    /// [`assemble`](FocusAssembler::assemble) /
+    /// [`assemble_with_checkpoints`](FocusAssembler::assemble_with_checkpoints)
+    /// on the same input at any thread count, budget or kernel.
+    pub fn assemble_fastq_ooc(
+        &self,
+        input: &Path,
+        opts: &CheckpointOptions,
+        ooc: &OocOptions,
+    ) -> Result<AssemblyOutcome, FocusError> {
+        let run_started = Instant::now();
+        let rec = self.recorder();
+        let config = *self.config();
+        let _span = rec.span("pipeline", "pipeline.assemble_ooc");
+        let fp = config_fingerprint(&config);
+        let pool = Pool::new_obs(config.threads, rec);
+        let profile = PipelineProfile::default();
+        let mut budget = RunBudget::new(&config);
+
+        // Pass 1: digest the raw input in O(1) memory.
+        let mut digest = InputDigest::new();
+        for read in open_fastq(input)? {
+            digest.observe(&read?);
+        }
+        let reads_in = digest.count();
+        let input_digest = digest.finish();
+
+        let pages_dir = ooc.spill_dir.join("pages");
+        let align_dir = ooc.spill_dir.join("align");
+        let mut store = opts.dir.as_ref().map(|dir| {
+            CheckpointStore::with_faults(dir.clone(), fp, input_digest, opts.fs_faults.clone())
+        });
+
+        // Ingest: adopt digest-verified staged pages from a previous run,
+        // else stream-trim the file (pass 2), staging as we go.
+        let mut store_reads: Option<ReadStore> = None;
+        if opts.resume && ooc.stage_reads {
+            match PagedReadStore::open(&pages_dir, fp, input_digest, ooc.fs_faults.clone()) {
+                Ok(mut paged) => match paged.materialize() {
+                    Ok(s) => {
+                        rec.add("ooc.ingest.resumed", 1);
+                        store_reads = Some(s);
+                    }
+                    Err(_) => rec.add("ooc.spill.recomputed", 1),
+                },
+                // Nothing usable staged (fresh dir, different input):
+                // quiet recompute. Corruption is counted.
+                Err(fc_seq::PagedError::Stale(_)) => {}
+                Err(_) => rec.add("ooc.spill.recomputed", 1),
+            }
+        }
+        let store_reads = match store_reads {
+            Some(s) => {
+                budget.charge(rec, "read-store", s.approx_bytes() as u64)?;
+                if rec.is_enabled() {
+                    rec.add("pipeline.reads_in", reads_in);
+                    rec.add("pipeline.reads_kept", s.len() as u64);
+                }
+                s
+            }
+            None => {
+                let mut builder = ReadStoreBuilder::new(&config.trim)?;
+                let mut staging = ooc.stage_reads.then(|| {
+                    PagedStoreWriter::create(&pages_dir, fp, ooc.page_len, ooc.fs_faults.clone())
+                });
+                let mut staging_degraded = false;
+                let mut store_res = budget.budget().try_reserve("read-store", 0)?;
+                for read in open_fastq(input)? {
+                    let read = read?;
+                    let grown = builder.push(&read);
+                    if grown == 0 {
+                        continue;
+                    }
+                    store_res.grow(grown as u64)?;
+                    if let Some(w) = staging.as_mut() {
+                        // `push` returned non-zero, so a kept read exists;
+                        // if it somehow does not, staging degrades rather
+                        // than aborting the run.
+                        let Some((kept, source)) = builder.last_kept() else {
+                            staging_degraded = true;
+                            staging = None;
+                            continue;
+                        };
+                        if w.push(kept.clone(), source).is_err() {
+                            staging_degraded = true;
+                            staging = None;
+                        }
+                    }
+                }
+                if builder.reads_in() as u64 != reads_in {
+                    return Err(FocusError::Stage {
+                        stage: "ooc-ingest",
+                        message: format!(
+                            "input changed between digest ({reads_in} reads) and ingest ({}) passes",
+                            builder.reads_in()
+                        ),
+                    });
+                }
+                if let Some(w) = staging {
+                    match w.finish(input_digest) {
+                        Ok(paged) => {
+                            rec.add("ooc.ingest.staged_pages", u64::from(paged.pages()));
+                        }
+                        Err(_) => staging_degraded = true,
+                    }
+                }
+                if staging_degraded {
+                    rec.add("ooc.spill.degraded", 1);
+                    rec.instant("ooc", "ooc.spill.degraded", &[]);
+                }
+                let s = builder.finish();
+                if s.is_empty() {
+                    return Err(FocusError::EmptyInput);
+                }
+                if rec.is_enabled() {
+                    rec.add("pipeline.reads_in", reads_in);
+                    rec.add("pipeline.reads_kept", s.len() as u64);
+                }
+                budget.hold(rec, store_res);
+                s
+            }
+        };
+        if opts.stop_after == Some(CkptPhase::Preprocess) {
+            return Ok(AssemblyOutcome::Stopped(CkptPhase::Preprocess));
+        }
+
+        let mem = budget.budget().clone();
+        let resume = opts.resume;
+        let align_faults = ooc.fs_faults.clone();
+        self.finish_checkpointed(
+            &store_reads,
+            &mut store,
+            opts,
+            &pool,
+            profile,
+            run_started,
+            &mut budget,
+            &mut |sr, pool, profile| {
+                let mut spill =
+                    SpillPairStore::new(&align_dir, fp, input_digest, align_faults.clone(), rec);
+                let started = Instant::now();
+                let out =
+                    overlap_all_spilled(&config, sr, pool, rec, &mut spill, resume, &mem)?;
+                let s = sr.split_subsets(config.subsets).len();
+                profile.record(
+                    "alignment",
+                    started.elapsed(),
+                    s + s * (s + 1) / 2,
+                    pool.threads(),
+                );
+                Ok(out)
+            },
+        )
+    }
+}
+
+/// Opens a FASTQ file as a streaming reader.
+fn open_fastq(path: &Path) -> Result<fastq::Reader<BufReader<File>>, FocusError> {
+    let file = File::open(path).map_err(|e| FocusError::Seq(SeqError::from(e)))?;
+    Ok(fastq::Reader::new(BufReader::new(file)))
+}
+
+/// External-memory variant of [`Overlapper::overlap_all_obs`]: computes
+/// the subset-pair tasks one reference column at a time (one suffix-array
+/// index resident instead of all of them), spilling each pair's run to
+/// disk as soon as it is computed, then merges every run back in the
+/// canonical `(j, i ≤ j)` order through the shared
+/// [`Overlapper::merge_pair_results`] — bit-identical output.
+fn overlap_all_spilled(
+    config: &FocusConfig,
+    store_reads: &ReadStore,
+    pool: &Pool,
+    rec: &Recorder,
+    spill: &mut SpillPairStore<'_>,
+    resume: bool,
+    mem: &MemoryBudget,
+) -> Result<AlignmentCkpt, FocusError> {
+    let overlapper = Overlapper::new(store_reads, config.overlap)?;
+    let subsets = store_reads.split_subsets(config.subsets);
+    let n = subsets.len();
+    let _span = rec.span_args("align", "align.overlap_all_spilled", &[("subsets", n as i64)]);
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n * (n + 1) / 2);
+    for j in 0..n {
+        for i in 0..=j {
+            pairs.push((i, j));
+        }
+    }
+
+    // Compute columns; spill each pair's run, keeping only what cannot be
+    // spilled (degraded store) in memory. `kept_res` charges the kept
+    // runs for as long as they are resident (through the merge below);
+    // each column's index is a scoped charge released when the column is
+    // done.
+    let mut kept: Vec<Option<((Vec<Overlap>, PairStats), bool)>> = Vec::new();
+    kept.resize_with(pairs.len(), || None);
+    let mut kept_res = mem
+        .try_reserve("align-unspilled", 0)
+        .map_err(FocusError::from)?;
+    for j in 0..n {
+        let column_start = j * (j + 1) / 2;
+        let todo: Vec<usize> = (column_start..column_start + j + 1)
+            .filter(|&t| !(resume && spill.verified(t)))
+            .collect();
+        if todo.is_empty() {
+            continue;
+        }
+        // Built through the pool so `exec.tasks` counts one task per
+        // index, exactly like the in-core path's index fan-out.
+        let index: SuffixArray = pool
+            .map_obs(1, rec, |_| overlapper.index_subset(&subsets[j]))
+            .pop()
+            .unwrap_or_else(|| overlapper.index_subset(&subsets[j]));
+        let index_res = mem
+            .try_reserve("align-index", approx_index_bytes(&subsets[j], store_reads))
+            .map_err(FocusError::from)?;
+        let results = pool.map_items_obs(
+            todo,
+            rec,
+            || (AlignScratch::default(), false),
+            |_, t, scratch| {
+                let (i, _) = pairs[t];
+                let reused = scratch.1;
+                scratch.1 = true;
+                let out = overlapper.overlap_pair_with(&subsets[i], &index, i == j, &mut scratch.0);
+                (t, out, reused)
+            },
+        );
+        for (t, payload, reused) in results {
+            if spill.save(t, &payload) {
+                rec.add("ooc.spill.pairs", 1);
+            } else {
+                kept_res
+                    .grow(approx_payload_bytes(&payload))
+                    .map_err(FocusError::from)?;
+                kept[t] = Some((payload, reused));
+            }
+        }
+        drop(index_res);
+    }
+
+    // Merge in canonical order, reloading spilled runs (or recomputing
+    // any run the CRC layer rejects — fault injection, torn files).
+    let mut cached_index: Option<(usize, SuffixArray)> = None;
+    let mut merged: Vec<((usize, usize), ((Vec<Overlap>, PairStats), bool))> =
+        Vec::with_capacity(pairs.len());
+    for (t, &(i, j)) in pairs.iter().enumerate() {
+        let (payload, reused) = match kept[t].take() {
+            Some(entry) => entry,
+            None => match spill.load(t) {
+                Some(payload) => (payload, false),
+                None => {
+                    rec.add("ooc.spill.recomputed", 1);
+                    let entry = cached_index
+                        .get_or_insert_with(|| (j, overlapper.index_subset(&subsets[j])));
+                    if entry.0 != j {
+                        *entry = (j, overlapper.index_subset(&subsets[j]));
+                    }
+                    let payload = overlapper.overlap_pair_with(
+                        &subsets[i],
+                        &entry.1,
+                        i == j,
+                        &mut AlignScratch::default(),
+                    );
+                    (payload, false)
+                }
+            },
+        };
+        merged.push(((i, j), (payload, reused)));
+    }
+    Ok(overlapper.merge_pair_results(merged, rec))
+}
+
+/// Estimate of a subset's suffix-array index footprint, from its layout:
+/// concatenated text (1 byte per base plus a separator per read), `u32`
+/// suffix positions over that text, and `u32` read starts + ids.
+fn approx_index_bytes(subset: &[fc_seq::ReadId], store: &ReadStore) -> u64 {
+    let bases: usize = subset.iter().map(|&id| store.get(id).len()).sum();
+    let text = (bases + subset.len()) as u64;
+    text.saturating_mul(5).saturating_add(subset.len() as u64 * 8)
+}
+
+/// Generous estimate of one pair run's in-memory footprint.
+fn approx_payload_bytes(payload: &(Vec<Overlap>, PairStats)) -> u64 {
+    (payload.0.len() * std::mem::size_of::<Overlap>() + std::mem::size_of::<PairStats>()) as u64
+}

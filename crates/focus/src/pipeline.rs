@@ -1,6 +1,7 @@
 //! The six-stage Focus pipeline (paper §II).
 
 use crate::config::{FocusConfig, FocusError};
+use crate::ooc::RunBudget;
 use crate::stats::{AssemblyStats, PipelineProfile};
 use fc_align::{Overlap, Overlapper, PairStats, Pool};
 use fc_dist::{AssemblyPath, DistributedHybrid, DistributedReport, FaultPlan};
@@ -87,10 +88,17 @@ impl FocusAssembler {
             "pipeline.prepare",
             &[("reads", reads.len() as i64)],
         );
+        let mut budget = RunBudget::new(&self.config);
+        budget.charge(
+            rec,
+            "input-reads",
+            reads.iter().map(|r| r.approx_bytes() as u64).sum(),
+        )?;
         let store = ReadStore::preprocess(reads, &self.config.trim)?;
         if store.is_empty() {
             return Err(FocusError::EmptyInput);
         }
+        budget.charge(rec, "read-store", store.approx_bytes() as u64)?;
         if rec.is_enabled() {
             rec.add("pipeline.reads_in", reads.len() as u64);
             rec.add("pipeline.reads_kept", store.len() as u64);
@@ -101,6 +109,11 @@ impl FocusAssembler {
         let mut profile = PipelineProfile::default();
         let started = std::time::Instant::now();
         let (overlaps, pair_stats) = overlapper.overlap_all_obs(&subsets, &pool, rec);
+        budget.charge(
+            rec,
+            "overlaps",
+            (overlaps.len() * std::mem::size_of::<Overlap>()) as u64,
+        )?;
         let s = subsets.len();
         profile.record(
             "alignment",

@@ -21,6 +21,7 @@
 
 use crate::checkpoint::{AssemblyOutcome, CheckpointOptions};
 use crate::config::{FocusConfig, FocusError};
+use crate::ooc::OocOptions;
 use crate::pipeline::FocusAssembler;
 use fc_obs::ObsOptions;
 use fc_seq::{fasta, fastq, Read};
@@ -71,6 +72,15 @@ fn classify(e: FocusError) -> JobError {
             fc_dist::DistError::AllRanksDead { .. } | fc_dist::DistError::LostPartition { .. }
         ),
         FocusError::Stage { .. } => true,
+        // The streaming (out-of-core) path surfaces input I/O as a seq
+        // error; like the in-core open failure it is retryable. Malformed
+        // FASTQ is a parse variant and stays permanent.
+        FocusError::Seq(fc_seq::SeqError::Io(_)) => true,
+        // A blown memory budget is deterministic for a given input and
+        // config: retrying the same job burns the backoff budget for
+        // nothing. The server's admission layer is the right place to
+        // wait for pressure to clear.
+        FocusError::BudgetExceeded(_) => false,
         _ => false,
     };
     JobError {
@@ -81,14 +91,9 @@ fn classify(e: FocusError) -> JobError {
 
 impl JobRunner for AssemblyJobRunner {
     fn run(&self, ctx: &JobContext) -> Result<JobOutput, JobError> {
-        let file = File::open(&ctx.input_path)
-            .map_err(|e| JobError::transient(format!("open {}: {e}", ctx.input_path.display())))?;
-        let reads = fastq::parse(BufReader::new(file))
-            .map_err(|e| JobError::permanent(format!("parse FASTQ: {e}")))?;
         if ctx.canceled() {
             return Err(JobError::permanent("canceled before assembly started"));
         }
-
         let mut config = self.base;
         config.threads = ctx.threads.max(1);
         config.observability = ObsOptions::logical();
@@ -107,9 +112,27 @@ impl JobRunner for AssemblyJobRunner {
                 ("tenant_fnv", tenant_fnv(&ctx.tenant)),
             ],
         );
-        let outcome = assembler
-            .assemble_with_checkpoints(&reads, &opts)
-            .map_err(classify)?;
+        let outcome = if config.memory_budget.is_some() {
+            // Budgeted jobs run out-of-core: the input streams instead of
+            // being slurped, and alignment spills under the job's
+            // checkpoint directory so a resumed job re-adopts it.
+            let ooc = OocOptions::in_dir(ctx.ckpt_dir.join("ooc"));
+            assembler
+                .assemble_fastq_ooc(&ctx.input_path, &opts, &ooc)
+                .map_err(classify)?
+        } else {
+            let file = File::open(&ctx.input_path).map_err(|e| {
+                JobError::transient(format!("open {}: {e}", ctx.input_path.display()))
+            })?;
+            let reads = fastq::parse(BufReader::new(file))
+                .map_err(|e| JobError::permanent(format!("parse FASTQ: {e}")))?;
+            if ctx.canceled() {
+                return Err(JobError::permanent("canceled before assembly started"));
+            }
+            assembler
+                .assemble_with_checkpoints(&reads, &opts)
+                .map_err(classify)?
+        };
         drop(job_span);
         let trace_json = fc_obs::write_chrome_trace(&assembler.recorder().events());
         let result = match outcome {
@@ -293,5 +316,55 @@ mod tests {
         assert!(!classify(FocusError::Dist(DistError::NoRanks)).transient);
         assert!(!classify(FocusError::EmptyInput).transient);
         assert!(!classify(FocusError::Config("bad".to_string())).transient);
+        // A blown budget is deterministic — admission control, not the
+        // retry loop, owns memory pressure.
+        let budget = fc_obs::MemoryBudget::with_limit(1);
+        let blown = budget.try_reserve("x", 2).unwrap_err();
+        assert!(!classify(FocusError::BudgetExceeded(blown)).transient);
+        // Streamed input I/O failures retry like in-core open failures.
+        let io = fc_seq::SeqError::from(std::io::Error::other("disk gone"));
+        assert!(classify(FocusError::Seq(io)).transient);
+    }
+
+    #[test]
+    fn budgeted_jobs_run_out_of_core_and_match_unbudgeted_output() {
+        let dir = temp_dir("ooc");
+        let g = genome(2_000, 7);
+        let input = write_fastq(&dir, &tiled_reads(&g, 120, 40));
+        let plain = AssemblyJobRunner::new(quick_config(4))
+            .expect("runner")
+            .run(&ctx(&dir, input.clone()))
+            .expect("unbudgeted run");
+
+        let mut config = quick_config(4);
+        config.memory_budget = Some(1 << 30);
+        let ooc_dir = temp_dir("ooc-b");
+        let input_b = write_fastq(&ooc_dir, &tiled_reads(&g, 120, 40));
+        let budgeted = AssemblyJobRunner::new(config)
+            .expect("runner")
+            .run(&ctx(&ooc_dir, input_b.clone()))
+            .expect("budgeted run");
+        assert_eq!(plain.contigs_fasta, budgeted.contigs_fasta);
+        assert_eq!(plain.metrics_json, budgeted.metrics_json);
+        // The job actually spilled under its checkpoint directory.
+        assert!(ooc_dir.join("ckpt").join("ooc").join("align").is_dir());
+
+        // Re-running the budgeted job resumes byte-identically too.
+        let resumed = AssemblyJobRunner::new(config)
+            .expect("runner")
+            .run(&ctx(&ooc_dir, input_b))
+            .expect("budgeted resume");
+        assert_eq!(budgeted.contigs_fasta, resumed.contigs_fasta);
+        assert_eq!(budgeted.metrics_json, resumed.metrics_json);
+
+        // A budget the job cannot fit is a permanent, typed failure.
+        let mut tiny = quick_config(4);
+        tiny.memory_budget = Some(512);
+        let err = AssemblyJobRunner::new(tiny)
+            .expect("runner")
+            .run(&ctx(&dir, dir.join("input.fastq")))
+            .expect_err("must exceed budget");
+        assert!(!err.transient, "budget errors must not retry: {err:?}");
+        assert!(err.message.contains("memory budget"), "{err:?}");
     }
 }

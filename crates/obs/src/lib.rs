@@ -39,6 +39,7 @@
 //! thread counts** — observability doubles as a correctness oracle
 //! (proptest-verified in `tests/observability.rs`).
 
+pub mod budget;
 pub mod event;
 pub mod json;
 pub mod mem;
@@ -48,6 +49,7 @@ pub mod recorder;
 pub mod schema;
 pub mod sink;
 
+pub use budget::{BudgetError, MemoryBudget, Reservation};
 pub use event::{Event, EventKind};
 pub use mem::peak_rss_bytes;
 pub use metrics::{Histogram, MetricsSnapshot, DEFAULT_BOUNDS};
@@ -83,3 +85,12 @@ pub const MEM_PREFIX: &str = "mem.";
 /// with CPU feature detection while overlaps, contigs and every other
 /// metric stay bit-identical, so logical-clock snapshots exclude them.
 pub const KERNEL_PREFIXES: &[&str] = &["align.prefilter.", "align.kernel."];
+
+/// Reserved metric-name prefix for out-of-core spill metrics (runs
+/// spilled, bytes written, corrupt runs recomputed, in-core fallbacks …).
+/// Metrics under this prefix are excluded from logical-clock snapshots
+/// because they legitimately vary with the memory budget, disk faults and
+/// resume history while contigs and every other metric stay bit-identical
+/// — the out-of-core determinism contract compares the *rest* of the
+/// snapshot byte for byte.
+pub const OOC_PREFIX: &str = "ooc.";

@@ -3,7 +3,7 @@
 
 use crate::json::{push_json_key, push_json_str};
 use crate::schema::{self, ObsError, Value};
-use crate::{CKPT_PREFIX, KERNEL_PREFIXES, MEM_PREFIX, SCHED_PREFIX};
+use crate::{CKPT_PREFIX, KERNEL_PREFIXES, MEM_PREFIX, OOC_PREFIX, SCHED_PREFIX};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
@@ -212,6 +212,16 @@ impl MetricsSnapshot {
     /// byte-compares the snapshot *without* them.
     pub fn without_kernel_dependent(&self) -> MetricsSnapshot {
         self.filtered(|k| !KERNEL_PREFIXES.iter().any(|p| k.starts_with(p)))
+    }
+
+    /// A copy without out-of-core spill metrics (names under the reserved
+    /// `ooc.` prefix). Spill volume, merge passes and fallbacks
+    /// legitimately vary with the memory budget and disk behaviour while
+    /// contigs and every other metric stay bit-identical — the
+    /// out-of-core determinism contract byte-compares the snapshot
+    /// *without* them.
+    pub fn without_ooc(&self) -> MetricsSnapshot {
+        self.filtered(|k| !k.starts_with(OOC_PREFIX))
     }
 
     /// True when no metric has been recorded.
@@ -494,6 +504,18 @@ mod tests {
         s.gauges.insert("mem.peak_rss_bytes", 1 << 20);
         let d = s.without_memory();
         assert_eq!(d.counters.len(), 1);
+        assert!(d.gauges.is_empty());
+    }
+
+    #[test]
+    fn without_ooc_drops_ooc_prefix_only() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("pipeline.contigs", 10);
+        s.counters.insert("ooc.spill.runs", 6);
+        s.gauges.insert("ooc.spill.bytes", 1 << 16);
+        let d = s.without_ooc();
+        assert_eq!(d.counters.len(), 1);
+        assert!(d.counters.contains_key("pipeline.contigs"));
         assert!(d.gauges.is_empty());
     }
 

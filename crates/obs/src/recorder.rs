@@ -473,11 +473,12 @@ impl Recorder {
 
     /// The canonical snapshot serialisation. In logical-clock mode the
     /// scheduling-dependent `sched.*`, checkpoint-lifecycle `ckpt.*`,
-    /// memory `mem.*` and alignment-kernel-dependent
+    /// memory `mem.*`, out-of-core `ooc.*` and alignment-kernel-dependent
     /// (`align.prefilter.*`/`align.kernel.*`) metrics are excluded, which
     /// makes the output **byte-identical across thread counts, across
-    /// crash/resume and across `--align-kernel` settings** (the
-    /// determinism contracts); in wall-clock mode everything is included.
+    /// crash/resume, across memory budgets and across `--align-kernel`
+    /// settings** (the determinism contracts); in wall-clock mode
+    /// everything is included.
     pub fn snapshot_json(&self) -> String {
         let snapshot = self.snapshot();
         if self.is_logical() {
@@ -486,6 +487,7 @@ impl Recorder {
                 .without_checkpointing()
                 .without_kernel_dependent()
                 .without_memory()
+                .without_ooc()
                 .to_json()
         } else {
             snapshot.to_json()
@@ -496,10 +498,11 @@ impl Recorder {
     /// `snapshot` — the resume path: a checkpoint embeds the cumulative
     /// metrics of the run that wrote it, and loading it must leave the
     /// recorder exactly as if those phases had just executed. The
-    /// recorder's own `ckpt.*`, `sched.*`, `mem.*` and kernel-dependent
-    /// (`align.prefilter.*`/`align.kernel.*`) entries are kept (they
-    /// describe *this* process's checkpoint traffic, scheduling, memory
-    /// and dispatched alignment kernel, which a restore must not falsify),
+    /// recorder's own `ckpt.*`, `sched.*`, `mem.*`, `ooc.*` and
+    /// kernel-dependent (`align.prefilter.*`/`align.kernel.*`) entries are
+    /// kept (they describe *this* process's checkpoint traffic,
+    /// scheduling, memory, spill traffic and dispatched alignment kernel,
+    /// which a restore must not falsify),
     /// and any such entries inside `snapshot` are ignored for the same
     /// reason. No-op when disabled.
     pub fn restore_metrics(&self, snapshot: &MetricsSnapshot) {
@@ -510,6 +513,7 @@ impl Recorder {
             k.starts_with(crate::CKPT_PREFIX)
                 || k.starts_with(crate::SCHED_PREFIX)
                 || k.starts_with(crate::MEM_PREFIX)
+                || k.starts_with(crate::OOC_PREFIX)
                 || crate::KERNEL_PREFIXES.iter().any(|p| k.starts_with(p))
         };
         let mut counters = lock(&inner.counters);

@@ -91,16 +91,24 @@ fn next_line(
 /// `default_phred`.
 pub fn write<W: Write>(mut out: W, reads: &[Read], default_phred: u8) -> Result<(), SeqError> {
     for read in reads {
-        writeln!(out, "@{}", read.name)?;
-        out.write_all(&read.seq.to_ascii())?;
-        writeln!(out, "\n+")?;
-        let qual = match &read.qual {
-            Some(q) => q.to_fastq_line(),
-            None => QualityScores::from_phred(vec![default_phred; read.len()]).to_fastq_line(),
-        };
-        out.write_all(&qual)?;
-        writeln!(out)?;
+        write_read(&mut out, read, default_phred)?;
     }
+    Ok(())
+}
+
+/// Writes a single FASTQ record — the exact byte format of [`write`], exposed
+/// separately so generators can stream records to a writer one at a time
+/// instead of collecting the whole read set first.
+pub fn write_read<W: Write>(mut out: W, read: &Read, default_phred: u8) -> Result<(), SeqError> {
+    writeln!(out, "@{}", read.name)?;
+    out.write_all(&read.seq.to_ascii())?;
+    writeln!(out, "\n+")?;
+    let qual = match &read.qual {
+        Some(q) => q.to_fastq_line(),
+        None => QualityScores::from_phred(vec![default_phred; read.len()]).to_fastq_line(),
+    };
+    out.write_all(&qual)?;
+    writeln!(out)?;
     Ok(())
 }
 

@@ -20,6 +20,7 @@ pub mod error;
 pub mod fasta;
 pub mod fastq;
 pub mod packed;
+pub mod paged;
 pub mod quality;
 pub mod read;
 pub mod store;
@@ -29,7 +30,8 @@ pub use alphabet::Base;
 pub use dna::DnaString;
 pub use error::SeqError;
 pub use packed::PackedView;
+pub use paged::{PagedError, PagedReadStore, PagedStoreWriter};
 pub use quality::QualityScores;
 pub use read::{Read, ReadId};
-pub use store::{Orientation, ReadStore};
+pub use store::{Orientation, ReadStore, ReadStoreBuilder};
 pub use trim::TrimConfig;

@@ -65,6 +65,20 @@ impl Read {
         self.seq.is_empty()
     }
 
+    /// Approximate resident bytes of this read (struct plus heap), rounded
+    /// *up*: the memory-budget ledger charges this estimate before the data
+    /// exists, so overestimating is safe (spill a little early) while
+    /// underestimating would let a capped run overshoot its budget.
+    pub fn approx_bytes(&self) -> usize {
+        // One Vec header per heap block (name, packed words, qualities).
+        const VEC_HEADER: usize = 3 * std::mem::size_of::<usize>();
+        let packed_words = self.seq.len().div_ceil(32) * 8;
+        std::mem::size_of::<Read>()
+            + (self.name.len() + VEC_HEADER)
+            + (packed_words + VEC_HEADER)
+            + self.qual.as_ref().map_or(0, |q| q.len() + VEC_HEADER)
+    }
+
     /// The reverse complement of this read. Quality scores are reversed, and
     /// the name gets a `/rc` suffix so provenance stays visible in output.
     pub fn reverse_complement(&self) -> Read {

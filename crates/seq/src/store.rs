@@ -45,25 +45,31 @@ impl ReadStore {
     /// drop reads shorter than `config.min_read_len`, then append the reverse
     /// complement of each survivor directly after it.
     pub fn preprocess(input: &[Read], config: &TrimConfig) -> Result<ReadStore, SeqError> {
-        config.validate()?;
-        let mut reads = Vec::with_capacity(input.len() * 2);
-        let mut source = Vec::with_capacity(input.len() * 2);
-        for (i, read) in input.iter().enumerate() {
-            let trimmed = trim_read(read, config);
-            if trimmed.len() < config.min_read_len.max(1) {
-                continue;
-            }
-            let rc = trimmed.reverse_complement();
-            reads.push(trimmed);
-            source.push(i as u32);
-            reads.push(rc);
-            source.push(i as u32);
+        let mut builder = ReadStoreBuilder::new(config)?;
+        for read in input {
+            builder.push(read);
         }
-        Ok(ReadStore {
+        Ok(builder.finish())
+    }
+
+    /// Rebuilds an RC-paired store from already-trimmed forward reads and
+    /// their source indices (e.g. staged pages); the reverse complements are
+    /// regenerated, which is what `preprocess` would have produced.
+    pub(crate) fn from_trimmed(pairs: impl IntoIterator<Item = (Read, u32)>) -> ReadStore {
+        let mut reads = Vec::new();
+        let mut source = Vec::new();
+        for (fwd, src) in pairs {
+            let rc = fwd.reverse_complement();
+            reads.push(fwd);
+            source.push(src);
+            reads.push(rc);
+            source.push(src);
+        }
+        ReadStore {
             reads,
             rc_paired: true,
             source,
-        })
+        }
     }
 
     /// Number of stored reads (forward + reverse complements).
@@ -134,6 +140,15 @@ impl ReadStore {
         self.reads.iter().map(Read::len).sum()
     }
 
+    /// Approximate heap footprint of the store in bytes (reads plus the
+    /// source-index column), for memory-budget accounting. Deliberately
+    /// an overestimate, never an underestimate — see
+    /// [`Read::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        self.reads.iter().map(Read::approx_bytes).sum::<usize>()
+            + self.source.len() * std::mem::size_of::<u32>()
+    }
+
     /// Splits the id space into `n` contiguous subsets of near-equal size for
     /// the parallel aligner (paper §II-A/B). Subset sizes differ by at most
     /// one; empty subsets are produced only when `n > len`.
@@ -150,6 +165,96 @@ impl ReadStore {
             next += size as u32;
         }
         out
+    }
+}
+
+/// Incremental construction of an RC-paired [`ReadStore`], one input read
+/// at a time.
+///
+/// [`ReadStore::preprocess`] is this builder driven over a slice. The
+/// builder exists so a streaming ingest (FASTQ reader → store) can apply
+/// the exact trim/filter/reverse-complement pipeline without ever holding
+/// the raw input in memory: feed each parsed read to [`push`] and drop it.
+/// The resulting store is byte-identical to preprocessing the collected
+/// input — source indices count every pushed read, kept or not, exactly
+/// like `preprocess`'s enumeration does.
+///
+/// [`push`]: ReadStoreBuilder::push
+#[derive(Debug)]
+pub struct ReadStoreBuilder {
+    config: TrimConfig,
+    reads: Vec<Read>,
+    source: Vec<u32>,
+    next_source: u32,
+}
+
+impl ReadStoreBuilder {
+    /// Starts a builder with a validated trim configuration.
+    pub fn new(config: &TrimConfig) -> Result<ReadStoreBuilder, SeqError> {
+        config.validate()?;
+        Ok(ReadStoreBuilder {
+            config: *config,
+            reads: Vec::new(),
+            source: Vec::new(),
+            next_source: 0,
+        })
+    }
+
+    /// Trims one input read and, if it survives the length filter, appends
+    /// it and its reverse complement to the store under construction.
+    ///
+    /// Returns the approximate bytes the store grew by ([`Read::approx_bytes`]
+    /// of both strands; 0 when the read was dropped) so a memory-budget
+    /// ledger can be charged incrementally during streaming ingest.
+    pub fn push(&mut self, read: &Read) -> usize {
+        let i = self.next_source;
+        self.next_source += 1;
+        let trimmed = trim_read(read, &self.config);
+        if trimmed.len() < self.config.min_read_len.max(1) {
+            return 0;
+        }
+        let rc = trimmed.reverse_complement();
+        let grown = trimmed.approx_bytes() + rc.approx_bytes();
+        self.reads.push(trimmed);
+        self.source.push(i);
+        self.reads.push(rc);
+        self.source.push(i);
+        grown
+    }
+
+    /// Input reads seen so far (kept or dropped).
+    pub fn reads_in(&self) -> usize {
+        self.next_source as usize
+    }
+
+    /// The forward strand and source index of the most recently kept read
+    /// — what a streaming ingest stages to disk right after a [`push`]
+    /// that returned non-zero.
+    ///
+    /// [`push`]: ReadStoreBuilder::push
+    pub fn last_kept(&self) -> Option<(&Read, u32)> {
+        let n = self.reads.len();
+        (n >= 2).then(|| (&self.reads[n - 2], self.source[n - 2]))
+    }
+
+    /// Source reads that survived trimming so far.
+    pub fn reads_kept(&self) -> usize {
+        self.reads.len() / 2
+    }
+
+    /// Approximate resident bytes of the store built so far.
+    pub fn approx_bytes(&self) -> usize {
+        self.reads.iter().map(Read::approx_bytes).sum::<usize>()
+            + self.source.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Finishes the RC-paired store.
+    pub fn finish(self) -> ReadStore {
+        ReadStore {
+            reads: self.reads,
+            rc_paired: true,
+            source: self.source,
+        }
     }
 }
 
@@ -229,6 +334,39 @@ mod tests {
         );
         // Source tracking skips the dropped read.
         assert_eq!(store.source_index(ReadId(2)), 2);
+    }
+
+    #[test]
+    fn builder_matches_batch_preprocess() {
+        let input = input_reads();
+        let batch = ReadStore::preprocess(&input, &config()).unwrap();
+        let mut builder = ReadStoreBuilder::new(&config()).unwrap();
+        let mut grown = 0usize;
+        for read in &input {
+            grown += builder.push(read);
+        }
+        assert_eq!(builder.reads_in(), input.len());
+        assert_eq!(builder.reads_kept(), batch.source_read_count());
+        assert!(grown <= builder.approx_bytes());
+        let streamed = builder.finish();
+        assert_eq!(streamed.reads(), batch.reads());
+        for id in batch.ids() {
+            assert_eq!(streamed.source_index(id), batch.source_index(id));
+        }
+    }
+
+    #[test]
+    fn from_trimmed_regenerates_reverse_complements() {
+        let batch = ReadStore::preprocess(&input_reads(), &config()).unwrap();
+        let pairs: Vec<(Read, u32)> = (0..batch.len())
+            .step_by(2)
+            .map(|i| {
+                let id = ReadId(i as u32);
+                (batch.get(id).clone(), batch.source_index(id) as u32)
+            })
+            .collect();
+        let rebuilt = ReadStore::from_trimmed(pairs);
+        assert_eq!(rebuilt.reads(), batch.reads());
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub const THREADS_CLAMPED: &str = "serve.threads.clamped";
 pub const QUEUE_DEPTH: &str = "serve.queue.depth";
 /// Gauge: jobs currently executing.
 pub const RUNNING: &str = "serve.jobs.running";
+/// Gauge: bytes reserved for admitted jobs under the memory budget.
+pub const MEM_RESERVED: &str = "serve.mem.reserved";
+/// Gauge: the configured memory budget, bytes (0 when unlimited).
+pub const MEM_LIMIT: &str = "serve.mem.limit";
 /// Histogram: admission → terminal-status latency, milliseconds.
 pub const JOB_LATENCY_MS: &str = "serve.job.latency_ms";
 /// Histogram: admission → dispatch queue delay, milliseconds.
@@ -53,6 +57,7 @@ pub fn rejection_counter(kind: &str) -> &'static str {
         "tenant_queue_full" => "serve.jobs.rejected.tenant_queue_full",
         "saturated" => "serve.jobs.rejected.saturated",
         "too_many_tenants" => "serve.jobs.rejected.too_many_tenants",
+        "memory_pressure" => "serve.jobs.rejected.memory_pressure",
         "closed" => "serve.jobs.rejected.closed",
         _ => "serve.jobs.rejected.other",
     }

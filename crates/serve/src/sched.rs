@@ -91,6 +91,14 @@ pub enum Rejection {
         /// The tenant-table bound that was hit.
         max_tenants: usize,
     },
+    /// Admitting this job would overrun the server's memory budget; the
+    /// load is shed until running jobs release their reservations.
+    MemoryPressure {
+        /// Coarse resident-set estimate for the refused job, bytes.
+        requested: u64,
+        /// Bytes still unreserved under the budget.
+        available: u64,
+    },
     /// The server is shutting down and no longer admits work.
     Closed,
 }
@@ -102,15 +110,18 @@ impl Rejection {
             Rejection::TenantQueueFull { .. } => "tenant_queue_full",
             Rejection::Saturated { .. } => "saturated",
             Rejection::TooManyTenants { .. } => "too_many_tenants",
+            Rejection::MemoryPressure { .. } => "memory_pressure",
             Rejection::Closed => "closed",
         }
     }
 
-    /// HTTP status the server answers with: 429 for backpressure, 503 when
-    /// shutting down.
+    /// HTTP status the server answers with: 429 for backpressure (the
+    /// client should slow down), 503 for shed load (memory pressure,
+    /// shutdown) where retrying later can succeed without the client
+    /// changing anything.
     pub fn http_status(&self) -> u16 {
         match self {
-            Rejection::Closed => 503,
+            Rejection::Closed | Rejection::MemoryPressure { .. } => 503,
             _ => 429,
         }
     }

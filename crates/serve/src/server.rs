@@ -42,7 +42,7 @@ use crate::state::{
     input_fnv, valid_tenant_name, JobRecord, StateDir, TerminalState, TerminalStatus,
 };
 use fc_dist::RetryPolicy;
-use fc_obs::{ObsOptions, Recorder};
+use fc_obs::{MemoryBudget, ObsOptions, Recorder, Reservation};
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,6 +76,12 @@ pub struct ServeConfig {
     pub sched: SchedConfig,
     /// Retry schedule for transiently failed jobs.
     pub retry: RetryPolicy,
+    /// Memory budget for admitted (queued + running) jobs, bytes
+    /// (0 → unlimited). Each job reserves a coarse resident-set estimate
+    /// at admission and releases it at its terminal state; arrivals that
+    /// do not fit are shed with a typed `memory_pressure` 503 until
+    /// pressure clears.
+    pub memory_budget: u64,
     /// Wall-clock scale of one backoff unit ([`RetryPolicy::backoff_delay`]
     /// is unitless); tests set this to zero.
     pub backoff_unit: Duration,
@@ -93,6 +99,7 @@ impl Default for ServeConfig {
             request_budget: Duration::from_secs(10),
             sched: SchedConfig::default(),
             retry: RetryPolicy::default(),
+            memory_budget: 0,
             backoff_unit: Duration::from_millis(25),
         }
     }
@@ -141,6 +148,9 @@ struct ActiveJob {
     admitted_at: Instant,
     cancel: Arc<AtomicBool>,
     running: bool,
+    /// The job's slice of the server memory budget, held for RAII only:
+    /// dropping the entry (terminal state, shed, cancel) releases it.
+    _mem: Option<Reservation>,
 }
 
 /// Scheduler + active-job table behind one lock (they must mutate
@@ -166,6 +176,8 @@ struct Shared {
     next_id: AtomicU64,
     tenant_names: TenantNames,
     job_threads: usize,
+    /// Admission-side memory ledger (unlimited when no budget is set).
+    mem: MemoryBudget,
 }
 
 fn lock_core(shared: &Shared) -> std::sync::MutexGuard<'_, Core> {
@@ -201,6 +213,10 @@ impl Serve {
             .map_err(|e| ServeError::io("set_nonblocking", e))?;
 
         let job_threads = resolve_job_threads(&cfg, &recorder);
+        let mem = match cfg.memory_budget {
+            0 => MemoryBudget::unlimited(),
+            limit => MemoryBudget::with_limit(limit),
+        };
         let scan = state.scan()?;
         recorder.add(metrics::STATE_TORN, scan.torn as u64);
         let mut core = Core {
@@ -214,6 +230,24 @@ impl Serve {
         // is deterministic. A job the (possibly shrunk) bounds no longer
         // accept fails with a typed reason rather than vanishing.
         for record in scan.pending {
+            // The recovered job re-occupies its slice of the memory
+            // budget; a shrunk budget that no longer fits it fails the
+            // job with a typed reason, like shrunk queue bounds below.
+            let mem_res = match mem.try_reserve(JOB_MEM_LABEL, job_mem_estimate(record.input_len))
+            {
+                Ok(r) => r,
+                Err(_) => {
+                    state.write_status(
+                        record.id,
+                        &TerminalStatus::plain(
+                            TerminalState::Failed,
+                            "not re-admitted after restart: memory_pressure".to_string(),
+                        ),
+                    )?;
+                    recorder.add(metrics::JOBS_FAILED, 1);
+                    continue;
+                }
+            };
             match core.sched.admit(&record.tenant, record.id, record.priority) {
                 AdmitOutcome::Queued { shed } => {
                     // Pending jobs can exceed total_capacity (queued +
@@ -243,6 +277,7 @@ impl Serve {
                             admitted_at: Instant::now(),
                             cancel: Arc::new(AtomicBool::new(false)),
                             running: false,
+                            _mem: Some(mem_res),
                         },
                     );
                 }
@@ -271,6 +306,7 @@ impl Serve {
             workers_left: AtomicUsize::new(0),
             next_id,
             tenant_names,
+            mem,
         });
 
         let mut threads = Vec::new();
@@ -447,6 +483,14 @@ fn serve_metrics(shared: &Shared, req: &Request) -> Response {
         let rec = &shared.recorder;
         rec.gauge(metrics::QUEUE_DEPTH, core.sched.total_depth() as i64);
         rec.gauge(metrics::RUNNING, core.running as i64);
+        rec.gauge(
+            metrics::MEM_RESERVED,
+            shared.mem.used().min(i64::MAX as u64) as i64,
+        );
+        rec.gauge(
+            metrics::MEM_LIMIT,
+            shared.mem.limit().unwrap_or(0).min(i64::MAX as u64) as i64,
+        );
         for (tenant, depth) in core.sched.tenant_depths() {
             if let Some(name) = shared.tenant_names.depth_gauge(tenant) {
                 rec.gauge(name, depth as i64);
@@ -496,6 +540,16 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
     if let Some(r) = precheck {
         return reject(shared, r);
     }
+    let estimate = job_mem_estimate(req.body.len() as u64);
+    if !shared.mem.would_fit(estimate) {
+        return reject(
+            shared,
+            Rejection::MemoryPressure {
+                requested: estimate,
+                available: shared.mem.remaining(),
+            },
+        );
+    }
 
     let id = JobId(shared.next_id.fetch_add(1, Ordering::SeqCst));
     let record = JobRecord {
@@ -512,11 +566,27 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
 
     let shed = {
         let mut core = lock_core(shared);
+        // The precheck above was advisory; this reserve is authoritative
+        // and races with releases, so it can still fail here.
+        let mem_res = match shared.mem.try_reserve(JOB_MEM_LABEL, estimate) {
+            Ok(r) => r,
+            Err(e) => {
+                drop(core);
+                let _ = std::fs::remove_dir_all(shared.state.job_dir(id));
+                return reject(
+                    shared,
+                    Rejection::MemoryPressure {
+                        requested: e.requested,
+                        available: shared.mem.remaining(),
+                    },
+                );
+            }
+        };
         match core.sched.admit(tenant, id, priority) {
             AdmitOutcome::Rejected(r) => {
                 drop(core);
                 // Roll the unacknowledged persist back; the client never
-                // learned this id.
+                // learned this id. `mem_res` dropped with this frame.
                 let _ = std::fs::remove_dir_all(shared.state.job_dir(id));
                 return reject(shared, r);
             }
@@ -531,6 +601,7 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
                         admitted_at: Instant::now(),
                         cancel: Arc::new(AtomicBool::new(false)),
                         running: false,
+                        _mem: Some(mem_res),
                     },
                 );
                 shed
@@ -557,6 +628,17 @@ fn submit_job(shared: &Shared, req: &Request) -> Response {
             shed_field
         ),
     )
+}
+
+/// Reservation label for admitted jobs in the server memory ledger.
+const JOB_MEM_LABEL: &str = "serve-job";
+
+/// Coarse resident-set estimate for one job: the raw FASTQ body, its
+/// parsed reads, and the RC-paired read store are each about input-sized,
+/// plus one input of slack for alignment artifacts. Deliberately simple —
+/// admission control needs a monotone, explainable bound, not a profile.
+fn job_mem_estimate(input_len: u64) -> u64 {
+    input_len.saturating_mul(4)
 }
 
 fn reject(shared: &Shared, r: Rejection) -> Response {

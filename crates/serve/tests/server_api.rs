@@ -505,3 +505,58 @@ fn protocol_errors_are_typed() {
     server.shutdown(true);
     server.join();
 }
+
+#[test]
+fn memory_pressure_sheds_with_typed_503_until_jobs_release() {
+    // Budget fits exactly one 8-byte job (estimate = 4 × input). The
+    // runner is slow, so the first job holds its reservation while the
+    // second arrives.
+    let mut cfg = small_config();
+    cfg.memory_budget = 40;
+    let server = Serve::start(
+        cfg,
+        temp_dir("mem-pressure"),
+        Arc::new(MockRunner {
+            delay: Duration::from_millis(300),
+        }),
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let (status, body) = submit(addr, "?tenant=alice", b"acgtacgt");
+    assert_eq!(status, 202, "{body}");
+    let first = json_field(&body, "id").expect("id").to_string();
+
+    // Same-size arrival while the first job still holds the budget: shed
+    // with the typed memory_pressure 503, not queued, not a panic.
+    let (status, body) = submit(addr, "?tenant=bob", b"acgtacgt");
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(json_field(&body, "error"), Some("memory_pressure"), "{body}");
+
+    // A job small enough to fit beside the running one is admitted.
+    let (status, body) = submit(addr, "?tenant=bob", b"a");
+    assert_eq!(status, 202, "{body}");
+    let small = json_field(&body, "id").expect("id").to_string();
+
+    // Once the first job reaches a terminal state its reservation is
+    // released and the previously-shed size fits again.
+    let terminal = wait_terminal(addr, &first);
+    assert_eq!(json_field(&terminal, "state"), Some("done"), "{terminal}");
+    wait_terminal(addr, &small);
+    let (status, body) = submit(addr, "?tenant=bob", b"acgtacgt");
+    assert_eq!(status, 202, "{body}");
+    let third = json_field(&body, "id").expect("id").to_string();
+    wait_terminal(addr, &third);
+
+    // The shed is visible in metrics: a typed rejection counter plus the
+    // ledger gauges.
+    let (status, metrics) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("serve.jobs.rejected.memory_pressure"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("serve.mem.limit"), "{metrics}");
+    server.shutdown(true);
+    server.join();
+}

@@ -4,8 +4,9 @@ use crate::community::CommunityProfile;
 use crate::error::SimError;
 use crate::genome::GenomeConfig;
 use crate::phylo::{Taxonomy, TaxonomyConfig};
-use crate::reads::{simulate_reads, ReadOrigin, ReadSimConfig};
+use crate::reads::{simulate_reads, simulate_reads_to, ReadOrigin, ReadSimConfig};
 use fc_seq::Read;
+use std::io::Write;
 
 /// Everything needed to run an experiment on one synthetic data set.
 #[derive(Debug, Clone)]
@@ -130,6 +131,64 @@ pub fn generate(name: &str, config: &DatasetConfig, seed: u64) -> Result<Dataset
     })
 }
 
+/// What [`generate_to`] streamed: enough to report coverage and read counts
+/// without the reads themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Reads written.
+    pub reads: usize,
+    /// Total bases written.
+    pub bases: u64,
+}
+
+/// Streams the data set `generate` would build straight to a FASTQ writer,
+/// holding one read in memory at a time — O(1) memory in `total_reads`, so
+/// inputs far bigger than RAM can be synthesized.
+///
+/// The RNG schedule is shared with [`generate`]: for the same `(name,
+/// config, seed)` the bytes written here equal `fc_seq::fastq::write` over
+/// [`Dataset::reads`]. Only the reads stream out; the taxonomy and
+/// community (small, genome-sized) are built in memory as usual and
+/// discarded.
+pub fn generate_to<W: Write>(
+    mut out: W,
+    name: &str,
+    config: &DatasetConfig,
+    seed: u64,
+) -> Result<StreamSummary, SimError> {
+    let taxonomy = Taxonomy::generate(&config.taxonomy, seed)?;
+    let community = CommunityProfile::log_normal(
+        taxonomy.genus_count(),
+        config.abundance_sigma,
+        seed ^ 0x5151,
+    );
+    let counts = community.read_counts(config.total_reads);
+
+    let mut summary = StreamSummary { reads: 0, bases: 0 };
+    for (gi, (genus, &count)) in taxonomy.genera.iter().zip(&counts).enumerate() {
+        simulate_reads_to(
+            &genus.genome,
+            gi as u32,
+            count,
+            &config.reads,
+            seed.wrapping_mul(31).wrapping_add(gi as u64),
+            &format!("{name}_{}", genus.name),
+            &mut |read, _origin| {
+                fc_seq::fastq::write_read(&mut out, &read, 30).map_err(|e| SimError::Io {
+                    message: e.to_string(),
+                })?;
+                summary.reads += 1;
+                summary.bases += read.len() as u64;
+                Ok(())
+            },
+        )?;
+    }
+    out.flush().map_err(|e| SimError::Io {
+        message: e.to_string(),
+    })?;
+    Ok(summary)
+}
+
 /// The three deterministic paper-analogue data sets (Table I substitutes):
 /// same taxonomy parameters, different seeds/abundances — mirroring three
 /// different gut samples sequenced the same way.
@@ -190,6 +249,35 @@ mod tests {
                 "genus {gi}: {count} vs expected {expected}"
             );
         }
+    }
+
+    #[test]
+    fn generate_to_streams_byte_identical_fastq() {
+        let config = DatasetConfig::test_scale();
+        let d = generate("T", &config, 42).unwrap();
+        let mut collected = Vec::new();
+        fc_seq::fastq::write(&mut collected, &d.reads, 30).unwrap();
+
+        let mut streamed = Vec::new();
+        let summary = generate_to(&mut streamed, "T", &config, 42).unwrap();
+        assert_eq!(streamed, collected, "streamed FASTQ must match collected");
+        assert_eq!(summary.reads, d.reads.len());
+        assert_eq!(summary.bases, d.total_bases() as u64);
+    }
+
+    #[test]
+    fn generate_to_surfaces_write_errors_typed() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = generate_to(Broken, "T", &DatasetConfig::test_scale(), 1).unwrap_err();
+        assert!(matches!(err, SimError::Io { .. }), "{err}");
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum SimError {
         /// Configured read length.
         read_len: usize,
     },
+    /// Writing streamed output failed (see [`crate::dataset::generate_to`]).
+    /// Carries the rendered cause so the error stays `Clone`/`PartialEq`.
+    Io {
+        /// Rendered underlying error.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +42,7 @@ impl fmt::Display for SimError {
                     "genome length {genome_len} shorter than read length {read_len}"
                 )
             }
+            SimError::Io { message } => write!(f, "output error: {message}"),
         }
     }
 }

@@ -27,7 +27,8 @@ pub mod reads;
 
 pub use community::CommunityProfile;
 pub use dataset::{
-    generate as generate_dataset, paper_datasets, single_genome_dataset, Dataset, DatasetConfig,
+    generate as generate_dataset, generate_to, paper_datasets, single_genome_dataset, Dataset,
+    DatasetConfig, StreamSummary,
 };
 pub use error::SimError;
 pub use genome::{GenomeConfig, MutationModel};

@@ -106,6 +106,28 @@ pub fn simulate_reads(
     reads: &mut Vec<Read>,
     origins: &mut Vec<ReadOrigin>,
 ) -> Result<(), SimError> {
+    simulate_reads_to(genome, genus, count, config, seed, name_prefix, &mut |r, o| {
+        reads.push(r);
+        origins.push(o);
+        Ok(())
+    })
+}
+
+/// Sink-based core of [`simulate_reads`]: every simulated read is handed to
+/// `sink` and then dropped, so a caller that writes reads straight to disk
+/// holds at most one read in memory. The RNG stream is identical to
+/// [`simulate_reads`] — collecting the sink's arguments reproduces its
+/// output byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_reads_to(
+    genome: &DnaString,
+    genus: u32,
+    count: usize,
+    config: &ReadSimConfig,
+    seed: u64,
+    name_prefix: &str,
+    sink: &mut dyn FnMut(Read, ReadOrigin) -> Result<(), SimError>,
+) -> Result<(), SimError> {
     config.validate()?;
     if genome.len() < config.read_len {
         return Err(SimError::GenomeTooShort {
@@ -149,16 +171,18 @@ pub fn simulate_reads(
                 + rng.gen_range(-2..=2);
             quals.push(q.clamp(2, 41) as u8);
         }
-        reads.push(Read::with_quality(
-            format!("{name_prefix}_{r}"),
-            seq,
-            QualityScores::from_phred(quals),
-        ));
-        origins.push(ReadOrigin {
-            genus,
-            position: position as u32,
-            reverse,
-        });
+        sink(
+            Read::with_quality(
+                format!("{name_prefix}_{r}"),
+                seq,
+                QualityScores::from_phred(quals),
+            ),
+            ReadOrigin {
+                genus,
+                position: position as u32,
+                reverse,
+            },
+        )?;
     }
     Ok(())
 }

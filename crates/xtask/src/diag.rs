@@ -34,6 +34,10 @@ pub enum Rule {
     /// FC010 — an `unsafe` block/fn/impl without an adjacent `// SAFETY:`
     /// comment.
     UnsafeHygiene,
+    /// FC011 — an unbounded whole-input read (`fs::read`,
+    /// `fs::read_to_string`, `read_to_end`, `read_to_string`) in non-test
+    /// library code; data paths must stream through bounded buffers.
+    UnboundedRead,
 }
 
 impl Rule {
@@ -50,6 +54,7 @@ impl Rule {
             Rule::AmbientNondet => "FC008",
             Rule::LockOrder => "FC009",
             Rule::UnsafeHygiene => "FC010",
+            Rule::UnboundedRead => "FC011",
         }
     }
 
@@ -66,6 +71,7 @@ impl Rule {
             Rule::AmbientNondet => "ambient-nondet",
             Rule::LockOrder => "lock-order",
             Rule::UnsafeHygiene => "unsafe-hygiene",
+            Rule::UnboundedRead => "no-unbounded-read",
         }
     }
 
@@ -82,12 +88,13 @@ impl Rule {
             "ambient-nondet" => Some(Rule::AmbientNondet),
             "lock-order" => Some(Rule::LockOrder),
             "unsafe-hygiene" => Some(Rule::UnsafeHygiene),
+            "no-unbounded-read" => Some(Rule::UnboundedRead),
             _ => None,
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 10] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::NoPanic,
             Rule::StringError,
@@ -99,6 +106,7 @@ impl Rule {
             Rule::AmbientNondet,
             Rule::LockOrder,
             Rule::UnsafeHygiene,
+            Rule::UnboundedRead,
         ]
     }
 
@@ -152,6 +160,12 @@ impl Rule {
                 "every unsafe block or fn must carry an adjacent `// SAFETY:` \
                  comment stating the invariant that makes it sound — the guard \
                  rail the SIMD kernels depend on"
+            }
+            Rule::UnboundedRead => {
+                "`fs::read`/`read_to_end`-style slurps size the allocation by the \
+                 input, so one oversized file defeats every memory budget; data \
+                 paths must stream through bounded buffers (BufReader, Read::take, \
+                 the paged store), with small fixed-size records allowlisted"
             }
         }
     }

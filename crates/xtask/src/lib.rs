@@ -40,6 +40,11 @@
 //!   workspace lock-order graph that must stay acyclic ([`lockorder`]).
 //! * **FC010 `unsafe-hygiene`** — every `unsafe` needs an adjacent
 //!   `// SAFETY:` comment.
+//! * **FC011 `no-unbounded-read`** — no unbounded whole-input reads
+//!   (`fs::read`, `fs::read_to_string`, `.read_to_end`, `.read_to_string`)
+//!   in library code: a slurp sized by the input defeats every memory
+//!   budget (DESIGN.md §16). Stream through bounded buffers, cap with
+//!   `Read::take`, or allowlist a provably small input with a reason.
 //!
 //! Justified exceptions live in `xtask/allow.toml`, each with a mandatory
 //! `reason`; entries that no longer match anything are themselves errors,

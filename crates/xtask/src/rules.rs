@@ -1,7 +1,7 @@
 //! The Focus-specific lint rules, run over one lexed source file (FC001,
-//! FC002, FC004, FC005, FC006, and the path-aware FC007/FC008/FC010) or one
-//! crate's module list (FC003). FC009, the cross-crate lock-order audit,
-//! lives in [`crate::lockorder`].
+//! FC002, FC004, FC005, FC006, and the path-aware FC007/FC008/FC010/FC011)
+//! or one crate's module list (FC003). FC009, the cross-crate lock-order
+//! audit, lives in [`crate::lockorder`].
 
 use crate::diag::{Diagnostic, Rule};
 use crate::items::{self, paths, CrateItems, FileItems};
@@ -60,6 +60,7 @@ pub fn analyze_tokens(
         crate_name, rel_path, tokens, &excluded, file_items, &snippet, &mut out,
     );
     unsafe_hygiene(rel_path, tokens, &excluded, &lines, &snippet, &mut out);
+    unbounded_read(rel_path, tokens, &excluded, file_items, &snippet, &mut out);
     out
 }
 
@@ -793,6 +794,77 @@ fn unsafe_hygiene(
     }
 }
 
+/// FC011 — unbounded whole-input reads in non-test library code.
+///
+/// `fs::read(..)` / `fs::read_to_string(..)` (resolved through the import
+/// map, so a user module named `fs` never trips it) allocate a buffer sized
+/// by the file; `.read_to_end(..)` / `.read_to_string(..)` do the same for
+/// any `Read`. On a data path that defeats every memory budget: one
+/// oversized input and the slurp OOMs before admission control can say no.
+/// A method-call slurp is waived when a `.take(..)` cap appears on the same
+/// or the two preceding lines (the `Read::take`-bounded idiom); everything
+/// else needs an allowlist entry stating what bounds the input — a
+/// fixed-size record, a file the process itself wrote, a kernel pseudo-file.
+fn unbounded_read(
+    rel_path: &str,
+    tokens: &[Token],
+    excluded: &[bool],
+    file_items: &FileItems,
+    snippet: &dyn Fn(usize) -> Option<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // A `.take(cap)` on the finding's line or the two above it bounds the
+    // reader explicitly; the slurp then reads at most `cap` bytes.
+    let take_nearby = |line: usize| {
+        tokens.iter().enumerate().any(|(k, t)| {
+            t.is_ident("take")
+                && t.line + 2 >= line
+                && t.line <= line
+                && tokens.get(k + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        })
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if excluded[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let called = tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+        if !called {
+            continue;
+        }
+        let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
+        let found: Option<String> = match t.text.as_str() {
+            // `fs::read(..)` / `std::fs::read_to_string(..)` — only when the
+            // path actually resolves to `std::fs`.
+            "read" | "read_to_string" if !prev_is_dot => {
+                let canonical =
+                    path_before(tokens, i).map(|segs| items::canonicalize(&segs, file_items));
+                (canonical.as_deref() == Some("std::fs"))
+                    .then(|| format!("`fs::{}()` slurps a whole file into memory", t.text))
+            }
+            // `reader.read_to_end(..)` / `reader.read_to_string(..)`.
+            "read_to_end" | "read_to_string" if prev_is_dot => (!take_nearby(t.line))
+                .then(|| format!("`.{}()` slurps an unbounded stream", t.text)),
+            _ => None,
+        };
+        if let Some(message) = found {
+            out.push(Diagnostic {
+                rule: Rule::UnboundedRead,
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+                snippet: snippet(t.line),
+                help: "stream instead: parse incrementally from a BufReader, cap the \
+                       reader with `Read::take(limit)` on or just above this line, or \
+                       stage through the paged store; if the input is provably small \
+                       (fixed-size record, file this process wrote, kernel pseudo-file), \
+                       allowlist it in xtask/allow.toml stating that bound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Everything about one `pub fn` signature the rules need.
 struct PubFn {
     name: String,
@@ -1482,6 +1554,63 @@ mod tests {
     fn t() {
         let _ = std::time::Instant::now();
     }
+}
+";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn fc011_flags_fs_slurps_and_stream_slurps() {
+        let src = "\
+use std::fs;
+use std::io::Read;
+fn a(p: &str) -> Vec<u8> { fs::read(p).unwrap_or_default() }
+fn b(p: &str) -> String { std::fs::read_to_string(p).unwrap_or_default() }
+fn c(mut r: impl Read) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let _ = r.read_to_end(&mut buf);
+    buf
+}
+";
+        let hits = rules_hit(src);
+        let fc11: Vec<_> = hits.iter().filter(|(c, _)| *c == "FC011").collect();
+        assert_eq!(fc11.len(), 3, "{hits:?}");
+        assert!(hits.contains(&("FC011", 3)), "{hits:?}");
+        assert!(hits.contains(&("FC011", 4)), "{hits:?}");
+        assert!(hits.contains(&("FC011", 7)), "{hits:?}");
+    }
+
+    #[test]
+    fn fc011_take_cap_and_user_fs_escape() {
+        let src = "\
+use std::io::Read;
+mod fs { pub fn read(_: &str) -> Vec<u8> { Vec::new() } }
+fn bounded(r: impl Read, cap: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // The cap bounds the slurp explicitly.
+    let _ = r.take(cap).read_to_end(&mut buf);
+    buf
+}
+fn user_fs(p: &str) -> Vec<u8> { fs::read(p) }
+fn chunked(mut r: impl Read) -> usize {
+    let mut chunk = [0u8; 4096];
+    r.read(&mut chunk).unwrap_or(0)
+}
+";
+        let hits = rules_hit(src);
+        assert!(
+            !hits.iter().any(|(c, _)| *c == "FC011"),
+            "bounded/user-typed reads must not fire FC011: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn fc011_is_test_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = std::fs::read(\"fixture\"); }
 }
 ";
         assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));

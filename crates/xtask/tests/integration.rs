@@ -43,6 +43,44 @@ fn determinism_fixture_flags_exactly_the_seeded_sites() {
 }
 
 #[test]
+fn unboundedread_fixture_flags_exactly_the_seeded_sites() {
+    let (analysis, codes) = run("unboundedread");
+    assert_eq!(
+        codes,
+        vec![
+            ("FC011".to_string(), 9),  // fs::read(path)
+            ("FC011".to_string(), 14), // std::fs::read_to_string(path)
+            ("FC011".to_string(), 20), // r.read_to_end(&mut buf)
+        ],
+        "{:#?}",
+        analysis.violations
+    );
+    // The negative cases — take()-capped read_to_end, BufReader line
+    // streaming, fixed-chunk Read::read, slurps inside #[cfg(test)] —
+    // must not appear (they would add lines 27, 33, 39, and 46).
+}
+
+/// Byte-stable rendering for the FC011 fixture, same contract as the
+/// determinism golden file.
+#[test]
+fn unboundedread_report_matches_golden_file() {
+    let (analysis, _) = run("unboundedread");
+    let rendered: String = analysis
+        .violations
+        .iter()
+        .map(|d| format!("{d}\n\n"))
+        .collect();
+    let golden_path = fixture("../golden/unboundedread.stderr");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    assert_eq!(
+        rendered, golden,
+        "rendering drifted from tests/golden/unboundedread.stderr; \
+         update the golden file if the change is intentional"
+    );
+}
+
+#[test]
 fn lockcycle_fixture_reports_the_two_lock_cycle() {
     let (analysis, codes) = run("lockcycle");
     assert_eq!(codes.len(), 1, "{:#?}", analysis.violations);

@@ -9,6 +9,7 @@
 
 use focus_assembler::focus::{
     AssemblyOutcome, AssemblyResult, CheckpointOptions, CkptPhase, FocusAssembler, FocusConfig,
+    OocOptions,
 };
 use focus_assembler::seq::{fasta, fastq, Read};
 use focus_assembler::sim::single_genome_dataset;
@@ -47,6 +48,19 @@ ASSEMBLE OPTIONS:
                            or auto (SIMD when the CPU has it); contigs are
                            identical at any setting              [default: auto]
     --keep-both-strands    emit both strands of every contig
+
+MEMORY OPTIONS (assemble, FASTQ input only):
+    --memory-budget <b>    cap the accounted heap; plain bytes or a k/M/G
+                           suffix (e.g. 512M). Routes the run through the
+                           out-of-core pipeline: input is streamed, reads
+                           are staged to disk pages, and alignment results
+                           spill through CRC-verified files. Contigs and
+                           logical metric snapshots are byte-identical to
+                           an in-core run of the same config.
+    --spill-dir <dir>      directory for staged pages and spill runs;
+                           implies the out-of-core pipeline even with no
+                           budget. Defaults to <checkpoint-dir>/ooc, or a
+                           temp dir, when only --memory-budget is given.
 
 CHECKPOINT OPTIONS (assemble):
     --checkpoint-dir <dir> write a verified checkpoint after every pipeline
@@ -111,6 +125,13 @@ SERVE OPTIONS (assemble options set the base pipeline config):
     --max-tenants <n>      distinct tenants with live queues     [default: 64]
     --quantum <n>          jobs per tenant per round-robin turn  [default: 4]
     --max-attempts <n>     attempts per job incl. retries        [default: 4]
+    --serve-memory-budget <b>
+                           total admission budget across all live jobs;
+                           plain bytes or k/M/G. Jobs that do not fit are
+                           shed with a typed 503 until running jobs
+                           release their reservations. 0 = unlimited.
+                           (--memory-budget still applies per job: each
+                           budgeted job runs out-of-core.)   [default: 0]
 
     Prints `serve: listening on <addr>` once ready, then blocks. Stop it
     with POST /admin/shutdown?mode=drain|fast (fast leaves queued jobs on
@@ -203,6 +224,25 @@ impl Options {
     }
 }
 
+/// Parses a byte count like `1048576`, `64k`, `512M` or `2G` (suffixes
+/// case-insensitive, optionally followed by `b`/`B`).
+fn parse_bytes(key: &str, text: &str) -> Result<u64, String> {
+    let lower = text.to_ascii_lowercase();
+    let lower = lower.strip_suffix('b').unwrap_or(&lower);
+    let (digits, shift) = match lower.as_bytes().last() {
+        Some(b'k') => (&lower[..lower.len() - 1], 10),
+        Some(b'm') => (&lower[..lower.len() - 1], 20),
+        Some(b'g') => (&lower[..lower.len() - 1], 30),
+        _ => (lower, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("--{key}: cannot parse {text:?} (expected bytes, e.g. 512M)"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("--{key}: {text:?} overflows u64"))
+}
+
 fn read_input(path: &str) -> Result<Vec<Read>, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let reader = BufReader::new(file);
@@ -273,21 +313,55 @@ fn assemble(args: &[String]) -> Result<Option<CkptPhase>, String> {
 
     let config = build_config(&opts)?;
     let ckpt = build_checkpoint_options(&opts)?;
-    let reads = read_input(&input)?;
-    eprintln!("read {} reads from {input}", reads.len());
+    let out_of_core = config.memory_budget.is_some() || opts.get("spill-dir").is_some();
 
     let assembler = FocusAssembler::new(config).map_err(|e| e.to_string())?;
-    let result: AssemblyResult = match &ckpt {
-        None => assembler.assemble(&reads).map_err(|e| e.to_string())?,
-        Some(ckpt_opts) => {
-            match assembler
-                .assemble_with_checkpoints(&reads, ckpt_opts)
-                .map_err(|e| e.to_string())?
-            {
-                AssemblyOutcome::Completed(result) => result,
-                AssemblyOutcome::Stopped(phase) => {
-                    write_obs_sinks(&opts, assembler.recorder())?;
-                    return Ok(Some(phase));
+    let result: AssemblyResult = if out_of_core {
+        // Out-of-core route: the input is streamed (never slurped), reads
+        // are staged to disk pages, and alignment results spill through
+        // CRC-verified files under the budget.
+        let lower = input.to_ascii_lowercase();
+        if !lower.ends_with(".fastq") && !lower.ends_with(".fq") {
+            return Err(format!(
+                "{input}: --memory-budget/--spill-dir stream FASTQ input only \
+                 (expected .fastq/.fq)"
+            ));
+        }
+        let spill_dir = match opts.get("spill-dir") {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => match opts.get("checkpoint-dir") {
+                Some(dir) => std::path::Path::new(dir).join("ooc"),
+                None => std::env::temp_dir().join(format!("focus-ooc-{}", std::process::id())),
+            },
+        };
+        eprintln!("streaming {input} (spill dir {})", spill_dir.display());
+        let ckpt_opts = ckpt.clone().unwrap_or_default();
+        let ooc = OocOptions::in_dir(&spill_dir);
+        match assembler
+            .assemble_fastq_ooc(std::path::Path::new(&input), &ckpt_opts, &ooc)
+            .map_err(|e| e.to_string())?
+        {
+            AssemblyOutcome::Completed(result) => result,
+            AssemblyOutcome::Stopped(phase) => {
+                write_obs_sinks(&opts, assembler.recorder())?;
+                return Ok(Some(phase));
+            }
+        }
+    } else {
+        let reads = read_input(&input)?;
+        eprintln!("read {} reads from {input}", reads.len());
+        match &ckpt {
+            None => assembler.assemble(&reads).map_err(|e| e.to_string())?,
+            Some(ckpt_opts) => {
+                match assembler
+                    .assemble_with_checkpoints(&reads, ckpt_opts)
+                    .map_err(|e| e.to_string())?
+                {
+                    AssemblyOutcome::Completed(result) => result,
+                    AssemblyOutcome::Stopped(phase) => {
+                        write_obs_sinks(&opts, assembler.recorder())?;
+                        return Ok(Some(phase));
+                    }
                 }
             }
         }
@@ -357,6 +431,12 @@ fn build_config(opts: &Options) -> Result<FocusConfig, String> {
     }
     config.trim.min_read_len = opts.get_parsed("min-read-len", 40usize)?;
     config.trim.min_quality = opts.get_parsed("min-quality", 20.0f64)?;
+    if let Some(text) = opts.get("memory-budget") {
+        match parse_bytes("memory-budget", text)? {
+            0 => config.memory_budget = None,
+            bytes => config.memory_budget = Some(bytes),
+        }
+    }
     let wants_obs = ["trace", "metrics", "events"]
         .iter()
         .any(|k| opts.get(k).is_some());
@@ -427,6 +507,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         retry: focus_assembler::dist::RetryPolicy {
             max_attempts: opts.get_parsed("max-attempts", defaults.retry.max_attempts)?,
             ..defaults.retry
+        },
+        memory_budget: match opts.get("serve-memory-budget") {
+            None => defaults.memory_budget,
+            Some(text) => parse_bytes("serve-memory-budget", text)?,
         },
         ..defaults
     };
